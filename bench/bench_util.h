@@ -1,0 +1,160 @@
+#ifndef SVC_BENCH_BENCH_UTIL_H_
+#define SVC_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "core/estimator.h"
+#include "relational/executor.h"
+#include "sample/cleaner.h"
+#include "tpcd/tpcd_gen.h"
+#include "tpcd/tpcd_views.h"
+#include "view/maintenance.h"
+
+namespace svc {
+namespace bench {
+
+/// Aborts with a message when a Status is not OK (benchmarks have no
+/// recovery path).
+inline void CheckOk(const Status& s, const char* what) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "[bench] %s failed: %s\n", what,
+                 s.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T CheckedValue(Result<T> r, const char* what) {
+  CheckOk(r.status(), what);
+  return std::move(r).value();
+}
+
+/// Wall-clock seconds for `fn`.
+inline double TimeSeconds(const std::function<void()>& fn) {
+  Stopwatch sw;
+  fn();
+  return sw.ElapsedSeconds();
+}
+
+/// Executes the full maintenance strategy M (IVM or recompute) and returns
+/// (seconds, fresh table).
+inline std::pair<double, Table> TimeFullMaintenance(
+    const MaterializedView& view, const DeltaSet& deltas,
+    const Database& db) {
+  MaintenancePlan plan = CheckedValue(BuildMaintenancePlan(view, deltas, db),
+                                      "BuildMaintenancePlan");
+  Stopwatch sw;
+  Table fresh = CheckedValue(ExecutePlan(*plan.plan, db), "maintenance");
+  const double secs = sw.ElapsedSeconds();
+  CheckOk(fresh.SetPrimaryKey(view.stored_pk()), "fresh pk");
+  return {secs, std::move(fresh)};
+}
+
+/// Executes SVC sample cleaning and returns (seconds, samples).
+inline std::pair<double, CorrespondingSamples> TimeSvcCleaning(
+    const MaterializedView& view, const DeltaSet& deltas, const Database& db,
+    double ratio, PushdownReport* report = nullptr) {
+  CleanOptions opts{ratio, HashFamily::kFnv1a};
+  Stopwatch sw;
+  CorrespondingSamples samples = CheckedValue(
+      CleanViewSample(view, deltas, db, opts, report), "CleanViewSample");
+  return {sw.ElapsedSeconds(), std::move(samples)};
+}
+
+/// Relative-error summary of an estimated grouped result against the
+/// per-group truth. Groups missing from the estimate count as 100% error
+/// (the paper's stale baseline misses new groups the same way).
+struct ErrorStats {
+  double median = 0, q75 = 0, max = 0, mean = 0;
+  size_t groups = 0;
+};
+
+inline ErrorStats CompareGrouped(const GroupedResult& truth,
+                                 const GroupedResult& estimate) {
+  std::vector<double> errors;
+  std::vector<size_t> key_idx;
+  for (size_t c = 0; c < truth.group_columns.size(); ++c) key_idx.push_back(c);
+  for (size_t g = 0; g < truth.group_keys.size(); ++g) {
+    const double want = truth.estimates[g].value;
+    if (std::fabs(want) < 1e-12) continue;  // undefined relative error
+    const std::string key = EncodeRowKey(truth.group_keys[g], key_idx);
+    const Estimate* e = estimate.Find(key);
+    const double got = e ? e->value : 0.0;
+    errors.push_back(std::fabs(got - want) / std::fabs(want));
+  }
+  ErrorStats stats;
+  stats.groups = errors.size();
+  if (errors.empty()) return stats;
+  std::sort(errors.begin(), errors.end());
+  stats.median = errors[errors.size() / 2];
+  stats.q75 = errors[errors.size() * 3 / 4];
+  stats.max = errors.back();
+  for (double e : errors) stats.mean += e;
+  stats.mean /= errors.size();
+  return stats;
+}
+
+/// The three methods' grouped answers for one view query: exact stale,
+/// SVC+AQP, SVC+CORR — each compared against the fresh truth.
+struct MethodErrors {
+  ErrorStats stale, aqp, corr;
+};
+
+inline MethodErrors EvaluateQuery(const Table& stale_view, const Table& fresh,
+                                  const CorrespondingSamples& samples,
+                                  const ViewQuery& vq) {
+  MethodErrors out;
+  GroupedResult truth = CheckedValue(
+      ExactAggregateGrouped(fresh, vq.group_by, vq.query), "truth");
+  GroupedResult stale = CheckedValue(
+      ExactAggregateGrouped(stale_view, vq.group_by, vq.query), "stale");
+  GroupedResult aqp = CheckedValue(
+      SvcAqpEstimateGrouped(samples, vq.group_by, vq.query), "aqp");
+  GroupedResult corr = CheckedValue(
+      SvcCorrEstimateGrouped(stale_view, samples, vq.group_by, vq.query),
+      "corr");
+  out.stale = CompareGrouped(truth, stale);
+  out.aqp = CompareGrouped(truth, aqp);
+  out.corr = CompareGrouped(truth, corr);
+  return out;
+}
+
+/// Shared fixture: TPCD database + join view + pending update stream.
+struct JoinViewFixture {
+  Database db;
+  MaterializedView view;
+  DeltaSet deltas;
+};
+
+inline JoinViewFixture MakeJoinViewFixture(double scale_factor, double zipf_z,
+                                           double update_fraction,
+                                           uint64_t update_seed = 7) {
+  TpcdConfig cfg;
+  cfg.scale_factor = scale_factor;
+  cfg.zipf_z = zipf_z;
+  Database db = CheckedValue(GenerateTpcdDatabase(cfg), "tpcd gen");
+  MaterializedView view = CheckedValue(
+      MaterializedView::Create("join_view", TpcdJoinViewDef(), &db,
+                               TpcdJoinViewSamplingKey()),
+      "join view");
+  TpcdUpdateConfig ucfg;
+  ucfg.fraction = update_fraction;
+  ucfg.seed = update_seed;
+  DeltaSet deltas = CheckedValue(GenerateTpcdUpdates(db, cfg, ucfg),
+                                 "updates");
+  CheckOk(deltas.Register(&db), "register deltas");
+  return {std::move(db), std::move(view), std::move(deltas)};
+}
+
+}  // namespace bench
+}  // namespace svc
+
+#endif  // SVC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,61 @@
+// Reproduces Figure 4 of the paper:
+//  (a) Join View (lineitem ⋈ orders), 10% updates: maintenance time of SVC
+//      as a function of sampling ratio, against the full-IVM line.
+//  (b) Fixed 10% sampling ratio: SVC speedup over IVM as the update size
+//      grows (super-linear because η pushes to both join inputs).
+
+#include "bench/bench_util.h"
+
+namespace svc {
+namespace bench {
+namespace {
+
+constexpr double kScale = 0.015;
+constexpr double kZipf = 2.0;
+
+void PartA() {
+  std::printf(
+      "-- Figure 4(a): Join View maintenance time vs sampling ratio "
+      "(update size 10%%) --\n");
+  JoinViewFixture fx = MakeJoinViewFixture(kScale, kZipf, 0.10);
+  auto [ivm_secs, fresh] = TimeFullMaintenance(fx.view, fx.deltas, fx.db);
+  (void)fresh;
+  TablePrinter table({"sampling_ratio", "svc_maintenance_s", "ivm_s",
+                      "speedup"});
+  for (double m : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
+    auto [svc_secs, samples] = TimeSvcCleaning(fx.view, fx.deltas, fx.db, m);
+    (void)samples;
+    table.AddRow({TablePrinter::Num(m, 1), TablePrinter::Num(svc_secs, 3),
+                  TablePrinter::Num(ivm_secs, 3),
+                  TablePrinter::Num(ivm_secs / svc_secs, 2) + "x"});
+  }
+  table.Print();
+}
+
+void PartB() {
+  std::printf(
+      "\n-- Figure 4(b): SVC-10%% speedup vs update size (%% of base) --\n");
+  TablePrinter table({"update_size", "ivm_s", "svc10_s", "speedup"});
+  for (double frac : {0.025, 0.05, 0.075, 0.10, 0.125, 0.15, 0.175, 0.20}) {
+    JoinViewFixture fx = MakeJoinViewFixture(kScale, kZipf, frac);
+    auto [ivm_secs, fresh] = TimeFullMaintenance(fx.view, fx.deltas, fx.db);
+    (void)fresh;
+    auto [svc_secs, samples] = TimeSvcCleaning(fx.view, fx.deltas, fx.db,
+                                               0.10);
+    (void)samples;
+    table.AddRow({TablePrinter::Pct(frac), TablePrinter::Num(ivm_secs, 3),
+                  TablePrinter::Num(svc_secs, 3),
+                  TablePrinter::Num(ivm_secs / svc_secs, 2) + "x"});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace svc
+
+int main() {
+  svc::bench::PartA();
+  svc::bench::PartB();
+  return 0;
+}

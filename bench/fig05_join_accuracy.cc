@@ -1,0 +1,42 @@
+// Reproduces Figure 5: median relative error of the 12 TPCD parameterized
+// queries on the join view, answered from (i) the stale view, (ii)
+// SVC+AQP-10%, (iii) SVC+CORR-10%, with a 10% update size.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace svc;
+  using namespace svc::bench;
+  std::printf(
+      "-- Figure 5: Join View query accuracy (median relative error, "
+      "10%% sample, 10%% updates) --\n");
+  JoinViewFixture fx = MakeJoinViewFixture(0.01, 2.0, 0.10);
+  auto [ivm_secs, fresh] = TimeFullMaintenance(fx.view, fx.deltas, fx.db);
+  (void)ivm_secs;
+  auto [svc_secs, samples] = TimeSvcCleaning(fx.view, fx.deltas, fx.db, 0.10);
+  (void)svc_secs;
+  const Table* stale =
+      CheckedValue(fx.db.GetTable("join_view"), "stale view");
+
+  TablePrinter table({"query", "stale", "svc_aqp_10", "svc_corr_10"});
+  double sum_stale = 0, sum_aqp = 0, sum_corr = 0;
+  int n = 0;
+  for (const auto& vq : TpcdJoinViewQueries()) {
+    MethodErrors e = EvaluateQuery(*stale, fresh, samples, vq);
+    table.AddRow({vq.name, TablePrinter::Pct(e.stale.median),
+                  TablePrinter::Pct(e.aqp.median),
+                  TablePrinter::Pct(e.corr.median)});
+    sum_stale += e.stale.median;
+    sum_aqp += e.aqp.median;
+    sum_corr += e.corr.median;
+    ++n;
+  }
+  table.Print();
+  std::printf(
+      "average median error: stale=%.2f%%  aqp=%.2f%%  corr=%.2f%%  "
+      "(corr is %.1fx more accurate than stale, %.1fx than aqp)\n",
+      100 * sum_stale / n, 100 * sum_aqp / n, 100 * sum_corr / n,
+      sum_stale / std::max(sum_corr, 1e-9),
+      sum_aqp / std::max(sum_corr, 1e-9));
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Reproduces Figure 8:
+//  (a) V3 (revenue per customer) under skew z ∈ {1,2,3,4}: 75%-quartile
+//      query error for SVC+AQP / SVC+CORR, with and without a k=100 outlier
+//      index on l_extendedprice, plus the stale baseline.
+//  (b) Outlier-index maintenance overhead for index sizes {0,10,100,1000}
+//      against the full-IVM time.
+
+#include "bench/bench_util.h"
+#include "core/outlier.h"
+#include "sql/planner.h"
+
+namespace svc {
+namespace bench {
+namespace {
+
+struct V3Setup {
+  Database db;
+  MaterializedView view;
+  DeltaSet deltas;
+  Table fresh;
+};
+
+V3Setup MakeV3(double zipf_z) {
+  TpcdConfig cfg;
+  cfg.scale_factor = 0.008;
+  cfg.zipf_z = zipf_z;
+  Database db = CheckedValue(GenerateTpcdDatabase(cfg), "tpcd");
+  const ComplexView cv = TpcdComplexViews()[0];  // V3
+  PlanPtr def = CheckedValue(SqlToPlan(cv.sql, db), "V3 sql");
+  MaterializedView view = CheckedValue(
+      MaterializedView::Create("V3", def, &db, cv.sampling_key), "V3");
+  TpcdUpdateConfig ucfg;
+  ucfg.fraction = 0.10;
+  DeltaSet deltas = CheckedValue(GenerateTpcdUpdates(db, cfg, ucfg),
+                                 "updates");
+  CheckOk(deltas.Register(&db), "register");
+  MaintenancePlan plan = CheckedValue(BuildMaintenancePlan(view, deltas, db),
+                                      "plan");
+  Table fresh = CheckedValue(ExecutePlan(*plan.plan, db), "fresh");
+  CheckOk(fresh.SetPrimaryKey(view.stored_pk()), "pk");
+  return {std::move(db), std::move(view), std::move(deltas),
+          std::move(fresh)};
+}
+
+void PartA() {
+  std::printf(
+      "-- Figure 8(a): V3 75%%-quartile error vs skew z (outlier index "
+      "k=100 on l_extendedprice) --\n");
+  TablePrinter table({"zipf_z", "stale", "aqp", "aqp+out", "corr",
+                      "corr+out"});
+  for (double z : {1.0, 2.0, 3.0, 4.0}) {
+    V3Setup s = MakeV3(z);
+    const Table* stale = CheckedValue(s.db.GetTable("V3"), "stale");
+    CorrespondingSamples samples = CheckedValue(
+        CleanViewSample(s.view, s.deltas, s.db,
+                        CleanOptions{0.10, HashFamily::kFnv1a}),
+        "clean");
+    OutlierIndexSpec spec{"lineitem", "l_extendedprice", 100, std::nullopt};
+    OutlierIndex index = CheckedValue(
+        OutlierIndex::Build(s.db, s.deltas, spec), "index");
+    OutlierIndex::ViewOutliers outliers = CheckedValue(
+        index.PushUpToView(s.view, s.deltas, &s.db), "pushup");
+
+    // Random revenue-sum queries; report the 75% quartile of per-query
+    // scalar relative error.
+    Rng rng(1234 + static_cast<uint64_t>(z));
+    auto queries = GenerateRandomViewQueries(*stale, {"o_custkey"},
+                                             {"revenue"}, 60, &rng);
+    std::vector<double> es, ea, eao, ec, eco;
+    for (const auto& vq : queries) {
+      const double truth =
+          CheckedValue(ExactAggregate(s.fresh, vq.query), "truth");
+      if (std::fabs(truth) < 1e-9) continue;
+      auto rel = [&](double v) { return std::fabs(v - truth) /
+                                        std::fabs(truth); };
+      es.push_back(rel(CheckedValue(ExactAggregate(*stale, vq.query),
+                                    "stale")));
+      ea.push_back(rel(
+          CheckedValue(SvcAqpEstimate(samples, vq.query), "aqp").value));
+      eao.push_back(rel(CheckedValue(SvcAqpEstimateWithOutliers(
+                                         samples, outliers, vq.query),
+                                     "aqp+out")
+                            .value));
+      ec.push_back(rel(
+          CheckedValue(SvcCorrEstimate(*stale, samples, vq.query), "corr")
+              .value));
+      eco.push_back(rel(CheckedValue(SvcCorrEstimateWithOutliers(
+                                         *stale, samples, outliers,
+                                         vq.query),
+                                     "corr+out")
+                            .value));
+    }
+    auto q75 = [](std::vector<double> v) {
+      if (v.empty()) return 0.0;
+      std::sort(v.begin(), v.end());
+      return v[v.size() * 3 / 4];
+    };
+    table.AddRow({TablePrinter::Num(z, 0), TablePrinter::Pct(q75(es)),
+                  TablePrinter::Pct(q75(ea)), TablePrinter::Pct(q75(eao)),
+                  TablePrinter::Pct(q75(ec)), TablePrinter::Pct(q75(eco))});
+  }
+  table.Print();
+}
+
+void PartB() {
+  std::printf(
+      "\n-- Figure 8(b): outlier-index overhead on V3 maintenance "
+      "(z = 2) --\n");
+  V3Setup s = MakeV3(2.0);
+  auto [ivm_s, fresh] = TimeFullMaintenance(s.view, s.deltas, s.db);
+  (void)fresh;
+  TablePrinter table({"index_size", "svc10_plus_index_s", "ivm_s"});
+  for (size_t k : {size_t{0}, size_t{10}, size_t{100}, size_t{1000}}) {
+    Stopwatch sw;
+    CorrespondingSamples samples = CheckedValue(
+        CleanViewSample(s.view, s.deltas, s.db,
+                        CleanOptions{0.10, HashFamily::kFnv1a}),
+        "clean");
+    (void)samples;
+    if (k > 0) {
+      OutlierIndexSpec spec{"lineitem", "l_extendedprice", k, std::nullopt};
+      OutlierIndex index = CheckedValue(
+          OutlierIndex::Build(s.db, s.deltas, spec), "index");
+      OutlierIndex::ViewOutliers outliers = CheckedValue(
+          index.PushUpToView(s.view, s.deltas, &s.db), "pushup");
+      (void)outliers;
+    }
+    table.AddRow({std::to_string(k), TablePrinter::Num(sw.ElapsedSeconds(), 3),
+                  TablePrinter::Num(ivm_s, 3)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace svc
+
+int main() {
+  svc::bench::PartA();
+  svc::bench::PartB();
+  return 0;
+}

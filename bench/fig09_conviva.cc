@@ -1,0 +1,85 @@
+// Reproduces Figure 9 on the synthetic Conviva-like activity log:
+//  (a) per-view maintenance time, IVM vs SVC-10%, after appending 10% new
+//      log records;
+//  (b) per-view query accuracy: stale vs SVC+AQP-10% vs SVC+CORR-10%.
+
+#include "bench/bench_util.h"
+#include "conviva/conviva.h"
+#include "sql/planner.h"
+
+int main() {
+  using namespace svc;
+  using namespace svc::bench;
+
+  ConvivaConfig cfg;
+  cfg.num_sessions = 40000;
+  Database db = CheckedValue(GenerateConvivaDatabase(cfg), "conviva");
+  DeltaSet deltas = CheckedValue(GenerateConvivaUpdates(db, cfg, 0.10, 5),
+                                 "updates");
+  CheckOk(deltas.Register(&db), "register");
+
+  std::printf(
+      "-- Figure 9(a): Conviva views, maintenance time for 10%% appended "
+      "log --\n");
+  TablePrinter timing({"view", "ivm_s", "svc10_s", "speedup"});
+  struct Prepared {
+    std::string name;
+    MaterializedView view;
+    Table fresh;
+    CorrespondingSamples samples;
+  };
+  std::vector<Prepared> prepared;
+  for (const auto& cv : ConvivaViews()) {
+    PlanPtr def = CheckedValue(SqlToPlan(cv.sql, db), cv.name.c_str());
+    MaterializedView view = CheckedValue(
+        MaterializedView::Create(cv.name, def, &db), cv.name.c_str());
+    auto [ivm_s, fresh] = TimeFullMaintenance(view, deltas, db);
+    auto [svc_s, samples] = TimeSvcCleaning(view, deltas, db, 0.10);
+    timing.AddRow({cv.name, TablePrinter::Num(ivm_s, 3),
+                   TablePrinter::Num(svc_s, 3),
+                   TablePrinter::Num(ivm_s / svc_s, 2) + "x"});
+    prepared.push_back({cv.name, std::move(view), std::move(fresh),
+                        std::move(samples)});
+  }
+  timing.Print();
+
+  std::printf(
+      "\n-- Figure 9(b): Conviva query accuracy (median relative error) "
+      "--\n");
+  TablePrinter acc({"view", "stale", "svc_aqp_10", "svc_corr_10"});
+  Rng rng(2020);
+  for (auto& p : prepared) {
+    const Table* stale = CheckedValue(db.GetTable(p.name), "stale");
+    std::vector<std::string> group_cols, num_cols;
+    for (const auto& sc : p.view.stored_cols()) {
+      if (sc.kind == StoredColKind::kGroupKey ||
+          sc.kind == StoredColKind::kSpjKey) {
+        group_cols.push_back(sc.name);
+      }
+      if (sc.kind == StoredColKind::kSumMerge ||
+          sc.kind == StoredColKind::kCountMerge ||
+          sc.kind == StoredColKind::kAvgVisible ||
+          sc.kind == StoredColKind::kSpjValue) {
+        num_cols.push_back(sc.name);
+      }
+    }
+    auto queries =
+        GenerateRandomViewQueries(*stale, group_cols, num_cols, 40, &rng);
+    double stale_err = 0, aqp_err = 0, corr_err = 0;
+    int n = 0;
+    for (const auto& vq : queries) {
+      MethodErrors e = EvaluateQuery(*stale, p.fresh, p.samples, vq);
+      if (e.stale.groups == 0) continue;
+      stale_err += e.stale.median;
+      aqp_err += e.aqp.median;
+      corr_err += e.corr.median;
+      ++n;
+    }
+    if (n == 0) n = 1;
+    acc.AddRow({p.name, TablePrinter::Pct(stale_err / n),
+                TablePrinter::Pct(aqp_err / n),
+                TablePrinter::Pct(corr_err / n)});
+  }
+  acc.Print();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Reproduces Figure 10 on the data-cube aggregate view (z = 1):
+//  (a) maintenance time vs sampling ratio (10% updates);
+//  (b) SVC-10% speedup vs update size.
+
+#include "bench/bench_util.h"
+
+namespace svc {
+namespace bench {
+namespace {
+
+struct CubeFixture {
+  Database db;
+  MaterializedView view;
+  DeltaSet deltas;
+};
+
+CubeFixture MakeCube(double update_fraction, uint64_t seed = 7) {
+  TpcdConfig cfg;
+  cfg.scale_factor = 0.012;
+  cfg.zipf_z = 1.0;
+  Database db = CheckedValue(GenerateTpcdDatabase(cfg), "tpcd");
+  MaterializedView view = CheckedValue(
+      MaterializedView::Create("cube", TpcdCubeViewDef(), &db), "cube");
+  TpcdUpdateConfig ucfg;
+  ucfg.fraction = update_fraction;
+  ucfg.seed = seed;
+  DeltaSet deltas = CheckedValue(GenerateTpcdUpdates(db, cfg, ucfg),
+                                 "updates");
+  CheckOk(deltas.Register(&db), "register");
+  return {std::move(db), std::move(view), std::move(deltas)};
+}
+
+void PartA() {
+  std::printf(
+      "-- Figure 10(a): Aggregate (cube) view maintenance time vs sampling "
+      "ratio (10%% updates) --\n");
+  CubeFixture fx = MakeCube(0.10);
+  auto [ivm_s, fresh] = TimeFullMaintenance(fx.view, fx.deltas, fx.db);
+  (void)fresh;
+  TablePrinter table({"sampling_ratio", "svc_s", "ivm_s", "speedup"});
+  for (double m : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
+    auto [svc_s, samples] = TimeSvcCleaning(fx.view, fx.deltas, fx.db, m);
+    (void)samples;
+    table.AddRow({TablePrinter::Num(m, 1), TablePrinter::Num(svc_s, 3),
+                  TablePrinter::Num(ivm_s, 3),
+                  TablePrinter::Num(ivm_s / svc_s, 2) + "x"});
+  }
+  table.Print();
+}
+
+void PartB() {
+  std::printf("\n-- Figure 10(b): SVC-10%% speedup vs update size --\n");
+  TablePrinter table({"update_size", "ivm_s", "svc10_s", "speedup"});
+  for (double frac : {0.025, 0.05, 0.075, 0.10, 0.125, 0.15, 0.175, 0.20}) {
+    CubeFixture fx = MakeCube(frac, 30 + static_cast<uint64_t>(frac * 100));
+    auto [ivm_s, fresh] = TimeFullMaintenance(fx.view, fx.deltas, fx.db);
+    (void)fresh;
+    auto [svc_s, samples] = TimeSvcCleaning(fx.view, fx.deltas, fx.db, 0.10);
+    (void)samples;
+    table.AddRow({TablePrinter::Pct(frac), TablePrinter::Num(ivm_s, 3),
+                  TablePrinter::Num(svc_s, 3),
+                  TablePrinter::Num(ivm_s / svc_s, 2) + "x"});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace svc
+
+int main() {
+  svc::bench::PartA();
+  svc::bench::PartB();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Reproduces Figure 11: median relative error of the 13 cube roll-up
+// queries (sum of revenue over dimension subsets), 10% sample / 10%
+// updates: stale vs SVC+AQP-10 vs SVC+Corr-10.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace svc;
+  using namespace svc::bench;
+
+  TpcdConfig cfg;
+  cfg.scale_factor = 0.012;
+  cfg.zipf_z = 1.0;
+  Database db = CheckedValue(GenerateTpcdDatabase(cfg), "tpcd");
+  MaterializedView view = CheckedValue(
+      MaterializedView::Create("cube", TpcdCubeViewDef(), &db), "cube");
+  TpcdUpdateConfig ucfg;
+  ucfg.fraction = 0.10;
+  DeltaSet deltas = CheckedValue(GenerateTpcdUpdates(db, cfg, ucfg),
+                                 "updates");
+  CheckOk(deltas.Register(&db), "register");
+
+  auto [mt, fresh] = TimeFullMaintenance(view, deltas, db);
+  (void)mt;
+  auto [st, samples] = TimeSvcCleaning(view, deltas, db, 0.10);
+  (void)st;
+  const Table* stale = CheckedValue(db.GetTable("cube"), "stale");
+
+  std::printf(
+      "-- Figure 11: cube roll-up accuracy (median relative error, sum of "
+      "revenue) --\n");
+  TablePrinter table({"rollup", "dims", "stale", "svc_aqp_10",
+                      "svc_corr_10"});
+  double s_sum = 0, a_sum = 0, c_sum = 0;
+  int n = 0;
+  for (const auto& vq : TpcdCubeRollups()) {
+    MethodErrors e = EvaluateQuery(*stale, fresh, samples, vq);
+    std::string dims;
+    for (const auto& d : vq.group_by) dims += (dims.empty() ? "" : ",") + d;
+    if (dims.empty()) dims = "(all)";
+    table.AddRow({vq.name, dims, TablePrinter::Pct(e.stale.median),
+                  TablePrinter::Pct(e.aqp.median),
+                  TablePrinter::Pct(e.corr.median)});
+    s_sum += e.stale.median;
+    a_sum += e.aqp.median;
+    c_sum += e.corr.median;
+    ++n;
+  }
+  table.Print();
+  std::printf(
+      "average: stale=%.2f%% aqp=%.2f%% corr=%.2f%% (corr %.1fx better than "
+      "stale, %.1fx than aqp)\n",
+      100 * s_sum / n, 100 * a_sum / n, 100 * c_sum / n,
+      s_sum / std::max(c_sum, 1e-9), a_sum / std::max(c_sum, 1e-9));
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Figure 14 with the mini-batch cluster model (§7.6.2):
+//  (a) throughput vs batch size for the V2- and V5-style views;
+//  (b) the same with two concurrent maintenance threads (IVM + SVC):
+//      small batches lose ~2x throughput, large batches much less.
+
+#include "common/table_printer.h"
+#include "minibatch/cluster_sim.h"
+
+#include <cstdio>
+
+int main() {
+  using namespace svc;
+  // V2 (bytes-transferred view) is cheaper per record than V5 (nested
+  // region grouping).
+  ClusterModel v2;
+  v2.per_record_cost_s = 6.0e-7;
+  ClusterModel v5;
+  v5.per_record_cost_s = 9.5e-7;
+
+  std::printf("-- Figure 14(a): throughput vs batch size (1 thread) --\n");
+  TablePrinter a({"batch_gb", "V2_records_per_s", "V5_records_per_s"});
+  for (double gb : {5.0, 10.0, 20.0, 40.0, 80.0, 120.0, 160.0, 200.0}) {
+    a.AddRow({TablePrinter::Num(gb, 0),
+              TablePrinter::Num(v2.Throughput(gb, 1), 0),
+              TablePrinter::Num(v5.Throughput(gb, 1), 0)});
+  }
+  a.Print();
+
+  std::printf(
+      "\n-- Figure 14(b): throughput vs batch size (2 maintenance "
+      "threads) --\n");
+  TablePrinter b({"batch_gb", "V2_records_per_s", "V5_records_per_s",
+                  "V2_drop", "V5_drop"});
+  for (double gb : {5.0, 10.0, 20.0, 40.0, 80.0, 120.0, 160.0, 200.0}) {
+    const double v2r = v2.Throughput(gb, 2);
+    const double v5r = v5.Throughput(gb, 2);
+    b.AddRow({TablePrinter::Num(gb, 0), TablePrinter::Num(v2r, 0),
+              TablePrinter::Num(v5r, 0),
+              TablePrinter::Num(v2.Throughput(gb, 1) / v2r, 2) + "x",
+              TablePrinter::Num(v5.Throughput(gb, 1) / v5r, 2) + "x"});
+  }
+  b.Print();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Figure 15: at a fixed cluster throughput, the maximum query
+// error during a maintenance period for IVM alone vs IVM+SVC as a function
+// of the SVC sampling ratio. Larger samples estimate better but refresh
+// slower, yielding an interior-optimal ratio — the paper found ~3% for V2
+// and ~6% for V5.
+
+#include "common/table_printer.h"
+#include "minibatch/cluster_sim.h"
+
+#include <cstdio>
+
+namespace {
+
+void Sweep(const char* name, svc::ClusterModel model, double target_rate) {
+  using svc::TablePrinter;
+  // IVM alone can use the smallest batch that sustains the target; running
+  // SVC concurrently forces larger IVM batches (thread contention).
+  const double ivm_only_batch = model.MinBatchForThroughput(target_rate, 1);
+  const double ivm_svc_batch = model.MinBatchForThroughput(target_rate, 2);
+  std::printf(
+      "\n-- Figure 15 (%s): fixed throughput %.0f records/s -> IVM batch "
+      "%.0fGB alone, %.0fGB with SVC --\n",
+      name, target_rate, ivm_only_batch, ivm_svc_batch);
+  const double ivm_err = model.MaxErrorIvmOnly(ivm_only_batch);
+  TablePrinter t({"sampling_ratio", "ivm_svc_max_err", "ivm_only_max_err"});
+  double best = 1e18, best_m = 0;
+  for (double m : {0.01, 0.02, 0.03, 0.05, 0.08, 0.11, 0.14, 0.17, 0.20}) {
+    const double err = model.MaxErrorWithSvc(ivm_svc_batch,
+                                             ivm_svc_batch / 4, m);
+    if (err < best) {
+      best = err;
+      best_m = m;
+    }
+    t.AddRow({TablePrinter::Num(m, 2), TablePrinter::Pct(err, 2),
+              TablePrinter::Pct(ivm_err, 2)});
+  }
+  t.Print();
+  std::printf(
+      "optimal ratio %.2f: IVM+SVC %.2f%% vs IVM alone %.2f%% (%.1fx more "
+      "accurate)\n",
+      best_m, 100 * best, 100 * ivm_err, ivm_err / best);
+}
+
+}  // namespace
+
+int main() {
+  svc::ClusterModel v2;
+  v2.per_record_cost_s = 6.0e-7;
+  svc::ClusterModel v5;
+  v5.per_record_cost_s = 9.5e-7;
+  Sweep("V2", v2, 700000);
+  Sweep("V5", v5, 500000);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Reproduces Figure 16: 1-second CPU-utilization samples of the cluster
+// with periodic IVM alone vs IVM+SVC. SVC soaks up the idle windows that
+// synchronous shuffles leave behind.
+
+#include "common/table_printer.h"
+#include "minibatch/cluster_sim.h"
+
+#include <cstdio>
+#include <string>
+
+int main() {
+  using namespace svc;
+  ClusterModel model;
+  const double duration = 240;
+  const double batch_gb = 40;
+  auto ivm = model.UtilizationTrace(duration, false, batch_gb);
+  auto both = model.UtilizationTrace(duration, true, batch_gb);
+
+  std::printf("-- Figure 16: CPU utilization trace (sampled every 10s) --\n");
+  TablePrinter t({"t_s", "ivm_only", "ivm_plus_svc"});
+  double mean_ivm = 0, mean_both = 0;
+  for (size_t i = 0; i < ivm.size(); ++i) {
+    mean_ivm += ivm[i];
+    mean_both += both[i];
+    if (i % 10 == 0) {
+      t.AddRow({std::to_string(i), TablePrinter::Num(ivm[i], 0) + "%",
+                TablePrinter::Num(both[i], 0) + "%"});
+    }
+  }
+  t.Print();
+  mean_ivm /= ivm.size();
+  mean_both /= both.size();
+  std::printf(
+      "mean utilization: IVM %.1f%%, IVM+SVC %.1f%% — SVC reclaims %.1f "
+      "utilization points from shuffle-idle windows\n",
+      mean_ivm, mean_both, mean_both - mean_ivm);
+  return 0;
+}

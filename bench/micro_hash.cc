@@ -1,0 +1,51 @@
+// Micro-benchmark (google-benchmark): throughput of the hash families the
+// η operator can use, plus η sampling itself. Quantifies the paper's §12.3
+// latency/uniformity trade-off: SHA-1 is the most uniform and the slowest,
+// the linear hash the cheapest.
+
+#include <benchmark/benchmark.h>
+
+#include "common/hash.h"
+
+namespace svc {
+namespace {
+
+void BM_Hash64(benchmark::State& state) {
+  const HashFamily family = static_cast<HashFamily>(state.range(0));
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1024; ++i) {
+    keys.push_back("order-" + std::to_string(i * 7919));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Hash64(keys[i++ & 1023], family));
+  }
+  state.SetLabel(HashFamilyName(family));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Hash64)
+    ->Arg(static_cast<int>(HashFamily::kLinear))
+    ->Arg(static_cast<int>(HashFamily::kSdbm))
+    ->Arg(static_cast<int>(HashFamily::kFnv1a))
+    ->Arg(static_cast<int>(HashFamily::kSha1));
+
+void BM_EtaMembership(benchmark::State& state) {
+  const double m = static_cast<double>(state.range(0)) / 100.0;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1024; ++i) {
+    keys.push_back("pk:" + std::to_string(i));
+  }
+  size_t i = 0;
+  size_t kept = 0;
+  for (auto _ : state) {
+    kept += HashInSample(keys[i++ & 1023], m, HashFamily::kFnv1a) ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(kept);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EtaMembership)->Arg(5)->Arg(10)->Arg(50);
+
+}  // namespace
+}  // namespace svc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// Quickstart: the paper's running example end to end.
+//
+//   1. Create Log(sessionId, videoId) and Video(videoId, ownerId, duration).
+//   2. Materialize visitView = per-video visit counts (defined in SQL).
+//   3. Stream new log records in (the view becomes stale).
+//   4. Ask "how many videos have more than 100 visits?" three ways:
+//      exact-but-stale, SVC+AQP, SVC+CORR — and compare with the truth.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/svc.h"
+#include "sql/planner.h"
+
+using namespace svc;
+
+namespace {
+
+void Check(const Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Val(Result<T> r) {
+  Check(r.status());
+  return std::move(r).value();
+}
+
+}  // namespace
+
+int main() {
+  // ---- 1. Base relations ---------------------------------------------------
+  Database db;
+  Table log(Schema({{"", "sessionId", ValueType::kInt},
+                    {"", "videoId", ValueType::kInt}}));
+  Check(log.SetPrimaryKey({"sessionId"}));
+  Table video(Schema({{"", "videoId", ValueType::kInt},
+                      {"", "ownerId", ValueType::kInt},
+                      {"", "duration", ValueType::kDouble}}));
+  Check(video.SetPrimaryKey({"videoId"}));
+
+  Rng rng(7);
+  Zipfian popularity(200, 1.1);  // a few videos get most visits
+  for (int64_t v = 1; v <= 200; ++v) {
+    Check(video.Insert({Value::Int(v), Value::Int(100 + v % 11),
+                        Value::Double(rng.Uniform(0.2, 3.0))}));
+  }
+  for (int64_t s = 0; s < 30000; ++s) {
+    Check(log.Insert({Value::Int(s),
+                      Value::Int(static_cast<int64_t>(
+                          popularity.Next(&rng)))}));
+  }
+  Check(db.CreateTable("Log", std::move(log)));
+  Check(db.CreateTable("Video", std::move(video)));
+
+  // ---- 2. Materialize the view (SQL front-end) ------------------------------
+  SvcEngine engine(std::move(db));
+  PlanPtr def = Val(SqlToPlan(
+      "SELECT Log.videoId, COUNT(1) AS visitCount "
+      "FROM Log, Video WHERE Log.videoId = Video.videoId "
+      "GROUP BY Log.videoId",
+      *engine.db()));
+  Check(engine.CreateView("visitView", def));
+  std::printf("visitView materialized: %zu videos\n",
+              Val(engine.db()->GetTable("visitView"))->NumRows());
+
+  // ---- 3. New visits arrive (the view is now stale) --------------------------
+  for (int64_t s = 30000; s < 36000; ++s) {
+    Check(engine.InsertRecord(
+        "Log",
+        {Value::Int(s), Value::Int(static_cast<int64_t>(
+                            popularity.Next(&rng)))}));
+  }
+  std::printf("ingested 6000 new visits; view is stale: %s\n",
+              engine.IsStale() ? "yes" : "no");
+
+  // ---- 4. Query three ways ----------------------------------------------------
+  AggregateQuery q = AggregateQuery::Count(
+      Expr::Gt(Expr::Col("visitCount"), Expr::LitInt(100)));
+
+  const double stale = Val(engine.QueryStale("visitView", q));
+  const double truth =
+      Val(ExactAggregate(Val(engine.ComputeFreshView("visitView")), q));
+
+  SvcQueryOptions aqp_opts;
+  aqp_opts.mode = EstimatorMode::kAqp;
+  aqp_opts.ratio = 0.10;
+  SvcAnswer aqp = Val(engine.Query("visitView", q, aqp_opts));
+
+  SvcQueryOptions corr_opts;
+  corr_opts.mode = EstimatorMode::kCorr;
+  corr_opts.ratio = 0.10;
+  SvcAnswer corr = Val(engine.Query("visitView", q, corr_opts));
+
+  std::printf("\nhow many videos have more than 100 visits?\n");
+  std::printf("  truth (fresh view) : %.0f\n", truth);
+  std::printf("  stale view         : %.0f   (error %.1f%%)\n", stale,
+              100 * std::fabs(stale - truth) / truth);
+  std::printf("  SVC+AQP-10%%        : %.1f   [%.1f, %.1f] 95%% CI\n",
+              aqp.estimate.value, aqp.estimate.ci_low, aqp.estimate.ci_high);
+  std::printf("  SVC+CORR-10%%       : %.1f   [%.1f, %.1f] 95%% CI\n",
+              corr.estimate.value, corr.estimate.ci_low,
+              corr.estimate.ci_high);
+
+  // ---- 5. Periodic maintenance catches the view up ----------------------------
+  Check(engine.MaintainAll());
+  std::printf("\nafter MaintainAll: exact answer = %.0f (stale? %s)\n",
+              Val(engine.QueryStale("visitView", q)),
+              engine.IsStale() ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,162 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace svc {
+
+namespace {
+
+uint32_t Rotl32(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+
+uint64_t SplitMix64Fin(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t Sdbm64(std::string_view data) {
+  uint64_t h = 0;
+  for (unsigned char c : data) {
+    h = c + (h << 6) + (h << 16) - h;
+  }
+  // Raw sdbm is poorly mixed in the high bits; finalize so the top bits
+  // (which HashToUnit depends on) are usable.
+  return SplitMix64Fin(h);
+}
+
+uint64_t Linear64(std::string_view data) {
+  // Accumulate bytes with a weak linear recurrence, then one Knuth
+  // multiplicative step. Deliberately the cheapest family.
+  uint64_t h = 0;
+  for (unsigned char c : data) {
+    h = h * 131 + c;
+  }
+  return h * 0x9e3779b97f4a7c15ULL;
+}
+
+}  // namespace
+
+const char* HashFamilyName(HashFamily family) {
+  switch (family) {
+    case HashFamily::kLinear: return "linear";
+    case HashFamily::kSdbm: return "sdbm";
+    case HashFamily::kFnv1a: return "fnv1a";
+    case HashFamily::kSha1: return "sha1";
+  }
+  return "unknown";
+}
+
+std::array<uint8_t, 20> Sha1(std::string_view data) {
+  uint32_t h0 = 0x67452301, h1 = 0xEFCDAB89, h2 = 0x98BADCFE, h3 = 0x10325476,
+           h4 = 0xC3D2E1F0;
+
+  const uint64_t ml = static_cast<uint64_t>(data.size()) * 8;
+  // Message + 0x80 + zero pad + 8-byte big-endian length, to a 64B multiple.
+  size_t padded = data.size() + 1 + 8;
+  padded = (padded + 63) / 64 * 64;
+  std::string buf(padded, '\0');
+  std::memcpy(buf.data(), data.data(), data.size());
+  buf[data.size()] = static_cast<char>(0x80);
+  for (int i = 0; i < 8; ++i) {
+    buf[padded - 1 - i] = static_cast<char>((ml >> (8 * i)) & 0xff);
+  }
+
+  uint32_t w[80];
+  for (size_t chunk = 0; chunk < padded; chunk += 64) {
+    const auto* p = reinterpret_cast<const unsigned char*>(buf.data() + chunk);
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<uint32_t>(p[4 * i]) << 24) |
+             (static_cast<uint32_t>(p[4 * i + 1]) << 16) |
+             (static_cast<uint32_t>(p[4 * i + 2]) << 8) |
+             static_cast<uint32_t>(p[4 * i + 3]);
+    }
+    for (int i = 16; i < 80; ++i) {
+      w[i] = Rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+    }
+    uint32_t a = h0, b = h1, c = h2, d = h3, e = h4;
+    for (int i = 0; i < 80; ++i) {
+      uint32_t f, k;
+      if (i < 20) {
+        f = (b & c) | (~b & d);
+        k = 0x5A827999;
+      } else if (i < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ED9EBA1;
+      } else if (i < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8F1BBCDC;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xCA62C1D6;
+      }
+      const uint32_t tmp = Rotl32(a, 5) + f + e + k + w[i];
+      e = d;
+      d = c;
+      c = Rotl32(b, 30);
+      b = a;
+      a = tmp;
+    }
+    h0 += a;
+    h1 += b;
+    h2 += c;
+    h3 += d;
+    h4 += e;
+  }
+
+  std::array<uint8_t, 20> out;
+  const uint32_t hs[5] = {h0, h1, h2, h3, h4};
+  for (int i = 0; i < 5; ++i) {
+    out[4 * i] = static_cast<uint8_t>(hs[i] >> 24);
+    out[4 * i + 1] = static_cast<uint8_t>(hs[i] >> 16);
+    out[4 * i + 2] = static_cast<uint8_t>(hs[i] >> 8);
+    out[4 * i + 3] = static_cast<uint8_t>(hs[i]);
+  }
+  return out;
+}
+
+std::string Sha1Hex(std::string_view data) {
+  static const char kHex[] = "0123456789abcdef";
+  const auto digest = Sha1(data);
+  std::string out;
+  out.reserve(40);
+  for (uint8_t b : digest) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+uint64_t Hash64(std::string_view data, HashFamily family) {
+  switch (family) {
+    case HashFamily::kLinear: return Linear64(data);
+    case HashFamily::kSdbm: return Sdbm64(data);
+    case HashFamily::kFnv1a: return SplitMix64Fin(Fnv1a64(data));
+    case HashFamily::kSha1: {
+      const auto d = Sha1(data);
+      uint64_t h = 0;
+      for (int i = 0; i < 8; ++i) h = (h << 8) | d[i];
+      return h;
+    }
+  }
+  return 0;
+}
+
+double HashToUnit(std::string_view data, HashFamily family) {
+  // Top 53 bits -> exactly representable double in [0, 1).
+  return static_cast<double>(Hash64(data, family) >> 11) * 0x1.0p-53;
+}
+
+bool HashInSample(std::string_view key, double m, HashFamily family) {
+  return HashToUnit(key, family) < m;
+}
+
+}  // namespace svc

@@ -1,0 +1,49 @@
+#ifndef SVC_COMMON_HASH_H_
+#define SVC_COMMON_HASH_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace svc {
+
+/// Hash families available to the sampling operator η. The paper (§4.4,
+/// §12.3) observes that commonly used hashes — linear, SDBM, MD5, SHA —
+/// behave indistinguishably from a uniform random variable for sampling
+/// purposes (the Simple Uniform Hashing Assumption), with a latency /
+/// uniformity trade-off: Sha1 is the most uniform and the slowest, Linear
+/// the fastest and the least uniform.
+enum class HashFamily {
+  kLinear,  ///< multiplicative (Knuth) congruential hash of FNV pre-mix
+  kSdbm,    ///< classic sdbm string hash, finalized with splitmix64
+  kFnv1a,   ///< FNV-1a 64-bit
+  kSha1,    ///< from-scratch SHA-1, top 64 bits of the digest
+};
+
+/// Returns a short lowercase name ("linear", "sdbm", "fnv1a", "sha1").
+const char* HashFamilyName(HashFamily family);
+
+/// SHA-1 digest (20 bytes) of `data`. Implemented from scratch (FIPS 180-1);
+/// no external crypto dependency.
+std::array<uint8_t, 20> Sha1(std::string_view data);
+
+/// Hex rendering of a SHA-1 digest.
+std::string Sha1Hex(std::string_view data);
+
+/// 64-bit hash of `data` under the chosen family.
+uint64_t Hash64(std::string_view data, HashFamily family);
+
+/// Maps `data` deterministically to the unit interval [0, 1). This is the
+/// hash the η operator compares against the sampling ratio m: a row with
+/// key bytes `data` is in the sample iff HashToUnit(data, f) < m. The map
+/// divides the 64-bit hash by 2^64, mirroring the paper's normalization of
+/// an unsigned hash by MAXINT.
+double HashToUnit(std::string_view data, HashFamily family);
+
+/// Convenience: η membership test for key bytes under sampling ratio m.
+bool HashInSample(std::string_view key, double m, HashFamily family);
+
+}  // namespace svc
+
+#endif  // SVC_COMMON_HASH_H_

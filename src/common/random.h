@@ -1,0 +1,77 @@
+#ifndef SVC_COMMON_RANDOM_H_
+#define SVC_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace svc {
+
+/// Deterministic pseudo-random number generator (xoshiro256**), seeded via
+/// splitmix64. Used by the workload generators and the bootstrap resampler.
+/// Deterministic seeding keeps every experiment reproducible run-to-run.
+class Rng {
+ public:
+  /// Seeds the generator. The same seed always yields the same stream.
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Standard normal variate (Box–Muller).
+  double Gaussian();
+
+  /// Exponential variate with the given rate (mean 1/rate).
+  double Exponential(double rate);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// Random alphanumeric string of length `len`.
+  std::string AlphaNumeric(int len);
+
+  /// Fisher–Yates shuffle of [0, n) index order.
+  std::vector<size_t> Permutation(size_t n);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// Zipfian distribution over {1, ..., n} with exponent `theta` (the paper's
+/// skew parameter z): P(k) ∝ 1 / k^theta. Implemented with a precomputed
+/// cumulative table and binary search so draws are O(log n). theta = 0 is
+/// uniform; larger theta concentrates mass on small ranks, producing the
+/// long-tailed distributions the outlier index targets.
+class Zipfian {
+ public:
+  /// Builds the distribution table. Requires n >= 1 and theta >= 0.
+  Zipfian(uint64_t n, double theta);
+
+  /// Draws a rank in [1, n].
+  uint64_t Next(Rng* rng) const;
+
+  /// Number of distinct values.
+  uint64_t n() const { return n_; }
+  /// Skew exponent.
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[k-1] = P(X <= k)
+};
+
+}  // namespace svc
+
+#endif  // SVC_COMMON_RANDOM_H_

@@ -1,0 +1,166 @@
+#ifndef SVC_COMMON_STATUS_H_
+#define SVC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace svc {
+
+/// Error categories used across the library. Mirrors the usual
+/// database-engine convention (RocksDB / Arrow style): functions that can
+/// fail return a Status (or Result<T>) instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kNotSupported,
+  kOutOfRange,
+  kInternal,
+};
+
+/// A Status encodes either success (ok) or an error code plus a
+/// human-readable message. Statuses are cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  /// Returns an InvalidArgument error.
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  /// Returns a NotFound error.
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  /// Returns an AlreadyExists error.
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  /// Returns a NotSupported error.
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  /// Returns an OutOfRange error.
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  /// Returns an Internal error.
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The error message ("" for OK).
+  const std::string& message() const { return msg_; }
+
+  /// Renders "OK" or "<code>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "Unknown";
+    switch (code_) {
+      case StatusCode::kOk: name = "OK"; break;
+      case StatusCode::kInvalidArgument: name = "InvalidArgument"; break;
+      case StatusCode::kNotFound: name = "NotFound"; break;
+      case StatusCode::kAlreadyExists: name = "AlreadyExists"; break;
+      case StatusCode::kNotSupported: name = "NotSupported"; break;
+      case StatusCode::kOutOfRange: name = "OutOfRange"; break;
+      case StatusCode::kInternal: name = "Internal"; break;
+    }
+    return std::string(name) + ": " + msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Result<T> is either a value of type T or an error Status. Accessing the
+/// value of an errored Result is a programming error (asserts in debug).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs an errored result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+  /// The status (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// The contained value. Aborts with the error message if !ok() — an
+  /// errored Result must be checked, never dereferenced.
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  /// Moves the contained value out. Requires ok().
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+  /// Mutable access to the contained value. Requires ok().
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() called on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status out of the current function.
+#define SVC_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::svc::Status _svc_status = (expr);          \
+    if (!_svc_status.ok()) return _svc_status;   \
+  } while (0)
+
+/// Evaluates `rexpr` (a Result<T>), propagates the error, otherwise assigns
+/// the value to `lhs`.
+#define SVC_ASSIGN_OR_RETURN(lhs, rexpr)            \
+  SVC_ASSIGN_OR_RETURN_IMPL_(                       \
+      SVC_STATUS_CONCAT_(_svc_result, __LINE__), lhs, rexpr)
+
+#define SVC_STATUS_CONCAT_INNER_(a, b) a##b
+#define SVC_STATUS_CONCAT_(a, b) SVC_STATUS_CONCAT_INNER_(a, b)
+#define SVC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace svc
+
+#endif  // SVC_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef SVC_COMMON_STOPWATCH_H_
+#define SVC_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace svc {
+
+/// Wall-clock stopwatch used by the benchmark harness.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace svc
+
+#endif  // SVC_COMMON_STOPWATCH_H_

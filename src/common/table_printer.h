@@ -1,0 +1,38 @@
+#ifndef SVC_COMMON_TABLE_PRINTER_H_
+#define SVC_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace svc {
+
+/// Fixed-width console table used by the benchmark binaries to print the
+/// rows/series each paper figure reports. Collects rows of strings and
+/// renders them with aligned columns plus a rule under the header.
+class TablePrinter {
+ public:
+  /// Creates a printer with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table to a string.
+  std::string ToString() const;
+
+  /// Prints the table to stdout.
+  void Print() const;
+
+  /// Formats a double with `digits` decimal places.
+  static std::string Num(double v, int digits = 3);
+  /// Formats a percentage ("12.3%") with `digits` decimal places.
+  static std::string Pct(double fraction, int digits = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace svc
+
+#endif  // SVC_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,107 @@
+#include "conviva/conviva.h"
+
+namespace svc {
+
+namespace {
+
+Row MakeActivity(int64_t session, const ConvivaConfig& cfg,
+                 const Zipfian& res_zipf, Rng* rng) {
+  const int64_t resource = static_cast<int64_t>(res_zipf.Next(rng));
+  const int64_t user = rng->UniformInt(1, cfg.num_users);
+  const int64_t day = rng->UniformInt(1, cfg.num_days);
+  // ~6% of sessions hit an error; five error classes.
+  const int64_t error = rng->Bernoulli(0.06) ? rng->UniformInt(1, 5) : 0;
+  // Long-tailed transfer volume.
+  const double bytes = rng->Exponential(1.0 / 50.0) * 1e6;
+  const double latency = rng->Exponential(1.0 / 80.0);
+  const int64_t region = rng->UniformInt(1, cfg.num_regions);
+  const int64_t provider = rng->UniformInt(1, cfg.num_providers);
+  return {Value::Int(session),  Value::Int(user),   Value::Int(resource),
+          Value::Int(day),      Value::Int(error),  Value::Double(bytes),
+          Value::Double(latency), Value::Int(region),
+          Value::Int(provider)};
+}
+
+Schema ActivitySchema() {
+  return Schema({{"", "sessionId", ValueType::kInt},
+                 {"", "userId", ValueType::kInt},
+                 {"", "resourceId", ValueType::kInt},
+                 {"", "day", ValueType::kInt},
+                 {"", "errorType", ValueType::kInt},
+                 {"", "bytes", ValueType::kDouble},
+                 {"", "latency", ValueType::kDouble},
+                 {"", "region", ValueType::kInt},
+                 {"", "provider", ValueType::kInt}});
+}
+
+}  // namespace
+
+Result<Database> GenerateConvivaDatabase(const ConvivaConfig& config) {
+  Database db;
+  Table t(ActivitySchema());
+  SVC_RETURN_IF_ERROR(t.SetPrimaryKey({"sessionId"}));
+  Rng rng(config.seed);
+  Zipfian res_zipf(config.num_resources, config.resource_zipf);
+  for (size_t s = 1; s <= config.num_sessions; ++s) {
+    SVC_RETURN_IF_ERROR(t.Insert(
+        MakeActivity(static_cast<int64_t>(s), config, res_zipf, &rng)));
+  }
+  SVC_RETURN_IF_ERROR(db.CreateTable("activity", std::move(t)));
+  return db;
+}
+
+Result<DeltaSet> GenerateConvivaUpdates(const Database& db,
+                                        const ConvivaConfig& config,
+                                        double fraction, uint64_t seed) {
+  DeltaSet deltas;
+  SVC_ASSIGN_OR_RETURN(const Table* t, db.GetTable("activity"));
+  Rng rng(seed);
+  Zipfian res_zipf(config.num_resources, config.resource_zipf);
+  int64_t next = 0;
+  for (const auto& r : t->rows()) next = std::max(next, r[0].AsInt());
+  const size_t n = static_cast<size_t>(t->NumRows() * fraction);
+  for (size_t i = 0; i < n; ++i) {
+    SVC_RETURN_IF_ERROR(deltas.AddInsert(
+        db, "activity", MakeActivity(++next, config, res_zipf, &rng)));
+  }
+  return deltas;
+}
+
+std::vector<ConvivaView> ConvivaViews() {
+  return {
+      {"V1", "error counts by resource, error type, day",
+       "SELECT resourceId, errorType, day, COUNT(1) AS n_errors "
+       "FROM activity WHERE errorType > 0 "
+       "GROUP BY resourceId, errorType, day"},
+      {"V2", "bytes transferred by resource, day",
+       "SELECT resourceId, day, SUM(bytes) AS total_bytes, COUNT(1) AS "
+       "visits FROM activity GROUP BY resourceId, day"},
+      {"V3", "visit counts over a resource-tag expression, user, day",
+       "SELECT tag, day, COUNT(1) AS visits FROM "
+       "(SELECT sessionId, floor(resourceId / 10) AS tag, day "
+       " FROM activity) AS tagged GROUP BY tag, day"},
+      {"V4", "per region/provider traffic statistics",
+       "SELECT region, provider, SUM(bytes) AS total_bytes, "
+       "AVG(latency) AS avg_latency, COUNT(1) AS sessions "
+       "FROM activity GROUP BY region, provider"},
+      {"V5", "per region/provider error profile",
+       "SELECT region, errorType, COUNT(1) AS n "
+       "FROM activity WHERE errorType > 0 GROUP BY region, errorType"},
+      {"V6", "filtered union over resource subsets",
+       "SELECT resourceId, SUM(bytes) AS b, COUNT(1) AS visits "
+       "FROM activity WHERE resourceId <= 50 GROUP BY resourceId "
+       "UNION "
+       "SELECT resourceId, SUM(bytes) AS b, COUNT(1) AS visits "
+       "FROM activity WHERE resourceId > 200 AND resourceId <= 260 "
+       "GROUP BY resourceId"},
+      {"V7", "wide network statistics by resource, day",
+       "SELECT resourceId, day, SUM(bytes) AS total_bytes, "
+       "AVG(bytes) AS avg_bytes, AVG(latency) AS avg_latency, "
+       "COUNT(1) AS sessions FROM activity GROUP BY resourceId, day"},
+      {"V8", "visit statistics by user, day",
+       "SELECT userId, day, COUNT(1) AS visits, SUM(bytes) AS total_bytes "
+       "FROM activity GROUP BY userId, day"},
+  };
+}
+
+}  // namespace svc

@@ -1,0 +1,60 @@
+#ifndef SVC_CONVIVA_CONVIVA_H_
+#define SVC_CONVIVA_CONVIVA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "relational/database.h"
+#include "view/delta.h"
+
+namespace svc {
+
+/// Synthetic stand-in for the paper's Conviva video-distribution log (§7.5):
+/// a denormalized user-activity relation
+///
+///   activity(sessionId, userId, resourceId, day, errorType, bytes,
+///            latency, region, provider)
+///
+/// with Zipfian resource popularity and a long-tailed bytes distribution.
+/// The real dataset is 1TB of production logs; this generator reproduces
+/// its dimensional structure (users × resources × days × regions ×
+/// providers, error codes, transfer volumes) so the paper's eight
+/// summary-statistic views exercise the same code paths.
+struct ConvivaConfig {
+  size_t num_sessions = 50000;
+  size_t num_users = 2000;
+  size_t num_resources = 500;
+  int num_days = 30;
+  int num_regions = 12;
+  int num_providers = 8;
+  double resource_zipf = 1.3;
+  uint64_t seed = 424242;
+};
+
+/// Generates the activity log into a fresh database.
+Result<Database> GenerateConvivaDatabase(const ConvivaConfig& config);
+
+/// Appends `fraction` × current-size new activity records (log data is
+/// append-only, matching the paper's replay of the remaining 200GB as
+/// updates "in the order they arrived").
+Result<DeltaSet> GenerateConvivaUpdates(const Database& db,
+                                        const ConvivaConfig& config,
+                                        double fraction, uint64_t seed);
+
+/// One of the paper's eight summary-statistics views (§12.6.2), as SQL.
+struct ConvivaView {
+  std::string name;
+  std::string description;
+  std::string sql;
+};
+
+/// V1..V8 per the paper's high-level descriptions: error counts, bytes
+/// transferred, visit counts over a resource-tag expression, region/provider
+/// groupings, a filtered union, and wide network/visit statistics.
+std::vector<ConvivaView> ConvivaViews();
+
+}  // namespace svc
+
+#endif  // SVC_CONVIVA_CONVIVA_H_

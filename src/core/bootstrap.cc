@@ -1,0 +1,61 @@
+#include "core/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace svc {
+
+std::vector<size_t> ResampleIndices(size_t n, Rng* rng) {
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) {
+    idx[i] = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+  }
+  return idx;
+}
+
+double MedianInPlace(std::vector<double>* values) {
+  if (values->empty()) return 0.0;
+  auto& v = *values;
+  const size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  double med = v[mid];
+  if (v.size() % 2 == 0) {
+    const double lo = *std::max_element(v.begin(), v.begin() + mid);
+    med = (med + lo) / 2.0;
+  }
+  return med;
+}
+
+double PercentileInPlace(std::vector<double>* values, double p) {
+  if (values->empty()) return 0.0;
+  auto& v = *values;
+  const double pos = p * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(pos));
+  std::nth_element(v.begin(), v.begin() + lo, v.end());
+  const double a = v[lo];
+  if (lo + 1 >= v.size()) return a;
+  const double frac = pos - static_cast<double>(lo);
+  if (frac == 0.0) return a;
+  const double b = *std::min_element(v.begin() + lo + 1, v.end());
+  return a + frac * (b - a);
+}
+
+std::pair<double, double> BootstrapPercentileInterval(
+    const std::function<double(Rng*)>& resample_stat, int iterations,
+    uint64_t seed, double confidence) {
+  Rng rng(seed);
+  std::vector<double> stats;
+  stats.reserve(iterations);
+  for (int i = 0; i < iterations; ++i) {
+    stats.push_back(resample_stat(&rng));
+  }
+  const double alpha = (1.0 - confidence) / 2.0;
+  std::vector<double> copy = stats;
+  const double lo = PercentileInPlace(&copy, alpha);
+  copy = stats;
+  const double hi = PercentileInPlace(&copy, 1.0 - alpha);
+  return {lo, hi};
+}
+
+}  // namespace svc

@@ -1,0 +1,31 @@
+#ifndef SVC_CORE_BOOTSTRAP_H_
+#define SVC_CORE_BOOTSTRAP_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+
+namespace svc {
+
+/// The statistical bootstrap (§5.2.5): repeatedly evaluates `resample_stat`
+/// — a closure that draws one resample (using the provided Rng) and returns
+/// the statistic — and returns the empirical two-sided percentile interval
+/// at `confidence` (e.g. 0.95 -> the 2.5% and 97.5% percentiles).
+std::pair<double, double> BootstrapPercentileInterval(
+    const std::function<double(Rng*)>& resample_stat, int iterations,
+    uint64_t seed, double confidence);
+
+/// Draws a with-replacement resample of `n` indices in [0, n).
+std::vector<size_t> ResampleIndices(size_t n, Rng* rng);
+
+/// Median of `values` (destroys ordering). Returns 0 for empty input.
+double MedianInPlace(std::vector<double>* values);
+
+/// p-th percentile (0..1) of `values` (destroys ordering).
+double PercentileInPlace(std::vector<double>* values, double p);
+
+}  // namespace svc
+
+#endif  // SVC_CORE_BOOTSTRAP_H_

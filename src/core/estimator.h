@@ -1,0 +1,131 @@
+#ifndef SVC_CORE_ESTIMATOR_H_
+#define SVC_CORE_ESTIMATOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/algebra.h"
+#include "relational/table.h"
+#include "sample/cleaner.h"
+
+namespace svc {
+
+/// An aggregate query per §5.1 of the paper:
+///
+///     SELECT f(attr) FROM View WHERE cond(*)
+///
+/// Group-by is modeled as part of the condition (footnote 1); the grouped
+/// helpers below evaluate one such query per group in a single pass.
+struct AggregateQuery {
+  AggFunc func = AggFunc::kCountStar;  ///< sum/count(*)/count/avg/median/min/max
+  ExprPtr attr;        ///< aggregation attribute expression; null for count(*)
+  ExprPtr predicate;   ///< cond(*); null keeps every row
+
+  static AggregateQuery Count(ExprPtr predicate = nullptr) {
+    return {AggFunc::kCountStar, nullptr, std::move(predicate)};
+  }
+  static AggregateQuery Sum(ExprPtr attr, ExprPtr predicate = nullptr) {
+    return {AggFunc::kSum, std::move(attr), std::move(predicate)};
+  }
+  static AggregateQuery Avg(ExprPtr attr, ExprPtr predicate = nullptr) {
+    return {AggFunc::kAvg, std::move(attr), std::move(predicate)};
+  }
+  static AggregateQuery Median(ExprPtr attr, ExprPtr predicate = nullptr) {
+    return {AggFunc::kMedian, std::move(attr), std::move(predicate)};
+  }
+};
+
+/// A point estimate with a confidence interval. For estimators without an
+/// analytic CI (median) the interval comes from the statistical bootstrap;
+/// `has_ci` is false when no interval is available at all.
+struct Estimate {
+  double value = 0.0;
+  double ci_low = 0.0;
+  double ci_high = 0.0;
+  double confidence = 0.95;
+  bool has_ci = false;
+  /// Rows of the (clean) sample the estimate consumed.
+  size_t sample_rows = 0;
+
+  /// Half-width of the confidence interval.
+  double HalfWidth() const { return (ci_high - ci_low) / 2.0; }
+  /// True iff `truth` lies inside the interval.
+  bool Covers(double truth) const {
+    return has_ci && truth >= ci_low && truth <= ci_high;
+  }
+};
+
+/// Estimation knobs shared by the scalar and grouped entry points.
+struct EstimatorOptions {
+  double confidence = 0.95;          ///< CI level (z: 1.96 at 95%, 2.576 at 99%)
+  int bootstrap_iterations = 200;    ///< resamples for bootstrap CIs
+  uint64_t bootstrap_seed = 0xb00ce; ///< deterministic bootstrap
+};
+
+/// Evaluates `q` exactly over a full table (used for the stale baseline,
+/// oracle answers, and the full-view term of SVC+CORR).
+Result<double> ExactAggregate(const Table& view, const AggregateQuery& q);
+
+/// SVC+AQP (§5.1): the direct estimate s·q(Ŝ') from the clean sample, with
+/// a CLT confidence interval for sum/count/avg (§5.2.1; Horvitz–Thompson
+/// variance under the Bernoulli hash-sampling design) and a bootstrap
+/// interval for median.
+Result<Estimate> SvcAqpEstimate(const CorrespondingSamples& samples,
+                                const AggregateQuery& q,
+                                const EstimatorOptions& opts = {});
+
+/// SVC+CORR (§5.1): estimates the staleness correction c from the
+/// corresponding samples via the correspondence-subtract operator −̇
+/// (Definition 4) and applies it to the exact stale answer:
+/// q(S') ≈ q(S) + ĉ. `stale_view` is the full stale view.
+Result<Estimate> SvcCorrEstimate(const Table& stale_view,
+                                 const CorrespondingSamples& samples,
+                                 const AggregateQuery& q,
+                                 const EstimatorOptions& opts = {});
+
+// ---- Grouped variants ------------------------------------------------------
+
+/// Results of evaluating the same aggregate once per group.
+struct GroupedResult {
+  std::vector<std::string> group_columns;
+  std::vector<Row> group_keys;        ///< one entry per group
+  std::vector<Estimate> estimates;    ///< parallel to group_keys
+  std::unordered_map<std::string, size_t> index;  ///< encoded key -> slot
+
+  /// Finds the estimate for an encoded group key; nullptr if the group was
+  /// not observed.
+  const Estimate* Find(const std::string& encoded_key) const {
+    auto it = index.find(encoded_key);
+    return it == index.end() ? nullptr : &estimates[it->second];
+  }
+};
+
+/// Exact per-group evaluation over a full table.
+Result<GroupedResult> ExactAggregateGrouped(
+    const Table& view, const std::vector<std::string>& group_columns,
+    const AggregateQuery& q);
+
+/// Per-group SVC+AQP. Groups absent from the clean sample are absent from
+/// the result (their estimate is zero rows of evidence).
+Result<GroupedResult> SvcAqpEstimateGrouped(
+    const CorrespondingSamples& samples,
+    const std::vector<std::string>& group_columns, const AggregateQuery& q,
+    const EstimatorOptions& opts = {});
+
+/// Per-group SVC+CORR: the exact stale per-group answers corrected by
+/// per-group sampled corrections. Groups seen in neither the stale view
+/// nor the samples are absent.
+Result<GroupedResult> SvcCorrEstimateGrouped(
+    const Table& stale_view, const CorrespondingSamples& samples,
+    const std::vector<std::string>& group_columns, const AggregateQuery& q,
+    const EstimatorOptions& opts = {});
+
+/// z-value for a two-sided normal interval at `confidence` (e.g. 0.95 ->
+/// 1.96). Supports the 0.8–0.999 range via a rational approximation.
+double NormalQuantile(double confidence);
+
+}  // namespace svc
+
+#endif  // SVC_CORE_ESTIMATOR_H_

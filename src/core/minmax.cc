@@ -1,0 +1,69 @@
+#include "core/minmax.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace svc {
+
+namespace {
+
+Result<MinMaxEstimate> Extremum(const Table& stale_view,
+                                const CorrespondingSamples& samples,
+                                const AggregateQuery& q, bool is_max) {
+  AggregateQuery exact_q = q;
+  exact_q.func = is_max ? AggFunc::kMax : AggFunc::kMin;
+  AggregateQuery corr_q = exact_q;
+
+  // Point estimate via the correction rule.
+  SVC_ASSIGN_OR_RETURN(Estimate corr,
+                       SvcCorrEstimate(stale_view, samples, corr_q, {}));
+
+  // Cantelli bound from the clean sample's value distribution.
+  ExprPtr attr = q.attr ? q.attr->Clone() : nullptr;
+  ExprPtr pred = q.predicate ? q.predicate->Clone() : nullptr;
+  if (!attr) {
+    return Status::InvalidArgument("min/max requires an attribute");
+  }
+  SVC_RETURN_IF_ERROR(attr->Bind(samples.fresh.schema()));
+  if (pred) SVC_RETURN_IF_ERROR(pred->Bind(samples.fresh.schema()));
+  std::vector<double> values;
+  for (const auto& r : samples.fresh.rows()) {
+    if (pred && !pred->Eval(r).IsTrue()) continue;
+    const Value v = attr->Eval(r);
+    if (!v.is_null() && v.IsNumeric()) values.push_back(v.ToDouble());
+  }
+  MinMaxEstimate out;
+  out.value = corr.value;
+  out.sample_rows = values.size();
+  if (values.size() >= 2) {
+    double mean = 0;
+    for (double x : values) mean += x;
+    mean /= static_cast<double>(values.size());
+    double var = 0;
+    for (double x : values) var += (x - mean) * (x - mean);
+    var /= static_cast<double>(values.size() - 1);
+    const double eps = is_max ? out.value - mean : mean - out.value;
+    if (eps > 0 && var > 0) {
+      out.tail_probability = var / (var + eps * eps);
+    } else if (var == 0) {
+      out.tail_probability = 0.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<MinMaxEstimate> SvcMaxEstimate(const Table& stale_view,
+                                      const CorrespondingSamples& samples,
+                                      const AggregateQuery& q) {
+  return Extremum(stale_view, samples, q, /*is_max=*/true);
+}
+
+Result<MinMaxEstimate> SvcMinEstimate(const Table& stale_view,
+                                      const CorrespondingSamples& samples,
+                                      const AggregateQuery& q) {
+  return Extremum(stale_view, samples, q, /*is_max=*/false);
+}
+
+}  // namespace svc

@@ -1,0 +1,36 @@
+#ifndef SVC_CORE_MINMAX_H_
+#define SVC_CORE_MINMAX_H_
+
+#include "common/status.h"
+#include "core/estimator.h"
+
+namespace svc {
+
+/// Result of the min/max correction estimator (Appendix §12.1.1): a point
+/// estimate plus a Cantelli bound on the probability that a more extreme
+/// element exists in the unsampled portion of the view — a weaker but
+/// honest guarantee, since extrema cannot be bootstrap-bounded.
+struct MinMaxEstimate {
+  double value = 0.0;
+  /// Upper bound on P(an element beyond `value` exists), from Cantelli's
+  /// inequality: P(X ≥ µ + ε) ≤ σ² / (σ² + ε²).
+  double tail_probability = 1.0;
+  size_t sample_rows = 0;
+};
+
+/// max query: (1) compute row-by-row differences over corresponding keys,
+/// (2) add the largest difference to the stale view's exact max, (3) bound
+/// the chance of a larger unseen element with Cantelli's inequality
+/// evaluated on the clean sample's value distribution.
+Result<MinMaxEstimate> SvcMaxEstimate(const Table& stale_view,
+                                      const CorrespondingSamples& samples,
+                                      const AggregateQuery& q);
+
+/// min counterpart (mirror bound P(X ≤ µ − ε) ≤ σ²/(σ² + ε²)).
+Result<MinMaxEstimate> SvcMinEstimate(const Table& stale_view,
+                                      const CorrespondingSamples& samples,
+                                      const AggregateQuery& q);
+
+}  // namespace svc
+
+#endif  // SVC_CORE_MINMAX_H_

@@ -1,0 +1,89 @@
+#ifndef SVC_CORE_OUTLIER_H_
+#define SVC_CORE_OUTLIER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "core/estimator.h"
+#include "relational/database.h"
+#include "sample/cleaner.h"
+#include "view/delta.h"
+#include "view/view.h"
+
+namespace svc {
+
+/// Configuration of an outlier index on a base-relation attribute (§6.1).
+struct OutlierIndexSpec {
+  std::string base_relation;  ///< e.g. "lineitem"
+  std::string attribute;      ///< e.g. "l_extendedprice"
+  size_t capacity = 100;      ///< size limit k (top-k eviction)
+  /// Explicit threshold t; if unset, the threshold is chosen as the k-th
+  /// largest attribute value in the base relation (the paper's top-k
+  /// strategy, computable in the background during maintenance).
+  std::optional<double> threshold;
+};
+
+/// An index of base records whose attribute exceeds the threshold, built in
+/// a single pass over the base relation and the pending update stream
+/// (§6.1), plus its push-up through the view (§6.2): the set O of
+/// up-to-date view rows whose provenance includes an indexed record, and
+/// the corresponding stale rows (needed by the CORR estimator).
+class OutlierIndex {
+ public:
+  /// Builds the index: chooses the threshold (top-k if unspecified), scans
+  /// the base relation and the delta stream, and keeps at most `capacity`
+  /// records, evicting the smallest.
+  static Result<OutlierIndex> Build(const Database& db, const DeltaSet& deltas,
+                                    const OutlierIndexSpec& spec);
+
+  /// The effective threshold t.
+  double threshold() const { return threshold_; }
+  /// Number of indexed base records.
+  size_t size() const { return records_.size(); }
+  const std::vector<Row>& records() const { return records_; }
+
+  /// Push-up (Definition 5): computes the set of view keys whose rows are
+  /// derived from indexed records and materializes (a) the *up-to-date*
+  /// rows for those keys via keyed cleaning and (b) the *stale* rows.
+  /// Requires the index's base relation to appear below the view's
+  /// sampling operator (the paper's eligibility condition); returns an
+  /// empty context otherwise.
+  struct ViewOutliers {
+    Table fresh;  ///< O ⊂ S′
+    Table stale;  ///< matching stale rows
+    std::shared_ptr<const std::unordered_set<std::string>> keys;
+    bool eligible = false;
+  };
+  Result<ViewOutliers> PushUpToView(const MaterializedView& view,
+                                    const DeltaSet& deltas,
+                                    Database* db) const;
+
+ private:
+  OutlierIndex() = default;
+
+  OutlierIndexSpec spec_;
+  double threshold_ = 0.0;
+  std::vector<Row> records_;  // schema of the base relation
+  Schema base_schema_;
+};
+
+/// Outlier-aware estimation (§6.3): splits the query between the
+/// deterministic outlier rows (sampling ratio 1, zero variance) and the
+/// hash sample restricted to non-outlier keys, then merges. Falls back to
+/// the plain estimators when `outliers.eligible` is false.
+Result<Estimate> SvcAqpEstimateWithOutliers(
+    const CorrespondingSamples& samples,
+    const OutlierIndex::ViewOutliers& outliers, const AggregateQuery& q,
+    const EstimatorOptions& opts = {});
+
+Result<Estimate> SvcCorrEstimateWithOutliers(
+    const Table& stale_view, const CorrespondingSamples& samples,
+    const OutlierIndex::ViewOutliers& outliers, const AggregateQuery& q,
+    const EstimatorOptions& opts = {});
+
+}  // namespace svc
+
+#endif  // SVC_CORE_OUTLIER_H_

@@ -1,0 +1,76 @@
+#include "core/policy.h"
+
+namespace svc {
+
+namespace {
+
+/// Per-row query term: attr·cond for sum, cond for counts, attr (when the
+/// predicate holds) for avg/median.
+Result<std::vector<double>> Terms(const Table& t, const AggregateQuery& q) {
+  ExprPtr pred, attr;
+  if (q.predicate) {
+    pred = q.predicate->Clone();
+    SVC_RETURN_IF_ERROR(pred->Bind(t.schema()));
+  }
+  if (q.attr) {
+    attr = q.attr->Clone();
+    SVC_RETURN_IF_ERROR(attr->Bind(t.schema()));
+  }
+  std::vector<double> out;
+  out.reserve(t.NumRows());
+  for (const auto& r : t.rows()) {
+    const bool p = !pred || pred->Eval(r).IsTrue();
+    double x = 1.0;
+    if (attr) {
+      const Value v = attr->Eval(r);
+      x = (v.is_null() || !v.IsNumeric()) ? 0.0 : v.ToDouble();
+    }
+    out.push_back(p ? x : 0.0);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<PolicyDecision> ChooseEstimator(const CorrespondingSamples& samples,
+                                       const AggregateQuery& q) {
+  SVC_ASSIGN_OR_RETURN(std::vector<double> fresh_terms,
+                       Terms(samples.fresh, q));
+  SVC_ASSIGN_OR_RETURN(std::vector<double> stale_terms,
+                       Terms(samples.stale, q));
+
+  // Pair by key; a key missing on one side contributes zero there.
+  std::unordered_map<std::string, std::pair<double, double>> paired;
+  for (size_t i = 0; i < samples.fresh.NumRows(); ++i) {
+    paired[samples.fresh.EncodedKey(i)].first = fresh_terms[i];
+  }
+  for (size_t i = 0; i < samples.stale.NumRows(); ++i) {
+    paired[samples.stale.EncodedKey(i)].second = stale_terms[i];
+  }
+  const double n = static_cast<double>(paired.size());
+  PolicyDecision d;
+  if (n < 2) {
+    d.mode = EstimatorMode::kCorr;
+    return d;
+  }
+  double mean_f = 0, mean_s = 0;
+  for (const auto& [k, fs] : paired) {
+    mean_f += fs.first;
+    mean_s += fs.second;
+  }
+  mean_f /= n;
+  mean_s /= n;
+  double var_s = 0, cov = 0;
+  for (const auto& [k, fs] : paired) {
+    var_s += (fs.second - mean_s) * (fs.second - mean_s);
+    cov += (fs.second - mean_s) * (fs.first - mean_f);
+  }
+  var_s /= (n - 1);
+  cov /= (n - 1);
+  d.var_stale = var_s;
+  d.cov = cov;
+  d.mode = var_s <= 2 * cov ? EstimatorMode::kCorr : EstimatorMode::kAqp;
+  return d;
+}
+
+}  // namespace svc

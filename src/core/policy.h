@@ -1,0 +1,29 @@
+#ifndef SVC_CORE_POLICY_H_
+#define SVC_CORE_POLICY_H_
+
+#include "common/status.h"
+#include "core/estimator.h"
+
+namespace svc {
+
+/// Which estimator to use for a query (§5.1).
+enum class EstimatorMode { kAqp, kCorr };
+
+/// Diagnostics behind a policy decision.
+struct PolicyDecision {
+  EstimatorMode mode = EstimatorMode::kCorr;
+  double var_stale = 0.0;   ///< estimated σ²_S of the per-row terms
+  double cov = 0.0;         ///< estimated cov(S, S') over corresponding keys
+};
+
+/// The break-even rule of §5.2.2: the correction has lower variance than
+/// the direct estimate iff σ²_S ≤ 2·cov(S, S'). Both moments are estimated
+/// from the corresponding samples' per-row trans terms (missing keys
+/// contribute zero). Applies to sum/count/avg queries; other aggregates
+/// default to CORR when staleness is light.
+Result<PolicyDecision> ChooseEstimator(const CorrespondingSamples& samples,
+                                       const AggregateQuery& q);
+
+}  // namespace svc
+
+#endif  // SVC_CORE_POLICY_H_

@@ -1,0 +1,107 @@
+#include "core/select_clean.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace svc {
+
+namespace {
+
+/// Horvitz–Thompson count estimate from `hits` sampled 0/1 terms.
+Estimate HtCount(size_t hits, double m, const EstimatorOptions& opts) {
+  Estimate e;
+  e.value = static_cast<double>(hits) / m;
+  const double var = (1.0 - m) / (m * m) * static_cast<double>(hits);
+  const double hw = NormalQuantile(opts.confidence) * std::sqrt(var);
+  e.ci_low = e.value - hw;
+  e.ci_high = e.value + hw;
+  e.confidence = opts.confidence;
+  e.has_ci = true;
+  e.sample_rows = hits;
+  return e;
+}
+
+bool RowsEqual(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<CleanedSelect> SvcCleanSelect(const Table& stale_view,
+                                     const CorrespondingSamples& samples,
+                                     const ExprPtr& predicate,
+                                     const EstimatorOptions& opts) {
+  ExprPtr stale_pred, fresh_pred;
+  if (predicate) {
+    stale_pred = predicate->Clone();
+    SVC_RETURN_IF_ERROR(stale_pred->Bind(stale_view.schema()));
+    fresh_pred = predicate->Clone();
+    SVC_RETURN_IF_ERROR(fresh_pred->Bind(samples.fresh.schema()));
+  }
+  if (!stale_view.HasPrimaryKey()) {
+    return Status::InvalidArgument("select cleaning requires a keyed view");
+  }
+
+  // 1. Run the selection on the stale view.
+  std::unordered_map<std::string, Row> result;   // key -> row
+  for (size_t i = 0; i < stale_view.NumRows(); ++i) {
+    const Row& r = stale_view.row(i);
+    if (!stale_pred || stale_pred->Eval(r).IsTrue()) {
+      result.emplace(stale_view.EncodedKey(i), r);
+    }
+  }
+
+  // 2. Walk the clean sample: overwrite updated rows, add new rows.
+  size_t updated = 0, added = 0, deleted = 0;
+  ExprPtr stale_sample_pred;
+  if (predicate) {
+    stale_sample_pred = predicate->Clone();
+    SVC_RETURN_IF_ERROR(stale_sample_pred->Bind(samples.stale.schema()));
+  }
+  for (size_t i = 0; i < samples.fresh.NumRows(); ++i) {
+    const Row& r = samples.fresh.row(i);
+    if (fresh_pred && !fresh_pred->Eval(r).IsTrue()) continue;
+    const std::string key = samples.fresh.EncodedKey(i);
+    auto it = result.find(key);
+    if (it == result.end()) {
+      // Entering the selection (missing row, or newly satisfying rows).
+      result.emplace(key, r);
+      ++added;
+    } else if (!RowsEqual(it->second, r)) {
+      it->second = r;
+      ++updated;
+    }
+  }
+  // 3. Walk the dirty sample: keys that satisfied the predicate before but
+  // are gone (or no longer satisfy) leave the selection.
+  for (size_t i = 0; i < samples.stale.NumRows(); ++i) {
+    const Row& r = samples.stale.row(i);
+    if (stale_sample_pred && !stale_sample_pred->Eval(r).IsTrue()) continue;
+    const std::string key = samples.stale.EncodedKey(i);
+    auto f = samples.fresh.FindByEncodedKey(key);
+    bool still_in = false;
+    if (f.ok()) {
+      const Row& fr = samples.fresh.row(*f);
+      still_in = !fresh_pred || fresh_pred->Eval(fr).IsTrue();
+    }
+    if (!still_in && result.erase(key)) {
+      ++deleted;
+    }
+  }
+
+  CleanedSelect out;
+  Table cleaned(stale_view.schema());
+  for (auto& [k, row] : result) cleaned.AppendUnchecked(std::move(row));
+  SVC_RETURN_IF_ERROR(cleaned.SetPrimaryKey(stale_view.PrimaryKeyNames()));
+  out.rows = std::move(cleaned);
+  out.updated_rows = HtCount(updated, samples.ratio, opts);
+  out.added_rows = HtCount(added, samples.ratio, opts);
+  out.deleted_rows = HtCount(deleted, samples.ratio, opts);
+  return out;
+}
+
+}  // namespace svc

@@ -1,0 +1,35 @@
+#ifndef SVC_CORE_SELECT_CLEAN_H_
+#define SVC_CORE_SELECT_CLEAN_H_
+
+#include "common/status.h"
+#include "core/estimator.h"
+#include "sample/cleaner.h"
+
+namespace svc {
+
+/// Result of cleaning a SELECT query (§12.1.2): the stale selection with
+/// sampled repairs applied, plus three scaled count estimates quantifying
+/// the remaining uncertainty (rows updated / added / deleted across the
+/// whole view, extrapolated from the sample).
+struct CleanedSelect {
+  /// The repaired selection: updated rows overwritten, sampled new rows
+  /// unioned in, sampled missing rows removed.
+  Table rows;
+  Estimate updated_rows;  ///< estimated # of view rows with changed content
+  Estimate added_rows;    ///< estimated # of rows entering the selection
+  Estimate deleted_rows;  ///< estimated # of rows leaving the selection
+};
+
+/// Cleans `SELECT * FROM view WHERE predicate` using the corresponding
+/// samples: lineage (primary keys) identifies which stale result rows are
+/// out of date. The repaired table is exact for every key that landed in
+/// the sample and stale elsewhere; the three estimates bound how much
+/// staleness remains.
+Result<CleanedSelect> SvcCleanSelect(const Table& stale_view,
+                                     const CorrespondingSamples& samples,
+                                     const ExprPtr& predicate,
+                                     const EstimatorOptions& opts = {});
+
+}  // namespace svc
+
+#endif  // SVC_CORE_SELECT_CLEAN_H_

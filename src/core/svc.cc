@@ -1,0 +1,114 @@
+#include "core/svc.h"
+
+#include "relational/executor.h"
+
+namespace svc {
+
+Status SvcEngine::CreateView(const std::string& name, PlanPtr definition,
+                             std::vector<std::string> sampling_key) {
+  SVC_ASSIGN_OR_RETURN(
+      MaterializedView view,
+      MaterializedView::Create(name, std::move(definition), &db_,
+                               std::move(sampling_key)));
+  views_.emplace(name, std::move(view));
+  return Status::OK();
+}
+
+Result<const MaterializedView*> SvcEngine::GetView(
+    const std::string& name) const {
+  auto it = views_.find(name);
+  if (it == views_.end()) return Status::NotFound("no such view: " + name);
+  return &it->second;
+}
+
+std::vector<std::string> SvcEngine::ViewNames() const {
+  std::vector<std::string> names;
+  names.reserve(views_.size());
+  for (const auto& [k, v] : views_) names.push_back(k);
+  return names;
+}
+
+Status SvcEngine::InsertRecord(const std::string& relation, Row row) {
+  SVC_RETURN_IF_ERROR(pending_.AddInsert(db_, relation, std::move(row)));
+  return pending_.Register(&db_);
+}
+
+Status SvcEngine::DeleteRecord(const std::string& relation, Row row) {
+  SVC_RETURN_IF_ERROR(pending_.AddDelete(db_, relation, std::move(row)));
+  return pending_.Register(&db_);
+}
+
+Status SvcEngine::UpdateRecord(const std::string& relation, Row old_row,
+                               Row new_row) {
+  SVC_RETURN_IF_ERROR(pending_.AddUpdate(db_, relation, std::move(old_row),
+                                         std::move(new_row)));
+  return pending_.Register(&db_);
+}
+
+Status SvcEngine::IngestDeltas(DeltaSet&& deltas) {
+  SVC_RETURN_IF_ERROR(pending_.Merge(std::move(deltas)));
+  return pending_.Register(&db_);
+}
+
+Status SvcEngine::MaintainAll() {
+  for (auto& [name, view] : views_) {
+    SVC_ASSIGN_OR_RETURN(MaintenancePlan plan,
+                         BuildMaintenancePlan(view, pending_, db_));
+    SVC_RETURN_IF_ERROR(ApplyMaintenance(view, plan, &db_));
+  }
+  return pending_.ApplyToBase(&db_);
+}
+
+Result<Table> SvcEngine::ComputeFreshView(const std::string& name) const {
+  SVC_ASSIGN_OR_RETURN(const MaterializedView* view, GetView(name));
+  SVC_ASSIGN_OR_RETURN(MaintenancePlan plan,
+                       BuildMaintenancePlan(*view, pending_, db_));
+  if (plan.kind == MaintenanceKind::kNoOp) {
+    SVC_ASSIGN_OR_RETURN(const Table* t, db_.GetTable(name));
+    return *t;
+  }
+  SVC_ASSIGN_OR_RETURN(Table fresh, ExecutePlan(*plan.plan, db_));
+  SVC_RETURN_IF_ERROR(fresh.SetPrimaryKey(view->stored_pk()));
+  return fresh;
+}
+
+Result<CorrespondingSamples> SvcEngine::CleanSample(
+    const std::string& name, const CleanOptions& opts,
+    PushdownReport* report) const {
+  SVC_ASSIGN_OR_RETURN(const MaterializedView* view, GetView(name));
+  return CleanViewSample(*view, pending_, db_, opts, report);
+}
+
+Result<SvcAnswer> SvcEngine::Query(const std::string& name,
+                                   const AggregateQuery& q,
+                                   const SvcQueryOptions& opts) const {
+  SVC_ASSIGN_OR_RETURN(const MaterializedView* view, GetView(name));
+  CleanOptions clean_opts{opts.ratio, opts.family};
+  SVC_ASSIGN_OR_RETURN(CorrespondingSamples samples,
+                       CleanViewSample(*view, pending_, db_, clean_opts));
+
+  SvcAnswer answer;
+  answer.mode_used = opts.mode;
+  if (opts.auto_mode) {
+    SVC_ASSIGN_OR_RETURN(PolicyDecision d, ChooseEstimator(samples, q));
+    answer.mode_used = d.mode;
+  }
+  if (answer.mode_used == EstimatorMode::kAqp) {
+    SVC_ASSIGN_OR_RETURN(answer.estimate,
+                         SvcAqpEstimate(samples, q, opts.estimator));
+  } else {
+    SVC_ASSIGN_OR_RETURN(const Table* stale, db_.GetTable(name));
+    SVC_ASSIGN_OR_RETURN(
+        answer.estimate,
+        SvcCorrEstimate(*stale, samples, q, opts.estimator));
+  }
+  return answer;
+}
+
+Result<double> SvcEngine::QueryStale(const std::string& name,
+                                     const AggregateQuery& q) const {
+  SVC_ASSIGN_OR_RETURN(const Table* stale, db_.GetTable(name));
+  return ExactAggregate(*stale, q);
+}
+
+}  // namespace svc

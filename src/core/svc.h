@@ -1,0 +1,112 @@
+#ifndef SVC_CORE_SVC_H_
+#define SVC_CORE_SVC_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/estimator.h"
+#include "core/policy.h"
+#include "relational/database.h"
+#include "sample/cleaner.h"
+#include "view/delta.h"
+#include "view/maintenance.h"
+#include "view/view.h"
+
+namespace svc {
+
+/// Options for SvcEngine::Query.
+struct SvcQueryOptions {
+  /// Sampling ratio m for the cleaned sample.
+  double ratio = 0.1;
+  /// Hash family for η.
+  HashFamily family = HashFamily::kFnv1a;
+  /// Estimator choice; when `auto_mode` is set the §5.2.2 break-even rule
+  /// picks between AQP and CORR per query.
+  EstimatorMode mode = EstimatorMode::kCorr;
+  bool auto_mode = false;
+  EstimatorOptions estimator;
+};
+
+/// The answer to an SVC query: the estimate plus which estimator produced
+/// it (useful when auto_mode is on).
+struct SvcAnswer {
+  Estimate estimate;
+  EstimatorMode mode_used = EstimatorMode::kCorr;
+};
+
+/// The top-level facade implementing the paper's workflow (§3.2):
+///
+///   1. create materialized views over base relations,
+///   2. ingest deltas (the views become stale; base tables stay at the
+///      old state until maintenance commits),
+///   3. between maintenance periods, answer aggregate queries with bounded
+///      approximations by cleaning a sample of the stale view,
+///   4. periodically run full incremental maintenance and commit.
+///
+/// Thin orchestration over the library modules; benchmarks that need
+/// fine-grained timing call the module APIs directly.
+class SvcEngine {
+ public:
+  /// Takes ownership of the database holding the base relations.
+  explicit SvcEngine(Database db) : db_(std::move(db)) {}
+
+  Database* db() { return &db_; }
+  const Database& db() const { return db_; }
+
+  /// Creates and materializes a view. See MaterializedView::Create.
+  Status CreateView(const std::string& name, PlanPtr definition,
+                    std::vector<std::string> sampling_key = {});
+
+  /// Looks up view metadata.
+  Result<const MaterializedView*> GetView(const std::string& name) const;
+
+  /// Names of all registered views.
+  std::vector<std::string> ViewNames() const;
+
+  // ---- Delta ingestion -----------------------------------------------------
+  Status InsertRecord(const std::string& relation, Row row);
+  Status DeleteRecord(const std::string& relation, Row row);
+  Status UpdateRecord(const std::string& relation, Row old_row, Row new_row);
+  /// Merges a whole batch of deltas.
+  Status IngestDeltas(DeltaSet&& deltas);
+
+  /// Deltas accumulated since the last MaintainAll.
+  const DeltaSet& pending() const { return pending_; }
+  bool IsStale() const { return !pending_.empty(); }
+
+  // ---- Maintenance -----------------------------------------------------------
+  /// Full (incremental where possible) maintenance of every view, then
+  /// commits the pending deltas into the base relations.
+  Status MaintainAll();
+
+  /// Computes the up-to-date contents of one view without applying
+  /// anything (oracle for accuracy evaluation).
+  Result<Table> ComputeFreshView(const std::string& name) const;
+
+  // ---- Sampling & estimation -------------------------------------------------
+  /// Cleans a sample of the named stale view (Problem 1).
+  Result<CorrespondingSamples> CleanSample(
+      const std::string& name, const CleanOptions& opts,
+      PushdownReport* report = nullptr) const;
+
+  /// Answers an aggregate query on the named view with a bounded
+  /// approximation reflecting the pending deltas (Problem 2).
+  Result<SvcAnswer> Query(const std::string& name, const AggregateQuery& q,
+                          const SvcQueryOptions& opts = {}) const;
+
+  /// The (stale) exact answer, for comparison.
+  Result<double> QueryStale(const std::string& name,
+                            const AggregateQuery& q) const;
+
+ private:
+  Database db_;
+  std::map<std::string, MaterializedView> views_;
+  DeltaSet pending_;
+};
+
+}  // namespace svc
+
+#endif  // SVC_CORE_SVC_H_

@@ -1,0 +1,116 @@
+#include "minibatch/cluster_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace svc {
+
+namespace {
+
+/// How much of a second thread's work overlaps the first thread's
+/// shuffle-idle windows, as a function of batch size: larger batches spend
+/// proportionally more wall-clock inside long shuffle barriers, leaving
+/// wider windows for the concurrent thread.
+double IdleOverlap(double batch_gb, double shuffle_idle_frac) {
+  const double x = batch_gb / (batch_gb + 40.0);  // saturating in [0,1)
+  return shuffle_idle_frac * (0.4 + 0.6 * x);
+}
+
+}  // namespace
+
+double ClusterModel::Throughput(double batch_gb, int threads) const {
+  if (batch_gb <= 0) return 0;
+  const double records = batch_gb * records_per_gb * 1000.0;
+  double contention = 1.0;
+  if (threads > 1) {
+    // The extra thread's work that does NOT fit into idle windows stretches
+    // the whole batch (scheduling and compute serialize); larger batches
+    // offer wider shuffle windows to hide it in.
+    const double overlap = IdleOverlap(batch_gb, shuffle_idle_frac);
+    contention = 1.0 + (threads - 1) * (1.0 - overlap) * 0.85;
+  }
+  const double time =
+      (batch_overhead_s + records * per_record_cost_s) * contention;
+  return records / time;
+}
+
+double ClusterModel::MinBatchForThroughput(double target_rate,
+                                           int threads) const {
+  // Throughput is monotone increasing in batch size; bisect.
+  double lo = 0.5, hi = 4096.0;
+  if (Throughput(hi, threads) < target_rate) return -1;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (Throughput(mid, threads) >= target_rate) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double ClusterModel::MaxErrorIvmOnly(double ivm_batch_gb) const {
+  // A batch of B gb takes records(B)/rate to accumulate; by the end of the
+  // period the view lags by the full batch worth of records.
+  const double lag_records = ivm_batch_gb * records_per_gb * 1000.0;
+  return staleness_error_coeff * lag_records / base_records;
+}
+
+double ClusterModel::SvcBatchTime(double svc_batch_gb, double m,
+                                  int threads) const {
+  const double records = svc_batch_gb * records_per_gb * 1000.0;
+  // The SVC job only materializes the sampled fraction of the delta view
+  // (hash push-down), but pays a floor of scan cost on the updates.
+  const double effective = records * std::max(m, 0.02);
+  double contention = threads > 1 ? 1.15 : 1.0;
+  return batch_overhead_s * 0.5 + effective * per_record_cost_s * contention;
+}
+
+double ClusterModel::MaxErrorWithSvc(double ivm_batch_gb, double svc_batch_gb,
+                                     double m) const {
+  (void)svc_batch_gb;
+  if (m <= 0) return MaxErrorIvmOnly(ivm_batch_gb);
+  // Sampling estimation error shrinks with m...
+  const double sampling_error =
+      sampling_error_coeff / std::sqrt(m * base_records);
+  // ...but SVC only gets the cluster's idle windows, so it can sustain a
+  // sampling ratio of at most svc_capacity_ratio; approaching it, the
+  // sample-refresh period (and hence the sample's own staleness) blows up.
+  if (m >= svc_capacity_ratio) return MaxErrorIvmOnly(ivm_batch_gb);
+  const double refresh_period =
+      (0.5 * batch_overhead_s) / (1.0 - m / svc_capacity_ratio);
+  const double lag_records = refresh_period * arrival_rate_records_s;
+  const double residual_staleness =
+      staleness_error_coeff * lag_records / base_records;
+  return sampling_error + residual_staleness;
+}
+
+std::vector<double> ClusterModel::UtilizationTrace(double duration_s,
+                                                   bool with_svc,
+                                                   double batch_gb) const {
+  std::vector<double> trace;
+  const double records = batch_gb * records_per_gb * 1000.0;
+  const double batch_time = batch_overhead_s + records * per_record_cost_s;
+  // Within each batch: compute phases (high utilization) alternate with
+  // shuffle barriers (low utilization).
+  const double phase = std::max(2.0, batch_time / 8.0);
+  double t = 0;
+  while (t < duration_s) {
+    const double in_batch = std::fmod(t, batch_time);
+    const bool shuffle =
+        std::fmod(in_batch, phase) > phase * (1.0 - shuffle_idle_frac);
+    double util = shuffle ? 18.0 : 88.0;
+    if (with_svc && shuffle) {
+      // The concurrent SVC thread soaks up most of the idle window.
+      util = 72.0;
+    } else if (with_svc) {
+      util = 95.0;
+    }
+    trace.push_back(util);
+    t += 1.0;
+  }
+  return trace;
+}
+
+}  // namespace svc

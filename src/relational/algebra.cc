@@ -1,0 +1,302 @@
+#include "relational/algebra.h"
+
+#include <sstream>
+
+#include "relational/database.h"
+
+namespace svc {
+
+ProjectItem PassThroughItem(const Column& column) {
+  return {column.name, Expr::Col(column.FullName()), column.qualifier};
+}
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum: return "sum";
+    case AggFunc::kCount: return "count";
+    case AggFunc::kCountStar: return "count(*)";
+    case AggFunc::kAvg: return "avg";
+    case AggFunc::kMin: return "min";
+    case AggFunc::kMax: return "max";
+    case AggFunc::kMedian: return "median";
+    case AggFunc::kCountDistinct: return "count_distinct";
+  }
+  return "?";
+}
+
+PlanPtr PlanNode::Scan(std::string table, std::string alias) {
+  auto n = PlanPtr(new PlanNode());
+  n->kind_ = PlanKind::kScan;
+  n->alias_ = alias.empty() ? table : std::move(alias);
+  n->table_name_ = std::move(table);
+  return n;
+}
+
+PlanPtr PlanNode::Select(PlanPtr child, ExprPtr predicate) {
+  auto n = PlanPtr(new PlanNode());
+  n->kind_ = PlanKind::kSelect;
+  n->children_.push_back(std::move(child));
+  n->predicate_ = std::move(predicate);
+  return n;
+}
+
+PlanPtr PlanNode::Project(PlanPtr child, std::vector<ProjectItem> items) {
+  auto n = PlanPtr(new PlanNode());
+  n->kind_ = PlanKind::kProject;
+  n->children_.push_back(std::move(child));
+  n->items_ = std::move(items);
+  return n;
+}
+
+PlanPtr PlanNode::Join(PlanPtr left, PlanPtr right, JoinType type,
+                       std::vector<JoinKeyPair> keys, ExprPtr residual,
+                       bool fk_right) {
+  auto n = PlanPtr(new PlanNode());
+  n->kind_ = PlanKind::kJoin;
+  n->children_.push_back(std::move(left));
+  n->children_.push_back(std::move(right));
+  n->join_type_ = type;
+  n->join_keys_ = std::move(keys);
+  n->predicate_ = std::move(residual);
+  n->fk_right_ = fk_right;
+  return n;
+}
+
+PlanPtr PlanNode::Aggregate(PlanPtr child, std::vector<std::string> group_by,
+                            std::vector<AggItem> aggs) {
+  auto n = PlanPtr(new PlanNode());
+  n->kind_ = PlanKind::kAggregate;
+  n->children_.push_back(std::move(child));
+  n->group_by_ = std::move(group_by);
+  n->aggs_ = std::move(aggs);
+  return n;
+}
+
+PlanPtr PlanNode::Union(PlanPtr left, PlanPtr right) {
+  auto n = PlanPtr(new PlanNode());
+  n->kind_ = PlanKind::kUnion;
+  n->children_.push_back(std::move(left));
+  n->children_.push_back(std::move(right));
+  return n;
+}
+
+PlanPtr PlanNode::Intersect(PlanPtr left, PlanPtr right) {
+  auto n = PlanPtr(new PlanNode());
+  n->kind_ = PlanKind::kIntersect;
+  n->children_.push_back(std::move(left));
+  n->children_.push_back(std::move(right));
+  return n;
+}
+
+PlanPtr PlanNode::Difference(PlanPtr left, PlanPtr right) {
+  auto n = PlanPtr(new PlanNode());
+  n->kind_ = PlanKind::kDifference;
+  n->children_.push_back(std::move(left));
+  n->children_.push_back(std::move(right));
+  return n;
+}
+
+PlanPtr PlanNode::HashFilter(PlanPtr child, std::vector<std::string> cols,
+                             double ratio, HashFamily family) {
+  auto n = PlanPtr(new PlanNode());
+  n->kind_ = PlanKind::kHashFilter;
+  n->children_.push_back(std::move(child));
+  n->hash_cols_ = std::move(cols);
+  n->hash_ratio_ = ratio;
+  n->hash_family_ = family;
+  return n;
+}
+
+PlanPtr PlanNode::KeySetFilter(
+    PlanPtr child, std::vector<std::string> cols,
+    std::shared_ptr<const std::unordered_set<std::string>> keys) {
+  auto n = PlanPtr(new PlanNode());
+  n->kind_ = PlanKind::kHashFilter;
+  n->children_.push_back(std::move(child));
+  n->hash_cols_ = std::move(cols);
+  n->key_set_ = std::move(keys);
+  return n;
+}
+
+PlanPtr PlanNode::Clone() const {
+  auto n = PlanPtr(new PlanNode());
+  n->kind_ = kind_;
+  n->table_name_ = table_name_;
+  n->alias_ = alias_;
+  if (predicate_) n->predicate_ = predicate_->Clone();
+  n->items_.reserve(items_.size());
+  for (const auto& it : items_) {
+    n->items_.push_back({it.alias, it.expr->Clone(), it.out_qualifier});
+  }
+  n->join_type_ = join_type_;
+  n->join_keys_ = join_keys_;
+  n->fk_right_ = fk_right_;
+  n->group_by_ = group_by_;
+  n->aggs_.reserve(aggs_.size());
+  for (const auto& a : aggs_) {
+    n->aggs_.push_back({a.func, a.input ? a.input->Clone() : nullptr,
+                        a.alias});
+  }
+  n->hash_cols_ = hash_cols_;
+  n->hash_ratio_ = hash_ratio_;
+  n->hash_family_ = hash_family_;
+  n->key_set_ = key_set_;
+  n->derived_pk_ = derived_pk_;
+  n->children_.reserve(children_.size());
+  for (const auto& c : children_) n->children_.push_back(c->Clone());
+  return n;
+}
+
+std::string PlanNode::ToString(int indent) const {
+  std::ostringstream os;
+  const std::string pad(indent * 2, ' ');
+  os << pad;
+  switch (kind_) {
+    case PlanKind::kScan:
+      os << "Scan(" << table_name_;
+      if (alias_ != table_name_) os << " AS " << alias_;
+      os << ")";
+      break;
+    case PlanKind::kSelect:
+      os << "Select[" << predicate_->ToString() << "]";
+      break;
+    case PlanKind::kProject: {
+      os << "Project[";
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i) os << ", ";
+        os << items_[i].alias << " := " << items_[i].expr->ToString();
+      }
+      os << "]";
+      break;
+    }
+    case PlanKind::kJoin: {
+      const char* t = join_type_ == JoinType::kInner  ? "Inner"
+                      : join_type_ == JoinType::kLeft ? "Left"
+                      : join_type_ == JoinType::kRight ? "Right"
+                                                       : "Full";
+      os << t << "Join[";
+      for (size_t i = 0; i < join_keys_.size(); ++i) {
+        if (i) os << " AND ";
+        os << join_keys_[i].left << " = " << join_keys_[i].right;
+      }
+      if (predicate_) os << " | " << predicate_->ToString();
+      if (fk_right_) os << " | fk";
+      os << "]";
+      break;
+    }
+    case PlanKind::kAggregate: {
+      os << "Aggregate[group by: ";
+      for (size_t i = 0; i < group_by_.size(); ++i) {
+        if (i) os << ", ";
+        os << group_by_[i];
+      }
+      os << " | ";
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        if (i) os << ", ";
+        os << aggs_[i].alias << " := " << AggFuncName(aggs_[i].func);
+        if (aggs_[i].input) os << "(" << aggs_[i].input->ToString() << ")";
+      }
+      os << "]";
+      break;
+    }
+    case PlanKind::kUnion: os << "Union"; break;
+    case PlanKind::kIntersect: os << "Intersect"; break;
+    case PlanKind::kDifference: os << "Difference"; break;
+    case PlanKind::kHashFilter: {
+      if (key_set_) {
+        os << "KeySetFilter[" << key_set_->size() << " keys](";
+        for (size_t i = 0; i < hash_cols_.size(); ++i) {
+          if (i) os << ", ";
+          os << hash_cols_[i];
+        }
+        os << ")";
+        break;
+      }
+      os << "HashFilter[eta(";
+      for (size_t i = 0; i < hash_cols_.size(); ++i) {
+        if (i) os << ", ";
+        os << hash_cols_[i];
+      }
+      os << "), m=" << hash_ratio_ << ", " << HashFamilyName(hash_family_)
+         << "]";
+      break;
+    }
+  }
+  if (!derived_pk_.empty()) {
+    os << " pk={";
+    for (size_t i = 0; i < derived_pk_.size(); ++i) {
+      if (i) os << ", ";
+      os << derived_pk_[i];
+    }
+    os << "}";
+  }
+  os << "\n";
+  for (const auto& c : children_) os << c->ToString(indent + 1);
+  return os.str();
+}
+
+Result<Schema> ComputeSchema(const PlanNode& plan, const Database& db) {
+  switch (plan.kind()) {
+    case PlanKind::kScan: {
+      SVC_ASSIGN_OR_RETURN(const Table* t, db.GetTable(plan.table_name()));
+      return t->schema().WithQualifier(plan.alias());
+    }
+    case PlanKind::kSelect:
+    case PlanKind::kHashFilter:
+      return ComputeSchema(*plan.child(0), db);
+    case PlanKind::kProject: {
+      SVC_ASSIGN_OR_RETURN(Schema in, ComputeSchema(*plan.child(0), db));
+      Schema out;
+      for (const auto& item : plan.project_items()) {
+        ExprPtr e = item.expr->Clone();
+        SVC_RETURN_IF_ERROR(e->Bind(in));
+        out.AddColumn({item.out_qualifier, item.alias, e->result_type()});
+      }
+      return out;
+    }
+    case PlanKind::kJoin: {
+      SVC_ASSIGN_OR_RETURN(Schema l, ComputeSchema(*plan.child(0), db));
+      SVC_ASSIGN_OR_RETURN(Schema r, ComputeSchema(*plan.child(1), db));
+      return Schema::Concat(l, r);
+    }
+    case PlanKind::kAggregate: {
+      SVC_ASSIGN_OR_RETURN(Schema in, ComputeSchema(*plan.child(0), db));
+      Schema out;
+      for (const auto& g : plan.group_by()) {
+        SVC_ASSIGN_OR_RETURN(size_t idx, in.Resolve(g));
+        Column c = in.column(idx);
+        out.AddColumn(c);
+      }
+      for (const auto& a : plan.aggregates()) {
+        ValueType t = ValueType::kInt;
+        if (a.func == AggFunc::kAvg || a.func == AggFunc::kMedian) {
+          t = ValueType::kDouble;
+        } else if (a.func == AggFunc::kSum || a.func == AggFunc::kMin ||
+                   a.func == AggFunc::kMax) {
+          if (a.input) {
+            ExprPtr e = a.input->Clone();
+            SVC_RETURN_IF_ERROR(e->Bind(in));
+            t = e->result_type();
+          }
+        }
+        out.AddColumn({"", a.alias, t});
+      }
+      return out;
+    }
+    case PlanKind::kUnion:
+    case PlanKind::kIntersect:
+    case PlanKind::kDifference: {
+      SVC_ASSIGN_OR_RETURN(Schema l, ComputeSchema(*plan.child(0), db));
+      SVC_ASSIGN_OR_RETURN(Schema r, ComputeSchema(*plan.child(1), db));
+      if (l.NumColumns() != r.NumColumns()) {
+        return Status::InvalidArgument(
+            "set operation arity mismatch: " + l.ToString() + " vs " +
+            r.ToString());
+      }
+      return l;
+    }
+  }
+  return Status::Internal("unreachable plan kind");
+}
+
+}  // namespace svc

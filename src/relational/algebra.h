@@ -1,0 +1,197 @@
+#ifndef SVC_RELATIONAL_ALGEBRA_H_
+#define SVC_RELATIONAL_ALGEBRA_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "relational/expr.h"
+#include "relational/schema.h"
+
+namespace svc {
+
+class Database;
+
+/// Operators of the paper's view-definition language (§3.1): Select σ,
+/// generalized Project Π, Join ⋈ (inner and outer), Aggregation γ, Union,
+/// Intersection, Difference — plus the sampling operator η (kHashFilter)
+/// from §4.4 that SVC splices into maintenance plans.
+enum class PlanKind {
+  kScan,
+  kSelect,
+  kProject,
+  kJoin,
+  kAggregate,
+  kUnion,
+  kIntersect,
+  kDifference,
+  kHashFilter,
+};
+
+enum class JoinType { kInner, kLeft, kRight, kFull };
+
+/// Aggregate functions supported by γ. kCountStar counts rows; all others
+/// skip NULL inputs. kMedian and kPercentile are the paper's "cannot be
+/// expressed as a sample mean" class (bootstrap-bounded).
+enum class AggFunc {
+  kSum,
+  kCount,      ///< count of non-null values of the input expression
+  kCountStar,  ///< count(1)
+  kAvg,
+  kMin,
+  kMax,
+  kMedian,
+  kCountDistinct,
+};
+
+/// Returns "sum" / "count" / ... for display.
+const char* AggFuncName(AggFunc f);
+
+/// One generalized-projection output: `alias` := `expr`. `out_qualifier`
+/// optionally carries a relation qualifier into the output column so that
+/// rewrites (e.g. the signed-delta derivation) can pass columns through a
+/// projection without losing their qualified names.
+struct ProjectItem {
+  std::string alias;
+  ExprPtr expr;
+  std::string out_qualifier;
+
+  /// The output column's full reference name.
+  std::string FullName() const {
+    return out_qualifier.empty() ? alias : out_qualifier + "." + alias;
+  }
+};
+
+/// A pass-through projection item for `column` (keeps qualifier and name).
+ProjectItem PassThroughItem(const Column& column);
+
+/// One aggregate output: `alias` := func(input). `input` is null for
+/// count(*).
+struct AggItem {
+  AggFunc func = AggFunc::kCountStar;
+  ExprPtr input;  // may be null for kCountStar
+  std::string alias;
+};
+
+/// One equi-join key pair: left column ref = right column ref.
+struct JoinKeyPair {
+  std::string left;
+  std::string right;
+};
+
+class PlanNode;
+using PlanPtr = std::shared_ptr<PlanNode>;
+
+/// A node of a relational-algebra expression tree. Trees are immutable by
+/// convention: rewriters (hash push-down, maintenance-strategy builders)
+/// Clone() before editing. `derived_pk` is filled in by
+/// DerivePrimaryKeys() (Definition 2) and names the attribute set that
+/// uniquely identifies each output row.
+class PlanNode {
+ public:
+  // ---- Factories ----------------------------------------------------------
+  /// Scan of catalog table `table`, exposed under `alias` (defaults to the
+  /// table name).
+  static PlanPtr Scan(std::string table, std::string alias = "");
+  /// σ_predicate(child).
+  static PlanPtr Select(PlanPtr child, ExprPtr predicate);
+  /// Generalized projection Π_items(child).
+  static PlanPtr Project(PlanPtr child, std::vector<ProjectItem> items);
+  /// Equi-join on `keys` with optional residual predicate. `fk_right`
+  /// declares that the right side is a dimension relation whose primary key
+  /// equals the right join keys (at most one match per left row) — the
+  /// foreign-key special case of the push-down rules.
+  static PlanPtr Join(PlanPtr left, PlanPtr right, JoinType type,
+                      std::vector<JoinKeyPair> keys, ExprPtr residual = nullptr,
+                      bool fk_right = false);
+  /// γ_{aggs, group_by}(child).
+  static PlanPtr Aggregate(PlanPtr child, std::vector<std::string> group_by,
+                           std::vector<AggItem> aggs);
+  /// Set union / intersection / difference (set semantics; schemas must be
+  /// position-compatible).
+  static PlanPtr Union(PlanPtr left, PlanPtr right);
+  static PlanPtr Intersect(PlanPtr left, PlanPtr right);
+  static PlanPtr Difference(PlanPtr left, PlanPtr right);
+  /// The sampling operator η_{cols, ratio}: keeps rows whose deterministic
+  /// hash of `cols` lands below `ratio` (§4.4).
+  static PlanPtr HashFilter(PlanPtr child, std::vector<std::string> cols,
+                            double ratio, HashFamily family);
+  /// A deterministic key-membership filter: keeps rows whose encoded `cols`
+  /// value is in `keys`. Obeys the same push-down rules as η; used by the
+  /// outlier-index push-up (Definition 5) to materialize exactly the view
+  /// rows affected by indexed records.
+  static PlanPtr KeySetFilter(
+      PlanPtr child, std::vector<std::string> cols,
+      std::shared_ptr<const std::unordered_set<std::string>> keys);
+
+  // ---- Introspection ------------------------------------------------------
+  PlanKind kind() const { return kind_; }
+  const std::vector<PlanPtr>& children() const { return children_; }
+  PlanPtr child(size_t i) const { return children_[i]; }
+  /// Replaces child `i` (used by rewriters on cloned trees).
+  void set_child(size_t i, PlanPtr c) { children_[i] = std::move(c); }
+
+  const std::string& table_name() const { return table_name_; }
+  const std::string& alias() const { return alias_; }
+  const ExprPtr& predicate() const { return predicate_; }
+  const std::vector<ProjectItem>& project_items() const { return items_; }
+  JoinType join_type() const { return join_type_; }
+  const std::vector<JoinKeyPair>& join_keys() const { return join_keys_; }
+  const ExprPtr& join_residual() const { return predicate_; }
+  bool fk_right() const { return fk_right_; }
+  const std::vector<std::string>& group_by() const { return group_by_; }
+  const std::vector<AggItem>& aggregates() const { return aggs_; }
+  const std::vector<std::string>& hash_columns() const { return hash_cols_; }
+  double hash_ratio() const { return hash_ratio_; }
+  HashFamily hash_family() const { return hash_family_; }
+  /// Non-null when this filter node is a key-set filter rather than η.
+  const std::shared_ptr<const std::unordered_set<std::string>>& key_set()
+      const {
+    return key_set_;
+  }
+
+  /// Primary key attribute names derived by DerivePrimaryKeys (empty until
+  /// derived, or underivable for this node).
+  const std::vector<std::string>& derived_pk() const { return derived_pk_; }
+  void set_derived_pk(std::vector<std::string> pk) {
+    derived_pk_ = std::move(pk);
+  }
+
+  /// Deep copy of the tree (expressions cloned too).
+  PlanPtr Clone() const;
+
+  /// Multi-line indented rendering of the tree.
+  std::string ToString(int indent = 0) const;
+
+ private:
+  PlanNode() = default;
+
+  PlanKind kind_ = PlanKind::kScan;
+  std::vector<PlanPtr> children_;
+
+  std::string table_name_;
+  std::string alias_;
+  ExprPtr predicate_;  // select predicate or join residual
+  std::vector<ProjectItem> items_;
+  JoinType join_type_ = JoinType::kInner;
+  std::vector<JoinKeyPair> join_keys_;
+  bool fk_right_ = false;
+  std::vector<std::string> group_by_;
+  std::vector<AggItem> aggs_;
+  std::vector<std::string> hash_cols_;
+  double hash_ratio_ = 1.0;
+  HashFamily hash_family_ = HashFamily::kFnv1a;
+  std::shared_ptr<const std::unordered_set<std::string>> key_set_;
+
+  std::vector<std::string> derived_pk_;
+};
+
+/// Computes the output schema of `plan` against `db` without executing it.
+Result<Schema> ComputeSchema(const PlanNode& plan, const Database& db);
+
+}  // namespace svc
+
+#endif  // SVC_RELATIONAL_ALGEBRA_H_

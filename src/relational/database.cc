@@ -1,0 +1,43 @@
+#include "relational/database.h"
+
+namespace svc {
+
+Status Database::CreateTable(const std::string& name, Table table) {
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  tables_[name] = std::make_unique<Table>(std::move(table));
+  return Status::OK();
+}
+
+void Database::PutTable(const std::string& name, Table table) {
+  tables_[name] = std::make_unique<Table>(std::move(table));
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return static_cast<const Table*>(it->second.get());
+}
+
+Result<Table*> Database::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return it->second.get();
+}
+
+Status Database::DropTable(const std::string& name) {
+  if (!tables_.erase(name)) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [k, v] : tables_) names.push_back(k);
+  return names;
+}
+
+}  // namespace svc

@@ -1,0 +1,53 @@
+#ifndef SVC_RELATIONAL_DATABASE_H_
+#define SVC_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace svc {
+
+/// Catalog of named base relations (and, for SVC, registered delta
+/// relations and materialized views — they are all just tables).
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  /// Registers `table` under `name`; fails with AlreadyExists on collision.
+  Status CreateTable(const std::string& name, Table table);
+
+  /// Registers or replaces.
+  void PutTable(const std::string& name, Table table);
+
+  /// Looks up a table; NotFound if absent.
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  /// Mutable lookup; NotFound if absent.
+  Result<Table*> GetMutableTable(const std::string& name);
+
+  /// True iff `name` is registered.
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  /// Removes a table; NotFound if absent.
+  Status DropTable(const std::string& name);
+
+  /// Names of all registered tables (sorted).
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace svc
+
+#endif  // SVC_RELATIONAL_DATABASE_H_

@@ -1,0 +1,438 @@
+#include "relational/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace svc {
+
+namespace {
+
+/// Returns true if any of the row's `indices` is NULL (such join keys never
+/// match).
+bool AnyNull(const Row& row, const std::vector<size_t>& indices) {
+  for (size_t i : indices) {
+    if (row[i].is_null()) return true;
+  }
+  return false;
+}
+
+/// Accumulator for one aggregate over one group.
+struct AggState {
+  int64_t count = 0;         // non-null inputs (or rows for count(*))
+  int64_t isum = 0;          // integer sum
+  double dsum = 0.0;         // double sum
+  bool int_input = true;     // all inputs so far were ints
+  Value min_v;               // running min (NULL = none)
+  Value max_v;               // running max (NULL = none)
+  std::vector<double> values;               // for median
+  std::unordered_set<std::string> distinct;  // for count_distinct
+};
+
+}  // namespace
+
+Result<Table> Executor::Execute(const PlanNode& plan) {
+  switch (plan.kind()) {
+    case PlanKind::kScan: return ExecScan(plan);
+    case PlanKind::kSelect: return ExecSelect(plan);
+    case PlanKind::kProject: return ExecProject(plan);
+    case PlanKind::kJoin: return ExecJoin(plan);
+    case PlanKind::kAggregate: return ExecAggregate(plan);
+    case PlanKind::kUnion:
+    case PlanKind::kIntersect:
+    case PlanKind::kDifference: return ExecSetOp(plan);
+    case PlanKind::kHashFilter: return ExecHashFilter(plan);
+  }
+  return Status::Internal("unreachable plan kind");
+}
+
+Result<Table> Executor::ExecScan(const PlanNode& plan) {
+  SVC_ASSIGN_OR_RETURN(const Table* t, db_->GetTable(plan.table_name()));
+  Table out(t->schema().WithQualifier(plan.alias()));
+  for (const auto& r : t->rows()) out.AppendUnchecked(r);
+  return out;
+}
+
+Result<Table> Executor::ExecSelect(const PlanNode& plan) {
+  SVC_ASSIGN_OR_RETURN(Table in, Execute(*plan.child(0)));
+  ExprPtr pred = plan.predicate()->Clone();
+  SVC_RETURN_IF_ERROR(pred->Bind(in.schema()));
+  Table out(in.schema());
+  for (const auto& r : in.rows()) {
+    if (pred->Eval(r).IsTrue()) out.AppendUnchecked(r);
+  }
+  return out;
+}
+
+Result<Table> Executor::ExecProject(const PlanNode& plan) {
+  SVC_ASSIGN_OR_RETURN(Table in, Execute(*plan.child(0)));
+  Schema out_schema;
+  std::vector<ExprPtr> exprs;
+  exprs.reserve(plan.project_items().size());
+  for (const auto& item : plan.project_items()) {
+    ExprPtr e = item.expr->Clone();
+    SVC_RETURN_IF_ERROR(e->Bind(in.schema()));
+    out_schema.AddColumn({item.out_qualifier, item.alias, e->result_type()});
+    exprs.push_back(std::move(e));
+  }
+  Table out(out_schema);
+  for (const auto& r : in.rows()) {
+    Row row;
+    row.reserve(exprs.size());
+    for (const auto& e : exprs) row.push_back(e->Eval(r));
+    out.AppendUnchecked(std::move(row));
+  }
+  return out;
+}
+
+Result<Table> Executor::ExecJoin(const PlanNode& plan) {
+  SVC_ASSIGN_OR_RETURN(Table left, Execute(*plan.child(0)));
+  SVC_ASSIGN_OR_RETURN(Table right, Execute(*plan.child(1)));
+
+  std::vector<std::string> lrefs, rrefs;
+  for (const auto& k : plan.join_keys()) {
+    lrefs.push_back(k.left);
+    rrefs.push_back(k.right);
+  }
+  SVC_ASSIGN_OR_RETURN(std::vector<size_t> lidx,
+                       left.schema().ResolveAll(lrefs));
+  SVC_ASSIGN_OR_RETURN(std::vector<size_t> ridx,
+                       right.schema().ResolveAll(rrefs));
+
+  const Schema out_schema = Schema::Concat(left.schema(), right.schema());
+  ExprPtr residual;
+  if (plan.join_residual()) {
+    residual = plan.join_residual()->Clone();
+    SVC_RETURN_IF_ERROR(residual->Bind(out_schema));
+  }
+
+  const JoinType jt = plan.join_type();
+
+  // For inner joins, hash-build on the smaller input (delta-side inputs of
+  // maintenance plans are often tiny next to the base relation they join).
+  if (jt == JoinType::kInner && left.NumRows() < right.NumRows()) {
+    std::unordered_multimap<std::string, size_t> build;
+    build.reserve(left.NumRows() * 2);
+    for (size_t i = 0; i < left.NumRows(); ++i) {
+      if (AnyNull(left.row(i), lidx)) continue;
+      build.emplace(EncodeRowKey(left.row(i), lidx), i);
+    }
+    Table out(out_schema);
+    for (size_t j = 0; j < right.NumRows(); ++j) {
+      const Row& r = right.row(j);
+      if (AnyNull(r, ridx)) continue;
+      const std::string key = EncodeRowKey(r, ridx);
+      auto [it, end] = build.equal_range(key);
+      for (; it != end; ++it) {
+        Row combined = left.row(it->second);
+        combined.insert(combined.end(), r.begin(), r.end());
+        if (residual && !residual->Eval(combined).IsTrue()) continue;
+        out.AppendUnchecked(std::move(combined));
+      }
+    }
+    return out;
+  }
+
+  // Build side: right.
+  std::unordered_multimap<std::string, size_t> build;
+  build.reserve(right.NumRows() * 2);
+  for (size_t i = 0; i < right.NumRows(); ++i) {
+    if (AnyNull(right.row(i), ridx)) continue;
+    build.emplace(EncodeRowKey(right.row(i), ridx), i);
+  }
+
+  std::vector<char> right_matched(right.NumRows(), 0);
+  Table out(out_schema);
+
+  auto emit = [&](const Row* l, const Row* r) {
+    Row row;
+    row.reserve(out_schema.NumColumns());
+    if (l) {
+      row.insert(row.end(), l->begin(), l->end());
+    } else {
+      row.resize(left.schema().NumColumns());
+    }
+    if (r) {
+      row.insert(row.end(), r->begin(), r->end());
+    } else {
+      row.resize(out_schema.NumColumns());
+    }
+    out.AppendUnchecked(std::move(row));
+  };
+
+  for (size_t i = 0; i < left.NumRows(); ++i) {
+    const Row& l = left.row(i);
+    bool matched = false;
+    if (!AnyNull(l, lidx)) {
+      const std::string key = EncodeRowKey(l, lidx);
+      auto [it, end] = build.equal_range(key);
+      for (; it != end; ++it) {
+        const Row& r = right.row(it->second);
+        if (residual) {
+          Row combined = l;
+          combined.insert(combined.end(), r.begin(), r.end());
+          if (!residual->Eval(combined).IsTrue()) continue;
+          matched = true;
+          right_matched[it->second] = 1;
+          out.AppendUnchecked(std::move(combined));
+          continue;
+        }
+        matched = true;
+        right_matched[it->second] = 1;
+        emit(&l, &r);
+      }
+    }
+    if (!matched && (jt == JoinType::kLeft || jt == JoinType::kFull)) {
+      emit(&l, nullptr);
+    }
+  }
+  if (jt == JoinType::kRight || jt == JoinType::kFull) {
+    for (size_t i = 0; i < right.NumRows(); ++i) {
+      if (!right_matched[i]) emit(nullptr, &right.row(i));
+    }
+  }
+  return out;
+}
+
+Result<Table> Executor::ExecAggregate(const PlanNode& plan) {
+  SVC_ASSIGN_OR_RETURN(Table in, Execute(*plan.child(0)));
+  SVC_ASSIGN_OR_RETURN(std::vector<size_t> gidx,
+                       in.schema().ResolveAll(plan.group_by()));
+
+  const auto& aggs = plan.aggregates();
+  std::vector<ExprPtr> inputs(aggs.size());
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    if (aggs[a].input) {
+      inputs[a] = aggs[a].input->Clone();
+      SVC_RETURN_IF_ERROR(inputs[a]->Bind(in.schema()));
+    } else if (aggs[a].func != AggFunc::kCountStar) {
+      return Status::InvalidArgument("aggregate " +
+                                     std::string(AggFuncName(aggs[a].func)) +
+                                     " requires an input expression");
+    }
+  }
+
+  // Output schema: group columns then aggregates.
+  Schema out_schema;
+  for (size_t i : gidx) out_schema.AddColumn(in.schema().column(i));
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    ValueType t = ValueType::kInt;
+    switch (aggs[a].func) {
+      case AggFunc::kAvg:
+      case AggFunc::kMedian: t = ValueType::kDouble; break;
+      case AggFunc::kSum:
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        t = inputs[a] ? inputs[a]->result_type() : ValueType::kInt;
+        break;
+      default: t = ValueType::kInt; break;
+    }
+    out_schema.AddColumn({"", aggs[a].alias, t});
+  }
+
+  std::unordered_map<std::string, size_t> group_of;
+  std::vector<Row> group_keys;
+  std::vector<std::vector<AggState>> states;
+
+  for (const auto& r : in.rows()) {
+    const std::string key = EncodeRowKey(r, gidx);
+    auto [it, inserted] = group_of.emplace(key, group_keys.size());
+    if (inserted) {
+      Row gk;
+      gk.reserve(gidx.size());
+      for (size_t i : gidx) gk.push_back(r[i]);
+      group_keys.push_back(std::move(gk));
+      states.emplace_back(aggs.size());
+    }
+    auto& st = states[it->second];
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      AggState& s = st[a];
+      if (aggs[a].func == AggFunc::kCountStar) {
+        ++s.count;
+        continue;
+      }
+      const Value v = inputs[a]->Eval(r);
+      if (v.is_null()) continue;
+      switch (aggs[a].func) {
+        case AggFunc::kSum:
+          ++s.count;
+          if (v.type() == ValueType::kInt && s.int_input) {
+            s.isum += v.AsInt();
+          } else {
+            if (s.int_input) {
+              s.dsum += static_cast<double>(s.isum);
+              s.int_input = false;
+            }
+            s.dsum += v.ToDouble();
+          }
+          break;
+        case AggFunc::kCount:
+          ++s.count;
+          break;
+        case AggFunc::kAvg:
+          ++s.count;
+          s.dsum += v.ToDouble();
+          break;
+        case AggFunc::kMin:
+          if (s.min_v.is_null() || v < s.min_v) s.min_v = v;
+          break;
+        case AggFunc::kMax:
+          if (s.max_v.is_null() || s.max_v < v) s.max_v = v;
+          break;
+        case AggFunc::kMedian:
+          s.values.push_back(v.ToDouble());
+          break;
+        case AggFunc::kCountDistinct: {
+          std::string enc;
+          v.EncodeTo(&enc);
+          s.distinct.insert(std::move(enc));
+          break;
+        }
+        case AggFunc::kCountStar:
+          break;
+      }
+    }
+  }
+
+  // Global aggregate over empty input still yields one row.
+  if (group_keys.empty() && gidx.empty()) {
+    group_keys.emplace_back();
+    states.emplace_back(aggs.size());
+  }
+
+  Table out(out_schema);
+  for (size_t g = 0; g < group_keys.size(); ++g) {
+    Row row = group_keys[g];
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      AggState& s = states[g][a];
+      switch (aggs[a].func) {
+        case AggFunc::kSum:
+          if (s.count == 0) {
+            row.push_back(Value::Null());
+          } else if (s.int_input) {
+            row.push_back(Value::Int(s.isum));
+          } else {
+            row.push_back(Value::Double(s.dsum));
+          }
+          break;
+        case AggFunc::kCount:
+        case AggFunc::kCountStar:
+          row.push_back(Value::Int(s.count));
+          break;
+        case AggFunc::kAvg:
+          row.push_back(s.count == 0
+                            ? Value::Null()
+                            : Value::Double(s.dsum /
+                                            static_cast<double>(s.count)));
+          break;
+        case AggFunc::kMin:
+          row.push_back(s.min_v);
+          break;
+        case AggFunc::kMax:
+          row.push_back(s.max_v);
+          break;
+        case AggFunc::kMedian: {
+          if (s.values.empty()) {
+            row.push_back(Value::Null());
+            break;
+          }
+          auto& v = s.values;
+          const size_t mid = v.size() / 2;
+          std::nth_element(v.begin(), v.begin() + mid, v.end());
+          double med = v[mid];
+          if (v.size() % 2 == 0) {
+            const double lo = *std::max_element(v.begin(), v.begin() + mid);
+            med = (med + lo) / 2.0;
+          }
+          row.push_back(Value::Double(med));
+          break;
+        }
+        case AggFunc::kCountDistinct:
+          row.push_back(Value::Int(static_cast<int64_t>(s.distinct.size())));
+          break;
+      }
+    }
+    out.AppendUnchecked(std::move(row));
+  }
+  return out;
+}
+
+Result<Table> Executor::ExecSetOp(const PlanNode& plan) {
+  SVC_ASSIGN_OR_RETURN(Table left, Execute(*plan.child(0)));
+  SVC_ASSIGN_OR_RETURN(Table right, Execute(*plan.child(1)));
+  if (left.schema().NumColumns() != right.schema().NumColumns()) {
+    return Status::InvalidArgument("set operation arity mismatch");
+  }
+  std::vector<size_t> all(left.schema().NumColumns());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+
+  auto encode_all = [&](const Table& t) {
+    std::unordered_set<std::string> keys;
+    keys.reserve(t.NumRows() * 2);
+    for (const auto& r : t.rows()) keys.insert(EncodeRowKey(r, all));
+    return keys;
+  };
+
+  Table out(left.schema());
+  std::unordered_set<std::string> seen;
+  switch (plan.kind()) {
+    case PlanKind::kUnion: {
+      for (const Table* t : {&left, &right}) {
+        for (const auto& r : t->rows()) {
+          if (seen.insert(EncodeRowKey(r, all)).second) {
+            out.AppendUnchecked(r);
+          }
+        }
+      }
+      break;
+    }
+    case PlanKind::kIntersect: {
+      const auto rkeys = encode_all(right);
+      for (const auto& r : left.rows()) {
+        std::string k = EncodeRowKey(r, all);
+        if (rkeys.count(k) && seen.insert(std::move(k)).second) {
+          out.AppendUnchecked(r);
+        }
+      }
+      break;
+    }
+    case PlanKind::kDifference: {
+      const auto rkeys = encode_all(right);
+      for (const auto& r : left.rows()) {
+        std::string k = EncodeRowKey(r, all);
+        if (!rkeys.count(k) && seen.insert(std::move(k)).second) {
+          out.AppendUnchecked(r);
+        }
+      }
+      break;
+    }
+    default:
+      return Status::Internal("not a set op");
+  }
+  return out;
+}
+
+Result<Table> Executor::ExecHashFilter(const PlanNode& plan) {
+  SVC_ASSIGN_OR_RETURN(Table in, Execute(*plan.child(0)));
+  SVC_ASSIGN_OR_RETURN(std::vector<size_t> idx,
+                       in.schema().ResolveAll(plan.hash_columns()));
+  Table out(in.schema());
+  if (plan.key_set()) {
+    const auto& keys = *plan.key_set();
+    for (const auto& r : in.rows()) {
+      if (keys.count(EncodeRowKey(r, idx))) out.AppendUnchecked(r);
+    }
+    return out;
+  }
+  const double m = plan.hash_ratio();
+  if (m >= 1.0) return in;
+  for (const auto& r : in.rows()) {
+    const std::string key = EncodeRowKey(r, idx);
+    if (HashInSample(key, m, plan.hash_family())) {
+      out.AppendUnchecked(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace svc

@@ -1,0 +1,48 @@
+#ifndef SVC_RELATIONAL_EXECUTOR_H_
+#define SVC_RELATIONAL_EXECUTOR_H_
+
+#include "common/status.h"
+#include "relational/algebra.h"
+#include "relational/database.h"
+#include "relational/table.h"
+
+namespace svc {
+
+/// Evaluates relational-algebra trees against a Database, materializing the
+/// result as a Table. Equi-joins run as hash joins (build on the right,
+/// probe from the left), aggregation as hash aggregation, and set
+/// operations via encoded-row hash sets. NULL join keys never match (SQL
+/// semantics); outer joins pad the non-matching side with NULLs.
+///
+/// The executor is deterministic: the same plan over the same data produces
+/// the same multiset of rows, which the deterministic sampling operator η
+/// (PlanKind::kHashFilter) relies on.
+class Executor {
+ public:
+  /// The database must outlive the executor.
+  explicit Executor(const Database* db) : db_(db) {}
+
+  /// Runs `plan` to completion and returns the materialized result.
+  Result<Table> Execute(const PlanNode& plan);
+
+ private:
+  Result<Table> ExecScan(const PlanNode& plan);
+  Result<Table> ExecSelect(const PlanNode& plan);
+  Result<Table> ExecProject(const PlanNode& plan);
+  Result<Table> ExecJoin(const PlanNode& plan);
+  Result<Table> ExecAggregate(const PlanNode& plan);
+  Result<Table> ExecSetOp(const PlanNode& plan);
+  Result<Table> ExecHashFilter(const PlanNode& plan);
+
+  const Database* db_;
+};
+
+/// Convenience wrapper: one-shot execution.
+inline Result<Table> ExecutePlan(const PlanNode& plan, const Database& db) {
+  Executor exec(&db);
+  return exec.Execute(plan);
+}
+
+}  // namespace svc
+
+#endif  // SVC_RELATIONAL_EXECUTOR_H_

@@ -1,0 +1,167 @@
+#include "relational/keys.h"
+
+#include <algorithm>
+#include <set>
+
+namespace svc {
+
+namespace {
+
+Result<std::vector<std::string>> Derive(PlanNode* plan, const Database& db);
+
+/// Maps a set of key references valid in `child_schema` to the
+/// corresponding output positions of a set-operation node, whose output
+/// schema equals the left child's schema positionally.
+Result<std::vector<size_t>> KeyPositions(
+    const std::vector<std::string>& key, const Schema& schema) {
+  return schema.ResolveAll(key);
+}
+
+Result<std::vector<std::string>> DeriveSetOp(PlanNode* plan,
+                                             const Database& db) {
+  SVC_ASSIGN_OR_RETURN(std::vector<std::string> lk,
+                       Derive(plan->child(0).get(), db));
+  SVC_ASSIGN_OR_RETURN(std::vector<std::string> rk,
+                       Derive(plan->child(1).get(), db));
+  SVC_ASSIGN_OR_RETURN(Schema ls, ComputeSchema(*plan->child(0), db));
+  SVC_ASSIGN_OR_RETURN(Schema rs, ComputeSchema(*plan->child(1), db));
+  SVC_ASSIGN_OR_RETURN(std::vector<size_t> lpos, KeyPositions(lk, ls));
+  SVC_ASSIGN_OR_RETURN(std::vector<size_t> rpos, KeyPositions(rk, rs));
+
+  std::set<size_t> lset(lpos.begin(), lpos.end());
+  std::set<size_t> rset(rpos.begin(), rpos.end());
+  std::set<size_t> out_positions;
+  switch (plan->kind()) {
+    case PlanKind::kUnion:
+      std::set_union(lset.begin(), lset.end(), rset.begin(), rset.end(),
+                     std::inserter(out_positions, out_positions.begin()));
+      break;
+    case PlanKind::kIntersect:
+      std::set_intersection(
+          lset.begin(), lset.end(), rset.begin(), rset.end(),
+          std::inserter(out_positions, out_positions.begin()));
+      if (out_positions.empty()) {
+        return Status::InvalidArgument(
+            "intersection of primary keys is empty; no derivable key");
+      }
+      break;
+    case PlanKind::kDifference:
+      out_positions = lset;
+      break;
+    default:
+      return Status::Internal("not a set op");
+  }
+  // Output schema of a set op is the left schema; name keys by it.
+  std::vector<std::string> out;
+  for (size_t p : out_positions) out.push_back(ls.column(p).FullName());
+  return out;
+}
+
+Result<std::vector<std::string>> Derive(PlanNode* plan, const Database& db) {
+  std::vector<std::string> pk;
+  switch (plan->kind()) {
+    case PlanKind::kScan: {
+      SVC_ASSIGN_OR_RETURN(const Table* t, db.GetTable(plan->table_name()));
+      if (!t->HasPrimaryKey()) {
+        return Status::InvalidArgument(
+            "base relation '" + plan->table_name() +
+            "' has no primary key; add one (e.g. AddSequencePrimaryKey)");
+      }
+      for (size_t i : t->pk_indices()) {
+        pk.push_back(plan->alias() + "." + t->schema().column(i).name);
+      }
+      break;
+    }
+    case PlanKind::kSelect:
+    case PlanKind::kHashFilter: {
+      SVC_ASSIGN_OR_RETURN(pk, Derive(plan->child(0).get(), db));
+      break;
+    }
+    case PlanKind::kProject: {
+      SVC_ASSIGN_OR_RETURN(std::vector<std::string> child_pk,
+                           Derive(plan->child(0).get(), db));
+      SVC_ASSIGN_OR_RETURN(Schema child_schema,
+                           ComputeSchema(*plan->child(0), db));
+      SVC_ASSIGN_OR_RETURN(std::vector<size_t> key_pos,
+                           child_schema.ResolveAll(child_pk));
+      for (size_t kp : key_pos) {
+        bool found = false;
+        for (const auto& item : plan->project_items()) {
+          if (item.expr->kind() != ExprKind::kColumn) continue;
+          auto r = child_schema.Resolve(item.expr->column_ref());
+          if (r.ok() && *r == kp) {
+            pk.push_back(item.FullName());
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          return Status::InvalidArgument(
+              "projection drops primary key column '" +
+              child_schema.column(kp).FullName() +
+              "'; the key must be preserved (Definition 2)");
+        }
+      }
+      break;
+    }
+    case PlanKind::kJoin: {
+      SVC_ASSIGN_OR_RETURN(std::vector<std::string> lk,
+                           Derive(plan->child(0).get(), db));
+      SVC_ASSIGN_OR_RETURN(std::vector<std::string> rk,
+                           Derive(plan->child(1).get(), db));
+      pk = std::move(lk);
+      for (auto& k : rk) pk.push_back(std::move(k));
+      break;
+    }
+    case PlanKind::kAggregate: {
+      // Derive children first so inner nodes get annotated.
+      SVC_RETURN_IF_ERROR(Derive(plan->child(0).get(), db).status());
+      if (plan->group_by().empty()) {
+        return Status::InvalidArgument(
+            "global aggregate has no group-by key; no derivable primary key");
+      }
+      // The key is the group-by attributes, named as they appear in the
+      // aggregate's own output schema.
+      SVC_ASSIGN_OR_RETURN(Schema out_schema, ComputeSchema(*plan, db));
+      for (size_t i = 0; i < plan->group_by().size(); ++i) {
+        pk.push_back(out_schema.column(i).FullName());
+      }
+      break;
+    }
+    case PlanKind::kUnion:
+    case PlanKind::kIntersect:
+    case PlanKind::kDifference: {
+      SVC_ASSIGN_OR_RETURN(pk, DeriveSetOp(plan, db));
+      break;
+    }
+  }
+  plan->set_derived_pk(pk);
+  return pk;
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> DerivePrimaryKeys(PlanNode* plan,
+                                                   const Database& db) {
+  return Derive(plan, db);
+}
+
+Status AddSequencePrimaryKey(Table* table, const std::string& col_name) {
+  if (table->schema().Contains(col_name)) {
+    return Status::AlreadyExists("column already exists: " + col_name);
+  }
+  Schema schema = table->schema();
+  schema.AddColumn({"", col_name, ValueType::kInt});
+  Table rebuilt(schema);
+  int64_t seq = 0;
+  for (const auto& r : table->rows()) {
+    Row row = r;
+    row.push_back(Value::Int(seq++));
+    rebuilt.AppendUnchecked(std::move(row));
+  }
+  SVC_RETURN_IF_ERROR(rebuilt.SetPrimaryKey({col_name}));
+  *table = std::move(rebuilt);
+  return Status::OK();
+}
+
+}  // namespace svc

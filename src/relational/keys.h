@@ -1,0 +1,42 @@
+#ifndef SVC_RELATIONAL_KEYS_H_
+#define SVC_RELATIONAL_KEYS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/algebra.h"
+#include "relational/database.h"
+
+namespace svc {
+
+/// Derives the primary key of every node of `plan` bottom-up following the
+/// paper's Definition 2 (Primary Key Generation):
+///
+///   * Scan        — the base relation's declared primary key
+///   * σ (Select)  — the child's key
+///   * Π (Project) — the child's key; every key column must survive the
+///                   projection as a bare column reference (possibly
+///                   renamed), otherwise derivation fails
+///   * ⋈ (Join)    — the tuple (concatenation) of both children's keys
+///   * γ (Aggregate) — the group-by attributes
+///   * ∪ (Union)   — the union of both children's key attribute sets
+///   * ∩ (Intersect) — the intersection of both children's key sets
+///   * − (Difference) — the left child's key
+///   * η (HashFilter) — the child's key (it is a filter)
+///
+/// Each node's `derived_pk` is set to the key's column references *in that
+/// node's output schema*, and the root key is returned. Fails with
+/// InvalidArgument when a base relation lacks a declared key or a
+/// projection drops part of the key.
+Result<std::vector<std::string>> DerivePrimaryKeys(PlanNode* plan,
+                                                   const Database& db);
+
+/// The paper's fallback for keyless base relations: rebuilds `*table` with
+/// an extra integer column `col_name` holding an increasing sequence, and
+/// declares it the primary key.
+Status AddSequencePrimaryKey(Table* table, const std::string& col_name);
+
+}  // namespace svc
+
+#endif  // SVC_RELATIONAL_KEYS_H_

@@ -1,0 +1,79 @@
+#include "relational/schema.h"
+
+namespace svc {
+
+Result<size_t> Schema::Resolve(const std::string& ref) const {
+  const size_t dot = ref.find('.');
+  if (dot != std::string::npos) {
+    const std::string qual = ref.substr(0, dot);
+    const std::string name = ref.substr(dot + 1);
+    for (size_t i = 0; i < cols_.size(); ++i) {
+      if (cols_[i].qualifier == qual && cols_[i].name == name) return i;
+    }
+    // Fall through: maybe the column's *name* literally contains a dot
+    // (e.g. it was materialized from a qualified projection).
+  }
+  std::optional<size_t> found;
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (cols_[i].name == ref || cols_[i].FullName() == ref) {
+      if (found.has_value() && cols_[*found].name == cols_[i].name &&
+          cols_[*found].qualifier != cols_[i].qualifier) {
+        return Status::InvalidArgument("ambiguous column reference: " + ref);
+      }
+      if (!found.has_value()) found = i;
+    }
+  }
+  if (!found.has_value()) {
+    return Status::NotFound("no such column: " + ref + " in " + ToString());
+  }
+  return *found;
+}
+
+Result<std::vector<size_t>> Schema::ResolveAll(
+    const std::vector<std::string>& refs) const {
+  std::vector<size_t> out;
+  out.reserve(refs.size());
+  for (const auto& r : refs) {
+    SVC_ASSIGN_OR_RETURN(size_t idx, Resolve(r));
+    out.push_back(idx);
+  }
+  return out;
+}
+
+Schema Schema::WithQualifier(const std::string& alias) const {
+  Schema s = *this;
+  for (auto& c : s.cols_) c.qualifier = alias;
+  return s;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  Schema s = left;
+  for (const auto& c : right.cols_) s.cols_.push_back(c);
+  return s;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (i) out += ", ";
+    out += cols_[i].FullName();
+    out += ":";
+    out += ValueTypeName(cols_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+bool Schema::operator==(const Schema& o) const {
+  if (cols_.size() != o.cols_.size()) return false;
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (cols_[i].name != o.cols_[i].name ||
+        cols_[i].qualifier != o.cols_[i].qualifier ||
+        cols_[i].type != o.cols_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace svc

@@ -1,0 +1,74 @@
+#ifndef SVC_RELATIONAL_SCHEMA_H_
+#define SVC_RELATIONAL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace svc {
+
+/// One output column of a relation: an optional table qualifier (alias of
+/// the relation it came from), a name, and a type.
+struct Column {
+  std::string qualifier;  ///< originating relation alias; "" if none
+  std::string name;       ///< column name (unique per qualifier)
+  ValueType type = ValueType::kNull;
+
+  /// "qualifier.name" or just "name" when unqualified.
+  std::string FullName() const {
+    return qualifier.empty() ? name : qualifier + "." + name;
+  }
+};
+
+/// Ordered list of output columns of a relation. Column lookup accepts
+/// either a bare name (must be unambiguous) or a qualified "alias.name".
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : cols_(std::move(columns)) {}
+
+  /// Number of columns.
+  size_t NumColumns() const { return cols_.size(); }
+  /// Column metadata by position.
+  const Column& column(size_t i) const { return cols_[i]; }
+  /// All columns.
+  const std::vector<Column>& columns() const { return cols_; }
+
+  /// Appends a column.
+  void AddColumn(Column col) { cols_.push_back(std::move(col)); }
+
+  /// Resolves `ref` — "name" or "qualifier.name" — to a column index.
+  /// Returns NotFound if no column matches and InvalidArgument if a bare
+  /// name is ambiguous across qualifiers.
+  Result<size_t> Resolve(const std::string& ref) const;
+
+  /// Resolve() for several references at once.
+  Result<std::vector<size_t>> ResolveAll(
+      const std::vector<std::string>& refs) const;
+
+  /// True iff some column matches `ref` unambiguously.
+  bool Contains(const std::string& ref) const { return Resolve(ref).ok(); }
+
+  /// Returns a copy of this schema with every column's qualifier replaced
+  /// by `alias` (used when a relation is scanned under an alias).
+  Schema WithQualifier(const std::string& alias) const;
+
+  /// Concatenation (used by joins). Column name collisions are allowed as
+  /// long as qualifiers disambiguate.
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  /// "(" + comma-separated FullName:type + ")".
+  std::string ToString() const;
+
+  bool operator==(const Schema& o) const;
+
+ private:
+  std::vector<Column> cols_;
+};
+
+}  // namespace svc
+
+#endif  // SVC_RELATIONAL_SCHEMA_H_

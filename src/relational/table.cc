@@ -1,0 +1,125 @@
+#include "relational/table.h"
+
+#include <sstream>
+
+namespace svc {
+
+Status Table::SetPrimaryKey(const std::vector<std::string>& key_columns) {
+  SVC_ASSIGN_OR_RETURN(std::vector<size_t> idx,
+                       schema_.ResolveAll(key_columns));
+  pk_indices_ = std::move(idx);
+  pk_index_.clear();
+  pk_index_.reserve(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    auto [it, inserted] = pk_index_.emplace(EncodedKey(i), i);
+    if (!inserted) {
+      pk_indices_.clear();
+      pk_index_.clear();
+      return Status::InvalidArgument(
+          "primary key violated by existing rows at index " +
+          std::to_string(i));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Table::PrimaryKeyNames() const {
+  std::vector<std::string> names;
+  names.reserve(pk_indices_.size());
+  for (size_t i : pk_indices_) names.push_back(schema_.column(i).FullName());
+  return names;
+}
+
+void Table::AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+Status Table::CheckArity(const Row& row) const {
+  if (row.size() != schema_.NumColumns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.NumColumns()));
+  }
+  return Status::OK();
+}
+
+Status Table::Insert(Row row) {
+  SVC_RETURN_IF_ERROR(CheckArity(row));
+  if (HasPrimaryKey()) {
+    std::string key = EncodeRowKey(row, pk_indices_);
+    auto [it, inserted] = pk_index_.emplace(std::move(key), rows_.size());
+    if (!inserted) {
+      return Status::AlreadyExists("duplicate primary key");
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Result<bool> Table::Upsert(Row row) {
+  SVC_RETURN_IF_ERROR(CheckArity(row));
+  if (!HasPrimaryKey()) {
+    return Status::InvalidArgument("Upsert requires a primary key");
+  }
+  std::string key = EncodeRowKey(row, pk_indices_);
+  auto it = pk_index_.find(key);
+  if (it != pk_index_.end()) {
+    rows_[it->second] = std::move(row);
+    return true;
+  }
+  pk_index_.emplace(std::move(key), rows_.size());
+  rows_.push_back(std::move(row));
+  return false;
+}
+
+Result<bool> Table::DeleteByKeyOf(const Row& key_row) {
+  if (!HasPrimaryKey()) {
+    return Status::InvalidArgument("DeleteByKeyOf requires a primary key");
+  }
+  const std::string key = EncodeRowKey(key_row, pk_indices_);
+  auto it = pk_index_.find(key);
+  if (it == pk_index_.end()) return false;
+  const size_t victim = it->second;
+  const size_t last = rows_.size() - 1;
+  pk_index_.erase(it);
+  if (victim != last) {
+    // Swap-remove; re-point the moved row's index entry.
+    rows_[victim] = std::move(rows_[last]);
+    pk_index_[EncodedKey(victim)] = victim;
+  }
+  rows_.pop_back();
+  return true;
+}
+
+Result<size_t> Table::FindByKeyOf(const Row& key_row) const {
+  if (!HasPrimaryKey()) {
+    return Status::InvalidArgument("FindByKeyOf requires a primary key");
+  }
+  return FindByEncodedKey(EncodeRowKey(key_row, pk_indices_));
+}
+
+Result<size_t> Table::FindByEncodedKey(const std::string& key) const {
+  auto it = pk_index_.find(key);
+  if (it == pk_index_.end()) return Status::NotFound("key not present");
+  return it->second;
+}
+
+void Table::Clear() {
+  rows_.clear();
+  pk_index_.clear();
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  os << schema_.ToString() << " [" << rows_.size() << " rows]\n";
+  for (size_t i = 0; i < rows_.size() && i < max_rows; ++i) {
+    os << "  ";
+    for (size_t j = 0; j < rows_[i].size(); ++j) {
+      if (j) os << " | ";
+      os << rows_[i][j].ToString();
+    }
+    os << "\n";
+  }
+  if (rows_.size() > max_rows) os << "  ... (" << rows_.size() << " total)\n";
+  return os.str();
+}
+
+}  // namespace svc

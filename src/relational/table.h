@@ -1,0 +1,91 @@
+#ifndef SVC_RELATIONAL_TABLE_H_
+#define SVC_RELATIONAL_TABLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace svc {
+
+/// An in-memory relation: a schema plus a row store, optionally with a
+/// declared primary key maintained as a hash index. Base relations always
+/// carry a primary key (the paper assumes one and adds a sequence column
+/// otherwise); intermediate results produced by the executor may not.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  /// The relation's schema.
+  const Schema& schema() const { return schema_; }
+
+  /// Number of rows.
+  size_t NumRows() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Row access by position.
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Declares `key_columns` (by reference name) as the primary key and
+  /// builds the index. Fails with InvalidArgument if existing rows violate
+  /// uniqueness or a column is unknown.
+  Status SetPrimaryKey(const std::vector<std::string>& key_columns);
+
+  /// True iff a primary key is declared.
+  bool HasPrimaryKey() const { return !pk_indices_.empty(); }
+  /// Positions of the primary-key columns.
+  const std::vector<size_t>& pk_indices() const { return pk_indices_; }
+  /// Reference names of the primary-key columns.
+  std::vector<std::string> PrimaryKeyNames() const;
+
+  /// Appends a row without any key check (bulk load of intermediates).
+  void AppendUnchecked(Row row);
+
+  /// Inserts a row; with a primary key declared, rejects duplicates with
+  /// AlreadyExists. Arity must match the schema.
+  Status Insert(Row row);
+
+  /// Inserts, or replaces the existing row with the same key. Returns true
+  /// if a row was replaced. Requires a primary key.
+  Result<bool> Upsert(Row row);
+
+  /// Deletes the row matching the encoded key of `key_row` (a full row whose
+  /// key columns are read). Returns true if a row was deleted. Requires a
+  /// primary key.
+  Result<bool> DeleteByKeyOf(const Row& key_row);
+
+  /// Looks up a row index by the encoded key of `key_row`. Returns NotFound
+  /// if absent. Requires a primary key.
+  Result<size_t> FindByKeyOf(const Row& key_row) const;
+
+  /// Looks up by pre-encoded key bytes.
+  Result<size_t> FindByEncodedKey(const std::string& key) const;
+
+  /// Encoded primary key of row `i`. Requires a primary key.
+  std::string EncodedKey(size_t i) const {
+    return EncodeRowKey(rows_[i], pk_indices_);
+  }
+
+  /// Removes all rows (keeps schema and key declaration).
+  void Clear();
+
+  /// Renders up to `max_rows` rows for debugging.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Status CheckArity(const Row& row) const;
+
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<size_t> pk_indices_;
+  std::unordered_map<std::string, size_t> pk_index_;  // encoded key -> row
+};
+
+}  // namespace svc
+
+#endif  // SVC_RELATIONAL_TABLE_H_

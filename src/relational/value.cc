@@ -1,0 +1,108 @@
+#include "relational/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace svc {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return "null";
+    case ValueType::kInt: return "int";
+    case ValueType::kDouble: return "double";
+    case ValueType::kString: return "string";
+  }
+  return "?";
+}
+
+bool Value::operator==(const Value& o) const {
+  const ValueType a = type(), b = o.type();
+  if (a == ValueType::kNull || b == ValueType::kNull) {
+    return a == b;
+  }
+  if (IsNumeric() && o.IsNumeric()) {
+    if (a == ValueType::kInt && b == ValueType::kInt) {
+      return AsInt() == o.AsInt();
+    }
+    return ToDouble() == o.ToDouble();
+  }
+  if (a != b) return false;
+  return AsString() == o.AsString();
+}
+
+bool Value::operator<(const Value& o) const {
+  const ValueType a = type(), b = o.type();
+  if (a == ValueType::kNull) return b != ValueType::kNull;
+  if (b == ValueType::kNull) return false;
+  if (IsNumeric() && o.IsNumeric()) {
+    if (a == ValueType::kInt && b == ValueType::kInt) {
+      return AsInt() < o.AsInt();
+    }
+    return ToDouble() < o.ToDouble();
+  }
+  if (IsNumeric() != o.IsNumeric()) return IsNumeric();  // numerics first
+  return AsString() < o.AsString();
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt: return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.6g", AsDouble());
+      return buf;
+    }
+    case ValueType::kString: return AsString();
+  }
+  return "?";
+}
+
+void Value::EncodeTo(std::string* out) const {
+  // Tags: N = null, I = integer (also integral doubles), D = fractional
+  // double, S = string. Integral doubles share the int encoding so a key
+  // that flows through an arithmetic projection (becoming a double) still
+  // hashes identically — the η operator depends on this.
+  switch (type()) {
+    case ValueType::kNull:
+      out->push_back('N');
+      return;
+    case ValueType::kInt: {
+      out->push_back('I');
+      const int64_t v = AsInt();
+      out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      return;
+    }
+    case ValueType::kDouble: {
+      const double d = AsDouble();
+      if (std::nearbyint(d) == d && std::abs(d) < 9.0e18) {
+        out->push_back('I');
+        const int64_t v = static_cast<int64_t>(d);
+        out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      } else {
+        out->push_back('D');
+        out->append(reinterpret_cast<const char*>(&d), sizeof(d));
+      }
+      return;
+    }
+    case ValueType::kString: {
+      out->push_back('S');
+      const uint32_t n = static_cast<uint32_t>(AsString().size());
+      out->append(reinterpret_cast<const char*>(&n), sizeof(n));
+      out->append(AsString());
+      return;
+    }
+  }
+}
+
+std::string EncodeRowKey(const Row& row, const std::vector<size_t>& indices) {
+  std::string key;
+  key.reserve(indices.size() * 10);
+  for (size_t i : indices) {
+    row[i].EncodeTo(&key);
+  }
+  return key;
+}
+
+}  // namespace svc

@@ -1,0 +1,112 @@
+#ifndef SVC_RELATIONAL_VALUE_H_
+#define SVC_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace svc {
+
+/// Column / value types supported by the engine.
+enum class ValueType {
+  kNull = 0,
+  kInt,     ///< 64-bit signed integer (also used for booleans and dates)
+  kDouble,  ///< IEEE double
+  kString,  ///< byte string
+};
+
+/// Returns "null" / "int" / "double" / "string".
+const char* ValueTypeName(ValueType t);
+
+/// A dynamically typed SQL value. Values are small and freely copyable.
+/// Comparisons across int and double coerce numerically; comparisons or
+/// arithmetic involving NULL yield NULL (three-valued logic is applied by
+/// the expression evaluator).
+class Value {
+ public:
+  /// NULL value.
+  Value() : v_(std::monostate{}) {}
+  /// Integer value.
+  static Value Int(int64_t v) { return Value(v); }
+  /// Double value.
+  static Value Double(double v) { return Value(v); }
+  /// String value.
+  static Value String(std::string v) { return Value(std::move(v)); }
+  /// Boolean encoded as int 0/1.
+  static Value Bool(bool b) { return Value(static_cast<int64_t>(b ? 1 : 0)); }
+  /// NULL value.
+  static Value Null() { return Value(); }
+
+  /// Type tag of this value.
+  ValueType type() const {
+    switch (v_.index()) {
+      case 0: return ValueType::kNull;
+      case 1: return ValueType::kInt;
+      case 2: return ValueType::kDouble;
+      default: return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return v_.index() == 0; }
+
+  /// Integer payload. Requires type() == kInt.
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  /// Double payload. Requires type() == kDouble.
+  double AsDouble() const { return std::get<double>(v_); }
+  /// String payload. Requires type() == kString.
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Numeric coercion: int or double rendered as double. Requires a numeric
+  /// type (use IsNumeric() first).
+  double ToDouble() const {
+    return type() == ValueType::kInt ? static_cast<double>(AsInt())
+                                     : AsDouble();
+  }
+
+  bool IsNumeric() const {
+    return type() == ValueType::kInt || type() == ValueType::kDouble;
+  }
+
+  /// True iff the value is a non-null "true" boolean (non-zero int).
+  bool IsTrue() const { return type() == ValueType::kInt && AsInt() != 0; }
+
+  /// Structural equality with numeric coercion (1 == 1.0). NULL equals NULL
+  /// here (used for grouping / set semantics); SQL's NULL-propagating
+  /// equality lives in the expression evaluator.
+  bool operator==(const Value& o) const;
+  bool operator!=(const Value& o) const { return !(*this == o); }
+
+  /// Total order for sorting: NULL < numerics (coerced) < strings.
+  bool operator<(const Value& o) const;
+
+  /// Renders for display ("NULL", "42", "3.14", "abc").
+  std::string ToString() const;
+
+  /// Appends a canonical, type-tagged, prefix-free encoding of this value to
+  /// `out`. Equal values (including int/double numeric equality on integral
+  /// doubles) produce equal encodings, so the encoding can key hash tables,
+  /// primary-key indexes, and — crucially — the deterministic sampling
+  /// operator η.
+  void EncodeTo(std::string* out) const;
+
+ private:
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+/// A tuple of values. Rows do not own schema information; the enclosing
+/// Table / plan node carries the Schema.
+using Row = std::vector<Value>;
+
+/// Encodes the projection of `row` onto `indices` as a canonical key string.
+std::string EncodeRowKey(const Row& row, const std::vector<size_t>& indices);
+
+}  // namespace svc
+
+#endif  // SVC_RELATIONAL_VALUE_H_

@@ -1,0 +1,160 @@
+#include "sample/cleaner.h"
+
+#include "relational/executor.h"
+#include "relational/keys.h"
+
+namespace svc {
+
+namespace {
+
+/// Maps the view's sampling key into the change-table output space
+/// ("__ct.g<j>" references). For aggregate views stored group column i maps
+/// to g<i>; for SPJ views stored pk position p maps to the j-th group
+/// column of the per-key change table.
+Result<std::vector<std::string>> SamplingKeyInChangeTable(
+    const MaterializedView& view, const Database& db) {
+  std::vector<std::string> out;
+  if (view.view_class() == ViewClass::kAggregate) {
+    for (const auto& k : view.sampling_key()) {
+      size_t pos = 0;
+      while (view.stored_cols()[pos].name != k) ++pos;
+      out.push_back("__ct.g" + std::to_string(pos));
+    }
+    return out;
+  }
+  // SPJ: the change table groups by the derived pk in def_pk() order.
+  SVC_ASSIGN_OR_RETURN(Schema def_schema,
+                       ComputeSchema(*view.definition(), db));
+  SVC_ASSIGN_OR_RETURN(std::vector<size_t> pk_pos,
+                       def_schema.ResolveAll(view.def_pk()));
+  for (const auto& k : view.sampling_key()) {
+    size_t stored_pos = 0;
+    while (view.stored_cols()[stored_pos].name != k) ++stored_pos;
+    bool found = false;
+    for (size_t j = 0; j < pk_pos.size(); ++j) {
+      if (pk_pos[j] == stored_pos) {
+        out.push_back("__ct.g" + std::to_string(j));
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument(
+          "sampling key column '" + k +
+          "' of an SPJ view must be part of the view's primary key");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Table> MaterializeStaleSample(const MaterializedView& view,
+                                     const Database& db,
+                                     const CleanOptions& opts) {
+  PlanPtr plan = PlanNode::HashFilter(PlanNode::Scan(view.name()),
+                                      view.sampling_key(), opts.ratio,
+                                      opts.family);
+  SVC_ASSIGN_OR_RETURN(Table sample, ExecutePlan(*plan, db));
+  SVC_RETURN_IF_ERROR(sample.SetPrimaryKey(view.stored_pk()));
+  return sample;
+}
+
+namespace {
+
+/// Shared skeleton for η and key-set cleaning plans: splices the filter
+/// onto both branches of the merge join (Figure 3) or pushes it into the
+/// recompute expression.
+Result<PlanPtr> BuildFilteredCleaningPlan(const MaterializedView& view,
+                                          const DeltaSet& deltas,
+                                          const Database& db,
+                                          const FilterFactory& factory,
+                                          PushdownReport* report) {
+  SVC_ASSIGN_OR_RETURN(MaintenancePlan m,
+                       BuildMaintenancePlan(view, deltas, db));
+  switch (m.kind) {
+    case MaintenanceKind::kNoOp:
+      // Nothing stale: C degenerates to the filter over the view itself.
+      return factory(PlanNode::Scan(view.name()), view.sampling_key());
+    case MaintenanceKind::kRecompute: {
+      // C = pushdown(η(recompute)). The recompute plan's output schema is
+      // the stored schema, so the stored sampling key applies directly.
+      return PushDownFilter(*m.plan, view.sampling_key(), factory, db,
+                            report);
+    }
+    case MaintenanceKind::kChangeTable: {
+      // Figure 3: the filter lands above the stale-view scan on the left
+      // branch of the merge join and pushes down the change-table branch.
+      PlanPtr view_branch =
+          factory(m.merge_join->child(0), view.sampling_key());
+      SVC_ASSIGN_OR_RETURN(std::vector<std::string> ct_attrs,
+                           SamplingKeyInChangeTable(view, db));
+      SVC_ASSIGN_OR_RETURN(
+          PlanPtr ct_branch,
+          PushDownFilter(*m.merge_join->child(1), ct_attrs, factory, db,
+                         report));
+      m.merge_join->set_child(0, std::move(view_branch));
+      m.merge_join->set_child(1, std::move(ct_branch));
+      return m.plan;
+    }
+  }
+  return Status::Internal("unreachable maintenance kind");
+}
+
+}  // namespace
+
+Result<PlanPtr> BuildCleaningPlan(const MaterializedView& view,
+                                  const DeltaSet& deltas, const Database& db,
+                                  const CleanOptions& opts,
+                                  PushdownReport* report) {
+  FilterFactory factory = [&opts](PlanPtr child,
+                                  const std::vector<std::string>& attrs) {
+    return PlanNode::HashFilter(std::move(child), attrs, opts.ratio,
+                                opts.family);
+  };
+  return BuildFilteredCleaningPlan(view, deltas, db, factory, report);
+}
+
+Result<Table> CleanViewByKeys(
+    const MaterializedView& view, const DeltaSet& deltas, const Database& db,
+    std::shared_ptr<const std::unordered_set<std::string>> keys,
+    PushdownReport* report) {
+  FilterFactory factory = [&keys](PlanPtr child,
+                                  const std::vector<std::string>& attrs) {
+    return PlanNode::KeySetFilter(std::move(child), attrs, keys);
+  };
+  SVC_ASSIGN_OR_RETURN(
+      PlanPtr c, BuildFilteredCleaningPlan(view, deltas, db, factory, report));
+  SVC_ASSIGN_OR_RETURN(Table fresh, ExecutePlan(*c, db));
+  SVC_RETURN_IF_ERROR(fresh.SetPrimaryKey(view.stored_pk()));
+  return fresh;
+}
+
+Result<Table> StaleViewRowsByKeys(
+    const MaterializedView& view, const Database& db,
+    std::shared_ptr<const std::unordered_set<std::string>> keys) {
+  PlanPtr plan = PlanNode::KeySetFilter(PlanNode::Scan(view.name()),
+                                        view.sampling_key(), std::move(keys));
+  SVC_ASSIGN_OR_RETURN(Table out, ExecutePlan(*plan, db));
+  SVC_RETURN_IF_ERROR(out.SetPrimaryKey(view.stored_pk()));
+  return out;
+}
+
+Result<CorrespondingSamples> CleanViewSample(const MaterializedView& view,
+                                             const DeltaSet& deltas,
+                                             const Database& db,
+                                             const CleanOptions& opts,
+                                             PushdownReport* report) {
+  CorrespondingSamples out;
+  out.ratio = opts.ratio;
+  out.family = opts.family;
+  out.key_columns = view.sampling_key();
+  SVC_ASSIGN_OR_RETURN(out.stale, MaterializeStaleSample(view, db, opts));
+  SVC_ASSIGN_OR_RETURN(PlanPtr c,
+                       BuildCleaningPlan(view, deltas, db, opts, report));
+  SVC_ASSIGN_OR_RETURN(out.fresh, ExecutePlan(*c, db));
+  SVC_RETURN_IF_ERROR(out.fresh.SetPrimaryKey(view.stored_pk()));
+  return out;
+}
+
+}  // namespace svc

@@ -1,0 +1,85 @@
+#ifndef SVC_SAMPLE_CLEANER_H_
+#define SVC_SAMPLE_CLEANER_H_
+
+#include <string>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "relational/database.h"
+#include "sample/pushdown.h"
+#include "view/delta.h"
+#include "view/maintenance.h"
+#include "view/view.h"
+
+namespace svc {
+
+/// Options controlling sample materialization and cleaning.
+struct CleanOptions {
+  /// Sampling ratio m ∈ (0, 1].
+  double ratio = 0.1;
+  /// Hash family used by η.
+  HashFamily family = HashFamily::kFnv1a;
+};
+
+/// A pair of corresponding samples (Property 1): Ŝ is a uniform sample of
+/// the stale view, Ŝ' of the up-to-date view, drawn with the same
+/// deterministic hash so their primary keys correspond: superfluous keys
+/// leave, missing keys enter at rate m, and surviving keys are preserved.
+/// Both tables carry the view's stored schema and primary key.
+struct CorrespondingSamples {
+  Table stale;   ///< Ŝ — sample of the stale view
+  Table fresh;   ///< Ŝ' — sample of the up-to-date view
+  double ratio = 0.1;
+  HashFamily family = HashFamily::kFnv1a;
+  /// The sampling-key column names (stored-schema references) the hash was
+  /// applied to; consumers such as the outlier merge re-derive key
+  /// membership from these.
+  std::vector<std::string> key_columns;
+};
+
+/// Materializes the dirty sample Ŝ = η_{sampling_key, m}(S) from the stored
+/// view table.
+Result<Table> MaterializeStaleSample(const MaterializedView& view,
+                                     const Database& db,
+                                     const CleanOptions& opts);
+
+/// Solves Problem 1 (Stale Sample View Cleaning): derives the cleaning
+/// expression C from the maintenance strategy M by splicing η onto the
+/// merge join (Figure 3) and pushing it down the change-table branch, then
+/// executes C to produce the clean sample Ŝ'. The deltas must already be
+/// registered in `db`.
+///
+/// Returns both corresponding samples. `report` (optional) records how far
+/// η pushed — views whose definitions block the push-down (the paper's V21
+/// and V22) clean more slowly but still correctly.
+Result<CorrespondingSamples> CleanViewSample(const MaterializedView& view,
+                                             const DeltaSet& deltas,
+                                             const Database& db,
+                                             const CleanOptions& opts,
+                                             PushdownReport* report = nullptr);
+
+/// Builds (but does not execute) the cleaning expression C for inspection
+/// and benchmarking. kNoOp maintenance yields the trivial η(Scan(view)).
+Result<PlanPtr> BuildCleaningPlan(const MaterializedView& view,
+                                  const DeltaSet& deltas, const Database& db,
+                                  const CleanOptions& opts,
+                                  PushdownReport* report = nullptr);
+
+/// Key-set variant of cleaning, used by the outlier-index push-up
+/// (Definition 5): instead of a hash sample, materializes exactly the
+/// up-to-date view rows whose sampling-key value is in `keys` (encoded with
+/// EncodeRowKey over the sampling-key columns). The same push-down
+/// machinery applies, so only the affected keys' rows are computed.
+Result<Table> CleanViewByKeys(
+    const MaterializedView& view, const DeltaSet& deltas, const Database& db,
+    std::shared_ptr<const std::unordered_set<std::string>> keys,
+    PushdownReport* report = nullptr);
+
+/// The stale view rows whose sampling-key value is in `keys`.
+Result<Table> StaleViewRowsByKeys(
+    const MaterializedView& view, const Database& db,
+    std::shared_ptr<const std::unordered_set<std::string>> keys);
+
+}  // namespace svc
+
+#endif  // SVC_SAMPLE_CLEANER_H_

@@ -1,0 +1,222 @@
+#include "sample/pushdown.h"
+
+#include <optional>
+
+namespace svc {
+
+namespace {
+
+struct Rewriter {
+  const Database& db;
+  const FilterFactory& factory;
+  PushdownReport* report;
+
+  PlanPtr Stop(PlanPtr node, const std::vector<std::string>& attrs,
+               const std::string& reason) {
+    if (report) {
+      ++report->blocked;
+      report->blocked_reasons.push_back(reason);
+    }
+    return factory(std::move(node), attrs);
+  }
+
+  Result<PlanPtr> Push(const PlanNode& node,
+                       const std::vector<std::string>& attrs) {
+    switch (node.kind()) {
+      case PlanKind::kScan: {
+        if (report) ++report->at_scan;
+        return factory(node.Clone(), attrs);
+      }
+      case PlanKind::kSelect: {
+        SVC_ASSIGN_OR_RETURN(PlanPtr c, Push(*node.child(0), attrs));
+        return PlanNode::Select(std::move(c), node.predicate()->Clone());
+      }
+      case PlanKind::kHashFilter: {
+        // Two independent deterministic filters commute.
+        SVC_ASSIGN_OR_RETURN(PlanPtr c, Push(*node.child(0), attrs));
+        PlanPtr copy = node.Clone();
+        copy->set_child(0, std::move(c));
+        return copy;
+      }
+      case PlanKind::kProject: {
+        SVC_ASSIGN_OR_RETURN(Schema child_schema,
+                             ComputeSchema(*node.child(0), db));
+        std::vector<std::string> mapped;
+        for (const auto& a : attrs) {
+          std::optional<std::string> hit;
+          for (const auto& item : node.project_items()) {
+            if (item.FullName() != a && item.alias != a) continue;
+            if (item.expr->kind() == ExprKind::kColumn) {
+              hit = item.expr->column_ref();
+            }
+            break;
+          }
+          if (!hit.has_value()) {
+            return Stop(node.Clone(), attrs,
+                        "projection does not expose sampling attribute '" +
+                            a + "' as a pure column reference");
+          }
+          mapped.push_back(*hit);
+        }
+        (void)child_schema;
+        SVC_ASSIGN_OR_RETURN(PlanPtr c, Push(*node.child(0), mapped));
+        std::vector<ProjectItem> items;
+        for (const auto& it : node.project_items()) {
+          items.push_back({it.alias, it.expr->Clone(), it.out_qualifier});
+        }
+        return PlanNode::Project(std::move(c), std::move(items));
+      }
+      case PlanKind::kAggregate: {
+        SVC_ASSIGN_OR_RETURN(Schema out_schema, ComputeSchema(node, db));
+        std::vector<std::string> mapped;
+        for (const auto& a : attrs) {
+          SVC_ASSIGN_OR_RETURN(size_t pos, out_schema.Resolve(a));
+          if (pos >= node.group_by().size()) {
+            return Stop(node.Clone(), attrs,
+                        "sampling attribute '" + a +
+                            "' is not a group-by column of the aggregate");
+          }
+          mapped.push_back(node.group_by()[pos]);
+        }
+        SVC_ASSIGN_OR_RETURN(PlanPtr c, Push(*node.child(0), mapped));
+        std::vector<AggItem> aggs;
+        for (const auto& ag : node.aggregates()) {
+          aggs.push_back({ag.func, ag.input ? ag.input->Clone() : nullptr,
+                          ag.alias});
+        }
+        return PlanNode::Aggregate(std::move(c), node.group_by(),
+                                   std::move(aggs));
+      }
+      case PlanKind::kUnion:
+      case PlanKind::kIntersect:
+      case PlanKind::kDifference: {
+        // Output schema equals the left schema; map attributes to the right
+        // child positionally.
+        SVC_ASSIGN_OR_RETURN(Schema ls, ComputeSchema(*node.child(0), db));
+        SVC_ASSIGN_OR_RETURN(Schema rs, ComputeSchema(*node.child(1), db));
+        std::vector<std::string> rattrs;
+        for (const auto& a : attrs) {
+          SVC_ASSIGN_OR_RETURN(size_t pos, ls.Resolve(a));
+          rattrs.push_back(rs.column(pos).FullName());
+        }
+        SVC_ASSIGN_OR_RETURN(PlanPtr l, Push(*node.child(0), attrs));
+        SVC_ASSIGN_OR_RETURN(PlanPtr r, Push(*node.child(1), rattrs));
+        switch (node.kind()) {
+          case PlanKind::kUnion:
+            return PlanNode::Union(std::move(l), std::move(r));
+          case PlanKind::kIntersect:
+            return PlanNode::Intersect(std::move(l), std::move(r));
+          default:
+            return PlanNode::Difference(std::move(l), std::move(r));
+        }
+      }
+      case PlanKind::kJoin:
+        return PushJoin(node, attrs);
+    }
+    return Status::Internal("unreachable plan kind");
+  }
+
+  Result<PlanPtr> PushJoin(const PlanNode& node,
+                           const std::vector<std::string>& attrs) {
+    SVC_ASSIGN_OR_RETURN(Schema ls, ComputeSchema(*node.child(0), db));
+    SVC_ASSIGN_OR_RETURN(Schema rs, ComputeSchema(*node.child(1), db));
+    const Schema out = Schema::Concat(ls, rs);
+    const size_t nl = ls.NumColumns();
+
+    // Resolve join-key pairs to output positions once.
+    struct KeyPair {
+      size_t left_pos;   // position in `out`
+      size_t right_pos;  // position in `out`
+      std::string left_ref;
+      std::string right_ref;
+    };
+    std::vector<KeyPair> pairs;
+    for (const auto& k : node.join_keys()) {
+      SVC_ASSIGN_OR_RETURN(size_t lp, ls.Resolve(k.left));
+      SVC_ASSIGN_OR_RETURN(size_t rp, rs.Resolve(k.right));
+      pairs.push_back({lp, nl + rp, k.left, k.right});
+    }
+
+    // Classify each sampled attribute.
+    bool all_left = true, all_right = true, all_keys = true;
+    std::vector<std::string> left_attrs, right_attrs;
+    std::vector<std::string> key_left, key_right;
+    for (const auto& a : attrs) {
+      SVC_ASSIGN_OR_RETURN(size_t pos, out.Resolve(a));
+      if (pos < nl) {
+        left_attrs.push_back(ls.column(pos).FullName());
+        all_right = false;
+      } else {
+        right_attrs.push_back(rs.column(pos - nl).FullName());
+        all_left = false;
+      }
+      bool is_key = false;
+      for (const auto& p : pairs) {
+        if (pos == p.left_pos || pos == p.right_pos) {
+          key_left.push_back(p.left_ref);
+          key_right.push_back(p.right_ref);
+          is_key = true;
+          break;
+        }
+      }
+      all_keys = all_keys && is_key;
+    }
+
+    auto rebuild = [&](PlanPtr l, PlanPtr r) {
+      return PlanNode::Join(
+          std::move(l), std::move(r), node.join_type(), node.join_keys(),
+          node.join_residual() ? node.join_residual()->Clone() : nullptr,
+          node.fk_right());
+    };
+
+    if (all_keys && !attrs.empty() && node.join_type() == JoinType::kInner) {
+      // Equality-join special case: the sampled attributes are join keys,
+      // so filtering both inputs by the same hash keeps matched pairs
+      // consistently. (Outer joins are excluded: a null-padded side would
+      // hash NULL at the root but the pushed filter would hash the key.)
+      SVC_ASSIGN_OR_RETURN(PlanPtr l, Push(*node.child(0), key_left));
+      SVC_ASSIGN_OR_RETURN(PlanPtr r, Push(*node.child(1), key_right));
+      return rebuild(std::move(l), std::move(r));
+    }
+    if (node.join_type() == JoinType::kInner && all_left) {
+      // One-sided push: each output row's sampled attributes come from its
+      // left constituent, so pre-filtering the left input removes exactly
+      // the rows η would remove (this subsumes the paper's foreign-key
+      // rule, where the right side is a dimension table).
+      SVC_ASSIGN_OR_RETURN(PlanPtr l, Push(*node.child(0), left_attrs));
+      return rebuild(std::move(l), node.child(1)->Clone());
+    }
+    if (node.join_type() == JoinType::kInner && all_right) {
+      SVC_ASSIGN_OR_RETURN(PlanPtr r, Push(*node.child(1), right_attrs));
+      return rebuild(node.child(0)->Clone(), std::move(r));
+    }
+    return Stop(node.Clone(), attrs,
+                "join blocks push-down: sampling attributes span both "
+                "sides and are not the equi-join keys");
+  }
+};
+
+}  // namespace
+
+Result<PlanPtr> PushDownFilter(const PlanNode& plan,
+                               const std::vector<std::string>& attrs,
+                               const FilterFactory& factory,
+                               const Database& db, PushdownReport* report) {
+  Rewriter rw{db, factory, report};
+  return rw.Push(plan, attrs);
+}
+
+Result<PlanPtr> PushDownHashFilter(const PlanNode& plan,
+                                   const std::vector<std::string>& attrs,
+                                   double ratio, HashFamily family,
+                                   const Database& db,
+                                   PushdownReport* report) {
+  FilterFactory factory = [ratio, family](
+                              PlanPtr child,
+                              const std::vector<std::string>& a) {
+    return PlanNode::HashFilter(std::move(child), a, ratio, family);
+  };
+  return PushDownFilter(plan, attrs, factory, db, report);
+}
+
+}  // namespace svc

@@ -1,0 +1,72 @@
+#ifndef SVC_SAMPLE_PUSHDOWN_H_
+#define SVC_SAMPLE_PUSHDOWN_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "relational/algebra.h"
+#include "relational/database.h"
+
+namespace svc {
+
+/// Where the push-down rewriter placed (or stopped) sampling operators.
+struct PushdownReport {
+  /// Number of η operators sitting directly above base-relation scans
+  /// (fully pushed; the scan itself is the only work above the sample).
+  int at_scan = 0;
+  /// Number of η operators stopped above a non-scan operator.
+  int blocked = 0;
+  /// One line per blocked site explaining why (mirrors the paper's
+  /// discussion of V21/V22).
+  std::vector<std::string> blocked_reasons;
+
+  bool FullyPushed() const { return blocked == 0; }
+};
+
+/// Rewrites η_{attrs, m}(plan) by pushing the sampling operator down the
+/// expression tree as far as the rules of Definition 3 allow:
+///
+///   * σ, η       — push through
+///   * Π          — push through iff every sampled attribute survives as a
+///                  pure column reference
+///   * γ          — push through iff every sampled attribute is a group-by
+///                  column
+///   * ∪, ∩, −    — push through to both children (positional mapping)
+///   * ⋈          — push to both sides when the sampled attributes are
+///                  equi-join keys (valid for inner and outer joins); push
+///                  to one side of an inner join when they all come from
+///                  that side (subsumes the paper's foreign-key rule);
+///                  blocked otherwise
+///   * scan       — stop; η lands directly above the leaf
+///
+/// By Theorem 1 the rewritten plan materializes exactly the same sample as
+/// applying η at the root. `attrs` are references valid in `plan`'s output
+/// schema. Returns the rewritten tree; `report` (optional) records where η
+/// landed.
+Result<PlanPtr> PushDownHashFilter(const PlanNode& plan,
+                                   const std::vector<std::string>& attrs,
+                                   double ratio, HashFamily family,
+                                   const Database& db,
+                                   PushdownReport* report = nullptr);
+
+/// Constructs the filter node placed by the push-down: given a child plan
+/// and the attribute references valid at that level, returns the filter
+/// applied to the child. The push-down rules are valid for any
+/// deterministic filter keyed on the attributes' values (η is the hashing
+/// instance; the outlier index push-up uses an explicit key-set instance).
+using FilterFactory =
+    std::function<PlanPtr(PlanPtr, const std::vector<std::string>&)>;
+
+/// Generic form of the push-down used by both η and key-set filters.
+Result<PlanPtr> PushDownFilter(const PlanNode& plan,
+                               const std::vector<std::string>& attrs,
+                               const FilterFactory& factory,
+                               const Database& db,
+                               PushdownReport* report = nullptr);
+
+}  // namespace svc
+
+#endif  // SVC_SAMPLE_PUSHDOWN_H_

@@ -1,0 +1,124 @@
+#include "sql/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace svc {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kKeywords = {
+      "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "AS", "AND", "OR",
+      "NOT", "NULL", "IS", "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER",
+      "ON", "UNION", "INTERSECT", "EXCEPT", "SUM", "COUNT", "AVG", "MIN",
+      "MAX", "MEDIAN", "DISTINCT", "BETWEEN", "LIKE", "IN", "CASE", "WHEN",
+      "THEN", "ELSE", "END", "TRUE", "FALSE",
+  };
+  return kKeywords;
+}
+
+std::string Upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;  // line comment
+      continue;
+    }
+    const size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      std::string word = sql.substr(start, i - start);
+      const std::string up = Upper(word);
+      if (Keywords().count(up)) {
+        out.push_back({TokenType::kKeyword, up, start});
+      } else {
+        // Qualified identifier t.a (or t.a.b, rejected later).
+        std::string ident = std::move(word);
+        while (i + 1 < n && sql[i] == '.' &&
+               (std::isalpha(static_cast<unsigned char>(sql[i + 1])) ||
+                sql[i + 1] == '_')) {
+          ident.push_back('.');
+          ++i;
+          const size_t s2 = i;
+          while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                           sql[i] == '_')) {
+            ++i;
+          }
+          ident += sql.substr(s2, i - s2);
+        }
+        out.push_back({TokenType::kIdentifier, std::move(ident), start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      bool seen_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       (sql[i] == '.' && !seen_dot))) {
+        seen_dot = seen_dot || sql[i] == '.';
+        ++i;
+      }
+      out.push_back({TokenType::kNumber, sql.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      while (i < n && sql[i] != '\'') {
+        text.push_back(sql[i]);
+        ++i;
+      }
+      if (i >= n) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(start));
+      }
+      ++i;  // closing quote
+      out.push_back({TokenType::kString, std::move(text), start});
+      continue;
+    }
+    // Multi-char operators first.
+    if (i + 1 < n) {
+      const std::string two = sql.substr(i, 2);
+      if (two == "<>" || two == "<=" || two == ">=" || two == "!=" ||
+          two == "||") {
+        out.push_back({TokenType::kSymbol, two == "!=" ? "<>" : two, start});
+        i += 2;
+        continue;
+      }
+    }
+    static const std::string kSingles = "(),*+-/%=<>.";
+    if (kSingles.find(c) != std::string::npos) {
+      out.push_back({TokenType::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at offset " +
+                                   std::to_string(i));
+  }
+  out.push_back({TokenType::kEnd, "", n});
+  return out;
+}
+
+}  // namespace svc

@@ -1,0 +1,40 @@
+#ifndef SVC_SQL_LEXER_H_
+#define SVC_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace svc {
+
+enum class TokenType {
+  kIdentifier,  ///< possibly qualified: a, t.a
+  kKeyword,     ///< upper-cased SQL keyword
+  kNumber,      ///< integer or decimal literal
+  kString,      ///< '...' literal (quotes stripped)
+  kSymbol,      ///< punctuation / operator: ( ) , * + - / % = <> <= >= < > .
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  ///< keyword text is upper-cased; identifiers keep case
+  size_t offset = 0;
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+};
+
+/// Tokenizes a SQL string. Keywords are recognized case-insensitively;
+/// anything alphabetic that is not a keyword is an identifier. Fails on
+/// unterminated strings or unexpected characters.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace svc
+
+#endif  // SVC_SQL_LEXER_H_

@@ -1,0 +1,415 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+
+namespace svc {
+
+namespace {
+
+/// Recursive-descent parser over the token stream. Expression grammar
+/// (loosest to tightest): OR, AND, NOT, comparison (= <> < <= > >=,
+/// BETWEEN, IS [NOT] NULL), additive (+ -), multiplicative (* / %), unary
+/// minus, primary (literal, column, function call, parenthesized).
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<SelectStmt>> ParseStatement() {
+    SVC_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt, ParseSelectBody());
+    if (!Peek().IsKeyword("UNION") && !Peek().IsKeyword("INTERSECT") &&
+        !Peek().IsKeyword("EXCEPT")) {
+      if (Peek().type != TokenType::kEnd && !Peek().IsSymbol(")")) {
+        return Err("unexpected trailing tokens");
+      }
+      return stmt;
+    }
+    SelectStmt* tail = stmt.get();
+    while (Peek().IsKeyword("UNION") || Peek().IsKeyword("INTERSECT") ||
+           Peek().IsKeyword("EXCEPT")) {
+      PlanKind op = PlanKind::kUnion;
+      if (Peek().IsKeyword("INTERSECT")) op = PlanKind::kIntersect;
+      if (Peek().IsKeyword("EXCEPT")) op = PlanKind::kDifference;
+      Advance();
+      SVC_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> next,
+                           ParseSelectBody());
+      tail->set_op = op;
+      tail->set_next = std::move(next);
+      tail = tail->set_next.get();
+    }
+    if (Peek().type != TokenType::kEnd && !Peek().IsSymbol(")")) {
+      return Err("unexpected trailing tokens");
+    }
+    return stmt;
+  }
+
+  Result<ExprPtr> ParseLooseExpr() {
+    SVC_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (Peek().type != TokenType::kEnd) return Err("unexpected trailing tokens");
+    return e;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Accept(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(const char* sym) {
+    if (Peek().IsSymbol(sym)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(const char* kw) {
+    if (!Accept(kw)) {
+      return Status::InvalidArgument(std::string("expected ") + kw +
+                                     " near offset " +
+                                     std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (!AcceptSymbol(sym)) {
+      return Status::InvalidArgument(std::string("expected '") + sym +
+                                     "' near offset " +
+                                     std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " near offset " +
+                                   std::to_string(Peek().offset));
+  }
+
+  static bool IsAggKeyword(const Token& t, AggFunc* func) {
+    if (t.type != TokenType::kKeyword) return false;
+    if (t.text == "SUM") *func = AggFunc::kSum;
+    else if (t.text == "COUNT") *func = AggFunc::kCount;
+    else if (t.text == "AVG") *func = AggFunc::kAvg;
+    else if (t.text == "MIN") *func = AggFunc::kMin;
+    else if (t.text == "MAX") *func = AggFunc::kMax;
+    else if (t.text == "MEDIAN") *func = AggFunc::kMedian;
+    else return false;
+    return true;
+  }
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelectBody() {
+    SVC_RETURN_IF_ERROR(Expect("SELECT"));
+    auto stmt = std::make_unique<SelectStmt>();
+
+    // Select list.
+    do {
+      SVC_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      stmt->items.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+
+    SVC_RETURN_IF_ERROR(Expect("FROM"));
+    SVC_ASSIGN_OR_RETURN(TableRef first, ParseTableRef());
+    stmt->from.push_back(std::move(first));
+    for (;;) {
+      if (AcceptSymbol(",")) {
+        SVC_ASSIGN_OR_RETURN(TableRef t, ParseTableRef());
+        stmt->from.push_back(std::move(t));
+        continue;
+      }
+      JoinType jt;
+      bool is_join = false;
+      if (Peek().IsKeyword("JOIN") || Peek().IsKeyword("INNER")) {
+        jt = JoinType::kInner;
+        is_join = true;
+        Accept("INNER");
+      } else if (Peek().IsKeyword("LEFT")) {
+        jt = JoinType::kLeft;
+        is_join = true;
+        Advance();
+        Accept("OUTER");
+      } else if (Peek().IsKeyword("RIGHT")) {
+        jt = JoinType::kRight;
+        is_join = true;
+        Advance();
+        Accept("OUTER");
+      } else if (Peek().IsKeyword("FULL")) {
+        jt = JoinType::kFull;
+        is_join = true;
+        Advance();
+        Accept("OUTER");
+      }
+      if (!is_join) break;
+      SVC_RETURN_IF_ERROR(Expect("JOIN"));
+      JoinClause jc;
+      jc.type = jt;
+      SVC_ASSIGN_OR_RETURN(jc.table, ParseTableRef());
+      SVC_RETURN_IF_ERROR(Expect("ON"));
+      SVC_ASSIGN_OR_RETURN(jc.on, ParseExpr());
+      stmt->joins.push_back(std::move(jc));
+    }
+
+    if (Accept("WHERE")) {
+      SVC_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    if (Accept("GROUP")) {
+      SVC_RETURN_IF_ERROR(Expect("BY"));
+      do {
+        if (Peek().type != TokenType::kIdentifier) {
+          return Err("GROUP BY expects column references");
+        }
+        stmt->group_by.push_back(Advance().text);
+      } while (AcceptSymbol(","));
+    }
+    if (Accept("HAVING")) {
+      SVC_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+    }
+    return stmt;
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    if (Peek().IsSymbol("*")) {
+      Advance();
+      item.is_star = true;
+      return item;
+    }
+    AggFunc func;
+    if (IsAggKeyword(Peek(), &func) && Peek(1).IsSymbol("(")) {
+      Advance();
+      Advance();  // '('
+      item.is_agg = true;
+      item.agg = func;
+      if (func == AggFunc::kCount) {
+        if (AcceptSymbol("*")) {
+          item.agg = AggFunc::kCountStar;
+        } else if (Peek().type == TokenType::kNumber && Peek(1).IsSymbol(")")) {
+          Advance();  // COUNT(1) == COUNT(*)
+          item.agg = AggFunc::kCountStar;
+        } else if (Accept("DISTINCT")) {
+          item.agg = AggFunc::kCountDistinct;
+          SVC_ASSIGN_OR_RETURN(item.agg_input, ParseExpr());
+        } else {
+          SVC_ASSIGN_OR_RETURN(item.agg_input, ParseExpr());
+        }
+      } else {
+        SVC_ASSIGN_OR_RETURN(item.agg_input, ParseExpr());
+      }
+      SVC_RETURN_IF_ERROR(ExpectSymbol(")"));
+    } else {
+      SVC_ASSIGN_OR_RETURN(item.scalar, ParseExpr());
+    }
+    if (Accept("AS")) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Err("expected alias after AS");
+      }
+      item.alias = Advance().text;
+    } else if (Peek().type == TokenType::kIdentifier &&
+               !Peek().IsKeyword("FROM")) {
+      // Implicit alias: `expr name`.
+      item.alias = Advance().text;
+    }
+    return item;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    if (AcceptSymbol("(")) {
+      SVC_ASSIGN_OR_RETURN(ref.subquery, ParseStatement());
+      SVC_RETURN_IF_ERROR(ExpectSymbol(")"));
+    } else if (Peek().type == TokenType::kIdentifier) {
+      ref.table = Advance().text;
+    } else {
+      return Err("expected table name or subquery");
+    }
+    if (Accept("AS")) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Err("expected alias after AS");
+      }
+      ref.alias = Advance().text;
+    } else if (Peek().type == TokenType::kIdentifier) {
+      ref.alias = Advance().text;
+    }
+    if (ref.alias.empty()) {
+      if (ref.table.empty()) return Err("subquery requires an alias");
+      ref.alias = ref.table;
+    }
+    return ref;
+  }
+
+  // ---- Expressions ---------------------------------------------------------
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    SVC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (Accept("OR")) {
+      SVC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    SVC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (Accept("AND")) {
+      SVC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = Expr::And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (Accept("NOT")) {
+      SVC_ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
+      return Expr::Not(std::move(e));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    SVC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    if (Accept("IS")) {
+      const bool negated = Accept("NOT");
+      SVC_RETURN_IF_ERROR(Expect("NULL"));
+      return Expr::Unary(negated ? UnaryOp::kIsNotNull : UnaryOp::kIsNull,
+                         std::move(lhs));
+    }
+    if (Accept("BETWEEN")) {
+      SVC_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+      SVC_RETURN_IF_ERROR(Expect("AND"));
+      SVC_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+      ExprPtr lhs_copy = lhs->Clone();
+      return Expr::And(Expr::Ge(std::move(lhs_copy), std::move(lo)),
+                       Expr::Le(std::move(lhs), std::move(hi)));
+    }
+    struct OpMap {
+      const char* sym;
+      BinaryOp op;
+    };
+    static const OpMap kOps[] = {{"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe},
+                                 {"<>", BinaryOp::kNe}, {"=", BinaryOp::kEq},
+                                 {"<", BinaryOp::kLt},  {">", BinaryOp::kGt}};
+    for (const auto& [sym, op] : kOps) {
+      if (AcceptSymbol(sym)) {
+        SVC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        return Expr::Binary(op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    SVC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    for (;;) {
+      if (AcceptSymbol("+")) {
+        SVC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = Expr::Add(std::move(lhs), std::move(rhs));
+      } else if (AcceptSymbol("-")) {
+        SVC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = Expr::Sub(std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    SVC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    for (;;) {
+      if (AcceptSymbol("*")) {
+        SVC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = Expr::Mul(std::move(lhs), std::move(rhs));
+      } else if (AcceptSymbol("/")) {
+        SVC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = Expr::Div(std::move(lhs), std::move(rhs));
+      } else if (AcceptSymbol("%")) {
+        SVC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = Expr::Binary(BinaryOp::kMod, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (AcceptSymbol("-")) {
+      SVC_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+      return Expr::Unary(UnaryOp::kNeg, std::move(e));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    if (t.type == TokenType::kNumber) {
+      Advance();
+      if (t.text.find('.') != std::string::npos) {
+        return Expr::LitDouble(std::stod(t.text));
+      }
+      return Expr::LitInt(std::stoll(t.text));
+    }
+    if (t.type == TokenType::kString) {
+      Advance();
+      return Expr::LitString(t.text);
+    }
+    if (t.IsKeyword("NULL")) {
+      Advance();
+      return Expr::Lit(Value::Null());
+    }
+    if (t.IsKeyword("TRUE")) {
+      Advance();
+      return Expr::Lit(Value::Bool(true));
+    }
+    if (t.IsKeyword("FALSE")) {
+      Advance();
+      return Expr::Lit(Value::Bool(false));
+    }
+    if (t.IsSymbol("(")) {
+      Advance();
+      SVC_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      SVC_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return e;
+    }
+    if (t.type == TokenType::kIdentifier) {
+      // Function call?
+      if (Peek(1).IsSymbol("(")) {
+        const std::string name = Advance().text;
+        Advance();  // '('
+        std::vector<ExprPtr> args;
+        if (!Peek().IsSymbol(")")) {
+          do {
+            SVC_ASSIGN_OR_RETURN(ExprPtr a, ParseExpr());
+            args.push_back(std::move(a));
+          } while (AcceptSymbol(","));
+        }
+        SVC_RETURN_IF_ERROR(ExpectSymbol(")"));
+        return Expr::Func(name, std::move(args));
+      }
+      Advance();
+      return Expr::Col(t.text);
+    }
+    return Err("expected expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& sql) {
+  SVC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Result<ExprPtr> ParseScalarExpr(const std::string& sql) {
+  SVC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseLooseExpr();
+}
+
+}  // namespace svc

@@ -1,0 +1,63 @@
+#ifndef SVC_SQL_PARSER_H_
+#define SVC_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/algebra.h"
+#include "relational/expr.h"
+
+namespace svc {
+
+/// One SELECT-list entry: `*`, a scalar expression, or a top-level
+/// aggregate call `agg(expr)` / `count(*)` — each optionally aliased.
+struct SelectItem {
+  bool is_star = false;
+  bool is_agg = false;
+  AggFunc agg = AggFunc::kCountStar;
+  ExprPtr agg_input;  ///< null for count(*)
+  ExprPtr scalar;     ///< non-aggregate expression
+  std::string alias;  ///< "" -> derived from the expression
+};
+
+struct SelectStmt;
+
+/// A FROM-clause source: a base table or a parenthesized subquery, with an
+/// optional alias.
+struct TableRef {
+  std::string table;                     ///< base table name ("" if subquery)
+  std::unique_ptr<SelectStmt> subquery;  ///< non-null for (SELECT ...)
+  std::string alias;
+};
+
+/// An explicit JOIN clause.
+struct JoinClause {
+  JoinType type = JoinType::kInner;
+  TableRef table;
+  ExprPtr on;  ///< raw ON condition (equi-keys extracted by the planner)
+};
+
+/// Parsed `SELECT ... [UNION ...]` statement.
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;      ///< comma-separated sources
+  std::vector<JoinClause> joins;   ///< explicit JOIN ... ON chains
+  ExprPtr where;
+  std::vector<std::string> group_by;  ///< column references
+  ExprPtr having;
+  /// UNION / INTERSECT / EXCEPT continuation.
+  std::unique_ptr<SelectStmt> set_next;
+  PlanKind set_op = PlanKind::kUnion;
+};
+
+/// Parses one SELECT statement (errors carry the offending token offset).
+Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& sql);
+
+/// Parses a scalar expression in isolation (used for query predicates).
+Result<ExprPtr> ParseScalarExpr(const std::string& sql);
+
+}  // namespace svc
+
+#endif  // SVC_SQL_PARSER_H_

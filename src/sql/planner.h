@@ -1,0 +1,31 @@
+#ifndef SVC_SQL_PLANNER_H_
+#define SVC_SQL_PLANNER_H_
+
+#include "common/status.h"
+#include "relational/algebra.h"
+#include "relational/database.h"
+#include "sql/parser.h"
+
+namespace svc {
+
+/// Lowers a parsed SELECT statement to a relational-algebra plan against
+/// `db`'s catalog:
+///
+///   * comma-joined FROM sources are combined into a join tree, greedily
+///     extracting cross-source equality conjuncts from WHERE as hash-join
+///     keys (remaining sources fall back to cross products),
+///   * explicit JOIN ... ON clauses keep equi-conjuncts as join keys and
+///     the rest as residual predicates,
+///   * aggregate select-lists lower to γ (group-by + aggregates) with
+///     HAVING as a σ above it,
+///   * subqueries in FROM lower recursively and re-qualify their output
+///     columns with the subquery alias,
+///   * UNION / INTERSECT / EXCEPT lower to the set operators.
+Result<PlanPtr> PlanSelect(const SelectStmt& stmt, const Database& db);
+
+/// Convenience: parse + plan.
+Result<PlanPtr> SqlToPlan(const std::string& sql, const Database& db);
+
+}  // namespace svc
+
+#endif  // SVC_SQL_PLANNER_H_

@@ -1,0 +1,275 @@
+#include "tpcd/tpcd_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace svc {
+
+namespace {
+
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+const char* kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL",  "CANADA",     "EGYPT",
+    "ETHIOPIA", "FRANCE",   "GERMANY", "INDIA",      "INDONESIA",
+    "IRAN",     "IRAQ",     "JAPAN",   "JORDAN",     "KENYA",
+    "MOROCCO",  "MOZAMBIQUE", "PERU",  "CHINA",      "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES"};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+                           "HOUSEHOLD"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK",
+                            "MAIL", "FOB"};
+const char* kReturnFlags[] = {"R", "A", "N"};
+const char* kBrands[] = {"Brand#11", "Brand#22", "Brand#33", "Brand#44",
+                         "Brand#55"};
+
+constexpr int kMinDate = 1;  // workload day number
+constexpr int kMaxDate = 360;
+
+/// Skewed price: a Pareto tail whose index decreases with the skew
+/// parameter z — z=1 is a mild long tail, z=4 an extreme one (the regime
+/// where sampling without the outlier index falls apart, Figure 8a).
+double SkewedPrice(double z, Rng* rng) {
+  const double alpha = std::max(0.9, 5.0 - z);
+  double u;
+  do {
+    u = rng->NextDouble();
+  } while (u <= 1e-12);
+  return std::min(900.0 * std::pow(u, -1.0 / alpha), 5.0e7);
+}
+
+struct Generators {
+  Rng rng;
+  double zipf_z;        // value-skew parameter
+  Zipfian value_zipf;   // for quantities
+  Zipfian cust_zipf;    // customer popularity in orders
+  Zipfian part_zipf;    // part popularity in lineitems
+  Zipfian supp_zipf;    // supplier popularity
+};
+
+Row MakeLineitem(int64_t orderkey, int64_t linenumber, Generators* g) {
+  const int64_t partkey =
+      static_cast<int64_t>(g->part_zipf.Next(&g->rng));
+  const int64_t suppkey =
+      static_cast<int64_t>(g->supp_zipf.Next(&g->rng));
+  const int64_t quantity =
+      1 + static_cast<int64_t>(g->value_zipf.Next(&g->rng)) % 50;
+  const double price = SkewedPrice(g->zipf_z, &g->rng);
+  const double discount = 0.01 * static_cast<double>(
+                              g->rng.UniformInt(0, 10));
+  return {Value::Int(orderkey),
+          Value::Int(linenumber),
+          Value::Int(partkey),
+          Value::Int(suppkey),
+          Value::Int(quantity),
+          Value::Double(price),
+          Value::Double(discount),
+          Value::String(kReturnFlags[g->rng.UniformInt(0, 2)]),
+          Value::String(kShipModes[g->rng.UniformInt(0, 6)]),
+          Value::Int(g->rng.UniformInt(kMinDate, kMaxDate))};
+}
+
+Row MakeOrder(int64_t orderkey, size_t num_customers, Generators* g) {
+  int64_t custkey = static_cast<int64_t>(g->cust_zipf.Next(&g->rng));
+  custkey = 1 + (custkey - 1) % static_cast<int64_t>(num_customers);
+  return {Value::Int(orderkey),
+          Value::Int(custkey),
+          Value::String(g->rng.Bernoulli(0.5) ? "F" : "O"),
+          Value::Double(g->rng.Uniform(1000, 400000)),
+          Value::Int(g->rng.UniformInt(kMinDate, kMaxDate)),
+          Value::String(kPriorities[g->rng.UniformInt(0, 4)])};
+}
+
+}  // namespace
+
+Result<Database> GenerateTpcdDatabase(const TpcdConfig& config) {
+  Database db;
+  Generators g{Rng(config.seed),
+               config.zipf_z,
+               Zipfian(1000, config.zipf_z),
+               Zipfian(std::max<size_t>(config.NumCustomers(), 1),
+                       config.PopularityZipf()),
+               Zipfian(std::max<size_t>(config.NumParts(), 1),
+                       config.PopularityZipf()),
+               Zipfian(std::max<size_t>(config.NumSuppliers(), 1),
+                       config.PopularityZipf())};
+
+  // region
+  {
+    Table t(Schema({{"", "r_regionkey", ValueType::kInt},
+                    {"", "r_name", ValueType::kString}}));
+    SVC_RETURN_IF_ERROR(t.SetPrimaryKey({"r_regionkey"}));
+    for (int64_t i = 0; i < 5; ++i) {
+      SVC_RETURN_IF_ERROR(t.Insert({Value::Int(i),
+                                    Value::String(kRegions[i])}));
+    }
+    SVC_RETURN_IF_ERROR(db.CreateTable("region", std::move(t)));
+  }
+  // nation
+  {
+    Table t(Schema({{"", "n_nationkey", ValueType::kInt},
+                    {"", "n_name", ValueType::kString},
+                    {"", "n_regionkey", ValueType::kInt}}));
+    SVC_RETURN_IF_ERROR(t.SetPrimaryKey({"n_nationkey"}));
+    for (int64_t i = 0; i < 25; ++i) {
+      SVC_RETURN_IF_ERROR(t.Insert(
+          {Value::Int(i), Value::String(kNations[i]), Value::Int(i % 5)}));
+    }
+    SVC_RETURN_IF_ERROR(db.CreateTable("nation", std::move(t)));
+  }
+  // customer
+  {
+    Table t(Schema({{"", "c_custkey", ValueType::kInt},
+                    {"", "c_name", ValueType::kString},
+                    {"", "c_nationkey", ValueType::kInt},
+                    {"", "c_acctbal", ValueType::kDouble},
+                    {"", "c_mktsegment", ValueType::kString}}));
+    SVC_RETURN_IF_ERROR(t.SetPrimaryKey({"c_custkey"}));
+    for (size_t i = 1; i <= config.NumCustomers(); ++i) {
+      SVC_RETURN_IF_ERROR(t.Insert(
+          {Value::Int(static_cast<int64_t>(i)),
+           Value::String("Customer#" + std::to_string(i)),
+           Value::Int(g.rng.UniformInt(0, 24)),
+           Value::Double(g.rng.Uniform(-999, 9999)),
+           Value::String(kSegments[g.rng.UniformInt(0, 4)])}));
+    }
+    SVC_RETURN_IF_ERROR(db.CreateTable("customer", std::move(t)));
+  }
+  // supplier
+  {
+    Table t(Schema({{"", "s_suppkey", ValueType::kInt},
+                    {"", "s_name", ValueType::kString},
+                    {"", "s_nationkey", ValueType::kInt},
+                    {"", "s_acctbal", ValueType::kDouble}}));
+    SVC_RETURN_IF_ERROR(t.SetPrimaryKey({"s_suppkey"}));
+    for (size_t i = 1; i <= config.NumSuppliers(); ++i) {
+      SVC_RETURN_IF_ERROR(t.Insert(
+          {Value::Int(static_cast<int64_t>(i)),
+           Value::String("Supplier#" + std::to_string(i)),
+           Value::Int(g.rng.UniformInt(0, 24)),
+           Value::Double(g.rng.Uniform(-999, 9999))}));
+    }
+    SVC_RETURN_IF_ERROR(db.CreateTable("supplier", std::move(t)));
+  }
+  // part
+  {
+    Table t(Schema({{"", "p_partkey", ValueType::kInt},
+                    {"", "p_name", ValueType::kString},
+                    {"", "p_brand", ValueType::kString},
+                    {"", "p_size", ValueType::kInt},
+                    {"", "p_retailprice", ValueType::kDouble}}));
+    SVC_RETURN_IF_ERROR(t.SetPrimaryKey({"p_partkey"}));
+    for (size_t i = 1; i <= config.NumParts(); ++i) {
+      SVC_RETURN_IF_ERROR(t.Insert(
+          {Value::Int(static_cast<int64_t>(i)),
+           Value::String("Part#" + std::to_string(i)),
+           Value::String(kBrands[g.rng.UniformInt(0, 4)]),
+           Value::Int(g.rng.UniformInt(1, 50)),
+           Value::Double(g.rng.Uniform(900, 2000))}));
+    }
+    SVC_RETURN_IF_ERROR(db.CreateTable("part", std::move(t)));
+  }
+  // orders + lineitem
+  {
+    Table orders(Schema({{"", "o_orderkey", ValueType::kInt},
+                         {"", "o_custkey", ValueType::kInt},
+                         {"", "o_orderstatus", ValueType::kString},
+                         {"", "o_totalprice", ValueType::kDouble},
+                         {"", "o_orderdate", ValueType::kInt},
+                         {"", "o_orderpriority", ValueType::kString}}));
+    SVC_RETURN_IF_ERROR(orders.SetPrimaryKey({"o_orderkey"}));
+    Table lineitem(Schema({{"", "l_orderkey", ValueType::kInt},
+                           {"", "l_linenumber", ValueType::kInt},
+                           {"", "l_partkey", ValueType::kInt},
+                           {"", "l_suppkey", ValueType::kInt},
+                           {"", "l_quantity", ValueType::kInt},
+                           {"", "l_extendedprice", ValueType::kDouble},
+                           {"", "l_discount", ValueType::kDouble},
+                           {"", "l_returnflag", ValueType::kString},
+                           {"", "l_shipmode", ValueType::kString},
+                           {"", "l_shipdate", ValueType::kInt}}));
+    SVC_RETURN_IF_ERROR(lineitem.SetPrimaryKey({"l_orderkey",
+                                                "l_linenumber"}));
+    for (size_t o = 1; o <= config.NumOrders(); ++o) {
+      const int64_t orderkey = static_cast<int64_t>(o);
+      SVC_RETURN_IF_ERROR(
+          orders.Insert(MakeOrder(orderkey, config.NumCustomers(), &g)));
+      const int64_t lines = g.rng.UniformInt(1, 7);
+      for (int64_t ln = 1; ln <= lines; ++ln) {
+        SVC_RETURN_IF_ERROR(lineitem.Insert(MakeLineitem(orderkey, ln, &g)));
+      }
+    }
+    SVC_RETURN_IF_ERROR(db.CreateTable("orders", std::move(orders)));
+    SVC_RETURN_IF_ERROR(db.CreateTable("lineitem", std::move(lineitem)));
+  }
+  return db;
+}
+
+Result<DeltaSet> GenerateTpcdUpdates(const Database& db,
+                                     const TpcdConfig& config,
+                                     const TpcdUpdateConfig& update_config) {
+  DeltaSet deltas;
+  Generators g{Rng(update_config.seed ^ config.seed),
+               config.zipf_z,
+               Zipfian(1000, config.zipf_z),
+               Zipfian(std::max<size_t>(config.NumCustomers(), 1),
+                       config.PopularityZipf()),
+               Zipfian(std::max<size_t>(config.NumParts(), 1),
+                       config.PopularityZipf()),
+               Zipfian(std::max<size_t>(config.NumSuppliers(), 1),
+                       config.PopularityZipf())};
+  SVC_ASSIGN_OR_RETURN(const Table* lineitem, db.GetTable("lineitem"));
+  SVC_ASSIGN_OR_RETURN(const Table* orders, db.GetTable("orders"));
+
+  const size_t target_lines = static_cast<size_t>(
+      static_cast<double>(lineitem->NumRows()) * update_config.fraction);
+  const size_t insert_lines = static_cast<size_t>(
+      static_cast<double>(target_lines) * update_config.insert_share);
+  const size_t update_lines = target_lines - insert_lines;
+
+  // Insertions: new orders with fresh keys, each with a few lineitems.
+  int64_t next_orderkey = 0;
+  for (const auto& r : orders->rows()) {
+    next_orderkey = std::max(next_orderkey, r[0].AsInt());
+  }
+  ++next_orderkey;
+  size_t emitted = 0;
+  while (emitted < insert_lines) {
+    SVC_RETURN_IF_ERROR(deltas.AddInsert(
+        db, "orders", MakeOrder(next_orderkey, config.NumCustomers(), &g)));
+    const int64_t lines = g.rng.UniformInt(1, 7);
+    for (int64_t ln = 1; ln <= lines && emitted < insert_lines; ++ln) {
+      SVC_RETURN_IF_ERROR(deltas.AddInsert(
+          db, "lineitem", MakeLineitem(next_orderkey, ln, &g)));
+      ++emitted;
+    }
+    ++next_orderkey;
+  }
+
+  // Updates to existing lineitems: new quantity and price.
+  std::set<size_t> updated;
+  size_t done = 0;
+  size_t guard = 0;
+  while (done < update_lines && guard < update_lines * 20) {
+    ++guard;
+    const size_t victim = static_cast<size_t>(
+        g.rng.UniformInt(0, static_cast<int64_t>(lineitem->NumRows()) - 1));
+    if (!updated.insert(victim).second) continue;
+    Row old_row = lineitem->row(victim);
+    Row new_row = old_row;
+    new_row[4] = Value::Int(1 + static_cast<int64_t>(
+                                    g.value_zipf.Next(&g.rng)) % 50);
+    new_row[5] = Value::Double(SkewedPrice(g.zipf_z, &g.rng));
+    SVC_RETURN_IF_ERROR(
+        deltas.AddUpdate(db, "lineitem", std::move(old_row),
+                         std::move(new_row)));
+    ++done;
+  }
+  return deltas;
+}
+
+}  // namespace svc

@@ -1,0 +1,89 @@
+#ifndef SVC_TPCD_TPCD_GEN_H_
+#define SVC_TPCD_TPCD_GEN_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "relational/database.h"
+#include "view/delta.h"
+
+namespace svc {
+
+/// Configuration of the TPCD-Skew generator (Chaudhuri & Narasayya's skewed
+/// variant of the TPC-D benchmark schema, §7.1 of the paper). Row counts
+/// scale linearly with `scale_factor` relative to TPC-D SF 1 (150k
+/// customers, 1.5M orders, ~6M lineitems); the default 0.01 produces a
+/// laptop-scale database with the same shape. `zipf_z` is the paper's skew
+/// parameter z ∈ {1,2,3,4}: values and foreign-key popularity are drawn
+/// from Zipfian(z) distributions (z=1 ~ the basic benchmark; larger z gives
+/// longer tails — the regime where the outlier index matters).
+struct TpcdConfig {
+  double scale_factor = 0.01;
+  double zipf_z = 2.0;
+  uint64_t seed = 20150831;  // the VLDB'15 conference date
+
+  // Orders/lineitems scale with TPC-D proportions; dimension cardinalities
+  // are scaled more gently so that per-group row counts at laptop scale
+  // stay comparable to the paper's 10GB setting (otherwise every group-by
+  // estimate is starved of sample rows).
+  size_t NumCustomers() const {
+    return static_cast<size_t>(15000 * scale_factor);
+  }
+  size_t NumOrders() const {
+    return static_cast<size_t>(1500000 * scale_factor);
+  }
+  size_t NumParts() const {
+    return static_cast<size_t>(20000 * scale_factor);
+  }
+  size_t NumSuppliers() const {
+    return static_cast<size_t>(2500 * scale_factor);
+  }
+
+  /// Foreign-key popularity skew: capped at 1.0 — the Chaudhuri-Narasayya
+  /// skew parameter z primarily drives *value* skew (prices, quantities),
+  /// which is what the outlier index targets; uncapped key popularity at
+  /// z=4 would leave most groups empty at any scale.
+  double PopularityZipf() const { return zipf_z < 1.0 ? zipf_z : 1.0; }
+};
+
+/// Generates the eight base relations — region, nation, customer, supplier,
+/// part, orders, lineitem (plus a small partsupp) — with primary keys
+/// declared, into a fresh Database.
+///
+/// Schema (simplified TPC-D):
+///   region  (r_regionkey, r_name)
+///   nation  (n_nationkey, n_name, n_regionkey)
+///   customer(c_custkey, c_name, c_nationkey, c_acctbal, c_mktsegment)
+///   supplier(s_suppkey, s_name, s_nationkey, s_acctbal)
+///   part    (p_partkey, p_name, p_brand, p_size, p_retailprice)
+///   orders  (o_orderkey, o_custkey, o_orderstatus, o_totalprice,
+///            o_orderdate, o_orderpriority)
+///   lineitem(l_orderkey, l_linenumber, l_partkey, l_suppkey, l_quantity,
+///            l_extendedprice, l_discount, l_returnflag, l_shipmode,
+///            l_shipdate)
+Result<Database> GenerateTpcdDatabase(const TpcdConfig& config);
+
+/// Options for the update stream (§7.2: "insertions and updates to existing
+/// records" against lineitem and orders).
+struct TpcdUpdateConfig {
+  /// Update volume as a fraction of the base lineitem count (the paper's
+  /// "update size (% of base data)").
+  double fraction = 0.10;
+  /// Portion of the volume that is new orders+lineitems (the rest are
+  /// in-place updates of existing records, modeled as delete+insert).
+  double insert_share = 0.8;
+  uint64_t seed = 7;
+};
+
+/// Generates a DeltaSet of pending insertions and updates against `db`
+/// (which must have been produced by GenerateTpcdDatabase with the same
+/// `config`). New orders get fresh keys past the current maximum; updated
+/// lineitems change quantity/price.
+Result<DeltaSet> GenerateTpcdUpdates(const Database& db,
+                                     const TpcdConfig& config,
+                                     const TpcdUpdateConfig& update_config);
+
+}  // namespace svc
+
+#endif  // SVC_TPCD_TPCD_GEN_H_

@@ -1,0 +1,290 @@
+#include "tpcd/tpcd_views.h"
+
+#include <algorithm>
+
+namespace svc {
+
+PlanPtr TpcdJoinViewDef() {
+  // lineitem ⋈ orders on the foreign key; orders is the dimension side.
+  return PlanNode::Join(PlanNode::Scan("lineitem", "l"),
+                        PlanNode::Scan("orders", "o"), JoinType::kInner,
+                        {{"l.l_orderkey", "o.o_orderkey"}}, nullptr,
+                        /*fk_right=*/true);
+}
+
+std::vector<std::string> TpcdJoinViewSamplingKey() { return {"l_orderkey"}; }
+
+namespace {
+
+ExprPtr Revenue() {
+  return Expr::Mul(Expr::Col("l_extendedprice"),
+                   Expr::Sub(Expr::LitInt(1), Expr::Col("l_discount")));
+}
+
+ExprPtr DateBetween(const char* col, int lo, int hi) {
+  return Expr::And(Expr::Ge(Expr::Col(col), Expr::LitInt(lo)),
+                   Expr::Lt(Expr::Col(col), Expr::LitInt(hi)));
+}
+
+}  // namespace
+
+std::vector<ViewQuery> TpcdJoinViewQueries() {
+  std::vector<ViewQuery> out;
+  // Q3: revenue of un-shipped orders by priority.
+  out.push_back({"Q3",
+                 {"o_orderpriority"},
+                 AggregateQuery::Sum(Revenue(),
+                                     Expr::Eq(Expr::Col("o_orderstatus"),
+                                              Expr::LitString("O")))});
+  // Q4: order counts by priority in a date window.
+  out.push_back({"Q4",
+                 {"o_orderpriority"},
+                 AggregateQuery::Count(DateBetween("o_orderdate", 60, 180))});
+  // Q5: revenue by supplier.
+  out.push_back({"Q5",
+                 {"l_suppkey"},
+                 AggregateQuery::Sum(Revenue(),
+                                     DateBetween("o_orderdate", 1, 240))});
+  // Q7: shipped volume by ship mode across a date window.
+  out.push_back({"Q7",
+                 {"l_shipmode"},
+                 AggregateQuery::Sum(Revenue(),
+                                     DateBetween("l_shipdate", 90, 270))});
+  // Q8: market share style: average price per order-year bucket.
+  out.push_back({"Q8",
+                 {"o_orderdate"},
+                 AggregateQuery::Avg(Revenue(),
+                                     DateBetween("o_orderdate", 240, 300))});
+  // Q9: profit by part.
+  out.push_back(
+      {"Q9",
+       {"l_partkey"},
+       AggregateQuery::Sum(
+           Expr::Sub(Revenue(), Expr::Mul(Expr::Col("l_quantity"),
+                                          Expr::LitInt(10))),
+           nullptr)});
+  // Q10: returned-item revenue by customer.
+  out.push_back({"Q10",
+                 {"o_custkey"},
+                 AggregateQuery::Sum(Revenue(),
+                                     Expr::Eq(Expr::Col("l_returnflag"),
+                                              Expr::LitString("R")))});
+  // Q12: line counts by ship mode for high-priority orders.
+  out.push_back(
+      {"Q12",
+       {"l_shipmode"},
+       AggregateQuery::Count(Expr::Or(
+           Expr::Eq(Expr::Col("o_orderpriority"), Expr::LitString("1-URGENT")),
+           Expr::Eq(Expr::Col("o_orderpriority"),
+                    Expr::LitString("2-HIGH"))))});
+  // Q14: promo-style: average discount by return flag in a window.
+  out.push_back({"Q14",
+                 {"l_returnflag"},
+                 AggregateQuery::Avg(Expr::Col("l_discount"),
+                                     DateBetween("l_shipdate", 150, 200))});
+  // Q18: large-volume orders: total quantity per order above a floor.
+  out.push_back({"Q18",
+                 {"o_custkey"},
+                 AggregateQuery::Sum(Expr::Col("l_quantity"),
+                                     Expr::Gt(Expr::Col("o_totalprice"),
+                                              Expr::LitDouble(250000)))});
+  // Q19: discounted revenue for small quantities.
+  out.push_back({"Q19",
+                 {"l_returnflag"},
+                 AggregateQuery::Sum(Revenue(),
+                                     Expr::And(Expr::Ge(Expr::Col("l_quantity"),
+                                                        Expr::LitInt(1)),
+                                               Expr::Le(Expr::Col("l_quantity"),
+                                                        Expr::LitInt(15))))});
+  // Q21: waiting orders per supplier (simplified to a grouped count).
+  out.push_back({"Q21",
+                 {"l_suppkey"},
+                 AggregateQuery::Count(Expr::Eq(Expr::Col("o_orderstatus"),
+                                                Expr::LitString("F")))});
+  return out;
+}
+
+std::vector<ComplexView> TpcdComplexViews() {
+  std::vector<ComplexView> out;
+  out.push_back(
+      {"V3",
+       "SELECT o_custkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue,"
+       " COUNT(1) AS n_lines "
+       "FROM lineitem, orders WHERE l_orderkey = o_orderkey "
+       "GROUP BY o_custkey",
+       {}});
+  out.push_back(
+      {"V4",
+       "SELECT o_orderdate, COUNT(1) AS n_orders, AVG(o_totalprice) AS "
+       "avg_price FROM orders GROUP BY o_orderdate",
+       {}});
+  out.push_back(
+      {"V5",
+       "SELECT l_suppkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue "
+       "FROM lineitem, orders WHERE l_orderkey = o_orderkey "
+       "AND o_orderdate >= 60 AND o_orderdate < 300 GROUP BY l_suppkey",
+       {}});
+  out.push_back(
+      {"V9",
+       "SELECT l_partkey, SUM(l_extendedprice * (1 - l_discount) - "
+       "10 * l_quantity) AS profit FROM lineitem GROUP BY l_partkey",
+       {}});
+  out.push_back(
+      {"V10",
+       "SELECT o_custkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue "
+       "FROM lineitem, orders WHERE l_orderkey = o_orderkey AND "
+       "l_returnflag = 'R' GROUP BY o_custkey",
+       {}});
+  // V13: customer order-count distribution — nested aggregation.
+  out.push_back(
+      {"V13",
+       "SELECT c_bucket, COUNT(1) AS n_customers FROM "
+       "(SELECT o_custkey, floor(c_count / 25) AS c_bucket FROM "
+       "(SELECT o_custkey, COUNT(1) AS c_count FROM orders "
+       " GROUP BY o_custkey) AS counts) AS per_cust GROUP BY c_bucket",
+       {}});
+  out.push_back(
+      {"V15i",
+       "SELECT l_suppkey, SUM(l_extendedprice * (1 - l_discount)) AS "
+       "total_revenue FROM lineitem WHERE l_shipdate >= 150 AND "
+       "l_shipdate < 240 GROUP BY l_suppkey",
+       {}});
+  out.push_back(
+      {"V18",
+       "SELECT o_custkey, o_orderkey, SUM(l_quantity) AS total_qty "
+       "FROM lineitem, orders WHERE l_orderkey = o_orderkey "
+       "GROUP BY o_custkey, o_orderkey",
+       {}});
+  // V21: join against an aggregated subquery — its delta stream requires
+  // re-evaluating the subquery over old and new states (muted speedup).
+  out.push_back(
+      {"V21",
+       "SELECT l_suppkey, COUNT(1) AS waiting FROM lineitem, "
+       "(SELECT o_orderdate AS d, COUNT(1) AS day_orders FROM orders "
+       " GROUP BY o_orderdate) AS daily "
+       "WHERE l_shipdate = daily.d AND daily.day_orders > 3 "
+       "GROUP BY l_suppkey",
+       {}});
+  // V22: the group key is an arithmetic transformation of a base attribute
+  // — the hash operator cannot push below the projection.
+  out.push_back(
+      {"V22",
+       "SELECT price_bucket, COUNT(1) AS n_orders, SUM(o_totalprice) AS "
+       "total FROM (SELECT o_orderkey, floor(o_totalprice / 20000) AS "
+       "price_bucket, o_totalprice FROM orders) AS b GROUP BY price_bucket",
+       {}});
+  return out;
+}
+
+std::vector<ViewQuery> GenerateRandomViewQueries(
+    const Table& view_data, const std::vector<std::string>& group_columns,
+    const std::vector<std::string>& numeric_columns, int count, Rng* rng) {
+  std::vector<ViewQuery> out;
+  if (group_columns.empty() || numeric_columns.empty() ||
+      view_data.empty()) {
+    return out;
+  }
+  for (int i = 0; i < count; ++i) {
+    const std::string& a =
+        group_columns[rng->UniformInt(0, group_columns.size() - 1)];
+    const std::string& b =
+        numeric_columns[rng->UniformInt(0, numeric_columns.size() - 1)];
+    // Domain of `a` from the materialized view.
+    auto col = view_data.schema().Resolve(a);
+    if (!col.ok()) continue;
+    std::vector<Value> domain;
+    for (const auto& r : view_data.rows()) domain.push_back(r[*col]);
+    std::sort(domain.begin(), domain.end(),
+              [](const Value& x, const Value& y) { return x < y; });
+    domain.erase(std::unique(domain.begin(), domain.end(),
+                             [](const Value& x, const Value& y) {
+                               return x == y;
+                             }),
+                 domain.end());
+    if (domain.size() < 2) continue;
+    // Random subrange covering 30-70% of the domain (the paper's example:
+    // countryCode > 50 AND countryCode < 100).
+    const int64_t n_dom = static_cast<int64_t>(domain.size());
+    const int64_t span = std::max<int64_t>(
+        1, n_dom * 3 / 10 + rng->UniformInt(0, n_dom * 4 / 10));
+    const int64_t lo_max = std::max<int64_t>(0, n_dom - 1 - span);
+    size_t lo = static_cast<size_t>(rng->UniformInt(0, lo_max));
+    size_t hi = static_cast<size_t>(
+        std::min<int64_t>(n_dom - 1, static_cast<int64_t>(lo) + span));
+    ExprPtr pred;
+    if (domain[lo].IsNumeric()) {
+      pred = Expr::And(Expr::Ge(Expr::Col(a), Expr::Lit(domain[lo])),
+                       Expr::Le(Expr::Col(a), Expr::Lit(domain[hi])));
+    } else {
+      pred = Expr::Eq(Expr::Col(a), Expr::Lit(domain[lo]));
+    }
+    AggregateQuery q;
+    switch (rng->UniformInt(0, 2)) {
+      case 0:
+        q = AggregateQuery::Sum(Expr::Col(b), std::move(pred));
+        break;
+      case 1:
+        q = AggregateQuery::Avg(Expr::Col(b), std::move(pred));
+        break;
+      default:
+        q = AggregateQuery::Count(std::move(pred));
+        break;
+    }
+    out.push_back({"rand" + std::to_string(i), {}, std::move(q)});
+  }
+  return out;
+}
+
+PlanPtr TpcdCubeViewDef() {
+  // lineitem ⋈ orders ⋈ customer ⋈ nation ⋈ region, rolled up to the four
+  // cube dimensions.
+  PlanPtr j = PlanNode::Join(PlanNode::Scan("lineitem", "l"),
+                             PlanNode::Scan("orders", "o"), JoinType::kInner,
+                             {{"l.l_orderkey", "o.o_orderkey"}}, nullptr,
+                             true);
+  j = PlanNode::Join(std::move(j), PlanNode::Scan("customer", "c"),
+                     JoinType::kInner, {{"o.o_custkey", "c.c_custkey"}},
+                     nullptr, true);
+  j = PlanNode::Join(std::move(j), PlanNode::Scan("nation", "n"),
+                     JoinType::kInner, {{"c.c_nationkey", "n.n_nationkey"}},
+                     nullptr, true);
+  j = PlanNode::Join(std::move(j), PlanNode::Scan("region", "r"),
+                     JoinType::kInner, {{"n.n_regionkey", "r.r_regionkey"}},
+                     nullptr, true);
+  return PlanNode::Aggregate(
+      std::move(j),
+      {"c.c_custkey", "n.n_nationkey", "r.r_regionkey", "l.l_partkey"},
+      {{AggFunc::kSum,
+        Expr::Mul(Expr::Col("l_extendedprice"),
+                  Expr::Sub(Expr::LitInt(1), Expr::Col("l_discount"))),
+        "revenue"}});
+}
+
+std::vector<ViewQuery> TpcdCubeRollups(AggFunc agg) {
+  // §12.6.3: all subsets used by the paper's 13 roll-ups.
+  const std::vector<std::vector<std::string>> dims = {
+      {},                                            // Q1: all
+      {"c_custkey"},                                 // Q2
+      {"n_nationkey"},                               // Q3
+      {"r_regionkey"},                               // Q4
+      {"l_partkey"},                                 // Q5
+      {"c_custkey", "n_nationkey"},                  // Q6
+      {"c_custkey", "r_regionkey"},                  // Q7
+      {"c_custkey", "l_partkey"},                    // Q8
+      {"n_nationkey", "r_regionkey"},                // Q9
+      {"n_nationkey", "l_partkey"},                  // Q10
+      {"c_custkey", "n_nationkey", "r_regionkey"},   // Q11
+      {"c_custkey", "n_nationkey", "l_partkey"},     // Q12
+      {"n_nationkey", "r_regionkey", "l_partkey"},   // Q13
+  };
+  std::vector<ViewQuery> out;
+  for (size_t i = 0; i < dims.size(); ++i) {
+    AggregateQuery q;
+    q.func = agg;
+    q.attr = Expr::Col("revenue");
+    out.push_back({"Q" + std::to_string(i + 1), dims[i], std::move(q)});
+  }
+  return out;
+}
+
+}  // namespace svc

@@ -1,0 +1,67 @@
+#ifndef SVC_TPCD_TPCD_VIEWS_H_
+#define SVC_TPCD_TPCD_VIEWS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/estimator.h"
+#include "relational/algebra.h"
+#include "relational/database.h"
+
+namespace svc {
+
+/// The Join View of §7.2: the foreign-key join lineitem ⋈ orders. Sampled
+/// on the join key l_orderkey (a pk prefix), which pushes η to both inputs
+/// — the source of the paper's super-linear speedup.
+PlanPtr TpcdJoinViewDef();
+
+/// Recommended sampling key for the join view.
+std::vector<std::string> TpcdJoinViewSamplingKey();
+
+/// A named grouped aggregate query against a view's stored schema.
+struct ViewQuery {
+  std::string name;
+  std::vector<std::string> group_by;  ///< stored-schema column names
+  AggregateQuery query;
+};
+
+/// The 12 TPCD group-by aggregates treated as queries on the join view
+/// (Q3, Q4, Q5, Q7, Q8, Q9, Q10, Q12, Q14, Q18, Q19, Q21 analogs over the
+/// join view's columns).
+std::vector<ViewQuery> TpcdJoinViewQueries();
+
+/// One of the paper's "Complex Views" (§7.3): a named SQL view definition
+/// over the TPCD schema plus its sampling key. V21 contains an aggregated
+/// subquery (its delta degenerates to recomputation of the subquery) and
+/// V22 transforms its group key (blocking the η push-down) — the two views
+/// the paper calls out as benefiting less.
+struct ComplexView {
+  std::string name;
+  std::string sql;
+  std::vector<std::string> sampling_key;  ///< stored names; empty -> pk
+};
+
+/// V3, V4, V5, V9, V10, V13, V15i, V18, V21, V22.
+std::vector<ComplexView> TpcdComplexViews();
+
+/// A random aggregate query generator for a complex view (§7.1): picks a
+/// random group-by attribute for the predicate (a random range of its
+/// domain) and a random aggregate attribute, producing sum/avg/count
+/// queries.
+std::vector<ViewQuery> GenerateRandomViewQueries(
+    const Table& view_data, const std::vector<std::string>& group_columns,
+    const std::vector<std::string>& numeric_columns, int count, Rng* rng);
+
+/// The data-cube base view of §12.6.3: revenue grouped by (c_custkey,
+/// n_nationkey, r_regionkey, l_partkey) over the five-way join.
+PlanPtr TpcdCubeViewDef();
+
+/// The 13 roll-up queries Q1..Q13 over the cube (group-by subsets of the
+/// four dimensions; Q1 is the global aggregate). `agg` lets the caller
+/// switch the rolled-up aggregate (sum for Fig. 11/12, median for Fig. 13).
+std::vector<ViewQuery> TpcdCubeRollups(AggFunc agg = AggFunc::kSum);
+
+}  // namespace svc
+
+#endif  // SVC_TPCD_TPCD_VIEWS_H_

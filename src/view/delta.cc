@@ -1,0 +1,170 @@
+#include "view/delta.h"
+
+#include <set>
+
+namespace svc {
+
+std::string DeltaInsertName(const std::string& relation) {
+  return "__ins_" + relation;
+}
+
+std::string DeltaDeleteName(const std::string& relation) {
+  return "__del_" + relation;
+}
+
+Result<Table*> DeltaSet::DeltaTableFor(const Database& db,
+                                       const std::string& relation,
+                                       std::map<std::string, Table>* side) {
+  auto it = side->find(relation);
+  if (it == side->end()) {
+    SVC_ASSIGN_OR_RETURN(const Table* base, db.GetTable(relation));
+    Table t(base->schema());
+    it = side->emplace(relation, std::move(t)).first;
+  }
+  return &it->second;
+}
+
+Status DeltaSet::AddInsert(const Database& db, const std::string& relation,
+                           Row row) {
+  SVC_ASSIGN_OR_RETURN(Table * t, DeltaTableFor(db, relation, &inserts_));
+  if (row.size() != t->schema().NumColumns()) {
+    return Status::InvalidArgument("delta insert arity mismatch for " +
+                                   relation);
+  }
+  t->AppendUnchecked(std::move(row));
+  return Status::OK();
+}
+
+Status DeltaSet::AddDelete(const Database& db, const std::string& relation,
+                           Row row) {
+  SVC_ASSIGN_OR_RETURN(Table * t, DeltaTableFor(db, relation, &deletes_));
+  if (row.size() != t->schema().NumColumns()) {
+    return Status::InvalidArgument("delta delete arity mismatch for " +
+                                   relation);
+  }
+  t->AppendUnchecked(std::move(row));
+  return Status::OK();
+}
+
+Status DeltaSet::AddUpdate(const Database& db, const std::string& relation,
+                           Row old_row, Row new_row) {
+  SVC_RETURN_IF_ERROR(AddDelete(db, relation, std::move(old_row)));
+  return AddInsert(db, relation, std::move(new_row));
+}
+
+Status DeltaSet::Merge(DeltaSet&& other) {
+  for (auto& [rel, t] : other.inserts_) {
+    auto it = inserts_.find(rel);
+    if (it == inserts_.end()) {
+      inserts_.emplace(rel, std::move(t));
+    } else {
+      for (auto& r : t.rows()) it->second.AppendUnchecked(r);
+    }
+  }
+  for (auto& [rel, t] : other.deletes_) {
+    auto it = deletes_.find(rel);
+    if (it == deletes_.end()) {
+      deletes_.emplace(rel, std::move(t));
+    } else {
+      for (auto& r : t.rows()) it->second.AppendUnchecked(r);
+    }
+  }
+  other.inserts_.clear();
+  other.deletes_.clear();
+  return Status::OK();
+}
+
+bool DeltaSet::empty() const {
+  for (const auto& [k, t] : inserts_) {
+    if (!t.empty()) return false;
+  }
+  for (const auto& [k, t] : deletes_) {
+    if (!t.empty()) return false;
+  }
+  return true;
+}
+
+bool DeltaSet::Touches(const std::string& relation) const {
+  auto i = inserts_.find(relation);
+  if (i != inserts_.end() && !i->second.empty()) return true;
+  auto d = deletes_.find(relation);
+  return d != deletes_.end() && !d->second.empty();
+}
+
+bool DeltaSet::HasDeletes(const std::string& relation) const {
+  auto d = deletes_.find(relation);
+  return d != deletes_.end() && !d->second.empty();
+}
+
+size_t DeltaSet::TotalInserts() const {
+  size_t n = 0;
+  for (const auto& [k, t] : inserts_) n += t.NumRows();
+  return n;
+}
+
+size_t DeltaSet::TotalDeletes() const {
+  size_t n = 0;
+  for (const auto& [k, t] : deletes_) n += t.NumRows();
+  return n;
+}
+
+std::vector<std::string> DeltaSet::TouchedRelations() const {
+  std::set<std::string> out;
+  for (const auto& [k, t] : inserts_) {
+    if (!t.empty()) out.insert(k);
+  }
+  for (const auto& [k, t] : deletes_) {
+    if (!t.empty()) out.insert(k);
+  }
+  return {out.begin(), out.end()};
+}
+
+const Table* DeltaSet::inserts(const std::string& relation) const {
+  auto it = inserts_.find(relation);
+  return it == inserts_.end() ? nullptr : &it->second;
+}
+
+const Table* DeltaSet::deletes(const std::string& relation) const {
+  auto it = deletes_.find(relation);
+  return it == deletes_.end() ? nullptr : &it->second;
+}
+
+Status DeltaSet::Register(Database* db) const {
+  for (const auto& [rel, t] : inserts_) {
+    db->PutTable(DeltaInsertName(rel), t);
+  }
+  for (const auto& [rel, t] : deletes_) {
+    db->PutTable(DeltaDeleteName(rel), t);
+  }
+  return Status::OK();
+}
+
+Status DeltaSet::ApplyToBase(Database* db) {
+  // Deletes first so an update (delete + insert of the same key) lands as a
+  // replacement rather than a duplicate-key failure.
+  for (const auto& [rel, t] : deletes_) {
+    SVC_ASSIGN_OR_RETURN(Table * base, db->GetMutableTable(rel));
+    for (const auto& r : t.rows()) {
+      SVC_RETURN_IF_ERROR(base->DeleteByKeyOf(r).status());
+    }
+  }
+  for (const auto& [rel, t] : inserts_) {
+    SVC_ASSIGN_OR_RETURN(Table * base, db->GetMutableTable(rel));
+    for (const auto& r : t.rows()) {
+      SVC_RETURN_IF_ERROR(base->Insert(r));
+    }
+  }
+  for (const auto& [rel, t] : inserts_) {
+    (void)t;
+    (void)db->DropTable(DeltaInsertName(rel));
+  }
+  for (const auto& [rel, t] : deletes_) {
+    (void)t;
+    (void)db->DropTable(DeltaDeleteName(rel));
+  }
+  inserts_.clear();
+  deletes_.clear();
+  return Status::OK();
+}
+
+}  // namespace svc

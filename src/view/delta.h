@@ -1,0 +1,85 @@
+#ifndef SVC_VIEW_DELTA_H_
+#define SVC_VIEW_DELTA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/database.h"
+#include "relational/table.h"
+
+namespace svc {
+
+/// The catalog name under which a base relation's pending insertions are
+/// registered ("__ins_<relation>").
+std::string DeltaInsertName(const std::string& relation);
+/// The catalog name for pending deletions ("__del_<relation>").
+std::string DeltaDeleteName(const std::string& relation);
+
+/// The paper's delta relations ∂D = {ΔR_1..ΔR_k} ∪ {∇R_1..∇R_k}: for each
+/// base relation a set of inserted records and a set of deleted records
+/// (an update is modeled as a deletion followed by an insertion). The
+/// Database keeps the *pre-update* state until ApplyToBase commits the
+/// deltas; maintenance expressions reference both through the catalog.
+class DeltaSet {
+ public:
+  DeltaSet() = default;
+
+  /// Queues `row` for insertion into `relation` (schema from `db`).
+  Status AddInsert(const Database& db, const std::string& relation, Row row);
+
+  /// Queues `row` (full record) for deletion from `relation`.
+  Status AddDelete(const Database& db, const std::string& relation, Row row);
+
+  /// Queues an update: delete `old_row`, insert `new_row`.
+  Status AddUpdate(const Database& db, const std::string& relation,
+                   Row old_row, Row new_row);
+
+  /// Moves all of `other`'s pending rows into this set.
+  Status Merge(DeltaSet&& other);
+
+  /// True iff no relation has pending changes — i.e. no view is stale.
+  bool empty() const;
+
+  /// True iff `relation` has pending inserts or deletes.
+  bool Touches(const std::string& relation) const;
+
+  /// True iff `relation` has pending deletes.
+  bool HasDeletes(const std::string& relation) const;
+
+  /// Number of pending insert rows across all relations.
+  size_t TotalInserts() const;
+  /// Number of pending delete rows across all relations.
+  size_t TotalDeletes() const;
+
+  /// Relations with pending changes.
+  std::vector<std::string> TouchedRelations() const;
+
+  /// Pending insert rows for `relation` (empty table if none).
+  const Table* inserts(const std::string& relation) const;
+  /// Pending delete rows for `relation` (empty table if none).
+  const Table* deletes(const std::string& relation) const;
+
+  /// Registers every delta table into `db` under DeltaInsertName /
+  /// DeltaDeleteName so maintenance expressions can scan them. Relations
+  /// without pending changes get empty delta tables only if `all_relations`
+  /// lists them.
+  Status Register(Database* db) const;
+
+  /// Commits the deltas into the base relations of `db` (deletes first,
+  /// then inserts, so updates replace in place) and drops the registered
+  /// delta tables. The DeltaSet is cleared.
+  Status ApplyToBase(Database* db);
+
+ private:
+  Result<Table*> DeltaTableFor(const Database& db, const std::string& relation,
+                               std::map<std::string, Table>* side);
+
+  std::map<std::string, Table> inserts_;
+  std::map<std::string, Table> deletes_;
+};
+
+}  // namespace svc
+
+#endif  // SVC_VIEW_DELTA_H_

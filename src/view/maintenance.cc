@@ -1,0 +1,554 @@
+#include "view/maintenance.h"
+
+#include <set>
+
+#include "relational/executor.h"
+
+namespace svc {
+
+namespace {
+
+constexpr char kOldAlias[] = "__old";
+
+/// Pass-through items for every column of `schema`.
+std::vector<ProjectItem> PassThroughAll(const Schema& schema) {
+  std::vector<ProjectItem> items;
+  items.reserve(schema.NumColumns());
+  for (const auto& c : schema.columns()) items.push_back(PassThroughItem(c));
+  return items;
+}
+
+/// Appends the signed-delta bookkeeping columns to `items`.
+void AppendSignTerm(std::vector<ProjectItem>* items, ExprPtr sign,
+                    ExprPtr term) {
+  items->push_back({"__sign", std::move(sign), ""});
+  items->push_back({"__term", std::move(term), ""});
+}
+
+std::string FreshSite(int* site_counter) {
+  return "s" + std::to_string((*site_counter)++);
+}
+
+/// Generic non-linear delta: (new − old) with sign +1 union (old − new)
+/// with sign −1. Exact for operators whose output is a set of
+/// key-identified rows.
+Result<PlanPtr> GenericDiff(const PlanNode& node, const DeltaSet& deltas,
+                            const Database& db, int* site_counter) {
+  SVC_ASSIGN_OR_RETURN(Schema schema, ComputeSchema(node, db));
+  PlanPtr old_plan = node.Clone();
+  PlanPtr new_plan = RewriteToNewState(node, deltas);
+
+  auto side = [&](PlanPtr big, PlanPtr small, int64_t sign) {
+    std::vector<ProjectItem> items = PassThroughAll(schema);
+    AppendSignTerm(&items, Expr::LitInt(sign),
+                   Expr::LitString(FreshSite(site_counter)));
+    return PlanNode::Project(
+        PlanNode::Difference(std::move(big), std::move(small)),
+        std::move(items));
+  };
+  PlanPtr plus = side(new_plan->Clone(), old_plan->Clone(), 1);
+  PlanPtr minus = side(std::move(old_plan), std::move(new_plan), -1);
+  return PlanNode::Union(std::move(plus), std::move(minus));
+}
+
+/// Does any base relation under `node` have pending deltas?
+bool SubtreeTouched(const PlanNode& node, const DeltaSet& deltas) {
+  std::vector<std::string> rels;
+  CollectBaseRelations(node, &rels);
+  for (const auto& r : rels) {
+    if (deltas.Touches(r)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+PlanPtr RewriteToNewState(const PlanNode& plan, const DeltaSet& deltas) {
+  if (plan.kind() == PlanKind::kScan) {
+    const std::string& rel = plan.table_name();
+    if (!deltas.Touches(rel)) return plan.Clone();
+    PlanPtr cur = PlanNode::Scan(rel, plan.alias());
+    if (deltas.HasDeletes(rel)) {
+      cur = PlanNode::Difference(
+          std::move(cur), PlanNode::Scan(DeltaDeleteName(rel), plan.alias()));
+    }
+    const Table* ins = deltas.inserts(rel);
+    if (ins != nullptr && !ins->empty()) {
+      cur = PlanNode::Union(
+          std::move(cur), PlanNode::Scan(DeltaInsertName(rel), plan.alias()));
+    }
+    return cur;
+  }
+  PlanPtr n = plan.Clone();
+  for (size_t i = 0; i < n->children().size(); ++i) {
+    n->set_child(i, RewriteToNewState(*n->child(i), deltas));
+  }
+  return n;
+}
+
+Result<PlanPtr> DeriveDeltaStream(const PlanNode& subtree,
+                                  const DeltaSet& deltas, const Database& db,
+                                  int* site_counter) {
+  switch (subtree.kind()) {
+    case PlanKind::kScan: {
+      const std::string& rel = subtree.table_name();
+      if (!deltas.Touches(rel)) return PlanPtr(nullptr);
+      SVC_ASSIGN_OR_RETURN(Schema schema, ComputeSchema(subtree, db));
+      auto delta_side = [&](const std::string& table, int64_t sign) {
+        std::vector<ProjectItem> items = PassThroughAll(schema);
+        AppendSignTerm(&items, Expr::LitInt(sign),
+                       Expr::LitString(FreshSite(site_counter)));
+        return PlanNode::Project(PlanNode::Scan(table, subtree.alias()),
+                                 std::move(items));
+      };
+      PlanPtr stream;
+      const Table* ins = deltas.inserts(rel);
+      if (ins != nullptr && !ins->empty()) {
+        stream = delta_side(DeltaInsertName(rel), 1);
+      }
+      if (deltas.HasDeletes(rel)) {
+        PlanPtr del = delta_side(DeltaDeleteName(rel), -1);
+        stream = stream ? PlanNode::Union(std::move(stream), std::move(del))
+                        : std::move(del);
+      }
+      return stream;
+    }
+    case PlanKind::kSelect: {
+      SVC_ASSIGN_OR_RETURN(
+          PlanPtr d,
+          DeriveDeltaStream(*subtree.child(0), deltas, db, site_counter));
+      if (!d) return PlanPtr(nullptr);
+      return PlanNode::Select(std::move(d), subtree.predicate()->Clone());
+    }
+    case PlanKind::kProject: {
+      SVC_ASSIGN_OR_RETURN(
+          PlanPtr d,
+          DeriveDeltaStream(*subtree.child(0), deltas, db, site_counter));
+      if (!d) return PlanPtr(nullptr);
+      std::vector<ProjectItem> items;
+      for (const auto& it : subtree.project_items()) {
+        items.push_back({it.alias, it.expr->Clone(), it.out_qualifier});
+      }
+      AppendSignTerm(&items, Expr::Col("__sign"), Expr::Col("__term"));
+      return PlanNode::Project(std::move(d), std::move(items));
+    }
+    case PlanKind::kJoin: {
+      if (subtree.join_type() != JoinType::kInner) {
+        // Outer joins are not multilinear; fall back to the generic diff.
+        if (!SubtreeTouched(subtree, deltas)) return PlanPtr(nullptr);
+        return GenericDiff(subtree, deltas, db, site_counter);
+      }
+      SVC_ASSIGN_OR_RETURN(
+          PlanPtr dl,
+          DeriveDeltaStream(*subtree.child(0), deltas, db, site_counter));
+      SVC_ASSIGN_OR_RETURN(
+          PlanPtr dr,
+          DeriveDeltaStream(*subtree.child(1), deltas, db, site_counter));
+      if (!dl && !dr) return PlanPtr(nullptr);
+      SVC_ASSIGN_OR_RETURN(Schema ls, ComputeSchema(*subtree.child(0), db));
+      SVC_ASSIGN_OR_RETURN(Schema rs, ComputeSchema(*subtree.child(1), db));
+
+      auto residual = [&]() -> ExprPtr {
+        return subtree.join_residual() ? subtree.join_residual()->Clone()
+                                       : nullptr;
+      };
+
+      std::vector<PlanPtr> terms;
+      // d(E1 ⋈ E2) = dE1 ⋈ E2 + E1 ⋈ dE2 + dE1 ⋈ dE2, signs multiplying.
+      if (dl) {
+        PlanPtr j = PlanNode::Join(dl->Clone(), subtree.child(1)->Clone(),
+                                   JoinType::kInner, subtree.join_keys(),
+                                   residual(), subtree.fk_right());
+        std::vector<ProjectItem> items = PassThroughAll(ls);
+        for (const auto& c : rs.columns()) items.push_back(PassThroughItem(c));
+        AppendSignTerm(&items, Expr::Col("__sign"),
+                       Expr::Func("concat", {Expr::Col("__term"),
+                                             Expr::LitString(
+                                                 FreshSite(site_counter))}));
+        terms.push_back(PlanNode::Project(std::move(j), std::move(items)));
+      }
+      if (dr) {
+        PlanPtr j = PlanNode::Join(subtree.child(0)->Clone(), dr->Clone(),
+                                   JoinType::kInner, subtree.join_keys(),
+                                   residual(), subtree.fk_right());
+        std::vector<ProjectItem> items = PassThroughAll(ls);
+        for (const auto& c : rs.columns()) items.push_back(PassThroughItem(c));
+        AppendSignTerm(&items, Expr::Col("__sign"),
+                       Expr::Func("concat", {Expr::Col("__term"),
+                                             Expr::LitString(
+                                                 FreshSite(site_counter))}));
+        terms.push_back(PlanNode::Project(std::move(j), std::move(items)));
+      }
+      if (dl && dr) {
+        // Rename the bookkeeping columns on each side to avoid ambiguity.
+        auto rename = [&](PlanPtr d, const Schema& s, const char* sn,
+                          const char* tn) {
+          std::vector<ProjectItem> items = PassThroughAll(s);
+          items.push_back({sn, Expr::Col("__sign"), ""});
+          items.push_back({tn, Expr::Col("__term"), ""});
+          return PlanNode::Project(std::move(d), std::move(items));
+        };
+        PlanPtr l2 = rename(std::move(dl), ls, "__s1", "__t1");
+        PlanPtr r2 = rename(std::move(dr), rs, "__s2", "__t2");
+        PlanPtr j = PlanNode::Join(std::move(l2), std::move(r2),
+                                   JoinType::kInner, subtree.join_keys(),
+                                   residual(), subtree.fk_right());
+        std::vector<ProjectItem> items = PassThroughAll(ls);
+        for (const auto& c : rs.columns()) items.push_back(PassThroughItem(c));
+        AppendSignTerm(
+            &items, Expr::Mul(Expr::Col("__s1"), Expr::Col("__s2")),
+            Expr::Func("concat",
+                       {Expr::Col("__t1"), Expr::LitString("*"),
+                        Expr::Col("__t2"),
+                        Expr::LitString(FreshSite(site_counter))}));
+        terms.push_back(PlanNode::Project(std::move(j), std::move(items)));
+      }
+      PlanPtr stream = terms[0];
+      for (size_t i = 1; i < terms.size(); ++i) {
+        stream = PlanNode::Union(std::move(stream), std::move(terms[i]));
+      }
+      return stream;
+    }
+    case PlanKind::kAggregate:
+    case PlanKind::kUnion:
+    case PlanKind::kIntersect:
+    case PlanKind::kDifference:
+    case PlanKind::kHashFilter: {
+      if (!SubtreeTouched(subtree, deltas)) return PlanPtr(nullptr);
+      return GenericDiff(subtree, deltas, db, site_counter);
+    }
+  }
+  return Status::Internal("unreachable plan kind");
+}
+
+Result<PlanPtr> BuildRecomputePlan(const MaterializedView& view,
+                                   const DeltaSet& deltas) {
+  return RewriteToNewState(*view.augmented_plan(), deltas);
+}
+
+namespace {
+
+constexpr char kCtAlias[] = "__ct";
+
+/// Wraps `node` in a projection that renames output column i to
+/// `aliases[i]` under the `__ct` qualifier, so change-table columns can be
+/// referenced unambiguously next to the "__old" view scan in the merge
+/// join.
+Result<PlanPtr> QualifyChangeTable(PlanPtr node, const Database& db,
+                                   const std::vector<std::string>& aliases) {
+  SVC_ASSIGN_OR_RETURN(Schema schema, ComputeSchema(*node, db));
+  std::vector<ProjectItem> items;
+  for (size_t i = 0; i < schema.NumColumns(); ++i) {
+    items.push_back({aliases[i], Expr::Col(schema.column(i).FullName()),
+                     kCtAlias});
+  }
+  return PlanNode::Project(std::move(node), std::move(items));
+}
+
+std::string CtCol(const std::string& name) {
+  return std::string(kCtAlias) + "." + name;
+}
+
+/// Builds the change table for an aggregate-class view: the view's signed
+/// aggregates over the delta stream of the aggregate's child.
+Result<PlanPtr> BuildAggregateChangeTable(const MaterializedView& view,
+                                          PlanPtr delta_stream) {
+  std::vector<AggItem> ct_aggs;
+  const ExprPtr sign = Expr::Col("__sign");
+  for (const auto& sc : view.stored_cols()) {
+    switch (sc.kind) {
+      case StoredColKind::kGroupKey:
+      case StoredColKind::kAvgVisible:
+      case StoredColKind::kSpjKey:
+      case StoredColKind::kSpjValue:
+        break;  // no delta column
+      case StoredColKind::kSumMerge:
+      case StoredColKind::kHiddenSum:
+        ct_aggs.push_back({AggFunc::kSum,
+                           Expr::Mul(sign->Clone(), sc.source_expr->Clone()),
+                           "d_" + sc.name});
+        break;
+      case StoredColKind::kCountMerge:
+      case StoredColKind::kHiddenCnt: {
+        ExprPtr input;
+        if (sc.source_expr) {
+          // count(x): count only non-null x, signed.
+          input = Expr::Func(
+              "if", {Expr::Unary(UnaryOp::kIsNull, sc.source_expr->Clone()),
+                     Expr::LitInt(0), sign->Clone()});
+        } else {
+          input = sign->Clone();
+        }
+        ct_aggs.push_back({AggFunc::kSum, std::move(input), "d_" + sc.name});
+        break;
+      }
+      case StoredColKind::kMinMerge:
+        ct_aggs.push_back(
+            {AggFunc::kMin,
+             Expr::Func("if", {Expr::Gt(sign->Clone(), Expr::LitInt(0)),
+                               sc.source_expr->Clone(),
+                               Expr::Lit(Value::Null())}),
+             "d_" + sc.name});
+        break;
+      case StoredColKind::kMaxMerge:
+        ct_aggs.push_back(
+            {AggFunc::kMax,
+             Expr::Func("if", {Expr::Gt(sign->Clone(), Expr::LitInt(0)),
+                               sc.source_expr->Clone(),
+                               Expr::Lit(Value::Null())}),
+             "d_" + sc.name});
+        break;
+      case StoredColKind::kSupport:
+        ct_aggs.push_back({AggFunc::kSum, sign->Clone(), "d___support"});
+        break;
+    }
+  }
+  return PlanNode::Aggregate(std::move(delta_stream), view.group_by(),
+                             std::move(ct_aggs));
+}
+
+Result<MaintenancePlan> BuildAggregateMergePlan(const MaterializedView& view,
+                                                PlanPtr ct,
+                                                const Database& db) {
+  const size_t n_groups = view.group_by().size();
+  {
+    SVC_ASSIGN_OR_RETURN(Schema ct_schema, ComputeSchema(*ct, db));
+    std::vector<std::string> aliases;
+    for (size_t i = 0; i < ct_schema.NumColumns(); ++i) {
+      aliases.push_back(i < n_groups ? "g" + std::to_string(i)
+                                     : ct_schema.column(i).name);
+    }
+    SVC_ASSIGN_OR_RETURN(ct, QualifyChangeTable(std::move(ct), db, aliases));
+  }
+  PlanPtr view_scan = PlanNode::Scan(view.name(), kOldAlias);
+
+  std::vector<JoinKeyPair> keys;
+  for (size_t i = 0; i < n_groups; ++i) {
+    keys.push_back({std::string(kOldAlias) + "." + view.stored_cols()[i].name,
+                    CtCol("g" + std::to_string(i))});
+  }
+  PlanPtr foj =
+      PlanNode::Join(view_scan, std::move(ct), JoinType::kFull, keys);
+
+  auto old_col = [&](const std::string& name) {
+    return Expr::Col(std::string(kOldAlias) + "." + name);
+  };
+  std::vector<ProjectItem> items;
+  size_t group_i = 0;
+  for (const auto& sc : view.stored_cols()) {
+    switch (sc.kind) {
+      case StoredColKind::kGroupKey:
+        items.push_back(
+            {sc.name,
+             Expr::Func("coalesce",
+                        {old_col(sc.name),
+                         Expr::Col(CtCol("g" + std::to_string(group_i)))}),
+             ""});
+        ++group_i;
+        break;
+      case StoredColKind::kSumMerge:
+      case StoredColKind::kCountMerge:
+      case StoredColKind::kHiddenSum:
+      case StoredColKind::kHiddenCnt:
+        items.push_back(
+            {sc.name,
+             Expr::Add(Expr::CoalesceZero(old_col(sc.name)),
+                       Expr::CoalesceZero(Expr::Col(CtCol("d_" + sc.name)))),
+             ""});
+        break;
+      case StoredColKind::kAvgVisible:
+        items.push_back(
+            {sc.name,
+             Expr::Div(
+                 Expr::Add(
+                     Expr::CoalesceZero(old_col(sc.hidden_sum_name)),
+                     Expr::CoalesceZero(Expr::Col(CtCol("d_" + sc.hidden_sum_name)))),
+                 Expr::Add(
+                     Expr::CoalesceZero(old_col(sc.hidden_cnt_name)),
+                     Expr::CoalesceZero(
+                         Expr::Col(CtCol("d_" + sc.hidden_cnt_name))))),
+             ""});
+        break;
+      case StoredColKind::kMinMerge:
+        items.push_back(
+            {sc.name,
+             Expr::Func("coalesce",
+                        {Expr::Func("least", {old_col(sc.name),
+                                              Expr::Col(CtCol("d_" + sc.name))}),
+                         old_col(sc.name), Expr::Col(CtCol("d_" + sc.name))}),
+             ""});
+        break;
+      case StoredColKind::kMaxMerge:
+        items.push_back(
+            {sc.name,
+             Expr::Func("coalesce",
+                        {Expr::Func("greatest", {old_col(sc.name),
+                                                 Expr::Col(CtCol("d_" + sc.name))}),
+                         old_col(sc.name), Expr::Col(CtCol("d_" + sc.name))}),
+             ""});
+        break;
+      case StoredColKind::kSupport:
+        items.push_back(
+            {sc.name,
+             Expr::Add(Expr::CoalesceZero(old_col(sc.name)),
+                       Expr::CoalesceZero(Expr::Col(CtCol("d___support")))),
+             ""});
+        break;
+      case StoredColKind::kSpjKey:
+      case StoredColKind::kSpjValue:
+        return Status::Internal("SPJ column in aggregate view");
+    }
+  }
+  PlanPtr merged = PlanNode::Project(foj, std::move(items));
+  PlanPtr m = PlanNode::Select(
+      std::move(merged),
+      Expr::Gt(Expr::Col("__support"), Expr::LitInt(0)));
+  return MaintenancePlan{MaintenanceKind::kChangeTable, std::move(m), foj};
+}
+
+Result<MaintenancePlan> BuildSpjPlan(const MaterializedView& view,
+                                     PlanPtr delta_stream,
+                                     const Database& db) {
+  SVC_ASSIGN_OR_RETURN(Schema def_schema,
+                       ComputeSchema(*view.definition(), db));
+  SVC_ASSIGN_OR_RETURN(std::vector<size_t> pk_pos,
+                       def_schema.ResolveAll(view.def_pk()));
+  std::set<size_t> pk_set(pk_pos.begin(), pk_pos.end());
+
+  // Change table: per-pk net insert/delete counts plus the new value of
+  // every non-key column (taken from the inserted side only).
+  const ExprPtr sign = Expr::Col("__sign");
+  std::vector<AggItem> ct_aggs;
+  for (size_t i = 0; i < def_schema.NumColumns(); ++i) {
+    if (pk_set.count(i)) continue;
+    ct_aggs.push_back(
+        {AggFunc::kMax,
+         Expr::Func("if", {Expr::Gt(sign->Clone(), Expr::LitInt(0)),
+                           Expr::Col(def_schema.column(i).FullName()),
+                           Expr::Lit(Value::Null())}),
+         "n_" + view.stored_cols()[i].name});
+  }
+  ct_aggs.push_back({AggFunc::kSum,
+                     Expr::Func("if", {Expr::Gt(sign->Clone(), Expr::LitInt(0)),
+                                       Expr::LitInt(1), Expr::LitInt(0)}),
+                     "__d_ins"});
+  ct_aggs.push_back({AggFunc::kSum,
+                     Expr::Func("if", {Expr::Lt(sign->Clone(), Expr::LitInt(0)),
+                                       Expr::LitInt(1), Expr::LitInt(0)}),
+                     "__d_del"});
+  PlanPtr ct = PlanNode::Aggregate(std::move(delta_stream), view.def_pk(),
+                                   std::move(ct_aggs));
+  {
+    SVC_ASSIGN_OR_RETURN(Schema ct_schema, ComputeSchema(*ct, db));
+    std::vector<std::string> aliases;
+    for (size_t i = 0; i < ct_schema.NumColumns(); ++i) {
+      aliases.push_back(i < pk_pos.size() ? "g" + std::to_string(i)
+                                          : ct_schema.column(i).name);
+    }
+    SVC_ASSIGN_OR_RETURN(ct, QualifyChangeTable(std::move(ct), db, aliases));
+  }
+
+  PlanPtr view_scan = PlanNode::Scan(view.name(), kOldAlias);
+  std::vector<JoinKeyPair> keys;
+  for (size_t j = 0; j < pk_pos.size(); ++j) {
+    keys.push_back(
+        {std::string(kOldAlias) + "." + view.stored_cols()[pk_pos[j]].name,
+         CtCol("g" + std::to_string(j))});
+  }
+  PlanPtr foj =
+      PlanNode::Join(view_scan, std::move(ct), JoinType::kFull, keys);
+
+  auto old_col = [&](const std::string& name) {
+    return Expr::Col(std::string(kOldAlias) + "." + name);
+  };
+  const ExprPtr ins = Expr::CoalesceZero(Expr::Col(CtCol("__d_ins")));
+  const ExprPtr del = Expr::CoalesceZero(Expr::Col(CtCol("__d_del")));
+
+  std::vector<ProjectItem> items;
+  for (size_t i = 0; i < def_schema.NumColumns(); ++i) {
+    const StoredCol& sc = view.stored_cols()[i];
+    if (pk_set.count(i)) {
+      // Which change-table group column corresponds to this pk position?
+      size_t j = 0;
+      while (pk_pos[j] != i) ++j;
+      items.push_back(
+          {sc.name,
+           Expr::Func("coalesce",
+                      {old_col(sc.name),
+                       Expr::Col(CtCol("g" + std::to_string(j)))}),
+           ""});
+    } else {
+      items.push_back(
+          {sc.name,
+           Expr::Func("if", {Expr::Gt(ins->Clone(), Expr::LitInt(0)),
+                             Expr::Col(CtCol("n_" + sc.name)), old_col(sc.name)}),
+           ""});
+    }
+  }
+  items.push_back(
+      {"__support",
+       Expr::Sub(Expr::Add(Expr::Func("if",
+                                      {Expr::Unary(UnaryOp::kIsNotNull,
+                                                   old_col("__support")),
+                                       Expr::LitInt(1), Expr::LitInt(0)}),
+                           ins->Clone()),
+                 del->Clone()),
+       ""});
+  PlanPtr merged = PlanNode::Project(foj, std::move(items));
+  PlanPtr m = PlanNode::Select(
+      std::move(merged),
+      Expr::Gt(Expr::Col("__support"), Expr::LitInt(0)));
+  return MaintenancePlan{MaintenanceKind::kChangeTable, std::move(m), foj};
+}
+
+}  // namespace
+
+Result<MaintenancePlan> BuildMaintenancePlan(const MaterializedView& view,
+                                             const DeltaSet& deltas,
+                                             const Database& db) {
+  bool touched = false;
+  bool touched_deletes = false;
+  for (const auto& rel : view.base_relations()) {
+    touched = touched || deltas.Touches(rel);
+    touched_deletes = touched_deletes || deltas.HasDeletes(rel);
+  }
+  if (!touched) return MaintenancePlan{};
+
+  if (view.view_class() == ViewClass::kRecomputeOnly ||
+      (view.has_minmax() && touched_deletes)) {
+    SVC_ASSIGN_OR_RETURN(PlanPtr plan, BuildRecomputePlan(view, deltas));
+    return MaintenancePlan{MaintenanceKind::kRecompute, std::move(plan),
+                           nullptr};
+  }
+
+  int site_counter = 0;
+  if (view.view_class() == ViewClass::kAggregate) {
+    // augmented = Project(rename, Aggregate(child, ...)).
+    const PlanNode& agg = *view.augmented_plan()->child(0);
+    SVC_ASSIGN_OR_RETURN(
+        PlanPtr de, DeriveDeltaStream(*agg.child(0), deltas, db,
+                                      &site_counter));
+    if (!de) return MaintenancePlan{};
+    SVC_ASSIGN_OR_RETURN(PlanPtr ct,
+                         BuildAggregateChangeTable(view, std::move(de)));
+    return BuildAggregateMergePlan(view, std::move(ct), db);
+  }
+
+  // SPJ view.
+  SVC_ASSIGN_OR_RETURN(
+      PlanPtr de,
+      DeriveDeltaStream(*view.definition(), deltas, db, &site_counter));
+  if (!de) return MaintenancePlan{};
+  return BuildSpjPlan(view, std::move(de), db);
+}
+
+Status ApplyMaintenance(const MaterializedView& view,
+                        const MaintenancePlan& plan, Database* db) {
+  if (plan.kind == MaintenanceKind::kNoOp) return Status::OK();
+  SVC_ASSIGN_OR_RETURN(Table fresh, ExecutePlan(*plan.plan, *db));
+  SVC_RETURN_IF_ERROR(fresh.SetPrimaryKey(view.stored_pk()));
+  db->PutTable(view.name(), std::move(fresh));
+  return Status::OK();
+}
+
+}  // namespace svc

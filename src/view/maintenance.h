@@ -1,0 +1,76 @@
+#ifndef SVC_VIEW_MAINTENANCE_H_
+#define SVC_VIEW_MAINTENANCE_H_
+
+#include "common/status.h"
+#include "relational/algebra.h"
+#include "relational/database.h"
+#include "view/delta.h"
+#include "view/view.h"
+
+namespace svc {
+
+/// How a maintenance plan brings the view up to date.
+enum class MaintenanceKind {
+  kNoOp,         ///< no pending delta touches the view
+  kChangeTable,  ///< change-table (delta view) incremental maintenance
+  kRecompute,    ///< full recomputation over the new base state
+};
+
+/// The maintenance strategy M (§3.1): a relational expression which, when
+/// executed against {stale view, base relations, delta relations},
+/// materializes the up-to-date view S'. For kChangeTable the expression has
+/// the fixed shape
+///
+///     σ_{__support > 0}( Π_merge( Scan(view) ⟗_pk  ChangeTable ) )
+///
+/// and `merge_join` points at the full outer join inside `plan` so that the
+/// SVC cleaner can splice the sampling operator η onto both branches
+/// (Figure 3 of the paper).
+struct MaintenancePlan {
+  MaintenanceKind kind = MaintenanceKind::kNoOp;
+  PlanPtr plan;        // null for kNoOp
+  PlanPtr merge_join;  // the ⟗ node (kChangeTable only)
+};
+
+/// Rewrites `plan` so that every scan of a base relation with pending
+/// deltas reads the *new* state: R' = (R − ∇R) ∪ ΔR. The delta relations
+/// must be registered in the catalog (DeltaSet::Register).
+PlanPtr RewriteToNewState(const PlanNode& plan, const DeltaSet& deltas);
+
+/// Derives the signed delta stream d(subtree): a plan producing the
+/// subtree's schema plus two columns, `__sign` (+1 inserted / −1 deleted)
+/// and `__term` (a lineage tag keeping rows from different derivation terms
+/// distinct under set semantics). Uses the multilinear join expansion
+///     d(E1 ⋈ E2) = dE1 ⋈ E2 + E1 ⋈ dE2 + dE1 ⋈ dE2
+/// for inner equi-joins, linear rules for σ/Π, and a generic
+/// new-minus-old difference for non-linear operators (aggregates, set
+/// operations, outer joins) — the case where incremental maintenance
+/// degenerates toward recomputation, as the paper observes for V21/V22.
+///
+/// Returns a null PlanPtr when no base relation under `subtree` has
+/// pending changes.
+Result<PlanPtr> DeriveDeltaStream(const PlanNode& subtree,
+                                  const DeltaSet& deltas, const Database& db,
+                                  int* site_counter);
+
+/// Builds the full-recompute maintenance plan (the augmented view plan over
+/// the new base state).
+Result<PlanPtr> BuildRecomputePlan(const MaterializedView& view,
+                                   const DeltaSet& deltas);
+
+/// Builds the maintenance strategy M for `view` given the pending deltas
+/// (already registered in `db`). Chooses change-table maintenance when the
+/// view class supports it, falling back to recomputation for
+/// kRecomputeOnly views and for min/max views facing deletions.
+Result<MaintenancePlan> BuildMaintenancePlan(const MaterializedView& view,
+                                             const DeltaSet& deltas,
+                                             const Database& db);
+
+/// Executes a maintenance plan and replaces the view's stored table.
+/// kNoOp plans succeed without touching anything.
+Status ApplyMaintenance(const MaterializedView& view,
+                        const MaintenancePlan& plan, Database* db);
+
+}  // namespace svc
+
+#endif  // SVC_VIEW_MAINTENANCE_H_

@@ -1,0 +1,59 @@
+#include "view/staleness.h"
+
+#include <sstream>
+
+namespace svc {
+
+std::string StalenessReport::ToString() const {
+  std::ostringstream os;
+  os << "incorrect=" << incorrect << " missing=" << missing
+     << " superfluous=" << superfluous << " unchanged=" << unchanged;
+  return os.str();
+}
+
+Result<StalenessReport> ClassifyStaleness(
+    const Table& stale, const Table& fresh,
+    const std::vector<std::string>& compare_columns) {
+  if (!stale.HasPrimaryKey() || !fresh.HasPrimaryKey()) {
+    return Status::InvalidArgument(
+        "staleness classification requires primary keys on both tables");
+  }
+  std::vector<size_t> cmp;
+  if (compare_columns.empty()) {
+    cmp.resize(stale.schema().NumColumns());
+    for (size_t i = 0; i < cmp.size(); ++i) cmp[i] = i;
+  } else {
+    SVC_ASSIGN_OR_RETURN(cmp, stale.schema().ResolveAll(compare_columns));
+  }
+
+  StalenessReport report;
+  for (size_t i = 0; i < stale.NumRows(); ++i) {
+    auto match = fresh.FindByEncodedKey(stale.EncodedKey(i));
+    if (!match.ok()) {
+      ++report.superfluous;
+      continue;
+    }
+    const Row& s = stale.row(i);
+    const Row& f = fresh.row(*match);
+    bool equal = true;
+    for (size_t c : cmp) {
+      if (!(s[c] == f[c])) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) {
+      ++report.unchanged;
+    } else {
+      ++report.incorrect;
+    }
+  }
+  for (size_t i = 0; i < fresh.NumRows(); ++i) {
+    if (!stale.FindByEncodedKey(fresh.EncodedKey(i)).ok()) {
+      ++report.missing;
+    }
+  }
+  return report;
+}
+
+}  // namespace svc

@@ -1,0 +1,35 @@
+#ifndef SVC_VIEW_STALENESS_H_
+#define SVC_VIEW_STALENESS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace svc {
+
+/// The three kinds of data error a stale view exhibits (§3.1 "Staleness as
+/// Data Error"), measured against the up-to-date view by primary key.
+struct StalenessReport {
+  size_t incorrect = 0;    ///< key in both, row contents differ
+  size_t missing = 0;      ///< key only in the up-to-date view
+  size_t superfluous = 0;  ///< key only in the stale view
+  size_t unchanged = 0;    ///< key in both, identical rows
+
+  size_t TotalErrors() const { return incorrect + missing + superfluous; }
+  std::string ToString() const;
+};
+
+/// Classifies every row of `stale` vs `fresh`. Both tables must share a
+/// schema and have the same primary key declared. Rows are matched by
+/// encoded primary key; `compare_columns` optionally restricts the
+/// incorrect/unchanged content comparison to a subset of columns (by
+/// reference name) — e.g. to ignore hidden bookkeeping columns.
+Result<StalenessReport> ClassifyStaleness(
+    const Table& stale, const Table& fresh,
+    const std::vector<std::string>& compare_columns = {});
+
+}  // namespace svc
+
+#endif  // SVC_VIEW_STALENESS_H_

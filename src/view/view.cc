@@ -1,0 +1,272 @@
+#include "view/view.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "relational/executor.h"
+#include "relational/keys.h"
+
+namespace svc {
+
+namespace {
+
+bool IsSpjKind(PlanKind k) {
+  return k == PlanKind::kScan || k == PlanKind::kSelect ||
+         k == PlanKind::kProject || k == PlanKind::kJoin;
+}
+
+bool SubtreeIsSpj(const PlanNode& n) {
+  if (!IsSpjKind(n.kind())) return false;
+  for (const auto& c : n.children()) {
+    if (!SubtreeIsSpj(*c)) return false;
+  }
+  return true;
+}
+
+bool IncrementalAggFunc(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum:
+    case AggFunc::kCount:
+    case AggFunc::kCountStar:
+    case AggFunc::kAvg:
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Assigns unique, unqualified storage names: prefers the bare column name,
+/// falls back to "qualifier_name", then appends a counter.
+std::vector<std::string> CanonicalNames(const Schema& schema) {
+  std::vector<std::string> names;
+  std::set<std::string> used;
+  for (size_t i = 0; i < schema.NumColumns(); ++i) {
+    const Column& c = schema.column(i);
+    std::string candidate = c.name;
+    if (used.count(candidate) && !c.qualifier.empty()) {
+      candidate = c.qualifier + "_" + c.name;
+    }
+    int suffix = 2;
+    std::string chosen = candidate;
+    while (used.count(chosen)) {
+      chosen = candidate + "_" + std::to_string(suffix++);
+    }
+    used.insert(chosen);
+    names.push_back(std::move(chosen));
+  }
+  return names;
+}
+
+}  // namespace
+
+void CollectBaseRelations(const PlanNode& plan,
+                          std::vector<std::string>* out) {
+  if (plan.kind() == PlanKind::kScan) {
+    if (std::find(out->begin(), out->end(), plan.table_name()) == out->end()) {
+      out->push_back(plan.table_name());
+    }
+  }
+  for (const auto& c : plan.children()) CollectBaseRelations(*c, out);
+}
+
+Result<MaterializedView> MaterializedView::Create(
+    std::string name, PlanPtr definition, Database* db,
+    std::vector<std::string> sampling_key) {
+  if (db->HasTable(name)) {
+    return Status::AlreadyExists("a table or view named '" + name +
+                                 "' already exists");
+  }
+  MaterializedView mv;
+  mv.name_ = std::move(name);
+  mv.definition_ = definition->Clone();
+  CollectBaseRelations(*mv.definition_, &mv.base_relations_);
+
+  // Derive the primary key of every node (Definition 2). Views without a
+  // derivable key cannot be sampled and are rejected.
+  PlanPtr def = mv.definition_->Clone();
+  SVC_ASSIGN_OR_RETURN(std::vector<std::string> def_pk,
+                       DerivePrimaryKeys(def.get(), *db));
+  mv.def_pk_ = def_pk;
+  SVC_ASSIGN_OR_RETURN(Schema def_schema, ComputeSchema(*def, *db));
+
+  // Classify.
+  const bool top_is_incremental_agg =
+      def->kind() == PlanKind::kAggregate && !def->group_by().empty() &&
+      std::all_of(def->aggregates().begin(), def->aggregates().end(),
+                  [](const AggItem& a) { return IncrementalAggFunc(a.func); });
+  if (top_is_incremental_agg) {
+    mv.class_ = ViewClass::kAggregate;
+  } else if (SubtreeIsSpj(*def)) {
+    mv.class_ = ViewClass::kSpj;
+  } else {
+    mv.class_ = ViewClass::kRecomputeOnly;
+  }
+
+  // Build the augmented plan + stored-column layout.
+  if (mv.class_ == ViewClass::kAggregate) {
+    mv.group_by_ = def->group_by();
+    const size_t n_groups = mv.group_by_.size();
+
+    // Augmented aggregate: original aggregates, hidden avg backing
+    // aggregates, and the group support count.
+    std::vector<AggItem> aug_aggs;
+    for (const auto& a : def->aggregates()) {
+      aug_aggs.push_back({a.func, a.input ? a.input->Clone() : nullptr,
+                          a.alias});
+    }
+    std::vector<std::pair<std::string, std::string>> avg_hidden;  // sum,cnt
+    for (const auto& a : def->aggregates()) {
+      if (a.func == AggFunc::kAvg) {
+        std::string hs = "__sum_" + a.alias;
+        std::string hc = "__cnt_" + a.alias;
+        aug_aggs.push_back({AggFunc::kSum, a.input->Clone(), hs});
+        aug_aggs.push_back({AggFunc::kCount, a.input->Clone(), hc});
+        avg_hidden.emplace_back(hs, hc);
+      }
+    }
+    aug_aggs.push_back({AggFunc::kCountStar, nullptr, "__support"});
+
+    PlanPtr agg = PlanNode::Aggregate(def->child(0)->Clone(), mv.group_by_,
+                                      aug_aggs);
+    SVC_ASSIGN_OR_RETURN(Schema agg_schema, ComputeSchema(*agg, *db));
+
+    // Canonical stored names: dedup group column names; aggregate aliases
+    // are used as-is (must be unique).
+    std::vector<std::string> names = CanonicalNames(agg_schema);
+    std::vector<ProjectItem> rename;
+    for (size_t i = 0; i < agg_schema.NumColumns(); ++i) {
+      rename.push_back(
+          {names[i], Expr::Col(agg_schema.column(i).FullName()), ""});
+    }
+    mv.augmented_ = PlanNode::Project(agg, std::move(rename));
+
+    // Stored layout.
+    size_t avg_seen = 0;
+    for (size_t i = 0; i < n_groups; ++i) {
+      mv.stored_cols_.push_back({names[i], StoredColKind::kGroupKey, nullptr,
+                                 "", ""});
+      mv.stored_pk_.push_back(names[i]);
+    }
+    const auto& original = def->aggregates();
+    for (size_t j = 0; j < original.size(); ++j) {
+      const AggItem& a = original[j];
+      StoredCol sc;
+      sc.name = names[n_groups + j];
+      sc.source_expr = a.input ? a.input->Clone() : nullptr;
+      switch (a.func) {
+        case AggFunc::kSum: sc.kind = StoredColKind::kSumMerge; break;
+        case AggFunc::kCount:
+        case AggFunc::kCountStar: sc.kind = StoredColKind::kCountMerge; break;
+        case AggFunc::kAvg:
+          sc.kind = StoredColKind::kAvgVisible;
+          sc.hidden_sum_name = avg_hidden[avg_seen].first;
+          sc.hidden_cnt_name = avg_hidden[avg_seen].second;
+          ++avg_seen;
+          break;
+        case AggFunc::kMin:
+          sc.kind = StoredColKind::kMinMerge;
+          mv.has_minmax_ = true;
+          break;
+        case AggFunc::kMax:
+          sc.kind = StoredColKind::kMaxMerge;
+          mv.has_minmax_ = true;
+          break;
+        default:
+          return Status::Internal("unexpected aggregate func");
+      }
+      mv.stored_cols_.push_back(std::move(sc));
+    }
+    size_t agg_pos = original.size();       // index into aug_aggs
+    size_t name_pos = n_groups + original.size();  // index into names
+    for (const auto& [hs, hc] : avg_hidden) {
+      mv.stored_cols_.push_back({names[name_pos++],
+                                 StoredColKind::kHiddenSum,
+                                 aug_aggs[agg_pos++].input->Clone(), "", ""});
+      mv.stored_cols_.push_back({names[name_pos++],
+                                 StoredColKind::kHiddenCnt,
+                                 aug_aggs[agg_pos++].input->Clone(), "", ""});
+      (void)hs;
+      (void)hc;
+    }
+    mv.stored_cols_.push_back({names[name_pos], StoredColKind::kSupport,
+                               nullptr, "", ""});
+  } else {
+    // SPJ and recompute-only views share the same augmented shape:
+    // canonicalize names and append a literal support column.
+    std::vector<std::string> names = CanonicalNames(def_schema);
+    std::vector<ProjectItem> items;
+    SVC_ASSIGN_OR_RETURN(std::vector<size_t> pk_pos,
+                         def_schema.ResolveAll(def_pk));
+    std::set<size_t> pk_set(pk_pos.begin(), pk_pos.end());
+    for (size_t i = 0; i < def_schema.NumColumns(); ++i) {
+      items.push_back(
+          {names[i], Expr::Col(def_schema.column(i).FullName()), ""});
+      StoredCol sc;
+      sc.name = names[i];
+      sc.kind = pk_set.count(i) ? StoredColKind::kSpjKey
+                                : StoredColKind::kSpjValue;
+      mv.stored_cols_.push_back(std::move(sc));
+      if (pk_set.count(i)) mv.stored_pk_.push_back(names[i]);
+    }
+    items.push_back({"__support", Expr::LitInt(1), ""});
+    mv.stored_cols_.push_back({"__support", StoredColKind::kSupport, nullptr,
+                               "", ""});
+    mv.augmented_ = PlanNode::Project(def, std::move(items));
+  }
+
+  // Sampling key: default to the primary key; otherwise validate the given
+  // stored names are a subset of the stored schema.
+  if (sampling_key.empty()) {
+    mv.sampling_key_ = mv.stored_pk_;
+  } else {
+    for (const auto& k : sampling_key) {
+      if (std::none_of(mv.stored_cols_.begin(), mv.stored_cols_.end(),
+                       [&](const StoredCol& c) { return c.name == k; })) {
+        return Status::InvalidArgument("sampling key column '" + k +
+                                       "' is not a stored view column");
+      }
+    }
+    mv.sampling_key_ = std::move(sampling_key);
+  }
+
+  // Map the sampling key into definition space. For aggregate views stored
+  // column i < |group_by| corresponds to group_by[i] in the child's schema;
+  // for SPJ / recompute views stored column i corresponds to output column
+  // i of the definition.
+  for (const auto& k : mv.sampling_key_) {
+    size_t pos = 0;
+    for (; pos < mv.stored_cols_.size(); ++pos) {
+      if (mv.stored_cols_[pos].name == k) break;
+    }
+    if (mv.class_ == ViewClass::kAggregate) {
+      if (pos >= mv.group_by_.size()) {
+        return Status::InvalidArgument(
+            "sampling key of an aggregate view must be group-by columns: " +
+            k);
+      }
+      mv.sampling_key_def_.push_back(mv.group_by_[pos]);
+    } else {
+      SVC_ASSIGN_OR_RETURN(Schema ds, ComputeSchema(*mv.definition_, *db));
+      mv.sampling_key_def_.push_back(ds.column(pos).FullName());
+    }
+  }
+
+  // Materialize.
+  SVC_ASSIGN_OR_RETURN(Table data, ExecutePlan(*mv.augmented_, *db));
+  SVC_RETURN_IF_ERROR(data.SetPrimaryKey(mv.stored_pk_));
+  SVC_RETURN_IF_ERROR(db->CreateTable(mv.name_, std::move(data)));
+  return mv;
+}
+
+std::vector<std::string> MaterializedView::VisibleColumns() const {
+  std::vector<std::string> out;
+  for (const auto& c : stored_cols_) {
+    if (c.name.rfind("__", 0) != 0) out.push_back(c.name);
+  }
+  return out;
+}
+
+}  // namespace svc

@@ -1,0 +1,141 @@
+#ifndef SVC_VIEW_VIEW_H_
+#define SVC_VIEW_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/algebra.h"
+#include "relational/database.h"
+
+namespace svc {
+
+/// How a view can be maintained.
+enum class ViewClass {
+  /// Select-project-join view: rows are maintained individually by derived
+  /// primary key.
+  kSpj,
+  /// Top-level group-by aggregate over an arbitrary sub-expression:
+  /// maintained with the change-table (delta view) method.
+  kAggregate,
+  /// Anything else (set operations or non-incremental aggregates at the
+  /// top): maintained by recomputation over the new base state. SVC can
+  /// still sample such views by pushing η into the recompute expression.
+  kRecomputeOnly,
+};
+
+/// Role of one column of the *stored* (maintenance) schema of a view. The
+/// stored schema carries the user-visible output columns plus hidden
+/// bookkeeping columns ("__support" group multiplicity, and "__sum_x" /
+/// "__cnt_x" pairs backing incremental avg).
+enum class StoredColKind {
+  kGroupKey,    ///< aggregate-view group-by column (part of the pk)
+  kSumMerge,    ///< sum(): merged additively
+  kCountMerge,  ///< count()/count(*): merged additively
+  kAvgVisible,  ///< avg(): recomputed from its hidden sum/cnt columns
+  kHiddenSum,   ///< hidden sum backing an avg
+  kHiddenCnt,   ///< hidden count backing an avg
+  kMinMerge,    ///< min(): merged with least(); insert-only deltas
+  kMaxMerge,    ///< max(): merged with greatest(); insert-only deltas
+  kSupport,     ///< hidden group multiplicity; rows leave the view at 0
+  kSpjKey,      ///< SPJ view primary-key column
+  kSpjValue,    ///< SPJ view non-key column
+};
+
+/// Metadata for one stored column.
+struct StoredCol {
+  std::string name;       ///< canonical (unique, unqualified) stored name
+  StoredColKind kind = StoredColKind::kSpjValue;
+  /// For aggregate columns: the aggregate's input expression in the space
+  /// of the aggregate's child (null for count(*)).
+  ExprPtr source_expr;
+  /// For kAvgVisible: stored-schema names of the backing hidden columns.
+  std::string hidden_sum_name;
+  std::string hidden_cnt_name;
+};
+
+/// A materialized view: a named definition plus a materialized table that
+/// lives in the owning Database's catalog under the view's name. The
+/// stored table uses the *maintenance schema* (visible columns under
+/// canonical names + hidden bookkeeping columns) and is indexed by the
+/// view's derived primary key (Definition 2).
+class MaterializedView {
+ public:
+  /// Validates `definition` (primary key must be derivable), builds the
+  /// augmented maintenance plan, materializes it against the current state
+  /// of `*db`, and registers the result under `name`.
+  ///
+  /// `sampling_key` optionally overrides the attributes hashed by η (stored
+  /// column names); it defaults to the view's primary key. A non-key
+  /// sampling attribute (§12.5 of the paper, e.g. the join key of a
+  /// fact-dimension join view) still yields uniform row sampling and
+  /// usually pushes further down the maintenance plan.
+  static Result<MaterializedView> Create(
+      std::string name, PlanPtr definition, Database* db,
+      std::vector<std::string> sampling_key = {});
+
+  const std::string& name() const { return name_; }
+  /// The original user definition.
+  const PlanPtr& definition() const { return definition_; }
+  /// The augmented plan: definition + hidden maintenance columns, output
+  /// renamed to the canonical stored schema.
+  const PlanPtr& augmented_plan() const { return augmented_; }
+  ViewClass view_class() const { return class_; }
+  /// Stored-schema layout (one entry per stored column, in order).
+  const std::vector<StoredCol>& stored_cols() const { return stored_cols_; }
+  /// Stored-schema names of the primary key.
+  const std::vector<std::string>& stored_pk() const { return stored_pk_; }
+  /// Stored-schema names of the sampling key.
+  const std::vector<std::string>& sampling_key() const {
+    return sampling_key_;
+  }
+  /// The sampling key expressed as references into the definition space:
+  /// for aggregate views, references valid in the schema of the aggregate's
+  /// child; for SPJ/recompute views, references valid in the definition's
+  /// output schema.
+  const std::vector<std::string>& sampling_key_def() const {
+    return sampling_key_def_;
+  }
+  /// For aggregate views: the group-by references (child space).
+  const std::vector<std::string>& group_by() const { return group_by_; }
+  /// For SPJ/recompute views: the derived pk in definition space.
+  const std::vector<std::string>& def_pk() const { return def_pk_; }
+  /// Base relations the view reads.
+  const std::vector<std::string>& base_relations() const {
+    return base_relations_;
+  }
+  /// True iff any stored column is a min/max merge (these block the
+  /// change-table method when deletions are present).
+  bool has_minmax() const { return has_minmax_; }
+
+  /// The view's stored table inside `db`.
+  Result<const Table*> data(const Database& db) const {
+    return db.GetTable(name_);
+  }
+
+  /// Names of the user-visible (non-hidden) stored columns.
+  std::vector<std::string> VisibleColumns() const;
+
+ private:
+  MaterializedView() = default;
+
+  std::string name_;
+  PlanPtr definition_;
+  PlanPtr augmented_;
+  ViewClass class_ = ViewClass::kSpj;
+  std::vector<StoredCol> stored_cols_;
+  std::vector<std::string> stored_pk_;
+  std::vector<std::string> sampling_key_;
+  std::vector<std::string> sampling_key_def_;
+  std::vector<std::string> group_by_;
+  std::vector<std::string> def_pk_;
+  std::vector<std::string> base_relations_;
+  bool has_minmax_ = false;
+};
+
+/// Collects the names of base relations scanned by `plan`.
+void CollectBaseRelations(const PlanNode& plan, std::vector<std::string>* out);
+
+}  // namespace svc
+
+#endif  // SVC_VIEW_VIEW_H_

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "relational/executor.h"
+#include "sample/cleaner.h"
+#include "tests/test_util.h"
+#include "view/maintenance.h"
+
+namespace svc {
+namespace {
+
+using testing_util::EncodedRows;
+using testing_util::ExpectTablesEquivalent;
+using testing_util::MakeLogVideoDb;
+
+PlanPtr VisitViewDef() {
+  PlanPtr join = PlanNode::Join(PlanNode::Scan("Log", "l"),
+                                PlanNode::Scan("Video", "v"), JoinType::kInner,
+                                {{"l.videoId", "v.videoId"}}, nullptr, true);
+  return PlanNode::Aggregate(
+      std::move(join), {"l.videoId"},
+      {{AggFunc::kCountStar, nullptr, "visitCount"},
+       {AggFunc::kAvg, Expr::Col("v.duration"), "avgDur"}});
+}
+
+class CleanerTest : public ::testing::Test {
+ protected:
+  CleanerTest() : db_(MakeLogVideoDb()) {
+    Table* log = db_.GetMutableTable("Log").value();
+    Rng rng(17);
+    for (int64_t s = 10; s < 800; ++s) {
+      EXPECT_TRUE(
+          log->Insert({Value::Int(s), Value::Int(rng.UniformInt(1, 40))})
+              .ok());
+    }
+    Table* video = db_.GetMutableTable("Video").value();
+    for (int64_t v = 6; v <= 40; ++v) {
+      EXPECT_TRUE(video
+                      ->Insert({Value::Int(v), Value::Int(100 + v % 7),
+                                Value::Double(0.25 * static_cast<double>(v))})
+                      .ok());
+    }
+  }
+
+  /// Adds a mixed workload of inserts / deletes / updates to Log.
+  DeltaSet MakeDeltas(int n, uint64_t seed) {
+    DeltaSet deltas;
+    Rng rng(seed);
+    const Table* log = db_.GetTable("Log").value();
+    std::set<int64_t> touched;
+    for (int i = 0; i < n; ++i) {
+      const int kind = static_cast<int>(rng.UniformInt(0, 2));
+      if (kind == 0) {
+        SVC_EXPECT_OK(deltas.AddInsert(
+            db_, "Log",
+            {Value::Int(5000 + i), Value::Int(rng.UniformInt(1, 45))}));
+      } else {
+        const Row& r = log->row(
+            static_cast<size_t>(rng.UniformInt(0, log->NumRows() - 1)));
+        if (!touched.insert(r[0].AsInt()).second) continue;
+        if (kind == 1) {
+          SVC_EXPECT_OK(deltas.AddDelete(db_, "Log", r));
+        } else {
+          SVC_EXPECT_OK(deltas.AddUpdate(
+              db_, "Log", r, {r[0], Value::Int(rng.UniformInt(1, 45))}));
+        }
+      }
+    }
+    return deltas;
+  }
+
+  /// Oracle: the fully fresh view (maintained with the full plan).
+  Table FreshView(const MaterializedView& view, const DeltaSet& deltas) {
+    auto plan = BuildMaintenancePlan(view, deltas, db_);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    auto fresh = ExecutePlan(*plan->plan, db_);
+    EXPECT_TRUE(fresh.ok()) << fresh.status().ToString();
+    Table out = std::move(fresh).value();
+    EXPECT_TRUE(out.SetPrimaryKey(view.stored_pk()).ok());
+    return out;
+  }
+
+  Database db_;
+};
+
+TEST_F(CleanerTest, StaleSampleIsHashSubsetOfView) {
+  SVC_ASSERT_OK_AND_ASSIGN(
+      MaterializedView view,
+      MaterializedView::Create("vv", VisitViewDef(), &db_));
+  CleanOptions opts{0.3, HashFamily::kFnv1a};
+  SVC_ASSERT_OK_AND_ASSIGN(Table sample,
+                           MaterializeStaleSample(view, db_, opts));
+  SVC_ASSERT_OK_AND_ASSIGN(const Table* full, db_.GetTable("vv"));
+  EXPECT_GT(sample.NumRows(), 0u);
+  EXPECT_LT(sample.NumRows(), full->NumRows());
+  // Deterministic membership: exactly the rows whose key hashes below m.
+  size_t expected = 0;
+  SVC_ASSERT_OK_AND_ASSIGN(std::vector<size_t> key_idx,
+                           full->schema().ResolveAll(view.sampling_key()));
+  for (const auto& r : full->rows()) {
+    if (HashInSample(EncodeRowKey(r, key_idx), 0.3, HashFamily::kFnv1a)) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(sample.NumRows(), expected);
+}
+
+TEST_F(CleanerTest, CleanSampleEqualsSampleOfFreshView) {
+  // The central correctness property (Problem 1): cleaning the stale
+  // sample yields exactly η applied to the up-to-date view.
+  SVC_ASSERT_OK_AND_ASSIGN(
+      MaterializedView view,
+      MaterializedView::Create("vv", VisitViewDef(), &db_));
+  DeltaSet deltas = MakeDeltas(150, 7);
+  SVC_ASSERT_OK(deltas.Register(&db_));
+
+  CleanOptions opts{0.25, HashFamily::kSha1};
+  PushdownReport report;
+  SVC_ASSERT_OK_AND_ASSIGN(
+      CorrespondingSamples samples,
+      CleanViewSample(view, deltas, db_, opts, &report));
+
+  Table fresh_full = FreshView(view, deltas);
+  db_.PutTable("__fresh_full", fresh_full);
+  PlanPtr eta = PlanNode::HashFilter(PlanNode::Scan("__fresh_full"),
+                                     view.sampling_key(), opts.ratio,
+                                     opts.family);
+  SVC_ASSERT_OK_AND_ASSIGN(Table expected, ExecutePlan(*eta, db_));
+  SVC_ASSERT_OK(expected.SetPrimaryKey(view.stored_pk()));
+  ExpectTablesEquivalent(samples.fresh, expected);
+  EXPECT_GT(samples.fresh.NumRows(), 0u);
+}
+
+TEST_F(CleanerTest, CorrespondenceProperties) {
+  // Property 1: superfluous keys leave the clean sample, surviving keys
+  // are preserved, and missing keys appear at roughly rate m.
+  SVC_ASSERT_OK_AND_ASSIGN(
+      MaterializedView view,
+      MaterializedView::Create("vv", VisitViewDef(), &db_));
+  DeltaSet deltas = MakeDeltas(300, 11);
+  SVC_ASSERT_OK(deltas.Register(&db_));
+  CleanOptions opts{0.4, HashFamily::kFnv1a};
+  SVC_ASSERT_OK_AND_ASSIGN(CorrespondingSamples samples,
+                           CleanViewSample(view, deltas, db_, opts));
+
+  Table fresh_full = FreshView(view, deltas);
+
+  // (a) Every clean-sample key exists in the fresh view (no superfluous).
+  for (size_t i = 0; i < samples.fresh.NumRows(); ++i) {
+    EXPECT_TRUE(
+        fresh_full.FindByEncodedKey(samples.fresh.EncodedKey(i)).ok());
+  }
+  // (b) Key preservation: a stale-sample key that survives in the fresh
+  // view stays in the clean sample.
+  for (size_t i = 0; i < samples.stale.NumRows(); ++i) {
+    const std::string key = samples.stale.EncodedKey(i);
+    if (fresh_full.FindByEncodedKey(key).ok()) {
+      EXPECT_TRUE(samples.fresh.FindByEncodedKey(key).ok());
+    }
+  }
+  // (c) The clean sample is uniform over the fresh view at rate ~m.
+  const double frac = static_cast<double>(samples.fresh.NumRows()) /
+                      static_cast<double>(fresh_full.NumRows());
+  EXPECT_NEAR(frac, opts.ratio,
+              5 * std::sqrt(opts.ratio * (1 - opts.ratio) /
+                            static_cast<double>(fresh_full.NumRows())));
+}
+
+TEST_F(CleanerTest, NoDeltasCleaningIsIdentitySample) {
+  SVC_ASSERT_OK_AND_ASSIGN(
+      MaterializedView view,
+      MaterializedView::Create("vv", VisitViewDef(), &db_));
+  DeltaSet deltas;
+  CleanOptions opts{0.3, HashFamily::kFnv1a};
+  SVC_ASSERT_OK_AND_ASSIGN(CorrespondingSamples samples,
+                           CleanViewSample(view, deltas, db_, opts));
+  EXPECT_EQ(EncodedRows(samples.fresh), EncodedRows(samples.stale));
+}
+
+TEST_F(CleanerTest, SpjViewCleaningWithPartialKeySampling) {
+  // Sample the SPJ join view on the join key only (§12.5): pushes to both
+  // join inputs and still cleans exactly.
+  PlanPtr def = PlanNode::Join(PlanNode::Scan("Log", "l"),
+                               PlanNode::Scan("Video", "v"), JoinType::kInner,
+                               {{"l.videoId", "v.videoId"}});
+  SVC_ASSERT_OK_AND_ASSIGN(
+      MaterializedView view,
+      MaterializedView::Create("spjv", def->Clone(), &db_,
+                               {"v_videoId"}));
+  DeltaSet deltas = MakeDeltas(150, 13);
+  SVC_ASSERT_OK(deltas.Register(&db_));
+  CleanOptions opts{0.3, HashFamily::kFnv1a};
+  PushdownReport report;
+  SVC_ASSERT_OK_AND_ASSIGN(
+      CorrespondingSamples samples,
+      CleanViewSample(view, deltas, db_, opts, &report));
+
+  Table fresh_full = FreshView(view, deltas);
+  db_.PutTable("__fresh_full", fresh_full);
+  PlanPtr eta = PlanNode::HashFilter(PlanNode::Scan("__fresh_full"),
+                                     view.sampling_key(), opts.ratio,
+                                     opts.family);
+  SVC_ASSERT_OK_AND_ASSIGN(Table expected, ExecutePlan(*eta, db_));
+  SVC_ASSERT_OK(expected.SetPrimaryKey(view.stored_pk()));
+  ExpectTablesEquivalent(samples.fresh, expected);
+}
+
+TEST_F(CleanerTest, RecomputeOnlyViewCleansViaPushdown) {
+  // Union view: maintenance is recompute, but η still pushes into the
+  // recompute expression.
+  PlanPtr a = PlanNode::Project(PlanNode::Scan("Log", "l"),
+                                {{"id", Expr::Col("l.sessionId"), ""}});
+  PlanPtr b = PlanNode::Project(PlanNode::Scan("Video", "v"),
+                                {{"id", Expr::Col("v.videoId"), ""}});
+  SVC_ASSERT_OK_AND_ASSIGN(
+      MaterializedView view,
+      MaterializedView::Create("uv", PlanNode::Union(std::move(a),
+                                                     std::move(b)),
+                               &db_));
+  DeltaSet deltas = MakeDeltas(100, 19);
+  SVC_ASSERT_OK(deltas.Register(&db_));
+  CleanOptions opts{0.35, HashFamily::kFnv1a};
+  PushdownReport report;
+  SVC_ASSERT_OK_AND_ASSIGN(
+      CorrespondingSamples samples,
+      CleanViewSample(view, deltas, db_, opts, &report));
+
+  Table fresh_full = FreshView(view, deltas);
+  db_.PutTable("__fresh_full", fresh_full);
+  PlanPtr eta = PlanNode::HashFilter(PlanNode::Scan("__fresh_full"),
+                                     view.sampling_key(), opts.ratio,
+                                     opts.family);
+  SVC_ASSERT_OK_AND_ASSIGN(Table expected, ExecutePlan(*eta, db_));
+  SVC_ASSERT_OK(expected.SetPrimaryKey(view.stored_pk()));
+  ExpectTablesEquivalent(samples.fresh, expected);
+}
+
+class CleanerSeedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CleanerSeedTest, RandomizedCorrespondence) {
+  // Randomized end-to-end Problem 1 check across seeds and ratios.
+  Database db = MakeLogVideoDb();
+  Rng rng(GetParam() * 101);
+  Table* log = db.GetMutableTable("Log").value();
+  for (int64_t s = 10; s < 600; ++s) {
+    SVC_ASSERT_OK(log->Insert({Value::Int(s),
+                               Value::Int(rng.UniformInt(1, 5))}));
+  }
+  PlanPtr join = PlanNode::Join(PlanNode::Scan("Log", "l"),
+                                PlanNode::Scan("Video", "v"), JoinType::kInner,
+                                {{"l.videoId", "v.videoId"}}, nullptr, true);
+  PlanPtr def = PlanNode::Aggregate(
+      std::move(join), {"l.videoId"},
+      {{AggFunc::kCountStar, nullptr, "c"},
+       {AggFunc::kSum, Expr::Col("v.duration"), "s"}});
+  SVC_ASSERT_OK_AND_ASSIGN(MaterializedView view,
+                           MaterializedView::Create("vv", def, &db));
+
+  DeltaSet deltas;
+  for (int i = 0; i < 120; ++i) {
+    SVC_ASSERT_OK(deltas.AddInsert(
+        db, "Log", {Value::Int(9000 + i), Value::Int(rng.UniformInt(1, 7))}));
+  }
+  SVC_ASSERT_OK(deltas.Register(&db));
+  const double m = 0.1 + 0.2 * (GetParam() % 4);
+  CleanOptions opts{m, HashFamily::kSha1};
+  SVC_ASSERT_OK_AND_ASSIGN(CorrespondingSamples samples,
+                           CleanViewSample(view, deltas, db, opts));
+
+  SVC_ASSERT_OK_AND_ASSIGN(MaintenancePlan plan,
+                           BuildMaintenancePlan(view, deltas, db));
+  SVC_ASSERT_OK_AND_ASSIGN(Table fresh_full, ExecutePlan(*plan.plan, db));
+  SVC_ASSERT_OK(fresh_full.SetPrimaryKey(view.stored_pk()));
+  db.PutTable("__fresh_full", fresh_full);
+  PlanPtr eta = PlanNode::HashFilter(PlanNode::Scan("__fresh_full"),
+                                     view.sampling_key(), m, opts.family);
+  SVC_ASSERT_OK_AND_ASSIGN(Table expected, ExecutePlan(*eta, db));
+  SVC_ASSERT_OK(expected.SetPrimaryKey(view.stored_pk()));
+  testing_util::ExpectTablesEquivalent(samples.fresh, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CleanerSeedTest, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace svc

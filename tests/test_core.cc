@@ -1,0 +1,424 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/minmax.h"
+#include "core/outlier.h"
+#include "core/policy.h"
+#include "core/select_clean.h"
+#include "core/svc.h"
+#include "tests/test_util.h"
+
+namespace svc {
+namespace {
+
+using testing_util::MakeLogVideoDb;
+
+PlanPtr VisitViewDef() {
+  PlanPtr join = PlanNode::Join(PlanNode::Scan("Log", "l"),
+                                PlanNode::Scan("Video", "v"), JoinType::kInner,
+                                {{"l.videoId", "v.videoId"}}, nullptr, true);
+  return PlanNode::Aggregate(
+      std::move(join), {"l.videoId"},
+      {{AggFunc::kCountStar, nullptr, "visitCount"},
+       {AggFunc::kSum, Expr::Col("v.duration"), "totalDur"}});
+}
+
+/// Engine with a larger Log/Video database and the visitView registered.
+SvcEngine MakeEngine(uint64_t seed = 41, int videos = 60, int sessions = 3000) {
+  Database db = MakeLogVideoDb();
+  Rng rng(seed);
+  {
+    Table* video = db.GetMutableTable("Video").value();
+    for (int64_t v = 6; v <= videos; ++v) {
+      EXPECT_TRUE(video
+                      ->Insert({Value::Int(v), Value::Int(100 + v % 9),
+                                Value::Double(rng.Uniform(0.1, 3.0))})
+                      .ok());
+    }
+    Table* log = db.GetMutableTable("Log").value();
+    Zipfian zipf(videos, 1.2);
+    for (int64_t s = 10; s < sessions; ++s) {
+      EXPECT_TRUE(log->Insert({Value::Int(s),
+                               Value::Int(static_cast<int64_t>(
+                                   zipf.Next(&rng)))})
+                      .ok());
+    }
+  }
+  SvcEngine engine(std::move(db));
+  EXPECT_TRUE(engine.CreateView("visitView", VisitViewDef()).ok());
+  return engine;
+}
+
+TEST(SvcEngineTest, CreateViewAndQueryWithoutStaleness) {
+  SvcEngine engine = MakeEngine();
+  AggregateQuery q = AggregateQuery::Count(
+      Expr::Gt(Expr::Col("visitCount"), Expr::LitInt(10)));
+  SVC_ASSERT_OK_AND_ASSIGN(double stale, engine.QueryStale("visitView", q));
+  SVC_ASSERT_OK_AND_ASSIGN(SvcAnswer ans, engine.Query("visitView", q));
+  // CORR with no pending deltas is exact.
+  EXPECT_DOUBLE_EQ(ans.estimate.value, stale);
+}
+
+TEST(SvcEngineTest, DuplicateViewRejected) {
+  SvcEngine engine = MakeEngine();
+  EXPECT_FALSE(engine.CreateView("visitView", VisitViewDef()).ok());
+}
+
+TEST(SvcEngineTest, QueryReflectsPendingDeltas) {
+  SvcEngine engine = MakeEngine();
+  // Insert many visits spread across the videos.
+  for (int i = 0; i < 500; ++i) {
+    SVC_ASSERT_OK(engine.InsertRecord(
+        "Log", {Value::Int(100000 + i), Value::Int(1 + i % 40)}));
+  }
+  AggregateQuery q = AggregateQuery::Sum(Expr::Col("visitCount"));
+  SVC_ASSERT_OK_AND_ASSIGN(double stale, engine.QueryStale("visitView", q));
+  SVC_ASSERT_OK_AND_ASSIGN(Table fresh, engine.ComputeFreshView("visitView"));
+  SVC_ASSERT_OK_AND_ASSIGN(double truth, ExactAggregate(fresh, q));
+  EXPECT_NEAR(truth, stale + 500, 1e-9);
+
+  SvcQueryOptions opts;
+  opts.ratio = 0.3;
+  SVC_ASSERT_OK_AND_ASSIGN(SvcAnswer ans, engine.Query("visitView", q, opts));
+  EXPECT_LT(std::fabs(ans.estimate.value - truth),
+            std::fabs(stale - truth));
+}
+
+TEST(SvcEngineTest, MaintainAllCommitsAndFreshens) {
+  SvcEngine engine = MakeEngine();
+  for (int i = 0; i < 200; ++i) {
+    SVC_ASSERT_OK(engine.InsertRecord(
+        "Log", {Value::Int(200000 + i), Value::Int(2)}));
+  }
+  EXPECT_TRUE(engine.IsStale());
+  AggregateQuery q = AggregateQuery::Sum(Expr::Col("visitCount"));
+  SVC_ASSERT_OK_AND_ASSIGN(Table fresh, engine.ComputeFreshView("visitView"));
+  SVC_ASSERT_OK_AND_ASSIGN(double truth, ExactAggregate(fresh, q));
+  SVC_ASSERT_OK(engine.MaintainAll());
+  EXPECT_FALSE(engine.IsStale());
+  SVC_ASSERT_OK_AND_ASSIGN(double now, engine.QueryStale("visitView", q));
+  EXPECT_NEAR(now, truth, 1e-9);
+}
+
+TEST(SvcEngineTest, AutoModeSelectsEstimator) {
+  SvcEngine engine = MakeEngine();
+  // Tiny staleness: policy should choose CORR.
+  SVC_ASSERT_OK(engine.InsertRecord("Log", {Value::Int(300000),
+                                            Value::Int(1)}));
+  SvcQueryOptions opts;
+  opts.auto_mode = true;
+  opts.ratio = 0.3;
+  AggregateQuery q = AggregateQuery::Sum(Expr::Col("visitCount"));
+  SVC_ASSERT_OK_AND_ASSIGN(SvcAnswer ans, engine.Query("visitView", q, opts));
+  EXPECT_EQ(static_cast<int>(ans.mode_used),
+            static_cast<int>(EstimatorMode::kCorr));
+}
+
+TEST(PolicyTest, HeavyChangeFlipsToAqp) {
+  // Construct samples where the stale values are uncorrelated with fresh.
+  Table stale(Schema({{"", "id", ValueType::kInt},
+                      {"", "val", ValueType::kDouble}}));
+  Table fresh = stale;
+  SVC_ASSERT_OK(stale.SetPrimaryKey({"id"}));
+  SVC_ASSERT_OK(fresh.SetPrimaryKey({"id"}));
+  Rng rng(137);
+  for (int i = 0; i < 3000; ++i) {
+    SVC_ASSERT_OK(stale.Insert({Value::Int(i),
+                                Value::Double(rng.Uniform(0, 10))}));
+    SVC_ASSERT_OK(fresh.Insert({Value::Int(i),
+                                Value::Double(rng.Uniform(0, 10))}));
+  }
+  CorrespondingSamples s;
+  s.ratio = 0.2;
+  s.key_columns = {"id"};
+  s.stale = stale;
+  s.fresh = fresh;
+  AggregateQuery q = AggregateQuery::Sum(Expr::Col("val"));
+  SVC_ASSERT_OK_AND_ASSIGN(PolicyDecision d, ChooseEstimator(s, q));
+  EXPECT_EQ(static_cast<int>(d.mode), static_cast<int>(EstimatorMode::kAqp));
+}
+
+TEST(PolicyTest, IdenticalViewsChooseCorr) {
+  Table t(Schema({{"", "id", ValueType::kInt},
+                  {"", "val", ValueType::kDouble}}));
+  SVC_ASSERT_OK(t.SetPrimaryKey({"id"}));
+  Rng rng(139);
+  for (int i = 0; i < 500; ++i) {
+    SVC_ASSERT_OK(t.Insert({Value::Int(i),
+                            Value::Double(rng.Uniform(0, 10))}));
+  }
+  CorrespondingSamples s;
+  s.ratio = 0.5;
+  s.key_columns = {"id"};
+  s.stale = t;
+  s.fresh = t;
+  AggregateQuery q = AggregateQuery::Sum(Expr::Col("val"));
+  SVC_ASSERT_OK_AND_ASSIGN(PolicyDecision d, ChooseEstimator(s, q));
+  EXPECT_EQ(static_cast<int>(d.mode), static_cast<int>(EstimatorMode::kCorr));
+  EXPECT_NEAR(d.var_stale, d.cov, 1e-9);
+}
+
+TEST(MinMaxTest, MaxCorrectionAndCantelli) {
+  Table stale(Schema({{"", "id", ValueType::kInt},
+                      {"", "val", ValueType::kDouble}}));
+  Table fresh = stale;
+  SVC_ASSERT_OK(stale.SetPrimaryKey({"id"}));
+  SVC_ASSERT_OK(fresh.SetPrimaryKey({"id"}));
+  Rng rng(149);
+  for (int i = 0; i < 4000; ++i) {
+    const double v = rng.Uniform(0, 100);
+    SVC_ASSERT_OK(stale.Insert({Value::Int(i), Value::Double(v)}));
+    // Every value shifted up by 5 in the fresh view.
+    SVC_ASSERT_OK(fresh.Insert({Value::Int(i), Value::Double(v + 5)}));
+  }
+  CorrespondingSamples s;
+  s.ratio = 0.2;
+  s.key_columns = {"id"};
+  Table ss(stale.schema()), fs(fresh.schema());
+  for (size_t i = 0; i < stale.NumRows(); ++i) {
+    if (HashInSample(stale.EncodedKey(i), 0.2, HashFamily::kFnv1a)) {
+      ss.AppendUnchecked(stale.row(i));
+      fs.AppendUnchecked(fresh.row(i));
+    }
+  }
+  SVC_ASSERT_OK(ss.SetPrimaryKey({"id"}));
+  SVC_ASSERT_OK(fs.SetPrimaryKey({"id"}));
+  s.stale = std::move(ss);
+  s.fresh = std::move(fs);
+
+  AggregateQuery q{AggFunc::kMax, Expr::Col("val"), nullptr};
+  SVC_ASSERT_OK_AND_ASSIGN(MinMaxEstimate e, SvcMaxEstimate(stale, s, q));
+  SVC_ASSERT_OK_AND_ASSIGN(double stale_max,
+                           ExactAggregate(stale, {AggFunc::kMax,
+                                                  Expr::Col("val"), nullptr}));
+  // The uniform +5 shift is recovered exactly by the paired-difference rule.
+  EXPECT_NEAR(e.value, stale_max + 5, 1e-9);
+  EXPECT_GT(e.tail_probability, 0.0);
+  EXPECT_LT(e.tail_probability, 0.3);  // ~0.25 for uniform[0,100]
+}
+
+TEST(MinMaxTest, MinCorrection) {
+  Table stale(Schema({{"", "id", ValueType::kInt},
+                      {"", "val", ValueType::kDouble}}));
+  Table fresh = stale;
+  SVC_ASSERT_OK(stale.SetPrimaryKey({"id"}));
+  SVC_ASSERT_OK(fresh.SetPrimaryKey({"id"}));
+  for (int i = 0; i < 1000; ++i) {
+    SVC_ASSERT_OK(stale.Insert({Value::Int(i), Value::Double(i * 0.1 + 3)}));
+    SVC_ASSERT_OK(fresh.Insert({Value::Int(i), Value::Double(i * 0.1)}));
+  }
+  CorrespondingSamples s;
+  s.ratio = 0.3;
+  s.key_columns = {"id"};
+  Table ss(stale.schema()), fs(fresh.schema());
+  for (size_t i = 0; i < stale.NumRows(); ++i) {
+    if (HashInSample(stale.EncodedKey(i), 0.3, HashFamily::kFnv1a)) {
+      ss.AppendUnchecked(stale.row(i));
+      fs.AppendUnchecked(fresh.row(i));
+    }
+  }
+  SVC_ASSERT_OK(ss.SetPrimaryKey({"id"}));
+  SVC_ASSERT_OK(fs.SetPrimaryKey({"id"}));
+  s.stale = std::move(ss);
+  s.fresh = std::move(fs);
+  AggregateQuery q{AggFunc::kMin, Expr::Col("val"), nullptr};
+  SVC_ASSERT_OK_AND_ASSIGN(MinMaxEstimate e, SvcMinEstimate(stale, s, q));
+  EXPECT_NEAR(e.value, 0.0, 1e-9);  // 3 (stale min) + (-3) correction
+}
+
+TEST(SelectCleanTest, RepairsSelection) {
+  SvcEngine engine = MakeEngine(43);
+  // Make video 1 cross the threshold and delete all visits to video 3.
+  for (int i = 0; i < 300; ++i) {
+    SVC_ASSERT_OK(engine.InsertRecord(
+        "Log", {Value::Int(400000 + i), Value::Int(1)}));
+  }
+  SVC_ASSERT_OK_AND_ASSIGN(const Table* log, engine.db()->GetTable("Log"));
+  DeltaSet dels;
+  for (const auto& r : log->rows()) {
+    if (r[1].AsInt() == 3) {
+      SVC_ASSERT_OK(dels.AddDelete(*engine.db(), "Log", r));
+    }
+  }
+  SVC_ASSERT_OK(engine.IngestDeltas(std::move(dels)));
+
+  SVC_ASSERT_OK_AND_ASSIGN(const MaterializedView* view,
+                           engine.GetView("visitView"));
+  CleanOptions copts{1.0, HashFamily::kFnv1a};  // full "sample": exact repair
+  SVC_ASSERT_OK_AND_ASSIGN(
+      CorrespondingSamples samples,
+      CleanViewSample(*view, engine.pending(), *engine.db(), copts));
+  SVC_ASSERT_OK_AND_ASSIGN(const Table* stale,
+                           engine.db()->GetTable("visitView"));
+  ExprPtr pred = Expr::Gt(Expr::Col("visitCount"), Expr::LitInt(0));
+  SVC_ASSERT_OK_AND_ASSIGN(CleanedSelect cleaned,
+                           SvcCleanSelect(*stale, samples, pred));
+  // With m = 1 the repaired selection equals the fresh view selection.
+  SVC_ASSERT_OK_AND_ASSIGN(Table fresh, engine.ComputeFreshView("visitView"));
+  size_t fresh_sel = 0;
+  ExprPtr fp = pred->Clone();
+  SVC_ASSERT_OK(fp->Bind(fresh.schema()));
+  for (const auto& r : fresh.rows()) {
+    if (fp->Eval(r).IsTrue()) ++fresh_sel;
+  }
+  EXPECT_EQ(cleaned.rows.NumRows(), fresh_sel);
+  EXPECT_GT(cleaned.updated_rows.value, 0);
+  EXPECT_GT(cleaned.deleted_rows.value, 0);
+}
+
+TEST(SelectCleanTest, SampledRepairBoundsChangeCounts) {
+  SvcEngine engine = MakeEngine(47);
+  for (int i = 0; i < 400; ++i) {
+    SVC_ASSERT_OK(engine.InsertRecord(
+        "Log",
+        {Value::Int(500000 + i), Value::Int(1 + i % 50)}));
+  }
+  SVC_ASSERT_OK_AND_ASSIGN(const MaterializedView* view,
+                           engine.GetView("visitView"));
+  CleanOptions copts{0.4, HashFamily::kFnv1a};
+  SVC_ASSERT_OK_AND_ASSIGN(
+      CorrespondingSamples samples,
+      CleanViewSample(*view, engine.pending(), *engine.db(), copts));
+  SVC_ASSERT_OK_AND_ASSIGN(const Table* stale,
+                           engine.db()->GetTable("visitView"));
+  SVC_ASSERT_OK_AND_ASSIGN(CleanedSelect cleaned,
+                           SvcCleanSelect(*stale, samples, nullptr));
+  // Truth: number of updated view rows.
+  SVC_ASSERT_OK_AND_ASSIGN(Table fresh, engine.ComputeFreshView("visitView"));
+  size_t updated_truth = 0;
+  for (size_t i = 0; i < stale->NumRows(); ++i) {
+    auto f = fresh.FindByEncodedKey(stale->EncodedKey(i));
+    if (!f.ok()) continue;
+    bool same = true;
+    for (size_t c = 0; c < stale->row(i).size() && same; ++c) {
+      same = stale->row(i)[c] == fresh.row(*f)[c];
+    }
+    if (!same) ++updated_truth;
+  }
+  EXPECT_TRUE(cleaned.updated_rows.Covers(static_cast<double>(updated_truth)))
+      << cleaned.updated_rows.value << " truth=" << updated_truth;
+}
+
+TEST(OutlierIndexTest, TopKThresholdAndEviction) {
+  Database db = MakeLogVideoDb();
+  OutlierIndexSpec spec;
+  spec.base_relation = "Video";
+  spec.attribute = "duration";
+  spec.capacity = 2;
+  DeltaSet none;
+  SVC_ASSERT_OK_AND_ASSIGN(OutlierIndex index,
+                           OutlierIndex::Build(db, none, spec));
+  // Durations 0.5..2.5; top-2 threshold = 2.0, records = {2.0, 2.5}.
+  EXPECT_DOUBLE_EQ(index.threshold(), 2.0);
+  EXPECT_EQ(index.size(), 2u);
+}
+
+TEST(OutlierIndexTest, UpdateStreamFeedsIndex) {
+  Database db = MakeLogVideoDb();
+  DeltaSet deltas;
+  SVC_ASSERT_OK(deltas.AddInsert(
+      db, "Video",
+      {Value::Int(50), Value::Int(999), Value::Double(100.0)}));
+  OutlierIndexSpec spec;
+  spec.base_relation = "Video";
+  spec.attribute = "duration";
+  spec.capacity = 3;
+  spec.threshold = 2.4;
+  SVC_ASSERT_OK_AND_ASSIGN(OutlierIndex index,
+                           OutlierIndex::Build(db, deltas, spec));
+  // Base has one record >= 2.4 (2.5) plus the inserted 100.0.
+  EXPECT_EQ(index.size(), 2u);
+}
+
+TEST(OutlierEstimationTest, SkewedSumImproves) {
+  // Zipf-skewed per-video visit counts: a handful of huge groups dominate
+  // the total. The outlier index pins them, shrinking both error and CI.
+  SvcEngine engine = MakeEngine(53, 80, 12000);
+  for (int i = 0; i < 1500; ++i) {
+    SVC_ASSERT_OK(engine.InsertRecord(
+        "Log", {Value::Int(700000 + i), Value::Int(1 + i % 8)}));
+  }
+  SVC_ASSERT_OK_AND_ASSIGN(const MaterializedView* view,
+                           engine.GetView("visitView"));
+
+  OutlierIndexSpec spec;
+  spec.base_relation = "Log";
+  spec.attribute = "videoId";  // low ids are the hot groups under Zipf
+  spec.capacity = 400;
+  spec.threshold = -1e18;  // index by recency of heat instead: see below
+  // Indexing videoId directly is not meaningful; instead index the hot
+  // groups by thresholding small ids via a transform-free criterion:
+  // use threshold so that videoId >= threshold keeps all (we then rely on
+  // capacity+top-k to retain the largest videoIds). For a meaningful test
+  // use duration on Video as the skew proxy below instead.
+  spec.base_relation = "Video";
+  spec.attribute = "duration";
+  spec.capacity = 10;
+  spec.threshold.reset();
+  SVC_ASSERT_OK_AND_ASSIGN(
+      OutlierIndex index,
+      OutlierIndex::Build(*engine.db(), engine.pending(), spec));
+  SVC_ASSERT_OK_AND_ASSIGN(
+      OutlierIndex::ViewOutliers outliers,
+      index.PushUpToView(*view, engine.pending(), engine.db()));
+  ASSERT_TRUE(outliers.eligible);
+  EXPECT_GT(outliers.fresh.NumRows(), 0u);
+
+  CleanOptions copts{0.1, HashFamily::kFnv1a};
+  SVC_ASSERT_OK_AND_ASSIGN(
+      CorrespondingSamples samples,
+      CleanViewSample(*view, engine.pending(), *engine.db(), copts));
+  AggregateQuery q = AggregateQuery::Sum(Expr::Col("totalDur"));
+  SVC_ASSERT_OK_AND_ASSIGN(Table fresh, engine.ComputeFreshView("visitView"));
+  SVC_ASSERT_OK_AND_ASSIGN(double truth, ExactAggregate(fresh, q));
+
+  SVC_ASSERT_OK_AND_ASSIGN(Estimate plain, SvcAqpEstimate(samples, q));
+  SVC_ASSERT_OK_AND_ASSIGN(
+      Estimate with_out,
+      SvcAqpEstimateWithOutliers(samples, outliers, q));
+  // The outlier-merged estimate must have a tighter interval.
+  EXPECT_LE(with_out.HalfWidth(), plain.HalfWidth());
+  EXPECT_TRUE(with_out.Covers(truth) ||
+              std::fabs(with_out.value - truth) <
+                  std::fabs(plain.value - truth) + 1e-9);
+}
+
+TEST(OutlierEstimationTest, CorrMergeIsConsistent) {
+  SvcEngine engine = MakeEngine(59, 40, 6000);
+  for (int i = 0; i < 800; ++i) {
+    SVC_ASSERT_OK(engine.InsertRecord(
+        "Log", {Value::Int(800000 + i), Value::Int(1 + i % 35)}));
+  }
+  SVC_ASSERT_OK_AND_ASSIGN(const MaterializedView* view,
+                           engine.GetView("visitView"));
+  OutlierIndexSpec spec{"Video", "duration", 8, std::nullopt};
+  SVC_ASSERT_OK_AND_ASSIGN(
+      OutlierIndex index,
+      OutlierIndex::Build(*engine.db(), engine.pending(), spec));
+  SVC_ASSERT_OK_AND_ASSIGN(
+      OutlierIndex::ViewOutliers outliers,
+      index.PushUpToView(*view, engine.pending(), engine.db()));
+  ASSERT_TRUE(outliers.eligible);
+  CleanOptions copts{0.15, HashFamily::kFnv1a};
+  SVC_ASSERT_OK_AND_ASSIGN(
+      CorrespondingSamples samples,
+      CleanViewSample(*view, engine.pending(), *engine.db(), copts));
+  SVC_ASSERT_OK_AND_ASSIGN(const Table* stale,
+                           engine.db()->GetTable("visitView"));
+  AggregateQuery q = AggregateQuery::Sum(Expr::Col("visitCount"));
+  SVC_ASSERT_OK_AND_ASSIGN(Table fresh, engine.ComputeFreshView("visitView"));
+  SVC_ASSERT_OK_AND_ASSIGN(double truth, ExactAggregate(fresh, q));
+  SVC_ASSERT_OK_AND_ASSIGN(
+      Estimate est,
+      SvcCorrEstimateWithOutliers(*stale, samples, outliers, q));
+  SVC_ASSERT_OK_AND_ASSIGN(double stale_ans, ExactAggregate(*stale, q));
+  // The merged estimate is bounded by its interval and improves on the
+  // stale answer.
+  EXPECT_TRUE(est.Covers(truth)) << est.value << " truth=" << truth;
+  EXPECT_LT(std::fabs(est.value - truth), std::fabs(stale_ans - truth));
+}
+
+}  // namespace
+}  // namespace svc

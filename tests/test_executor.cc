@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "relational/executor.h"
+#include "tests/test_util.h"
+
+namespace svc {
+namespace {
+
+using testing_util::EncodedRows;
+using testing_util::MakeLogVideoDb;
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : db_(MakeLogVideoDb()) {}
+
+  Table Run(const PlanPtr& plan) {
+    auto r = ExecutePlan(*plan, db_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecutorTest, ScanAppliesAlias) {
+  Table t = Run(PlanNode::Scan("Log", "l"));
+  EXPECT_EQ(t.NumRows(), 10u);
+  EXPECT_EQ(t.schema().column(0).qualifier, "l");
+  EXPECT_TRUE(t.schema().Contains("l.videoId"));
+}
+
+TEST_F(ExecutorTest, ScanMissingTableFails) {
+  auto r = ExecutePlan(*PlanNode::Scan("NoSuch"), db_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecutorTest, SelectFilters) {
+  Table t = Run(PlanNode::Select(
+      PlanNode::Scan("Log"),
+      Expr::Eq(Expr::Col("videoId"), Expr::LitInt(3))));
+  EXPECT_EQ(t.NumRows(), 4u);
+}
+
+TEST_F(ExecutorTest, SelectNullPredicateExcludesRow) {
+  Table t = Run(PlanNode::Select(
+      PlanNode::Scan("Video"),
+      Expr::Gt(Expr::Div(Expr::Col("duration"),
+                         Expr::Sub(Expr::Col("videoId"), Expr::Col("videoId"))),
+               Expr::LitInt(0))));
+  EXPECT_EQ(t.NumRows(), 0u);  // division by zero -> NULL -> not TRUE
+}
+
+TEST_F(ExecutorTest, ProjectComputesExpressions) {
+  Table t = Run(PlanNode::Project(
+      PlanNode::Scan("Video"),
+      {{"videoId", Expr::Col("videoId"), ""},
+       {"double_dur", Expr::Mul(Expr::Col("duration"), Expr::LitInt(2)), ""}}));
+  EXPECT_EQ(t.NumRows(), 5u);
+  EXPECT_EQ(t.schema().NumColumns(), 2u);
+  EXPECT_DOUBLE_EQ(t.row(0)[1].ToDouble(), t.row(0)[0].AsInt() * 1.0);
+}
+
+TEST_F(ExecutorTest, InnerJoinMatchesForeignKey) {
+  Table t = Run(PlanNode::Join(PlanNode::Scan("Log", "l"),
+                               PlanNode::Scan("Video", "v"), JoinType::kInner,
+                               {{"l.videoId", "v.videoId"}}, nullptr, true));
+  EXPECT_EQ(t.NumRows(), 10u);  // every log row matches exactly one video
+  EXPECT_EQ(t.schema().NumColumns(), 5u);
+}
+
+TEST_F(ExecutorTest, InnerJoinDropsUnmatched) {
+  // Only videos 1..3 are visited; inner join from Video drops 4 and 5.
+  Table t = Run(PlanNode::Join(PlanNode::Scan("Video", "v"),
+                               PlanNode::Scan("Log", "l"), JoinType::kInner,
+                               {{"v.videoId", "l.videoId"}}));
+  std::set<int64_t> vids;
+  SVC_ASSERT_OK_AND_ASSIGN(size_t vid_idx, t.schema().Resolve("v.videoId"));
+  for (const auto& r : t.rows()) vids.insert(r[vid_idx].AsInt());
+  EXPECT_EQ(vids, (std::set<int64_t>{1, 2, 3}));
+}
+
+TEST_F(ExecutorTest, LeftJoinPadsWithNulls) {
+  Table t = Run(PlanNode::Join(PlanNode::Scan("Video", "v"),
+                               PlanNode::Scan("Log", "l"), JoinType::kLeft,
+                               {{"v.videoId", "l.videoId"}}));
+  EXPECT_EQ(t.NumRows(), 12u);  // 10 matches + videos 4, 5 null-padded
+  size_t padded = 0;
+  SVC_ASSERT_OK_AND_ASSIGN(size_t sid, t.schema().Resolve("l.sessionId"));
+  for (const auto& r : t.rows()) {
+    if (r[sid].is_null()) ++padded;
+  }
+  EXPECT_EQ(padded, 2u);
+}
+
+TEST_F(ExecutorTest, FullOuterJoinKeepsBothSides) {
+  // Restrict logs to video 1, then full-join with all videos.
+  PlanPtr logs1 = PlanNode::Select(
+      PlanNode::Scan("Log", "l"),
+      Expr::Eq(Expr::Col("videoId"), Expr::LitInt(1)));
+  Table t = Run(PlanNode::Join(std::move(logs1), PlanNode::Scan("Video", "v"),
+                               JoinType::kFull, {{"l.videoId", "v.videoId"}}));
+  // 3 sessions match video 1; videos 2..5 appear null-padded on the left.
+  EXPECT_EQ(t.NumRows(), 7u);
+}
+
+TEST_F(ExecutorTest, RightJoinMirrorsLeft) {
+  Table t = Run(PlanNode::Join(PlanNode::Scan("Log", "l"),
+                               PlanNode::Scan("Video", "v"), JoinType::kRight,
+                               {{"l.videoId", "v.videoId"}}));
+  EXPECT_EQ(t.NumRows(), 12u);
+}
+
+TEST_F(ExecutorTest, JoinResidualPredicate) {
+  Table t = Run(PlanNode::Join(
+      PlanNode::Scan("Log", "l"), PlanNode::Scan("Video", "v"),
+      JoinType::kInner, {{"l.videoId", "v.videoId"}},
+      Expr::Gt(Expr::Col("v.duration"), Expr::LitDouble(0.9))));
+  // Videos with duration > 0.9: ids 2..5 -> only visits to 2 and 3 remain.
+  EXPECT_EQ(t.NumRows(), 7u);
+}
+
+TEST_F(ExecutorTest, NullJoinKeysNeverMatch) {
+  Table withnull(Schema({{"", "k", ValueType::kInt}}));
+  withnull.AppendUnchecked({Value::Null()});
+  withnull.AppendUnchecked({Value::Int(1)});
+  db_.PutTable("N", std::move(withnull));
+  Table t = Run(PlanNode::Join(PlanNode::Scan("N", "a"),
+                               PlanNode::Scan("N", "b"), JoinType::kInner,
+                               {{"a.k", "b.k"}}));
+  EXPECT_EQ(t.NumRows(), 1u);  // only 1=1; NULL does not match NULL
+}
+
+TEST_F(ExecutorTest, GroupByCount) {
+  Table t = Run(PlanNode::Aggregate(
+      PlanNode::Scan("Log"), {"videoId"},
+      {{AggFunc::kCountStar, nullptr, "visitCount"}}));
+  EXPECT_EQ(t.NumRows(), 3u);
+  SVC_ASSERT_OK_AND_ASSIGN(size_t c, t.schema().Resolve("visitCount"));
+  SVC_ASSERT_OK_AND_ASSIGN(size_t v, t.schema().Resolve("videoId"));
+  for (const auto& r : t.rows()) {
+    if (r[v].AsInt() == 1) {
+      EXPECT_EQ(r[c].AsInt(), 3);
+    }
+    if (r[v].AsInt() == 2) {
+      EXPECT_EQ(r[c].AsInt(), 3);
+    }
+    if (r[v].AsInt() == 3) {
+      EXPECT_EQ(r[c].AsInt(), 4);
+    }
+  }
+}
+
+TEST_F(ExecutorTest, AggregateFunctions) {
+  Table t = Run(PlanNode::Aggregate(
+      PlanNode::Scan("Video"), {},
+      {{AggFunc::kSum, Expr::Col("duration"), "s"},
+       {AggFunc::kAvg, Expr::Col("duration"), "a"},
+       {AggFunc::kMin, Expr::Col("duration"), "lo"},
+       {AggFunc::kMax, Expr::Col("duration"), "hi"},
+       {AggFunc::kCount, Expr::Col("duration"), "c"},
+       {AggFunc::kMedian, Expr::Col("duration"), "med"},
+       {AggFunc::kCountDistinct, Expr::Col("ownerId"), "owners"}}));
+  ASSERT_EQ(t.NumRows(), 1u);
+  const Row& r = t.row(0);
+  EXPECT_DOUBLE_EQ(r[0].ToDouble(), 7.5);   // 0.5+1+1.5+2+2.5
+  EXPECT_DOUBLE_EQ(r[1].AsDouble(), 1.5);
+  EXPECT_DOUBLE_EQ(r[2].ToDouble(), 0.5);
+  EXPECT_DOUBLE_EQ(r[3].ToDouble(), 2.5);
+  EXPECT_EQ(r[4].AsInt(), 5);
+  EXPECT_DOUBLE_EQ(r[5].AsDouble(), 1.5);
+  EXPECT_EQ(r[6].AsInt(), 3);
+}
+
+TEST_F(ExecutorTest, MedianEvenCount) {
+  Table nums(Schema({{"", "x", ValueType::kInt}}));
+  for (int64_t v : {4, 1, 3, 2}) nums.AppendUnchecked({Value::Int(v)});
+  db_.PutTable("Nums", std::move(nums));
+  Table t = Run(PlanNode::Aggregate(PlanNode::Scan("Nums"), {},
+                                    {{AggFunc::kMedian, Expr::Col("x"),
+                                      "m"}}));
+  EXPECT_DOUBLE_EQ(t.row(0)[0].AsDouble(), 2.5);
+}
+
+TEST_F(ExecutorTest, AggregateIgnoresNulls) {
+  Table nums(Schema({{"", "x", ValueType::kInt}}));
+  nums.AppendUnchecked({Value::Int(10)});
+  nums.AppendUnchecked({Value::Null()});
+  db_.PutTable("Nums", std::move(nums));
+  Table t = Run(PlanNode::Aggregate(
+      PlanNode::Scan("Nums"), {},
+      {{AggFunc::kSum, Expr::Col("x"), "s"},
+       {AggFunc::kCount, Expr::Col("x"), "c"},
+       {AggFunc::kCountStar, nullptr, "n"},
+       {AggFunc::kAvg, Expr::Col("x"), "a"}}));
+  const Row& r = t.row(0);
+  EXPECT_EQ(r[0].AsInt(), 10);
+  EXPECT_EQ(r[1].AsInt(), 1);
+  EXPECT_EQ(r[2].AsInt(), 2);
+  EXPECT_DOUBLE_EQ(r[3].AsDouble(), 10.0);
+}
+
+TEST_F(ExecutorTest, GlobalAggregateOnEmptyInputYieldsOneRow) {
+  Table empty(Schema({{"", "x", ValueType::kInt}}));
+  db_.PutTable("E", std::move(empty));
+  Table t = Run(PlanNode::Aggregate(
+      PlanNode::Scan("E"), {},
+      {{AggFunc::kSum, Expr::Col("x"), "s"},
+       {AggFunc::kCountStar, nullptr, "c"}}));
+  ASSERT_EQ(t.NumRows(), 1u);
+  EXPECT_TRUE(t.row(0)[0].is_null());
+  EXPECT_EQ(t.row(0)[1].AsInt(), 0);
+}
+
+TEST_F(ExecutorTest, GroupedAggregateOnEmptyInputYieldsNoRows) {
+  Table empty(Schema({{"", "g", ValueType::kInt}, {"", "x", ValueType::kInt}}));
+  db_.PutTable("E", std::move(empty));
+  Table t = Run(PlanNode::Aggregate(PlanNode::Scan("E"), {"g"},
+                                    {{AggFunc::kSum, Expr::Col("x"), "s"}}));
+  EXPECT_EQ(t.NumRows(), 0u);
+}
+
+TEST_F(ExecutorTest, UnionDeduplicates) {
+  PlanPtr ids = PlanNode::Project(PlanNode::Scan("Log"),
+                                  {{"id", Expr::Col("videoId"), ""}});
+  Table t = Run(PlanNode::Union(ids->Clone(), ids));
+  EXPECT_EQ(t.NumRows(), 3u);
+}
+
+TEST_F(ExecutorTest, IntersectAndDifference) {
+  PlanPtr log_ids = PlanNode::Project(PlanNode::Scan("Log"),
+                                      {{"id", Expr::Col("videoId"), ""}});
+  PlanPtr video_ids = PlanNode::Project(PlanNode::Scan("Video"),
+                                        {{"id", Expr::Col("videoId"), ""}});
+  Table inter = Run(PlanNode::Intersect(video_ids->Clone(), log_ids->Clone()));
+  EXPECT_EQ(inter.NumRows(), 3u);  // {1,2,3}
+  Table diff = Run(PlanNode::Difference(video_ids, log_ids));
+  EXPECT_EQ(diff.NumRows(), 2u);  // {4,5}
+}
+
+TEST_F(ExecutorTest, SetOpArityMismatchFails) {
+  auto r = ExecutePlan(
+      *PlanNode::Union(PlanNode::Scan("Log"), PlanNode::Scan("Video")), db_);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(ExecutorTest, HashFilterIsDeterministicSubset) {
+  PlanPtr plan = PlanNode::HashFilter(PlanNode::Scan("Log"), {"sessionId"},
+                                      0.5, HashFamily::kFnv1a);
+  Table a = Run(plan->Clone());
+  Table b = Run(plan);
+  EXPECT_EQ(EncodedRows(a), EncodedRows(b));
+  EXPECT_LT(a.NumRows(), 10u);
+  // Subset of the base table.
+  Table full = Run(PlanNode::Scan("Log"));
+  auto full_rows = EncodedRows(full);
+  for (const auto& row : EncodedRows(a)) {
+    EXPECT_TRUE(std::binary_search(full_rows.begin(), full_rows.end(), row));
+  }
+}
+
+TEST_F(ExecutorTest, HashFilterRatioOneKeepsAll) {
+  Table t = Run(PlanNode::HashFilter(PlanNode::Scan("Log"), {"sessionId"},
+                                     1.0, HashFamily::kSha1));
+  EXPECT_EQ(t.NumRows(), 10u);
+}
+
+TEST_F(ExecutorTest, ComposedPipeline) {
+  // visitCount view from the paper: join + group-by count.
+  PlanPtr join = PlanNode::Join(PlanNode::Scan("Log", "l"),
+                                PlanNode::Scan("Video", "v"), JoinType::kInner,
+                                {{"l.videoId", "v.videoId"}}, nullptr, true);
+  PlanPtr agg = PlanNode::Aggregate(
+      std::move(join), {"l.videoId"},
+      {{AggFunc::kCountStar, nullptr, "visitCount"},
+       {AggFunc::kMax, Expr::Col("v.duration"), "duration"}});
+  Table t = Run(PlanNode::Select(
+      std::move(agg), Expr::Gt(Expr::Col("visitCount"), Expr::LitInt(3))));
+  ASSERT_EQ(t.NumRows(), 1u);
+  EXPECT_EQ(t.row(0)[0].AsInt(), 3);  // video 3 has 4 visits
+}
+
+}  // namespace
+}  // namespace svc

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "relational/expr.h"
+#include "tests/test_util.h"
+
+namespace svc {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  ExprTest()
+      : schema_({{"t", "a", ValueType::kInt},
+                 {"t", "b", ValueType::kDouble},
+                 {"t", "s", ValueType::kString},
+                 {"t", "n", ValueType::kInt}}) {}
+
+  Value Eval(ExprPtr e, const Row& row) {
+    EXPECT_TRUE(e->Bind(schema_).ok());
+    return e->Eval(row);
+  }
+
+  Row row_{Value::Int(4), Value::Double(2.5), Value::String("hello"),
+           Value::Null()};
+  Schema schema_;
+};
+
+TEST_F(ExprTest, ColumnAndLiteral) {
+  EXPECT_EQ(Eval(Expr::Col("a"), row_), Value::Int(4));
+  EXPECT_EQ(Eval(Expr::Col("t.b"), row_), Value::Double(2.5));
+  EXPECT_EQ(Eval(Expr::LitInt(7), row_), Value::Int(7));
+  EXPECT_EQ(Eval(Expr::LitString("x"), row_), Value::String("x"));
+}
+
+TEST_F(ExprTest, UnknownColumnFailsBind) {
+  ExprPtr e = Expr::Col("zzz");
+  EXPECT_FALSE(e->Bind(schema_).ok());
+}
+
+TEST_F(ExprTest, IntArithmetic) {
+  EXPECT_EQ(Eval(Expr::Add(Expr::Col("a"), Expr::LitInt(3)), row_),
+            Value::Int(7));
+  EXPECT_EQ(Eval(Expr::Sub(Expr::Col("a"), Expr::LitInt(10)), row_),
+            Value::Int(-6));
+  EXPECT_EQ(Eval(Expr::Mul(Expr::Col("a"), Expr::LitInt(5)), row_),
+            Value::Int(20));
+}
+
+TEST_F(ExprTest, DivisionAlwaysDouble) {
+  const Value v = Eval(Expr::Div(Expr::Col("a"), Expr::LitInt(8)), row_);
+  EXPECT_EQ(v.type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 0.5);
+}
+
+TEST_F(ExprTest, DivisionByZeroIsNull) {
+  EXPECT_TRUE(Eval(Expr::Div(Expr::Col("a"), Expr::LitInt(0)), row_)
+                  .is_null());
+}
+
+TEST_F(ExprTest, MixedArithmeticPromotesToDouble) {
+  const Value v = Eval(Expr::Add(Expr::Col("a"), Expr::Col("b")), row_);
+  EXPECT_EQ(v.type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 6.5);
+}
+
+TEST_F(ExprTest, NullPropagatesThroughArithmetic) {
+  EXPECT_TRUE(Eval(Expr::Add(Expr::Col("n"), Expr::LitInt(1)), row_)
+                  .is_null());
+  EXPECT_TRUE(Eval(Expr::Mul(Expr::Col("n"), Expr::Col("a")), row_)
+                  .is_null());
+}
+
+TEST_F(ExprTest, Comparisons) {
+  EXPECT_TRUE(Eval(Expr::Lt(Expr::Col("a"), Expr::LitInt(5)), row_).IsTrue());
+  EXPECT_FALSE(Eval(Expr::Gt(Expr::Col("a"), Expr::LitInt(5)), row_)
+                   .IsTrue());
+  EXPECT_TRUE(Eval(Expr::Ge(Expr::Col("a"), Expr::LitInt(4)), row_).IsTrue());
+  EXPECT_TRUE(Eval(Expr::Eq(Expr::Col("a"), Expr::LitDouble(4.0)), row_)
+                  .IsTrue());
+  EXPECT_TRUE(Eval(Expr::Ne(Expr::Col("s"), Expr::LitString("bye")), row_)
+                  .IsTrue());
+}
+
+TEST_F(ExprTest, NullComparisonIsNull) {
+  EXPECT_TRUE(Eval(Expr::Eq(Expr::Col("n"), Expr::LitInt(0)), row_)
+                  .is_null());
+  EXPECT_TRUE(Eval(Expr::Lt(Expr::Col("n"), Expr::LitInt(0)), row_)
+                  .is_null());
+}
+
+TEST_F(ExprTest, ThreeValuedAnd) {
+  auto t = Expr::Lit(Value::Bool(true));
+  auto fa = Expr::Lit(Value::Bool(false));
+  auto nu = Expr::Col("n");
+  // false AND null = false; true AND null = null.
+  EXPECT_FALSE(Eval(Expr::And(fa->Clone(), Expr::Eq(nu->Clone(),
+                                                    Expr::LitInt(1))),
+                    row_)
+                   .is_null());
+  EXPECT_TRUE(Eval(Expr::And(t->Clone(),
+                             Expr::Eq(nu->Clone(), Expr::LitInt(1))),
+                   row_)
+                  .is_null());
+}
+
+TEST_F(ExprTest, ThreeValuedOr) {
+  auto t = Expr::Lit(Value::Bool(true));
+  auto fa = Expr::Lit(Value::Bool(false));
+  auto null_cmp = Expr::Eq(Expr::Col("n"), Expr::LitInt(1));
+  // true OR null = true; false OR null = null.
+  EXPECT_TRUE(Eval(Expr::Or(t->Clone(), null_cmp->Clone()), row_).IsTrue());
+  EXPECT_TRUE(Eval(Expr::Or(fa->Clone(), null_cmp->Clone()), row_).is_null());
+}
+
+TEST_F(ExprTest, NotAndIsNull) {
+  EXPECT_FALSE(Eval(Expr::Not(Expr::Lit(Value::Bool(true))), row_).IsTrue());
+  EXPECT_TRUE(
+      Eval(Expr::Unary(UnaryOp::kIsNull, Expr::Col("n")), row_).IsTrue());
+  EXPECT_TRUE(Eval(Expr::Unary(UnaryOp::kIsNotNull, Expr::Col("a")), row_)
+                  .IsTrue());
+  EXPECT_TRUE(Eval(Expr::Not(Expr::Col("n")), row_).is_null());
+}
+
+TEST_F(ExprTest, CoalesceAndIf) {
+  EXPECT_EQ(Eval(Expr::CoalesceZero(Expr::Col("n")), row_), Value::Int(0));
+  EXPECT_EQ(Eval(Expr::CoalesceZero(Expr::Col("a")), row_), Value::Int(4));
+  EXPECT_EQ(Eval(Expr::Func("if", {Expr::Gt(Expr::Col("a"), Expr::LitInt(0)),
+                                   Expr::LitString("pos"),
+                                   Expr::LitString("neg")}),
+                 row_),
+            Value::String("pos"));
+  // NULL condition takes the else branch.
+  EXPECT_EQ(Eval(Expr::Func("if", {Expr::Col("n"), Expr::LitInt(1),
+                                   Expr::LitInt(2)}),
+                 row_),
+            Value::Int(2));
+}
+
+TEST_F(ExprTest, StringFunctions) {
+  EXPECT_EQ(Eval(Expr::Func("substr", {Expr::Col("s"), Expr::LitInt(2),
+                                       Expr::LitInt(3)}),
+                 row_),
+            Value::String("ell"));
+  EXPECT_EQ(Eval(Expr::Func("strlen", {Expr::Col("s")}), row_),
+            Value::Int(5));
+  EXPECT_EQ(Eval(Expr::Func("concat", {Expr::Col("s"), Expr::LitString("!"),
+                                       Expr::Col("a")}),
+                 row_),
+            Value::String("hello!4"));
+}
+
+TEST_F(ExprTest, SubstrOutOfRange) {
+  EXPECT_EQ(Eval(Expr::Func("substr", {Expr::Col("s"), Expr::LitInt(99),
+                                       Expr::LitInt(3)}),
+                 row_),
+            Value::String(""));
+}
+
+TEST_F(ExprTest, MathFunctions) {
+  EXPECT_EQ(Eval(Expr::Func("abs", {Expr::LitInt(-5)}), row_), Value::Int(5));
+  EXPECT_EQ(Eval(Expr::Func("floor", {Expr::Col("b")}), row_), Value::Int(2));
+  EXPECT_EQ(Eval(Expr::Func("ceil", {Expr::Col("b")}), row_), Value::Int(3));
+  EXPECT_EQ(Eval(Expr::Func("round", {Expr::Col("b")}), row_), Value::Int(3));
+  EXPECT_EQ(Eval(Expr::Func("least", {Expr::Col("a"), Expr::LitInt(2)}),
+                 row_),
+            Value::Int(2));
+  EXPECT_EQ(Eval(Expr::Func("greatest", {Expr::Col("a"), Expr::LitInt(2)}),
+                 row_),
+            Value::Int(4));
+}
+
+TEST_F(ExprTest, UnknownFunctionFailsBind) {
+  ExprPtr e = Expr::Func("frobnicate", {Expr::Col("a")});
+  EXPECT_FALSE(e->Bind(schema_).ok());
+}
+
+TEST_F(ExprTest, WrongArityFailsBind) {
+  ExprPtr e = Expr::Func("substr", {Expr::Col("s")});
+  EXPECT_FALSE(e->Bind(schema_).ok());
+}
+
+TEST_F(ExprTest, CloneIsIndependent) {
+  ExprPtr orig = Expr::Add(Expr::Col("a"), Expr::LitInt(1));
+  ExprPtr copy = orig->Clone();
+  SVC_ASSERT_OK(orig->Bind(schema_));
+  // The clone is unbound; binding it against a different schema works.
+  Schema other({{"", "a", ValueType::kInt}});
+  SVC_ASSERT_OK(copy->Bind(other));
+  EXPECT_EQ(copy->Eval({Value::Int(10)}), Value::Int(11));
+  EXPECT_EQ(orig->Eval(row_), Value::Int(5));
+}
+
+TEST_F(ExprTest, CollectColumnRefs) {
+  ExprPtr e = Expr::And(Expr::Gt(Expr::Col("a"), Expr::Col("t.b")),
+                        Expr::Unary(UnaryOp::kIsNull, Expr::Col("n")));
+  std::set<std::string> refs;
+  e->CollectColumnRefs(&refs);
+  EXPECT_EQ(refs, (std::set<std::string>{"a", "t.b", "n"}));
+}
+
+TEST_F(ExprTest, ToStringRoundTrips) {
+  ExprPtr e = Expr::Add(Expr::Col("a"), Expr::LitInt(1));
+  EXPECT_EQ(e->ToString(), "(a + 1)");
+}
+
+}  // namespace
+}  // namespace svc

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace svc {
+namespace {
+
+TEST(Sha1Test, KnownVectors) {
+  // FIPS 180-1 test vectors.
+  EXPECT_EQ(Sha1Hex(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(Sha1Hex("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(Sha1Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+  EXPECT_EQ(Sha1Hex("The quick brown fox jumps over the lazy dog"),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+TEST(Sha1Test, MultiBlockMessage) {
+  // > 64 bytes forces multiple compression rounds.
+  std::string msg(200, 'a');
+  EXPECT_EQ(Sha1Hex(msg).size(), 40u);
+  EXPECT_NE(Sha1Hex(msg), Sha1Hex(msg + "a"));
+}
+
+class HashFamilyTest : public ::testing::TestWithParam<HashFamily> {};
+
+TEST_P(HashFamilyTest, Deterministic) {
+  const HashFamily f = GetParam();
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "key-" + std::to_string(i * 977);
+    EXPECT_EQ(Hash64(key, f), Hash64(key, f));
+    EXPECT_EQ(HashToUnit(key, f), HashToUnit(key, f));
+  }
+}
+
+TEST_P(HashFamilyTest, UnitRange) {
+  const HashFamily f = GetParam();
+  for (int i = 0; i < 1000; ++i) {
+    const double u = HashToUnit("k" + std::to_string(i), f);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST_P(HashFamilyTest, SamplingRatioIsApproximatelyM) {
+  // The η operator keeps h(key) < m; over many keys the kept fraction must
+  // approach m (SUHA, §12.3 of the paper).
+  const HashFamily f = GetParam();
+  const int n = 20000;
+  for (double m : {0.05, 0.10, 0.25, 0.5}) {
+    int kept = 0;
+    for (int i = 0; i < n; ++i) {
+      if (HashInSample("pk:" + std::to_string(i), m, f)) ++kept;
+    }
+    const double frac = static_cast<double>(kept) / n;
+    // 5-sigma binomial bound.
+    const double sigma = std::sqrt(m * (1 - m) / n);
+    EXPECT_NEAR(frac, m, 5 * sigma) << HashFamilyName(f) << " m=" << m;
+  }
+}
+
+TEST_P(HashFamilyTest, UniformityChiSquared) {
+  // Bucket hash values of sequential keys into 64 bins; a grossly
+  // non-uniform hash fails a loose chi-squared threshold.
+  const HashFamily f = GetParam();
+  const int n = 64000, bins = 64;
+  std::vector<int> counts(bins, 0);
+  for (int i = 0; i < n; ++i) {
+    const double u = HashToUnit("row-" + std::to_string(i), f);
+    ++counts[static_cast<int>(u * bins)];
+  }
+  const double expected = static_cast<double>(n) / bins;
+  double chi2 = 0;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // 63 dof; mean 63, sd ~11.2. Allow a generous margin.
+  EXPECT_LT(chi2, 150.0) << HashFamilyName(f);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, HashFamilyTest,
+                         ::testing::Values(HashFamily::kLinear,
+                                           HashFamily::kSdbm,
+                                           HashFamily::kFnv1a,
+                                           HashFamily::kSha1),
+                         [](const auto& info) {
+                           return HashFamilyName(info.param);
+                         });
+
+TEST(RngTest, DeterministicStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformIntBoundsInclusive) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(19);
+  auto p = rng.Permutation(100);
+  std::set<size_t> s(p.begin(), p.end());
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_EQ(*s.begin(), 0u);
+  EXPECT_EQ(*s.rbegin(), 99u);
+}
+
+TEST(ZipfianTest, ThetaZeroIsUniform) {
+  Rng rng(23);
+  Zipfian z(10, 0.0);
+  std::vector<int> counts(11, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[z.Next(&rng)];
+  for (int k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(counts[k] / static_cast<double>(n), 0.1, 0.01) << k;
+  }
+}
+
+TEST(ZipfianTest, SkewConcentratesOnSmallRanks) {
+  Rng rng(29);
+  Zipfian z(1000, 2.0);
+  const int n = 50000;
+  int rank1 = 0;
+  for (int i = 0; i < n; ++i) {
+    if (z.Next(&rng) == 1) ++rank1;
+  }
+  // With theta=2, P(1) = 1/zeta_1000(2) ~ 0.608.
+  EXPECT_NEAR(rank1 / static_cast<double>(n), 0.608, 0.02);
+}
+
+TEST(ZipfianTest, HigherThetaMoreSkew) {
+  Rng rng(31);
+  Zipfian z1(100, 1.0), z4(100, 4.0);
+  int top1 = 0, top4 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (z1.Next(&rng) <= 2) ++top1;
+    if (z4.Next(&rng) <= 2) ++top4;
+  }
+  EXPECT_GT(top4, top1);
+}
+
+TEST(ZipfianTest, RanksWithinDomain) {
+  Rng rng(37);
+  Zipfian z(17, 3.0);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t r = z.Next(&rng);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 17u);
+  }
+}
+
+}  // namespace
+}  // namespace svc

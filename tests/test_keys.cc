@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "relational/executor.h"
+#include "relational/keys.h"
+#include "tests/test_util.h"
+
+namespace svc {
+namespace {
+
+using testing_util::MakeLogVideoDb;
+
+class KeysTest : public ::testing::Test {
+ protected:
+  KeysTest() : db_(MakeLogVideoDb()) {}
+  Database db_;
+};
+
+TEST_F(KeysTest, ScanUsesBaseKey) {
+  PlanPtr p = PlanNode::Scan("Log", "l");
+  SVC_ASSERT_OK_AND_ASSIGN(auto pk, DerivePrimaryKeys(p.get(), db_));
+  EXPECT_EQ(pk, (std::vector<std::string>{"l.sessionId"}));
+}
+
+TEST_F(KeysTest, ScanWithoutKeyFails) {
+  Table t(Schema({{"", "x", ValueType::kInt}}));
+  db_.PutTable("NoKey", std::move(t));
+  PlanPtr p = PlanNode::Scan("NoKey");
+  EXPECT_FALSE(DerivePrimaryKeys(p.get(), db_).ok());
+}
+
+TEST_F(KeysTest, AddSequencePrimaryKey) {
+  Table t(Schema({{"", "x", ValueType::kInt}}));
+  t.AppendUnchecked({Value::Int(5)});
+  t.AppendUnchecked({Value::Int(5)});  // duplicate content is fine
+  SVC_ASSERT_OK(AddSequencePrimaryKey(&t, "rid"));
+  EXPECT_TRUE(t.HasPrimaryKey());
+  EXPECT_EQ(t.schema().NumColumns(), 2u);
+  EXPECT_EQ(t.row(0)[1], Value::Int(0));
+  EXPECT_EQ(t.row(1)[1], Value::Int(1));
+  db_.PutTable("Seq", std::move(t));
+  PlanPtr p = PlanNode::Scan("Seq");
+  SVC_ASSERT_OK_AND_ASSIGN(auto pk, DerivePrimaryKeys(p.get(), db_));
+  EXPECT_EQ(pk, (std::vector<std::string>{"Seq.rid"}));
+}
+
+TEST_F(KeysTest, SelectPreservesKey) {
+  PlanPtr p = PlanNode::Select(PlanNode::Scan("Log", "l"),
+                               Expr::Gt(Expr::Col("videoId"),
+                                        Expr::LitInt(1)));
+  SVC_ASSERT_OK_AND_ASSIGN(auto pk, DerivePrimaryKeys(p.get(), db_));
+  EXPECT_EQ(pk, (std::vector<std::string>{"l.sessionId"}));
+}
+
+TEST_F(KeysTest, ProjectKeepsRenamedKey) {
+  PlanPtr p = PlanNode::Project(
+      PlanNode::Scan("Log", "l"),
+      {{"sid", Expr::Col("l.sessionId"), ""},
+       {"vid2", Expr::Mul(Expr::Col("videoId"), Expr::LitInt(2)), ""}});
+  SVC_ASSERT_OK_AND_ASSIGN(auto pk, DerivePrimaryKeys(p.get(), db_));
+  EXPECT_EQ(pk, (std::vector<std::string>{"sid"}));
+}
+
+TEST_F(KeysTest, ProjectDroppingKeyFails) {
+  PlanPtr p = PlanNode::Project(PlanNode::Scan("Log", "l"),
+                                {{"vid", Expr::Col("videoId"), ""}});
+  auto r = DerivePrimaryKeys(p.get(), db_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(KeysTest, ProjectTransformingKeyFails) {
+  // A transformed key column (the paper's V22 situation) is not a pure
+  // reference and therefore does not preserve the key.
+  PlanPtr p = PlanNode::Project(
+      PlanNode::Scan("Log", "l"),
+      {{"sid", Expr::Add(Expr::Col("l.sessionId"), Expr::LitInt(1)), ""}});
+  EXPECT_FALSE(DerivePrimaryKeys(p.get(), db_).ok());
+}
+
+TEST_F(KeysTest, JoinConcatenatesKeys) {
+  PlanPtr p = PlanNode::Join(PlanNode::Scan("Log", "l"),
+                             PlanNode::Scan("Video", "v"), JoinType::kInner,
+                             {{"l.videoId", "v.videoId"}});
+  SVC_ASSERT_OK_AND_ASSIGN(auto pk, DerivePrimaryKeys(p.get(), db_));
+  EXPECT_EQ(pk, (std::vector<std::string>{"l.sessionId", "v.videoId"}));
+}
+
+TEST_F(KeysTest, AggregateKeyIsGroupBy) {
+  PlanPtr join = PlanNode::Join(PlanNode::Scan("Log", "l"),
+                                PlanNode::Scan("Video", "v"), JoinType::kInner,
+                                {{"l.videoId", "v.videoId"}});
+  PlanPtr p = PlanNode::Aggregate(std::move(join), {"l.videoId"},
+                                  {{AggFunc::kCountStar, nullptr, "c"}});
+  SVC_ASSERT_OK_AND_ASSIGN(auto pk, DerivePrimaryKeys(p.get(), db_));
+  EXPECT_EQ(pk, (std::vector<std::string>{"l.videoId"}));
+}
+
+TEST_F(KeysTest, GlobalAggregateHasNoKey) {
+  PlanPtr p = PlanNode::Aggregate(PlanNode::Scan("Log"), {},
+                                  {{AggFunc::kCountStar, nullptr, "c"}});
+  EXPECT_FALSE(DerivePrimaryKeys(p.get(), db_).ok());
+}
+
+TEST_F(KeysTest, UnionOfKeysIsAttributeUnion) {
+  PlanPtr a = PlanNode::Scan("Log", "l");
+  PlanPtr b = PlanNode::Scan("Log", "l");
+  PlanPtr p = PlanNode::Union(std::move(a), std::move(b));
+  SVC_ASSERT_OK_AND_ASSIGN(auto pk, DerivePrimaryKeys(p.get(), db_));
+  EXPECT_EQ(pk, (std::vector<std::string>{"l.sessionId"}));
+}
+
+TEST_F(KeysTest, DifferenceUsesLeftKey) {
+  PlanPtr p = PlanNode::Difference(PlanNode::Scan("Log", "a"),
+                                   PlanNode::Scan("Log", "a"));
+  SVC_ASSERT_OK_AND_ASSIGN(auto pk, DerivePrimaryKeys(p.get(), db_));
+  EXPECT_EQ(pk, (std::vector<std::string>{"a.sessionId"}));
+}
+
+TEST_F(KeysTest, HashFilterPreservesKey) {
+  PlanPtr p = PlanNode::HashFilter(PlanNode::Scan("Log", "l"), {"videoId"},
+                                   0.5, HashFamily::kFnv1a);
+  SVC_ASSERT_OK_AND_ASSIGN(auto pk, DerivePrimaryKeys(p.get(), db_));
+  EXPECT_EQ(pk, (std::vector<std::string>{"l.sessionId"}));
+}
+
+TEST_F(KeysTest, DerivedKeyIsActuallyUnique) {
+  // Property: executing any plan with a derived key yields key-unique rows.
+  PlanPtr join = PlanNode::Join(PlanNode::Scan("Log", "l"),
+                                PlanNode::Scan("Video", "v"), JoinType::kInner,
+                                {{"l.videoId", "v.videoId"}});
+  PlanPtr agg = PlanNode::Aggregate(join->Clone(), {"l.videoId"},
+                                    {{AggFunc::kCountStar, nullptr, "c"}});
+  for (PlanPtr p : {join, agg}) {
+    SVC_ASSERT_OK_AND_ASSIGN(auto pk, DerivePrimaryKeys(p.get(), db_));
+    SVC_ASSERT_OK_AND_ASSIGN(Table t, ExecutePlan(*p, db_));
+    SVC_ASSERT_OK(t.SetPrimaryKey(pk));  // fails on duplicates
+  }
+}
+
+TEST_F(KeysTest, PaperExampleFigure2) {
+  // Figure 2: γ_videoId(Log ⋈ Video) — join key (sessionId, videoId), view
+  // key videoId.
+  PlanPtr join = PlanNode::Join(PlanNode::Scan("Log", "Log"),
+                                PlanNode::Scan("Video", "Video"),
+                                JoinType::kInner,
+                                {{"Log.videoId", "Video.videoId"}});
+  SVC_ASSERT_OK_AND_ASSIGN(auto join_pk, DerivePrimaryKeys(join.get(), db_));
+  EXPECT_EQ(join_pk,
+            (std::vector<std::string>{"Log.sessionId", "Video.videoId"}));
+  PlanPtr view = PlanNode::Aggregate(std::move(join), {"Log.videoId"},
+                                     {{AggFunc::kCountStar, nullptr,
+                                       "visitCount"}});
+  SVC_ASSERT_OK_AND_ASSIGN(auto view_pk, DerivePrimaryKeys(view.get(), db_));
+  EXPECT_EQ(view_pk, (std::vector<std::string>{"Log.videoId"}));
+}
+
+}  // namespace
+}  // namespace svc

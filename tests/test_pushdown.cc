@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+#include "relational/executor.h"
+#include "sample/pushdown.h"
+#include "tests/test_util.h"
+
+namespace svc {
+namespace {
+
+using testing_util::EncodedRows;
+using testing_util::MakeLogVideoDb;
+
+class PushdownTest : public ::testing::Test {
+ protected:
+  PushdownTest() : db_(MakeLogVideoDb()) {
+    // Larger Log so samples are non-trivial.
+    Table* log = db_.GetMutableTable("Log").value();
+    Rng rng(5);
+    for (int64_t s = 10; s < 500; ++s) {
+      EXPECT_TRUE(
+          log->Insert({Value::Int(s), Value::Int(rng.UniformInt(1, 5))})
+              .ok());
+    }
+  }
+
+  /// Theorem 1 check: the pushed-down plan materializes the identical
+  /// sample as η applied at the root.
+  void CheckIdenticalSamples(const PlanPtr& plan,
+                             const std::vector<std::string>& attrs,
+                             double m = 0.3,
+                             PushdownReport* report = nullptr) {
+    PlanPtr root_eta =
+        PlanNode::HashFilter(plan->Clone(), attrs, m, HashFamily::kFnv1a);
+    SVC_ASSERT_OK_AND_ASSIGN(Table expected, ExecutePlan(*root_eta, db_));
+    SVC_ASSERT_OK_AND_ASSIGN(
+        PlanPtr pushed,
+        PushDownHashFilter(*plan, attrs, m, HashFamily::kFnv1a, db_, report));
+    SVC_ASSERT_OK_AND_ASSIGN(Table actual, ExecutePlan(*pushed, db_));
+    EXPECT_EQ(EncodedRows(actual), EncodedRows(expected));
+    EXPECT_GT(expected.NumRows(), 0u) << "vacuous test: sample is empty";
+  }
+
+  Database db_;
+};
+
+TEST_F(PushdownTest, ThroughSelect) {
+  PlanPtr p = PlanNode::Select(PlanNode::Scan("Log", "l"),
+                               Expr::Gt(Expr::Col("videoId"),
+                                        Expr::LitInt(1)));
+  PushdownReport report;
+  CheckIdenticalSamples(p, {"l.sessionId"}, 0.3, &report);
+  EXPECT_EQ(report.at_scan, 1);
+  EXPECT_TRUE(report.FullyPushed());
+}
+
+TEST_F(PushdownTest, ThroughProjectRename) {
+  PlanPtr p = PlanNode::Project(
+      PlanNode::Scan("Log", "l"),
+      {{"sid", Expr::Col("l.sessionId"), ""},
+       {"v2", Expr::Mul(Expr::Col("videoId"), Expr::LitInt(2)), ""}});
+  PushdownReport report;
+  CheckIdenticalSamples(p, {"sid"}, 0.3, &report);
+  EXPECT_TRUE(report.FullyPushed());
+}
+
+TEST_F(PushdownTest, BlockedByTransformedAttribute) {
+  // The paper's V22 situation: a transformation of the sampling key blocks
+  // the push-down. The result is still the identical sample, just
+  // materialized above the projection.
+  PlanPtr p = PlanNode::Project(
+      PlanNode::Scan("Log", "l"),
+      {{"sid", Expr::Add(Expr::Col("l.sessionId"), Expr::LitInt(0)), ""}});
+  PushdownReport report;
+  CheckIdenticalSamples(p, {"sid"}, 0.3, &report);
+  EXPECT_EQ(report.blocked, 1);
+  EXPECT_FALSE(report.FullyPushed());
+}
+
+TEST_F(PushdownTest, ThroughAggregateOnGroupKey) {
+  PlanPtr p = PlanNode::Aggregate(PlanNode::Scan("Log", "l"), {"l.videoId"},
+                                  {{AggFunc::kCountStar, nullptr, "c"}});
+  PushdownReport report;
+  CheckIdenticalSamples(p, {"l.videoId"}, 0.6, &report);
+  EXPECT_TRUE(report.FullyPushed());
+}
+
+TEST_F(PushdownTest, BlockedByAggregateValueAttribute) {
+  // Sampling on the aggregate output (the paper's nested-aggregate
+  // example) cannot push below γ.
+  PlanPtr inner = PlanNode::Aggregate(PlanNode::Scan("Log", "l"),
+                                      {"l.videoId"},
+                                      {{AggFunc::kCountStar, nullptr, "c"}});
+  PlanPtr p = PlanNode::Aggregate(std::move(inner), {"c"},
+                                  {{AggFunc::kCountStar, nullptr, "n"}});
+  PushdownReport report;
+  CheckIdenticalSamples(p, {"c"}, 0.8, &report);
+  EXPECT_EQ(report.blocked, 1);
+}
+
+TEST_F(PushdownTest, ForeignKeyJoinPushesToFactSide) {
+  PlanPtr p = PlanNode::Join(PlanNode::Scan("Log", "l"),
+                             PlanNode::Scan("Video", "v"), JoinType::kInner,
+                             {{"l.videoId", "v.videoId"}}, nullptr, true);
+  PushdownReport report;
+  CheckIdenticalSamples(p, {"l.sessionId"}, 0.3, &report);
+  EXPECT_TRUE(report.FullyPushed());
+  EXPECT_EQ(report.at_scan, 1);  // only the fact side is sampled
+}
+
+TEST_F(PushdownTest, EqualityJoinKeyPushesToBothSides) {
+  PlanPtr p = PlanNode::Join(PlanNode::Scan("Log", "l"),
+                             PlanNode::Scan("Video", "v"), JoinType::kInner,
+                             {{"l.videoId", "v.videoId"}});
+  PushdownReport report;
+  CheckIdenticalSamples(p, {"l.videoId"}, 0.6, &report);
+  EXPECT_TRUE(report.FullyPushed());
+  EXPECT_EQ(report.at_scan, 2);  // both join inputs sampled
+}
+
+TEST_F(PushdownTest, JoinKeyFromRightSideAlsoPushesBoth) {
+  PlanPtr p = PlanNode::Join(PlanNode::Scan("Log", "l"),
+                             PlanNode::Scan("Video", "v"), JoinType::kInner,
+                             {{"l.videoId", "v.videoId"}});
+  PushdownReport report;
+  CheckIdenticalSamples(p, {"v.videoId"}, 0.6, &report);
+  EXPECT_EQ(report.at_scan, 2);
+}
+
+TEST_F(PushdownTest, CompositeKeySpanningJoinBlocks) {
+  // Sampling (l.sessionId, v.ownerId): attributes from both sides that are
+  // not the join keys — the join blocks the push-down.
+  PlanPtr p = PlanNode::Join(PlanNode::Scan("Log", "l"),
+                             PlanNode::Scan("Video", "v"), JoinType::kInner,
+                             {{"l.videoId", "v.videoId"}});
+  PushdownReport report;
+  CheckIdenticalSamples(p, {"l.sessionId", "v.ownerId"}, 0.5, &report);
+  EXPECT_EQ(report.blocked, 1);
+}
+
+TEST_F(PushdownTest, OuterJoinBlocksNonKeyPush) {
+  PlanPtr p = PlanNode::Join(PlanNode::Scan("Video", "v"),
+                             PlanNode::Scan("Log", "l"), JoinType::kLeft,
+                             {{"v.videoId", "l.videoId"}});
+  PushdownReport report;
+  CheckIdenticalSamples(p, {"v.ownerId"}, 0.9, &report);
+  EXPECT_EQ(report.blocked, 1);
+}
+
+TEST_F(PushdownTest, ThroughUnionBothBranches) {
+  PlanPtr a = PlanNode::Project(PlanNode::Scan("Log", "l"),
+                                {{"id", Expr::Col("l.sessionId"), ""}});
+  PlanPtr b = PlanNode::Project(PlanNode::Scan("Video", "v"),
+                                {{"id", Expr::Col("v.videoId"), ""}});
+  PlanPtr p = PlanNode::Union(std::move(a), std::move(b));
+  PushdownReport report;
+  CheckIdenticalSamples(p, {"id"}, 0.5, &report);
+  EXPECT_EQ(report.at_scan, 2);
+}
+
+TEST_F(PushdownTest, ThroughIntersectAndDifference) {
+  // a: sessions that visited video 1; b: all sessions.
+  PlanPtr a = PlanNode::Project(
+      PlanNode::Select(PlanNode::Scan("Log", "l"),
+                       Expr::Eq(Expr::Col("videoId"), Expr::LitInt(1))),
+      {{"id", Expr::Col("l.sessionId"), ""}});
+  PlanPtr b = PlanNode::Project(PlanNode::Scan("Log", "l"),
+                                {{"id", Expr::Col("l.sessionId"), ""}});
+  CheckIdenticalSamples(PlanNode::Intersect(b->Clone(), a->Clone()), {"id"},
+                        0.9);
+  CheckIdenticalSamples(PlanNode::Difference(b, a), {"id"}, 0.9);
+}
+
+TEST_F(PushdownTest, PaperExampleVisitViewPipeline) {
+  // η over γ_videoId(Log ⋈ Video): pushes through the aggregate, then
+  // through the equality join to both base relations (Example 5 / Fig. 3).
+  PlanPtr join = PlanNode::Join(PlanNode::Scan("Log", "l"),
+                                PlanNode::Scan("Video", "v"),
+                                JoinType::kInner,
+                                {{"l.videoId", "v.videoId"}});
+  PlanPtr view = PlanNode::Aggregate(
+      std::move(join), {"l.videoId"},
+      {{AggFunc::kCountStar, nullptr, "visitCount"}});
+  PushdownReport report;
+  CheckIdenticalSamples(view, {"l.videoId"}, 0.6, &report);
+  EXPECT_TRUE(report.FullyPushed());
+  EXPECT_EQ(report.at_scan, 2);
+}
+
+class PushdownRatioTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PushdownRatioTest, SampleFractionTracksRatio) {
+  Database db;
+  Table t(Schema({{"", "id", ValueType::kInt}}));
+  SVC_ASSERT_OK(t.SetPrimaryKey({"id"}));
+  for (int64_t i = 0; i < 20000; ++i) {
+    SVC_ASSERT_OK(t.Insert({Value::Int(i)}));
+  }
+  SVC_ASSERT_OK(db.CreateTable("T", std::move(t)));
+  const double m = GetParam();
+  PlanPtr p = PlanNode::HashFilter(PlanNode::Scan("T"), {"id"}, m,
+                                   HashFamily::kSha1);
+  SVC_ASSERT_OK_AND_ASSIGN(Table s, ExecutePlan(*p, db));
+  const double frac = static_cast<double>(s.NumRows()) / 20000.0;
+  EXPECT_NEAR(frac, m, 5 * std::sqrt(m * (1 - m) / 20000.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, PushdownRatioTest,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.25, 0.5));
+
+}  // namespace
+}  // namespace svc

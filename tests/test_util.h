@@ -1,0 +1,118 @@
+#ifndef SVC_TESTS_TEST_UTIL_H_
+#define SVC_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/table.h"
+
+namespace svc {
+namespace testing_util {
+
+/// gtest helper: asserts a Status is OK with a useful message.
+#define SVC_ASSERT_OK(expr)                                 \
+  do {                                                      \
+    const ::svc::Status _st = (expr);                       \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                \
+  } while (0)
+
+#define SVC_EXPECT_OK(expr)                                 \
+  do {                                                      \
+    const ::svc::Status _st = (expr);                       \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                \
+  } while (0)
+
+/// Unwraps a Result<T>, failing the test on error.
+#define SVC_ASSERT_OK_AND_ASSIGN(lhs, rexpr)                \
+  SVC_ASSERT_OK_AND_ASSIGN_IMPL_(                           \
+      SVC_TEST_CONCAT_(_svc_test_result, __LINE__), lhs, rexpr)
+#define SVC_TEST_CONCAT_INNER_(a, b) a##b
+#define SVC_TEST_CONCAT_(a, b) SVC_TEST_CONCAT_INNER_(a, b)
+#define SVC_ASSERT_OK_AND_ASSIGN_IMPL_(tmp, lhs, rexpr)     \
+  auto tmp = (rexpr);                                       \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();         \
+  lhs = std::move(tmp).value()
+
+/// The paper's running example: Log(sessionId, videoId) and
+/// Video(videoId, ownerId, duration).
+inline Database MakeLogVideoDb() {
+  Database db;
+  Table log(Schema({{"", "sessionId", ValueType::kInt},
+                    {"", "videoId", ValueType::kInt}}));
+  EXPECT_TRUE(log.SetPrimaryKey({"sessionId"}).ok());
+  // 10 sessions across 4 videos (video 4 unseen yet).
+  const int64_t visits[10] = {1, 1, 1, 2, 2, 3, 3, 3, 3, 2};
+  for (int64_t s = 0; s < 10; ++s) {
+    EXPECT_TRUE(
+        log.Insert({Value::Int(s), Value::Int(visits[s])}).ok());
+  }
+  Table video(Schema({{"", "videoId", ValueType::kInt},
+                      {"", "ownerId", ValueType::kInt},
+                      {"", "duration", ValueType::kDouble}}));
+  EXPECT_TRUE(video.SetPrimaryKey({"videoId"}).ok());
+  for (int64_t v = 1; v <= 5; ++v) {
+    EXPECT_TRUE(video
+                    .Insert({Value::Int(v), Value::Int(100 + v % 3),
+                             Value::Double(0.5 * static_cast<double>(v))})
+                    .ok());
+  }
+  EXPECT_TRUE(db.CreateTable("Log", std::move(log)).ok());
+  EXPECT_TRUE(db.CreateTable("Video", std::move(video)).ok());
+  return db;
+}
+
+/// Sorts a table's rows by their full encoded content (for order-agnostic
+/// comparison).
+inline std::vector<std::string> EncodedRows(const Table& t) {
+  std::vector<size_t> all(t.schema().NumColumns());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  std::vector<std::string> out;
+  out.reserve(t.NumRows());
+  for (const auto& r : t.rows()) out.push_back(EncodeRowKey(r, all));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Asserts two tables contain the same rows, matching by primary key and
+/// comparing numeric values with a relative tolerance (incremental
+/// maintenance of doubles is not bitwise identical to recomputation).
+inline void ExpectTablesEquivalent(const Table& actual, const Table& expected,
+                                   double tol = 1e-9) {
+  ASSERT_EQ(actual.schema().NumColumns(), expected.schema().NumColumns());
+  ASSERT_TRUE(actual.HasPrimaryKey());
+  ASSERT_TRUE(expected.HasPrimaryKey());
+  EXPECT_EQ(actual.NumRows(), expected.NumRows());
+  size_t checked = 0;
+  for (size_t i = 0; i < expected.NumRows(); ++i) {
+    auto found = actual.FindByEncodedKey(expected.EncodedKey(i));
+    ASSERT_TRUE(found.ok()) << "missing key for expected row " << i << ": "
+                            << expected.ToString(5);
+    const Row& a = actual.row(*found);
+    const Row& e = expected.row(i);
+    for (size_t c = 0; c < e.size(); ++c) {
+      if (a[c].IsNumeric() && e[c].IsNumeric()) {
+        const double av = a[c].ToDouble(), ev = e[c].ToDouble();
+        EXPECT_NEAR(av, ev, tol * std::max({1.0, std::fabs(av),
+                                            std::fabs(ev)}))
+            << "column " << expected.schema().column(c).FullName()
+            << " of key row " << i;
+      } else {
+        EXPECT_TRUE(a[c] == e[c])
+            << "column " << expected.schema().column(c).FullName() << ": "
+            << a[c].ToString() << " vs " << e[c].ToString();
+      }
+    }
+    ++checked;
+  }
+  EXPECT_EQ(checked, expected.NumRows());
+}
+
+}  // namespace testing_util
+}  // namespace svc
+
+#endif  // SVC_TESTS_TEST_UTIL_H_

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "relational/value.h"
+
+namespace svc {
+namespace {
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_EQ(Value::Int(3).type(), ValueType::kInt);
+  EXPECT_EQ(Value::Double(3.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value::String("x").type(), ValueType::kString);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_FALSE(Value::Int(0).is_null());
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_EQ(Value::Int(3), Value::Double(3.0));
+  EXPECT_NE(Value::Int(3), Value::Double(3.5));
+  EXPECT_EQ(Value::Int(-7), Value::Int(-7));
+  EXPECT_NE(Value::Int(3), Value::String("3"));
+}
+
+TEST(ValueTest, NullEquality) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value::Int(0));
+  EXPECT_NE(Value::Int(0), Value::Null());
+}
+
+TEST(ValueTest, Ordering) {
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Int(1), Value::Double(1.5));
+  EXPECT_LT(Value::Double(-0.5), Value::Int(0));
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+  // NULL sorts first; numerics before strings.
+  EXPECT_LT(Value::Null(), Value::Int(-100));
+  EXPECT_LT(Value::Int(100), Value::String(""));
+  EXPECT_FALSE(Value::Null() < Value::Null());
+}
+
+TEST(ValueTest, BoolHelpers) {
+  EXPECT_TRUE(Value::Bool(true).IsTrue());
+  EXPECT_FALSE(Value::Bool(false).IsTrue());
+  EXPECT_FALSE(Value::Null().IsTrue());
+  EXPECT_TRUE(Value::Int(42).IsTrue());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::String("hi").ToString(), "hi");
+}
+
+TEST(ValueEncodingTest, DistinctValuesDistinctEncodings) {
+  auto enc = [](const Value& v) {
+    std::string s;
+    v.EncodeTo(&s);
+    return s;
+  };
+  EXPECT_NE(enc(Value::Int(1)), enc(Value::Int(2)));
+  EXPECT_NE(enc(Value::Int(1)), enc(Value::Null()));
+  EXPECT_NE(enc(Value::String("1")), enc(Value::Int(1)));
+  EXPECT_NE(enc(Value::String("a")), enc(Value::String("ab")));
+  EXPECT_NE(enc(Value::Double(1.5)), enc(Value::Double(2.5)));
+}
+
+TEST(ValueEncodingTest, IntegralDoubleEncodesAsInt) {
+  // A key that flows through arithmetic (int -> double) must hash
+  // identically; the η operator depends on this.
+  std::string a, b;
+  Value::Int(42).EncodeTo(&a);
+  Value::Double(42.0).EncodeTo(&b);
+  EXPECT_EQ(a, b);
+  std::string c;
+  Value::Double(42.5).EncodeTo(&c);
+  EXPECT_NE(a, c);
+}
+
+TEST(ValueEncodingTest, EncodingIsPrefixFree) {
+  // Multi-column keys must not collide by concatenation: ("a","b") vs
+  // ("ab","").
+  Row r1 = {Value::String("a"), Value::String("b")};
+  Row r2 = {Value::String("ab"), Value::String("")};
+  EXPECT_NE(EncodeRowKey(r1, {0, 1}), EncodeRowKey(r2, {0, 1}));
+}
+
+TEST(ValueEncodingTest, RowKeySubsetsColumns) {
+  Row r = {Value::Int(1), Value::String("x"), Value::Double(2.5)};
+  EXPECT_EQ(EncodeRowKey(r, {0}), EncodeRowKey(r, {0}));
+  EXPECT_NE(EncodeRowKey(r, {0}), EncodeRowKey(r, {2}));
+  EXPECT_NE(EncodeRowKey(r, {0, 1}), EncodeRowKey(r, {1, 0}));
+}
+
+}  // namespace
+}  // namespace svc

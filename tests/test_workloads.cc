@@ -1,0 +1,354 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "conviva/conviva.h"
+#include "minibatch/cluster_sim.h"
+#include "relational/executor.h"
+#include "sample/cleaner.h"
+#include "sql/planner.h"
+#include "tests/test_util.h"
+#include "tpcd/tpcd_gen.h"
+#include "tpcd/tpcd_views.h"
+#include "view/maintenance.h"
+
+namespace svc {
+namespace {
+
+using testing_util::ExpectTablesEquivalent;
+
+TpcdConfig SmallTpcd() {
+  TpcdConfig cfg;
+  cfg.scale_factor = 0.002;  // ~3k orders, ~12k lineitems
+  cfg.zipf_z = 2.0;
+  return cfg;
+}
+
+TEST(TpcdGenTest, SchemaAndCardinalities) {
+  SVC_ASSERT_OK_AND_ASSIGN(Database db, GenerateTpcdDatabase(SmallTpcd()));
+  SVC_ASSERT_OK_AND_ASSIGN(const Table* li, db.GetTable("lineitem"));
+  SVC_ASSERT_OK_AND_ASSIGN(const Table* ord, db.GetTable("orders"));
+  SVC_ASSERT_OK_AND_ASSIGN(const Table* cust, db.GetTable("customer"));
+  EXPECT_EQ(ord->NumRows(), 3000u);
+  EXPECT_EQ(cust->NumRows(), 30u);
+  // 1..7 lineitems per order.
+  EXPECT_GE(li->NumRows(), ord->NumRows());
+  EXPECT_LE(li->NumRows(), ord->NumRows() * 7);
+  EXPECT_TRUE(li->HasPrimaryKey());
+  EXPECT_EQ(li->pk_indices().size(), 2u);  // composite key
+}
+
+TEST(TpcdGenTest, DeterministicForSameSeed) {
+  SVC_ASSERT_OK_AND_ASSIGN(Database a, GenerateTpcdDatabase(SmallTpcd()));
+  SVC_ASSERT_OK_AND_ASSIGN(Database b, GenerateTpcdDatabase(SmallTpcd()));
+  SVC_ASSERT_OK_AND_ASSIGN(const Table* la, a.GetTable("lineitem"));
+  SVC_ASSERT_OK_AND_ASSIGN(const Table* lb, b.GetTable("lineitem"));
+  ASSERT_EQ(la->NumRows(), lb->NumRows());
+  EXPECT_TRUE(la->row(17) == lb->row(17));
+}
+
+TEST(TpcdGenTest, SkewShowsInPrices) {
+  TpcdConfig flat = SmallTpcd();
+  flat.zipf_z = 0.0;
+  TpcdConfig skewed = SmallTpcd();
+  skewed.zipf_z = 3.0;
+  SVC_ASSERT_OK_AND_ASSIGN(Database dflat, GenerateTpcdDatabase(flat));
+  SVC_ASSERT_OK_AND_ASSIGN(Database dskew, GenerateTpcdDatabase(skewed));
+  auto price_var = [](const Database& db) {
+    const Table* li = db.GetTable("lineitem").value();
+    size_t idx = li->schema().Resolve("l_extendedprice").value();
+    double mean = 0;
+    for (const auto& r : li->rows()) mean += r[idx].ToDouble();
+    mean /= li->NumRows();
+    double var = 0;
+    for (const auto& r : li->rows()) {
+      const double d = r[idx].ToDouble() - mean;
+      var += d * d;
+    }
+    return var / li->NumRows();
+  };
+  EXPECT_GT(price_var(dskew), price_var(dflat));
+}
+
+TEST(TpcdGenTest, UpdateStreamVolumeAndValidity) {
+  SVC_ASSERT_OK_AND_ASSIGN(Database db, GenerateTpcdDatabase(SmallTpcd()));
+  SVC_ASSERT_OK_AND_ASSIGN(const Table* li, db.GetTable("lineitem"));
+  const size_t base = li->NumRows();
+  TpcdUpdateConfig ucfg;
+  ucfg.fraction = 0.10;
+  SVC_ASSERT_OK_AND_ASSIGN(DeltaSet deltas,
+                           GenerateTpcdUpdates(db, SmallTpcd(), ucfg));
+  const size_t volume = deltas.TotalInserts();
+  EXPECT_NEAR(static_cast<double>(volume),
+              static_cast<double>(base) * 0.10, base * 0.06);
+  // The deltas must apply cleanly (keys consistent).
+  SVC_ASSERT_OK(deltas.Register(&db));
+  SVC_ASSERT_OK(deltas.ApplyToBase(&db));
+}
+
+TEST(TpcdViewsTest, JoinViewMaintainsAndCleans) {
+  SVC_ASSERT_OK_AND_ASSIGN(Database db, GenerateTpcdDatabase(SmallTpcd()));
+  SVC_ASSERT_OK_AND_ASSIGN(
+      MaterializedView view,
+      MaterializedView::Create("join_view", TpcdJoinViewDef(), &db,
+                               TpcdJoinViewSamplingKey()));
+  TpcdUpdateConfig ucfg;
+  ucfg.fraction = 0.08;
+  SVC_ASSERT_OK_AND_ASSIGN(DeltaSet deltas,
+                           GenerateTpcdUpdates(db, SmallTpcd(), ucfg));
+  SVC_ASSERT_OK(deltas.Register(&db));
+
+  // Clean sample == η(fresh view).
+  CleanOptions opts{0.1, HashFamily::kFnv1a};
+  PushdownReport report;
+  SVC_ASSERT_OK_AND_ASSIGN(CorrespondingSamples samples,
+                           CleanViewSample(view, deltas, db, opts, &report));
+  SVC_ASSERT_OK_AND_ASSIGN(MaintenancePlan plan,
+                           BuildMaintenancePlan(view, deltas, db));
+  EXPECT_EQ(static_cast<int>(plan.kind),
+            static_cast<int>(MaintenanceKind::kChangeTable));
+  SVC_ASSERT_OK_AND_ASSIGN(Table fresh, ExecutePlan(*plan.plan, db));
+  SVC_ASSERT_OK(fresh.SetPrimaryKey(view.stored_pk()));
+  db.PutTable("__fresh", fresh);
+  SVC_ASSERT_OK_AND_ASSIGN(
+      Table expected,
+      ExecutePlan(*PlanNode::HashFilter(PlanNode::Scan("__fresh"),
+                                        view.sampling_key(), opts.ratio,
+                                        opts.family),
+                  db));
+  SVC_ASSERT_OK(expected.SetPrimaryKey(view.stored_pk()));
+  ExpectTablesEquivalent(samples.fresh, expected);
+  EXPECT_GT(samples.fresh.NumRows(), 0u);
+}
+
+TEST(TpcdViewsTest, JoinViewQueriesAllEvaluate) {
+  SVC_ASSERT_OK_AND_ASSIGN(Database db, GenerateTpcdDatabase(SmallTpcd()));
+  SVC_ASSERT_OK_AND_ASSIGN(
+      MaterializedView view,
+      MaterializedView::Create("join_view", TpcdJoinViewDef(), &db,
+                               TpcdJoinViewSamplingKey()));
+  SVC_ASSERT_OK_AND_ASSIGN(const Table* data, db.GetTable("join_view"));
+  auto queries = TpcdJoinViewQueries();
+  EXPECT_EQ(queries.size(), 12u);
+  for (const auto& vq : queries) {
+    auto res = ExactAggregateGrouped(*data, vq.group_by, vq.query);
+    ASSERT_TRUE(res.ok()) << vq.name << ": " << res.status().ToString();
+    EXPECT_GT(res->group_keys.size(), 0u) << vq.name;
+  }
+}
+
+class ComplexViewTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ComplexViewTest, CreatesMaintainsCleans) {
+  static Database* db = [] {
+    auto d = GenerateTpcdDatabase(SmallTpcd());
+    EXPECT_TRUE(d.ok());
+    return new Database(std::move(d).value());
+  }();
+  const ComplexView cv = TpcdComplexViews()[GetParam()];
+  SVC_ASSERT_OK_AND_ASSIGN(PlanPtr def, SqlToPlan(cv.sql, *db));
+  SVC_ASSERT_OK_AND_ASSIGN(
+      MaterializedView view,
+      MaterializedView::Create(cv.name, def, db, cv.sampling_key));
+
+  TpcdUpdateConfig ucfg;
+  ucfg.fraction = 0.05;
+  ucfg.seed = 11 + GetParam();
+  SVC_ASSERT_OK_AND_ASSIGN(DeltaSet deltas,
+                           GenerateTpcdUpdates(*db, SmallTpcd(), ucfg));
+  SVC_ASSERT_OK(deltas.Register(db));
+
+  // Maintenance result == fresh recompute oracle.
+  SVC_ASSERT_OK_AND_ASSIGN(MaintenancePlan plan,
+                           BuildMaintenancePlan(view, deltas, *db));
+  SVC_ASSERT_OK_AND_ASSIGN(Table maintained, ExecutePlan(*plan.plan, *db));
+  SVC_ASSERT_OK(maintained.SetPrimaryKey(view.stored_pk()));
+  SVC_ASSERT_OK_AND_ASSIGN(PlanPtr recompute,
+                           BuildRecomputePlan(view, deltas));
+  SVC_ASSERT_OK_AND_ASSIGN(Table oracle, ExecutePlan(*recompute, *db));
+  SVC_ASSERT_OK(oracle.SetPrimaryKey(view.stored_pk()));
+  ExpectTablesEquivalent(maintained, oracle, 1e-6);
+
+  // Cleaning matches η of the oracle.
+  CleanOptions opts{0.2, HashFamily::kFnv1a};
+  SVC_ASSERT_OK_AND_ASSIGN(CorrespondingSamples samples,
+                           CleanViewSample(view, deltas, *db, opts));
+  db->PutTable("__oracle", oracle);
+  SVC_ASSERT_OK_AND_ASSIGN(
+      Table expected,
+      ExecutePlan(*PlanNode::HashFilter(PlanNode::Scan("__oracle"),
+                                        view.sampling_key(), opts.ratio,
+                                        opts.family),
+                  *db));
+  SVC_ASSERT_OK(expected.SetPrimaryKey(view.stored_pk()));
+  ExpectTablesEquivalent(samples.fresh, expected, 1e-6);
+
+  SVC_ASSERT_OK(db->DropTable("__oracle"));
+  SVC_ASSERT_OK(db->DropTable(cv.name));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllViews, ComplexViewTest,
+                         ::testing::Range<size_t>(0, 10),
+                         [](const auto& info) {
+                           return TpcdComplexViews()[info.param].name;
+                         });
+
+TEST(TpcdCubeTest, CubeViewAndRollups) {
+  TpcdConfig cfg = SmallTpcd();
+  cfg.zipf_z = 1.0;
+  SVC_ASSERT_OK_AND_ASSIGN(Database db, GenerateTpcdDatabase(cfg));
+  SVC_ASSERT_OK_AND_ASSIGN(
+      MaterializedView view,
+      MaterializedView::Create("cube", TpcdCubeViewDef(), &db));
+  SVC_ASSERT_OK_AND_ASSIGN(const Table* data, db.GetTable("cube"));
+  EXPECT_GT(data->NumRows(), 1000u);
+  for (const auto& vq : TpcdCubeRollups()) {
+    auto res = ExactAggregateGrouped(*data, vq.group_by, vq.query);
+    ASSERT_TRUE(res.ok()) << vq.name;
+    EXPECT_GE(res->group_keys.size(), 1u) << vq.name;
+  }
+  EXPECT_EQ(TpcdCubeRollups().size(), 13u);
+}
+
+TEST(TpcdRandomQueriesTest, GeneratorProducesValidQueries) {
+  SVC_ASSERT_OK_AND_ASSIGN(Database db, GenerateTpcdDatabase(SmallTpcd()));
+  SVC_ASSERT_OK_AND_ASSIGN(
+      MaterializedView view,
+      MaterializedView::Create("jv", TpcdJoinViewDef(), &db,
+                               TpcdJoinViewSamplingKey()));
+  SVC_ASSERT_OK_AND_ASSIGN(const Table* data, db.GetTable("jv"));
+  Rng rng(3);
+  auto queries = GenerateRandomViewQueries(
+      *data, {"o_orderpriority", "l_shipmode", "o_orderdate"},
+      {"l_extendedprice", "l_quantity", "o_totalprice"}, 20, &rng);
+  EXPECT_GE(queries.size(), 15u);
+  for (const auto& vq : queries) {
+    auto r = ExactAggregate(*data, vq.query);
+    ASSERT_TRUE(r.ok()) << vq.name;
+  }
+}
+
+TEST(ConvivaTest, GeneratorShape) {
+  ConvivaConfig cfg;
+  cfg.num_sessions = 5000;
+  SVC_ASSERT_OK_AND_ASSIGN(Database db, GenerateConvivaDatabase(cfg));
+  SVC_ASSERT_OK_AND_ASSIGN(const Table* t, db.GetTable("activity"));
+  EXPECT_EQ(t->NumRows(), 5000u);
+  // Zipfian resource popularity: the hottest resource dominates.
+  std::map<int64_t, int> counts;
+  size_t res_idx = t->schema().Resolve("resourceId").value();
+  for (const auto& r : t->rows()) counts[r[res_idx].AsInt()]++;
+  EXPECT_GT(counts[1], 5000 / cfg.num_resources * 5);
+}
+
+class ConvivaViewTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ConvivaViewTest, CreatesMaintainsCleans) {
+  static Database* db = [] {
+    ConvivaConfig cfg;
+    cfg.num_sessions = 8000;
+    auto d = GenerateConvivaDatabase(cfg);
+    EXPECT_TRUE(d.ok());
+    return new Database(std::move(d).value());
+  }();
+  const ConvivaView cv = ConvivaViews()[GetParam()];
+  SVC_ASSERT_OK_AND_ASSIGN(PlanPtr def, SqlToPlan(cv.sql, *db));
+  SVC_ASSERT_OK_AND_ASSIGN(MaterializedView view,
+                           MaterializedView::Create(cv.name, def, db));
+
+  ConvivaConfig cfg;
+  cfg.num_sessions = 8000;
+  SVC_ASSERT_OK_AND_ASSIGN(DeltaSet deltas,
+                           GenerateConvivaUpdates(*db, cfg, 0.05,
+                                                  77 + GetParam()));
+  SVC_ASSERT_OK(deltas.Register(db));
+
+  SVC_ASSERT_OK_AND_ASSIGN(MaintenancePlan plan,
+                           BuildMaintenancePlan(view, deltas, *db));
+  SVC_ASSERT_OK_AND_ASSIGN(Table maintained, ExecutePlan(*plan.plan, *db));
+  SVC_ASSERT_OK(maintained.SetPrimaryKey(view.stored_pk()));
+  SVC_ASSERT_OK_AND_ASSIGN(PlanPtr recompute,
+                           BuildRecomputePlan(view, deltas));
+  SVC_ASSERT_OK_AND_ASSIGN(Table oracle, ExecutePlan(*recompute, *db));
+  SVC_ASSERT_OK(oracle.SetPrimaryKey(view.stored_pk()));
+  ExpectTablesEquivalent(maintained, oracle, 1e-6);
+
+  SVC_ASSERT_OK(db->DropTable(cv.name));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllViews, ConvivaViewTest,
+                         ::testing::Range<size_t>(0, 8),
+                         [](const auto& info) {
+                           return ConvivaViews()[info.param].name;
+                         });
+
+TEST(ClusterSimTest, ThroughputIncreasesWithBatchSize) {
+  ClusterModel model;
+  double prev = 0;
+  for (double gb : {5.0, 20.0, 80.0, 160.0}) {
+    const double rate = model.Throughput(gb, 1);
+    EXPECT_GT(rate, prev);
+    prev = rate;
+  }
+}
+
+TEST(ClusterSimTest, TwoThreadsReduceThroughputMoreForSmallBatches) {
+  ClusterModel model;
+  const double small_drop =
+      model.Throughput(5, 1) / model.Throughput(5, 2);
+  const double large_drop =
+      model.Throughput(160, 1) / model.Throughput(160, 2);
+  EXPECT_GT(small_drop, large_drop);
+  EXPECT_GT(small_drop, 1.2);
+}
+
+TEST(ClusterSimTest, MinBatchMonotoneInTarget) {
+  ClusterModel model;
+  const double b1 = model.MinBatchForThroughput(500000, 1);
+  const double b2 = model.MinBatchForThroughput(700000, 1);
+  ASSERT_GT(b1, 0);
+  ASSERT_GT(b2, 0);
+  EXPECT_LT(b1, b2);
+  // Needing the same throughput with two threads requires larger batches.
+  const double b1_2t = model.MinBatchForThroughput(500000, 2);
+  EXPECT_GT(b1_2t, b1);
+}
+
+TEST(ClusterSimTest, SvcErrorHasInteriorOptimum) {
+  ClusterModel model;
+  const double ivm_batch = model.MinBatchForThroughput(500000, 2);
+  ASSERT_GT(ivm_batch, 0);
+  // Sweep sampling ratios; the best error should not be at either extreme.
+  std::vector<double> ratios = {0.005, 0.02, 0.05, 0.1, 0.18, 0.27};
+  double best = 1e18;
+  size_t best_i = 0;
+  for (size_t i = 0; i < ratios.size(); ++i) {
+    const double err = model.MaxErrorWithSvc(ivm_batch, ivm_batch / 4,
+                                             ratios[i]);
+    if (err < best) {
+      best = err;
+      best_i = i;
+    }
+  }
+  EXPECT_GT(best_i, 0u);
+  EXPECT_LT(best_i, ratios.size() - 1);
+  // And the optimum beats IVM alone.
+  EXPECT_LT(best, model.MaxErrorIvmOnly(ivm_batch));
+}
+
+TEST(ClusterSimTest, SvcFillsIdleCpuWindows) {
+  ClusterModel model;
+  auto without = model.UtilizationTrace(300, false, 40);
+  auto with = model.UtilizationTrace(300, true, 40);
+  ASSERT_EQ(without.size(), with.size());
+  double mean_without = 0, mean_with = 0;
+  for (size_t i = 0; i < without.size(); ++i) {
+    mean_without += without[i];
+    mean_with += with[i];
+  }
+  EXPECT_GT(mean_with, mean_without);
+}
+
+}  // namespace
+}  // namespace svc
