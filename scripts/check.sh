@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Full verification: Release build + tests, Debug+ASan/UBSan build + tests,
+# and the executor performance regression gate (bench/micro_ops must show
+# >= MIN_SPEEDUP on the join+aggregate pipeline vs. the string-keyed
+# baseline; see docs/PERF.md).
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast  skip the sanitizer build (Release tests + bench gate only)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MIN_SPEEDUP="${MIN_SPEEDUP:-3.0}"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "== Release build =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j"$(nproc)"
+
+echo "== Release tests =="
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+if [[ "$FAST" -eq 0 ]]; then
+  echo "== Debug + ASan/UBSan build =="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DSVC_SANITIZE=ON
+  cmake --build build-asan -j"$(nproc)"
+
+  echo "== Sanitizer tests =="
+  ctest --test-dir build-asan --output-on-failure -j"$(nproc)"
+fi
+
+echo "== Executor bench gate (>= ${MIN_SPEEDUP}x join+aggregate) =="
+./build/micro_ops --out BENCH_executor.json --min-speedup "$MIN_SPEEDUP"
+
+echo "All checks passed."

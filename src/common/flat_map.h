@@ -1,0 +1,291 @@
+#ifndef SVC_COMMON_FLAT_MAP_H_
+#define SVC_COMMON_FLAT_MAP_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace svc {
+
+/// Hash used for byte-string keys throughout the engine's hash tables
+/// (join/group/set-op/primary-key indexes). This is an *internal* table
+/// hash; the sampling operator η keeps using the plan's configured
+/// HashFamily for membership so sample determinism is unaffected.
+inline uint64_t KeyHash(std::string_view bytes) {
+  return Fnv1aSplitMix64(bytes);
+}
+
+/// An open-addressing hash map from byte-string keys to values of type V,
+/// tuned for the executor's hot paths:
+///
+///   * callers pass the key bytes together with a precomputed 64-bit hash
+///     (see RowKeyRef / KeyBuffer in relational/row_key.h), so a key that
+///     probes several tables is hashed once;
+///   * short keys (≤ 12 bytes — e.g. any single int/double key, which is
+///     the common join/group key shape) are stored inline in the slot, so
+///     a probe touches exactly one cache line; longer keys live in one
+///     contiguous arena rather than one heap allocation per key;
+///   * slots are a flat power-of-two array probed linearly — no per-node
+///     allocation, no pointer chasing;
+///   * lookups compare the full key bytes whenever the 64-bit hashes match,
+///     so hash collisions are handled correctly (never by assumption).
+///
+/// Erase uses backward-shift deletion (no tombstones); the arena compacts
+/// itself once more than half of its bytes belong to erased keys. V must be
+/// default-constructible and movable.
+template <typename V>
+class FlatKeyMap {
+ public:
+  FlatKeyMap() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Prepares for `n` insertions without rehashing, honoring the maximum
+  /// load factor (3/4).
+  void Reserve(size_t n) {
+    size_t cap = kMinCapacity;
+    while (cap * 3 < (n + 1) * 4) cap <<= 1;
+    if (cap > slots_.size()) Rehash(cap);
+  }
+
+  /// Inserts `value` under (`key`, `hash`) unless the key is present.
+  /// Returns the address of the (existing or new) value and whether an
+  /// insertion happened. The pointer is invalidated by the next mutation.
+  std::pair<V*, bool> Emplace(std::string_view key, uint64_t hash, V value) {
+    GrowIfNeeded();
+    const size_t mask = slots_.size() - 1;
+    size_t i = static_cast<size_t>(hash) & mask;
+    while (!SlotEmpty(i)) {
+      if (slots_[i].hash == hash && KeyEquals(slots_[i], key)) {
+        return {&slots_[i].value, false};
+      }
+      i = (i + 1) & mask;
+    }
+    StoreKey(&slots_[i], key);
+    slots_[i].hash = hash;
+    slots_[i].value = std::move(value);
+    ++size_;
+    return {&slots_[i].value, true};
+  }
+
+  /// Convenience overload hashing internally.
+  std::pair<V*, bool> Emplace(std::string_view key, V value) {
+    return Emplace(key, KeyHash(key), std::move(value));
+  }
+
+  V* Find(std::string_view key, uint64_t hash) {
+    const size_t i = FindSlot(key, hash);
+    return i == kNpos ? nullptr : &slots_[i].value;
+  }
+  const V* Find(std::string_view key, uint64_t hash) const {
+    const size_t i = FindSlot(key, hash);
+    return i == kNpos ? nullptr : &slots_[i].value;
+  }
+  V* Find(std::string_view key) { return Find(key, KeyHash(key)); }
+  const V* Find(std::string_view key) const { return Find(key, KeyHash(key)); }
+
+  bool Contains(std::string_view key, uint64_t hash) const {
+    return FindSlot(key, hash) != kNpos;
+  }
+  bool Contains(std::string_view key) const {
+    return Contains(key, KeyHash(key));
+  }
+
+  /// Removes the key if present (backward-shift deletion, so lookups stay
+  /// correct without tombstones). Returns true if a key was removed.
+  bool Erase(std::string_view key, uint64_t hash) {
+    const size_t i = FindSlot(key, hash);
+    if (i == kNpos) return false;
+    if (slots_[i].len > kInlineKey) dead_bytes_ += slots_[i].len;
+    const size_t mask = slots_.size() - 1;
+    size_t hole = i, j = i;
+    while (true) {
+      j = (j + 1) & mask;
+      if (SlotEmpty(j)) break;
+      const size_t home = static_cast<size_t>(slots_[j].hash) & mask;
+      // Slot j may fill the hole iff the hole lies on j's probe path, i.e.
+      // strictly closer to j's home position than j itself.
+      if (((hole - home) & mask) < ((j - home) & mask)) {
+        slots_[hole] = std::move(slots_[j]);
+        hole = j;
+      }
+    }
+    slots_[hole].len = kEmptyLen;
+    slots_[hole].value = V();
+    --size_;
+    return true;
+  }
+  bool Erase(std::string_view key) { return Erase(key, KeyHash(key)); }
+
+  /// Visits every (key bytes, value) pair in unspecified order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.len == kEmptyLen) continue;
+      fn(KeyOf(s), s.value);
+    }
+  }
+  template <typename Fn>
+  void ForEachMutable(Fn&& fn) {
+    for (Slot& s : slots_) {
+      if (s.len == kEmptyLen) continue;
+      fn(KeyOf(s), s.value);
+    }
+  }
+
+  void Clear() {
+    slots_.clear();
+    arena_.clear();
+    size_ = 0;
+    dead_bytes_ = 0;
+  }
+
+ private:
+  static constexpr uint32_t kEmptyLen = UINT32_MAX;
+  static constexpr uint32_t kInlineKey = 12;
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+  static constexpr size_t kMinCapacity = 16;
+
+  struct Slot {
+    uint64_t hash = 0;
+    uint32_t len = kEmptyLen;  ///< key length; kEmptyLen marks a free slot
+    /// Key storage: the bytes themselves when len <= kInlineKey, else a
+    /// 4-byte offset into arena_.
+    char key[kInlineKey] = {};
+    V value{};
+  };
+
+  bool SlotEmpty(size_t i) const { return slots_[i].len == kEmptyLen; }
+
+  static uint32_t ArenaOff(const Slot& s) {
+    uint32_t off;
+    std::memcpy(&off, s.key, sizeof(off));
+    return off;
+  }
+
+  std::string_view KeyOf(const Slot& s) const {
+    if (s.len <= kInlineKey) return {s.key, s.len};
+    return {arena_.data() + ArenaOff(s), s.len};
+  }
+
+  bool KeyEquals(const Slot& s, std::string_view key) const {
+    if (s.len != key.size()) return false;
+    const char* bytes =
+        s.len <= kInlineKey ? s.key : arena_.data() + ArenaOff(s);
+    return std::memcmp(bytes, key.data(), key.size()) == 0;
+  }
+
+  void StoreKey(Slot* s, std::string_view key) {
+    s->len = static_cast<uint32_t>(key.size());
+    if (key.size() <= kInlineKey) {
+      std::memcpy(s->key, key.data(), key.size());
+      return;
+    }
+    if (arena_.size() + key.size() >= static_cast<size_t>(UINT32_MAX)) {
+      // A wrapped uint32 offset would silently alias earlier keys and
+      // corrupt lookups; abort loudly instead (also in Release builds).
+      std::fprintf(stderr,
+                   "FlatKeyMap: key arena exceeds 4 GiB of key bytes\n");
+      std::abort();
+    }
+    const uint32_t off = static_cast<uint32_t>(arena_.size());
+    std::memcpy(s->key, &off, sizeof(off));
+    arena_.append(key.data(), key.size());
+  }
+
+  size_t FindSlot(std::string_view key, uint64_t hash) const {
+    if (size_ == 0) return kNpos;
+    const size_t mask = slots_.size() - 1;
+    size_t i = static_cast<size_t>(hash) & mask;
+    while (!SlotEmpty(i)) {
+      if (slots_[i].hash == hash && KeyEquals(slots_[i], key)) return i;
+      i = (i + 1) & mask;
+    }
+    return kNpos;
+  }
+
+  void GrowIfNeeded() {
+    if (slots_.empty()) {
+      Rehash(kMinCapacity);
+      return;
+    }
+    if ((size_ + 1) * 4 > slots_.size() * 3) {
+      Rehash(slots_.size() * 2);
+    } else if (dead_bytes_ > 0 && dead_bytes_ * 2 > arena_.size()) {
+      Rehash(slots_.size());  // same capacity; compacts the arena
+    }
+  }
+
+  /// Re-slots every live entry into a table of `new_capacity` (a power of
+  /// two) and rewrites the arena without dead bytes.
+  void Rehash(size_t new_capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    std::string old_arena = std::move(arena_);
+    slots_.assign(new_capacity, Slot{});
+    arena_.clear();
+    if (old_arena.size() > dead_bytes_) {
+      arena_.reserve(old_arena.size() - dead_bytes_);
+    }
+    dead_bytes_ = 0;
+    const size_t mask = new_capacity - 1;
+    for (Slot& s : old) {
+      if (s.len == kEmptyLen) continue;
+      size_t i = static_cast<size_t>(s.hash) & mask;
+      while (!SlotEmpty(i)) i = (i + 1) & mask;
+      const std::string_view key =
+          s.len <= kInlineKey
+              ? std::string_view(s.key, s.len)
+              : std::string_view(old_arena.data() + ArenaOff(s), s.len);
+      StoreKey(&slots_[i], key);
+      slots_[i].hash = s.hash;
+      slots_[i].value = std::move(s.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::string arena_;   ///< key bytes of live slots with len > kInlineKey
+  size_t size_ = 0;
+  size_t dead_bytes_ = 0;  ///< arena bytes belonging to erased keys
+};
+
+/// A set of byte-string keys on top of FlatKeyMap. Used for set-operation
+/// dedup, count(distinct), η key-set filters, and the outlier push-up key
+/// sets.
+class KeySet {
+ public:
+  /// Inserts the key; returns true if it was new.
+  bool Insert(std::string_view key, uint64_t hash) {
+    return map_.Emplace(key, hash, 0).second;
+  }
+  bool Insert(std::string_view key) { return Insert(key, KeyHash(key)); }
+
+  bool Contains(std::string_view key, uint64_t hash) const {
+    return map_.Contains(key, hash);
+  }
+  bool Contains(std::string_view key) const { return map_.Contains(key); }
+
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void Reserve(size_t n) { map_.Reserve(n); }
+  void Clear() { map_.Clear(); }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    map_.ForEach([&fn](std::string_view key, char) { fn(key); });
+  }
+
+ private:
+  FlatKeyMap<char> map_;
+};
+
+}  // namespace svc
+
+#endif  // SVC_COMMON_FLAT_MAP_H_

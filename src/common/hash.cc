@@ -14,14 +14,6 @@ uint64_t SplitMix64Fin(uint64_t z) {
   return z ^ (z >> 31);
 }
 
-uint64_t Fnv1a64(std::string_view data) {
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (unsigned char c : data) {
-    h ^= c;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
 
 uint64_t Sdbm64(std::string_view data) {
   uint64_t h = 0;
@@ -139,7 +131,7 @@ uint64_t Hash64(std::string_view data, HashFamily family) {
   switch (family) {
     case HashFamily::kLinear: return Linear64(data);
     case HashFamily::kSdbm: return Sdbm64(data);
-    case HashFamily::kFnv1a: return SplitMix64Fin(Fnv1a64(data));
+    case HashFamily::kFnv1a: return Fnv1aSplitMix64(data);
     case HashFamily::kSha1: {
       const auto d = Sha1(data);
       uint64_t h = 0;

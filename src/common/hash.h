@@ -34,6 +34,20 @@ std::string Sha1Hex(std::string_view data);
 /// 64-bit hash of `data` under the chosen family.
 uint64_t Hash64(std::string_view data, HashFamily family);
 
+/// FNV-1a with a splitmix64 finalizer — the HashFamily::kFnv1a hash,
+/// defined inline so the executor's per-row key hashing fully inlines.
+/// Hash64(data, HashFamily::kFnv1a) returns exactly this.
+inline uint64_t Fnv1aSplitMix64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
 /// Maps `data` deterministically to the unit interval [0, 1). This is the
 /// hash the η operator compares against the sampling ratio m: a row with
 /// key bytes `data` is in the sample iff HashToUnit(data, f) < m. The map

@@ -207,25 +207,30 @@ Result<std::vector<PairRow>> PairRows(const CorrespondingSamples& samples,
                        EvalRows(samples.stale, q));
   std::vector<PairRow> pairs;
   pairs.reserve(fresh.size() + stale.size());
-  std::unordered_map<std::string, size_t> by_key;
+  FlatKeyMap<size_t> by_key;
+  by_key.Reserve(samples.fresh.NumRows());
+  KeyBuffer kb;
   for (size_t i = 0; i < samples.fresh.NumRows(); ++i) {
-    by_key.emplace(samples.fresh.EncodedKey(i), pairs.size());
+    const RowKeyRef key =
+        kb.Encode(samples.fresh.row(i), samples.fresh.pk_indices());
+    by_key.Emplace(key.bytes, key.hash, pairs.size());
     PairRow p;
     p.has_fresh = true;
     p.fresh = fresh[i];
     pairs.push_back(p);
   }
   for (size_t i = 0; i < samples.stale.NumRows(); ++i) {
-    const std::string key = samples.stale.EncodedKey(i);
-    auto it = by_key.find(key);
-    if (it == by_key.end()) {
+    const RowKeyRef key =
+        kb.Encode(samples.stale.row(i), samples.stale.pk_indices());
+    const size_t* slot = by_key.Find(key.bytes, key.hash);
+    if (slot == nullptr) {
       PairRow p;
       p.has_stale = true;
       p.stale = stale[i];
       pairs.push_back(p);
     } else {
-      pairs[it->second].has_stale = true;
-      pairs[it->second].stale = stale[i];
+      pairs[*slot].has_stale = true;
+      pairs[*slot].stale = stale[i];
     }
   }
   return pairs;
@@ -414,18 +419,19 @@ namespace {
 struct Buckets {
   std::vector<Row> keys;
   std::vector<std::vector<size_t>> rows;
-  std::unordered_map<std::string, size_t> index;
+  FlatKeyMap<size_t> index;
+  KeyBuffer kb;
 
   size_t SlotFor(const Table& t, size_t row, const std::vector<size_t>& gidx) {
-    std::string key = EncodeRowKey(t.row(row), gidx);
-    auto [it, inserted] = index.emplace(std::move(key), keys.size());
+    const RowKeyRef key = kb.Encode(t.row(row), gidx);
+    auto [slot, inserted] = index.Emplace(key.bytes, key.hash, keys.size());
     if (inserted) {
       Row gk;
       for (size_t i : gidx) gk.push_back(t.row(row)[i]);
       keys.push_back(std::move(gk));
       rows.emplace_back();
     }
-    return it->second;
+    return *slot;
   }
 };
 
@@ -513,12 +519,18 @@ Result<GroupedResult> SvcCorrEstimateGrouped(
       for (size_t c : fg) gk.push_back(samples.fresh.row(i)[c]);
       pair_group_key[slot] = std::move(gk);
     }
-    std::unordered_map<std::string, size_t> fresh_keys;
+    KeySet fresh_keys;
+    fresh_keys.Reserve(samples.fresh.NumRows());
+    KeyBuffer kb;
     for (size_t i = 0; i < samples.fresh.NumRows(); ++i) {
-      fresh_keys.emplace(samples.fresh.EncodedKey(i), i);
+      const RowKeyRef key =
+          kb.Encode(samples.fresh.row(i), samples.fresh.pk_indices());
+      fresh_keys.Insert(key.bytes, key.hash);
     }
     for (size_t i = 0; i < samples.stale.NumRows(); ++i) {
-      if (fresh_keys.count(samples.stale.EncodedKey(i))) continue;
+      const RowKeyRef key =
+          kb.Encode(samples.stale.row(i), samples.stale.pk_indices());
+      if (fresh_keys.Contains(key.bytes, key.hash)) continue;
       pair_group[slot] = EncodeRowKey(samples.stale.row(i), sg);
       Row gk;
       for (size_t c : sg) gk.push_back(samples.stale.row(i)[c]);
@@ -534,16 +546,16 @@ Result<GroupedResult> SvcCorrEstimateGrouped(
   out.index = stale_exact.index;
   std::vector<std::vector<PairRow>> group_pairs(out.group_keys.size());
   for (size_t p = 0; p < pairs.size(); ++p) {
-    auto [it, inserted] = out.index.emplace(pair_group[p],
-                                            out.group_keys.size());
+    auto [slot, inserted] =
+        out.index.Emplace(pair_group[p], out.group_keys.size());
     if (inserted) {
       out.group_keys.push_back(pair_group_key[p]);
       group_pairs.emplace_back();
     }
-    if (it->second >= group_pairs.size()) {
+    if (*slot >= group_pairs.size()) {
       group_pairs.resize(out.group_keys.size());
     }
-    group_pairs[it->second].push_back(pairs[p]);
+    group_pairs[*slot].push_back(pairs[p]);
   }
   group_pairs.resize(out.group_keys.size());
 

@@ -2,9 +2,10 @@
 #define SVC_CORE_ESTIMATOR_H_
 
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/status.h"
 #include "relational/algebra.h"
 #include "relational/table.h"
@@ -92,13 +93,13 @@ struct GroupedResult {
   std::vector<std::string> group_columns;
   std::vector<Row> group_keys;        ///< one entry per group
   std::vector<Estimate> estimates;    ///< parallel to group_keys
-  std::unordered_map<std::string, size_t> index;  ///< encoded key -> slot
+  FlatKeyMap<size_t> index;           ///< encoded key -> slot
 
   /// Finds the estimate for an encoded group key; nullptr if the group was
   /// not observed.
-  const Estimate* Find(const std::string& encoded_key) const {
-    auto it = index.find(encoded_key);
-    return it == index.end() ? nullptr : &estimates[it->second];
+  const Estimate* Find(std::string_view encoded_key) const {
+    const size_t* slot = index.Find(encoded_key);
+    return slot == nullptr ? nullptr : &estimates[*slot];
   }
 };
 

@@ -40,10 +40,12 @@ bool ViewReadsRelation(const MaterializedView& view,
 /// Copies `t` keeping only rows whose encoded `key_idx` projection is (not)
 /// in `keys`.
 Table FilterByKeys(const Table& t, const std::vector<size_t>& key_idx,
-                   const std::unordered_set<std::string>& keys, bool keep_in) {
+                   const KeySet& keys, bool keep_in) {
   Table out(t.schema());
+  KeyBuffer kb;
   for (const auto& r : t.rows()) {
-    const bool in = keys.count(EncodeRowKey(r, key_idx)) > 0;
+    const RowKeyRef key = kb.Encode(r, key_idx);
+    const bool in = keys.Contains(key.bytes, key.hash);
     if (in == keep_in) out.AppendUnchecked(r);
   }
   return out;
@@ -83,11 +85,13 @@ Result<OutlierIndex> OutlierIndex::Build(const Database& db,
 
   // Single pass over base rows and pending inserts, skipping rows pending
   // deletion; keep the top `capacity` records above the threshold.
-  std::unordered_set<std::string> deleted;
+  KeySet deleted;
+  KeyBuffer kb;
   const Table* dels = deltas.deletes(spec.base_relation);
   if (dels != nullptr && base->HasPrimaryKey()) {
     for (const auto& r : dels->rows()) {
-      deleted.insert(EncodeRowKey(r, base->pk_indices()));
+      const RowKeyRef key = kb.Encode(r, base->pk_indices());
+      deleted.Insert(key.bytes, key.hash);
     }
   }
   using Entry = std::pair<double, size_t>;  // attr value, slot in records_
@@ -108,9 +112,9 @@ Result<OutlierIndex> OutlierIndex::Build(const Database& db,
     index.records_.push_back(r);
   };
   for (const auto& r : base->rows()) {
-    if (!deleted.empty() && base->HasPrimaryKey() &&
-        deleted.count(EncodeRowKey(r, base->pk_indices()))) {
-      continue;
+    if (!deleted.empty() && base->HasPrimaryKey()) {
+      const RowKeyRef key = kb.Encode(r, base->pk_indices());
+      if (deleted.Contains(key.bytes, key.hash)) continue;
     }
     consider(r);
   }
@@ -160,11 +164,14 @@ Result<OutlierIndex::ViewOutliers> OutlierIndex::PushUpToView(
   SVC_ASSIGN_OR_RETURN(Table key_rows, ExecutePlan(*key_plan, *db));
   (void)db->DropTable(tmp_name);
 
-  auto keys = std::make_shared<std::unordered_set<std::string>>();
+  auto keys = std::make_shared<KeySet>();
   std::vector<size_t> all(key_rows.schema().NumColumns());
   for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  keys->Reserve(key_rows.NumRows());
+  KeyBuffer key_buf;
   for (const auto& r : key_rows.rows()) {
-    keys->insert(EncodeRowKey(r, all));
+    const RowKeyRef key = key_buf.Encode(r, all);
+    keys->Insert(key.bytes, key.hash);
   }
   out.keys = keys;
 

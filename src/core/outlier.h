@@ -4,8 +4,8 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_set>
 
+#include "common/flat_map.h"
 #include "common/status.h"
 #include "core/estimator.h"
 #include "relational/database.h"
@@ -54,7 +54,7 @@ class OutlierIndex {
   struct ViewOutliers {
     Table fresh;  ///< O ⊂ S′
     Table stale;  ///< matching stale rows
-    std::shared_ptr<const std::unordered_set<std::string>> keys;
+    std::shared_ptr<const KeySet> keys;
     bool eligible = false;
   };
   Result<ViewOutliers> PushUpToView(const MaterializedView& view,

@@ -1,5 +1,8 @@
 #include "core/policy.h"
 
+#include "common/flat_map.h"
+#include "relational/row_key.h"
+
 namespace svc {
 
 namespace {
@@ -40,12 +43,18 @@ Result<PolicyDecision> ChooseEstimator(const CorrespondingSamples& samples,
                        Terms(samples.stale, q));
 
   // Pair by key; a key missing on one side contributes zero there.
-  std::unordered_map<std::string, std::pair<double, double>> paired;
+  FlatKeyMap<std::pair<double, double>> paired;
+  paired.Reserve(samples.fresh.NumRows());
+  KeyBuffer kb;
   for (size_t i = 0; i < samples.fresh.NumRows(); ++i) {
-    paired[samples.fresh.EncodedKey(i)].first = fresh_terms[i];
+    const RowKeyRef key =
+        kb.Encode(samples.fresh.row(i), samples.fresh.pk_indices());
+    paired.Emplace(key.bytes, key.hash, {}).first->first = fresh_terms[i];
   }
   for (size_t i = 0; i < samples.stale.NumRows(); ++i) {
-    paired[samples.stale.EncodedKey(i)].second = stale_terms[i];
+    const RowKeyRef key =
+        kb.Encode(samples.stale.row(i), samples.stale.pk_indices());
+    paired.Emplace(key.bytes, key.hash, {}).first->second = stale_terms[i];
   }
   const double n = static_cast<double>(paired.size());
   PolicyDecision d;
@@ -54,17 +63,17 @@ Result<PolicyDecision> ChooseEstimator(const CorrespondingSamples& samples,
     return d;
   }
   double mean_f = 0, mean_s = 0;
-  for (const auto& [k, fs] : paired) {
+  paired.ForEach([&](std::string_view, const std::pair<double, double>& fs) {
     mean_f += fs.first;
     mean_s += fs.second;
-  }
+  });
   mean_f /= n;
   mean_s /= n;
   double var_s = 0, cov = 0;
-  for (const auto& [k, fs] : paired) {
+  paired.ForEach([&](std::string_view, const std::pair<double, double>& fs) {
     var_s += (fs.second - mean_s) * (fs.second - mean_s);
     cov += (fs.second - mean_s) * (fs.first - mean_f);
-  }
+  });
   var_s /= (n - 1);
   cov /= (n - 1);
   d.var_stale = var_s;

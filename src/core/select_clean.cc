@@ -1,7 +1,9 @@
 #include "core/select_clean.h"
 
 #include <cmath>
-#include <unordered_map>
+
+#include "common/flat_map.h"
+#include "relational/row_key.h"
 
 namespace svc {
 
@@ -47,11 +49,13 @@ Result<CleanedSelect> SvcCleanSelect(const Table& stale_view,
   }
 
   // 1. Run the selection on the stale view.
-  std::unordered_map<std::string, Row> result;   // key -> row
+  FlatKeyMap<Row> result;  // encoded key -> row
+  KeyBuffer kb;
   for (size_t i = 0; i < stale_view.NumRows(); ++i) {
     const Row& r = stale_view.row(i);
     if (!stale_pred || stale_pred->Eval(r).IsTrue()) {
-      result.emplace(stale_view.EncodedKey(i), r);
+      const RowKeyRef key = kb.Encode(r, stale_view.pk_indices());
+      result.Emplace(key.bytes, key.hash, r);
     }
   }
 
@@ -65,14 +69,14 @@ Result<CleanedSelect> SvcCleanSelect(const Table& stale_view,
   for (size_t i = 0; i < samples.fresh.NumRows(); ++i) {
     const Row& r = samples.fresh.row(i);
     if (fresh_pred && !fresh_pred->Eval(r).IsTrue()) continue;
-    const std::string key = samples.fresh.EncodedKey(i);
-    auto it = result.find(key);
-    if (it == result.end()) {
+    const RowKeyRef key = kb.Encode(r, samples.fresh.pk_indices());
+    Row* existing = result.Find(key.bytes, key.hash);
+    if (existing == nullptr) {
       // Entering the selection (missing row, or newly satisfying rows).
-      result.emplace(key, r);
+      result.Emplace(key.bytes, key.hash, r);
       ++added;
-    } else if (!RowsEqual(it->second, r)) {
-      it->second = r;
+    } else if (!RowsEqual(*existing, r)) {
+      *existing = r;
       ++updated;
     }
   }
@@ -81,21 +85,23 @@ Result<CleanedSelect> SvcCleanSelect(const Table& stale_view,
   for (size_t i = 0; i < samples.stale.NumRows(); ++i) {
     const Row& r = samples.stale.row(i);
     if (stale_sample_pred && !stale_sample_pred->Eval(r).IsTrue()) continue;
-    const std::string key = samples.stale.EncodedKey(i);
-    auto f = samples.fresh.FindByEncodedKey(key);
+    const RowKeyRef key = kb.Encode(r, samples.stale.pk_indices());
+    auto f = samples.fresh.FindByKeyRef(key);
     bool still_in = false;
     if (f.ok()) {
       const Row& fr = samples.fresh.row(*f);
       still_in = !fresh_pred || fresh_pred->Eval(fr).IsTrue();
     }
-    if (!still_in && result.erase(key)) {
+    if (!still_in && result.Erase(key.bytes, key.hash)) {
       ++deleted;
     }
   }
 
   CleanedSelect out;
   Table cleaned(stale_view.schema());
-  for (auto& [k, row] : result) cleaned.AppendUnchecked(std::move(row));
+  result.ForEachMutable([&cleaned](std::string_view, Row& row) {
+    cleaned.AppendUnchecked(std::move(row));
+  });
   SVC_RETURN_IF_ERROR(cleaned.SetPrimaryKey(stale_view.PrimaryKeyNames()));
   out.rows = std::move(cleaned);
   out.updated_rows = HtCount(updated, samples.ratio, opts);

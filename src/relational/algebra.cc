@@ -107,9 +107,8 @@ PlanPtr PlanNode::HashFilter(PlanPtr child, std::vector<std::string> cols,
   return n;
 }
 
-PlanPtr PlanNode::KeySetFilter(
-    PlanPtr child, std::vector<std::string> cols,
-    std::shared_ptr<const std::unordered_set<std::string>> keys) {
+PlanPtr PlanNode::KeySetFilter(PlanPtr child, std::vector<std::string> cols,
+                               std::shared_ptr<const KeySet> keys) {
   auto n = PlanPtr(new PlanNode());
   n->kind_ = PlanKind::kHashFilter;
   n->children_.push_back(std::move(child));

@@ -3,9 +3,9 @@
 
 #include <memory>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/hash.h"
 #include "common/status.h"
 #include "relational/expr.h"
@@ -123,9 +123,8 @@ class PlanNode {
   /// value is in `keys`. Obeys the same push-down rules as η; used by the
   /// outlier-index push-up (Definition 5) to materialize exactly the view
   /// rows affected by indexed records.
-  static PlanPtr KeySetFilter(
-      PlanPtr child, std::vector<std::string> cols,
-      std::shared_ptr<const std::unordered_set<std::string>> keys);
+  static PlanPtr KeySetFilter(PlanPtr child, std::vector<std::string> cols,
+                              std::shared_ptr<const KeySet> keys);
 
   // ---- Introspection ------------------------------------------------------
   PlanKind kind() const { return kind_; }
@@ -148,10 +147,7 @@ class PlanNode {
   double hash_ratio() const { return hash_ratio_; }
   HashFamily hash_family() const { return hash_family_; }
   /// Non-null when this filter node is a key-set filter rather than η.
-  const std::shared_ptr<const std::unordered_set<std::string>>& key_set()
-      const {
-    return key_set_;
-  }
+  const std::shared_ptr<const KeySet>& key_set() const { return key_set_; }
 
   /// Primary key attribute names derived by DerivePrimaryKeys (empty until
   /// derived, or underivable for this node).
@@ -184,7 +180,7 @@ class PlanNode {
   std::vector<std::string> hash_cols_;
   double hash_ratio_ = 1.0;
   HashFamily hash_family_ = HashFamily::kFnv1a;
-  std::shared_ptr<const std::unordered_set<std::string>> key_set_;
+  std::shared_ptr<const KeySet> key_set_;
 
   std::vector<std::string> derived_pk_;
 };

@@ -1,8 +1,12 @@
 #include "relational/executor.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/flat_map.h"
+#include "relational/row_key.h"
 
 namespace svc {
 
@@ -17,6 +21,91 @@ bool AnyNull(const Row& row, const std::vector<size_t>& indices) {
   return false;
 }
 
+/// Counts the rows whose `indices` are all non-NULL — the exact number of
+/// entries a join build or probe side contributes, so hash tables can be
+/// reserved without overshooting on NULL-key rows.
+size_t CountKeyedRows(const std::vector<Row>& rows,
+                      const std::vector<size_t>& indices) {
+  size_t n = 0;
+  for (const Row& r : rows) {
+    if (!AnyNull(r, indices)) ++n;
+  }
+  return n;
+}
+
+constexpr uint32_t kNoRow = UINT32_MAX;
+
+/// A hash-join build index: encoded key -> head of an intrusive chain of
+/// row positions (`prev` links rows sharing a key, newest first). Flat
+/// open-addressing storage; one KeyBuffer reused across all rows.
+struct JoinIndex {
+  FlatKeyMap<uint32_t> heads;
+  std::vector<uint32_t> prev;
+
+  void Build(const std::vector<Row>& rows, const std::vector<size_t>& idx) {
+    if (rows.size() >= kNoRow) {
+      // A build side at the uint32 limit would wrap chain links (and row
+      // kNoRow-1 would alias the sentinel): fail loudly, never corrupt.
+      std::fprintf(stderr, "JoinIndex: build side exceeds 2^32-1 rows\n");
+      std::abort();
+    }
+    heads.Reserve(CountKeyedRows(rows, idx));
+    prev.assign(rows.size(), kNoRow);
+    KeyBuffer kb;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      RowKeyRef key;
+      if (!kb.EncodeIfNonNull(rows[i], idx, &key)) continue;
+      auto [head, inserted] =
+          heads.Emplace(key.bytes, key.hash, static_cast<uint32_t>(i));
+      if (!inserted) {
+        prev[i] = *head;
+        *head = static_cast<uint32_t>(i);
+      }
+    }
+  }
+
+  /// First matching row position for `key`, or kNoRow.
+  uint32_t Head(const RowKeyRef& key) const {
+    const uint32_t* head = heads.Find(key.bytes, key.hash);
+    return head == nullptr ? kNoRow : *head;
+  }
+};
+
+/// Shared setup for the inner-join paths (materializing ExecJoin and the
+/// fused aggregate-over-join): resolved key columns for both children,
+/// build-side selection (the smaller input builds), and the built hash
+/// index. Keeping this in one place guarantees the fused path joins
+/// exactly like the unfused one.
+struct InnerJoin {
+  const ExecTable* left = nullptr;
+  const ExecTable* right = nullptr;
+  std::vector<size_t> lidx, ridx;
+  bool build_on_left = false;
+  JoinIndex index;
+
+  const ExecTable& build_side() const { return build_on_left ? *left : *right; }
+  const ExecTable& probe_side() const { return build_on_left ? *right : *left; }
+  const std::vector<size_t>& bidx() const { return build_on_left ? lidx : ridx; }
+  const std::vector<size_t>& pidx() const { return build_on_left ? ridx : lidx; }
+
+  static Result<InnerJoin> Prepare(const PlanNode& plan, const ExecTable& l,
+                                   const ExecTable& r) {
+    InnerJoin j;
+    j.left = &l;
+    j.right = &r;
+    std::vector<std::string> lrefs, rrefs;
+    for (const auto& k : plan.join_keys()) {
+      lrefs.push_back(k.left);
+      rrefs.push_back(k.right);
+    }
+    SVC_ASSIGN_OR_RETURN(j.lidx, l.schema().ResolveAll(lrefs));
+    SVC_ASSIGN_OR_RETURN(j.ridx, r.schema().ResolveAll(rrefs));
+    j.build_on_left = l.NumRows() < r.NumRows();
+    j.index.Build(j.build_side().rows(), j.bidx());
+    return j;
+  }
+};
+
 /// Accumulator for one aggregate over one group.
 struct AggState {
   int64_t count = 0;         // non-null inputs (or rows for count(*))
@@ -25,13 +114,228 @@ struct AggState {
   bool int_input = true;     // all inputs so far were ints
   Value min_v;               // running min (NULL = none)
   Value max_v;               // running max (NULL = none)
-  std::vector<double> values;               // for median
-  std::unordered_set<std::string> distinct;  // for count_distinct
+  std::vector<double> values;  // for median
+  KeySet distinct;             // for count_distinct (flat, collision-safe)
+};
+
+/// Appends `row`'s values to `out` by copy.
+void AppendValues(Row* out, const Row& row) {
+  out->insert(out->end(), row.begin(), row.end());
+}
+
+/// Bound aggregate inputs for one Aggregate node. Column-reference inputs
+/// (the overwhelmingly common case) are read by position, skipping the
+/// virtual Eval and its Value copy per row.
+struct AggSpec {
+  const std::vector<AggItem>* aggs = nullptr;
+  std::vector<ExprPtr> inputs;
+  std::vector<ptrdiff_t> input_col;  ///< bound column position, or -1
+  bool all_columns = true;  ///< no aggregate needs a full-row expression
+
+  static Result<AggSpec> Prepare(const PlanNode& plan,
+                                 const Schema& in_schema) {
+    AggSpec spec;
+    spec.aggs = &plan.aggregates();
+    const auto& aggs = *spec.aggs;
+    spec.inputs.resize(aggs.size());
+    spec.input_col.assign(aggs.size(), -1);
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      if (aggs[a].input) {
+        spec.inputs[a] = aggs[a].input->Clone();
+        SVC_RETURN_IF_ERROR(spec.inputs[a]->Bind(in_schema));
+        if (spec.inputs[a]->kind() == ExprKind::kColumn) {
+          spec.input_col[a] =
+              static_cast<ptrdiff_t>(spec.inputs[a]->bound_column_index());
+        } else {
+          spec.all_columns = false;
+        }
+      } else if (aggs[a].func != AggFunc::kCountStar) {
+        return Status::InvalidArgument(
+            "aggregate " + std::string(AggFuncName(aggs[a].func)) +
+            " requires an input expression");
+      }
+    }
+    return spec;
+  }
+
+  /// Output schema: group columns then aggregates.
+  Schema OutputSchema(const Schema& in_schema,
+                      const std::vector<size_t>& gidx) const {
+    Schema out;
+    for (size_t i : gidx) out.AddColumn(in_schema.column(i));
+    for (size_t a = 0; a < aggs->size(); ++a) {
+      ValueType t = ValueType::kInt;
+      switch ((*aggs)[a].func) {
+        case AggFunc::kAvg:
+        case AggFunc::kMedian: t = ValueType::kDouble; break;
+        case AggFunc::kSum:
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          t = inputs[a] ? inputs[a]->result_type() : ValueType::kInt;
+          break;
+        default: t = ValueType::kInt; break;
+      }
+      out.AddColumn({"", (*aggs)[a].alias, t});
+    }
+    return out;
+  }
+};
+
+/// Folds one non-null input value into an accumulator. `vb` is the shared
+/// scratch buffer for count-distinct encodings.
+void Accumulate(AggState* s, AggFunc func, const Value& v, KeyBuffer* vb) {
+  switch (func) {
+    case AggFunc::kSum:
+      ++s->count;
+      if (v.type() == ValueType::kInt && s->int_input) {
+        s->isum += v.AsInt();
+      } else {
+        if (s->int_input) {
+          s->dsum += static_cast<double>(s->isum);
+          s->int_input = false;
+        }
+        s->dsum += v.ToDouble();
+      }
+      break;
+    case AggFunc::kCount:
+      ++s->count;
+      break;
+    case AggFunc::kAvg:
+      ++s->count;
+      s->dsum += v.ToDouble();
+      break;
+    case AggFunc::kMin:
+      if (s->min_v.is_null() || v < s->min_v) s->min_v = v;
+      break;
+    case AggFunc::kMax:
+      if (s->max_v.is_null() || s->max_v < v) s->max_v = v;
+      break;
+    case AggFunc::kMedian:
+      s->values.push_back(v.ToDouble());
+      break;
+    case AggFunc::kCountDistinct: {
+      const RowKeyRef enc = vb->EncodeValue(v);
+      s->distinct.Insert(enc.bytes, enc.hash);
+      break;
+    }
+    case AggFunc::kCountStar:
+      break;
+  }
+}
+
+/// Accumulates one materialized row into the group's `naggs` states.
+void AccumulateRow(const Row& r, const AggSpec& spec, AggState* st,
+                   KeyBuffer* vb) {
+  const auto& aggs = *spec.aggs;
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    if (aggs[a].func == AggFunc::kCountStar) {
+      ++st[a].count;
+      continue;
+    }
+    Value computed;
+    if (spec.input_col[a] < 0) computed = spec.inputs[a]->Eval(r);
+    const Value& v = spec.input_col[a] >= 0 ? r[spec.input_col[a]] : computed;
+    if (v.is_null()) continue;
+    Accumulate(&st[a], aggs[a].func, v, vb);
+  }
+}
+
+/// The finalized output value of one accumulator.
+Value FinalizeAgg(AggState* s, AggFunc func) {
+  switch (func) {
+    case AggFunc::kSum:
+      if (s->count == 0) return Value::Null();
+      if (s->int_input) return Value::Int(s->isum);
+      return Value::Double(s->dsum);
+    case AggFunc::kCount:
+    case AggFunc::kCountStar:
+      return Value::Int(s->count);
+    case AggFunc::kAvg:
+      return s->count == 0
+                 ? Value::Null()
+                 : Value::Double(s->dsum / static_cast<double>(s->count));
+    case AggFunc::kMin:
+      return s->min_v;
+    case AggFunc::kMax:
+      return s->max_v;
+    case AggFunc::kMedian: {
+      if (s->values.empty()) return Value::Null();
+      auto& v = s->values;
+      const size_t mid = v.size() / 2;
+      std::nth_element(v.begin(), v.begin() + mid, v.end());
+      double med = v[mid];
+      if (v.size() % 2 == 0) {
+        const double lo = *std::max_element(v.begin(), v.begin() + mid);
+        med = (med + lo) / 2.0;
+      }
+      return Value::Double(med);
+    }
+    case AggFunc::kCountDistinct:
+      return Value::Int(static_cast<int64_t>(s->distinct.size()));
+  }
+  return Value::Null();
+}
+
+/// Hash-grouping state shared by the plain and the fused (join→aggregate)
+/// paths: encoded group key -> slot, group-key rows, and a flat state
+/// array with `naggs` accumulators per group.
+struct GroupTable {
+  explicit GroupTable(size_t naggs_in) : naggs(naggs_in) {}
+
+  /// Returns the state block for `key`, creating the group (with the row
+  /// produced by `fill`) on first sight.
+  template <typename KeyFill>
+  AggState* Slot(const RowKeyRef& key, KeyFill&& fill) {
+    if (keys.size() >= UINT32_MAX) {
+      // Group slots are uint32; wrap-around would alias existing groups.
+      std::fprintf(stderr, "GroupTable: more than 2^32-1 groups\n");
+      std::abort();
+    }
+    auto [slot, inserted] = index.Emplace(key.bytes, key.hash,
+                                          static_cast<uint32_t>(keys.size()));
+    if (inserted) {
+      keys.push_back(fill());
+      states.resize(states.size() + naggs);
+    }
+    return &states[*slot * naggs];
+  }
+
+  /// Builds the final output rows: group key columns then finalized
+  /// aggregates. Adds the single all-NULL-keyed row for a global aggregate
+  /// over empty input.
+  std::vector<Row> Finalize(const AggSpec& spec, bool global) {
+    if (keys.empty() && global) {
+      keys.emplace_back();
+      states.resize(naggs);
+    }
+    const auto& aggs = *spec.aggs;
+    std::vector<Row> out;
+    out.reserve(keys.size());
+    for (size_t g = 0; g < keys.size(); ++g) {
+      Row row = std::move(keys[g]);
+      row.reserve(row.size() + naggs);
+      for (size_t a = 0; a < naggs; ++a) {
+        row.push_back(FinalizeAgg(&states[g * naggs + a], aggs[a].func));
+      }
+      out.push_back(std::move(row));
+    }
+    return out;
+  }
+
+  FlatKeyMap<uint32_t> index;
+  std::vector<Row> keys;
+  std::vector<AggState> states;
+  size_t naggs;
 };
 
 }  // namespace
 
 Result<Table> Executor::Execute(const PlanNode& plan) {
+  SVC_ASSIGN_OR_RETURN(ExecTable out, Exec(plan));
+  return std::move(out).Materialize();
+}
+
+Result<ExecTable> Executor::Exec(const PlanNode& plan) {
   switch (plan.kind()) {
     case PlanKind::kScan: return ExecScan(plan);
     case PlanKind::kSelect: return ExecSelect(plan);
@@ -46,26 +350,31 @@ Result<Table> Executor::Execute(const PlanNode& plan) {
   return Status::Internal("unreachable plan kind");
 }
 
-Result<Table> Executor::ExecScan(const PlanNode& plan) {
+Result<ExecTable> Executor::ExecScan(const PlanNode& plan) {
   SVC_ASSIGN_OR_RETURN(const Table* t, db_->GetTable(plan.table_name()));
-  Table out(t->schema().WithQualifier(plan.alias()));
-  for (const auto& r : t->rows()) out.AppendUnchecked(r);
-  return out;
+  // Zero-copy: borrow the base table's row store under the scan's alias.
+  return ExecTable(t->schema().WithQualifier(plan.alias()), &t->rows());
 }
 
-Result<Table> Executor::ExecSelect(const PlanNode& plan) {
-  SVC_ASSIGN_OR_RETURN(Table in, Execute(*plan.child(0)));
+Result<ExecTable> Executor::ExecSelect(const PlanNode& plan) {
+  SVC_ASSIGN_OR_RETURN(ExecTable in, Exec(*plan.child(0)));
   ExprPtr pred = plan.predicate()->Clone();
   SVC_RETURN_IF_ERROR(pred->Bind(in.schema()));
-  Table out(in.schema());
-  for (const auto& r : in.rows()) {
-    if (pred->Eval(r).IsTrue()) out.AppendUnchecked(r);
+  std::vector<Row> out;
+  if (in.owned()) {
+    for (Row& r : in.owned_rows()) {
+      if (pred->Eval(r).IsTrue()) out.push_back(std::move(r));
+    }
+  } else {
+    for (const Row& r : in.rows()) {
+      if (pred->Eval(r).IsTrue()) out.push_back(r);
+    }
   }
-  return out;
+  return ExecTable(in.TakeSchema(), std::move(out));
 }
 
-Result<Table> Executor::ExecProject(const PlanNode& plan) {
-  SVC_ASSIGN_OR_RETURN(Table in, Execute(*plan.child(0)));
+Result<ExecTable> Executor::ExecProject(const PlanNode& plan) {
+  SVC_ASSIGN_OR_RETURN(ExecTable in, Exec(*plan.child(0)));
   Schema out_schema;
   std::vector<ExprPtr> exprs;
   exprs.reserve(plan.project_items().size());
@@ -75,29 +384,31 @@ Result<Table> Executor::ExecProject(const PlanNode& plan) {
     out_schema.AddColumn({item.out_qualifier, item.alias, e->result_type()});
     exprs.push_back(std::move(e));
   }
-  Table out(out_schema);
+  // Pass-through column references copy the value directly instead of
+  // paying a virtual Eval (maintenance plans are mostly pass-through
+  // projections around a few computed columns).
+  std::vector<ptrdiff_t> col_of(exprs.size(), -1);
+  for (size_t e = 0; e < exprs.size(); ++e) {
+    if (exprs[e]->kind() == ExprKind::kColumn) {
+      col_of[e] = static_cast<ptrdiff_t>(exprs[e]->bound_column_index());
+    }
+  }
+  std::vector<Row> out;
+  out.reserve(in.NumRows());
   for (const auto& r : in.rows()) {
     Row row;
     row.reserve(exprs.size());
-    for (const auto& e : exprs) row.push_back(e->Eval(r));
-    out.AppendUnchecked(std::move(row));
+    for (size_t e = 0; e < exprs.size(); ++e) {
+      row.push_back(col_of[e] >= 0 ? r[col_of[e]] : exprs[e]->Eval(r));
+    }
+    out.push_back(std::move(row));
   }
-  return out;
+  return ExecTable(std::move(out_schema), std::move(out));
 }
 
-Result<Table> Executor::ExecJoin(const PlanNode& plan) {
-  SVC_ASSIGN_OR_RETURN(Table left, Execute(*plan.child(0)));
-  SVC_ASSIGN_OR_RETURN(Table right, Execute(*plan.child(1)));
-
-  std::vector<std::string> lrefs, rrefs;
-  for (const auto& k : plan.join_keys()) {
-    lrefs.push_back(k.left);
-    rrefs.push_back(k.right);
-  }
-  SVC_ASSIGN_OR_RETURN(std::vector<size_t> lidx,
-                       left.schema().ResolveAll(lrefs));
-  SVC_ASSIGN_OR_RETURN(std::vector<size_t> ridx,
-                       right.schema().ResolveAll(rrefs));
+Result<ExecTable> Executor::ExecJoin(const PlanNode& plan) {
+  SVC_ASSIGN_OR_RETURN(ExecTable left, Exec(*plan.child(0)));
+  SVC_ASSIGN_OR_RETURN(ExecTable right, Exec(*plan.child(1)));
 
   const Schema out_schema = Schema::Concat(left.schema(), right.schema());
   ExprPtr residual;
@@ -107,78 +418,85 @@ Result<Table> Executor::ExecJoin(const PlanNode& plan) {
   }
 
   const JoinType jt = plan.join_type();
+  std::vector<Row> out;
+  KeyBuffer kb;
+  const size_t ncols = out_schema.NumColumns();
 
   // For inner joins, hash-build on the smaller input (delta-side inputs of
-  // maintenance plans are often tiny next to the base relation they join).
-  if (jt == JoinType::kInner && left.NumRows() < right.NumRows()) {
-    std::unordered_multimap<std::string, size_t> build;
-    build.reserve(left.NumRows() * 2);
-    for (size_t i = 0; i < left.NumRows(); ++i) {
-      if (AnyNull(left.row(i), lidx)) continue;
-      build.emplace(EncodeRowKey(left.row(i), lidx), i);
-    }
-    Table out(out_schema);
-    for (size_t j = 0; j < right.NumRows(); ++j) {
-      const Row& r = right.row(j);
-      if (AnyNull(r, ridx)) continue;
-      const std::string key = EncodeRowKey(r, ridx);
-      auto [it, end] = build.equal_range(key);
-      for (; it != end; ++it) {
-        Row combined = left.row(it->second);
-        combined.insert(combined.end(), r.begin(), r.end());
+  // maintenance plans are often tiny next to the base relation they join)
+  // and stream the larger side through a tight probe loop.
+  if (jt == JoinType::kInner) {
+    SVC_ASSIGN_OR_RETURN(InnerJoin ij, InnerJoin::Prepare(plan, left, right));
+    // One output row per probe row is the common case (foreign-key joins
+    // match exactly once); larger outputs grow amortized from there.
+    out.reserve(ij.probe_side().NumRows());
+    for (const Row& p : ij.probe_side().rows()) {
+      RowKeyRef key;
+      if (!kb.EncodeIfNonNull(p, ij.pidx(), &key)) continue;
+      for (uint32_t j = ij.index.Head(key); j != kNoRow; j = ij.index.prev[j]) {
+        const Row& b = ij.build_side().row(j);
+        Row combined;
+        combined.reserve(ncols);
+        AppendValues(&combined, ij.build_on_left ? b : p);
+        AppendValues(&combined, ij.build_on_left ? p : b);
         if (residual && !residual->Eval(combined).IsTrue()) continue;
-        out.AppendUnchecked(std::move(combined));
+        out.push_back(std::move(combined));
       }
     }
-    return out;
+    return ExecTable(out_schema, std::move(out));
   }
 
-  // Build side: right.
-  std::unordered_multimap<std::string, size_t> build;
-  build.reserve(right.NumRows() * 2);
-  for (size_t i = 0; i < right.NumRows(); ++i) {
-    if (AnyNull(right.row(i), ridx)) continue;
-    build.emplace(EncodeRowKey(right.row(i), ridx), i);
+  // Outer joins: build side is right.
+  std::vector<std::string> lrefs, rrefs;
+  for (const auto& k : plan.join_keys()) {
+    lrefs.push_back(k.left);
+    rrefs.push_back(k.right);
   }
+  SVC_ASSIGN_OR_RETURN(std::vector<size_t> lidx,
+                       left.schema().ResolveAll(lrefs));
+  SVC_ASSIGN_OR_RETURN(std::vector<size_t> ridx,
+                       right.schema().ResolveAll(rrefs));
+  JoinIndex build;
+  build.Build(right.rows(), ridx);
 
   std::vector<char> right_matched(right.NumRows(), 0);
-  Table out(out_schema);
 
   auto emit = [&](const Row* l, const Row* r) {
     Row row;
     row.reserve(out_schema.NumColumns());
     if (l) {
-      row.insert(row.end(), l->begin(), l->end());
+      AppendValues(&row, *l);
     } else {
       row.resize(left.schema().NumColumns());
     }
     if (r) {
-      row.insert(row.end(), r->begin(), r->end());
+      AppendValues(&row, *r);
     } else {
       row.resize(out_schema.NumColumns());
     }
-    out.AppendUnchecked(std::move(row));
+    out.push_back(std::move(row));
   };
 
   for (size_t i = 0; i < left.NumRows(); ++i) {
     const Row& l = left.row(i);
     bool matched = false;
-    if (!AnyNull(l, lidx)) {
-      const std::string key = EncodeRowKey(l, lidx);
-      auto [it, end] = build.equal_range(key);
-      for (; it != end; ++it) {
-        const Row& r = right.row(it->second);
+    RowKeyRef key;
+    if (kb.EncodeIfNonNull(l, lidx, &key)) {
+      for (uint32_t j = build.Head(key); j != kNoRow; j = build.prev[j]) {
+        const Row& r = right.row(j);
         if (residual) {
-          Row combined = l;
-          combined.insert(combined.end(), r.begin(), r.end());
+          Row combined;
+          combined.reserve(ncols);
+          AppendValues(&combined, l);
+          AppendValues(&combined, r);
           if (!residual->Eval(combined).IsTrue()) continue;
           matched = true;
-          right_matched[it->second] = 1;
-          out.AppendUnchecked(std::move(combined));
+          right_matched[j] = 1;
+          out.push_back(std::move(combined));
           continue;
         }
         matched = true;
-        right_matched[it->second] = 1;
+        right_matched[j] = 1;
         emit(&l, &r);
       }
     }
@@ -191,248 +509,211 @@ Result<Table> Executor::ExecJoin(const PlanNode& plan) {
       if (!right_matched[i]) emit(nullptr, &right.row(i));
     }
   }
-  return out;
+  return ExecTable(out_schema, std::move(out));
 }
 
-Result<Table> Executor::ExecAggregate(const PlanNode& plan) {
-  SVC_ASSIGN_OR_RETURN(Table in, Execute(*plan.child(0)));
+Result<ExecTable> Executor::ExecAggregate(const PlanNode& plan) {
+  // Aggregation directly over an inner join runs fused: the probe loop
+  // feeds group accumulators without ever materializing the joined rows
+  // (one heap row per join output is the single largest cost of the
+  // unfused pipeline). Maintenance plans are mostly this shape.
+  const PlanNode& child = *plan.child(0);
+  if (child.kind() == PlanKind::kJoin &&
+      child.join_type() == JoinType::kInner) {
+    return ExecAggregateOverJoin(plan, child);
+  }
+
+  SVC_ASSIGN_OR_RETURN(ExecTable in, Exec(child));
   SVC_ASSIGN_OR_RETURN(std::vector<size_t> gidx,
                        in.schema().ResolveAll(plan.group_by()));
+  SVC_ASSIGN_OR_RETURN(AggSpec spec, AggSpec::Prepare(plan, in.schema()));
+  Schema out_schema = spec.OutputSchema(in.schema(), gidx);
 
-  const auto& aggs = plan.aggregates();
-  std::vector<ExprPtr> inputs(aggs.size());
-  for (size_t a = 0; a < aggs.size(); ++a) {
-    if (aggs[a].input) {
-      inputs[a] = aggs[a].input->Clone();
-      SVC_RETURN_IF_ERROR(inputs[a]->Bind(in.schema()));
-    } else if (aggs[a].func != AggFunc::kCountStar) {
-      return Status::InvalidArgument("aggregate " +
-                                     std::string(AggFuncName(aggs[a].func)) +
-                                     " requires an input expression");
-    }
-  }
-
-  // Output schema: group columns then aggregates.
-  Schema out_schema;
-  for (size_t i : gidx) out_schema.AddColumn(in.schema().column(i));
-  for (size_t a = 0; a < aggs.size(); ++a) {
-    ValueType t = ValueType::kInt;
-    switch (aggs[a].func) {
-      case AggFunc::kAvg:
-      case AggFunc::kMedian: t = ValueType::kDouble; break;
-      case AggFunc::kSum:
-      case AggFunc::kMin:
-      case AggFunc::kMax:
-        t = inputs[a] ? inputs[a]->result_type() : ValueType::kInt;
-        break;
-      default: t = ValueType::kInt; break;
-    }
-    out_schema.AddColumn({"", aggs[a].alias, t});
-  }
-
-  std::unordered_map<std::string, size_t> group_of;
-  std::vector<Row> group_keys;
-  std::vector<std::vector<AggState>> states;
-
+  GroupTable groups(spec.aggs->size());
+  KeyBuffer kb, vb;
   for (const auto& r : in.rows()) {
-    const std::string key = EncodeRowKey(r, gidx);
-    auto [it, inserted] = group_of.emplace(key, group_keys.size());
-    if (inserted) {
+    const RowKeyRef key = kb.Encode(r, gidx);
+    AggState* st = groups.Slot(key, [&] {
       Row gk;
       gk.reserve(gidx.size());
       for (size_t i : gidx) gk.push_back(r[i]);
-      group_keys.push_back(std::move(gk));
-      states.emplace_back(aggs.size());
-    }
-    auto& st = states[it->second];
-    for (size_t a = 0; a < aggs.size(); ++a) {
-      AggState& s = st[a];
-      if (aggs[a].func == AggFunc::kCountStar) {
-        ++s.count;
-        continue;
-      }
-      const Value v = inputs[a]->Eval(r);
-      if (v.is_null()) continue;
-      switch (aggs[a].func) {
-        case AggFunc::kSum:
-          ++s.count;
-          if (v.type() == ValueType::kInt && s.int_input) {
-            s.isum += v.AsInt();
-          } else {
-            if (s.int_input) {
-              s.dsum += static_cast<double>(s.isum);
-              s.int_input = false;
-            }
-            s.dsum += v.ToDouble();
-          }
-          break;
-        case AggFunc::kCount:
-          ++s.count;
-          break;
-        case AggFunc::kAvg:
-          ++s.count;
-          s.dsum += v.ToDouble();
-          break;
-        case AggFunc::kMin:
-          if (s.min_v.is_null() || v < s.min_v) s.min_v = v;
-          break;
-        case AggFunc::kMax:
-          if (s.max_v.is_null() || s.max_v < v) s.max_v = v;
-          break;
-        case AggFunc::kMedian:
-          s.values.push_back(v.ToDouble());
-          break;
-        case AggFunc::kCountDistinct: {
-          std::string enc;
-          v.EncodeTo(&enc);
-          s.distinct.insert(std::move(enc));
-          break;
-        }
-        case AggFunc::kCountStar:
-          break;
-      }
-    }
+      return gk;
+    });
+    AccumulateRow(r, spec, st, &vb);
   }
-
-  // Global aggregate over empty input still yields one row.
-  if (group_keys.empty() && gidx.empty()) {
-    group_keys.emplace_back();
-    states.emplace_back(aggs.size());
-  }
-
-  Table out(out_schema);
-  for (size_t g = 0; g < group_keys.size(); ++g) {
-    Row row = group_keys[g];
-    for (size_t a = 0; a < aggs.size(); ++a) {
-      AggState& s = states[g][a];
-      switch (aggs[a].func) {
-        case AggFunc::kSum:
-          if (s.count == 0) {
-            row.push_back(Value::Null());
-          } else if (s.int_input) {
-            row.push_back(Value::Int(s.isum));
-          } else {
-            row.push_back(Value::Double(s.dsum));
-          }
-          break;
-        case AggFunc::kCount:
-        case AggFunc::kCountStar:
-          row.push_back(Value::Int(s.count));
-          break;
-        case AggFunc::kAvg:
-          row.push_back(s.count == 0
-                            ? Value::Null()
-                            : Value::Double(s.dsum /
-                                            static_cast<double>(s.count)));
-          break;
-        case AggFunc::kMin:
-          row.push_back(s.min_v);
-          break;
-        case AggFunc::kMax:
-          row.push_back(s.max_v);
-          break;
-        case AggFunc::kMedian: {
-          if (s.values.empty()) {
-            row.push_back(Value::Null());
-            break;
-          }
-          auto& v = s.values;
-          const size_t mid = v.size() / 2;
-          std::nth_element(v.begin(), v.begin() + mid, v.end());
-          double med = v[mid];
-          if (v.size() % 2 == 0) {
-            const double lo = *std::max_element(v.begin(), v.begin() + mid);
-            med = (med + lo) / 2.0;
-          }
-          row.push_back(Value::Double(med));
-          break;
-        }
-        case AggFunc::kCountDistinct:
-          row.push_back(Value::Int(static_cast<int64_t>(s.distinct.size())));
-          break;
-      }
-    }
-    out.AppendUnchecked(std::move(row));
-  }
-  return out;
+  return ExecTable(std::move(out_schema),
+                   groups.Finalize(spec, /*global=*/gidx.empty()));
 }
 
-Result<Table> Executor::ExecSetOp(const PlanNode& plan) {
-  SVC_ASSIGN_OR_RETURN(Table left, Execute(*plan.child(0)));
-  SVC_ASSIGN_OR_RETURN(Table right, Execute(*plan.child(1)));
+Result<ExecTable> Executor::ExecAggregateOverJoin(const PlanNode& plan,
+                                                  const PlanNode& join) {
+  SVC_ASSIGN_OR_RETURN(ExecTable left, Exec(*join.child(0)));
+  SVC_ASSIGN_OR_RETURN(ExecTable right, Exec(*join.child(1)));
+
+  const Schema join_schema = Schema::Concat(left.schema(), right.schema());
+  ExprPtr residual;
+  if (join.join_residual()) {
+    residual = join.join_residual()->Clone();
+    SVC_RETURN_IF_ERROR(residual->Bind(join_schema));
+  }
+
+  SVC_ASSIGN_OR_RETURN(std::vector<size_t> gidx,
+                       join_schema.ResolveAll(plan.group_by()));
+  SVC_ASSIGN_OR_RETURN(AggSpec spec, AggSpec::Prepare(plan, join_schema));
+  Schema out_schema = spec.OutputSchema(join_schema, gidx);
+
+  SVC_ASSIGN_OR_RETURN(InnerJoin ij, InnerJoin::Prepare(join, left, right));
+  const size_t lcols = left.schema().NumColumns();
+  // Residuals and full-row aggregate expressions need a materialized
+  // combined row; one reusable scratch buffer serves every match.
+  const bool need_scratch = residual != nullptr || !spec.all_columns;
+  Row scratch;
+
+  GroupTable groups(spec.aggs->size());
+  const auto& aggs = *spec.aggs;
+  KeyBuffer pb, gb, vb;
+  for (const Row& p : ij.probe_side().rows()) {
+    RowKeyRef pkey;
+    if (!pb.EncodeIfNonNull(p, ij.pidx(), &pkey)) continue;
+    for (uint32_t j = ij.index.Head(pkey); j != kNoRow; j = ij.index.prev[j]) {
+      const Row& b = ij.build_side().row(j);
+      const Row& lrow = ij.build_on_left ? b : p;
+      const Row& rrow = ij.build_on_left ? p : b;
+      // Reads a column of the conceptual combined row without building it.
+      auto colv = [&](size_t c) -> const Value& {
+        return c < lcols ? lrow[c] : rrow[c - lcols];
+      };
+      if (need_scratch) {
+        scratch.clear();
+        scratch.reserve(join_schema.NumColumns());
+        AppendValues(&scratch, lrow);
+        AppendValues(&scratch, rrow);
+        if (residual && !residual->Eval(scratch).IsTrue()) continue;
+      }
+      const RowKeyRef gkey = gb.EncodeWith(gidx, colv);
+      AggState* st = groups.Slot(gkey, [&] {
+        Row gk;
+        gk.reserve(gidx.size());
+        for (size_t i : gidx) gk.push_back(colv(i));
+        return gk;
+      });
+      if (need_scratch) {
+        AccumulateRow(scratch, spec, st, &vb);
+        continue;
+      }
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        if (aggs[a].func == AggFunc::kCountStar) {
+          ++st[a].count;
+          continue;
+        }
+        const Value& v = colv(static_cast<size_t>(spec.input_col[a]));
+        if (v.is_null()) continue;
+        Accumulate(&st[a], aggs[a].func, v, &vb);
+      }
+    }
+  }
+  return ExecTable(std::move(out_schema),
+                   groups.Finalize(spec, /*global=*/gidx.empty()));
+}
+
+Result<ExecTable> Executor::ExecSetOp(const PlanNode& plan) {
+  SVC_ASSIGN_OR_RETURN(ExecTable left, Exec(*plan.child(0)));
+  SVC_ASSIGN_OR_RETURN(ExecTable right, Exec(*plan.child(1)));
   if (left.schema().NumColumns() != right.schema().NumColumns()) {
     return Status::InvalidArgument("set operation arity mismatch");
   }
   std::vector<size_t> all(left.schema().NumColumns());
   for (size_t i = 0; i < all.size(); ++i) all[i] = i;
 
-  auto encode_all = [&](const Table& t) {
-    std::unordered_set<std::string> keys;
-    keys.reserve(t.NumRows() * 2);
-    for (const auto& r : t.rows()) keys.insert(EncodeRowKey(r, all));
+  KeyBuffer kb;
+  auto encode_all = [&](const ExecTable& t) {
+    KeySet keys;
+    keys.Reserve(t.NumRows());
+    for (const auto& r : t.rows()) {
+      const RowKeyRef key = kb.Encode(r, all);
+      keys.Insert(key.bytes, key.hash);
+    }
     return keys;
   };
 
-  Table out(left.schema());
-  std::unordered_set<std::string> seen;
+  std::vector<Row> out;
+  KeySet seen;
+  // Appends row `i` of `side` (moving when the side's rows are owned) if
+  // its already-encoded `key` is new.
+  auto emit_if_new = [&](ExecTable& side, size_t i, const RowKeyRef& key) {
+    if (!seen.Insert(key.bytes, key.hash)) return;
+    if (side.owned()) {
+      out.push_back(std::move(side.owned_rows()[i]));
+    } else {
+      out.push_back(side.row(i));
+    }
+  };
+
   switch (plan.kind()) {
     case PlanKind::kUnion: {
-      for (const Table* t : {&left, &right}) {
-        for (const auto& r : t->rows()) {
-          if (seen.insert(EncodeRowKey(r, all)).second) {
-            out.AppendUnchecked(r);
-          }
+      seen.Reserve(left.NumRows() + right.NumRows());
+      for (ExecTable* t : {&left, &right}) {
+        for (size_t i = 0; i < t->NumRows(); ++i) {
+          emit_if_new(*t, i, kb.Encode(t->row(i), all));
         }
       }
       break;
     }
     case PlanKind::kIntersect: {
-      const auto rkeys = encode_all(right);
-      for (const auto& r : left.rows()) {
-        std::string k = EncodeRowKey(r, all);
-        if (rkeys.count(k) && seen.insert(std::move(k)).second) {
-          out.AppendUnchecked(r);
-        }
+      const KeySet rkeys = encode_all(right);
+      for (size_t i = 0; i < left.NumRows(); ++i) {
+        const RowKeyRef key = kb.Encode(left.row(i), all);
+        if (rkeys.Contains(key.bytes, key.hash)) emit_if_new(left, i, key);
       }
       break;
     }
     case PlanKind::kDifference: {
-      const auto rkeys = encode_all(right);
-      for (const auto& r : left.rows()) {
-        std::string k = EncodeRowKey(r, all);
-        if (!rkeys.count(k) && seen.insert(std::move(k)).second) {
-          out.AppendUnchecked(r);
-        }
+      const KeySet rkeys = encode_all(right);
+      for (size_t i = 0; i < left.NumRows(); ++i) {
+        const RowKeyRef key = kb.Encode(left.row(i), all);
+        if (!rkeys.Contains(key.bytes, key.hash)) emit_if_new(left, i, key);
       }
       break;
     }
     default:
       return Status::Internal("not a set op");
   }
-  return out;
+  return ExecTable(left.TakeSchema(), std::move(out));
 }
 
-Result<Table> Executor::ExecHashFilter(const PlanNode& plan) {
-  SVC_ASSIGN_OR_RETURN(Table in, Execute(*plan.child(0)));
+Result<ExecTable> Executor::ExecHashFilter(const PlanNode& plan) {
+  SVC_ASSIGN_OR_RETURN(ExecTable in, Exec(*plan.child(0)));
   SVC_ASSIGN_OR_RETURN(std::vector<size_t> idx,
                        in.schema().ResolveAll(plan.hash_columns()));
-  Table out(in.schema());
+  KeyBuffer kb;
+  std::vector<Row> out;
   if (plan.key_set()) {
-    const auto& keys = *plan.key_set();
-    for (const auto& r : in.rows()) {
-      if (keys.count(EncodeRowKey(r, idx))) out.AppendUnchecked(r);
+    const KeySet& keys = *plan.key_set();
+    for (size_t i = 0; i < in.NumRows(); ++i) {
+      const RowKeyRef key = kb.Encode(in.row(i), idx);
+      if (!keys.Contains(key.bytes, key.hash)) continue;
+      if (in.owned()) {
+        out.push_back(std::move(in.owned_rows()[i]));
+      } else {
+        out.push_back(in.row(i));
+      }
     }
-    return out;
+    return ExecTable(in.TakeSchema(), std::move(out));
   }
   const double m = plan.hash_ratio();
-  if (m >= 1.0) return in;
-  for (const auto& r : in.rows()) {
-    const std::string key = EncodeRowKey(r, idx);
-    if (HashInSample(key, m, plan.hash_family())) {
-      out.AppendUnchecked(r);
+  if (m >= 1.0) return in;  // η with m = 1 is the identity; pass through
+  // η membership hashes with the plan's configured family (sample
+  // determinism); only the bytes are needed here, not the table hash.
+  for (size_t i = 0; i < in.NumRows(); ++i) {
+    const std::string_view bytes = kb.EncodeBytes(in.row(i), idx);
+    if (!HashInSample(bytes, m, plan.hash_family())) continue;
+    if (in.owned()) {
+      out.push_back(std::move(in.owned_rows()[i]));
+    } else {
+      out.push_back(in.row(i));
     }
   }
-  return out;
+  return ExecTable(in.TakeSchema(), std::move(out));
 }
 
 }  // namespace svc

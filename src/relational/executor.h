@@ -1,6 +1,9 @@
 #ifndef SVC_RELATIONAL_EXECUTOR_H_
 #define SVC_RELATIONAL_EXECUTOR_H_
 
+#include <utility>
+#include <vector>
+
 #include "common/status.h"
 #include "relational/algebra.h"
 #include "relational/database.h"
@@ -8,11 +11,58 @@
 
 namespace svc {
 
+/// An intermediate operator result: a schema plus rows that are either
+/// owned by this object or borrowed from a base table in the catalog.
+/// Scans borrow (zero-copy); every other operator owns its output. Owned
+/// rows may be moved into the next operator's output instead of copied.
+class ExecTable {
+ public:
+  /// Owned rows.
+  ExecTable(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  /// Borrowed rows (`rows` must outlive this object; in practice the
+  /// database outlives the executor).
+  ExecTable(Schema schema, const std::vector<Row>* rows)
+      : schema_(std::move(schema)), borrowed_(rows) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const {
+    return borrowed_ != nullptr ? *borrowed_ : rows_;
+  }
+  size_t NumRows() const { return rows().size(); }
+  const Row& row(size_t i) const { return rows()[i]; }
+
+  bool owned() const { return borrowed_ == nullptr; }
+  /// Mutable access for row moves. Requires owned().
+  std::vector<Row>& owned_rows() { return rows_; }
+  /// Releases the schema (leaves this object in a moved-from state).
+  Schema TakeSchema() { return std::move(schema_); }
+
+  /// Converts into a materialized Table: moves the rows when owned, copies
+  /// them when borrowed.
+  Table Materialize() && {
+    if (owned()) return Table::FromRows(std::move(schema_), std::move(rows_));
+    return Table::FromRows(std::move(schema_), std::vector<Row>(*borrowed_));
+  }
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+  const std::vector<Row>* borrowed_ = nullptr;
+};
+
 /// Evaluates relational-algebra trees against a Database, materializing the
 /// result as a Table. Equi-joins run as hash joins (build on the right,
 /// probe from the left), aggregation as hash aggregation, and set
 /// operations via encoded-row hash sets. NULL join keys never match (SQL
 /// semantics); outer joins pad the non-matching side with NULLs.
+///
+/// Hot-path design: scans return borrowed views of base tables (no row
+/// copies), row-filtering operators move rows they own, and every hash
+/// probe goes through a reusable KeyBuffer into flat open-addressing
+/// tables (common/flat_map.h) — the steady state allocates only for output
+/// rows, never for keys.
 ///
 /// The executor is deterministic: the same plan over the same data produces
 /// the same multiset of rows, which the deterministic sampling operator η
@@ -26,13 +76,18 @@ class Executor {
   Result<Table> Execute(const PlanNode& plan);
 
  private:
-  Result<Table> ExecScan(const PlanNode& plan);
-  Result<Table> ExecSelect(const PlanNode& plan);
-  Result<Table> ExecProject(const PlanNode& plan);
-  Result<Table> ExecJoin(const PlanNode& plan);
-  Result<Table> ExecAggregate(const PlanNode& plan);
-  Result<Table> ExecSetOp(const PlanNode& plan);
-  Result<Table> ExecHashFilter(const PlanNode& plan);
+  Result<ExecTable> Exec(const PlanNode& plan);
+  Result<ExecTable> ExecScan(const PlanNode& plan);
+  Result<ExecTable> ExecSelect(const PlanNode& plan);
+  Result<ExecTable> ExecProject(const PlanNode& plan);
+  Result<ExecTable> ExecJoin(const PlanNode& plan);
+  Result<ExecTable> ExecAggregate(const PlanNode& plan);
+  /// Fused γ(⋈): probes the join build index and feeds group accumulators
+  /// directly, never materializing the joined rows.
+  Result<ExecTable> ExecAggregateOverJoin(const PlanNode& plan,
+                                          const PlanNode& join);
+  Result<ExecTable> ExecSetOp(const PlanNode& plan);
+  Result<ExecTable> ExecHashFilter(const PlanNode& plan);
 
   const Database* db_;
 };

@@ -120,6 +120,11 @@ class Expr {
   /// Result type; valid after a successful Bind.
   ValueType result_type() const { return result_type_; }
 
+  /// For a bound kColumn: the resolved position in the bound schema. The
+  /// executor uses this to read column values by reference instead of
+  /// paying a virtual Eval and a Value copy per row.
+  size_t bound_column_index() const { return column_index_; }
+
   /// Evaluates against a row of the bound schema. NULL-propagating:
   /// arithmetic or comparison with a NULL operand yields NULL; AND/OR use
   /// SQL three-valued logic.

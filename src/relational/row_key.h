@@ -1,0 +1,83 @@
+#ifndef SVC_RELATIONAL_ROW_KEY_H_
+#define SVC_RELATIONAL_ROW_KEY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "relational/value.h"
+
+namespace svc {
+
+/// A non-owning reference to an encoded row key: the canonical key bytes
+/// (Value::EncodeTo over the key columns) plus their 64-bit hash, computed
+/// once and reused across every table the key probes. The bytes live in the
+/// KeyBuffer that produced the ref and are valid until its next Encode.
+struct RowKeyRef {
+  std::string_view bytes;
+  uint64_t hash = 0;
+};
+
+/// A reusable encoding buffer for row keys. Operators allocate one
+/// KeyBuffer per loop, not one std::string per row: encoding reuses the
+/// same heap block, so steady-state key encoding is allocation-free.
+class KeyBuffer {
+ public:
+  /// Encodes row[indices] and returns the bytes with their hash.
+  RowKeyRef Encode(const Row& row, const std::vector<size_t>& indices) {
+    EncodeBytes(row, indices);
+    return {buf_, KeyHash(buf_)};
+  }
+
+  /// Encodes row[indices] and returns just the bytes (for callers that hash
+  /// with a different family, e.g. η sampling membership).
+  std::string_view EncodeBytes(const Row& row,
+                               const std::vector<size_t>& indices) {
+    buf_.clear();
+    for (size_t i : indices) row[i].EncodeTo(&buf_);
+    return buf_;
+  }
+
+  /// Encodes row[indices] unless one of the key values is NULL (NULL join
+  /// keys never match, so callers skip such rows). Returns false without
+  /// producing a key in that case. Single pass: the NULL check and the
+  /// encode share one read of each value.
+  bool EncodeIfNonNull(const Row& row, const std::vector<size_t>& indices,
+                       RowKeyRef* out) {
+    buf_.clear();
+    for (size_t i : indices) {
+      if (row[i].is_null()) return false;
+      row[i].EncodeTo(&buf_);
+    }
+    *out = {buf_, KeyHash(buf_)};
+    return true;
+  }
+
+  /// Encodes the values `value_at(i)` for each index in `indices`. Lets
+  /// fused operators (e.g. aggregate-over-join) key groups without first
+  /// materializing a combined row.
+  template <typename Fn>
+  RowKeyRef EncodeWith(const std::vector<size_t>& indices, Fn&& value_at) {
+    buf_.clear();
+    for (size_t i : indices) value_at(i).EncodeTo(&buf_);
+    return {buf_, KeyHash(buf_)};
+  }
+
+  /// Encodes a single value (count-distinct tracking).
+  RowKeyRef EncodeValue(const Value& v) {
+    buf_.clear();
+    v.EncodeTo(&buf_);
+    return {buf_, KeyHash(buf_)};
+  }
+
+  /// The bytes of the last encode.
+  std::string_view bytes() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+}  // namespace svc
+
+#endif  // SVC_RELATIONAL_ROW_KEY_H_

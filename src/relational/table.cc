@@ -8,13 +8,15 @@ Status Table::SetPrimaryKey(const std::vector<std::string>& key_columns) {
   SVC_ASSIGN_OR_RETURN(std::vector<size_t> idx,
                        schema_.ResolveAll(key_columns));
   pk_indices_ = std::move(idx);
-  pk_index_.clear();
-  pk_index_.reserve(rows_.size());
+  pk_index_.Clear();
+  pk_index_.Reserve(rows_.size());
+  KeyBuffer kb;
   for (size_t i = 0; i < rows_.size(); ++i) {
-    auto [it, inserted] = pk_index_.emplace(EncodedKey(i), i);
+    const RowKeyRef key = kb.Encode(rows_[i], pk_indices_);
+    auto [slot, inserted] = pk_index_.Emplace(key.bytes, key.hash, i);
     if (!inserted) {
       pk_indices_.clear();
-      pk_index_.clear();
+      pk_index_.Clear();
       return Status::InvalidArgument(
           "primary key violated by existing rows at index " +
           std::to_string(i));
@@ -44,8 +46,10 @@ Status Table::CheckArity(const Row& row) const {
 Status Table::Insert(Row row) {
   SVC_RETURN_IF_ERROR(CheckArity(row));
   if (HasPrimaryKey()) {
-    std::string key = EncodeRowKey(row, pk_indices_);
-    auto [it, inserted] = pk_index_.emplace(std::move(key), rows_.size());
+    KeyBuffer kb;
+    const RowKeyRef key = kb.Encode(row, pk_indices_);
+    auto [slot, inserted] = pk_index_.Emplace(key.bytes, key.hash,
+                                              rows_.size());
     if (!inserted) {
       return Status::AlreadyExists("duplicate primary key");
     }
@@ -59,13 +63,13 @@ Result<bool> Table::Upsert(Row row) {
   if (!HasPrimaryKey()) {
     return Status::InvalidArgument("Upsert requires a primary key");
   }
-  std::string key = EncodeRowKey(row, pk_indices_);
-  auto it = pk_index_.find(key);
-  if (it != pk_index_.end()) {
-    rows_[it->second] = std::move(row);
+  KeyBuffer kb;
+  const RowKeyRef key = kb.Encode(row, pk_indices_);
+  auto [slot, inserted] = pk_index_.Emplace(key.bytes, key.hash, rows_.size());
+  if (!inserted) {
+    rows_[*slot] = std::move(row);
     return true;
   }
-  pk_index_.emplace(std::move(key), rows_.size());
   rows_.push_back(std::move(row));
   return false;
 }
@@ -74,16 +78,18 @@ Result<bool> Table::DeleteByKeyOf(const Row& key_row) {
   if (!HasPrimaryKey()) {
     return Status::InvalidArgument("DeleteByKeyOf requires a primary key");
   }
-  const std::string key = EncodeRowKey(key_row, pk_indices_);
-  auto it = pk_index_.find(key);
-  if (it == pk_index_.end()) return false;
-  const size_t victim = it->second;
+  KeyBuffer kb;
+  const RowKeyRef key = kb.Encode(key_row, pk_indices_);
+  const size_t* found = pk_index_.Find(key.bytes, key.hash);
+  if (found == nullptr) return false;
+  const size_t victim = *found;
   const size_t last = rows_.size() - 1;
-  pk_index_.erase(it);
+  pk_index_.Erase(key.bytes, key.hash);
   if (victim != last) {
     // Swap-remove; re-point the moved row's index entry.
     rows_[victim] = std::move(rows_[last]);
-    pk_index_[EncodedKey(victim)] = victim;
+    const RowKeyRef moved = kb.Encode(rows_[victim], pk_indices_);
+    *pk_index_.Find(moved.bytes, moved.hash) = victim;
   }
   rows_.pop_back();
   return true;
@@ -93,18 +99,23 @@ Result<size_t> Table::FindByKeyOf(const Row& key_row) const {
   if (!HasPrimaryKey()) {
     return Status::InvalidArgument("FindByKeyOf requires a primary key");
   }
-  return FindByEncodedKey(EncodeRowKey(key_row, pk_indices_));
+  KeyBuffer kb;
+  return FindByKeyRef(kb.Encode(key_row, pk_indices_));
 }
 
-Result<size_t> Table::FindByEncodedKey(const std::string& key) const {
-  auto it = pk_index_.find(key);
-  if (it == pk_index_.end()) return Status::NotFound("key not present");
-  return it->second;
+Result<size_t> Table::FindByEncodedKey(std::string_view key) const {
+  return FindByKeyRef({key, KeyHash(key)});
+}
+
+Result<size_t> Table::FindByKeyRef(const RowKeyRef& key) const {
+  const size_t* found = pk_index_.Find(key.bytes, key.hash);
+  if (found == nullptr) return Status::NotFound("key not present");
+  return *found;
 }
 
 void Table::Clear() {
   rows_.clear();
-  pk_index_.clear();
+  pk_index_.Clear();
 }
 
 std::string Table::ToString(size_t max_rows) const {

@@ -2,23 +2,33 @@
 #define SVC_RELATIONAL_TABLE_H_
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/status.h"
+#include "relational/row_key.h"
 #include "relational/schema.h"
 #include "relational/value.h"
 
 namespace svc {
 
 /// An in-memory relation: a schema plus a row store, optionally with a
-/// declared primary key maintained as a hash index. Base relations always
-/// carry a primary key (the paper assumes one and adds a sequence column
-/// otherwise); intermediate results produced by the executor may not.
+/// declared primary key maintained as a flat open-addressing hash index
+/// (common/flat_map.h). Base relations always carry a primary key (the
+/// paper assumes one and adds a sequence column otherwise); intermediate
+/// results produced by the executor may not.
 class Table {
  public:
   Table() = default;
   explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  /// Bulk constructor used by the executor: adopts a row vector without
+  /// per-row checks (copy at the call site to materialize borrowed rows).
+  static Table FromRows(Schema schema, std::vector<Row> rows) {
+    Table t(std::move(schema));
+    t.rows_ = std::move(rows);
+    return t;
+  }
 
   /// The relation's schema.
   const Schema& schema() const { return schema_; }
@@ -64,7 +74,10 @@ class Table {
   Result<size_t> FindByKeyOf(const Row& key_row) const;
 
   /// Looks up by pre-encoded key bytes.
-  Result<size_t> FindByEncodedKey(const std::string& key) const;
+  Result<size_t> FindByEncodedKey(std::string_view key) const;
+
+  /// Looks up by an encoded key with its hash already computed.
+  Result<size_t> FindByKeyRef(const RowKeyRef& key) const;
 
   /// Encoded primary key of row `i`. Requires a primary key.
   std::string EncodedKey(size_t i) const {
@@ -83,7 +96,7 @@ class Table {
   Schema schema_;
   std::vector<Row> rows_;
   std::vector<size_t> pk_indices_;
-  std::unordered_map<std::string, size_t> pk_index_;  // encoded key -> row
+  FlatKeyMap<size_t> pk_index_;  // encoded key -> row position
 };
 
 }  // namespace svc

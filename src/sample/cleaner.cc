@@ -115,10 +115,10 @@ Result<PlanPtr> BuildCleaningPlan(const MaterializedView& view,
   return BuildFilteredCleaningPlan(view, deltas, db, factory, report);
 }
 
-Result<Table> CleanViewByKeys(
-    const MaterializedView& view, const DeltaSet& deltas, const Database& db,
-    std::shared_ptr<const std::unordered_set<std::string>> keys,
-    PushdownReport* report) {
+Result<Table> CleanViewByKeys(const MaterializedView& view,
+                              const DeltaSet& deltas, const Database& db,
+                              std::shared_ptr<const KeySet> keys,
+                              PushdownReport* report) {
   FilterFactory factory = [&keys](PlanPtr child,
                                   const std::vector<std::string>& attrs) {
     return PlanNode::KeySetFilter(std::move(child), attrs, keys);
@@ -130,9 +130,9 @@ Result<Table> CleanViewByKeys(
   return fresh;
 }
 
-Result<Table> StaleViewRowsByKeys(
-    const MaterializedView& view, const Database& db,
-    std::shared_ptr<const std::unordered_set<std::string>> keys) {
+Result<Table> StaleViewRowsByKeys(const MaterializedView& view,
+                                  const Database& db,
+                                  std::shared_ptr<const KeySet> keys) {
   PlanPtr plan = PlanNode::KeySetFilter(PlanNode::Scan(view.name()),
                                         view.sampling_key(), std::move(keys));
   SVC_ASSIGN_OR_RETURN(Table out, ExecutePlan(*plan, db));

@@ -70,15 +70,15 @@ Result<PlanPtr> BuildCleaningPlan(const MaterializedView& view,
 /// up-to-date view rows whose sampling-key value is in `keys` (encoded with
 /// EncodeRowKey over the sampling-key columns). The same push-down
 /// machinery applies, so only the affected keys' rows are computed.
-Result<Table> CleanViewByKeys(
-    const MaterializedView& view, const DeltaSet& deltas, const Database& db,
-    std::shared_ptr<const std::unordered_set<std::string>> keys,
-    PushdownReport* report = nullptr);
+Result<Table> CleanViewByKeys(const MaterializedView& view,
+                              const DeltaSet& deltas, const Database& db,
+                              std::shared_ptr<const KeySet> keys,
+                              PushdownReport* report = nullptr);
 
 /// The stale view rows whose sampling-key value is in `keys`.
-Result<Table> StaleViewRowsByKeys(
-    const MaterializedView& view, const Database& db,
-    std::shared_ptr<const std::unordered_set<std::string>> keys);
+Result<Table> StaleViewRowsByKeys(const MaterializedView& view,
+                                  const Database& db,
+                                  std::shared_ptr<const KeySet> keys);
 
 }  // namespace svc
 

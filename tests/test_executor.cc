@@ -268,6 +268,77 @@ TEST_F(ExecutorTest, HashFilterRatioOneKeepsAll) {
   EXPECT_EQ(t.NumRows(), 10u);
 }
 
+// The fused γ(⋈) path must be indistinguishable from materializing the
+// join first. An always-true Select between the aggregate and the join
+// blocks fusion while leaving schema and rows identical.
+TEST_F(ExecutorTest, FusedJoinAggregateMatchesMaterialized) {
+  PlanPtr join = PlanNode::Join(PlanNode::Scan("Log", "l"),
+                                PlanNode::Scan("Video", "v"), JoinType::kInner,
+                                {{"l.videoId", "v.videoId"}});
+
+  const std::vector<AggItem> agg_template = {
+      {AggFunc::kCountStar, nullptr, "n"},
+      {AggFunc::kSum, Expr::Col("v.duration"), "s"},
+      {AggFunc::kAvg, Expr::Col("v.duration"), "a"},
+      {AggFunc::kMin, Expr::Col("l.sessionId"), "lo"},
+      {AggFunc::kMax, Expr::Col("l.sessionId"), "hi"},
+      {AggFunc::kMedian, Expr::Col("v.duration"), "med"},
+      {AggFunc::kCountDistinct, Expr::Col("v.ownerId"), "owners"},
+      // A non-column input forces the fused path's scratch-row fallback.
+      {AggFunc::kSum, Expr::Mul(Expr::Col("v.duration"), Expr::LitInt(2)),
+       "s2"}};
+  auto aggs = [&] {
+    std::vector<AggItem> out;
+    for (const auto& a : agg_template) {
+      out.push_back({a.func, a.input ? a.input->Clone() : nullptr, a.alias});
+    }
+    return out;
+  };
+
+  Table fused = Run(PlanNode::Aggregate(join->Clone(), {"l.videoId"}, aggs()));
+  Table unfused = Run(PlanNode::Aggregate(
+      PlanNode::Select(join->Clone(), Expr::LitInt(1)), {"l.videoId"},
+      aggs()));
+  EXPECT_EQ(EncodedRows(fused), EncodedRows(unfused));
+}
+
+TEST_F(ExecutorTest, FusedJoinAggregateAppliesResidual) {
+  PlanPtr join = PlanNode::Join(
+      PlanNode::Scan("Log", "l"), PlanNode::Scan("Video", "v"),
+      JoinType::kInner, {{"l.videoId", "v.videoId"}},
+      Expr::Gt(Expr::Col("v.duration"), Expr::LitDouble(0.9)));
+  Table t = Run(PlanNode::Aggregate(std::move(join), {},
+                                    {{AggFunc::kCountStar, nullptr, "n"}}));
+  ASSERT_EQ(t.NumRows(), 1u);
+  EXPECT_EQ(t.row(0)[0].AsInt(), 7);  // same as JoinResidualPredicate
+}
+
+TEST_F(ExecutorTest, FusedGlobalAggregateOverEmptyJoinYieldsOneRow) {
+  Table empty(Schema({{"", "k", ValueType::kInt}}));
+  db_.PutTable("E", std::move(empty));
+  Table t = Run(PlanNode::Aggregate(
+      PlanNode::Join(PlanNode::Scan("E", "a"), PlanNode::Scan("Log", "l"),
+                     JoinType::kInner, {{"a.k", "l.videoId"}}),
+      {}, {{AggFunc::kCountStar, nullptr, "n"},
+           {AggFunc::kSum, Expr::Col("l.sessionId"), "s"}}));
+  ASSERT_EQ(t.NumRows(), 1u);
+  EXPECT_EQ(t.row(0)[0].AsInt(), 0);
+  EXPECT_TRUE(t.row(0)[1].is_null());
+}
+
+TEST_F(ExecutorTest, AggregateOverOuterJoinStaysUnfused) {
+  // Outer joins fall back to materialize-then-aggregate; NULL-padded left
+  // rows must reach the aggregate.
+  Table t = Run(PlanNode::Aggregate(
+      PlanNode::Join(PlanNode::Scan("Video", "v"), PlanNode::Scan("Log", "l"),
+                     JoinType::kLeft, {{"v.videoId", "l.videoId"}}),
+      {}, {{AggFunc::kCountStar, nullptr, "n"},
+           {AggFunc::kCount, Expr::Col("l.sessionId"), "matched"}}));
+  ASSERT_EQ(t.NumRows(), 1u);
+  EXPECT_EQ(t.row(0)[0].AsInt(), 12);  // 10 matches + 2 padded
+  EXPECT_EQ(t.row(0)[1].AsInt(), 10);
+}
+
 TEST_F(ExecutorTest, ComposedPipeline) {
   // visitCount view from the paper: join + group-by count.
   PlanPtr join = PlanNode::Join(PlanNode::Scan("Log", "l"),

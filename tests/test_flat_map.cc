@@ -1,0 +1,286 @@
+// Tests for the flat open-addressing key map (common/flat_map.h) and the
+// RowKeyRef/KeyBuffer encoding layer (relational/row_key.h): key-encoding
+// equality semantics (int/double coercion, NULL grouping, prefix-freeness)
+// and the hash-collision/backward-shift behavior of the map itself.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "relational/executor.h"
+#include "relational/row_key.h"
+#include "tests/test_util.h"
+
+namespace svc {
+namespace {
+
+std::string Enc(const Value& v) {
+  std::string s;
+  v.EncodeTo(&s);
+  return s;
+}
+
+// ---- Key-encoding equality semantics ----------------------------------------
+
+TEST(RowKeyEncodingTest, IntDoubleCoercionProducesEqualKeys) {
+  // 1 == 1.0 must group/join together, so their encodings must be equal.
+  EXPECT_EQ(Enc(Value::Int(1)), Enc(Value::Double(1.0)));
+  EXPECT_EQ(Enc(Value::Int(-3)), Enc(Value::Double(-3.0)));
+  EXPECT_EQ(Enc(Value::Int(0)), Enc(Value::Double(0.0)));
+  // Fractional doubles stay distinct from every int.
+  EXPECT_NE(Enc(Value::Double(1.5)), Enc(Value::Int(1)));
+  EXPECT_NE(Enc(Value::Double(1.5)), Enc(Value::Int(2)));
+}
+
+TEST(RowKeyEncodingTest, KeyBufferMatchesEncodeRowKey) {
+  const Row row = {Value::Int(7), Value::String("abc"), Value::Double(2.5),
+                   Value::Null()};
+  const std::vector<size_t> idx = {0, 1, 2, 3};
+  KeyBuffer kb;
+  const RowKeyRef ref = kb.Encode(row, idx);
+  EXPECT_EQ(std::string(ref.bytes), EncodeRowKey(row, idx));
+  EXPECT_EQ(ref.hash, KeyHash(ref.bytes));
+}
+
+TEST(RowKeyEncodingTest, BufferReuseKeepsKeysIndependent) {
+  KeyBuffer kb;
+  const Row a = {Value::Int(1)};
+  const Row b = {Value::Int(2)};
+  const std::vector<size_t> idx = {0};
+  const std::string first(kb.Encode(a, idx).bytes);
+  const std::string second(kb.Encode(b, idx).bytes);
+  EXPECT_NE(first, second);
+  // Re-encoding `a` reproduces the first bytes exactly.
+  EXPECT_EQ(std::string(kb.Encode(a, idx).bytes), first);
+}
+
+TEST(RowKeyEncodingTest, NullEncodesDistinctFromZeroAndEmpty) {
+  EXPECT_NE(Enc(Value::Null()), Enc(Value::Int(0)));
+  EXPECT_NE(Enc(Value::Null()), Enc(Value::String("")));
+  EXPECT_EQ(Enc(Value::Null()), Enc(Value::Null()));
+}
+
+TEST(RowKeyEncodingTest, PrefixFreeness) {
+  // No encoded value may be a prefix of another value's encoding with a
+  // different decomposition: (“ab”, “c”) must differ from (“a”, “bc”), and
+  // ("x") from ("x", NULL).
+  const Row r1 = {Value::String("ab"), Value::String("c")};
+  const Row r2 = {Value::String("a"), Value::String("bc")};
+  EXPECT_NE(EncodeRowKey(r1, {0, 1}), EncodeRowKey(r2, {0, 1}));
+
+  const Row r3 = {Value::String("x"), Value::Null()};
+  EXPECT_NE(EncodeRowKey(r3, {0}), EncodeRowKey(r3, {0, 1}));
+
+  // A string whose bytes mimic an int encoding must not collide with it.
+  std::string intlike = Enc(Value::Int(42));
+  EXPECT_NE(Enc(Value::String(intlike)), intlike);
+}
+
+TEST(RowKeyEncodingTest, EncodeIfNonNullSkipsNullKeys) {
+  KeyBuffer kb;
+  RowKeyRef ref;
+  const Row with_null = {Value::Int(1), Value::Null()};
+  EXPECT_FALSE(kb.EncodeIfNonNull(with_null, {0, 1}, &ref));
+  EXPECT_TRUE(kb.EncodeIfNonNull(with_null, {0}, &ref));
+  EXPECT_EQ(std::string(ref.bytes), Enc(Value::Int(1)));
+}
+
+// ---- FlatKeyMap --------------------------------------------------------------
+
+TEST(FlatKeyMapTest, InsertFindGrowth) {
+  FlatKeyMap<size_t> map;
+  const size_t n = 10000;  // forces many rehashes from the 16-slot start
+  for (size_t i = 0; i < n; ++i) {
+    auto [v, inserted] = map.Emplace("key" + std::to_string(i), i);
+    ASSERT_TRUE(inserted);
+    ASSERT_EQ(*v, i);
+  }
+  EXPECT_EQ(map.size(), n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t* v = map.Find("key" + std::to_string(i));
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(map.Find("missing"), nullptr);
+}
+
+TEST(FlatKeyMapTest, EmplaceExistingReturnsOldValue) {
+  FlatKeyMap<int> map;
+  EXPECT_TRUE(map.Emplace("k", 1).second);
+  auto [v, inserted] = map.Emplace("k", 2);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(*v, 1);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatKeyMapTest, HashCollisionFallsBackToFullKeyCompare) {
+  // Emplace takes the caller's hash, so we can force two different keys
+  // onto the same 64-bit hash: the map must keep both and tell them apart
+  // by comparing the full key bytes.
+  FlatKeyMap<int> map;
+  const uint64_t h = 0xdeadbeefcafef00dULL;
+  EXPECT_TRUE(map.Emplace("first", h, 1).second);
+  EXPECT_TRUE(map.Emplace("second", h, 2).second);
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.Find("first", h), nullptr);
+  ASSERT_NE(map.Find("second", h), nullptr);
+  EXPECT_EQ(*map.Find("first", h), 1);
+  EXPECT_EQ(*map.Find("second", h), 2);
+  EXPECT_EQ(map.Find("third", h), nullptr);
+}
+
+TEST(FlatKeyMapTest, CollidingKeysSurviveRehash) {
+  FlatKeyMap<int> map;
+  const uint64_t h = 42;  // everyone collides
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(map.Emplace("k" + std::to_string(i), h, i).second);
+  }
+  for (int i = 0; i < 100; ++i) {
+    const int* v = map.Find("k" + std::to_string(i), h);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(FlatKeyMapTest, EraseWithBackwardShiftKeepsProbeChainsIntact) {
+  // All keys share one hash, forming a single probe cluster; erasing from
+  // the middle must backward-shift so later keys remain findable.
+  FlatKeyMap<int> map;
+  const uint64_t h = 7;
+  for (int i = 0; i < 20; ++i) {
+    map.Emplace("c" + std::to_string(i), h, i);
+  }
+  for (int i = 0; i < 20; i += 2) {
+    EXPECT_TRUE(map.Erase("c" + std::to_string(i), h));
+  }
+  EXPECT_EQ(map.size(), 10u);
+  for (int i = 0; i < 20; ++i) {
+    const int* v = map.Find("c" + std::to_string(i), h);
+    if (i % 2 == 0) {
+      EXPECT_EQ(v, nullptr) << i;
+    } else {
+      ASSERT_NE(v, nullptr) << i;
+      EXPECT_EQ(*v, i);
+    }
+  }
+  EXPECT_FALSE(map.Erase("c0", h));  // already gone
+}
+
+TEST(FlatKeyMapTest, LongKeysUseArenaAndCompactAfterErase) {
+  FlatKeyMap<int> map;
+  // Keys longer than the 12-byte inline budget exercise the arena path.
+  auto key = [](int i) {
+    return "long-key-well-beyond-inline-" + std::to_string(i);
+  };
+  for (int i = 0; i < 500; ++i) ASSERT_TRUE(map.Emplace(key(i), i).second);
+  for (int i = 0; i < 400; ++i) EXPECT_TRUE(map.Erase(key(i)));
+  // Trigger the dead-byte compaction path with further churn.
+  for (int i = 500; i < 900; ++i) ASSERT_TRUE(map.Emplace(key(i), i).second);
+  EXPECT_EQ(map.size(), 500u);
+  for (int i = 400; i < 900; ++i) {
+    const int* v = map.Find(key(i));
+    ASSERT_NE(v, nullptr) << i;
+    EXPECT_EQ(*v, i);
+  }
+  for (int i = 0; i < 400; ++i) EXPECT_EQ(map.Find(key(i)), nullptr);
+}
+
+TEST(FlatKeyMapTest, EmptyKeyIsAValidKey) {
+  // A global aggregate groups every row under the empty key.
+  FlatKeyMap<int> map;
+  EXPECT_TRUE(map.Emplace("", 9).second);
+  ASSERT_NE(map.Find(""), nullptr);
+  EXPECT_EQ(*map.Find(""), 9);
+  EXPECT_FALSE(map.Emplace("", 10).second);
+}
+
+TEST(FlatKeyMapTest, ForEachVisitsEveryLiveEntry) {
+  FlatKeyMap<int> map;
+  for (int i = 0; i < 50; ++i) map.Emplace("k" + std::to_string(i), i);
+  for (int i = 0; i < 25; ++i) map.Erase("k" + std::to_string(i));
+  int count = 0, sum = 0;
+  map.ForEach([&](std::string_view key, const int& v) {
+    ++count;
+    sum += v;
+    EXPECT_EQ(key, "k" + std::to_string(v));
+  });
+  EXPECT_EQ(count, 25);
+  EXPECT_EQ(sum, 25 * (25 + 49) / 2);
+}
+
+TEST(KeySetTest, InsertContains) {
+  KeySet set;
+  EXPECT_TRUE(set.Insert("a"));
+  EXPECT_FALSE(set.Insert("a"));
+  EXPECT_TRUE(set.Insert("b"));
+  EXPECT_TRUE(set.Contains("a"));
+  EXPECT_TRUE(set.Contains("b"));
+  EXPECT_FALSE(set.Contains("c"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+// ---- Executor semantics riding on the new key machinery ---------------------
+
+TEST(ExecutorKeySemanticsTest, GroupByCoercesIntAndDoubleKeys) {
+  Database db;
+  Table t(Schema({{"", "g", ValueType::kDouble}, {"", "x", ValueType::kInt}}));
+  t.AppendUnchecked({Value::Int(1), Value::Int(10)});
+  t.AppendUnchecked({Value::Double(1.0), Value::Int(20)});
+  t.AppendUnchecked({Value::Double(1.5), Value::Int(30)});
+  db.PutTable("T", std::move(t));
+  auto r = ExecutePlan(*PlanNode::Aggregate(
+                           PlanNode::Scan("T"), {"g"},
+                           {{AggFunc::kSum, Expr::Col("x"), "s"}}),
+                       db);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->NumRows(), 2u);  // 1 and 1.0 share a group
+  int64_t sum_group1 = 0;
+  for (const auto& row : r->rows()) {
+    if (row[0] == Value::Int(1)) sum_group1 = row[1].AsInt();
+  }
+  EXPECT_EQ(sum_group1, 30);
+}
+
+TEST(ExecutorKeySemanticsTest, NullsFormTheirOwnGroup) {
+  Database db;
+  Table t(Schema({{"", "g", ValueType::kInt}, {"", "x", ValueType::kInt}}));
+  t.AppendUnchecked({Value::Null(), Value::Int(1)});
+  t.AppendUnchecked({Value::Null(), Value::Int(2)});
+  t.AppendUnchecked({Value::Int(0), Value::Int(4)});
+  db.PutTable("T", std::move(t));
+  auto r = ExecutePlan(*PlanNode::Aggregate(
+                           PlanNode::Scan("T"), {"g"},
+                           {{AggFunc::kSum, Expr::Col("x"), "s"}}),
+                       db);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->NumRows(), 2u);  // NULL group and 0 group are distinct
+  for (const auto& row : r->rows()) {
+    if (row[0].is_null()) {
+      EXPECT_EQ(row[1].AsInt(), 3);
+    } else {
+      EXPECT_EQ(row[1].AsInt(), 4);
+    }
+  }
+}
+
+TEST(ExecutorKeySemanticsTest, JoinCoercesIntAndDoubleKeys) {
+  Database db;
+  Table a(Schema({{"", "k", ValueType::kInt}}));
+  a.AppendUnchecked({Value::Int(2)});
+  Table b(Schema({{"", "k", ValueType::kDouble}}));
+  b.AppendUnchecked({Value::Double(2.0)});
+  b.AppendUnchecked({Value::Double(2.5)});
+  db.PutTable("A", std::move(a));
+  db.PutTable("B", std::move(b));
+  auto r = ExecutePlan(*PlanNode::Join(PlanNode::Scan("A", "a"),
+                                       PlanNode::Scan("B", "b"),
+                                       JoinType::kInner, {{"a.k", "b.k"}}),
+                       db);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->NumRows(), 1u);  // 2 matches 2.0, not 2.5
+}
+
+}  // namespace
+}  // namespace svc
