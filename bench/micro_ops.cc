@@ -8,7 +8,15 @@
 // BENCH_executor.json and, with --min-speedup, acts as a regression gate
 // on the join+aggregate pipeline (scripts/check.sh runs it at 3.0x).
 //
+// A second section measures parallel scaling: the current executor at
+// threads=1 vs threads=N (--threads, default 8) on the same plans, with a
+// row-count cross-check (the parallel executor is bit-deterministic).
+// --min-parallel-speedup gates the join+aggregate parallel speedup; it
+// defaults to off because the attainable ratio is bounded by the physical
+// core count of the machine (a 1-core container can only show 1.0x).
+//
 // Usage: micro_ops [--rows N] [--reps N] [--out FILE] [--min-speedup X]
+//                  [--threads N] [--min-parallel-speedup X]
 
 #include <algorithm>
 #include <cstdio>
@@ -244,8 +252,9 @@ double TimeMs(int reps, const std::function<size_t()>& fn, size_t* out_rows) {
   return best;
 }
 
-size_t RunPlan(const PlanNode& plan, const Database& db) {
-  auto r = ExecutePlan(plan, db);
+size_t RunPlan(const PlanNode& plan, const Database& db,
+               ExecOptions opts = {}) {
+  auto r = ExecutePlan(plan, db, opts);
   if (!r.ok()) {
     std::fprintf(stderr, "[micro_ops] plan failed: %s\n",
                  r.status().ToString().c_str());
@@ -261,7 +270,9 @@ int main(int argc, char** argv) {
   using namespace svc;
   int64_t rows = 100000;
   int reps = 7;
-  double min_speedup = 0.0;  // 0 = report only
+  double min_speedup = 0.0;           // 0 = report only
+  double min_parallel_speedup = 0.0;  // 0 = report only
+  int threads = 8;
   std::string out_path = "BENCH_executor.json";
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -279,10 +290,23 @@ int main(int argc, char** argv) {
       out_path = next("--out");
     } else if (std::strcmp(argv[i], "--min-speedup") == 0) {
       min_speedup = std::atof(next("--min-speedup"));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = std::atoi(next("--threads"));
+    } else if (std::strcmp(argv[i], "--min-parallel-speedup") == 0) {
+      min_parallel_speedup = std::atof(next("--min-parallel-speedup"));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
     }
+  }
+  // atoll/atoi return 0 on garbage; zero rows/reps/threads would time
+  // nothing and report nonsense (1e300 ms, NaN speedups) as a gate verdict.
+  if (rows < 1 || reps < 1 || threads < 1) {
+    std::fprintf(stderr,
+                 "invalid --rows/--reps/--threads (must be >= 1; got "
+                 "%lld/%d/%d)\n",
+                 static_cast<long long>(rows), reps, threads);
+    return 2;
   }
 
   Database db = MakeDb(rows);
@@ -390,10 +414,71 @@ int main(int argc, char** argv) {
         [&] { return RunPlan(*plan, db); });
   }
 
+  // ---- Parallel scaling: current executor, threads=1 vs threads=N ----------
+  struct ParResult {
+    std::string name;
+    double t1_ms = 0;
+    double tn_ms = 0;
+    size_t out_rows = 0;
+    double speedup() const { return t1_ms / tn_ms; }
+  };
+  std::vector<ParResult> par_results;
+  auto bench_par = [&](const std::string& name, const PlanNode& plan) {
+    ParResult r;
+    r.name = name;
+    size_t rows_seq = 0, rows_par = 0;
+    r.t1_ms = TimeMs(
+        reps, [&] { return RunPlan(plan, db, ExecOptions{1}); }, &rows_seq);
+    r.tn_ms = TimeMs(
+        reps, [&] { return RunPlan(plan, db, ExecOptions{threads}); },
+        &rows_par);
+    if (rows_seq != rows_par) {
+      std::fprintf(stderr,
+                   "[micro_ops] %s: threads=1 produced %zu rows, threads=%d "
+                   "produced %zu\n",
+                   name.c_str(), rows_seq, threads, rows_par);
+      std::exit(2);
+    }
+    r.out_rows = rows_par;
+    par_results.push_back(r);
+    std::printf("%-16s threads=1 %8.2f ms   threads=%-2d %8.2f ms   "
+                "speedup %5.2fx   (%zu rows)\n",
+                name.c_str(), r.t1_ms, threads, r.tn_ms, r.speedup(),
+                r.out_rows);
+  };
+  std::printf("-- parallel scaling (threads=%d) --\n", threads);
+  {
+    PlanPtr join = PlanNode::Join(PlanNode::Scan("fact", "f"),
+                                  PlanNode::Scan("dim", "d"), JoinType::kInner,
+                                  {{"f.key", "d.key"}}, nullptr, true);
+    bench_par("hash_join", *join);
+  }
+  {
+    PlanPtr plan = PlanNode::Aggregate(
+        PlanNode::Scan("fact"), {"key"},
+        {{AggFunc::kSum, Expr::Col("val"), "s"},
+         {AggFunc::kCountStar, nullptr, "c"}});
+    bench_par("hash_aggregate", *plan);
+  }
+  {
+    PlanPtr join = PlanNode::Join(PlanNode::Scan("fact", "f"),
+                                  PlanNode::Scan("dim", "d"), JoinType::kInner,
+                                  {{"f.key", "d.key"}}, nullptr, true);
+    PlanPtr plan = PlanNode::Aggregate(
+        std::move(join), {"f.key"},
+        {{AggFunc::kSum, Expr::Col("f.val"), "s"},
+         {AggFunc::kCountStar, nullptr, "c"}});
+    bench_par("join_aggregate", *plan);
+  }
+
   // JSON report.
   const BenchResult* gate = nullptr;
   for (const auto& r : results) {
     if (r.name == "join_aggregate") gate = &r;
+  }
+  const ParResult* par_gate = nullptr;
+  for (const auto& r : par_results) {
+    if (r.name == "join_aggregate") par_gate = &r;
   }
   FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -415,6 +500,27 @@ int main(int argc, char** argv) {
                  r.out_rows, i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"parallel\": {\n    \"threads\": %d,\n", threads);
+  std::fprintf(f, "    \"benchmarks\": [\n");
+  for (size_t i = 0; i < par_results.size(); ++i) {
+    const auto& r = par_results[i];
+    std::fprintf(f,
+                 "      {\"name\": \"%s\", \"threads1_ms\": %.3f, "
+                 "\"threadsN_ms\": %.3f, \"speedup\": %.2f, "
+                 "\"out_rows\": %zu}%s\n",
+                 r.name.c_str(), r.t1_ms, r.tn_ms, r.speedup(), r.out_rows,
+                 i + 1 < par_results.size() ? "," : "");
+  }
+  std::fprintf(f, "    ],\n");
+  std::fprintf(f,
+               "    \"gate\": {\"name\": \"join_aggregate\", "
+               "\"min_speedup\": %.2f, \"speedup\": %.2f, \"pass\": %s}\n"
+               "  },\n",
+               min_parallel_speedup, par_gate ? par_gate->speedup() : 0.0,
+               (par_gate && (min_parallel_speedup <= 0.0 ||
+                             par_gate->speedup() >= min_parallel_speedup))
+                   ? "true"
+                   : "false");
   std::fprintf(f,
                "  \"gate\": {\"name\": \"join_aggregate\", \"min_speedup\": "
                "%.2f, \"speedup\": %.2f, \"pass\": %s}\n}\n",
@@ -425,12 +531,22 @@ int main(int argc, char** argv) {
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
 
+  bool fail = false;
   if (min_speedup > 0.0 && (!gate || gate->speedup() < min_speedup)) {
     std::fprintf(stderr,
                  "[micro_ops] REGRESSION: join_aggregate speedup %.2fx is "
                  "below the %.2fx floor\n",
                  gate ? gate->speedup() : 0.0, min_speedup);
-    return 1;
+    fail = true;
   }
-  return 0;
+  if (min_parallel_speedup > 0.0 &&
+      (!par_gate || par_gate->speedup() < min_parallel_speedup)) {
+    std::fprintf(stderr,
+                 "[micro_ops] REGRESSION: join_aggregate parallel speedup "
+                 "%.2fx at %d threads is below the %.2fx floor\n",
+                 par_gate ? par_gate->speedup() : 0.0, threads,
+                 min_parallel_speedup);
+    fail = true;
+  }
+  return fail ? 1 : 0;
 }

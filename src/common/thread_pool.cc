@@ -1,0 +1,141 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace svc {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared state of one RunAll/ParallelFor batch. Helpers submitted to the
+/// pool hold it via shared_ptr, so a helper that wakes up after the batch
+/// owner returned still finds valid (exhausted) state.
+struct Batch {
+  std::function<void(size_t)> body;
+  size_t total = 0;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;
+};
+
+/// Claims and runs tasks until the batch is exhausted, recording the first
+/// exception and counting completions.
+void Drain(const std::shared_ptr<Batch>& b) {
+  while (true) {
+    const size_t i = b->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= b->total) return;
+    try {
+      b->body(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(b->mu);
+      if (!b->error) b->error = std::current_exception();
+    }
+    if (b->done.fetch_add(1, std::memory_order_acq_rel) + 1 == b->total) {
+      std::lock_guard<std::mutex> lock(b->mu);  // pairs with the waiter
+      b->cv.notify_all();
+    }
+  }
+}
+
+/// Runs `total` invocations of `body` with up to `width` concurrent
+/// participants (the caller included) and rethrows the first exception.
+void RunBatch(ThreadPool* pool, int width, size_t total,
+              std::function<void(size_t)> body) {
+  if (total == 0) return;
+  if (width <= 1 || total == 1 || pool == nullptr || pool->size() == 0) {
+    for (size_t i = 0; i < total; ++i) body(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->body = std::move(body);
+  batch->total = total;
+  const size_t helpers =
+      std::min<size_t>(static_cast<size_t>(width) - 1, total - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    pool->Submit([batch] { Drain(batch); });
+  }
+  Drain(batch);
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->cv.wait(lock, [&] {
+    return batch->done.load(std::memory_order_acquire) == batch->total;
+  });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace
+
+void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
+  auto owned = std::make_shared<std::vector<std::function<void()>>>(
+      std::move(tasks));
+  RunBatch(this, size() + 1, owned->size(),
+           [owned](size_t i) { (*owned)[i](); });
+}
+
+ThreadPool* ThreadPool::Shared() {
+  static ThreadPool pool(ResolveThreads(0));
+  return &pool;
+}
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : static_cast<int>(hw);
+}
+
+void ParallelFor(int num_threads, size_t num_chunks,
+                 const std::function<void(size_t)>& body) {
+  RunBatch(ThreadPool::Shared(), ResolveThreads(num_threads), num_chunks,
+           body);
+}
+
+size_t DeterministicChunks(size_t n, size_t min_per_chunk,
+                           size_t max_chunks) {
+  if (n == 0 || min_per_chunk == 0 || max_chunks == 0) return 1;
+  const size_t by_grain = n / min_per_chunk;
+  return std::max<size_t>(1, std::min(by_grain, max_chunks));
+}
+
+}  // namespace svc

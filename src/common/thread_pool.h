@@ -1,0 +1,93 @@
+#ifndef SVC_COMMON_THREAD_POOL_H_
+#define SVC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace svc {
+
+/// A fixed-size pool of worker threads draining one task queue. No work
+/// stealing, no priorities: the executor's data-parallel operators only need
+/// "run these chunk bodies somewhere, soon". One process-wide pool (Shared())
+/// is reused by every query so steady-state parallel execution never spawns
+/// threads.
+///
+/// Thread-safety: Submit/RunAll may be called from any thread, including
+/// from inside a pool task (RunAll has the calling thread participate, so
+/// nested batches cannot deadlock on a saturated pool).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one fire-and-forget task. The task must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Runs every task in `tasks` — the calling thread participates, so the
+  /// batch finishes even when all workers are busy — and blocks until the
+  /// last one completes. The first exception thrown by any task is
+  /// rethrown here (remaining tasks still run).
+  void RunAll(std::vector<std::function<void()>> tasks);
+
+  /// The process-wide pool, created on first use and sized to the
+  /// hardware's thread count. Callers limit *their own* parallelism (see
+  /// ParallelFor's num_threads), not the pool's size.
+  static ThreadPool* Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+/// Resolves a requested thread count: values <= 0 mean "all hardware
+/// threads"; otherwise the request is returned unchanged (it may exceed the
+/// core count — the pool just multiplexes).
+int ResolveThreads(int requested);
+
+/// Runs body(chunk) for every chunk in [0, num_chunks) with at most
+/// `num_threads` of them in flight at once (the calling thread is one of
+/// them). Chunks are claimed dynamically, so callers that need
+/// reproducibility must make each chunk's work independent and merge
+/// results by chunk index — never by completion order. `body` exceptions
+/// are rethrown on the calling thread after the loop drains.
+void ParallelFor(int num_threads, size_t num_chunks,
+                 const std::function<void(size_t)>& body);
+
+/// The number of chunks a data-parallel loop over `n` items decomposes
+/// into. Depends ONLY on n — never on the thread count — so per-chunk
+/// partial results (and anything sensitive to floating-point reduction
+/// order) merge identically whether the chunks run on 1 thread or 64.
+size_t DeterministicChunks(size_t n, size_t min_per_chunk,
+                           size_t max_chunks = 64);
+
+/// Half-open bounds [begin, end) of chunk `c` of `chunks` over `n` items:
+/// sizes differ by at most one, earlier chunks take the remainder.
+inline std::pair<size_t, size_t> ChunkBounds(size_t n, size_t chunks,
+                                             size_t c) {
+  const size_t base = n / chunks;
+  const size_t rem = n % chunks;
+  const size_t begin = c * base + (c < rem ? c : rem);
+  return {begin, begin + base + (c < rem ? 1 : 0)};
+}
+
+}  // namespace svc
+
+#endif  // SVC_COMMON_THREAD_POOL_H_

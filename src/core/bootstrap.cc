@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace svc {
 
 std::vector<size_t> ResampleIndices(size_t n, Rng* rng) {
@@ -43,13 +45,27 @@ double PercentileInPlace(std::vector<double>* values, double p) {
 
 std::pair<double, double> BootstrapPercentileInterval(
     const std::function<double(Rng*)>& resample_stat, int iterations,
-    uint64_t seed, double confidence) {
-  Rng rng(seed);
-  std::vector<double> stats;
-  stats.reserve(iterations);
-  for (int i = 0; i < iterations; ++i) {
-    stats.push_back(resample_stat(&rng));
-  }
+    uint64_t seed, double confidence, int num_threads) {
+  if (iterations <= 0) return {0.0, 0.0};
+  // Replicate i draws from its own stream seeded by (seed, i): a pure
+  // function of the base seed and the replicate id, never of which thread
+  // ran it or what ran before it — so stats[i], and the interval, are the
+  // same at any thread count. The per-replicate seed advances by the
+  // splitmix64 golden gamma rather than XOR-ing the id in: seed ^ i maps
+  // adjacent base seeds to permutations of the same replicate-seed set
+  // (43 ^ i == 42 ^ (i ^ 1)), which an order-invariant percentile cannot
+  // tell apart.
+  constexpr uint64_t kReplicateGamma = 0x9e3779b97f4a7c15ULL;
+  const size_t n = static_cast<size_t>(iterations);
+  std::vector<double> stats(n);
+  const size_t chunks = DeterministicChunks(n, /*min_per_chunk=*/16);
+  ParallelFor(num_threads, chunks, [&](size_t c) {
+    auto [begin, end] = ChunkBounds(n, chunks, c);
+    for (size_t i = begin; i < end; ++i) {
+      Rng rng(seed + (static_cast<uint64_t>(i) + 1) * kReplicateGamma);
+      stats[i] = resample_stat(&rng);
+    }
+  });
   const double alpha = (1.0 - confidence) / 2.0;
   std::vector<double> copy = stats;
   const double lo = PercentileInPlace(&copy, alpha);

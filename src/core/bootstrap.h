@@ -1,6 +1,7 @@
 #ifndef SVC_CORE_BOOTSTRAP_H_
 #define SVC_CORE_BOOTSTRAP_H_
 
+#include <cstdint>
 #include <functional>
 #include <utility>
 #include <vector>
@@ -13,9 +14,16 @@ namespace svc {
 /// — a closure that draws one resample (using the provided Rng) and returns
 /// the statistic — and returns the empirical two-sided percentile interval
 /// at `confidence` (e.g. 0.95 -> the 2.5% and 97.5% percentiles).
+///
+/// Replicates are independent by construction: replicate i draws from its
+/// own deterministic RNG stream derived from (seed, i), so the interval is
+/// bit-identical at every `num_threads` (1 = sequential; 0 = all hardware
+/// threads). `resample_stat` must be safe to call concurrently from several
+/// threads (it receives a distinct Rng per call and should only read shared
+/// state).
 std::pair<double, double> BootstrapPercentileInterval(
     const std::function<double(Rng*)>& resample_stat, int iterations,
-    uint64_t seed, double confidence);
+    uint64_t seed, double confidence, int num_threads = 1);
 
 /// Draws a with-replacement resample of `n` indices in [0, n).
 std::vector<size_t> ResampleIndices(size_t n, Rng* rng);

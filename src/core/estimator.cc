@@ -165,7 +165,8 @@ Estimate AqpFromRows(const std::vector<EvalRow>& rows,
               }
               return MedianInPlace(&res);
             },
-            opts.bootstrap_iterations, opts.bootstrap_seed, opts.confidence);
+            opts.bootstrap_iterations, opts.bootstrap_seed, opts.confidence,
+            opts.num_threads);
         e.ci_low = lo;
         e.ci_high = hi;
         e.confidence = opts.confidence;
@@ -303,7 +304,8 @@ Estimate CorrFromPairs(const std::vector<PairRow>& pairs,
           const std::vector<size_t> idx = ResampleIndices(pairs.size(), rng);
           return stat_of(pairs, &idx);
         },
-        opts.bootstrap_iterations, opts.bootstrap_seed, opts.confidence);
+        opts.bootstrap_iterations, opts.bootstrap_seed, opts.confidence,
+        opts.num_threads);
     e.ci_low = (stale_group_exists ? exact_stale : 0.0) + lo;
     e.ci_high = (stale_group_exists ? exact_stale : 0.0) + hi;
     e.confidence = opts.confidence;

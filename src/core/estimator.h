@@ -20,7 +20,7 @@ namespace svc {
 /// Group-by is modeled as part of the condition (footnote 1); the grouped
 /// helpers below evaluate one such query per group in a single pass.
 struct AggregateQuery {
-  AggFunc func = AggFunc::kCountStar;  ///< sum/count(*)/count/avg/median/min/max
+  AggFunc func = AggFunc::kCountStar;  ///< sum/count(*)/count/avg/median/...
   ExprPtr attr;        ///< aggregation attribute expression; null for count(*)
   ExprPtr predicate;   ///< cond(*); null keeps every row
 
@@ -60,9 +60,13 @@ struct Estimate {
 
 /// Estimation knobs shared by the scalar and grouped entry points.
 struct EstimatorOptions {
-  double confidence = 0.95;          ///< CI level (z: 1.96 at 95%, 2.576 at 99%)
+  double confidence = 0.95;        ///< CI level (1.96 at 95%, 2.576 at 99%)
   int bootstrap_iterations = 200;    ///< resamples for bootstrap CIs
   uint64_t bootstrap_seed = 0xb00ce; ///< deterministic bootstrap
+  /// Threads for the bootstrap's independent replicates (1 = sequential,
+  /// 0 = all hardware threads). Intervals are bit-identical at any setting
+  /// — each replicate has its own seed-derived RNG stream.
+  int num_threads = 1;
 };
 
 /// Evaluates `q` exactly over a full table (used for the stale baseline,

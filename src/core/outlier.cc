@@ -126,8 +126,8 @@ Result<OutlierIndex> OutlierIndex::Build(const Database& db,
 }
 
 Result<OutlierIndex::ViewOutliers> OutlierIndex::PushUpToView(
-    const MaterializedView& view, const DeltaSet& deltas,
-    Database* db) const {
+    const MaterializedView& view, const DeltaSet& deltas, Database* db,
+    ExecOptions exec) const {
   ViewOutliers out;
   if (!ViewReadsRelation(view, spec_.base_relation)) {
     out.eligible = false;
@@ -161,7 +161,7 @@ Result<OutlierIndex::ViewOutliers> OutlierIndex::PushUpToView(
   }
   PlanPtr key_plan = PlanNode::Project(std::move(restricted),
                                        std::move(items));
-  SVC_ASSIGN_OR_RETURN(Table key_rows, ExecutePlan(*key_plan, *db));
+  SVC_ASSIGN_OR_RETURN(Table key_rows, ExecutePlan(*key_plan, *db, exec));
   (void)db->DropTable(tmp_name);
 
   auto keys = std::make_shared<KeySet>();
@@ -175,8 +175,11 @@ Result<OutlierIndex::ViewOutliers> OutlierIndex::PushUpToView(
   }
   out.keys = keys;
 
-  SVC_ASSIGN_OR_RETURN(out.fresh, CleanViewByKeys(view, deltas, *db, keys));
-  SVC_ASSIGN_OR_RETURN(out.stale, StaleViewRowsByKeys(view, *db, keys));
+  SVC_ASSIGN_OR_RETURN(
+      out.fresh,
+      CleanViewByKeys(view, deltas, *db, keys, /*report=*/nullptr, exec));
+  SVC_ASSIGN_OR_RETURN(out.stale,
+                       StaleViewRowsByKeys(view, *db, keys, exec));
   return out;
 }
 

@@ -57,9 +57,11 @@ class OutlierIndex {
     std::shared_ptr<const KeySet> keys;
     bool eligible = false;
   };
+  /// `exec` controls executor parallelism for the key-restricted cleaning
+  /// plans (results are identical at any thread count).
   Result<ViewOutliers> PushUpToView(const MaterializedView& view,
-                                    const DeltaSet& deltas,
-                                    Database* db) const;
+                                    const DeltaSet& deltas, Database* db,
+                                    ExecOptions exec = {}) const;
 
  private:
   OutlierIndex() = default;

@@ -9,7 +9,7 @@ Status SvcEngine::CreateView(const std::string& name, PlanPtr definition,
   SVC_ASSIGN_OR_RETURN(
       MaterializedView view,
       MaterializedView::Create(name, std::move(definition), &db_,
-                               std::move(sampling_key)));
+                               std::move(sampling_key), exec_options_));
   views_.emplace(name, std::move(view));
   return Status::OK();
 }
@@ -54,7 +54,7 @@ Status SvcEngine::MaintainAll() {
   for (auto& [name, view] : views_) {
     SVC_ASSIGN_OR_RETURN(MaintenancePlan plan,
                          BuildMaintenancePlan(view, pending_, db_));
-    SVC_RETURN_IF_ERROR(ApplyMaintenance(view, plan, &db_));
+    SVC_RETURN_IF_ERROR(ApplyMaintenance(view, plan, &db_, exec_options_));
   }
   return pending_.ApplyToBase(&db_);
 }
@@ -67,7 +67,8 @@ Result<Table> SvcEngine::ComputeFreshView(const std::string& name) const {
     SVC_ASSIGN_OR_RETURN(const Table* t, db_.GetTable(name));
     return *t;
   }
-  SVC_ASSIGN_OR_RETURN(Table fresh, ExecutePlan(*plan.plan, db_));
+  SVC_ASSIGN_OR_RETURN(Table fresh,
+                       ExecutePlan(*plan.plan, db_, exec_options_));
   SVC_RETURN_IF_ERROR(fresh.SetPrimaryKey(view->stored_pk()));
   return fresh;
 }
@@ -83,7 +84,7 @@ Result<SvcAnswer> SvcEngine::Query(const std::string& name,
                                    const AggregateQuery& q,
                                    const SvcQueryOptions& opts) const {
   SVC_ASSIGN_OR_RETURN(const MaterializedView* view, GetView(name));
-  CleanOptions clean_opts{opts.ratio, opts.family};
+  CleanOptions clean_opts{opts.ratio, opts.family, opts.exec};
   SVC_ASSIGN_OR_RETURN(CorrespondingSamples samples,
                        CleanViewSample(*view, pending_, db_, clean_opts));
 
@@ -98,9 +99,8 @@ Result<SvcAnswer> SvcEngine::Query(const std::string& name,
                          SvcAqpEstimate(samples, q, opts.estimator));
   } else {
     SVC_ASSIGN_OR_RETURN(const Table* stale, db_.GetTable(name));
-    SVC_ASSIGN_OR_RETURN(
-        answer.estimate,
-        SvcCorrEstimate(*stale, samples, q, opts.estimator));
+    SVC_ASSIGN_OR_RETURN(answer.estimate,
+                         SvcCorrEstimate(*stale, samples, q, opts.estimator));
   }
   return answer;
 }

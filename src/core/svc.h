@@ -28,6 +28,11 @@ struct SvcQueryOptions {
   EstimatorMode mode = EstimatorMode::kCorr;
   bool auto_mode = false;
   EstimatorOptions estimator;
+  /// Executor parallelism for the cleaning plans. The estimator's
+  /// bootstrap has its own independent knob (`estimator.num_threads`) so
+  /// an explicit sequential bootstrap is never silently overridden.
+  /// Answers are bit-identical at any thread count of either.
+  ExecOptions exec;
 };
 
 /// The answer to an SVC query: the estimate plus which estimator produced
@@ -56,6 +61,12 @@ class SvcEngine {
   Database* db() { return &db_; }
   const Database& db() const { return db_; }
 
+  /// Default executor parallelism for engine-driven plan executions
+  /// (maintenance, fresh-view computation). Query-time parallelism comes
+  /// from SvcQueryOptions::exec.
+  void set_exec_options(ExecOptions exec) { exec_options_ = exec; }
+  const ExecOptions& exec_options() const { return exec_options_; }
+
   /// Creates and materializes a view. See MaterializedView::Create.
   Status CreateView(const std::string& name, PlanPtr definition,
                     std::vector<std::string> sampling_key = {});
@@ -77,7 +88,7 @@ class SvcEngine {
   const DeltaSet& pending() const { return pending_; }
   bool IsStale() const { return !pending_.empty(); }
 
-  // ---- Maintenance -----------------------------------------------------------
+  // ---- Maintenance ---------------------------------------------------------
   /// Full (incremental where possible) maintenance of every view, then
   /// commits the pending deltas into the base relations.
   Status MaintainAll();
@@ -86,7 +97,7 @@ class SvcEngine {
   /// anything (oracle for accuracy evaluation).
   Result<Table> ComputeFreshView(const std::string& name) const;
 
-  // ---- Sampling & estimation -------------------------------------------------
+  // ---- Sampling & estimation -----------------------------------------------
   /// Cleans a sample of the named stale view (Problem 1).
   Result<CorrespondingSamples> CleanSample(
       const std::string& name, const CleanOptions& opts,
@@ -105,6 +116,7 @@ class SvcEngine {
   Database db_;
   std::map<std::string, MaterializedView> views_;
   DeltaSet pending_;
+  ExecOptions exec_options_;
 };
 
 }  // namespace svc

@@ -6,11 +6,51 @@
 #include <cstdlib>
 
 #include "common/flat_map.h"
+#include "common/thread_pool.h"
 #include "relational/row_key.h"
 
 namespace svc {
 
 namespace {
+
+// Data-parallel decomposition bounds. Chunk counts come from
+// DeterministicChunks, which depends only on the input size — never on the
+// thread count — so results are reproducible at any parallelism.
+constexpr size_t kMinChunkRows = 4096;
+constexpr size_t kMaxChunks = 64;
+// Hash-radix fan-out for partitioned joins and aggregations: the top
+// kRadixBits of the 64-bit key hash pick the shard (FlatKeyMap slots use
+// the low bits, so the two are independent).
+constexpr int kRadixBits = 4;
+constexpr size_t kRadixShards = size_t{1} << kRadixBits;
+
+/// True when `opts` asks for parallelism and the decomposition is
+/// non-trivial.
+bool RunParallel(const ExecOptions& opts, size_t chunks) {
+  return chunks > 1 && ResolveThreads(opts.num_threads) > 1;
+}
+
+/// Concatenates per-chunk outputs in chunk order (moving every row), which
+/// reproduces the row order of the equivalent sequential loop.
+std::vector<Row> ConcatParts(std::vector<std::vector<Row>>* parts) {
+  size_t total = 0;
+  for (const auto& p : *parts) total += p.size();
+  std::vector<Row> out;
+  out.reserve(total);
+  for (auto& p : *parts) {
+    for (Row& r : p) out.push_back(std::move(r));
+  }
+  return out;
+}
+
+/// First non-OK status across chunk workers (chunk order, so the reported
+/// error is deterministic).
+Status FirstError(const std::vector<Status>& statuses) {
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
 
 /// Returns true if any of the row's `indices` is NULL (such join keys never
 /// match).
@@ -35,20 +75,122 @@ size_t CountKeyedRows(const std::vector<Row>& rows,
 
 constexpr uint32_t kNoRow = UINT32_MAX;
 
+/// A slice of a chunk's key-byte arena (see RadixPartitions).
+struct ArenaRef {
+  uint32_t off;
+  uint32_t len;
+};
+
+/// Appends `bytes` to `arena` and returns its slice. Encoded keys are
+/// stashed once in the tag phase so the shard phase never re-encodes
+/// (key encoding is the dominant per-row cost, docs/PERF.md).
+ArenaRef StashKeyBytes(std::string* arena, std::string_view bytes) {
+  if (arena->size() + bytes.size() > UINT32_MAX) {
+    // A wrapped offset would alias earlier keys; fail loudly (also in
+    // Release), matching FlatKeyMap's arena guard.
+    std::fprintf(stderr, "RadixPartitions: chunk arena exceeds 4 GiB\n");
+    std::abort();
+  }
+  const ArenaRef ref{static_cast<uint32_t>(arena->size()),
+                     static_cast<uint32_t>(bytes.size())};
+  arena->append(bytes);
+  return ref;
+}
+
+/// Radix tag for one input row: key hash, row position, stashed key
+/// bytes. Shared by the sharded join build and the plain aggregation
+/// (the fused path tags (probe, build) match pairs instead).
+struct RowTag {
+  uint64_t hash;
+  uint32_t row;
+  ArenaRef key;
+};
+
+/// The shared scaffold of every two-phase hash-radix parallel operator
+/// (join build, plain and fused aggregation). The tag phase splits the
+/// input into deterministic chunks, and each chunk buckets caller-defined
+/// tags by shard (top kRadixBits of the key hash) while stashing encoded
+/// key bytes in its chunk arena. The visit phase hands every shard its
+/// tags *in chunk order — i.e. global emit order*; that replay rule is
+/// what makes per-key chain order and per-group accumulation order
+/// bit-identical to the sequential loop at any thread count. Keep it
+/// here, in one place.
+template <typename Tag>
+struct RadixPartitions {
+  std::vector<std::vector<std::vector<Tag>>> buckets;  ///< [chunk][shard]
+  std::vector<std::string> arenas;                     ///< [chunk] key bytes
+
+  std::string_view KeyBytes(size_t chunk, ArenaRef ref) const {
+    return {arenas[chunk].data() + ref.off, ref.len};
+  }
+};
+
+/// Tag phase: runs tag_chunk(chunk, begin, end, shard_buckets, arena) over
+/// every chunk in parallel.
+template <typename Tag, typename TagChunkFn>
+RadixPartitions<Tag> RadixTagPhase(int num_threads, size_t n, size_t chunks,
+                                   TagChunkFn&& tag_chunk) {
+  RadixPartitions<Tag> p;
+  p.buckets.assign(chunks, std::vector<std::vector<Tag>>(kRadixShards));
+  p.arenas.resize(chunks);
+  ParallelFor(num_threads, chunks, [&](size_t c) {
+    auto [begin, end] = ChunkBounds(n, chunks, c);
+    tag_chunk(c, begin, end, &p.buckets[c], &p.arenas[c]);
+  });
+  return p;
+}
+
+/// Visit phase: runs shard_visit(shard, tag_count, for_each) over every
+/// shard in parallel, where for_each(fn) replays fn(chunk, tag) for the
+/// shard's tags in chunk order.
+template <typename Tag, typename ShardVisitFn>
+void RadixVisitShards(int num_threads, const RadixPartitions<Tag>& p,
+                      ShardVisitFn&& shard_visit) {
+  ParallelFor(num_threads, kRadixShards, [&](size_t s) {
+    size_t count = 0;
+    for (const auto& chunk : p.buckets) count += chunk[s].size();
+    auto for_each = [&](auto&& fn) {
+      for (size_t c = 0; c < p.buckets.size(); ++c) {
+        for (const Tag& t : p.buckets[c][s]) fn(c, t);
+      }
+    };
+    shard_visit(s, count, for_each);
+  });
+}
+
 /// A hash-join build index: encoded key -> head of an intrusive chain of
 /// row positions (`prev` links rows sharing a key, newest first). Flat
-/// open-addressing storage; one KeyBuffer reused across all rows.
+/// open-addressing storage, either one table or kRadixShards hash-radix
+/// shards built in parallel. Shard assignment and chain order are pure
+/// functions of the data, so the sharded and unsharded index answer every
+/// probe identically.
 struct JoinIndex {
-  FlatKeyMap<uint32_t> heads;
+  std::vector<FlatKeyMap<uint32_t>> shards;
   std::vector<uint32_t> prev;
+  int shard_bits = 0;
 
-  void Build(const std::vector<Row>& rows, const std::vector<size_t>& idx) {
+  size_t ShardOf(uint64_t hash) const {
+    return shard_bits == 0 ? 0
+                           : static_cast<size_t>(hash >> (64 - shard_bits));
+  }
+
+  void Build(const std::vector<Row>& rows, const std::vector<size_t>& idx,
+             int num_threads) {
     if (rows.size() >= kNoRow) {
       // A build side at the uint32 limit would wrap chain links (and row
       // kNoRow-1 would alias the sentinel): fail loudly, never corrupt.
       std::fprintf(stderr, "JoinIndex: build side exceeds 2^32-1 rows\n");
       std::abort();
     }
+    const size_t chunks =
+        DeterministicChunks(rows.size(), kMinChunkRows, kMaxChunks);
+    if (ResolveThreads(num_threads) > 1 && chunks > 1) {
+      BuildSharded(rows, idx, num_threads, chunks);
+      return;
+    }
+    shard_bits = 0;
+    shards.assign(1, {});
+    FlatKeyMap<uint32_t>& heads = shards[0];
     heads.Reserve(CountKeyedRows(rows, idx));
     prev.assign(rows.size(), kNoRow);
     KeyBuffer kb;
@@ -64,9 +206,49 @@ struct JoinIndex {
     }
   }
 
+  /// Two-phase parallel build on the RadixPartitions scaffold: row-range
+  /// chunks bucket (hash, row, key bytes) by shard, then each shard
+  /// inserts its rows — replayed in global row order — into its own
+  /// FlatKeyMap. Each row index lands in exactly one shard, so the `prev`
+  /// chain writes are disjoint, and per-key chains come out exactly as the
+  /// sequential build makes them.
+  void BuildSharded(const std::vector<Row>& rows,
+                    const std::vector<size_t>& idx, int num_threads,
+                    size_t chunks) {
+    shard_bits = kRadixBits;
+    shards.assign(kRadixShards, {});
+    prev.assign(rows.size(), kNoRow);
+    const RadixPartitions<RowTag> parts = RadixTagPhase<RowTag>(
+        num_threads, rows.size(), chunks,
+        [&](size_t, size_t begin, size_t end,
+            std::vector<std::vector<RowTag>>* buckets, std::string* arena) {
+          KeyBuffer kb;
+          for (size_t i = begin; i < end; ++i) {
+            RowKeyRef key;
+            if (!kb.EncodeIfNonNull(rows[i], idx, &key)) continue;
+            (*buckets)[ShardOf(key.hash)].push_back(
+                {key.hash, static_cast<uint32_t>(i),
+                 StashKeyBytes(arena, key.bytes)});
+          }
+        });
+    RadixVisitShards(num_threads, parts,
+                     [&](size_t s, size_t count, auto&& for_each) {
+                       FlatKeyMap<uint32_t>& heads = shards[s];
+                       heads.Reserve(count);
+                       for_each([&](size_t c, const RowTag& t) {
+                         auto [head, inserted] = heads.Emplace(
+                             parts.KeyBytes(c, t.key), t.hash, t.row);
+                         if (!inserted) {
+                           prev[t.row] = *head;
+                           *head = t.row;
+                         }
+                       });
+                     });
+  }
+
   /// First matching row position for `key`, or kNoRow.
   uint32_t Head(const RowKeyRef& key) const {
-    const uint32_t* head = heads.Find(key.bytes, key.hash);
+    const uint32_t* head = shards[ShardOf(key.hash)].Find(key.bytes, key.hash);
     return head == nullptr ? kNoRow : *head;
   }
 };
@@ -85,11 +267,15 @@ struct InnerJoin {
 
   const ExecTable& build_side() const { return build_on_left ? *left : *right; }
   const ExecTable& probe_side() const { return build_on_left ? *right : *left; }
-  const std::vector<size_t>& bidx() const { return build_on_left ? lidx : ridx; }
-  const std::vector<size_t>& pidx() const { return build_on_left ? ridx : lidx; }
+  const std::vector<size_t>& bidx() const {
+    return build_on_left ? lidx : ridx;
+  }
+  const std::vector<size_t>& pidx() const {
+    return build_on_left ? ridx : lidx;
+  }
 
   static Result<InnerJoin> Prepare(const PlanNode& plan, const ExecTable& l,
-                                   const ExecTable& r) {
+                                   const ExecTable& r, int num_threads) {
     InnerJoin j;
     j.left = &l;
     j.right = &r;
@@ -101,7 +287,7 @@ struct InnerJoin {
     SVC_ASSIGN_OR_RETURN(j.lidx, l.schema().ResolveAll(lrefs));
     SVC_ASSIGN_OR_RETURN(j.ridx, r.schema().ResolveAll(rrefs));
     j.build_on_left = l.NumRows() < r.NumRows();
-    j.index.Build(j.build_side().rows(), j.bidx());
+    j.index.Build(j.build_side().rows(), j.bidx(), num_threads);
     return j;
   }
 };
@@ -328,6 +514,60 @@ struct GroupTable {
   size_t naggs;
 };
 
+/// One hash-radix shard of a partitioned aggregation: its groups plus, per
+/// group, the global ordinal (input row number or join-match number) of the
+/// group's first contribution. Every group lives in exactly one shard and
+/// sees its rows in global order, so per-group accumulator state — and any
+/// floating-point reduction inside it — is bitwise what the sequential loop
+/// produces.
+struct AggShard {
+  explicit AggShard(size_t naggs) : groups(naggs) {}
+  GroupTable groups;
+  std::vector<uint64_t> first_ord;  ///< parallel to groups.keys
+};
+
+/// Assembles sharded aggregation output in first-encounter order (ordinal
+/// sort), matching the sequential path's row order exactly.
+std::vector<Row> AssembleAggShards(std::vector<AggShard>* shards,
+                                   const AggSpec& spec) {
+  struct Ref {
+    uint64_t ord;
+    uint32_t shard;
+    uint32_t slot;
+  };
+  std::vector<Ref> refs;
+  size_t total = 0;
+  for (const AggShard& s : *shards) total += s.groups.keys.size();
+  refs.reserve(total);
+  for (uint32_t s = 0; s < shards->size(); ++s) {
+    const AggShard& sh = (*shards)[s];
+    for (uint32_t g = 0; g < sh.groups.keys.size(); ++g) {
+      refs.push_back({sh.first_ord[g], s, g});
+    }
+  }
+  std::sort(refs.begin(), refs.end(),
+            [](const Ref& a, const Ref& b) { return a.ord < b.ord; });
+  const auto& aggs = *spec.aggs;
+  const size_t naggs = aggs.size();
+  std::vector<Row> out;
+  out.reserve(total);
+  for (const Ref& ref : refs) {
+    AggShard& sh = (*shards)[ref.shard];
+    Row row = std::move(sh.groups.keys[ref.slot]);
+    row.reserve(row.size() + naggs);
+    AggState* st = &sh.groups.states[ref.slot * naggs];
+    for (size_t a = 0; a < naggs; ++a) {
+      row.push_back(FinalizeAgg(&st[a], aggs[a].func));
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+size_t RadixShardOf(uint64_t hash) {
+  return static_cast<size_t>(hash >> (64 - kRadixBits));
+}
+
 }  // namespace
 
 Result<Table> Executor::Execute(const PlanNode& plan) {
@@ -358,18 +598,41 @@ Result<ExecTable> Executor::ExecScan(const PlanNode& plan) {
 
 Result<ExecTable> Executor::ExecSelect(const PlanNode& plan) {
   SVC_ASSIGN_OR_RETURN(ExecTable in, Exec(*plan.child(0)));
+  const size_t n = in.NumRows();
+  // Appends rows of [begin, end) satisfying `pred` to `out`, moving rows
+  // out of owned inputs (parallel chunks move disjoint ranges).
+  auto filter_range = [&](const ExprPtr& pred, size_t begin, size_t end,
+                          std::vector<Row>* out) {
+    if (in.owned()) {
+      for (size_t i = begin; i < end; ++i) {
+        Row& r = in.owned_rows()[i];
+        if (pred->Eval(r).IsTrue()) out->push_back(std::move(r));
+      }
+    } else {
+      for (size_t i = begin; i < end; ++i) {
+        const Row& r = in.row(i);
+        if (pred->Eval(r).IsTrue()) out->push_back(r);
+      }
+    }
+  };
+  const size_t chunks = DeterministicChunks(n, kMinChunkRows, kMaxChunks);
+  if (RunParallel(opts_, chunks)) {
+    std::vector<std::vector<Row>> parts(chunks);
+    std::vector<Status> errs(chunks);
+    ParallelFor(opts_.num_threads, chunks, [&](size_t c) {
+      ExprPtr pred = plan.predicate()->Clone();
+      errs[c] = pred->Bind(in.schema());
+      if (!errs[c].ok()) return;
+      auto [begin, end] = ChunkBounds(n, chunks, c);
+      filter_range(pred, begin, end, &parts[c]);
+    });
+    SVC_RETURN_IF_ERROR(FirstError(errs));
+    return ExecTable(in.TakeSchema(), ConcatParts(&parts));
+  }
   ExprPtr pred = plan.predicate()->Clone();
   SVC_RETURN_IF_ERROR(pred->Bind(in.schema()));
   std::vector<Row> out;
-  if (in.owned()) {
-    for (Row& r : in.owned_rows()) {
-      if (pred->Eval(r).IsTrue()) out.push_back(std::move(r));
-    }
-  } else {
-    for (const Row& r : in.rows()) {
-      if (pred->Eval(r).IsTrue()) out.push_back(r);
-    }
-  }
+  filter_range(pred, 0, n, &out);
   return ExecTable(in.TakeSchema(), std::move(out));
 }
 
@@ -393,16 +656,42 @@ Result<ExecTable> Executor::ExecProject(const PlanNode& plan) {
       col_of[e] = static_cast<ptrdiff_t>(exprs[e]->bound_column_index());
     }
   }
-  std::vector<Row> out;
-  out.reserve(in.NumRows());
-  for (const auto& r : in.rows()) {
-    Row row;
-    row.reserve(exprs.size());
-    for (size_t e = 0; e < exprs.size(); ++e) {
-      row.push_back(col_of[e] >= 0 ? r[col_of[e]] : exprs[e]->Eval(r));
+  const size_t n = in.NumRows();
+  auto project_range = [&](const std::vector<ExprPtr>& ex, size_t begin,
+                           size_t end, std::vector<Row>* out) {
+    out->reserve(out->size() + (end - begin));
+    for (size_t i = begin; i < end; ++i) {
+      const Row& r = in.row(i);
+      Row row;
+      row.reserve(ex.size());
+      for (size_t e = 0; e < ex.size(); ++e) {
+        row.push_back(col_of[e] >= 0 ? r[col_of[e]] : ex[e]->Eval(r));
+      }
+      out->push_back(std::move(row));
     }
-    out.push_back(std::move(row));
+  };
+  const size_t chunks = DeterministicChunks(n, kMinChunkRows, kMaxChunks);
+  if (RunParallel(opts_, chunks)) {
+    std::vector<std::vector<Row>> parts(chunks);
+    std::vector<Status> errs(chunks);
+    ParallelFor(opts_.num_threads, chunks, [&](size_t c) {
+      // Pass-through column items are read by position and never
+      // evaluated, so only computed expressions need a per-chunk clone.
+      std::vector<ExprPtr> cexprs(exprs.size());
+      for (size_t e = 0; e < exprs.size(); ++e) {
+        if (col_of[e] >= 0) continue;
+        cexprs[e] = plan.project_items()[e].expr->Clone();
+        errs[c] = cexprs[e]->Bind(in.schema());
+        if (!errs[c].ok()) return;
+      }
+      auto [begin, end] = ChunkBounds(n, chunks, c);
+      project_range(cexprs, begin, end, &parts[c]);
+    });
+    SVC_RETURN_IF_ERROR(FirstError(errs));
+    return ExecTable(std::move(out_schema), ConcatParts(&parts));
   }
+  std::vector<Row> out;
+  project_range(exprs, 0, n, &out);
   return ExecTable(std::move(out_schema), std::move(out));
 }
 
@@ -424,25 +713,54 @@ Result<ExecTable> Executor::ExecJoin(const PlanNode& plan) {
 
   // For inner joins, hash-build on the smaller input (delta-side inputs of
   // maintenance plans are often tiny next to the base relation they join)
-  // and stream the larger side through a tight probe loop.
+  // and stream the larger side through a tight probe loop — in parallel
+  // over probe-row chunks when enabled (per-chunk outputs concatenate in
+  // chunk order, reproducing the sequential row order).
   if (jt == JoinType::kInner) {
-    SVC_ASSIGN_OR_RETURN(InnerJoin ij, InnerJoin::Prepare(plan, left, right));
+    SVC_ASSIGN_OR_RETURN(InnerJoin ij, InnerJoin::Prepare(plan, left, right,
+                                                          opts_.num_threads));
+    const size_t n = ij.probe_side().NumRows();
+    auto probe_range = [&](const ExprPtr& res, size_t begin, size_t end,
+                           std::vector<Row>* pout) {
+      KeyBuffer pb;
+      for (size_t i = begin; i < end; ++i) {
+        const Row& p = ij.probe_side().row(i);
+        RowKeyRef key;
+        if (!pb.EncodeIfNonNull(p, ij.pidx(), &key)) continue;
+        for (uint32_t j = ij.index.Head(key); j != kNoRow;
+             j = ij.index.prev[j]) {
+          const Row& b = ij.build_side().row(j);
+          Row combined;
+          combined.reserve(ncols);
+          AppendValues(&combined, ij.build_on_left ? b : p);
+          AppendValues(&combined, ij.build_on_left ? p : b);
+          if (res && !res->Eval(combined).IsTrue()) continue;
+          pout->push_back(std::move(combined));
+        }
+      }
+    };
+    const size_t chunks = DeterministicChunks(n, kMinChunkRows, kMaxChunks);
+    if (RunParallel(opts_, chunks)) {
+      std::vector<std::vector<Row>> parts(chunks);
+      std::vector<Status> errs(chunks);
+      ParallelFor(opts_.num_threads, chunks, [&](size_t c) {
+        ExprPtr res;
+        if (plan.join_residual()) {
+          res = plan.join_residual()->Clone();
+          errs[c] = res->Bind(out_schema);
+          if (!errs[c].ok()) return;
+        }
+        auto [begin, end] = ChunkBounds(n, chunks, c);
+        parts[c].reserve(end - begin);
+        probe_range(res, begin, end, &parts[c]);
+      });
+      SVC_RETURN_IF_ERROR(FirstError(errs));
+      return ExecTable(out_schema, ConcatParts(&parts));
+    }
     // One output row per probe row is the common case (foreign-key joins
     // match exactly once); larger outputs grow amortized from there.
-    out.reserve(ij.probe_side().NumRows());
-    for (const Row& p : ij.probe_side().rows()) {
-      RowKeyRef key;
-      if (!kb.EncodeIfNonNull(p, ij.pidx(), &key)) continue;
-      for (uint32_t j = ij.index.Head(key); j != kNoRow; j = ij.index.prev[j]) {
-        const Row& b = ij.build_side().row(j);
-        Row combined;
-        combined.reserve(ncols);
-        AppendValues(&combined, ij.build_on_left ? b : p);
-        AppendValues(&combined, ij.build_on_left ? p : b);
-        if (residual && !residual->Eval(combined).IsTrue()) continue;
-        out.push_back(std::move(combined));
-      }
-    }
+    out.reserve(n);
+    probe_range(residual, 0, n, &out);
     return ExecTable(out_schema, std::move(out));
   }
 
@@ -457,7 +775,7 @@ Result<ExecTable> Executor::ExecJoin(const PlanNode& plan) {
   SVC_ASSIGN_OR_RETURN(std::vector<size_t> ridx,
                        right.schema().ResolveAll(rrefs));
   JoinIndex build;
-  build.Build(right.rows(), ridx);
+  build.Build(right.rows(), ridx, /*num_threads=*/1);
 
   std::vector<char> right_matched(right.NumRows(), 0);
 
@@ -529,6 +847,58 @@ Result<ExecTable> Executor::ExecAggregate(const PlanNode& plan) {
   SVC_ASSIGN_OR_RETURN(AggSpec spec, AggSpec::Prepare(plan, in.schema()));
   Schema out_schema = spec.OutputSchema(in.schema(), gidx);
 
+  const size_t n = in.NumRows();
+  const size_t chunks = DeterministicChunks(n, kMinChunkRows, kMaxChunks);
+  // Parallel path: partition rows by group-key hash radix, one accumulator
+  // table per shard. A global aggregate (no group columns) is a single
+  // group — inherently one sequential reduction under bit-reproducibility,
+  // so it stays on the sequential path.
+  if (RunParallel(opts_, chunks) && !gidx.empty() && n < UINT32_MAX) {
+    const RadixPartitions<RowTag> parts = RadixTagPhase<RowTag>(
+        opts_.num_threads, n, chunks,
+        [&](size_t, size_t begin, size_t end,
+            std::vector<std::vector<RowTag>>* buckets, std::string* arena) {
+          KeyBuffer kb;
+          for (size_t i = begin; i < end; ++i) {
+            const RowKeyRef key = kb.Encode(in.row(i), gidx);
+            (*buckets)[RadixShardOf(key.hash)].push_back(
+                {key.hash, static_cast<uint32_t>(i),
+                 StashKeyBytes(arena, key.bytes)});
+          }
+        });
+    std::vector<AggShard> shards;
+    shards.reserve(kRadixShards);
+    for (size_t s = 0; s < kRadixShards; ++s) {
+      shards.emplace_back(spec.aggs->size());
+    }
+    std::vector<Status> errs(kRadixShards);
+    RadixVisitShards(
+        opts_.num_threads, parts, [&](size_t s, size_t, auto&& for_each) {
+          auto spec_or = AggSpec::Prepare(plan, in.schema());
+          if (!spec_or.ok()) {
+            errs[s] = spec_or.status();
+            return;
+          }
+          const AggSpec cspec = std::move(spec_or).value();
+          AggShard& shard = shards[s];
+          KeyBuffer vb;
+          for_each([&](size_t c, const RowTag& t) {
+            const Row& r = in.row(t.row);
+            const RowKeyRef key = {parts.KeyBytes(c, t.key), t.hash};
+            AggState* st = shard.groups.Slot(key, [&] {
+              shard.first_ord.push_back(t.row);
+              Row gk;
+              gk.reserve(gidx.size());
+              for (size_t i : gidx) gk.push_back(r[i]);
+              return gk;
+            });
+            AccumulateRow(r, cspec, st, &vb);
+          });
+        });
+    SVC_RETURN_IF_ERROR(FirstError(errs));
+    return ExecTable(std::move(out_schema), AssembleAggShards(&shards, spec));
+  }
+
   GroupTable groups(spec.aggs->size());
   KeyBuffer kb, vb;
   for (const auto& r : in.rows()) {
@@ -562,8 +932,140 @@ Result<ExecTable> Executor::ExecAggregateOverJoin(const PlanNode& plan,
   SVC_ASSIGN_OR_RETURN(AggSpec spec, AggSpec::Prepare(plan, join_schema));
   Schema out_schema = spec.OutputSchema(join_schema, gidx);
 
-  SVC_ASSIGN_OR_RETURN(InnerJoin ij, InnerJoin::Prepare(join, left, right));
+  SVC_ASSIGN_OR_RETURN(
+      InnerJoin ij, InnerJoin::Prepare(join, left, right, opts_.num_threads));
   const size_t lcols = left.schema().NumColumns();
+
+  const size_t n = ij.probe_side().NumRows();
+  const size_t chunks = DeterministicChunks(n, kMinChunkRows, kMaxChunks);
+  // Parallel fused path: probe-row chunks join and bucket surviving
+  // matches by group-key hash radix; each shard then accumulates its
+  // matches in global match order into its own group table. As in
+  // ExecAggregate, every group's accumulator sees exactly the sequential
+  // order of contributions, so results are bit-identical at any thread
+  // count; first-match ordinals restore the sequential group order.
+  if (RunParallel(opts_, chunks) && !gidx.empty() &&
+      ij.build_side().NumRows() < UINT32_MAX && n < UINT32_MAX) {
+    struct MatchTag {
+      uint64_t hash;   ///< group-key hash
+      uint32_t probe;  ///< probe-side row
+      uint32_t build;  ///< build-side row
+      uint32_t ord;    ///< match ordinal within the chunk
+      ArenaRef key;    ///< encoded group-key bytes
+    };
+    std::vector<uint64_t> chunk_matches(chunks, 0);
+    std::vector<Status> errs(chunks);
+    const RadixPartitions<MatchTag> parts = RadixTagPhase<MatchTag>(
+        opts_.num_threads, n, chunks,
+        [&](size_t c, size_t begin, size_t end,
+            std::vector<std::vector<MatchTag>>* buckets,
+            std::string* arena) {
+          ExprPtr res;
+          if (join.join_residual()) {
+            res = join.join_residual()->Clone();
+            errs[c] = res->Bind(join_schema);
+            if (!errs[c].ok()) return;
+          }
+          KeyBuffer pb, gb;
+          Row combined;
+          uint32_t ord = 0;
+          for (size_t i = begin; i < end; ++i) {
+            const Row& p = ij.probe_side().row(i);
+            RowKeyRef pkey;
+            if (!pb.EncodeIfNonNull(p, ij.pidx(), &pkey)) continue;
+            for (uint32_t j = ij.index.Head(pkey); j != kNoRow;
+                 j = ij.index.prev[j]) {
+              const Row& b = ij.build_side().row(j);
+              const Row& lrow = ij.build_on_left ? b : p;
+              const Row& rrow = ij.build_on_left ? p : b;
+              if (res) {
+                combined.clear();
+                combined.reserve(join_schema.NumColumns());
+                AppendValues(&combined, lrow);
+                AppendValues(&combined, rrow);
+                if (!res->Eval(combined).IsTrue()) continue;
+              }
+              auto colv = [&](size_t col) -> const Value& {
+                return col < lcols ? lrow[col] : rrow[col - lcols];
+              };
+              const RowKeyRef gkey = gb.EncodeWith(gidx, colv);
+              if (ord == UINT32_MAX) {
+                // A wrapped ordinal would silently scramble group order;
+                // fail loudly like the other 2^32 guards.
+                std::fprintf(
+                    stderr,
+                    "ExecAggregateOverJoin: 2^32-1 matches in one chunk\n");
+                std::abort();
+              }
+              (*buckets)[RadixShardOf(gkey.hash)].push_back(
+                  {gkey.hash, static_cast<uint32_t>(i), j, ord++,
+                   StashKeyBytes(arena, gkey.bytes)});
+            }
+          }
+          chunk_matches[c] = ord;
+        });
+    SVC_RETURN_IF_ERROR(FirstError(errs));
+    std::vector<uint64_t> ord_offset(chunks, 0);
+    for (size_t c = 1; c < chunks; ++c) {
+      ord_offset[c] = ord_offset[c - 1] + chunk_matches[c - 1];
+    }
+    std::vector<AggShard> shards;
+    shards.reserve(kRadixShards);
+    for (size_t s = 0; s < kRadixShards; ++s) {
+      shards.emplace_back(spec.aggs->size());
+    }
+    std::vector<Status> serrs(kRadixShards);
+    RadixVisitShards(
+        opts_.num_threads, parts, [&](size_t s, size_t, auto&& for_each) {
+          auto spec_or = AggSpec::Prepare(plan, join_schema);
+          if (!spec_or.ok()) {
+            serrs[s] = spec_or.status();
+            return;
+          }
+          const AggSpec cspec = std::move(spec_or).value();
+          const auto& caggs = *cspec.aggs;
+          AggShard& shard = shards[s];
+          KeyBuffer vb;
+          Row scratch;
+          for_each([&](size_t c, const MatchTag& t) {
+            const Row& p = ij.probe_side().row(t.probe);
+            const Row& b = ij.build_side().row(t.build);
+            const Row& lrow = ij.build_on_left ? b : p;
+            const Row& rrow = ij.build_on_left ? p : b;
+            auto colv = [&](size_t col) -> const Value& {
+              return col < lcols ? lrow[col] : rrow[col - lcols];
+            };
+            const RowKeyRef gkey = {parts.KeyBytes(c, t.key), t.hash};
+            AggState* st = shard.groups.Slot(gkey, [&] {
+              shard.first_ord.push_back(ord_offset[c] + t.ord);
+              Row gk;
+              gk.reserve(gidx.size());
+              for (size_t i : gidx) gk.push_back(colv(i));
+              return gk;
+            });
+            if (!cspec.all_columns) {
+              scratch.clear();
+              scratch.reserve(join_schema.NumColumns());
+              AppendValues(&scratch, lrow);
+              AppendValues(&scratch, rrow);
+              AccumulateRow(scratch, cspec, st, &vb);
+              return;
+            }
+            for (size_t a = 0; a < caggs.size(); ++a) {
+              if (caggs[a].func == AggFunc::kCountStar) {
+                ++st[a].count;
+                continue;
+              }
+              const Value& v = colv(static_cast<size_t>(cspec.input_col[a]));
+              if (v.is_null()) continue;
+              Accumulate(&st[a], caggs[a].func, v, &vb);
+            }
+          });
+        });
+    SVC_RETURN_IF_ERROR(FirstError(serrs));
+    return ExecTable(std::move(out_schema), AssembleAggShards(&shards, spec));
+  }
+
   // Residuals and full-row aggregate expressions need a materialized
   // combined row; one reusable scratch buffer serves every match.
   const bool need_scratch = residual != nullptr || !spec.all_columns;
@@ -685,34 +1187,42 @@ Result<ExecTable> Executor::ExecHashFilter(const PlanNode& plan) {
   SVC_ASSIGN_OR_RETURN(ExecTable in, Exec(*plan.child(0)));
   SVC_ASSIGN_OR_RETURN(std::vector<size_t> idx,
                        in.schema().ResolveAll(plan.hash_columns()));
-  KeyBuffer kb;
-  std::vector<Row> out;
-  if (plan.key_set()) {
-    const KeySet& keys = *plan.key_set();
-    for (size_t i = 0; i < in.NumRows(); ++i) {
-      const RowKeyRef key = kb.Encode(in.row(i), idx);
-      if (!keys.Contains(key.bytes, key.hash)) continue;
-      if (in.owned()) {
-        out.push_back(std::move(in.owned_rows()[i]));
+  const size_t n = in.NumRows();
+  const double m = plan.hash_ratio();
+  if (plan.key_set() == nullptr && m >= 1.0) {
+    return in;  // η with m = 1 is the identity; pass through
+  }
+  // Membership for row i: key-set containment, or η hash membership with
+  // the plan's configured family (sample determinism; only the bytes are
+  // needed there, not the table hash).
+  auto keep_range = [&](size_t begin, size_t end, std::vector<Row>* out) {
+    KeyBuffer kb;
+    for (size_t i = begin; i < end; ++i) {
+      if (plan.key_set() != nullptr) {
+        const RowKeyRef key = kb.Encode(in.row(i), idx);
+        if (!plan.key_set()->Contains(key.bytes, key.hash)) continue;
       } else {
-        out.push_back(in.row(i));
+        const std::string_view bytes = kb.EncodeBytes(in.row(i), idx);
+        if (!HashInSample(bytes, m, plan.hash_family())) continue;
+      }
+      if (in.owned()) {
+        out->push_back(std::move(in.owned_rows()[i]));
+      } else {
+        out->push_back(in.row(i));
       }
     }
-    return ExecTable(in.TakeSchema(), std::move(out));
+  };
+  const size_t chunks = DeterministicChunks(n, kMinChunkRows, kMaxChunks);
+  if (RunParallel(opts_, chunks)) {
+    std::vector<std::vector<Row>> parts(chunks);
+    ParallelFor(opts_.num_threads, chunks, [&](size_t c) {
+      auto [begin, end] = ChunkBounds(n, chunks, c);
+      keep_range(begin, end, &parts[c]);
+    });
+    return ExecTable(in.TakeSchema(), ConcatParts(&parts));
   }
-  const double m = plan.hash_ratio();
-  if (m >= 1.0) return in;  // η with m = 1 is the identity; pass through
-  // η membership hashes with the plan's configured family (sample
-  // determinism); only the bytes are needed here, not the table hash.
-  for (size_t i = 0; i < in.NumRows(); ++i) {
-    const std::string_view bytes = kb.EncodeBytes(in.row(i), idx);
-    if (!HashInSample(bytes, m, plan.hash_family())) continue;
-    if (in.owned()) {
-      out.push_back(std::move(in.owned_rows()[i]));
-    } else {
-      out.push_back(in.row(i));
-    }
-  }
+  std::vector<Row> out;
+  keep_range(0, n, &out);
   return ExecTable(in.TakeSchema(), std::move(out));
 }
 

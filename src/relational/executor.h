@@ -11,6 +11,16 @@
 
 namespace svc {
 
+/// Execution knobs threaded from the engine facade down to every operator.
+struct ExecOptions {
+  /// Worker threads data-parallel operators may use: 1 = fully sequential,
+  /// 0 = all hardware threads. Any setting produces bit-identical results:
+  /// operators decompose their input into chunks whose count depends only
+  /// on the input size (common/thread_pool.h), so partial results merge in
+  /// the same order no matter how many threads ran them.
+  int num_threads = 1;
+};
+
 /// An intermediate operator result: a schema plus rows that are either
 /// owned by this object or borrowed from a base table in the catalog.
 /// Scans borrow (zero-copy); every other operator owns its output. Owned
@@ -67,10 +77,22 @@ class ExecTable {
 /// The executor is deterministic: the same plan over the same data produces
 /// the same multiset of rows, which the deterministic sampling operator η
 /// (PlanKind::kHashFilter) relies on.
+///
+/// With ExecOptions::num_threads > 1 the hot operators run partitioned:
+/// select/project/η over contiguous row-range chunks, the inner-join build
+/// into hash-radix shards probed in parallel, and aggregation partitioned
+/// by group-key hash radix — every group lives in one shard and
+/// accumulates its rows in global input order (NOT per-chunk partials
+/// merged at the end, whose floating-point merge order would depend on
+/// the decomposition), with first-contribution ordinals restoring the
+/// sequential group order. Partitioning is a pure function of the input
+/// size, so every thread count — including 1 — yields bit-identical
+/// output, row order included.
 class Executor {
  public:
   /// The database must outlive the executor.
-  explicit Executor(const Database* db) : db_(db) {}
+  explicit Executor(const Database* db, ExecOptions opts = {})
+      : db_(db), opts_(opts) {}
 
   /// Runs `plan` to completion and returns the materialized result.
   Result<Table> Execute(const PlanNode& plan);
@@ -90,11 +112,13 @@ class Executor {
   Result<ExecTable> ExecHashFilter(const PlanNode& plan);
 
   const Database* db_;
+  ExecOptions opts_;
 };
 
 /// Convenience wrapper: one-shot execution.
-inline Result<Table> ExecutePlan(const PlanNode& plan, const Database& db) {
-  Executor exec(&db);
+inline Result<Table> ExecutePlan(const PlanNode& plan, const Database& db,
+                                 ExecOptions opts = {}) {
+  Executor exec(&db, opts);
   return exec.Execute(plan);
 }
 

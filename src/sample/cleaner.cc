@@ -55,7 +55,7 @@ Result<Table> MaterializeStaleSample(const MaterializedView& view,
   PlanPtr plan = PlanNode::HashFilter(PlanNode::Scan(view.name()),
                                       view.sampling_key(), opts.ratio,
                                       opts.family);
-  SVC_ASSIGN_OR_RETURN(Table sample, ExecutePlan(*plan, db));
+  SVC_ASSIGN_OR_RETURN(Table sample, ExecutePlan(*plan, db, opts.exec));
   SVC_RETURN_IF_ERROR(sample.SetPrimaryKey(view.stored_pk()));
   return sample;
 }
@@ -118,24 +118,25 @@ Result<PlanPtr> BuildCleaningPlan(const MaterializedView& view,
 Result<Table> CleanViewByKeys(const MaterializedView& view,
                               const DeltaSet& deltas, const Database& db,
                               std::shared_ptr<const KeySet> keys,
-                              PushdownReport* report) {
+                              PushdownReport* report, ExecOptions exec) {
   FilterFactory factory = [&keys](PlanPtr child,
                                   const std::vector<std::string>& attrs) {
     return PlanNode::KeySetFilter(std::move(child), attrs, keys);
   };
   SVC_ASSIGN_OR_RETURN(
       PlanPtr c, BuildFilteredCleaningPlan(view, deltas, db, factory, report));
-  SVC_ASSIGN_OR_RETURN(Table fresh, ExecutePlan(*c, db));
+  SVC_ASSIGN_OR_RETURN(Table fresh, ExecutePlan(*c, db, exec));
   SVC_RETURN_IF_ERROR(fresh.SetPrimaryKey(view.stored_pk()));
   return fresh;
 }
 
 Result<Table> StaleViewRowsByKeys(const MaterializedView& view,
                                   const Database& db,
-                                  std::shared_ptr<const KeySet> keys) {
+                                  std::shared_ptr<const KeySet> keys,
+                                  ExecOptions exec) {
   PlanPtr plan = PlanNode::KeySetFilter(PlanNode::Scan(view.name()),
                                         view.sampling_key(), std::move(keys));
-  SVC_ASSIGN_OR_RETURN(Table out, ExecutePlan(*plan, db));
+  SVC_ASSIGN_OR_RETURN(Table out, ExecutePlan(*plan, db, exec));
   SVC_RETURN_IF_ERROR(out.SetPrimaryKey(view.stored_pk()));
   return out;
 }
@@ -152,7 +153,7 @@ Result<CorrespondingSamples> CleanViewSample(const MaterializedView& view,
   SVC_ASSIGN_OR_RETURN(out.stale, MaterializeStaleSample(view, db, opts));
   SVC_ASSIGN_OR_RETURN(PlanPtr c,
                        BuildCleaningPlan(view, deltas, db, opts, report));
-  SVC_ASSIGN_OR_RETURN(out.fresh, ExecutePlan(*c, db));
+  SVC_ASSIGN_OR_RETURN(out.fresh, ExecutePlan(*c, db, opts.exec));
   SVC_RETURN_IF_ERROR(out.fresh.SetPrimaryKey(view.stored_pk()));
   return out;
 }

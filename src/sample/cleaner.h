@@ -6,6 +6,7 @@
 #include "common/hash.h"
 #include "common/status.h"
 #include "relational/database.h"
+#include "relational/executor.h"
 #include "sample/pushdown.h"
 #include "view/delta.h"
 #include "view/maintenance.h"
@@ -15,10 +16,17 @@ namespace svc {
 
 /// Options controlling sample materialization and cleaning.
 struct CleanOptions {
+  CleanOptions() = default;
+  CleanOptions(double ratio_in, HashFamily family_in, ExecOptions exec_in = {})
+      : ratio(ratio_in), family(family_in), exec(exec_in) {}
+
   /// Sampling ratio m ∈ (0, 1].
   double ratio = 0.1;
   /// Hash family used by η.
   HashFamily family = HashFamily::kFnv1a;
+  /// Executor options (thread count) for running the cleaning plans. The
+  /// samples drawn are identical at any thread count.
+  ExecOptions exec;
 };
 
 /// A pair of corresponding samples (Property 1): Ŝ is a uniform sample of
@@ -73,12 +81,14 @@ Result<PlanPtr> BuildCleaningPlan(const MaterializedView& view,
 Result<Table> CleanViewByKeys(const MaterializedView& view,
                               const DeltaSet& deltas, const Database& db,
                               std::shared_ptr<const KeySet> keys,
-                              PushdownReport* report = nullptr);
+                              PushdownReport* report = nullptr,
+                              ExecOptions exec = {});
 
 /// The stale view rows whose sampling-key value is in `keys`.
 Result<Table> StaleViewRowsByKeys(const MaterializedView& view,
                                   const Database& db,
-                                  std::shared_ptr<const KeySet> keys);
+                                  std::shared_ptr<const KeySet> keys,
+                                  ExecOptions exec = {});
 
 }  // namespace svc
 

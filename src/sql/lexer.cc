@@ -90,8 +90,8 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
         ++i;
       }
       if (i >= n) {
-        return Status::InvalidArgument("unterminated string literal at offset " +
-                                       std::to_string(start));
+        return Status::InvalidArgument(
+            "unterminated string literal at offset " + std::to_string(start));
       }
       ++i;  // closing quote
       out.push_back({TokenType::kString, std::move(text), start});

@@ -44,7 +44,9 @@ class Parser {
 
   Result<ExprPtr> ParseLooseExpr() {
     SVC_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
-    if (Peek().type != TokenType::kEnd) return Err("unexpected trailing tokens");
+    if (Peek().type != TokenType::kEnd) {
+      return Err("unexpected trailing tokens");
+    }
     return e;
   }
 

@@ -236,8 +236,8 @@ std::vector<ViewQuery> GenerateRandomViewQueries(
 }
 
 PlanPtr TpcdCubeViewDef() {
-  // lineitem ⋈ orders ⋈ customer ⋈ nation ⋈ region, rolled up to the four
-  // cube dimensions.
+  // lineitem ⋈ orders ⋈ customer ⋈ nation ⋈ region, rolled up to the
+  // four cube dimensions.
   PlanPtr j = PlanNode::Join(PlanNode::Scan("lineitem", "l"),
                              PlanNode::Scan("orders", "o"), JoinType::kInner,
                              {{"l.l_orderkey", "o.o_orderkey"}}, nullptr,

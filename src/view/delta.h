@@ -17,8 +17,8 @@ std::string DeltaInsertName(const std::string& relation);
 /// The catalog name for pending deletions ("__del_<relation>").
 std::string DeltaDeleteName(const std::string& relation);
 
-/// The paper's delta relations ∂D = {ΔR_1..ΔR_k} ∪ {∇R_1..∇R_k}: for each
-/// base relation a set of inserted records and a set of deleted records
+/// The paper's delta relations ∂D = {ΔR_1..ΔR_k} ∪ {∇R_1..∇R_k}: for
+/// each base relation a set of inserted records and a set of deleted records
 /// (an update is modeled as a deletion followed by an insertion). The
 /// Database keeps the *pre-update* state until ApplyToBase commits the
 /// deltas; maintenance expressions reference both through the catalog.

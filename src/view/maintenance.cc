@@ -154,7 +154,7 @@ Result<PlanPtr> DeriveDeltaStream(const PlanNode& subtree,
       };
 
       std::vector<PlanPtr> terms;
-      // d(E1 ⋈ E2) = dE1 ⋈ E2 + E1 ⋈ dE2 + dE1 ⋈ dE2, signs multiplying.
+      // d(E1 ⋈ E2) = dE1 ⋈ E2 + E1 ⋈ dE2 + dE1 ⋈ dE2, signs multiply.
       if (dl) {
         PlanPtr j = PlanNode::Join(dl->Clone(), subtree.child(1)->Clone(),
                                    JoinType::kInner, subtree.join_keys(),
@@ -362,7 +362,8 @@ Result<MaintenancePlan> BuildAggregateMergePlan(const MaterializedView& view,
              Expr::Div(
                  Expr::Add(
                      Expr::CoalesceZero(old_col(sc.hidden_sum_name)),
-                     Expr::CoalesceZero(Expr::Col(CtCol("d_" + sc.hidden_sum_name)))),
+                     Expr::CoalesceZero(
+                         Expr::Col(CtCol("d_" + sc.hidden_sum_name)))),
                  Expr::Add(
                      Expr::CoalesceZero(old_col(sc.hidden_cnt_name)),
                      Expr::CoalesceZero(
@@ -372,19 +373,21 @@ Result<MaintenancePlan> BuildAggregateMergePlan(const MaterializedView& view,
       case StoredColKind::kMinMerge:
         items.push_back(
             {sc.name,
-             Expr::Func("coalesce",
-                        {Expr::Func("least", {old_col(sc.name),
-                                              Expr::Col(CtCol("d_" + sc.name))}),
-                         old_col(sc.name), Expr::Col(CtCol("d_" + sc.name))}),
+             Expr::Func(
+                 "coalesce",
+                 {Expr::Func("least", {old_col(sc.name),
+                                       Expr::Col(CtCol("d_" + sc.name))}),
+                  old_col(sc.name), Expr::Col(CtCol("d_" + sc.name))}),
              ""});
         break;
       case StoredColKind::kMaxMerge:
         items.push_back(
             {sc.name,
-             Expr::Func("coalesce",
-                        {Expr::Func("greatest", {old_col(sc.name),
-                                                 Expr::Col(CtCol("d_" + sc.name))}),
-                         old_col(sc.name), Expr::Col(CtCol("d_" + sc.name))}),
+             Expr::Func(
+                 "coalesce",
+                 {Expr::Func("greatest", {old_col(sc.name),
+                                          Expr::Col(CtCol("d_" + sc.name))}),
+                  old_col(sc.name), Expr::Col(CtCol("d_" + sc.name))}),
              ""});
         break;
       case StoredColKind::kSupport:
@@ -480,8 +483,9 @@ Result<MaintenancePlan> BuildSpjPlan(const MaterializedView& view,
     } else {
       items.push_back(
           {sc.name,
-           Expr::Func("if", {Expr::Gt(ins->Clone(), Expr::LitInt(0)),
-                             Expr::Col(CtCol("n_" + sc.name)), old_col(sc.name)}),
+           Expr::Func("if",
+                      {Expr::Gt(ins->Clone(), Expr::LitInt(0)),
+                       Expr::Col(CtCol("n_" + sc.name)), old_col(sc.name)}),
            ""});
     }
   }
@@ -543,9 +547,10 @@ Result<MaintenancePlan> BuildMaintenancePlan(const MaterializedView& view,
 }
 
 Status ApplyMaintenance(const MaterializedView& view,
-                        const MaintenancePlan& plan, Database* db) {
+                        const MaintenancePlan& plan, Database* db,
+                        ExecOptions exec) {
   if (plan.kind == MaintenanceKind::kNoOp) return Status::OK();
-  SVC_ASSIGN_OR_RETURN(Table fresh, ExecutePlan(*plan.plan, *db));
+  SVC_ASSIGN_OR_RETURN(Table fresh, ExecutePlan(*plan.plan, *db, exec));
   SVC_RETURN_IF_ERROR(fresh.SetPrimaryKey(view.stored_pk()));
   db->PutTable(view.name(), std::move(fresh));
   return Status::OK();

@@ -4,6 +4,7 @@
 #include "common/status.h"
 #include "relational/algebra.h"
 #include "relational/database.h"
+#include "relational/executor.h"
 #include "view/delta.h"
 #include "view/view.h"
 
@@ -67,9 +68,12 @@ Result<MaintenancePlan> BuildMaintenancePlan(const MaterializedView& view,
                                              const Database& db);
 
 /// Executes a maintenance plan and replaces the view's stored table.
-/// kNoOp plans succeed without touching anything.
+/// kNoOp plans succeed without touching anything. `exec` controls the
+/// executor's parallelism (the maintained table is identical at any
+/// thread count).
 Status ApplyMaintenance(const MaterializedView& view,
-                        const MaintenancePlan& plan, Database* db);
+                        const MaintenancePlan& plan, Database* db,
+                        ExecOptions exec = {});
 
 }  // namespace svc
 

@@ -74,7 +74,7 @@ void CollectBaseRelations(const PlanNode& plan,
 
 Result<MaterializedView> MaterializedView::Create(
     std::string name, PlanPtr definition, Database* db,
-    std::vector<std::string> sampling_key) {
+    std::vector<std::string> sampling_key, ExecOptions exec) {
   if (db->HasTable(name)) {
     return Status::AlreadyExists("a table or view named '" + name +
                                  "' already exists");
@@ -255,7 +255,7 @@ Result<MaterializedView> MaterializedView::Create(
   }
 
   // Materialize.
-  SVC_ASSIGN_OR_RETURN(Table data, ExecutePlan(*mv.augmented_, *db));
+  SVC_ASSIGN_OR_RETURN(Table data, ExecutePlan(*mv.augmented_, *db, exec));
   SVC_RETURN_IF_ERROR(data.SetPrimaryKey(mv.stored_pk_));
   SVC_RETURN_IF_ERROR(db->CreateTable(mv.name_, std::move(data)));
   return mv;

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "relational/algebra.h"
 #include "relational/database.h"
+#include "relational/executor.h"
 
 namespace svc {
 
@@ -70,9 +71,11 @@ class MaterializedView {
   /// sampling attribute (§12.5 of the paper, e.g. the join key of a
   /// fact-dimension join view) still yields uniform row sampling and
   /// usually pushes further down the maintenance plan.
+  /// `exec` controls executor parallelism for the initial materialization
+  /// (the stored table is identical at any thread count).
   static Result<MaterializedView> Create(
       std::string name, PlanPtr definition, Database* db,
-      std::vector<std::string> sampling_key = {});
+      std::vector<std::string> sampling_key = {}, ExecOptions exec = {});
 
   const std::string& name() const { return name_; }
   /// The original user definition.

@@ -64,8 +64,8 @@ TEST(RowKeyEncodingTest, NullEncodesDistinctFromZeroAndEmpty) {
 
 TEST(RowKeyEncodingTest, PrefixFreeness) {
   // No encoded value may be a prefix of another value's encoding with a
-  // different decomposition: (“ab”, “c”) must differ from (“a”, “bc”), and
-  // ("x") from ("x", NULL).
+  // different decomposition: ("ab", "c") must differ from ("a", "bc"),
+  // and ("x") from ("x", NULL).
   const Row r1 = {Value::String("ab"), Value::String("c")};
   const Row r2 = {Value::String("a"), Value::String("bc")};
   EXPECT_NE(EncodeRowKey(r1, {0, 1}), EncodeRowKey(r2, {0, 1}));
@@ -87,7 +87,7 @@ TEST(RowKeyEncodingTest, EncodeIfNonNullSkipsNullKeys) {
   EXPECT_EQ(std::string(ref.bytes), Enc(Value::Int(1)));
 }
 
-// ---- FlatKeyMap --------------------------------------------------------------
+// ---- FlatKeyMap ------------------------------------------------------------
 
 TEST(FlatKeyMapTest, InsertFindGrowth) {
   FlatKeyMap<size_t> map;

@@ -1,0 +1,137 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace svc {
+namespace {
+
+TEST(ThreadPoolTest, RunAllCompletesEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back([&count] { count.fetch_add(1); });
+  }
+  pool.RunAll(std::move(tasks));
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, RunAllPropagatesExceptions) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([&ran, i] {
+      ran.fetch_add(1);
+      if (i == 3) throw std::runtime_error("task 3 failed");
+    });
+  }
+  EXPECT_THROW(pool.RunAll(std::move(tasks)), std::runtime_error);
+  // Remaining tasks still ran; the batch drains before rethrowing.
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 20; ++i) {
+      tasks.push_back([&total] { total.fetch_add(1); });
+    }
+    pool.RunAll(std::move(tasks));
+  }
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitRunsDetachedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  // Destruction drains the queue before joining the workers.
+  // (pool goes out of scope at the end of this test body)
+  while (count.load() < 10) std::this_thread::yield();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ParallelForTest, CoversEveryChunkExactlyOnce) {
+  const size_t kChunks = 37;
+  std::vector<std::atomic<int>> hits(kChunks);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(8, kChunks, [&](size_t c) { hits[c].fetch_add(1); });
+  for (size_t c = 0; c < kChunks; ++c) {
+    EXPECT_EQ(hits[c].load(), 1) << "chunk " << c;
+  }
+}
+
+TEST(ParallelForTest, RunsInlineWithOneThread) {
+  // num_threads = 1 must not touch the shared pool; chunk bodies run on
+  // the calling thread in chunk order.
+  std::vector<size_t> order;
+  ParallelFor(1, 5, [&](size_t c) { order.push_back(c); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, PropagatesExceptions) {
+  EXPECT_THROW(
+      ParallelFor(4, 16,
+                  [&](size_t c) {
+                    if (c == 7) throw std::runtime_error("chunk 7");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, NestedBatchesDoNotDeadlock) {
+  // A chunk body that itself runs a ParallelFor must complete even when
+  // the shared pool is saturated (callers participate in their batches).
+  std::atomic<int> inner{0};
+  ParallelFor(4, 4, [&](size_t) {
+    ParallelFor(4, 4, [&](size_t) { inner.fetch_add(1); });
+  });
+  EXPECT_EQ(inner.load(), 16);
+}
+
+TEST(DeterministicChunksTest, DependsOnlyOnInputSize) {
+  // The decomposition is what guarantees bit-identical parallel results:
+  // it must never vary with thread count, only with n.
+  EXPECT_EQ(DeterministicChunks(0, 4096), 1u);
+  EXPECT_EQ(DeterministicChunks(4095, 4096), 1u);
+  EXPECT_EQ(DeterministicChunks(8192, 4096), 2u);
+  EXPECT_EQ(DeterministicChunks(100000, 4096), 24u);
+  // Clamped to max_chunks.
+  EXPECT_EQ(DeterministicChunks(1u << 30, 4096, 64), 64u);
+}
+
+TEST(DeterministicChunksTest, ChunkBoundsPartitionTheRange) {
+  for (size_t n : {0u, 1u, 7u, 100u, 4097u}) {
+    for (size_t chunks : {1u, 2u, 3u, 8u}) {
+      size_t covered = 0;
+      size_t prev_end = 0;
+      for (size_t c = 0; c < chunks; ++c) {
+        auto [begin, end] = ChunkBounds(n, chunks, c);
+        EXPECT_EQ(begin, prev_end);
+        EXPECT_LE(begin, end);
+        covered += end - begin;
+        prev_end = end;
+      }
+      EXPECT_EQ(covered, n);
+      EXPECT_EQ(prev_end, n);
+    }
+  }
+}
+
+TEST(ResolveThreadsTest, ZeroMeansHardware) {
+  EXPECT_GE(ResolveThreads(0), 1);
+  EXPECT_EQ(ResolveThreads(1), 1);
+  EXPECT_EQ(ResolveThreads(8), 8);
+}
+
+}  // namespace
+}  // namespace svc
