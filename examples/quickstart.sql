@@ -1,0 +1,59 @@
+-- SVC quickstart: the paper's running example (§3.2), end to end in SQL.
+-- Run with:  ./build/svc_shell --file examples/quickstart.sql
+--
+-- Lifecycle: define base relations -> load them -> materialize a view ->
+-- ingest deltas (the view goes stale) -> answer aggregates on the stale
+-- view with bounded-error SVC estimates -> REFRESH (maintenance commit).
+
+CREATE TABLE Video (videoId INT, ownerId INT, duration DOUBLE,
+                    PRIMARY KEY (videoId));
+CREATE TABLE Log (sessionId INT, videoId INT, PRIMARY KEY (sessionId));
+
+-- Initial load. INSERT always queues deltas; REFRESH ALL commits them
+-- into the base tables (there are no views yet, so nothing to maintain).
+INSERT INTO Video VALUES
+  (1, 101, 1.5), (2, 102, 0.8), (3, 100, 2.5), (4, 101, 1.1),
+  (5, 102, 3.0), (6, 100, 0.4), (7, 101, 2.2), (8, 102, 1.7);
+INSERT INTO Log VALUES
+  (0, 1), (1, 1), (2, 1), (3, 1), (4, 1), (5, 1),
+  (6, 2), (7, 2), (8, 2), (9, 2),
+  (10, 3), (11, 3), (12, 3), (13, 3), (14, 3), (15, 3), (16, 3),
+  (17, 4), (18, 4),
+  (19, 5), (20, 5), (21, 5), (22, 5), (23, 5),
+  (24, 6),
+  (25, 7), (26, 7), (27, 7),
+  (28, 8), (29, 8);
+REFRESH ALL;
+SHOW TABLES;
+
+-- The running-example view: visits per video.
+CREATE MATERIALIZED VIEW visitView AS
+  SELECT Log.videoId, COUNT(1) AS visitCount
+  FROM Log, Video WHERE Log.videoId = Video.videoId
+  GROUP BY Log.videoId;
+SELECT videoId, visitCount FROM visitView WHERE visitCount > 4;
+
+-- New visits stream in: the view is now stale.
+INSERT INTO Log VALUES
+  (100, 2), (101, 2), (102, 2), (103, 2), (104, 2),
+  (105, 4), (106, 4), (107, 4), (108, 4),
+  (109, 6), (110, 6), (111, 6),
+  (112, 1), (113, 3);
+SHOW VIEWS;
+
+-- The stale answer misses every new visit...
+SELECT COUNT(1) FROM visitView WHERE visitCount > 4;
+
+-- ...SVC corrects a sampled estimate of it, with a confidence interval.
+SELECT COUNT(1) FROM visitView WHERE visitCount > 4
+  WITH SVC(ratio=0.5, mode=corr);
+SELECT SUM(visitCount) FROM visitView WITH SVC(ratio=0.5, mode=aqp);
+
+-- Per-group estimates, letting the §5.2.2 break-even rule pick the
+-- estimator.
+SELECT videoId, SUM(visitCount) AS visits FROM visitView
+  GROUP BY videoId WITH SVC(ratio=0.5, mode=auto);
+
+-- Periodic maintenance commits the deltas; the view is exact again.
+REFRESH VIEW visitView;
+SELECT videoId, visitCount FROM visitView WHERE visitCount > 4;

@@ -58,4 +58,11 @@ if [[ "$gate_rc" -ne 0 ]]; then
   echo "Bench gate FAILED (micro_ops exit $gate_rc)." >&2
   exit "$gate_rc"
 fi
+
+# Docs: intra-repo markdown links must resolve (CI's docs job also
+# golden-diffs examples/quickstart.sql — covered here by ctest).
+if command -v python3 >/dev/null 2>&1; then
+  echo "== Markdown link check =="
+  python3 scripts/check_md_links.py
+fi
 echo "All checks passed."

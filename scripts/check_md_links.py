@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Checks that intra-repo markdown links resolve.
+
+Scans README.md, ROADMAP.md, and docs/*.md for inline links
+[text](target) and verifies that every relative target exists on disk
+(anchors are stripped; for same-file anchors the heading must exist).
+External schemes (http/https/mailto) are skipped. Exits non-zero listing
+every broken link. Stdlib only — runs anywhere python3 exists.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+
+
+def anchor_of(heading: str) -> str:
+    """GitHub-style anchor: lowercase, spaces to dashes, drop punctuation."""
+    text = heading.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_in(path: str) -> set:
+    with open(path, encoding="utf-8") as f:
+        content = f.read()
+    return {anchor_of(h) for h in HEADING_RE.findall(content)}
+
+
+def check_file(md_path: str) -> list:
+    errors = []
+    with open(md_path, encoding="utf-8") as f:
+        content = f.read()
+    base = os.path.dirname(md_path)
+    for target in LINK_RE.findall(content):
+        if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+            continue  # http:, https:, mailto:, ...
+        path_part, _, anchor = target.partition("#")
+        resolved = (
+            md_path if not path_part else os.path.normpath(
+                os.path.join(base, path_part))
+        )
+        rel = os.path.relpath(md_path, REPO)
+        if not os.path.exists(resolved):
+            errors.append(f"{rel}: broken link ({target}): "
+                          f"{os.path.relpath(resolved, REPO)} does not exist")
+            continue
+        if anchor and resolved.endswith(".md"):
+            if anchor_of(anchor) not in anchors_in(resolved):
+                errors.append(
+                    f"{rel}: broken anchor ({target}): no heading "
+                    f"'#{anchor}' in {os.path.relpath(resolved, REPO)}")
+    return errors
+
+
+def main() -> int:
+    files = [os.path.join(REPO, "README.md"), os.path.join(REPO, "ROADMAP.md")]
+    docs = os.path.join(REPO, "docs")
+    if os.path.isdir(docs):
+        files += sorted(
+            os.path.join(docs, f) for f in os.listdir(docs)
+            if f.endswith(".md"))
+    errors = []
+    checked = 0
+    for path in files:
+        if not os.path.exists(path):
+            errors.append(f"expected file missing: {os.path.relpath(path, REPO)}")
+            continue
+        checked += 1
+        errors.extend(check_file(path))
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        print(f"\n{len(errors)} broken link(s) across {checked} file(s).",
+              file=sys.stderr)
+        return 1
+    print(f"OK: markdown links resolve in {checked} file(s).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

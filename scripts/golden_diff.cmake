@@ -1,0 +1,22 @@
+# Runs ${SHELL} --echo --file ${SCRIPT} and fails unless the output matches
+# ${GOLDEN} exactly. Invoked by ctest (see CMakeLists.txt) and mirrored by
+# the CI docs job so documented example transcripts cannot rot.
+execute_process(
+  COMMAND ${SHELL} --echo --file ${SCRIPT}
+  OUTPUT_VARIABLE actual
+  ERROR_VARIABLE errout
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "svc_shell failed (exit ${rc}) on ${SCRIPT}:\n"
+                      "${actual}\n${errout}")
+endif()
+file(READ ${GOLDEN} expected)
+if(NOT actual STREQUAL expected)
+  file(WRITE ${CMAKE_BINARY_DIR}/quickstart.actual "${actual}")
+  message(FATAL_ERROR
+          "output of ${SCRIPT} diverged from ${GOLDEN}.\n"
+          "Actual output written to ${CMAKE_BINARY_DIR}/quickstart.actual.\n"
+          "If the change is intentional, regenerate the golden with:\n"
+          "  ./build/svc_shell --echo --file examples/quickstart.sql "
+          "> examples/quickstart.golden")
+endif()

@@ -7,6 +7,16 @@
 
 namespace svc {
 
+std::string AggregateQuery::ToString() const {
+  std::string out = AggFuncName(func);
+  if (func != AggFunc::kCountStar) {
+    out += "(" + (attr ? attr->ToString() : std::string("<no attribute>")) +
+           ")";
+  }
+  if (predicate) out += " WHERE " + predicate->ToString();
+  return out;
+}
+
 namespace {
 
 /// Per-row evaluation of an aggregate query: did the row satisfy the
@@ -28,7 +38,11 @@ Result<std::vector<EvalRow>> EvalRows(const Table& t,
     attr = q.attr->Clone();
     SVC_RETURN_IF_ERROR(attr->Bind(t.schema()));
   } else if (q.func != AggFunc::kCountStar) {
-    return Status::InvalidArgument("aggregate requires an attribute");
+    return Status::InvalidArgument(
+        std::string(AggFuncName(q.func)) +
+        " requires an aggregation attribute (only count(*) takes none); "
+        "query: " +
+        q.ToString());
   }
   std::vector<EvalRow> out;
   out.reserve(t.NumRows());
@@ -373,7 +387,11 @@ Result<double> ExactAggregate(const Table& view, const AggregateQuery& q) {
       return values.empty() ? 0.0
                             : *std::max_element(values.begin(), values.end());
     default:
-      return Status::NotSupported("aggregate not supported");
+      return Status::NotSupported(
+          std::string(AggFuncName(q.func)) +
+          " has no exact single-pass evaluator (supported: sum, count, "
+          "count(*), avg, median, min, max); query: " +
+          q.ToString());
   }
 }
 

@@ -36,6 +36,10 @@ struct AggregateQuery {
   static AggregateQuery Median(ExprPtr attr, ExprPtr predicate = nullptr) {
     return {AggFunc::kMedian, std::move(attr), std::move(predicate)};
   }
+
+  /// Renders the query for error messages and logs, e.g.
+  /// "sum(duration) WHERE videoId = 3" or "count(*)".
+  std::string ToString() const;
 };
 
 /// A point estimate with a confidence interval. For estimators without an

@@ -22,7 +22,9 @@ Result<MinMaxEstimate> Extremum(const Table& stale_view,
   ExprPtr attr = q.attr ? q.attr->Clone() : nullptr;
   ExprPtr pred = q.predicate ? q.predicate->Clone() : nullptr;
   if (!attr) {
-    return Status::InvalidArgument("min/max requires an attribute");
+    return Status::InvalidArgument(
+        std::string(AggFuncName(q.func)) +
+        " requires an aggregation attribute; query: " + q.ToString());
   }
   SVC_RETURN_IF_ERROR(attr->Bind(samples.fresh.schema()));
   if (pred) SVC_RETURN_IF_ERROR(pred->Bind(samples.fresh.schema()));

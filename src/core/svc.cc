@@ -17,7 +17,17 @@ Status SvcEngine::CreateView(const std::string& name, PlanPtr definition,
 Result<const MaterializedView*> SvcEngine::GetView(
     const std::string& name) const {
   auto it = views_.find(name);
-  if (it == views_.end()) return Status::NotFound("no such view: " + name);
+  if (it == views_.end()) {
+    std::string msg = "no such view: " + name;
+    if (views_.empty()) {
+      msg += " (no views have been created)";
+    } else {
+      msg += " (known views:";
+      for (const auto& [k, v] : views_) msg += " " + k;
+      msg += ")";
+    }
+    return Status::NotFound(std::move(msg));
+  }
   return &it->second;
 }
 
@@ -80,20 +90,27 @@ Result<CorrespondingSamples> SvcEngine::CleanSample(
   return CleanViewSample(*view, pending_, db_, opts, report);
 }
 
-Result<SvcAnswer> SvcEngine::Query(const std::string& name,
-                                   const AggregateQuery& q,
-                                   const SvcQueryOptions& opts) const {
+Result<CorrespondingSamples> SvcEngine::PrepareSvcQuery(
+    const std::string& name, const AggregateQuery& q,
+    const SvcQueryOptions& opts, EstimatorMode* mode_used) const {
   SVC_ASSIGN_OR_RETURN(const MaterializedView* view, GetView(name));
   CleanOptions clean_opts{opts.ratio, opts.family, opts.exec};
   SVC_ASSIGN_OR_RETURN(CorrespondingSamples samples,
                        CleanViewSample(*view, pending_, db_, clean_opts));
-
-  SvcAnswer answer;
-  answer.mode_used = opts.mode;
+  *mode_used = opts.mode;
   if (opts.auto_mode) {
     SVC_ASSIGN_OR_RETURN(PolicyDecision d, ChooseEstimator(samples, q));
-    answer.mode_used = d.mode;
+    *mode_used = d.mode;
   }
+  return samples;
+}
+
+Result<SvcAnswer> SvcEngine::Query(const std::string& name,
+                                   const AggregateQuery& q,
+                                   const SvcQueryOptions& opts) const {
+  SvcAnswer answer;
+  SVC_ASSIGN_OR_RETURN(CorrespondingSamples samples,
+                       PrepareSvcQuery(name, q, opts, &answer.mode_used));
   if (answer.mode_used == EstimatorMode::kAqp) {
     SVC_ASSIGN_OR_RETURN(answer.estimate,
                          SvcAqpEstimate(samples, q, opts.estimator));
@@ -101,6 +118,25 @@ Result<SvcAnswer> SvcEngine::Query(const std::string& name,
     SVC_ASSIGN_OR_RETURN(const Table* stale, db_.GetTable(name));
     SVC_ASSIGN_OR_RETURN(answer.estimate,
                          SvcCorrEstimate(*stale, samples, q, opts.estimator));
+  }
+  return answer;
+}
+
+Result<SvcGroupedAnswer> SvcEngine::QueryGrouped(
+    const std::string& name, const std::vector<std::string>& group_columns,
+    const AggregateQuery& q, const SvcQueryOptions& opts) const {
+  SvcGroupedAnswer answer;
+  SVC_ASSIGN_OR_RETURN(CorrespondingSamples samples,
+                       PrepareSvcQuery(name, q, opts, &answer.mode_used));
+  if (answer.mode_used == EstimatorMode::kAqp) {
+    SVC_ASSIGN_OR_RETURN(
+        answer.result,
+        SvcAqpEstimateGrouped(samples, group_columns, q, opts.estimator));
+  } else {
+    SVC_ASSIGN_OR_RETURN(const Table* stale, db_.GetTable(name));
+    SVC_ASSIGN_OR_RETURN(answer.result,
+                         SvcCorrEstimateGrouped(*stale, samples, group_columns,
+                                                q, opts.estimator));
   }
   return answer;
 }

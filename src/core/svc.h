@@ -42,6 +42,12 @@ struct SvcAnswer {
   EstimatorMode mode_used = EstimatorMode::kCorr;
 };
 
+/// The grouped analog of SvcAnswer: one estimate per observed group.
+struct SvcGroupedAnswer {
+  GroupedResult result;
+  EstimatorMode mode_used = EstimatorMode::kCorr;
+};
+
 /// The top-level facade implementing the paper's workflow (§3.2):
 ///
 ///   1. create materialized views over base relations,
@@ -71,8 +77,13 @@ class SvcEngine {
   Status CreateView(const std::string& name, PlanPtr definition,
                     std::vector<std::string> sampling_key = {});
 
-  /// Looks up view metadata.
+  /// Looks up view metadata (errors list the known views).
   Result<const MaterializedView*> GetView(const std::string& name) const;
+
+  /// Cheap existence probe (no error-message construction).
+  bool HasView(const std::string& name) const {
+    return views_.count(name) > 0;
+  }
 
   /// Names of all registered views.
   std::vector<std::string> ViewNames() const;
@@ -108,11 +119,27 @@ class SvcEngine {
   Result<SvcAnswer> Query(const std::string& name, const AggregateQuery& q,
                           const SvcQueryOptions& opts = {}) const;
 
+  /// Per-group variant of Query: evaluates the same aggregate once per
+  /// `group_columns` value (footnote 1 of §5.1 models GROUP BY as one query
+  /// per group). Draws the corresponding samples once and shares them
+  /// across every group's estimate.
+  Result<SvcGroupedAnswer> QueryGrouped(
+      const std::string& name, const std::vector<std::string>& group_columns,
+      const AggregateQuery& q, const SvcQueryOptions& opts = {}) const;
+
   /// The (stale) exact answer, for comparison.
   Result<double> QueryStale(const std::string& name,
                             const AggregateQuery& q) const;
 
  private:
+  /// Shared prologue of Query / QueryGrouped: draws the corresponding
+  /// samples for `name` and resolves the estimator mode (running the
+  /// §5.2.2 break-even rule when `opts.auto_mode` is set).
+  Result<CorrespondingSamples> PrepareSvcQuery(const std::string& name,
+                                               const AggregateQuery& q,
+                                               const SvcQueryOptions& opts,
+                                               EstimatorMode* mode_used) const;
+
   Database db_;
   std::map<std::string, MaterializedView> views_;
   DeltaSet pending_;

@@ -14,15 +14,42 @@ void Database::PutTable(const std::string& name, Table table) {
   tables_[name] = std::make_unique<Table>(std::move(table));
 }
 
+namespace {
+
+/// "no such table: X (known tables: a b c)"; internal delta tables
+/// ("__ins_*" / "__del_*") are elided from the listing.
+std::string NoSuchTable(
+    const std::string& name,
+    const std::map<std::string, std::unique_ptr<Table>>& tables) {
+  std::string msg = "no such table: " + name;
+  std::string known;
+  for (const auto& [k, v] : tables) {
+    if (k.rfind("__", 0) == 0) continue;
+    known += " " + k;
+  }
+  if (known.empty()) {
+    msg += " (no tables have been created)";
+  } else {
+    msg += " (known tables:" + known + ")";
+  }
+  return msg;
+}
+
+}  // namespace
+
 Result<const Table*> Database::GetTable(const std::string& name) const {
   auto it = tables_.find(name);
-  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  if (it == tables_.end()) {
+    return Status::NotFound(NoSuchTable(name, tables_));
+  }
   return static_cast<const Table*>(it->second.get());
 }
 
 Result<Table*> Database::GetMutableTable(const std::string& name) {
   auto it = tables_.find(name);
-  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  if (it == tables_.end()) {
+    return Status::NotFound(NoSuchTable(name, tables_));
+  }
   return it->second.get();
 }
 

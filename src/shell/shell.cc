@@ -1,0 +1,122 @@
+#include "shell/shell.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/table_printer.h"
+#include "sql/parser.h"
+
+namespace svc {
+
+namespace {
+
+/// Trims leading/trailing whitespace for echoing.
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+Shell::Shell(SqlSession* session, std::ostream* out, ShellOptions opts)
+    : session_(session), out_(out), opts_(opts) {}
+
+Status Shell::RunScript(const std::string& script) {
+  Status failed = Status::OK();
+  for (const std::string& stmt : SplitSqlScript(script)) {
+    const Status s = RunStatement(stmt);
+    if (!s.ok()) {
+      failed = s;
+      if (!opts_.keep_going) return failed;
+    }
+  }
+  return failed;
+}
+
+Status Shell::RunStatement(const std::string& sql) {
+  if (opts_.echo) *out_ << "svc> " << Trim(sql) << "\n";
+  ++statements_run_;
+  Result<SqlResult> result = session_->Execute(sql);
+  if (!result.ok()) {
+    *out_ << "error: " << result.status().ToString() << "\n";
+    return result.status();
+  }
+  PrintResult(*result);
+  return Status::OK();
+}
+
+Status Shell::RunInteractive(std::istream& in, std::ostream& prompt_out,
+                             bool show_prompt) {
+  // Errors never end the loop, but the last one becomes the return value
+  // so `cat script.sql | svc_shell` exits non-zero exactly like --file.
+  Status failed = Status::OK();
+  std::string buffer;
+  std::string line;
+  while (true) {
+    if (show_prompt) {
+      prompt_out << (buffer.empty() ? "svc> " : "...> ") << std::flush;
+    }
+    if (!std::getline(in, line)) break;
+    buffer += line;
+    buffer += '\n';
+    // Submit every complete (';'-terminated) statement; keep the partial
+    // tail in the buffer so statements can span lines. The splitter — not
+    // a text inspection — decides completeness, so a ';' inside a comment
+    // or string never submits early.
+    bool last_terminated = false;
+    std::vector<std::string> stmts = SplitSqlScript(buffer, &last_terminated);
+    if (stmts.empty()) {
+      // Nothing executable yet. Keep comment-only text so a leading
+      // comment block attaches to the next statement (and piped --echo
+      // transcripts match --file); drop pure whitespace.
+      if (Trim(buffer).empty()) buffer.clear();
+      continue;
+    }
+    buffer.clear();
+    if (!last_terminated) {
+      buffer = std::move(stmts.back());  // incomplete tail — wait for more
+      stmts.pop_back();
+    }
+    for (auto& stmt : stmts) {
+      ShellOptions saved = opts_;
+      // Suppress echo only on a real terminal (the user just typed it);
+      // piped stdin keeps --echo so it can produce the same transcript
+      // as --file.
+      if (show_prompt) opts_.echo = false;
+      const Status st = RunStatement(stmt);
+      opts_ = saved;
+      if (!st.ok()) failed = st;
+    }
+  }
+  // EOF with a non-empty tail: run it (scripts piped on stdin may omit the
+  // final ';'; comment-only tails yield no statements and are dropped).
+  for (auto& stmt : SplitSqlScript(buffer)) {
+    const Status s = RunStatement(stmt);
+    if (!s.ok()) failed = s;
+  }
+  return failed;
+}
+
+void Shell::PrintResult(const SqlResult& result) {
+  if (result.kind == SqlResultKind::kOk) {
+    *out_ << result.message << "\n";
+    return;
+  }
+  const Table& t = result.rows;
+  std::vector<std::string> headers;
+  headers.reserve(t.schema().NumColumns());
+  for (const auto& c : t.schema().columns()) headers.push_back(c.FullName());
+  TablePrinter printer(std::move(headers));
+  for (const auto& row : t.rows()) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const auto& v : row) cells.push_back(v.ToString());
+    printer.AddRow(std::move(cells));
+  }
+  *out_ << printer.ToString();
+  *out_ << "-- " << result.message << "\n";
+}
+
+}  // namespace svc

@@ -1,0 +1,60 @@
+#ifndef SVC_SHELL_SHELL_H_
+#define SVC_SHELL_SHELL_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "sql/session.h"
+
+namespace svc {
+
+/// Rendering and error-handling knobs for the SQL shell.
+struct ShellOptions {
+  /// Echo each statement (prefixed "svc> ") before its result — used by
+  /// `svc_shell --echo --file` so golden outputs read as transcripts.
+  bool echo = false;
+  /// Keep executing after a statement fails (errors still print).
+  bool keep_going = false;
+};
+
+/// The statement-at-a-time driver behind the `svc_shell` binary: splits
+/// scripts into statements, executes them on a SqlSession, and renders
+/// results (row sets and estimate tables via TablePrinter, DDL/DML as
+/// one-line messages). Kept as a library so tests can run scripts in
+/// process and diff the exact printed output.
+class Shell {
+ public:
+  /// `session` and `out` must outlive the shell.
+  Shell(SqlSession* session, std::ostream* out, ShellOptions opts = {});
+
+  /// Executes every ';'-terminated statement in `script`. Returns the
+  /// first error (after printing it); with `keep_going` the last error.
+  Status RunScript(const std::string& script);
+
+  /// Executes one statement and prints its result (or error).
+  Status RunStatement(const std::string& sql);
+
+  /// Interactive loop: reads lines from `in`, submitting whenever a
+  /// statement is terminated by ';'. A `show_prompt` of true prints
+  /// "svc> " / "...> " continuation prompts to `prompt_out`. Errors never
+  /// end the loop; EOF does. Returns the last statement error (so piped
+  /// scripts exit non-zero exactly like --file), OK when everything ran.
+  Status RunInteractive(std::istream& in, std::ostream& prompt_out,
+                        bool show_prompt);
+
+  /// Statements executed so far (including failed ones).
+  size_t statements_run() const { return statements_run_; }
+
+ private:
+  void PrintResult(const SqlResult& result);
+
+  SqlSession* session_;
+  std::ostream* out_;
+  ShellOptions opts_;
+  size_t statements_run_ = 0;
+};
+
+}  // namespace svc
+
+#endif  // SVC_SHELL_SHELL_H_

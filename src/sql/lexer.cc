@@ -10,11 +10,19 @@ namespace {
 
 const std::set<std::string>& Keywords() {
   static const std::set<std::string> kKeywords = {
+      // Query surface.
       "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "AS", "AND", "OR",
       "NOT", "NULL", "IS", "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER",
       "ON", "UNION", "INTERSECT", "EXCEPT", "SUM", "COUNT", "AVG", "MIN",
       "MAX", "MEDIAN", "DISTINCT", "BETWEEN", "LIKE", "IN", "CASE", "WHEN",
       "THEN", "ELSE", "END", "TRUE", "FALSE",
+      // DDL / DML / SVC serving-layer statements.
+      "CREATE", "TABLE", "MATERIALIZED", "VIEW", "INSERT", "INTO", "VALUES",
+      "DELETE", "REFRESH", "ALL", "WITH", "SVC", "SHOW", "TABLES", "VIEWS",
+      "PRIMARY", "KEY", "SAMPLING",
+      // Column types for CREATE TABLE.
+      "INT", "INTEGER", "DOUBLE", "FLOAT", "REAL", "STRING", "TEXT",
+      "VARCHAR",
   };
   return kKeywords;
 }
@@ -85,15 +93,26 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
     if (c == '\'') {
       ++i;
       std::string text;
-      while (i < n && sql[i] != '\'') {
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          // SQL-standard escape: '' inside a literal is one quote.
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;  // closing quote
+          closed = true;
+          break;
+        }
         text.push_back(sql[i]);
         ++i;
       }
-      if (i >= n) {
+      if (!closed) {
         return Status::InvalidArgument(
             "unterminated string literal at offset " + std::to_string(start));
       }
-      ++i;  // closing quote
       out.push_back({TokenType::kString, std::move(text), start});
       continue;
     }
@@ -107,7 +126,7 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
         continue;
       }
     }
-    static const std::string kSingles = "(),*+-/%=<>.";
+    static const std::string kSingles = "(),*+-/%=<>.;";
     if (kSingles.find(c) != std::string::npos) {
       out.push_back({TokenType::kSymbol, std::string(1, c), start});
       ++i;

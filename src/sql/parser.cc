@@ -1,10 +1,20 @@
 #include "sql/parser.h"
 
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
 #include "sql/lexer.h"
 
 namespace svc {
 
 namespace {
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
 
 /// Recursive-descent parser over the token stream. Expression grammar
 /// (loosest to tightest): OR, AND, NOT, comparison (= <> < <= > >=,
@@ -16,13 +26,6 @@ class Parser {
 
   Result<std::unique_ptr<SelectStmt>> ParseStatement() {
     SVC_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt, ParseSelectBody());
-    if (!Peek().IsKeyword("UNION") && !Peek().IsKeyword("INTERSECT") &&
-        !Peek().IsKeyword("EXCEPT")) {
-      if (Peek().type != TokenType::kEnd && !Peek().IsSymbol(")")) {
-        return Err("unexpected trailing tokens");
-      }
-      return stmt;
-    }
     SelectStmt* tail = stmt.get();
     while (Peek().IsKeyword("UNION") || Peek().IsKeyword("INTERSECT") ||
            Peek().IsKeyword("EXCEPT")) {
@@ -36,10 +39,62 @@ class Parser {
       tail->set_next = std::move(next);
       tail = tail->set_next.get();
     }
-    if (Peek().type != TokenType::kEnd && !Peek().IsSymbol(")")) {
+    if (Peek().type != TokenType::kEnd && !Peek().IsSymbol(")") &&
+        !Peek().IsSymbol(";") && !Peek().IsKeyword("WITH")) {
       return Err("unexpected trailing tokens");
     }
     return stmt;
+  }
+
+  /// Parses one top-level statement of any kind (SELECT, DDL, DML).
+  Result<Statement> ParseTop() {
+    Statement stmt;
+    if (Peek().type == TokenType::kEnd || Peek().IsSymbol(";")) {
+      return Err("empty statement");
+    }
+    if (Peek().IsKeyword("SELECT")) {
+      stmt.kind = Statement::Kind::kSelect;
+      SVC_ASSIGN_OR_RETURN(stmt.select, ParseStatement());
+      SVC_ASSIGN_OR_RETURN(stmt.svc, ParseSvcClause());
+    } else if (Accept("CREATE")) {
+      if (Accept("TABLE")) {
+        SVC_RETURN_IF_ERROR(ParseCreateTable(&stmt));
+      } else if (Accept("MATERIALIZED")) {
+        SVC_RETURN_IF_ERROR(Expect("VIEW"));
+        SVC_RETURN_IF_ERROR(ParseCreateView(&stmt));
+      } else {
+        return Err(
+            "expected TABLE or MATERIALIZED VIEW after CREATE (only "
+            "materialized views are supported)");
+      }
+    } else if (Accept("INSERT")) {
+      SVC_RETURN_IF_ERROR(ParseInsert(&stmt));
+    } else if (Accept("DELETE")) {
+      SVC_RETURN_IF_ERROR(ParseDelete(&stmt));
+    } else if (Accept("REFRESH")) {
+      SVC_RETURN_IF_ERROR(ParseRefresh(&stmt));
+    } else if (Accept("SHOW")) {
+      if (Accept("TABLES")) {
+        stmt.kind = Statement::Kind::kShowTables;
+      } else if (Accept("VIEWS")) {
+        stmt.kind = Statement::Kind::kShowViews;
+      } else {
+        return Err("expected TABLES or VIEWS after SHOW");
+      }
+    } else {
+      return Err(
+          "expected a statement (SELECT, CREATE TABLE, CREATE MATERIALIZED "
+          "VIEW, INSERT INTO, DELETE FROM, REFRESH, SHOW)");
+    }
+    if (!AtEnd()) return Err("unexpected trailing tokens");
+    return stmt;
+  }
+
+  /// True once every remaining token is a statement separator.
+  bool AtEnd() {
+    while (AcceptSymbol(";")) {
+    }
+    return Peek().type == TokenType::kEnd;
   }
 
   Result<ExprPtr> ParseLooseExpr() {
@@ -89,6 +144,222 @@ class Parser {
   Status Err(const std::string& msg) const {
     return Status::InvalidArgument(msg + " near offset " +
                                    std::to_string(Peek().offset));
+  }
+
+  /// std::stoll with overflow mapped to a parse error (an out-of-range
+  /// literal must not abort the process).
+  Result<int64_t> ToInt(const std::string& text) const {
+    try {
+      return std::stoll(text);
+    } catch (const std::exception&) {
+      return Err("integer literal out of range: " + text);
+    }
+  }
+
+  /// std::stod with overflow mapped to a parse error.
+  Result<double> ToDouble(const std::string& text) const {
+    try {
+      return std::stod(text);
+    } catch (const std::exception&) {
+      return Err("numeric literal out of range: " + text);
+    }
+  }
+
+  /// Consumes an identifier token; `what` names it in the error message.
+  Result<std::string> ExpectIdent(const char* what) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Err(std::string("expected ") + what);
+    }
+    return Advance().text;
+  }
+
+  /// Parses a parenthesized, comma-separated identifier list.
+  Result<std::vector<std::string>> ParseIdentList(const char* what) {
+    SVC_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<std::string> out;
+    do {
+      SVC_ASSIGN_OR_RETURN(std::string name, ExpectIdent(what));
+      out.push_back(std::move(name));
+    } while (AcceptSymbol(","));
+    SVC_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return out;
+  }
+
+  Status ParseCreateTable(Statement* stmt) {
+    stmt->kind = Statement::Kind::kCreateTable;
+    SVC_ASSIGN_OR_RETURN(stmt->target, ExpectIdent("a table name"));
+    SVC_RETURN_IF_ERROR(ExpectSymbol("("));
+    do {
+      if (Accept("PRIMARY")) {
+        SVC_RETURN_IF_ERROR(Expect("KEY"));
+        if (!stmt->primary_key.empty()) {
+          return Err("duplicate PRIMARY KEY clause");
+        }
+        SVC_ASSIGN_OR_RETURN(stmt->primary_key,
+                             ParseIdentList("a key column name"));
+        continue;
+      }
+      ColumnDef col;
+      SVC_ASSIGN_OR_RETURN(col.name, ExpectIdent("a column name"));
+      if (Accept("INT") || Accept("INTEGER")) {
+        col.type = ValueType::kInt;
+      } else if (Accept("DOUBLE") || Accept("FLOAT") || Accept("REAL")) {
+        col.type = ValueType::kDouble;
+      } else if (Accept("STRING") || Accept("TEXT") || Accept("VARCHAR")) {
+        col.type = ValueType::kString;
+      } else {
+        return Err("expected a column type (INT, DOUBLE, or STRING) after '" +
+                   col.name + "'");
+      }
+      stmt->columns.push_back(std::move(col));
+    } while (AcceptSymbol(","));
+    SVC_RETURN_IF_ERROR(ExpectSymbol(")"));
+    if (stmt->columns.empty()) {
+      return Err("CREATE TABLE requires at least one column");
+    }
+    return Status::OK();
+  }
+
+  Status ParseCreateView(Statement* stmt) {
+    stmt->kind = Statement::Kind::kCreateView;
+    SVC_ASSIGN_OR_RETURN(stmt->target, ExpectIdent("a view name"));
+    if (Accept("SAMPLING")) {
+      SVC_RETURN_IF_ERROR(Expect("KEY"));
+      SVC_ASSIGN_OR_RETURN(stmt->sampling_key,
+                           ParseIdentList("a sampling-key column name"));
+    }
+    SVC_RETURN_IF_ERROR(Expect("AS"));
+    SVC_ASSIGN_OR_RETURN(stmt->select, ParseStatement());
+    if (Peek().IsKeyword("WITH")) {
+      return Err("WITH SVC(...) applies to queries, not view definitions");
+    }
+    return Status::OK();
+  }
+
+  Status ParseInsert(Statement* stmt) {
+    stmt->kind = Statement::Kind::kInsert;
+    SVC_RETURN_IF_ERROR(Expect("INTO"));
+    SVC_ASSIGN_OR_RETURN(stmt->target, ExpectIdent("a table name"));
+    SVC_RETURN_IF_ERROR(Expect("VALUES"));
+    do {
+      SVC_RETURN_IF_ERROR(ExpectSymbol("("));
+      Row row;
+      do {
+        SVC_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+        row.push_back(std::move(v));
+      } while (AcceptSymbol(","));
+      SVC_RETURN_IF_ERROR(ExpectSymbol(")"));
+      stmt->values.push_back(std::move(row));
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  Status ParseDelete(Statement* stmt) {
+    stmt->kind = Statement::Kind::kDelete;
+    SVC_RETURN_IF_ERROR(Expect("FROM"));
+    SVC_ASSIGN_OR_RETURN(stmt->target, ExpectIdent("a table name"));
+    if (Accept("WHERE")) {
+      SVC_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    return Status::OK();
+  }
+
+  Status ParseRefresh(Statement* stmt) {
+    stmt->kind = Statement::Kind::kRefresh;
+    if (Accept("ALL")) {
+      stmt->refresh_all = true;
+      return Status::OK();
+    }
+    SVC_RETURN_IF_ERROR(Expect("VIEW"));
+    SVC_ASSIGN_OR_RETURN(stmt->target, ExpectIdent("a view name"));
+    return Status::OK();
+  }
+
+  /// A literal row value: number (optionally negated), 'string', NULL,
+  /// TRUE, FALSE.
+  Result<Value> ParseLiteral() {
+    const bool neg = AcceptSymbol("-");
+    const Token& t = Peek();
+    if (t.type == TokenType::kNumber) {
+      Advance();
+      if (t.text.find('.') != std::string::npos) {
+        SVC_ASSIGN_OR_RETURN(double v, ToDouble(t.text));
+        return Value::Double(neg ? -v : v);
+      }
+      // Negate inside the parse so INT64_MIN (whose magnitude overflows)
+      // stays representable.
+      SVC_ASSIGN_OR_RETURN(int64_t v, ToInt(neg ? "-" + t.text : t.text));
+      return Value::Int(v);
+    }
+    if (neg) return Err("expected a number after '-'");
+    if (t.type == TokenType::kString) {
+      Advance();
+      return Value::String(t.text);
+    }
+    if (Accept("NULL")) return Value::Null();
+    if (Accept("TRUE")) return Value::Bool(true);
+    if (Accept("FALSE")) return Value::Bool(false);
+    return Err(
+        "expected a literal value (number, 'string', NULL, TRUE, or FALSE)");
+  }
+
+  /// `WITH SVC(ratio=..., mode=aqp|corr|auto, confidence=...)`.
+  Result<SvcClause> ParseSvcClause() {
+    SvcClause clause;
+    if (!Accept("WITH")) return clause;
+    SVC_RETURN_IF_ERROR(Expect("SVC"));
+    clause.present = true;
+    SVC_RETURN_IF_ERROR(ExpectSymbol("("));
+    if (AcceptSymbol(")")) return clause;
+    do {
+      SVC_ASSIGN_OR_RETURN(std::string key, ExpectIdent("an SVC option name"));
+      key = Lower(key);
+      SVC_RETURN_IF_ERROR(ExpectSymbol("="));
+      if (key == "ratio") {
+        SVC_ASSIGN_OR_RETURN(double v, ParseNumberArg("ratio"));
+        if (!(v > 0.0 && v <= 1.0)) {
+          return Err("SVC ratio must be in (0, 1]; got " + std::to_string(v));
+        }
+        clause.ratio = v;
+      } else if (key == "mode") {
+        if (Peek().type != TokenType::kIdentifier &&
+            Peek().type != TokenType::kString) {
+          return Err("SVC mode must be aqp, corr, or auto");
+        }
+        const std::string mode = Lower(Advance().text);
+        if (mode == "aqp") {
+          clause.mode = EstimatorMode::kAqp;
+        } else if (mode == "corr") {
+          clause.mode = EstimatorMode::kCorr;
+        } else if (mode == "auto") {
+          clause.auto_mode = true;
+        } else {
+          return Err("SVC mode must be aqp, corr, or auto; got '" + mode +
+                     "'");
+        }
+      } else if (key == "confidence") {
+        SVC_ASSIGN_OR_RETURN(double v, ParseNumberArg("confidence"));
+        if (!(v > 0.0 && v < 1.0)) {
+          return Err("SVC confidence must be in (0, 1); got " +
+                     std::to_string(v));
+        }
+        clause.confidence = v;
+      } else {
+        return Err("unknown SVC option '" + key +
+                   "'; supported options are ratio, mode, confidence");
+      }
+    } while (AcceptSymbol(","));
+    SVC_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return clause;
+  }
+
+  Result<double> ParseNumberArg(const char* what) {
+    const bool neg = AcceptSymbol("-");
+    if (Peek().type != TokenType::kNumber) {
+      return Err(std::string("SVC ") + what + " must be a number");
+    }
+    SVC_ASSIGN_OR_RETURN(double v, ToDouble(Advance().text));
+    return neg ? -v : v;
   }
 
   static bool IsAggKeyword(const Token& t, AggFunc* func) {
@@ -349,9 +620,11 @@ class Parser {
     if (t.type == TokenType::kNumber) {
       Advance();
       if (t.text.find('.') != std::string::npos) {
-        return Expr::LitDouble(std::stod(t.text));
+        SVC_ASSIGN_OR_RETURN(double v, ToDouble(t.text));
+        return Expr::LitDouble(v);
       }
-      return Expr::LitInt(std::stoll(t.text));
+      SVC_ASSIGN_OR_RETURN(int64_t v, ToInt(t.text));
+      return Expr::LitInt(v);
     }
     if (t.type == TokenType::kString) {
       Advance();
@@ -405,7 +678,70 @@ class Parser {
 Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& sql) {
   SVC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
   Parser parser(std::move(tokens));
-  return parser.ParseStatement();
+  SVC_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt,
+                       parser.ParseStatement());
+  if (!parser.AtEnd()) {
+    return Status::InvalidArgument(
+        "unexpected trailing tokens after SELECT (WITH SVC(...) queries go "
+        "through SqlSession::Execute, not ParseSelect)");
+  }
+  return stmt;
+}
+
+Result<Statement> ParseStatement(const std::string& sql) {
+  SVC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseTop();
+}
+
+std::vector<std::string> SplitSqlScript(const std::string& script,
+                                        bool* last_terminated) {
+  std::vector<std::string> out;
+  std::string current;
+  bool has_content = false;  // non-space, non-comment text seen
+  size_t i = 0;
+  const size_t n = script.size();
+  auto flush = [&] {
+    if (has_content) out.push_back(current);
+    current.clear();
+    has_content = false;
+  };
+  while (i < n) {
+    const char c = script[i];
+    if (c == '-' && i + 1 < n && script[i + 1] == '-') {
+      while (i < n && script[i] != '\n') current.push_back(script[i++]);
+      continue;
+    }
+    if (c == '\'') {
+      current.push_back(script[i++]);
+      has_content = true;
+      while (i < n) {
+        if (script[i] == '\'') {
+          // '' is an escaped quote (matches the lexer) — stay in-string.
+          if (i + 1 < n && script[i + 1] == '\'') {
+            current.push_back(script[i++]);
+            current.push_back(script[i++]);
+            continue;
+          }
+          current.push_back(script[i++]);  // closing quote
+          break;
+        }
+        current.push_back(script[i++]);
+      }
+      continue;
+    }
+    if (c == ';') {
+      current.push_back(script[i++]);
+      flush();
+      continue;
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) has_content = true;
+    current.push_back(script[i++]);
+  }
+  // Anything left at end-of-input never saw its ';'.
+  if (last_terminated != nullptr) *last_terminated = !has_content;
+  flush();
+  return out;
 }
 
 Result<ExprPtr> ParseScalarExpr(const std::string& sql) {

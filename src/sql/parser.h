@@ -2,10 +2,12 @@
 #define SVC_SQL_PARSER_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "core/policy.h"
 #include "relational/algebra.h"
 #include "relational/expr.h"
 
@@ -52,8 +54,70 @@ struct SelectStmt {
   PlanKind set_op = PlanKind::kUnion;
 };
 
+/// Options attached to a SELECT via `WITH SVC(key=value, ...)`. Each field
+/// is only set when the script spelled it out; SqlSession fills the rest
+/// from its per-session defaults.
+struct SvcClause {
+  bool present = false;
+  std::optional<double> ratio;       ///< sampling ratio m ∈ (0, 1]
+  std::optional<EstimatorMode> mode; ///< absent when mode=auto
+  bool auto_mode = false;            ///< mode=auto (§5.2.2 break-even rule)
+  std::optional<double> confidence;  ///< CI level ∈ (0, 1)
+};
+
+/// One column of a CREATE TABLE definition.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+/// A parsed top-level statement of the SVC serving layer:
+///
+///   SELECT ... [WITH SVC(ratio=..., mode=aqp|corr|auto, confidence=...)]
+///   CREATE TABLE <name> (<col> <type>, ..., PRIMARY KEY (<cols>))
+///   CREATE MATERIALIZED VIEW <name> [SAMPLING KEY (<cols>)] AS <select>
+///   INSERT INTO <table> VALUES (...), ...
+///   DELETE FROM <table> [WHERE <pred>]
+///   REFRESH VIEW <name> | REFRESH ALL
+///   SHOW TABLES | SHOW VIEWS
+struct Statement {
+  enum class Kind {
+    kSelect,
+    kCreateTable,
+    kCreateView,
+    kInsert,
+    kDelete,
+    kRefresh,
+    kShowTables,
+    kShowViews,
+  };
+  Kind kind = Kind::kSelect;
+  /// kSelect: the query; kCreateView: the view definition.
+  std::unique_ptr<SelectStmt> select;
+  SvcClause svc;                         ///< kSelect only
+  std::string target;                    ///< table / view name
+  std::vector<ColumnDef> columns;        ///< kCreateTable
+  std::vector<std::string> primary_key;  ///< kCreateTable
+  std::vector<std::string> sampling_key; ///< kCreateView (optional)
+  std::vector<Row> values;               ///< kInsert literal rows
+  ExprPtr where;                         ///< kDelete (null = every row)
+  bool refresh_all = false;              ///< kRefresh: REFRESH ALL
+};
+
 /// Parses one SELECT statement (errors carry the offending token offset).
 Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& sql);
+
+/// Parses one statement of any kind (trailing ';' allowed).
+Result<Statement> ParseStatement(const std::string& sql);
+
+/// Splits a script into ';'-terminated statements. Quoted strings and line
+/// comments are respected; empty statements are dropped; a final statement
+/// without ';' is kept. `last_terminated` (optional) reports whether the
+/// final returned statement ended at a real ';' — the REPL uses it to
+/// decide between submitting and waiting for more input (a ';' inside a
+/// comment or string does not terminate).
+std::vector<std::string> SplitSqlScript(const std::string& script,
+                                        bool* last_terminated = nullptr);
 
 /// Parses a scalar expression in isolation (used for query predicates).
 Result<ExprPtr> ParseScalarExpr(const std::string& sql);

@@ -1,0 +1,554 @@
+#include "sql/session.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "relational/executor.h"
+#include "sql/planner.h"
+
+namespace svc {
+
+namespace {
+
+const char* ModeName(EstimatorMode m) {
+  return m == EstimatorMode::kAqp ? "AQP" : "CORR";
+}
+
+/// Display alias for the aggregate output column: the user's alias, or the
+/// function's base name ("count", "sum", ...).
+std::string AggAlias(const SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  std::string base = AggFuncName(item.agg);
+  const size_t paren = base.find('(');
+  if (paren != std::string::npos) base = base.substr(0, paren);
+  return base;
+}
+
+/// The estimate columns appended to every SVC result row.
+void AppendEstimateColumns(const std::string& value_alias, Schema* schema) {
+  schema->AddColumn({"", value_alias, ValueType::kDouble});
+  schema->AddColumn({"", "ci_low", ValueType::kDouble});
+  schema->AddColumn({"", "ci_high", ValueType::kDouble});
+  schema->AddColumn({"", "mode", ValueType::kString});
+  schema->AddColumn({"", "sample_rows", ValueType::kInt});
+}
+
+void AppendEstimateValues(const Estimate& e, EstimatorMode mode, Row* row) {
+  row->push_back(Value::Double(e.value));
+  row->push_back(e.has_ci ? Value::Double(e.ci_low) : Value::Null());
+  row->push_back(e.has_ci ? Value::Double(e.ci_high) : Value::Null());
+  row->push_back(Value::String(ModeName(mode)));
+  row->push_back(Value::Int(static_cast<int64_t>(e.sample_rows)));
+}
+
+/// "%.6g" as a std::string (matches Value::ToString's double format).
+std::string Num6g(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string FormatEstimateMessage(const AggregateQuery& q,
+                                  const std::string& view,
+                                  const Estimate& e, EstimatorMode mode) {
+  // Built as a string (not a fixed buffer) so long predicates never
+  // truncate the estimate/CI suffix.
+  std::string out = q.ToString() + " on " + view + ": " + Num6g(e.value);
+  if (e.has_ci) {
+    char pct[32];
+    std::snprintf(pct, sizeof(pct), "%.0f", e.confidence * 100.0);
+    out += " +/- " + Num6g(e.HalfWidth()) + " (" + pct + "% CI, ";
+  } else {
+    out += " (no CI, ";
+  }
+  out += std::string(ModeName(mode)) + ", " +
+         std::to_string(e.sample_rows) + " sample rows)";
+  return out;
+}
+
+}  // namespace
+
+Result<SqlResult> SqlSession::Execute(const std::string& sql) {
+  SVC_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  return Execute(stmt);
+}
+
+Result<SqlResult> SqlSession::Execute(const Statement& stmt) {
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect:
+      return stmt.svc.present ? ExecSvcSelect(stmt) : ExecSelect(stmt);
+    case Statement::Kind::kCreateTable:
+      return ExecCreateTable(stmt);
+    case Statement::Kind::kCreateView:
+      return ExecCreateView(stmt);
+    case Statement::Kind::kInsert:
+      return ExecInsert(stmt);
+    case Statement::Kind::kDelete:
+      return ExecDelete(stmt);
+    case Statement::Kind::kRefresh:
+      return ExecRefresh(stmt);
+    case Statement::Kind::kShowTables:
+      return ExecShowTables();
+    case Statement::Kind::kShowViews:
+      return ExecShowViews();
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<SqlResult> SqlSession::ExecSelect(const Statement& stmt) {
+  SVC_ASSIGN_OR_RETURN(PlanPtr plan, PlanSelect(*stmt.select, *engine_.db()));
+  SVC_ASSIGN_OR_RETURN(
+      Table out, ExecutePlan(*plan, *engine_.db(), engine_.exec_options()));
+  SqlResult result;
+  result.kind = SqlResultKind::kRows;
+  result.message = std::to_string(out.NumRows()) + " row(s)";
+  result.rows = std::move(out);
+  return result;
+}
+
+Result<SqlResult> SqlSession::ExecSvcSelect(const Statement& stmt) {
+  const SelectStmt& sel = *stmt.select;
+  if (sel.set_next) {
+    return Status::NotSupported(
+        "WITH SVC does not combine with UNION/INTERSECT/EXCEPT; query each "
+        "view separately");
+  }
+  if (sel.from.size() != 1 || sel.from[0].subquery || !sel.joins.empty()) {
+    return Status::InvalidArgument(
+        "WITH SVC requires FROM to name exactly one materialized view "
+        "(joins and subqueries belong in the view definition)");
+  }
+  const std::string& view_name = sel.from[0].table;
+  auto view = engine_.GetView(view_name);
+  if (!view.ok()) {
+    if (engine_.db()->HasTable(view_name)) {
+      return Status::InvalidArgument(
+          "WITH SVC corrects stale materialized views, but '" + view_name +
+          "' is a base table; query it with a plain SELECT or define a view "
+          "over it");
+    }
+    return view.status();
+  }
+  if (sel.having) {
+    return Status::NotSupported(
+        "HAVING is not supported with WITH SVC; filter rows with WHERE "
+        "(per-group estimates carry their own CIs)");
+  }
+
+  // Exactly one aggregate; every other select item must be a GROUP BY
+  // column (the estimator evaluates one aggregate per group, §5.1).
+  for (const auto& item : sel.items) {
+    if (item.is_star) {
+      return Status::InvalidArgument(
+          "SELECT * cannot be combined with WITH SVC; ask for one aggregate "
+          "(sum/count/avg/median/min/max) over the view's columns");
+    }
+  }
+  const bool any_agg =
+      std::any_of(sel.items.begin(), sel.items.end(),
+                  [](const SelectItem& i) { return i.is_agg; });
+  if (!any_agg) {
+    return Status::InvalidArgument(
+        "WITH SVC requires an aggregate select list "
+        "(sum/count/avg/median/min/max over the view's columns); a plain "
+        "row SELECT reads the stale view directly - drop WITH SVC");
+  }
+  const SelectItem* agg_item = nullptr;
+  for (const auto& item : sel.items) {
+    if (item.is_agg) {
+      if (agg_item != nullptr) {
+        return Status::NotSupported(
+            "WITH SVC supports exactly one aggregate per query; split the "
+            "select list into separate statements");
+      }
+      agg_item = &item;
+      continue;
+    }
+    const bool is_group_col =
+        item.scalar->kind() == ExprKind::kColumn &&
+        std::find(sel.group_by.begin(), sel.group_by.end(),
+                  item.scalar->column_ref()) != sel.group_by.end();
+    if (!is_group_col) {
+      return Status::InvalidArgument(
+          "non-aggregate select expression '" + item.scalar->ToString() +
+          "' must be a GROUP BY column when using WITH SVC");
+    }
+  }
+  if (agg_item->agg == AggFunc::kCountDistinct) {
+    return Status::NotSupported(
+        "count(DISTINCT ...) is not an SVC-estimable aggregate; supported: "
+        "sum, count, count(*), avg, median, min, max");
+  }
+
+  AggregateQuery q;
+  q.func = agg_item->agg;
+  if (agg_item->agg_input) q.attr = agg_item->agg_input->Clone();
+  if (sel.where) q.predicate = sel.where->Clone();
+
+  // Per-query options: session defaults overridden by WITH SVC(...) keys.
+  SvcQueryOptions opts = svc_defaults_;
+  if (stmt.svc.ratio) opts.ratio = *stmt.svc.ratio;
+  if (stmt.svc.auto_mode) {
+    opts.auto_mode = true;
+  } else if (stmt.svc.mode) {
+    opts.mode = *stmt.svc.mode;
+    opts.auto_mode = false;
+  }
+  if (stmt.svc.confidence) opts.estimator.confidence = *stmt.svc.confidence;
+
+  const std::string value_alias = AggAlias(*agg_item);
+  SqlResult result;
+  result.kind = SqlResultKind::kEstimate;
+
+  if (sel.group_by.empty()) {
+    SVC_ASSIGN_OR_RETURN(SvcAnswer answer, engine_.Query(view_name, q, opts));
+    Schema schema;
+    AppendEstimateColumns(value_alias, &schema);
+    Table out(std::move(schema));
+    Row row;
+    AppendEstimateValues(answer.estimate, answer.mode_used, &row);
+    out.AppendUnchecked(std::move(row));
+    result.rows = std::move(out);
+    result.mode_used = answer.mode_used;
+    result.message = FormatEstimateMessage(q, view_name, answer.estimate,
+                                           answer.mode_used);
+    return result;
+  }
+
+  // Grouped path: one estimate per observed group.
+  SVC_ASSIGN_OR_RETURN(const Table* stored, engine_.db()->GetTable(view_name));
+  Schema schema;
+  for (const auto& g : sel.group_by) {
+    SVC_ASSIGN_OR_RETURN(size_t pos, stored->schema().Resolve(g));
+    const Column& c = stored->schema().column(pos);
+    schema.AddColumn({"", c.name, c.type});
+  }
+  AppendEstimateColumns(value_alias, &schema);
+
+  SVC_ASSIGN_OR_RETURN(SvcGroupedAnswer answer,
+                       engine_.QueryGrouped(view_name, sel.group_by, q, opts));
+  // Sort groups by key for stable, scannable output (estimates are
+  // unchanged; the engine's group order is first-encounter).
+  std::vector<size_t> order(answer.result.group_keys.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const Row& ka = answer.result.group_keys[a];
+    const Row& kb = answer.result.group_keys[b];
+    for (size_t c = 0; c < ka.size() && c < kb.size(); ++c) {
+      if (ka[c] < kb[c]) return true;
+      if (kb[c] < ka[c]) return false;
+    }
+    return a < b;
+  });
+  Table out(std::move(schema));
+  for (size_t i : order) {
+    Row row = answer.result.group_keys[i];
+    AppendEstimateValues(answer.result.estimates[i], answer.mode_used, &row);
+    out.AppendUnchecked(std::move(row));
+  }
+  result.rows = std::move(out);
+  result.mode_used = answer.mode_used;
+  result.message = q.ToString() + " on " + view_name + ": " +
+                   std::to_string(order.size()) + " group(s) (" +
+                   ModeName(answer.mode_used) + ")";
+  return result;
+}
+
+Result<SqlResult> SqlSession::ExecCreateTable(const Statement& stmt) {
+  if (engine_.db()->HasTable(stmt.target)) {
+    return Status::AlreadyExists("table or view already exists: " +
+                                 stmt.target);
+  }
+  if (stmt.primary_key.empty()) {
+    return Status::InvalidArgument(
+        "CREATE TABLE " + stmt.target +
+        " requires a PRIMARY KEY (...) clause: the maintenance model "
+        "identifies records by key (paper §3.1)");
+  }
+  Schema schema;
+  for (const auto& col : stmt.columns) {
+    if (schema.Contains(col.name)) {
+      return Status::InvalidArgument("duplicate column '" + col.name +
+                                     "' in CREATE TABLE " + stmt.target);
+    }
+    schema.AddColumn({"", col.name, col.type});
+  }
+  Table table(std::move(schema));
+  SVC_RETURN_IF_ERROR(table.SetPrimaryKey(stmt.primary_key));
+  SVC_RETURN_IF_ERROR(engine_.db()->CreateTable(stmt.target,
+                                                std::move(table)));
+  SqlResult result;
+  result.message = "created table " + stmt.target + " (" +
+                   std::to_string(stmt.columns.size()) + " columns)";
+  return result;
+}
+
+Result<SqlResult> SqlSession::ExecCreateView(const Statement& stmt) {
+  if (engine_.HasView(stmt.target)) {
+    return Status::AlreadyExists("view already exists: " + stmt.target);
+  }
+  if (engine_.db()->HasTable(stmt.target)) {
+    return Status::AlreadyExists("a table named '" + stmt.target +
+                                 "' already exists; views need a fresh name");
+  }
+  SVC_ASSIGN_OR_RETURN(PlanPtr def, PlanSelect(*stmt.select, *engine_.db()));
+  SVC_RETURN_IF_ERROR(
+      engine_.CreateView(stmt.target, std::move(def), stmt.sampling_key));
+  SVC_ASSIGN_OR_RETURN(const Table* stored,
+                       engine_.db()->GetTable(stmt.target));
+  SqlResult result;
+  result.message = "materialized view " + stmt.target + " (" +
+                   std::to_string(stored->NumRows()) + " rows)";
+  return result;
+}
+
+Result<SqlResult> SqlSession::ExecInsert(const Statement& stmt) {
+  SVC_ASSIGN_OR_RETURN(const Table* table,
+                       ResolveBaseTable(stmt.target, "INSERT INTO"));
+  const Schema& schema = table->schema();
+  // Validate and coerce every row before ingesting any (the statement
+  // either queues completely or not at all).
+  std::vector<Row> rows = stmt.values;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != schema.NumColumns()) {
+      std::string cols;
+      for (const auto& c : schema.columns()) {
+        cols += (cols.empty() ? "" : ", ") + c.name;
+      }
+      return Status::InvalidArgument(
+          "INSERT INTO " + stmt.target + " expects " +
+          std::to_string(schema.NumColumns()) + " values (" + cols +
+          "); row " + std::to_string(r + 1) + " has " +
+          std::to_string(rows[r].size()));
+    }
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      Value& v = rows[r][c];
+      const Column& col = schema.column(c);
+      if (v.is_null()) continue;
+      if (col.type == ValueType::kDouble && v.type() == ValueType::kInt) {
+        v = Value::Double(static_cast<double>(v.AsInt()));  // widen
+        continue;
+      }
+      if (v.type() != col.type) {
+        return Status::InvalidArgument(
+            "INSERT INTO " + stmt.target + " column '" + col.name +
+            "' expects " + ValueTypeName(col.type) + "; row " +
+            std::to_string(r + 1) + " has " + v.ToString() + " (" +
+            ValueTypeName(v.type()) + ")");
+      }
+    }
+  }
+  // Primary-key validation: a conflicting delta would poison the pending
+  // queue (every later REFRESH fails on the duplicate), so reject NULL
+  // keys, duplicates within the statement, keys already queued for
+  // insertion, and keys of committed rows not queued for deletion.
+  std::vector<std::string> batch_keys;
+  PendingKeys* cache = nullptr;
+  if (table->HasPrimaryKey()) {
+    const std::vector<size_t>& pk = table->pk_indices();
+    auto describe_key = [&](const Row& row) {
+      std::string out;
+      for (size_t i : pk) {
+        if (!out.empty()) out += ", ";
+        out += schema.column(i).name + "=" + row[i].ToString();
+      }
+      return out;
+    };
+    cache = &pending_keys_[stmt.target];
+    SyncPendingKeys(stmt.target, pk, cache);
+    std::set<std::string> batch;
+    batch_keys.reserve(rows.size());
+    for (size_t r = 0; r < rows.size(); ++r) {
+      for (size_t i : pk) {
+        if (rows[r][i].is_null()) {
+          return Status::InvalidArgument(
+              "INSERT INTO " + stmt.target + " row " + std::to_string(r + 1) +
+              " has NULL in primary-key column '" + schema.column(i).name +
+              "'");
+        }
+      }
+      std::string key = EncodeRowKey(rows[r], pk);
+      std::string where;
+      if (!batch.insert(key).second) {
+        where = "this statement";
+      } else if (cache->inserts.count(key)) {
+        where = "the pending deltas";
+      } else if (table->FindByEncodedKey(key).ok() &&
+                 !cache->deletes.count(key)) {
+        where =
+            "a committed row (DELETE it first; an update is "
+            "delete + insert)";
+      }
+      if (!where.empty()) {
+        return Status::AlreadyExists(
+            "INSERT INTO " + stmt.target + " row " + std::to_string(r + 1) +
+            " duplicates the primary key (" + describe_key(rows[r]) +
+            ") of " + where);
+      }
+      batch_keys.push_back(std::move(key));
+    }
+  }
+  for (auto& row : rows) {
+    SVC_RETURN_IF_ERROR(engine_.InsertRecord(stmt.target, std::move(row)));
+  }
+  if (cache != nullptr) {
+    // Extend the cache in step with what was just queued.
+    for (auto& key : batch_keys) cache->inserts.insert(std::move(key));
+    cache->insert_rows += rows.size();
+  }
+  SqlResult result;
+  result.message = "queued " + std::to_string(rows.size()) +
+                   " insert(s) into " + stmt.target +
+                   "; REFRESH commits them";
+  return result;
+}
+
+Result<SqlResult> SqlSession::ExecDelete(const Statement& stmt) {
+  SVC_ASSIGN_OR_RETURN(const Table* table,
+                       ResolveBaseTable(stmt.target, "DELETE FROM"));
+  ExprPtr pred;
+  if (stmt.where) {
+    pred = stmt.where->Clone();
+    SVC_RETURN_IF_ERROR(pred->Bind(table->schema()));
+  }
+  // WHERE selects from the committed rows; matches are queued as delete
+  // deltas (the base table changes at REFRESH).
+  std::vector<Row> doomed;
+  for (const auto& row : table->rows()) {
+    if (!pred || pred->Eval(row).IsTrue()) doomed.push_back(row);
+  }
+  // DELETE is idempotent: a row already queued for deletion is skipped —
+  // queueing it twice would double-count in the change table and silently
+  // corrupt maintained aggregate views at REFRESH.
+  PendingKeys* cache = nullptr;
+  std::vector<std::string> new_keys;
+  if (table->HasPrimaryKey()) {
+    const std::vector<size_t>& pk = table->pk_indices();
+    cache = &pending_keys_[stmt.target];
+    SyncPendingKeys(stmt.target, pk, cache);
+    std::vector<Row> fresh;
+    fresh.reserve(doomed.size());
+    for (auto& row : doomed) {
+      std::string key = EncodeRowKey(row, pk);
+      if (cache->deletes.count(key)) continue;  // already pending
+      new_keys.push_back(std::move(key));
+      fresh.push_back(std::move(row));
+    }
+    doomed = std::move(fresh);
+  }
+  for (auto& row : doomed) {
+    SVC_RETURN_IF_ERROR(engine_.DeleteRecord(stmt.target, std::move(row)));
+  }
+  if (cache != nullptr) {
+    for (auto& key : new_keys) cache->deletes.insert(std::move(key));
+    cache->delete_rows += doomed.size();
+  }
+  SqlResult result;
+  result.message = "queued " + std::to_string(doomed.size()) +
+                   " delete(s) from " + stmt.target + "; REFRESH commits them";
+  return result;
+}
+
+Result<SqlResult> SqlSession::ExecRefresh(const Statement& stmt) {
+  const size_t inserts = engine_.pending().TotalInserts();
+  const size_t deletes = engine_.pending().TotalDeletes();
+  if (!stmt.refresh_all) {
+    // Validate the target; maintenance itself is engine-global (pending
+    // deltas are one set), so every view freshens at the commit.
+    SVC_RETURN_IF_ERROR(engine_.GetView(stmt.target).status());
+  }
+  SVC_RETURN_IF_ERROR(engine_.MaintainAll());
+  pending_keys_.clear();  // the commit emptied the pending queue
+  const size_t n_views = engine_.ViewNames().size();
+  SqlResult result;
+  result.message = "refreshed " + std::to_string(n_views) +
+                   " view(s); committed " + std::to_string(inserts) +
+                   " insert(s) and " + std::to_string(deletes) + " delete(s)";
+  return result;
+}
+
+Result<SqlResult> SqlSession::ExecShowTables() {
+  Schema schema;
+  schema.AddColumn({"", "name", ValueType::kString});
+  schema.AddColumn({"", "rows", ValueType::kInt});
+  schema.AddColumn({"", "kind", ValueType::kString});
+  Table out(std::move(schema));
+  for (const auto& name : engine_.db()->TableNames()) {
+    if (name.rfind("__", 0) == 0) continue;  // internal delta tables
+    SVC_ASSIGN_OR_RETURN(const Table* t, engine_.db()->GetTable(name));
+    const bool is_view = engine_.HasView(name);
+    out.AppendUnchecked({Value::String(name),
+                         Value::Int(static_cast<int64_t>(t->NumRows())),
+                         Value::String(is_view ? "view" : "base")});
+  }
+  SqlResult result;
+  result.kind = SqlResultKind::kRows;
+  result.message = std::to_string(out.NumRows()) + " table(s)";
+  result.rows = std::move(out);
+  return result;
+}
+
+Result<SqlResult> SqlSession::ExecShowViews() {
+  Schema schema;
+  schema.AddColumn({"", "name", ValueType::kString});
+  schema.AddColumn({"", "rows", ValueType::kInt});
+  schema.AddColumn({"", "class", ValueType::kString});
+  schema.AddColumn({"", "stale", ValueType::kString});
+  Table out(std::move(schema));
+  for (const auto& name : engine_.ViewNames()) {
+    SVC_ASSIGN_OR_RETURN(const MaterializedView* view, engine_.GetView(name));
+    SVC_ASSIGN_OR_RETURN(const Table* t, engine_.db()->GetTable(name));
+    const char* cls = "recompute";
+    if (view->view_class() == ViewClass::kSpj) cls = "spj";
+    if (view->view_class() == ViewClass::kAggregate) cls = "aggregate";
+    bool stale = false;
+    for (const auto& rel : view->base_relations()) {
+      stale = stale || engine_.pending().Touches(rel);
+    }
+    out.AppendUnchecked({Value::String(name),
+                         Value::Int(static_cast<int64_t>(t->NumRows())),
+                         Value::String(cls),
+                         Value::String(stale ? "yes" : "no")});
+  }
+  SqlResult result;
+  result.kind = SqlResultKind::kRows;
+  result.message = std::to_string(out.NumRows()) + " view(s)";
+  result.rows = std::move(out);
+  return result;
+}
+
+void SqlSession::SyncPendingKeys(const std::string& relation,
+                                 const std::vector<size_t>& pk_indices,
+                                 PendingKeys* cache) const {
+  auto sync = [&](const Table* t, size_t* rows, std::set<std::string>* keys) {
+    const size_t n = t == nullptr ? 0 : t->NumRows();
+    if (*rows == n) return;
+    keys->clear();
+    for (size_t i = 0; i < n; ++i) {
+      keys->insert(EncodeRowKey(t->row(i), pk_indices));
+    }
+    *rows = n;
+  };
+  sync(engine_.pending().inserts(relation), &cache->insert_rows,
+       &cache->inserts);
+  sync(engine_.pending().deletes(relation), &cache->delete_rows,
+       &cache->deletes);
+}
+
+Result<const Table*> SqlSession::ResolveBaseTable(const std::string& name,
+                                                  const char* verb) const {
+  if (engine_.HasView(name)) {
+    return Status::InvalidArgument(
+        std::string(verb) + " targets a base relation, but '" + name +
+        "' is a materialized view (views change via REFRESH after deltas "
+        "to their base relations)");
+  }
+  if (name.rfind("__", 0) == 0) {
+    return Status::InvalidArgument("'" + name +
+                                   "' is an internal delta relation");
+  }
+  return engine_.db().GetTable(name);
+}
+
+}  // namespace svc

@@ -1,0 +1,123 @@
+#ifndef SVC_SQL_SESSION_H_
+#define SVC_SQL_SESSION_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/svc.h"
+#include "sql/parser.h"
+
+namespace svc {
+
+/// What a statement produced.
+enum class SqlResultKind {
+  kOk,        ///< DDL / DML: no rows, `message` summarizes the effect
+  kRows,      ///< plain SELECT: `rows` holds the result relation
+  kEstimate,  ///< SELECT ... WITH SVC: `rows` holds estimate ± CI columns
+};
+
+/// The result of executing one SQL statement.
+struct SqlResult {
+  SqlResultKind kind = SqlResultKind::kOk;
+  Table rows;           ///< kRows / kEstimate
+  std::string message;  ///< one-line human-readable summary (always set)
+  /// For kEstimate: which estimator answered (matters with mode=auto).
+  EstimatorMode mode_used = EstimatorMode::kCorr;
+};
+
+/// A SQL-driven session over one SvcEngine: the full SVC lifecycle —
+/// define base relations, materialize views, ingest deltas, answer
+/// bounded-error aggregate queries on stale views, commit maintenance —
+/// scripted as SQL text (§3.2 of the paper):
+///
+///   CREATE TABLE Log (sessionId INT, videoId INT,
+///                     PRIMARY KEY (sessionId));
+///   INSERT INTO Log VALUES (0, 1), (1, 3);      -- queued as deltas
+///   REFRESH ALL;                                -- commit into base tables
+///   CREATE MATERIALIZED VIEW visitView AS
+///     SELECT videoId, COUNT(1) AS visitCount FROM Log GROUP BY videoId;
+///   INSERT INTO Log VALUES (2, 3);              -- the view is now stale
+///   SELECT COUNT(1) FROM visitView WHERE visitCount > 1
+///     WITH SVC(ratio=0.5, mode=corr);           -- estimate ± CI
+///   REFRESH VIEW visitView;                     -- maintenance commit
+///
+/// Statement routing:
+///   * `SELECT ... WITH SVC(...)` must aggregate over a single materialized
+///     view; it lowers to an AggregateQuery and runs through
+///     SvcEngine::Query (or QueryGrouped under GROUP BY), so session
+///     answers are bit-identical to direct engine calls with the same
+///     options.
+///   * Every other SELECT parses and plans through sql/planner and runs on
+///     the plain executor against the current committed state (stale view
+///     tables included).
+///   * INSERT / DELETE queue deltas through the engine; base tables change
+///     only at REFRESH (the paper's maintenance model). A DELETE's WHERE
+///     selects the *committed* rows to queue for deletion.
+///   * REFRESH VIEW <v> validates that <v> exists, then runs MaintainAll —
+///     pending deltas are engine-global, so maintenance is a single commit
+///     point that freshens every view.
+class SqlSession {
+ public:
+  /// A session over an empty catalog (populate it with CREATE TABLE).
+  SqlSession() : engine_(Database()) {}
+  /// A session over pre-loaded base relations.
+  explicit SqlSession(Database db) : engine_(std::move(db)) {}
+
+  SvcEngine& engine() { return engine_; }
+  const SvcEngine& engine() const { return engine_; }
+
+  /// Session-wide SVC defaults; `WITH SVC(...)` keys override per query.
+  SvcQueryOptions& default_svc_options() { return svc_defaults_; }
+  const SvcQueryOptions& default_svc_options() const { return svc_defaults_; }
+
+  /// Parses and executes one statement.
+  Result<SqlResult> Execute(const std::string& sql);
+
+  /// Executes an already-parsed statement.
+  Result<SqlResult> Execute(const Statement& stmt);
+
+ private:
+  Result<SqlResult> ExecSelect(const Statement& stmt);
+  Result<SqlResult> ExecSvcSelect(const Statement& stmt);
+  Result<SqlResult> ExecCreateTable(const Statement& stmt);
+  Result<SqlResult> ExecCreateView(const Statement& stmt);
+  Result<SqlResult> ExecInsert(const Statement& stmt);
+  Result<SqlResult> ExecDelete(const Statement& stmt);
+  Result<SqlResult> ExecRefresh(const Statement& stmt);
+  Result<SqlResult> ExecShowTables();
+  Result<SqlResult> ExecShowViews();
+
+  /// Rejects targets that are views or internal delta tables; returns the
+  /// base table.
+  Result<const Table*> ResolveBaseTable(const std::string& name,
+                                        const char* verb) const;
+
+  /// Cached encoded-primary-key sets of one relation's pending deltas, so
+  /// ExecInsert's conflict checks stay O(batch) per statement instead of
+  /// re-encoding the whole pending queue (O(pending)) every INSERT. The
+  /// row counts validate the cache: REFRESH empties the queue and any
+  /// direct engine_ mutation between statements changes the counts, both
+  /// of which trigger a rebuild.
+  struct PendingKeys {
+    size_t insert_rows = 0;
+    size_t delete_rows = 0;
+    std::set<std::string> inserts;
+    std::set<std::string> deletes;
+  };
+
+  /// Rebuilds `cache` from the pending tables when the row counts drifted.
+  void SyncPendingKeys(const std::string& relation,
+                       const std::vector<size_t>& pk_indices,
+                       PendingKeys* cache) const;
+
+  SvcEngine engine_;
+  SvcQueryOptions svc_defaults_;
+  std::map<std::string, PendingKeys> pending_keys_;
+};
+
+}  // namespace svc
+
+#endif  // SVC_SQL_SESSION_H_

@@ -1,0 +1,107 @@
+// svc_shell — the SQL serving-layer REPL / batch runner.
+//
+// The whole SVC lifecycle (paper §3.2) is scriptable as SQL: CREATE TABLE,
+// INSERT (delta ingestion), CREATE MATERIALIZED VIEW, SELECT ... WITH
+// SVC(...) for bounded-error answers on stale views, REFRESH for the
+// maintenance commit. See examples/quickstart.sql and docs/ARCHITECTURE.md.
+//
+// Usage:
+//   svc_shell                      interactive REPL on stdin
+//   svc_shell --file script.sql    run a script (batch mode)
+//   svc_shell -c "SELECT ...;"     run statements from the command line
+//   svc_shell --echo --file f.sql  echo each statement (transcript mode)
+//   svc_shell --keep-going         continue past statement errors
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "shell/shell.h"
+
+namespace {
+
+int Usage(const char* argv0, int rc) {
+  std::fprintf(rc == 0 ? stdout : stderr,
+               "usage: %s [--file <script.sql>] [-c <sql>] [--echo] "
+               "[--keep-going]\n"
+               "  no arguments: interactive shell (statements end with ';')\n",
+               argv0);
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string file;
+  std::string inline_sql;
+  bool has_file = false;
+  bool has_inline = false;
+  svc::ShellOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--file") == 0 || std::strcmp(arg, "-c") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", arg);
+        return Usage(argv[0], 2);
+      }
+      if (arg[1] == 'c') {
+        inline_sql = argv[++i];
+        has_inline = true;
+      } else {
+        file = argv[++i];
+        has_file = true;
+      }
+    } else if (std::strcmp(arg, "--echo") == 0) {
+      opts.echo = true;
+    } else if (std::strcmp(arg, "--keep-going") == 0) {
+      opts.keep_going = true;
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      return Usage(argv[0], 0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return Usage(argv[0], 2);
+    }
+  }
+
+  // Fail fast on conflicting or empty batch modes instead of silently
+  // dropping one (or falling through to a stdin read that blocks).
+  if (has_file && has_inline) {
+    std::fprintf(stderr, "error: --file and -c are mutually exclusive\n");
+    return Usage(argv[0], 2);
+  }
+  if ((has_file && file.empty()) || (has_inline && inline_sql.empty())) {
+    std::fprintf(stderr, "error: %s requires a non-empty value\n",
+                 has_file ? "--file" : "-c");
+    return Usage(argv[0], 2);
+  }
+
+  svc::SqlSession session;
+  svc::Shell shell(&session, &std::cout, opts);
+
+  if (has_file) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open %s\n", file.c_str());
+      return 1;
+    }
+    std::ostringstream script;
+    script << in.rdbuf();
+    return shell.RunScript(script.str()).ok() ? 0 : 1;
+  }
+  if (has_inline) {
+    return shell.RunScript(inline_sql).ok() ? 0 : 1;
+  }
+  // REPL: prompts only when stdin is a terminal, so piped input produces
+  // clean output.
+  const bool tty = isatty(fileno(stdin)) != 0;
+  if (tty) {
+    std::cout << "svc_shell — SQL over Stale View Cleaning. Statements end "
+                 "with ';'. Ctrl-D exits.\n";
+  }
+  return shell.RunInteractive(std::cin, std::cout, tty).ok() ? 0 : 1;
+}
