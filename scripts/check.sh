@@ -4,8 +4,11 @@
 # >= MIN_SPEEDUP on the join+aggregate pipeline vs. the string-keyed
 # baseline; see docs/PERF.md).
 #
-# Usage: scripts/check.sh [--fast]
+# Usage: scripts/check.sh [--fast] [--tsan]
 #   --fast  skip the sanitizer build (Release tests + bench gate only)
+#   --tsan  ThreadSanitizer mode ONLY: Debug+TSan build + full test suite
+#           (the shared-engine concurrency tests are the point); skips the
+#           Release/ASan builds and the bench gate. Used by the CI tsan job.
 #
 # Environment knobs:
 #   MIN_SPEEDUP           baseline-vs-current gate floor (default 3.0;
@@ -22,11 +25,33 @@ MIN_SPEEDUP="${MIN_SPEEDUP:-3.0}"
 MIN_PARALLEL_SPEEDUP="${MIN_PARALLEL_SPEEDUP:-0}"
 BENCH_THREADS="${BENCH_THREADS:-8}"
 FAST=0
-[[ "${1:-}" == "--fast" ]] && FAST=1
+TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    --tsan) TSAN=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 # Parallel build/test width: nproc is Linux-only (macOS runners need
 # sysctl); default to 4 when neither exists.
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+if [[ "$TSAN" -eq 1 ]]; then
+  echo "== Debug + ThreadSanitizer build (${JOBS} jobs) =="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DSVC_TSAN=ON
+  cmake --build build-tsan -j"$JOBS"
+
+  echo "== TSan tests (full suite; concurrency tests are the target) =="
+  ctest --test-dir build-tsan --output-on-failure --no-tests=error -j"$JOBS"
+
+  echo "== TSan shared-engine bench smoke (readers + concurrent refresher) =="
+  ./build-tsan/fig14_sql_sessions --rows 2000 --sessions 2 --iters 2 \
+    --batch 40 --shared
+  echo "All TSan checks passed."
+  exit 0
+fi
 
 echo "== Release build (${JOBS} jobs) =="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
@@ -58,6 +83,10 @@ if [[ "$gate_rc" -ne 0 ]]; then
   echo "Bench gate FAILED (micro_ops exit $gate_rc)." >&2
   exit "$gate_rc"
 fi
+
+echo "== Shared-engine serving smoke (fig14 --shared) =="
+./build/fig14_sql_sessions --rows 2000 --sessions 2 --iters 3 --batch 50 \
+  --shared
 
 # Docs: intra-repo markdown links must resolve (CI's docs job also
 # golden-diffs examples/quickstart.sql — covered here by ctest).

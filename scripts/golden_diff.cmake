@@ -1,8 +1,14 @@
-# Runs ${SHELL} --echo --file ${SCRIPT} and fails unless the output matches
-# ${GOLDEN} exactly. Invoked by ctest (see CMakeLists.txt) and mirrored by
-# the CI docs job so documented example transcripts cannot rot.
+# Runs ${SHELL} [${SHELL_FLAGS}] --echo --file ${SCRIPT} and fails unless
+# the output matches ${GOLDEN} exactly. Invoked by ctest (see
+# CMakeLists.txt) and mirrored by the CI docs job so documented example
+# transcripts cannot rot. SHELL_FLAGS optionally injects extra flags (e.g.
+# --shared runs the transcript on the snapshot-isolated engine).
+if(NOT DEFINED SHELL_FLAGS)
+  set(SHELL_FLAGS "")
+endif()
+separate_arguments(SHELL_FLAGS)
 execute_process(
-  COMMAND ${SHELL} --echo --file ${SCRIPT}
+  COMMAND ${SHELL} ${SHELL_FLAGS} --echo --file ${SCRIPT}
   OUTPUT_VARIABLE actual
   ERROR_VARIABLE errout
   RESULT_VARIABLE rc)

@@ -1,0 +1,66 @@
+#include "core/shared_engine.h"
+
+namespace svc {
+
+SharedEngine::SharedEngine(Database db)
+    : SharedEngine(SvcEngine(std::move(db))) {}
+
+SharedEngine::SharedEngine(SvcEngine engine)
+    : head_(std::make_shared<const EngineSnapshot>(std::move(engine))) {}
+
+SnapshotPtr SharedEngine::Snapshot() const {
+  std::lock_guard<std::mutex> lock(head_mu_);
+  return head_;
+}
+
+Status SharedEngine::Commit(const std::function<Status(SvcEngine*)>& fn) {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  // Fork the head. Readers keep their snapshots; the fork shares all table
+  // storage copy-on-write, so only what `fn` touches is copied.
+  SnapshotPtr head = Snapshot();
+  auto next = std::make_shared<EngineSnapshot>(head->epoch + 1, head->engine);
+  SVC_RETURN_IF_ERROR(fn(&next->engine));
+  std::lock_guard<std::mutex> lock(head_mu_);
+  head_ = std::move(next);
+  return Status::OK();
+}
+
+Status SharedEngine::CreateTable(const std::string& name, Table table) {
+  return Commit([&](SvcEngine* e) {
+    return e->db()->CreateTable(name, std::move(table));
+  });
+}
+
+Status SharedEngine::CreateView(const std::string& name, PlanPtr definition,
+                                std::vector<std::string> sampling_key) {
+  return Commit([&](SvcEngine* e) {
+    return e->CreateView(name, std::move(definition), std::move(sampling_key));
+  });
+}
+
+Status SharedEngine::InsertRecord(const std::string& relation, Row row) {
+  return Commit([&](SvcEngine* e) {
+    return e->InsertRecord(relation, std::move(row));
+  });
+}
+
+Status SharedEngine::DeleteRecord(const std::string& relation, Row row) {
+  return Commit([&](SvcEngine* e) {
+    return e->DeleteRecord(relation, std::move(row));
+  });
+}
+
+Status SharedEngine::IngestDeltas(DeltaSet&& deltas) {
+  return Commit([&](SvcEngine* e) {
+    return e->IngestDeltas(std::move(deltas));
+  });
+}
+
+Status SharedEngine::Refresh() {
+  // The in-place body: Commit's fork already provides the transactional
+  // discard-on-error, so MaintainAll's own fork-and-swap would only copy
+  // the engine a second time.
+  return Commit([](SvcEngine* e) { return e->MaintainAllInPlace(); });
+}
+
+}  // namespace svc

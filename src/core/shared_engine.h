@@ -1,0 +1,97 @@
+#ifndef SVC_CORE_SHARED_ENGINE_H_
+#define SVC_CORE_SHARED_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/svc.h"
+
+namespace svc {
+
+/// One published, immutable version of the engine state. Readers query
+/// `engine` freely (every SvcEngine read entry point is const); the
+/// snapshot stays alive — and bit-stable — for as long as any reader holds
+/// the shared_ptr, no matter how many commits happen behind it.
+struct EngineSnapshot {
+  /// Monotonic version number: 0 for the initial state, +1 per commit.
+  uint64_t epoch = 0;
+  SvcEngine engine;
+
+  explicit EngineSnapshot(SvcEngine e) : engine(std::move(e)) {}
+  EngineSnapshot(uint64_t ep, SvcEngine e) : epoch(ep), engine(std::move(e)) {}
+};
+
+using SnapshotPtr = std::shared_ptr<const EngineSnapshot>;
+
+/// A multi-session engine: one SvcEngine's worth of state shared by many
+/// concurrent SqlSessions (or direct callers) with snapshot isolation.
+///
+/// Concurrency model (docs/ARCHITECTURE.md "Shared engine & snapshots"):
+///
+///   * Readers call Snapshot() and run any number of queries against the
+///     returned immutable version. They never take the writer lock, never
+///     block on maintenance, and never observe a half-applied commit.
+///   * Writers call Commit(fn) (or a convenience wrapper). Commits are
+///     serialized by a writer mutex; each one forks the head state
+///     (copy-on-write, so the fork shares all untouched table storage),
+///     applies `fn` to the fork, and publishes it as epoch+1 — but only if
+///     `fn` succeeds. A failed commit publishes nothing: the head, and
+///     every queued delta in it, is exactly as before.
+///
+/// The epoch sequence is deterministic given the commit sequence, which is
+/// what the differential and stress tests key on: the answer to any query
+/// is a pure function of (snapshot epoch, query, options).
+class SharedEngine {
+ public:
+  /// Starts at epoch 0 over the given base relations.
+  explicit SharedEngine(Database db);
+  /// Starts at epoch 0 from a fully built engine (views, pending deltas).
+  explicit SharedEngine(SvcEngine engine);
+
+  SharedEngine(const SharedEngine&) = delete;
+  SharedEngine& operator=(const SharedEngine&) = delete;
+
+  /// The current head version. Cheap (one mutex-guarded shared_ptr copy);
+  /// safe to call from any thread at any time.
+  SnapshotPtr Snapshot() const;
+
+  /// Epoch of the current head.
+  uint64_t epoch() const { return Snapshot()->epoch; }
+
+  /// Runs `fn` on a private fork of the head state, serialized against
+  /// every other writer. If `fn` returns OK the fork is published
+  /// atomically as the next epoch; otherwise nothing is published and the
+  /// error is returned. `fn` must not retain the SvcEngine* beyond the
+  /// call.
+  Status Commit(const std::function<Status(SvcEngine*)>& fn);
+
+  // ---- Convenience writers (each is one Commit) ---------------------------
+  Status CreateTable(const std::string& name, Table table);
+  Status CreateView(const std::string& name, PlanPtr definition,
+                    std::vector<std::string> sampling_key = {});
+  Status InsertRecord(const std::string& relation, Row row);
+  Status DeleteRecord(const std::string& relation, Row row);
+  /// Ingests a whole delta batch as one commit (one published version).
+  Status IngestDeltas(DeltaSet&& deltas);
+  /// Maintenance commit: MaintainAll on the fork, published atomically.
+  /// Readers holding pre-refresh snapshots keep the stale view and its
+  /// pending deltas; new snapshots see the fresh view and an empty queue.
+  Status Refresh();
+
+ private:
+  /// Serializes writers (fork → mutate → publish).
+  std::mutex writer_mu_;
+  /// Guards loads/stores of head_ (readers and the publish step).
+  mutable std::mutex head_mu_;
+  SnapshotPtr head_;
+};
+
+}  // namespace svc
+
+#endif  // SVC_CORE_SHARED_ENGINE_H_

@@ -61,6 +61,18 @@ Status SvcEngine::IngestDeltas(DeltaSet&& deltas) {
 }
 
 Status SvcEngine::MaintainAll() {
+  // Maintain a forked copy and swap it in only on success: a failure
+  // anywhere (a maintenance plan, its execution, or the base-table commit)
+  // leaves this engine — including the pending delta queue — untouched.
+  // The fork is cheap: the database copy shares table storage copy-on-write
+  // and only the tables maintenance touches are actually cloned.
+  SvcEngine next(*this);
+  SVC_RETURN_IF_ERROR(next.MaintainAllInPlace());
+  *this = std::move(next);
+  return Status::OK();
+}
+
+Status SvcEngine::MaintainAllInPlace() {
   for (auto& [name, view] : views_) {
     SVC_ASSIGN_OR_RETURN(MaintenancePlan plan,
                          BuildMaintenancePlan(view, pending_, db_));

@@ -64,6 +64,16 @@ class SvcEngine {
   /// Takes ownership of the database holding the base relations.
   explicit SvcEngine(Database db) : db_(std::move(db)) {}
 
+  /// Copying forks the engine state: the database copy shares table
+  /// storage copy-on-write (see Database), views share their immutable
+  /// plan trees, and the pending delta queue is deep-copied (bounded by
+  /// the number of queued rows). SharedEngine uses this to publish
+  /// immutable snapshots; MaintainAll uses it to commit atomically.
+  SvcEngine(const SvcEngine&) = default;
+  SvcEngine& operator=(const SvcEngine&) = default;
+  SvcEngine(SvcEngine&&) = default;
+  SvcEngine& operator=(SvcEngine&&) = default;
+
   Database* db() { return &db_; }
   const Database& db() const { return db_; }
 
@@ -101,8 +111,18 @@ class SvcEngine {
 
   // ---- Maintenance ---------------------------------------------------------
   /// Full (incremental where possible) maintenance of every view, then
-  /// commits the pending deltas into the base relations.
+  /// commits the pending deltas into the base relations. The commit is
+  /// transactional: on any error the engine (views, base tables, and the
+  /// pending delta queue) is left exactly as it was — queued deltas are
+  /// never dropped by a failed maintenance run.
   Status MaintainAll();
+
+  /// The non-transactional body of MaintainAll: on error the engine may be
+  /// left with half-applied maintenance. Only for callers that already run
+  /// on a disposable fork which is discarded on error (SharedEngine::Commit
+  /// publishes nothing when this fails), where MaintainAll's protective
+  /// fork-and-swap would just fork the engine a second time.
+  Status MaintainAllInPlace();
 
   /// Computes the up-to-date contents of one view without applying
   /// anything (oracle for accuracy evaluation).

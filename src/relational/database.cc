@@ -1,17 +1,19 @@
 #include "relational/database.h"
 
+#include <atomic>
+
 namespace svc {
 
 Status Database::CreateTable(const std::string& name, Table table) {
   if (tables_.count(name)) {
     return Status::AlreadyExists("table already exists: " + name);
   }
-  tables_[name] = std::make_unique<Table>(std::move(table));
+  tables_[name] = std::make_shared<Table>(std::move(table));
   return Status::OK();
 }
 
 void Database::PutTable(const std::string& name, Table table) {
-  tables_[name] = std::make_unique<Table>(std::move(table));
+  tables_[name] = std::make_shared<Table>(std::move(table));
 }
 
 namespace {
@@ -20,7 +22,7 @@ namespace {
 /// ("__ins_*" / "__del_*") are elided from the listing.
 std::string NoSuchTable(
     const std::string& name,
-    const std::map<std::string, std::unique_ptr<Table>>& tables) {
+    const std::map<std::string, std::shared_ptr<Table>>& tables) {
   std::string msg = "no such table: " + name;
   std::string known;
   for (const auto& [k, v] : tables) {
@@ -49,6 +51,20 @@ Result<Table*> Database::GetMutableTable(const std::string& name) {
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound(NoSuchTable(name, tables_));
+  }
+  if (it->second.use_count() > 1) {
+    // Copy-on-write: this table is shared with a snapshot copy of the
+    // catalog; clone before handing out mutable access so the snapshot
+    // keeps reading the old version.
+    it->second = std::make_shared<Table>(*it->second);
+  } else {
+    // use_count() alone is not enough to mutate in place (the reason
+    // shared_ptr::unique() was deprecated): if the last other reference
+    // was just released by a concurrent reader thread, the relaxed count
+    // load gives no happens-before edge with that reader's prior reads.
+    // The reader's release-decrement on the count plus this acquire fence
+    // (after observing 1) supplies it.
+    std::atomic_thread_fence(std::memory_order_acquire);
   }
   return it->second.get();
 }

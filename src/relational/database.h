@@ -13,11 +13,21 @@ namespace svc {
 
 /// Catalog of named base relations (and, for SVC, registered delta
 /// relations and materialized views — they are all just tables).
+///
+/// Tables are held behind shared_ptr so a Database copy is a *snapshot*:
+/// it shares every table's storage with the original (O(#tables) pointer
+/// copies, no row copies). Mutation is copy-on-write — GetMutableTable
+/// clones a table the first time it is touched while still shared with a
+/// snapshot, so readers of old snapshots never observe writer mutations.
+/// This is what lets SharedEngine (core/shared_engine.h) publish immutable
+/// engine versions to concurrent readers cheaply.
 class Database {
  public:
   Database() = default;
-  Database(const Database&) = delete;
-  Database& operator=(const Database&) = delete;
+  /// Snapshot copy: shares all table storage with `other` (copy-on-write
+  /// on the next mutation of either side).
+  Database(const Database&) = default;
+  Database& operator=(const Database&) = default;
   Database(Database&&) = default;
   Database& operator=(Database&&) = default;
 
@@ -30,7 +40,9 @@ class Database {
   /// Looks up a table; NotFound if absent.
   Result<const Table*> GetTable(const std::string& name) const;
 
-  /// Mutable lookup; NotFound if absent.
+  /// Mutable lookup; NotFound if absent. If the table's storage is shared
+  /// with a snapshot copy of this Database, it is cloned first (the
+  /// snapshot keeps the old version).
   Result<Table*> GetMutableTable(const std::string& name);
 
   /// True iff `name` is registered.
@@ -45,7 +57,7 @@ class Database {
   std::vector<std::string> TableNames() const;
 
  private:
-  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, std::shared_ptr<Table>> tables_;
 };
 
 }  // namespace svc

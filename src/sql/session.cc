@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <set>
 
 #include "relational/executor.h"
@@ -75,31 +76,59 @@ Result<SqlResult> SqlSession::Execute(const std::string& sql) {
 }
 
 Result<SqlResult> SqlSession::Execute(const Statement& stmt) {
+  // Reads run against one consistent version: the owned engine in private
+  // mode, the current published snapshot in shared mode (held alive for
+  // the duration of the statement; concurrent commits don't affect it).
+  SnapshotPtr snap;
+  auto reader = [&]() -> const SvcEngine& {
+    if (shared_ == nullptr) return *own_;
+    snap = shared_->Snapshot();
+    return snap->engine;
+  };
   switch (stmt.kind) {
     case Statement::Kind::kSelect:
-      return stmt.svc.present ? ExecSvcSelect(stmt) : ExecSelect(stmt);
-    case Statement::Kind::kCreateTable:
-      return ExecCreateTable(stmt);
-    case Statement::Kind::kCreateView:
-      return ExecCreateView(stmt);
-    case Statement::Kind::kInsert:
-      return ExecInsert(stmt);
-    case Statement::Kind::kDelete:
-      return ExecDelete(stmt);
-    case Statement::Kind::kRefresh:
-      return ExecRefresh(stmt);
+      return stmt.svc.present ? ExecSvcSelect(stmt, reader())
+                              : ExecSelect(stmt, reader());
     case Statement::Kind::kShowTables:
-      return ExecShowTables();
+      return ExecShowTables(reader());
     case Statement::Kind::kShowViews:
-      return ExecShowViews();
+      return ExecShowViews(reader());
+    case Statement::Kind::kCreateTable:
+      return ExecWrite(
+          [&](SvcEngine* e) { return ExecCreateTable(stmt, e); });
+    case Statement::Kind::kCreateView:
+      return ExecWrite([&](SvcEngine* e) { return ExecCreateView(stmt, e); });
+    case Statement::Kind::kInsert:
+      return ExecWrite([&](SvcEngine* e) { return ExecInsert(stmt, e); });
+    case Statement::Kind::kDelete:
+      return ExecWrite([&](SvcEngine* e) { return ExecDelete(stmt, e); });
+    case Statement::Kind::kRefresh:
+      return ExecWrite([&](SvcEngine* e) { return ExecRefresh(stmt, e); });
   }
   return Status::Internal("unhandled statement kind");
 }
 
-Result<SqlResult> SqlSession::ExecSelect(const Statement& stmt) {
-  SVC_ASSIGN_OR_RETURN(PlanPtr plan, PlanSelect(*stmt.select, *engine_.db()));
-  SVC_ASSIGN_OR_RETURN(
-      Table out, ExecutePlan(*plan, *engine_.db(), engine_.exec_options()));
+Result<SqlResult> SqlSession::ExecWrite(
+    const std::function<Result<SqlResult>(SvcEngine*)>& fn) {
+  if (shared_ == nullptr) return fn(own_.get());
+  // One statement = one commit: validation and mutation run on the fork
+  // under the writer lock, so concurrent sessions cannot race a conflicting
+  // write in between, and an error publishes nothing.
+  std::optional<SqlResult> out;
+  SVC_RETURN_IF_ERROR(shared_->Commit([&](SvcEngine* e) -> Status {
+    auto r = fn(e);
+    if (!r.ok()) return r.status();
+    out = std::move(r).value();
+    return Status::OK();
+  }));
+  return std::move(*out);
+}
+
+Result<SqlResult> SqlSession::ExecSelect(const Statement& stmt,
+                                         const SvcEngine& eng) {
+  SVC_ASSIGN_OR_RETURN(PlanPtr plan, PlanSelect(*stmt.select, eng.db()));
+  SVC_ASSIGN_OR_RETURN(Table out,
+                       ExecutePlan(*plan, eng.db(), eng.exec_options()));
   SqlResult result;
   result.kind = SqlResultKind::kRows;
   result.message = std::to_string(out.NumRows()) + " row(s)";
@@ -107,7 +136,8 @@ Result<SqlResult> SqlSession::ExecSelect(const Statement& stmt) {
   return result;
 }
 
-Result<SqlResult> SqlSession::ExecSvcSelect(const Statement& stmt) {
+Result<SqlResult> SqlSession::ExecSvcSelect(const Statement& stmt,
+                                            const SvcEngine& eng) {
   const SelectStmt& sel = *stmt.select;
   if (sel.set_next) {
     return Status::NotSupported(
@@ -120,9 +150,9 @@ Result<SqlResult> SqlSession::ExecSvcSelect(const Statement& stmt) {
         "(joins and subqueries belong in the view definition)");
   }
   const std::string& view_name = sel.from[0].table;
-  auto view = engine_.GetView(view_name);
+  auto view = eng.GetView(view_name);
   if (!view.ok()) {
-    if (engine_.db()->HasTable(view_name)) {
+    if (eng.db().HasTable(view_name)) {
       return Status::InvalidArgument(
           "WITH SVC corrects stale materialized views, but '" + view_name +
           "' is a base table; query it with a plain SELECT or define a view "
@@ -202,7 +232,7 @@ Result<SqlResult> SqlSession::ExecSvcSelect(const Statement& stmt) {
   result.kind = SqlResultKind::kEstimate;
 
   if (sel.group_by.empty()) {
-    SVC_ASSIGN_OR_RETURN(SvcAnswer answer, engine_.Query(view_name, q, opts));
+    SVC_ASSIGN_OR_RETURN(SvcAnswer answer, eng.Query(view_name, q, opts));
     Schema schema;
     AppendEstimateColumns(value_alias, &schema);
     Table out(std::move(schema));
@@ -217,7 +247,7 @@ Result<SqlResult> SqlSession::ExecSvcSelect(const Statement& stmt) {
   }
 
   // Grouped path: one estimate per observed group.
-  SVC_ASSIGN_OR_RETURN(const Table* stored, engine_.db()->GetTable(view_name));
+  SVC_ASSIGN_OR_RETURN(const Table* stored, eng.db().GetTable(view_name));
   Schema schema;
   for (const auto& g : sel.group_by) {
     SVC_ASSIGN_OR_RETURN(size_t pos, stored->schema().Resolve(g));
@@ -227,7 +257,7 @@ Result<SqlResult> SqlSession::ExecSvcSelect(const Statement& stmt) {
   AppendEstimateColumns(value_alias, &schema);
 
   SVC_ASSIGN_OR_RETURN(SvcGroupedAnswer answer,
-                       engine_.QueryGrouped(view_name, sel.group_by, q, opts));
+                       eng.QueryGrouped(view_name, sel.group_by, q, opts));
   // Sort groups by key for stable, scannable output (estimates are
   // unchanged; the engine's group order is first-encounter).
   std::vector<size_t> order(answer.result.group_keys.size());
@@ -255,8 +285,9 @@ Result<SqlResult> SqlSession::ExecSvcSelect(const Statement& stmt) {
   return result;
 }
 
-Result<SqlResult> SqlSession::ExecCreateTable(const Statement& stmt) {
-  if (engine_.db()->HasTable(stmt.target)) {
+Result<SqlResult> SqlSession::ExecCreateTable(const Statement& stmt,
+                                              SvcEngine* eng) {
+  if (eng->db()->HasTable(stmt.target)) {
     return Status::AlreadyExists("table or view already exists: " +
                                  stmt.target);
   }
@@ -276,36 +307,36 @@ Result<SqlResult> SqlSession::ExecCreateTable(const Statement& stmt) {
   }
   Table table(std::move(schema));
   SVC_RETURN_IF_ERROR(table.SetPrimaryKey(stmt.primary_key));
-  SVC_RETURN_IF_ERROR(engine_.db()->CreateTable(stmt.target,
-                                                std::move(table)));
+  SVC_RETURN_IF_ERROR(eng->db()->CreateTable(stmt.target, std::move(table)));
   SqlResult result;
   result.message = "created table " + stmt.target + " (" +
                    std::to_string(stmt.columns.size()) + " columns)";
   return result;
 }
 
-Result<SqlResult> SqlSession::ExecCreateView(const Statement& stmt) {
-  if (engine_.HasView(stmt.target)) {
+Result<SqlResult> SqlSession::ExecCreateView(const Statement& stmt,
+                                             SvcEngine* eng) {
+  if (eng->HasView(stmt.target)) {
     return Status::AlreadyExists("view already exists: " + stmt.target);
   }
-  if (engine_.db()->HasTable(stmt.target)) {
+  if (eng->db()->HasTable(stmt.target)) {
     return Status::AlreadyExists("a table named '" + stmt.target +
                                  "' already exists; views need a fresh name");
   }
-  SVC_ASSIGN_OR_RETURN(PlanPtr def, PlanSelect(*stmt.select, *engine_.db()));
+  SVC_ASSIGN_OR_RETURN(PlanPtr def, PlanSelect(*stmt.select, *eng->db()));
   SVC_RETURN_IF_ERROR(
-      engine_.CreateView(stmt.target, std::move(def), stmt.sampling_key));
-  SVC_ASSIGN_OR_RETURN(const Table* stored,
-                       engine_.db()->GetTable(stmt.target));
+      eng->CreateView(stmt.target, std::move(def), stmt.sampling_key));
+  SVC_ASSIGN_OR_RETURN(const Table* stored, eng->db()->GetTable(stmt.target));
   SqlResult result;
   result.message = "materialized view " + stmt.target + " (" +
                    std::to_string(stored->NumRows()) + " rows)";
   return result;
 }
 
-Result<SqlResult> SqlSession::ExecInsert(const Statement& stmt) {
+Result<SqlResult> SqlSession::ExecInsert(const Statement& stmt,
+                                         SvcEngine* eng) {
   SVC_ASSIGN_OR_RETURN(const Table* table,
-                       ResolveBaseTable(stmt.target, "INSERT INTO"));
+                       ResolveBaseTable(*eng, stmt.target, "INSERT INTO"));
   const Schema& schema = table->schema();
   // Validate and coerce every row before ingesting any (the statement
   // either queues completely or not at all).
@@ -344,6 +375,7 @@ Result<SqlResult> SqlSession::ExecInsert(const Statement& stmt) {
   // keys, duplicates within the statement, keys already queued for
   // insertion, and keys of committed rows not queued for deletion.
   std::vector<std::string> batch_keys;
+  PendingKeys scratch;
   PendingKeys* cache = nullptr;
   if (table->HasPrimaryKey()) {
     const std::vector<size_t>& pk = table->pk_indices();
@@ -355,8 +387,8 @@ Result<SqlResult> SqlSession::ExecInsert(const Statement& stmt) {
       }
       return out;
     };
-    cache = &pending_keys_[stmt.target];
-    SyncPendingKeys(stmt.target, pk, cache);
+    cache = PendingKeysFor(stmt.target, &scratch);
+    SyncPendingKeys(*eng, stmt.target, pk, cache);
     std::set<std::string> batch;
     batch_keys.reserve(rows.size());
     for (size_t r = 0; r < rows.size(); ++r) {
@@ -390,7 +422,7 @@ Result<SqlResult> SqlSession::ExecInsert(const Statement& stmt) {
     }
   }
   for (auto& row : rows) {
-    SVC_RETURN_IF_ERROR(engine_.InsertRecord(stmt.target, std::move(row)));
+    SVC_RETURN_IF_ERROR(eng->InsertRecord(stmt.target, std::move(row)));
   }
   if (cache != nullptr) {
     // Extend the cache in step with what was just queued.
@@ -404,9 +436,10 @@ Result<SqlResult> SqlSession::ExecInsert(const Statement& stmt) {
   return result;
 }
 
-Result<SqlResult> SqlSession::ExecDelete(const Statement& stmt) {
+Result<SqlResult> SqlSession::ExecDelete(const Statement& stmt,
+                                         SvcEngine* eng) {
   SVC_ASSIGN_OR_RETURN(const Table* table,
-                       ResolveBaseTable(stmt.target, "DELETE FROM"));
+                       ResolveBaseTable(*eng, stmt.target, "DELETE FROM"));
   ExprPtr pred;
   if (stmt.where) {
     pred = stmt.where->Clone();
@@ -421,12 +454,13 @@ Result<SqlResult> SqlSession::ExecDelete(const Statement& stmt) {
   // DELETE is idempotent: a row already queued for deletion is skipped —
   // queueing it twice would double-count in the change table and silently
   // corrupt maintained aggregate views at REFRESH.
+  PendingKeys scratch;
   PendingKeys* cache = nullptr;
   std::vector<std::string> new_keys;
   if (table->HasPrimaryKey()) {
     const std::vector<size_t>& pk = table->pk_indices();
-    cache = &pending_keys_[stmt.target];
-    SyncPendingKeys(stmt.target, pk, cache);
+    cache = PendingKeysFor(stmt.target, &scratch);
+    SyncPendingKeys(*eng, stmt.target, pk, cache);
     std::vector<Row> fresh;
     fresh.reserve(doomed.size());
     for (auto& row : doomed) {
@@ -438,7 +472,7 @@ Result<SqlResult> SqlSession::ExecDelete(const Statement& stmt) {
     doomed = std::move(fresh);
   }
   for (auto& row : doomed) {
-    SVC_RETURN_IF_ERROR(engine_.DeleteRecord(stmt.target, std::move(row)));
+    SVC_RETURN_IF_ERROR(eng->DeleteRecord(stmt.target, std::move(row)));
   }
   if (cache != nullptr) {
     for (auto& key : new_keys) cache->deletes.insert(std::move(key));
@@ -450,17 +484,24 @@ Result<SqlResult> SqlSession::ExecDelete(const Statement& stmt) {
   return result;
 }
 
-Result<SqlResult> SqlSession::ExecRefresh(const Statement& stmt) {
-  const size_t inserts = engine_.pending().TotalInserts();
-  const size_t deletes = engine_.pending().TotalDeletes();
+Result<SqlResult> SqlSession::ExecRefresh(const Statement& stmt,
+                                          SvcEngine* eng) {
+  const size_t inserts = eng->pending().TotalInserts();
+  const size_t deletes = eng->pending().TotalDeletes();
   if (!stmt.refresh_all) {
     // Validate the target; maintenance itself is engine-global (pending
     // deltas are one set), so every view freshens at the commit.
-    SVC_RETURN_IF_ERROR(engine_.GetView(stmt.target).status());
+    SVC_RETURN_IF_ERROR(eng->GetView(stmt.target).status());
   }
-  SVC_RETURN_IF_ERROR(engine_.MaintainAll());
+  // MaintainAll is transactional: on error nothing changed — queued deltas
+  // (and the session's pending-key cache over them) stay intact, so the
+  // error propagates here without touching session state. In shared mode
+  // `eng` is already a disposable fork that ExecWrite's Commit discards on
+  // error, so the in-place body skips a redundant second fork.
+  SVC_RETURN_IF_ERROR(shared_ != nullptr ? eng->MaintainAllInPlace()
+                                         : eng->MaintainAll());
   pending_keys_.clear();  // the commit emptied the pending queue
-  const size_t n_views = engine_.ViewNames().size();
+  const size_t n_views = eng->ViewNames().size();
   SqlResult result;
   result.message = "refreshed " + std::to_string(n_views) +
                    " view(s); committed " + std::to_string(inserts) +
@@ -468,16 +509,16 @@ Result<SqlResult> SqlSession::ExecRefresh(const Statement& stmt) {
   return result;
 }
 
-Result<SqlResult> SqlSession::ExecShowTables() {
+Result<SqlResult> SqlSession::ExecShowTables(const SvcEngine& eng) {
   Schema schema;
   schema.AddColumn({"", "name", ValueType::kString});
   schema.AddColumn({"", "rows", ValueType::kInt});
   schema.AddColumn({"", "kind", ValueType::kString});
   Table out(std::move(schema));
-  for (const auto& name : engine_.db()->TableNames()) {
+  for (const auto& name : eng.db().TableNames()) {
     if (name.rfind("__", 0) == 0) continue;  // internal delta tables
-    SVC_ASSIGN_OR_RETURN(const Table* t, engine_.db()->GetTable(name));
-    const bool is_view = engine_.HasView(name);
+    SVC_ASSIGN_OR_RETURN(const Table* t, eng.db().GetTable(name));
+    const bool is_view = eng.HasView(name);
     out.AppendUnchecked({Value::String(name),
                          Value::Int(static_cast<int64_t>(t->NumRows())),
                          Value::String(is_view ? "view" : "base")});
@@ -489,22 +530,22 @@ Result<SqlResult> SqlSession::ExecShowTables() {
   return result;
 }
 
-Result<SqlResult> SqlSession::ExecShowViews() {
+Result<SqlResult> SqlSession::ExecShowViews(const SvcEngine& eng) {
   Schema schema;
   schema.AddColumn({"", "name", ValueType::kString});
   schema.AddColumn({"", "rows", ValueType::kInt});
   schema.AddColumn({"", "class", ValueType::kString});
   schema.AddColumn({"", "stale", ValueType::kString});
   Table out(std::move(schema));
-  for (const auto& name : engine_.ViewNames()) {
-    SVC_ASSIGN_OR_RETURN(const MaterializedView* view, engine_.GetView(name));
-    SVC_ASSIGN_OR_RETURN(const Table* t, engine_.db()->GetTable(name));
+  for (const auto& name : eng.ViewNames()) {
+    SVC_ASSIGN_OR_RETURN(const MaterializedView* view, eng.GetView(name));
+    SVC_ASSIGN_OR_RETURN(const Table* t, eng.db().GetTable(name));
     const char* cls = "recompute";
     if (view->view_class() == ViewClass::kSpj) cls = "spj";
     if (view->view_class() == ViewClass::kAggregate) cls = "aggregate";
     bool stale = false;
     for (const auto& rel : view->base_relations()) {
-      stale = stale || engine_.pending().Touches(rel);
+      stale = stale || eng.pending().Touches(rel);
     }
     out.AppendUnchecked({Value::String(name),
                          Value::Int(static_cast<int64_t>(t->NumRows())),
@@ -518,9 +559,21 @@ Result<SqlResult> SqlSession::ExecShowViews() {
   return result;
 }
 
-void SqlSession::SyncPendingKeys(const std::string& relation,
+SqlSession::PendingKeys* SqlSession::PendingKeysFor(
+    const std::string& relation, PendingKeys* scratch) {
+  // Shared mode: other sessions mutate the pending queue between this
+  // session's statements, and the row-count drift check cannot distinguish
+  // "same counts, different keys" (e.g. a REFRESH followed by the same
+  // number of new inserts). Rebuild from the fork every statement — the
+  // statement runs under the writer lock, so the fork is authoritative.
+  if (shared_ != nullptr) return scratch;
+  return &pending_keys_[relation];
+}
+
+void SqlSession::SyncPendingKeys(const SvcEngine& eng,
+                                 const std::string& relation,
                                  const std::vector<size_t>& pk_indices,
-                                 PendingKeys* cache) const {
+                                 PendingKeys* cache) {
   auto sync = [&](const Table* t, size_t* rows, std::set<std::string>* keys) {
     const size_t n = t == nullptr ? 0 : t->NumRows();
     if (*rows == n) return;
@@ -530,15 +583,14 @@ void SqlSession::SyncPendingKeys(const std::string& relation,
     }
     *rows = n;
   };
-  sync(engine_.pending().inserts(relation), &cache->insert_rows,
-       &cache->inserts);
-  sync(engine_.pending().deletes(relation), &cache->delete_rows,
-       &cache->deletes);
+  sync(eng.pending().inserts(relation), &cache->insert_rows, &cache->inserts);
+  sync(eng.pending().deletes(relation), &cache->delete_rows, &cache->deletes);
 }
 
-Result<const Table*> SqlSession::ResolveBaseTable(const std::string& name,
+Result<const Table*> SqlSession::ResolveBaseTable(const SvcEngine& eng,
+                                                  const std::string& name,
                                                   const char* verb) const {
-  if (engine_.HasView(name)) {
+  if (eng.HasView(name)) {
     return Status::InvalidArgument(
         std::string(verb) + " targets a base relation, but '" + name +
         "' is a materialized view (views change via REFRESH after deltas "
@@ -548,7 +600,7 @@ Result<const Table*> SqlSession::ResolveBaseTable(const std::string& name,
     return Status::InvalidArgument("'" + name +
                                    "' is an internal delta relation");
   }
-  return engine_.db().GetTable(name);
+  return eng.db().GetTable(name);
 }
 
 }  // namespace svc

@@ -1,12 +1,16 @@
 #ifndef SVC_SQL_SESSION_H_
 #define SVC_SQL_SESSION_H_
 
+#include <cassert>
+#include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "core/shared_engine.h"
 #include "core/svc.h"
 #include "sql/parser.h"
 
@@ -44,6 +48,22 @@ struct SqlResult {
 ///     WITH SVC(ratio=0.5, mode=corr);           -- estimate ± CI
 ///   REFRESH VIEW visitView;                     -- maintenance commit
 ///
+/// A session runs in one of two modes:
+///
+///   * **Private** (the default constructors): the session owns its
+///     SvcEngine — the shared-nothing model, one engine per session.
+///   * **Shared** (the SharedEngine constructor): many sessions address
+///     one engine concurrently with snapshot isolation. Each read
+///     statement runs against one immutable snapshot (readers never block
+///     on other sessions' writes or on REFRESH); each write statement is
+///     one atomic SharedEngine::Commit — its validation and mutation run
+///     under the writer lock, so cross-session races (e.g. two sessions
+///     inserting the same primary key) are serialized, and a failed
+///     statement publishes nothing.
+///
+/// Statement semantics are identical in both modes; answers for the same
+/// engine state are bit-identical (asserted by tests/test_differential.cc).
+///
 /// Statement routing:
 ///   * `SELECT ... WITH SVC(...)` must aggregate over a single materialized
 ///     view; it lowers to an AggregateQuery and runs through
@@ -61,13 +81,35 @@ struct SqlResult {
 ///     point that freshens every view.
 class SqlSession {
  public:
-  /// A session over an empty catalog (populate it with CREATE TABLE).
-  SqlSession() : engine_(Database()) {}
-  /// A session over pre-loaded base relations.
-  explicit SqlSession(Database db) : engine_(std::move(db)) {}
+  /// A private session over an empty catalog (populate with CREATE TABLE).
+  SqlSession() : own_(std::make_unique<SvcEngine>(Database())) {}
+  /// A private session over pre-loaded base relations.
+  explicit SqlSession(Database db)
+      : own_(std::make_unique<SvcEngine>(std::move(db))) {}
+  /// A private session over an existing engine state — e.g. a copy of a
+  /// SharedEngine snapshot's engine, for deterministic offline replay.
+  explicit SqlSession(SvcEngine engine)
+      : own_(std::make_unique<SvcEngine>(std::move(engine))) {}
+  /// A session over a shared engine (snapshot-isolated; see class comment).
+  explicit SqlSession(std::shared_ptr<SharedEngine> shared)
+      : shared_(std::move(shared)) {}
 
-  SvcEngine& engine() { return engine_; }
-  const SvcEngine& engine() const { return engine_; }
+  /// True iff this session addresses a SharedEngine.
+  bool is_shared() const { return shared_ != nullptr; }
+
+  /// The owned engine. REQUIRES: !is_shared() (a shared session has no
+  /// private engine; use shared() / snapshots instead).
+  SvcEngine& engine() {
+    assert(own_ != nullptr && "engine() requires !is_shared()");
+    return *own_;
+  }
+  const SvcEngine& engine() const {
+    assert(own_ != nullptr && "engine() requires !is_shared()");
+    return *own_;
+  }
+
+  /// The shared engine (null in private mode).
+  const std::shared_ptr<SharedEngine>& shared() const { return shared_; }
 
   /// Session-wide SVC defaults; `WITH SVC(...)` keys override per query.
   SvcQueryOptions& default_svc_options() { return svc_defaults_; }
@@ -80,27 +122,40 @@ class SqlSession {
   Result<SqlResult> Execute(const Statement& stmt);
 
  private:
-  Result<SqlResult> ExecSelect(const Statement& stmt);
-  Result<SqlResult> ExecSvcSelect(const Statement& stmt);
-  Result<SqlResult> ExecCreateTable(const Statement& stmt);
-  Result<SqlResult> ExecCreateView(const Statement& stmt);
-  Result<SqlResult> ExecInsert(const Statement& stmt);
-  Result<SqlResult> ExecDelete(const Statement& stmt);
-  Result<SqlResult> ExecRefresh(const Statement& stmt);
-  Result<SqlResult> ExecShowTables();
-  Result<SqlResult> ExecShowViews();
+  // Reads take the engine (a snapshot in shared mode) by const reference;
+  // writes run on the engine fork handed to them by ExecWrite.
+  Result<SqlResult> ExecSelect(const Statement& stmt, const SvcEngine& eng);
+  Result<SqlResult> ExecSvcSelect(const Statement& stmt, const SvcEngine& eng);
+  Result<SqlResult> ExecCreateTable(const Statement& stmt, SvcEngine* eng);
+  Result<SqlResult> ExecCreateView(const Statement& stmt, SvcEngine* eng);
+  Result<SqlResult> ExecInsert(const Statement& stmt, SvcEngine* eng);
+  Result<SqlResult> ExecDelete(const Statement& stmt, SvcEngine* eng);
+  Result<SqlResult> ExecRefresh(const Statement& stmt, SvcEngine* eng);
+  Result<SqlResult> ExecShowTables(const SvcEngine& eng);
+  Result<SqlResult> ExecShowViews(const SvcEngine& eng);
+
+  /// Runs a write statement. Private mode: directly on the owned engine.
+  /// Shared mode: inside one SharedEngine::Commit, so the statement's
+  /// validation + mutation are atomic and serialized against other writers,
+  /// and an error publishes nothing.
+  Result<SqlResult> ExecWrite(
+      const std::function<Result<SqlResult>(SvcEngine*)>& fn);
 
   /// Rejects targets that are views or internal delta tables; returns the
   /// base table.
-  Result<const Table*> ResolveBaseTable(const std::string& name,
+  Result<const Table*> ResolveBaseTable(const SvcEngine& eng,
+                                        const std::string& name,
                                         const char* verb) const;
 
   /// Cached encoded-primary-key sets of one relation's pending deltas, so
   /// ExecInsert's conflict checks stay O(batch) per statement instead of
   /// re-encoding the whole pending queue (O(pending)) every INSERT. The
   /// row counts validate the cache: REFRESH empties the queue and any
-  /// direct engine_ mutation between statements changes the counts, both
-  /// of which trigger a rebuild.
+  /// direct engine mutation between statements changes the counts, both
+  /// of which trigger a rebuild. Only trustworthy in private mode — in
+  /// shared mode other sessions mutate the queue between statements, so
+  /// each write statement rebuilds from the fork it runs on (see
+  /// PendingKeysFor).
   struct PendingKeys {
     size_t insert_rows = 0;
     size_t delete_rows = 0;
@@ -108,12 +163,19 @@ class SqlSession {
     std::set<std::string> deletes;
   };
 
-  /// Rebuilds `cache` from the pending tables when the row counts drifted.
-  void SyncPendingKeys(const std::string& relation,
-                       const std::vector<size_t>& pk_indices,
-                       PendingKeys* cache) const;
+  /// The cache to use for a write statement on `relation`: the session's
+  /// persistent cache in private mode, `scratch` (rebuilt from the current
+  /// fork) in shared mode.
+  PendingKeys* PendingKeysFor(const std::string& relation,
+                              PendingKeys* scratch);
 
-  SvcEngine engine_;
+  /// Rebuilds `cache` from the pending tables when the row counts drifted.
+  static void SyncPendingKeys(const SvcEngine& eng, const std::string& relation,
+                              const std::vector<size_t>& pk_indices,
+                              PendingKeys* cache);
+
+  std::unique_ptr<SvcEngine> own_;       ///< private mode only
+  std::shared_ptr<SharedEngine> shared_; ///< shared mode only
   SvcQueryOptions svc_defaults_;
   std::map<std::string, PendingKeys> pending_keys_;
 };

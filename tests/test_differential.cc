@@ -1,0 +1,339 @@
+// Randomized differential harness (ISSUE 4): generate random schemas,
+// committed loads, delta batches, and SVC queries; run them through the
+// SQL serving path on a *shared* snapshot-isolated engine and through the
+// direct C++ Query/QueryGrouped API on a *private* engine, and assert the
+// answers are bit-identical — per value, CI bound, estimator mode, and
+// sample count — at num_threads ∈ {1, 4} and across snapshot epochs
+// (before and after the maintenance commit).
+//
+// Every trial is deterministic from its seed; a failure's SCOPED_TRACE
+// prints `seed=N round=R query="..."`, so a repro is
+//   ./test_differential --gtest_filter='*Differential*'   (seed N fails
+//   identically every run; edit kSeeds to bisect a single trial).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/shared_engine.h"
+#include "core/svc.h"
+#include "sql/planner.h"
+#include "sql/session.h"
+#include "tests/test_util.h"
+
+namespace svc {
+namespace {
+
+/// %.17g: enough digits that parsing the literal back yields the exact
+/// same double, so the SQL path and the direct path see identical values.
+std::string Lit17(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// One randomly generated workload: a fact table F(id, g, v), optionally a
+/// dimension D(g, label) joined in the view, committed rows, and the view.
+struct Workload {
+  bool join_view = false;
+  int groups = 4;
+  std::vector<Row> fact_rows;               // committed F rows, in order
+  std::map<int64_t, Row> committed_by_id;   // for DELETE mirroring
+  std::string view_sql;                     // CREATE ... AS <view_sql>
+};
+
+Workload GenerateWorkload(Rng* rng) {
+  Workload w;
+  w.join_view = rng->UniformInt(0, 1) == 1;
+  w.groups = static_cast<int>(rng->UniformInt(3, 6));
+  const int64_t n = rng->UniformInt(40, 120);
+  for (int64_t id = 0; id < n; ++id) {
+    Row r{Value::Int(id), Value::Int(rng->UniformInt(1, w.groups)),
+          Value::Double(static_cast<double>(rng->UniformInt(0, 1000)) / 16.0)};
+    w.committed_by_id[id] = r;
+    w.fact_rows.push_back(std::move(r));
+  }
+  w.view_sql = w.join_view
+                   ? "SELECT F.g, COUNT(1) AS c, SUM(F.v) AS sv "
+                     "FROM F, D WHERE F.g = D.g GROUP BY F.g"
+                   : "SELECT g, COUNT(1) AS c, SUM(v) AS sv "
+                     "FROM F GROUP BY g";
+  return w;
+}
+
+Schema FactSchema() {
+  return Schema({{"", "id", ValueType::kInt},
+                 {"", "g", ValueType::kInt},
+                 {"", "v", ValueType::kDouble}});
+}
+
+Schema DimSchema() {
+  return Schema({{"", "g", ValueType::kInt}, {"", "label", ValueType::kInt}});
+}
+
+/// The dimension table has one row per group (so the join is lossless and
+/// both view templates cover every fact row).
+std::vector<Row> DimRows(int groups) {
+  std::vector<Row> rows;
+  for (int64_t g = 1; g <= groups; ++g) {
+    rows.push_back({Value::Int(g), Value::Int(100 + g)});
+  }
+  return rows;
+}
+
+/// One random SVC query: SQL text plus the equivalent direct call.
+struct RandomQuery {
+  std::string sql;        // full statement incl. WITH SVC(...)
+  AggregateQuery direct;  // the same query for SvcEngine::Query
+  bool grouped = false;
+  SvcQueryOptions opts;   // ratio/mode for the direct call
+};
+
+RandomQuery GenerateQuery(Rng* rng) {
+  RandomQuery q;
+  // Aggregate: sum/count/avg over the view's visible columns, with an
+  // occasional median to push the (seeded) bootstrap through both paths.
+  const int func = static_cast<int>(rng->UniformInt(0, 7));
+  std::string agg_sql;
+  const char* attr = rng->UniformInt(0, 1) == 0 ? "c" : "sv";
+  if (func <= 2) {
+    agg_sql = "COUNT(1)";
+    q.direct.func = AggFunc::kCountStar;
+  } else if (func <= 4) {
+    agg_sql = std::string("SUM(") + attr + ")";
+    q.direct.func = AggFunc::kSum;
+    q.direct.attr = Expr::Col(attr);
+  } else if (func <= 6) {
+    agg_sql = std::string("AVG(") + attr + ")";
+    q.direct.func = AggFunc::kAvg;
+    q.direct.attr = Expr::Col(attr);
+  } else {
+    agg_sql = std::string("MEDIAN(") + attr + ")";
+    q.direct.func = AggFunc::kMedian;
+    q.direct.attr = Expr::Col(attr);
+  }
+  // Predicate: none, or an inequality on a visible column.
+  std::string where;
+  const int pred = static_cast<int>(rng->UniformInt(0, 2));
+  if (pred == 1) {
+    const int64_t lit = rng->UniformInt(1, 20);
+    where = " WHERE c > " + std::to_string(lit);
+    q.direct.predicate = Expr::Gt(Expr::Col("c"), Expr::LitInt(lit));
+  } else if (pred == 2) {
+    const double lit =
+        static_cast<double>(rng->UniformInt(0, 16000)) / 16.0;
+    where = " WHERE sv <= " + Lit17(lit);
+    q.direct.predicate = Expr::Le(Expr::Col("sv"), Expr::LitDouble(lit));
+  }
+  q.grouped = rng->UniformInt(0, 2) == 0;
+  const double ratios[] = {0.25, 0.5, 1.0};
+  q.opts.ratio = ratios[rng->UniformInt(0, 2)];
+  q.opts.mode = rng->UniformInt(0, 1) == 0 ? EstimatorMode::kAqp
+                                           : EstimatorMode::kCorr;
+  const char* mode_sql = q.opts.mode == EstimatorMode::kAqp ? "aqp" : "corr";
+  const std::string svc = " WITH SVC(ratio=" + Lit17(q.opts.ratio) +
+                          ", mode=" + mode_sql + ")";
+  if (q.grouped) {
+    q.sql = "SELECT g, " + agg_sql + " AS x FROM V" + where + " GROUP BY g" +
+            svc;
+  } else {
+    q.sql = "SELECT " + agg_sql + " AS x FROM V" + where + svc;
+  }
+  return q;
+}
+
+/// Runs one SQL statement, failing the test on error.
+SqlResult MustRun(SqlSession* session, const std::string& sql) {
+  auto r = session->Execute(sql);
+  if (!r.ok()) {
+    ADD_FAILURE() << r.status().ToString() << "\nSQL: " << sql;
+    return SqlResult();
+  }
+  return std::move(r).value();
+}
+
+/// Asserts one estimate row (value, ci_low, ci_high, mode, sample_rows)
+/// from the SQL result equals the direct Estimate bit-for-bit.
+void ExpectEstimateRowEq(const Row& row, size_t first_col,
+                         const Estimate& e, EstimatorMode mode) {
+  EXPECT_EQ(row[first_col].AsDouble(), e.value);
+  if (e.has_ci) {
+    EXPECT_EQ(row[first_col + 1].AsDouble(), e.ci_low);
+    EXPECT_EQ(row[first_col + 2].AsDouble(), e.ci_high);
+  } else {
+    EXPECT_TRUE(row[first_col + 1].is_null());
+    EXPECT_TRUE(row[first_col + 2].is_null());
+  }
+  EXPECT_EQ(row[first_col + 3].AsString(),
+            mode == EstimatorMode::kAqp ? "AQP" : "CORR");
+  EXPECT_EQ(row[first_col + 4].AsInt(),
+            static_cast<int64_t>(e.sample_rows));
+}
+
+/// The differential pair under test: the same logical engine state reached
+/// through (a) SQL statements on a SharedEngine and (b) direct C++ calls
+/// on a private SvcEngine.
+struct EnginePair {
+  std::shared_ptr<SharedEngine> shared;
+  std::unique_ptr<SqlSession> sql;     // session over `shared`
+  std::unique_ptr<SvcEngine> direct;   // private engine
+  int64_t next_id = 0;
+};
+
+EnginePair BuildPair(const Workload& w) {
+  EnginePair p;
+  // Direct path: tables built in memory, view over the committed state.
+  Database db;
+  Table fact(FactSchema());
+  EXPECT_TRUE(fact.SetPrimaryKey({"id"}).ok());
+  for (const Row& r : w.fact_rows) EXPECT_TRUE(fact.Insert(r).ok());
+  EXPECT_TRUE(db.CreateTable("F", std::move(fact)).ok());
+  Table dim(DimSchema());
+  EXPECT_TRUE(dim.SetPrimaryKey({"g"}).ok());
+  for (const Row& r : DimRows(w.groups)) EXPECT_TRUE(dim.Insert(r).ok());
+  EXPECT_TRUE(db.CreateTable("D", std::move(dim)).ok());
+  p.direct = std::make_unique<SvcEngine>(std::move(db));
+  PlanPtr def = SqlToPlan(w.view_sql, *p.direct->db()).value();
+  EXPECT_TRUE(p.direct->CreateView("V", std::move(def)).ok());
+
+  // SQL path: the identical state scripted as statements on a SharedEngine
+  // (INSERT queues deltas; REFRESH ALL commits the initial load so the
+  // view materializes over the same committed rows, in the same order).
+  p.shared = std::make_shared<SharedEngine>(Database());
+  p.sql = std::make_unique<SqlSession>(p.shared);
+  MustRun(p.sql.get(),
+          "CREATE TABLE F (id INT, g INT, v DOUBLE, PRIMARY KEY (id))");
+  MustRun(p.sql.get(),
+          "CREATE TABLE D (g INT, label INT, PRIMARY KEY (g))");
+  std::string ins = "INSERT INTO F VALUES ";
+  for (size_t i = 0; i < w.fact_rows.size(); ++i) {
+    const Row& r = w.fact_rows[i];
+    if (i > 0) ins += ", ";
+    ins += "(" + std::to_string(r[0].AsInt()) + ", " +
+           std::to_string(r[1].AsInt()) + ", " + Lit17(r[2].AsDouble()) + ")";
+  }
+  MustRun(p.sql.get(), ins);
+  std::string dins = "INSERT INTO D VALUES ";
+  for (int g = 1; g <= w.groups; ++g) {
+    if (g > 1) dins += ", ";
+    dins += "(" + std::to_string(g) + ", " + std::to_string(100 + g) + ")";
+  }
+  MustRun(p.sql.get(), dins);
+  MustRun(p.sql.get(), "REFRESH ALL");
+  MustRun(p.sql.get(),
+          "CREATE MATERIALIZED VIEW V AS " + w.view_sql);
+  p.next_id = static_cast<int64_t>(w.fact_rows.size());
+  return p;
+}
+
+/// Mirrors one random delta batch into both engines: inserts with fresh
+/// ids, deletes of still-committed ids (each id deleted at most once —
+/// the SQL session skips re-queued deletes, the direct API would not).
+void ApplyRandomDeltas(Rng* rng, const Workload& w, EnginePair* p,
+                       std::map<int64_t, Row>* committed) {
+  const int64_t n_ins = rng->UniformInt(3, 12);
+  std::string ins = "INSERT INTO F VALUES ";
+  for (int64_t i = 0; i < n_ins; ++i) {
+    Row r{Value::Int(p->next_id++), Value::Int(rng->UniformInt(1, w.groups)),
+          Value::Double(static_cast<double>(rng->UniformInt(0, 1000)) / 16.0)};
+    if (i > 0) ins += ", ";
+    ins += "(" + std::to_string(r[0].AsInt()) + ", " +
+           std::to_string(r[1].AsInt()) + ", " + Lit17(r[2].AsDouble()) + ")";
+    SVC_ASSERT_OK(p->direct->InsertRecord("F", std::move(r)));
+  }
+  MustRun(p->sql.get(), ins);
+
+  const int64_t n_del = rng->UniformInt(0, 5);
+  for (int64_t i = 0; i < n_del && !committed->empty(); ++i) {
+    auto it = committed->begin();
+    std::advance(it, static_cast<size_t>(rng->UniformInt(
+                         0, static_cast<int64_t>(committed->size()) - 1)));
+    MustRun(p->sql.get(),
+            "DELETE FROM F WHERE id = " + std::to_string(it->first));
+    SVC_ASSERT_OK(p->direct->DeleteRecord("F", it->second));
+    committed->erase(it);
+  }
+}
+
+/// Runs `q` through both paths at `num_threads` and asserts bit-identity.
+void CheckQuery(const RandomQuery& q, EnginePair* p, int num_threads) {
+  SCOPED_TRACE("threads=" + std::to_string(num_threads) +
+               " query=\"" + q.sql + "\"");
+  SvcQueryOptions opts = q.opts;
+  opts.exec.num_threads = num_threads;
+  opts.estimator.num_threads = num_threads;
+  // The session inherits thread counts via its defaults; WITH SVC(...)
+  // overrides ratio/mode per query, exactly like the direct opts.
+  p->sql->default_svc_options() = opts;
+
+  SqlResult got = MustRun(p->sql.get(), q.sql);
+  if (got.kind != SqlResultKind::kEstimate) return;  // MustRun already failed
+  if (!q.grouped) {
+    SVC_ASSERT_OK_AND_ASSIGN(SvcAnswer want, p->direct->Query("V", q.direct,
+                                                              opts));
+    ASSERT_EQ(got.rows.NumRows(), 1u);
+    EXPECT_EQ(got.mode_used, want.mode_used);
+    ExpectEstimateRowEq(got.rows.row(0), 0, want.estimate, want.mode_used);
+    return;
+  }
+  SVC_ASSERT_OK_AND_ASSIGN(
+      SvcGroupedAnswer want,
+      p->direct->QueryGrouped("V", {"g"}, q.direct, opts));
+  ASSERT_EQ(got.rows.NumRows(), want.result.group_keys.size());
+  // The SQL result is sorted by group key; match each row to its group.
+  for (size_t i = 0; i < got.rows.NumRows(); ++i) {
+    const Row& row = got.rows.row(i);
+    size_t gi = want.result.group_keys.size();
+    for (size_t k = 0; k < want.result.group_keys.size(); ++k) {
+      if (want.result.group_keys[k][0] == row[0]) {
+        gi = k;
+        break;
+      }
+    }
+    ASSERT_LT(gi, want.result.group_keys.size())
+        << "group " << row[0].ToString() << " missing from the direct answer";
+    ExpectEstimateRowEq(row, 1, want.result.estimates[gi], want.mode_used);
+  }
+}
+
+constexpr uint64_t kSeeds[] = {1, 2, 3, 4, 5, 6, 7, 8, 11, 42};
+
+TEST(DifferentialTest, SqlOnSharedEngineMatchesDirectPrivateEngine) {
+  for (uint64_t seed : kSeeds) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed);
+    Workload w = GenerateWorkload(&rng);
+    EnginePair pair = BuildPair(w);
+    std::map<int64_t, Row> committed = w.committed_by_id;
+
+    for (int round = 0; round < 3; ++round) {
+      SCOPED_TRACE("round=" + std::to_string(round));
+      ApplyRandomDeltas(&rng, w, &pair, &committed);
+      const uint64_t stale_epoch = pair.shared->epoch();
+      for (int i = 0; i < 4; ++i) {
+        RandomQuery q = GenerateQuery(&rng);
+        for (int threads : {1, 4}) CheckQuery(q, &pair, threads);
+      }
+      EXPECT_EQ(pair.shared->epoch(), stale_epoch)
+          << "reads must not publish new engine versions";
+
+      // Maintenance commit on both paths: a new snapshot epoch. Queries
+      // must stay bit-identical against the fresh state too.
+      MustRun(pair.sql.get(), "REFRESH ALL");
+      SVC_ASSERT_OK(pair.direct->MaintainAll());
+      EXPECT_EQ(pair.shared->epoch(), stale_epoch + 1);
+      for (int i = 0; i < 2; ++i) {
+        RandomQuery q = GenerateQuery(&rng);
+        for (int threads : {1, 4}) CheckQuery(q, &pair, threads);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace svc

@@ -419,6 +419,33 @@ TEST_F(SessionTest, EscapedQuoteInStringLiteral) {
   EXPECT_EQ(q.rows.row(0)[0].AsString(), "'quoted'");
 }
 
+TEST_F(SessionTest, FailedRefreshKeepsQueuedDeltas) {
+  // Regression: a failed maintenance commit used to leave half-applied
+  // state behind (view tables maintained, base commit aborted part-way).
+  // MaintainAll is now transactional, so REFRESH either commits everything
+  // or changes nothing — queued deltas are never dropped.
+  Run(kVisitViewSql);
+  Run("INSERT INTO Log VALUES (100, 3)");  // a valid queued delta
+  // Poison the queue behind the session's validation: a second delta whose
+  // primary key duplicates a committed row makes the base commit fail.
+  SVC_ASSERT_OK(
+      session_.engine().InsertRecord("Log", {Value::Int(0), Value::Int(2)}));
+  const SqlResult before = Run("SELECT SUM(visitCount) AS s FROM visitView");
+
+  Status st = Fail("REFRESH ALL");
+  EXPECT_NE(st.ToString().find("duplicate primary key"), std::string::npos)
+      << st.ToString();
+
+  // Both queued deltas survive, the view is still stale with its old
+  // contents, and the base table was not partially mutated.
+  EXPECT_TRUE(session_.engine().IsStale());
+  EXPECT_EQ(session_.engine().pending().TotalInserts(), 2u);
+  const SqlResult after = Run("SELECT SUM(visitCount) AS s FROM visitView");
+  EXPECT_EQ(after.rows.row(0)[0].AsInt(), before.rows.row(0)[0].AsInt());
+  const SqlResult base = Run("SELECT COUNT(1) AS c FROM Log");
+  EXPECT_EQ(base.rows.row(0)[0].AsInt(), 10);
+}
+
 TEST_F(SessionTest, SplitSqlScriptRespectsQuotesAndComments) {
   const std::vector<std::string> parts = SplitSqlScript(
       "-- header comment\n"

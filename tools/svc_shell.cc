@@ -11,6 +11,9 @@
 //   svc_shell -c "SELECT ...;"     run statements from the command line
 //   svc_shell --echo --file f.sql  echo each statement (transcript mode)
 //   svc_shell --keep-going         continue past statement errors
+//   svc_shell --shared             run on a snapshot-isolated SharedEngine
+//                                  (statement semantics are identical; this
+//                                  exercises the multi-session engine mode)
 
 #include <unistd.h>
 
@@ -18,9 +21,11 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
+#include "core/shared_engine.h"
 #include "shell/shell.h"
 
 namespace {
@@ -28,7 +33,7 @@ namespace {
 int Usage(const char* argv0, int rc) {
   std::fprintf(rc == 0 ? stdout : stderr,
                "usage: %s [--file <script.sql>] [-c <sql>] [--echo] "
-               "[--keep-going]\n"
+               "[--keep-going] [--shared]\n"
                "  no arguments: interactive shell (statements end with ';')\n",
                argv0);
   return rc;
@@ -41,6 +46,7 @@ int main(int argc, char** argv) {
   std::string inline_sql;
   bool has_file = false;
   bool has_inline = false;
+  bool shared = false;
   svc::ShellOptions opts;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -60,6 +66,8 @@ int main(int argc, char** argv) {
       opts.echo = true;
     } else if (std::strcmp(arg, "--keep-going") == 0) {
       opts.keep_going = true;
+    } else if (std::strcmp(arg, "--shared") == 0) {
+      shared = true;
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       return Usage(argv[0], 0);
     } else {
@@ -80,7 +88,13 @@ int main(int argc, char** argv) {
     return Usage(argv[0], 2);
   }
 
-  svc::SqlSession session;
+  // --shared runs the identical statement stream on a SharedEngine: this
+  // single session is the degenerate case of many concurrent sessions, so
+  // transcripts (e.g. the quickstart golden) must match private mode.
+  svc::SqlSession session =
+      shared ? svc::SqlSession(
+                   std::make_shared<svc::SharedEngine>(svc::Database()))
+             : svc::SqlSession();
   svc::Shell shell(&session, &std::cout, opts);
 
   if (has_file) {
