@@ -30,6 +30,8 @@
 
 #include "common/random.h"
 #include "common/stopwatch.h"
+#include "core/shared_engine.h"
+#include "core/svc.h"
 #include "relational/executor.h"
 
 namespace svc {
@@ -272,6 +274,7 @@ int main(int argc, char** argv) {
   int reps = 7;
   double min_speedup = 0.0;           // 0 = report only
   double min_parallel_speedup = 0.0;  // 0 = report only
+  double min_cache_speedup = 0.0;     // 0 = report only
   int threads = 8;
   std::string out_path = "BENCH_executor.json";
   for (int i = 1; i < argc; ++i) {
@@ -294,6 +297,8 @@ int main(int argc, char** argv) {
       threads = std::atoi(next("--threads"));
     } else if (std::strcmp(argv[i], "--min-parallel-speedup") == 0) {
       min_parallel_speedup = std::atof(next("--min-parallel-speedup"));
+    } else if (std::strcmp(argv[i], "--min-cache-speedup") == 0) {
+      min_cache_speedup = std::atof(next("--min-cache-speedup"));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -471,6 +476,110 @@ int main(int argc, char** argv) {
     bench_par("join_aggregate", *plan);
   }
 
+  // -- Serving layer: repeated SVC queries on an unchanged stale engine --
+  // Cold = every query re-runs the full cleaning pipeline (the cache-off
+  // path, which was the only path before the cleaned-sample cache); warm =
+  // the cache serves the memoized samples and each query pays only the
+  // estimator. The CoW ingest measurement drives single-row commits
+  // through a SharedEngine at increasing queue depths: with the chunked
+  // DeltaSet a commit copies only the rows of the last batch, so the cost
+  // stays flat while the queue grows.
+  struct CacheBench {
+    double cold_ms = 0;
+    double warm_ms = 0;
+    double speedup() const { return cold_ms / warm_ms; }
+    std::vector<std::pair<size_t, double>> commit_us;  // depth -> µs/commit
+  } cache_bench;
+  {
+    const int64_t cache_rows = std::min<int64_t>(rows, 20000);
+    SvcEngine engine(MakeDb(cache_rows));
+    PlanPtr def = PlanNode::Aggregate(
+        PlanNode::Scan("fact"), {"key"},
+        {{AggFunc::kSum, Expr::Col("val"), "sv"},
+         {AggFunc::kCountStar, nullptr, "c"}});
+    if (auto st = engine.CreateView("factView", std::move(def)); !st.ok()) {
+      std::fprintf(stderr, "[micro_ops] %s\n", st.ToString().c_str());
+      return 2;
+    }
+    Rng rng(17);
+    const int64_t dims = std::max<int64_t>(cache_rows / 16, 1);
+    for (int64_t i = 0; i < cache_rows / 20; ++i) {
+      if (auto st = engine.InsertRecord(
+              "fact", {Value::Int(cache_rows + i),
+                       Value::Int(rng.UniformInt(0, dims - 1)),
+                       Value::Double(rng.Uniform(0, 100))});
+          !st.ok()) {
+        std::fprintf(stderr, "[micro_ops] %s\n", st.ToString().c_str());
+        return 2;
+      }
+    }
+    AggregateQuery q = AggregateQuery::Sum(Expr::Col("sv"));
+    SvcQueryOptions qopts;
+    qopts.ratio = 0.1;
+    auto run_query = [&](const SvcEngine& e) -> size_t {
+      auto r = e.Query("factView", q, qopts);
+      if (!r.ok()) {
+        std::fprintf(stderr, "[micro_ops] query failed: %s\n",
+                     r.status().ToString().c_str());
+        std::exit(2);
+      }
+      return r->estimate.sample_rows;
+    };
+    SvcEngine cold(engine);
+    cold.set_sample_cache_enabled(false);
+    size_t cold_rows = 0, warm_rows = 0;
+    cache_bench.cold_ms = TimeMs(reps, [&] { return run_query(cold); },
+                                 &cold_rows);
+    cache_bench.warm_ms = TimeMs(reps, [&] { return run_query(engine); },
+                                 &warm_rows);
+    if (cold_rows != warm_rows) {
+      std::fprintf(stderr,
+                   "[micro_ops] query_cache: cold used %zu sample rows, "
+                   "warm %zu\n",
+                   cold_rows, warm_rows);
+      return 2;
+    }
+    std::printf("-- query cache (repeated SVC query, %lld-row view) --\n",
+                static_cast<long long>(cache_rows));
+    std::printf("%-16s cold %8.3f ms   warm %8.3f ms   speedup %7.1fx\n",
+                "svc_query", cache_bench.cold_ms, cache_bench.warm_ms,
+                cache_bench.speedup());
+
+    // CoW ingest: one-row commits at increasing queue depth.
+    std::printf("-- shared-engine ingest commit vs queue depth --\n");
+    for (const size_t depth : {size_t{0}, size_t{2000}, size_t{8000}}) {
+      SharedEngine se(MakeDb(2000));
+      int64_t next_id = 1000000;
+      // Pre-queue `depth` rows as one batch commit.
+      if (depth > 0) {
+        DeltaSet batch;
+        for (size_t i = 0; i < depth; ++i) {
+          (void)batch.AddInsert(se.Snapshot()->engine.db(), "fact",
+                                {Value::Int(next_id++), Value::Int(0),
+                                 Value::Double(1.0)});
+        }
+        if (auto st = se.IngestDeltas(std::move(batch)); !st.ok()) {
+          std::fprintf(stderr, "[micro_ops] %s\n", st.ToString().c_str());
+          return 2;
+        }
+      }
+      constexpr int kCommits = 200;
+      Stopwatch sw;
+      for (int i = 0; i < kCommits; ++i) {
+        if (auto st = se.InsertRecord(
+                "fact", {Value::Int(next_id++), Value::Int(0),
+                         Value::Double(1.0)});
+            !st.ok()) {
+          std::fprintf(stderr, "[micro_ops] %s\n", st.ToString().c_str());
+          return 2;
+        }
+      }
+      const double us = sw.ElapsedMillis() * 1e3 / kCommits;
+      cache_bench.commit_us.push_back({depth, us});
+      std::printf("queued=%-6zu commit %8.2f us\n", depth, us);
+    }
+  }
+
   // JSON report.
   const BenchResult* gate = nullptr;
   for (const auto& r : results) {
@@ -521,6 +630,27 @@ int main(int argc, char** argv) {
                              par_gate->speedup() >= min_parallel_speedup))
                    ? "true"
                    : "false");
+  std::fprintf(f, "  \"query_cache\": {\n");
+  std::fprintf(f,
+               "    \"cold_ms\": %.3f, \"warm_ms\": %.3f,\n",
+               cache_bench.cold_ms, cache_bench.warm_ms);
+  std::fprintf(f, "    \"ingest_commit\": [\n");
+  for (size_t i = 0; i < cache_bench.commit_us.size(); ++i) {
+    std::fprintf(f, "      {\"queued_rows\": %zu, \"commit_us\": %.2f}%s\n",
+                 cache_bench.commit_us[i].first,
+                 cache_bench.commit_us[i].second,
+                 i + 1 < cache_bench.commit_us.size() ? "," : "");
+  }
+  std::fprintf(f, "    ],\n");
+  std::fprintf(f,
+               "    \"gate\": {\"name\": \"svc_query_warm_vs_cold\", "
+               "\"min_speedup\": %.2f, \"speedup\": %.2f, \"pass\": %s}\n"
+               "  },\n",
+               min_cache_speedup, cache_bench.speedup(),
+               (min_cache_speedup <= 0.0 ||
+                cache_bench.speedup() >= min_cache_speedup)
+                   ? "true"
+                   : "false");
   std::fprintf(f,
                "  \"gate\": {\"name\": \"join_aggregate\", \"min_speedup\": "
                "%.2f, \"speedup\": %.2f, \"pass\": %s}\n}\n",
@@ -546,6 +676,14 @@ int main(int argc, char** argv) {
                  "%.2fx at %d threads is below the %.2fx floor\n",
                  par_gate ? par_gate->speedup() : 0.0, threads,
                  min_parallel_speedup);
+    fail = true;
+  }
+  if (min_cache_speedup > 0.0 &&
+      cache_bench.speedup() < min_cache_speedup) {
+    std::fprintf(stderr,
+                 "[micro_ops] REGRESSION: warm repeated SVC query is only "
+                 "%.1fx faster than cold (floor %.1fx)\n",
+                 cache_bench.speedup(), min_cache_speedup);
     fail = true;
   }
   return fail ? 1 : 0;

@@ -54,6 +54,11 @@ SELECT SUM(visitCount) FROM visitView WITH SVC(ratio=0.5, mode=aqp);
 SELECT videoId, SUM(visitCount) AS visits FROM visitView
   GROUP BY videoId WITH SVC(ratio=0.5, mode=auto);
 
+-- Serving statistics: the engine cleaned the sample once for the first
+-- SVC query; the other two were answered from the cache.
+SHOW STATS;
+
 -- Periodic maintenance commits the deltas; the view is exact again.
 REFRESH VIEW visitView;
 SELECT videoId, visitCount FROM visitView WHERE visitCount > 4;
+SHOW STATS;

@@ -87,12 +87,11 @@ Result<OutlierIndex> OutlierIndex::Build(const Database& db,
   // deletion; keep the top `capacity` records above the threshold.
   KeySet deleted;
   KeyBuffer kb;
-  const Table* dels = deltas.deletes(spec.base_relation);
-  if (dels != nullptr && base->HasPrimaryKey()) {
-    for (const auto& r : dels->rows()) {
+  if (base->HasPrimaryKey()) {
+    deltas.ForEachDelete(spec.base_relation, [&](const Row& r) {
       const RowKeyRef key = kb.Encode(r, base->pk_indices());
       deleted.Insert(key.bytes, key.hash);
-    }
+    });
   }
   using Entry = std::pair<double, size_t>;  // attr value, slot in records_
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
@@ -118,10 +117,8 @@ Result<OutlierIndex> OutlierIndex::Build(const Database& db,
     }
     consider(r);
   }
-  const Table* ins = deltas.inserts(spec.base_relation);
-  if (ins != nullptr) {
-    for (const auto& r : ins->rows()) consider(r);
-  }
+  deltas.ForEachInsert(spec.base_relation,
+                       [&](const Row& r) { consider(r); });
   return index;
 }
 

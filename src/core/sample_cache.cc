@@ -1,0 +1,94 @@
+#include "core/sample_cache.h"
+
+namespace svc {
+
+std::shared_ptr<SampleCache::Slot> SampleCache::SlotFor(const Key& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<Slot>& slot = slots_[key];
+  if (slot == nullptr) slot = std::make_shared<Slot>();
+  slot->last_used = ++use_counter_;
+  std::shared_ptr<Slot> out = slot;  // keep alive across a self-eviction
+  if (slots_.size() > kMaxSlots) {
+    auto lru = slots_.end();
+    for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+      if (it->second.get() == out.get()) continue;
+      // Never evict a slot a reader is mid-population on (its mutex is
+      // held): a later request for that key would make a fresh slot and
+      // run a duplicate cleaning pass for the same snapshot.
+      if (!it->second->mu.try_lock()) continue;
+      it->second->mu.unlock();
+      if (lru == slots_.end() ||
+          it->second->last_used < lru->second->last_used) {
+        lru = it;
+      }
+    }
+    if (lru != slots_.end()) slots_.erase(lru);
+  }
+  return out;
+}
+
+void SampleCache::CopyFrom(const SampleCache& other) {
+  // Two phases to respect the slot-then-map lock order used by readers
+  // (who take a slot's mutex first and the map mutex only inside the
+  // counter updates): grab the slot pointers under the map mutex, then
+  // copy each entry under its own slot mutex with the map mutex released.
+  std::map<Key, std::shared_ptr<Slot>> src;
+  std::map<Key, uint64_t> stamps;
+  std::map<std::string, ViewCacheStats> stats;
+  uint64_t counter = 0;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    src = other.slots_;
+    stats = other.stats_;
+    counter = other.use_counter_;
+    // Stamps are guarded by the map mutex, not the slot mutex: read them
+    // here, while it is held.
+    for (const auto& [key, slot] : src) stamps[key] = slot->last_used;
+  }
+  std::map<Key, std::shared_ptr<Slot>> slots;
+  for (const auto& [key, slot] : src) {
+    auto copy = std::make_shared<Slot>();
+    {
+      // try_lock, not lock: a reader holds the slot mutex for the whole
+      // cleaning pipeline while populating, and this runs inside every
+      // SharedEngine commit — blocking here would couple ingest latency
+      // to reader cleaning runs. A busy slot is simply not carried (the
+      // fork re-cleans that key once on next use; answers are unchanged).
+      std::unique_lock<std::mutex> slot_lock(slot->mu, std::try_to_lock);
+      if (!slot_lock.owns_lock()) continue;
+      copy->entry = slot->entry;
+    }
+    copy->last_used = stamps[key];
+    slots.emplace(key, std::move(copy));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_ = std::move(slots);
+  stats_ = std::move(stats);
+  use_counter_ = counter;
+}
+
+void SampleCache::RecordHit(const std::string& view) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_[view].hits;
+}
+
+void SampleCache::RecordFullClean(const std::string& view) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ViewCacheStats& s = stats_[view];
+  ++s.misses;
+  ++s.full_cleans;
+}
+
+void SampleCache::RecordAdvance(const std::string& view) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ViewCacheStats& s = stats_[view];
+  ++s.misses;
+  ++s.incremental_advances;
+}
+
+std::map<std::string, ViewCacheStats> SampleCache::StatsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace svc

@@ -1,0 +1,116 @@
+#ifndef SVC_CORE_SAMPLE_CACHE_H_
+#define SVC_CORE_SAMPLE_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "common/hash.h"
+#include "sample/cleaner.h"
+#include "view/delta.h"
+
+namespace svc {
+
+/// Serving counters for one view, aggregated over every (ratio, family)
+/// cache entry. Cumulative across engine forks: a fork copies the numbers
+/// and keeps counting, so a SharedEngine's head carries the totals forward
+/// through commits.
+struct ViewCacheStats {
+  uint64_t hits = 0;       ///< queries answered from a valid cached sample
+  uint64_t misses = 0;     ///< queries that had to (re)materialize samples
+  uint64_t full_cleans = 0;         ///< misses served by a full re-clean
+  uint64_t incremental_advances = 0;  ///< misses served by delta-scoped
+                                      ///< advance of a cached sample
+};
+
+/// Memo of cleaned corresponding samples for one engine state, keyed by
+/// (view, ratio, family). An entry is valid only for the exact engine
+/// version it was built against: the stored view table (by shared-pointer
+/// identity — any maintenance installs a different object) and the pending
+/// queue (by DeltaSet::version()). Between those two checks every input of
+/// the cleaning pipeline is pinned, so a hit can hand out the samples
+/// without re-deriving anything.
+///
+/// Thread-safety: entries live in per-key slots with their own mutex, so
+/// concurrent readers of one engine snapshot racing on the same (view,
+/// ratio, family) serialize on the slot — exactly one performs the
+/// cleaning run, the rest hit — while queries on different keys proceed in
+/// parallel. SvcEngine forks never share a SampleCache object (two forks
+/// can reach equal delta versions with different contents); a fork deep-
+/// copies the slots' entries, which is cheap because the samples themselves
+/// sit behind shared_ptr.
+class SampleCache {
+ public:
+  struct Key {
+    std::string view;
+    double ratio = 0.0;
+    HashFamily family = HashFamily::kFnv1a;
+
+    bool operator<(const Key& o) const {
+      return std::tie(view, ratio, family) <
+             std::tie(o.view, o.ratio, o.family);
+    }
+  };
+
+  struct Entry {
+    std::shared_ptr<const CorrespondingSamples> samples;  ///< null = empty
+    std::shared_ptr<const Table> view_table;  ///< stored view at build time
+    uint64_t delta_version = 0;
+    DeltaWatermark watermark;  ///< queue position the samples reflect
+  };
+
+  /// One cached entry plus the lock serializing its population.
+  struct Slot {
+    std::mutex mu;
+    Entry entry;
+    /// LRU stamp (see kMaxSlots); written under the cache mutex.
+    uint64_t last_used = 0;
+  };
+
+  /// Slot-count bound: (view, ratio, family) is user-controlled — a client
+  /// sweeping SVC ratios would otherwise grow the slot table (and the
+  /// per-fork CopyFrom walk) without limit, each stale entry pinning two
+  /// sample tables plus the pre-maintenance view table. Past the bound the
+  /// least-recently-used *idle* slot is dropped — a slot whose mutex is
+  /// held (a reader mid-population) is never evicted, preserving the
+  /// one-cleaning-run guarantee for every key that stays within the bound;
+  /// readers holding an evicted slot's shared_ptr finish safely, the entry
+  /// just stops being cached. A workload cycling through more than
+  /// kMaxSlots keys degrades gracefully to cold cleaning per query.
+  static constexpr size_t kMaxSlots = 64;
+
+  SampleCache() = default;
+  SampleCache(const SampleCache&) = delete;
+  SampleCache& operator=(const SampleCache&) = delete;
+
+  /// The slot for `key`, created empty if absent. The caller locks
+  /// `slot->mu`, validates `entry` against the current engine state, and
+  /// rebuilds it under the lock on a miss.
+  std::shared_ptr<Slot> SlotFor(const Key& key);
+
+  /// Replaces this cache's contents with a snapshot of `other`'s entries
+  /// and counters (used by the engine fork constructor; `other` may be
+  /// serving concurrent readers, so each slot is read under its lock).
+  void CopyFrom(const SampleCache& other);
+
+  // Counter updates (per view; internally synchronized).
+  void RecordHit(const std::string& view);
+  void RecordFullClean(const std::string& view);
+  void RecordAdvance(const std::string& view);
+
+  /// Point-in-time copy of the per-view counters.
+  std::map<std::string, ViewCacheStats> StatsSnapshot() const;
+
+ private:
+  mutable std::mutex mu_;  // guards slots_ map shape, stamps, and stats_
+  std::map<Key, std::shared_ptr<Slot>> slots_;
+  std::map<std::string, ViewCacheStats> stats_;
+  uint64_t use_counter_ = 0;  // LRU clock for kMaxSlots eviction
+};
+
+}  // namespace svc
+
+#endif  // SVC_CORE_SAMPLE_CACHE_H_

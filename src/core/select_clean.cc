@@ -37,15 +37,26 @@ Result<CleanedSelect> SvcCleanSelect(const Table& stale_view,
                                      const CorrespondingSamples& samples,
                                      const ExprPtr& predicate,
                                      const EstimatorOptions& opts) {
-  ExprPtr stale_pred, fresh_pred;
+  if (!stale_view.HasPrimaryKey()) {
+    return Status::InvalidArgument("select cleaning requires a keyed view");
+  }
+  // One clone + bind serves all three scans when the schemas agree — and
+  // they do whenever the samples carry the view's stored schema, which is
+  // how the cleaner materializes them. Only a schema that actually
+  // diverges pays for its own binding; no predicate, no binds at all.
+  ExprPtr stale_pred, fresh_pred, stale_sample_pred;
   if (predicate) {
     stale_pred = predicate->Clone();
     SVC_RETURN_IF_ERROR(stale_pred->Bind(stale_view.schema()));
-    fresh_pred = predicate->Clone();
-    SVC_RETURN_IF_ERROR(fresh_pred->Bind(samples.fresh.schema()));
-  }
-  if (!stale_view.HasPrimaryKey()) {
-    return Status::InvalidArgument("select cleaning requires a keyed view");
+    auto bind_for = [&](const Schema& schema) -> Result<ExprPtr> {
+      if (schema == stale_view.schema()) return stale_pred;
+      ExprPtr bound = predicate->Clone();
+      SVC_RETURN_IF_ERROR(bound->Bind(schema));
+      return bound;
+    };
+    SVC_ASSIGN_OR_RETURN(fresh_pred, bind_for(samples.fresh.schema()));
+    SVC_ASSIGN_OR_RETURN(stale_sample_pred,
+                         bind_for(samples.stale.schema()));
   }
 
   // 1. Run the selection on the stale view.
@@ -61,11 +72,6 @@ Result<CleanedSelect> SvcCleanSelect(const Table& stale_view,
 
   // 2. Walk the clean sample: overwrite updated rows, add new rows.
   size_t updated = 0, added = 0, deleted = 0;
-  ExprPtr stale_sample_pred;
-  if (predicate) {
-    stale_sample_pred = predicate->Clone();
-    SVC_RETURN_IF_ERROR(stale_sample_pred->Bind(samples.stale.schema()));
-  }
   for (size_t i = 0; i < samples.fresh.NumRows(); ++i) {
     const Row& r = samples.fresh.row(i);
     if (fresh_pred && !fresh_pred->Eval(r).IsTrue()) continue;

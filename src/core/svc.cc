@@ -4,6 +4,30 @@
 
 namespace svc {
 
+SvcEngine::SvcEngine(const SvcEngine& other)
+    : db_(other.db_),
+      views_(other.views_),
+      pending_(other.pending_),
+      exec_options_(other.exec_options_),
+      sample_cache_enabled_(other.sample_cache_enabled_) {
+  // The pending-queue copy sealed other's tails into fresh chunks; sync the
+  // forked catalog so maintenance/cleaning plans built on this engine can
+  // scan them (the sealed-chunk registrations share storage — no copies).
+  (void)pending_.Register(&db_);
+  // Carry the cached samples and counters into the fork behind a *new*
+  // cache object: two forks may later reach equal delta versions with
+  // different queued rows, so they must never validate against each
+  // other's entries. The carried entries seed the fork's incremental
+  // advance (the first query after an ingest commit cleans only the new
+  // rows).
+  sample_cache_->CopyFrom(*other.sample_cache_);
+}
+
+SvcEngine& SvcEngine::operator=(const SvcEngine& other) {
+  if (this != &other) *this = SvcEngine(other);
+  return *this;
+}
+
 Status SvcEngine::CreateView(const std::string& name, PlanPtr definition,
                              std::vector<std::string> sampling_key) {
   SVC_ASSIGN_OR_RETURN(
@@ -102,16 +126,60 @@ Result<CorrespondingSamples> SvcEngine::CleanSample(
   return CleanViewSample(*view, pending_, db_, opts, report);
 }
 
-Result<CorrespondingSamples> SvcEngine::PrepareSvcQuery(
+Result<std::shared_ptr<const CorrespondingSamples>>
+SvcEngine::CleanSampleCached(const std::string& name,
+                             const CleanOptions& opts) const {
+  SVC_ASSIGN_OR_RETURN(const MaterializedView* view, GetView(name));
+  if (!sample_cache_enabled_) {
+    SVC_ASSIGN_OR_RETURN(CorrespondingSamples cold,
+                         CleanViewSample(*view, pending_, db_, opts));
+    return std::make_shared<const CorrespondingSamples>(std::move(cold));
+  }
+  auto slot = sample_cache_->SlotFor({name, opts.ratio, opts.family});
+  // Serialize population per key: concurrent snapshot readers racing on
+  // the same key run exactly one cleaning pass; the rest hit the entry it
+  // installed.
+  std::lock_guard<std::mutex> lock(slot->mu);
+  SampleCache::Entry& entry = slot->entry;
+  const std::shared_ptr<const Table> current = db_.GetTableShared(name);
+  const bool same_view =
+      entry.samples != nullptr && entry.view_table == current;
+  if (same_view && entry.delta_version == pending_.version()) {
+    sample_cache_->RecordHit(name);
+    return entry.samples;
+  }
+  std::shared_ptr<const CorrespondingSamples> samples;
+  if (same_view) {
+    // The view table is untouched but the queue moved: advance the cached
+    // sample by cleaning only the newly arrived rows, when provable.
+    SVC_ASSIGN_OR_RETURN(
+        samples, AdvanceCleanedSamples(*view, entry.samples, entry.watermark,
+                                       pending_, db_, opts));
+  }
+  if (samples != nullptr) {
+    sample_cache_->RecordAdvance(name);
+  } else {
+    SVC_ASSIGN_OR_RETURN(CorrespondingSamples cold,
+                         CleanViewSample(*view, pending_, db_, opts));
+    samples = std::make_shared<const CorrespondingSamples>(std::move(cold));
+    sample_cache_->RecordFullClean(name);
+  }
+  entry.samples = samples;
+  entry.view_table = current;
+  entry.delta_version = pending_.version();
+  entry.watermark = pending_.Watermark();
+  return samples;
+}
+
+Result<std::shared_ptr<const CorrespondingSamples>> SvcEngine::PrepareSvcQuery(
     const std::string& name, const AggregateQuery& q,
     const SvcQueryOptions& opts, EstimatorMode* mode_used) const {
-  SVC_ASSIGN_OR_RETURN(const MaterializedView* view, GetView(name));
   CleanOptions clean_opts{opts.ratio, opts.family, opts.exec};
-  SVC_ASSIGN_OR_RETURN(CorrespondingSamples samples,
-                       CleanViewSample(*view, pending_, db_, clean_opts));
+  SVC_ASSIGN_OR_RETURN(std::shared_ptr<const CorrespondingSamples> samples,
+                       CleanSampleCached(name, clean_opts));
   *mode_used = opts.mode;
   if (opts.auto_mode) {
-    SVC_ASSIGN_OR_RETURN(PolicyDecision d, ChooseEstimator(samples, q));
+    SVC_ASSIGN_OR_RETURN(PolicyDecision d, ChooseEstimator(*samples, q));
     *mode_used = d.mode;
   }
   return samples;
@@ -121,15 +189,15 @@ Result<SvcAnswer> SvcEngine::Query(const std::string& name,
                                    const AggregateQuery& q,
                                    const SvcQueryOptions& opts) const {
   SvcAnswer answer;
-  SVC_ASSIGN_OR_RETURN(CorrespondingSamples samples,
+  SVC_ASSIGN_OR_RETURN(std::shared_ptr<const CorrespondingSamples> samples,
                        PrepareSvcQuery(name, q, opts, &answer.mode_used));
   if (answer.mode_used == EstimatorMode::kAqp) {
     SVC_ASSIGN_OR_RETURN(answer.estimate,
-                         SvcAqpEstimate(samples, q, opts.estimator));
+                         SvcAqpEstimate(*samples, q, opts.estimator));
   } else {
     SVC_ASSIGN_OR_RETURN(const Table* stale, db_.GetTable(name));
     SVC_ASSIGN_OR_RETURN(answer.estimate,
-                         SvcCorrEstimate(*stale, samples, q, opts.estimator));
+                         SvcCorrEstimate(*stale, *samples, q, opts.estimator));
   }
   return answer;
 }
@@ -138,17 +206,17 @@ Result<SvcGroupedAnswer> SvcEngine::QueryGrouped(
     const std::string& name, const std::vector<std::string>& group_columns,
     const AggregateQuery& q, const SvcQueryOptions& opts) const {
   SvcGroupedAnswer answer;
-  SVC_ASSIGN_OR_RETURN(CorrespondingSamples samples,
+  SVC_ASSIGN_OR_RETURN(std::shared_ptr<const CorrespondingSamples> samples,
                        PrepareSvcQuery(name, q, opts, &answer.mode_used));
   if (answer.mode_used == EstimatorMode::kAqp) {
     SVC_ASSIGN_OR_RETURN(
         answer.result,
-        SvcAqpEstimateGrouped(samples, group_columns, q, opts.estimator));
+        SvcAqpEstimateGrouped(*samples, group_columns, q, opts.estimator));
   } else {
     SVC_ASSIGN_OR_RETURN(const Table* stale, db_.GetTable(name));
-    SVC_ASSIGN_OR_RETURN(answer.result,
-                         SvcCorrEstimateGrouped(*stale, samples, group_columns,
-                                                q, opts.estimator));
+    SVC_ASSIGN_OR_RETURN(
+        answer.result, SvcCorrEstimateGrouped(*stale, *samples, group_columns,
+                                              q, opts.estimator));
   }
   return answer;
 }

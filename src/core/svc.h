@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "core/estimator.h"
 #include "core/policy.h"
+#include "core/sample_cache.h"
 #include "relational/database.h"
 #include "sample/cleaner.h"
 #include "view/delta.h"
@@ -66,11 +67,12 @@ class SvcEngine {
 
   /// Copying forks the engine state: the database copy shares table
   /// storage copy-on-write (see Database), views share their immutable
-  /// plan trees, and the pending delta queue is deep-copied (bounded by
-  /// the number of queued rows). SharedEngine uses this to publish
-  /// immutable snapshots; MaintainAll uses it to commit atomically.
-  SvcEngine(const SvcEngine&) = default;
-  SvcEngine& operator=(const SvcEngine&) = default;
+  /// plan trees, and the pending delta queue shares its sealed chunks
+  /// (only rows queued since the previous fork are copied, O(new rows) —
+  /// see DeltaSet). SharedEngine uses this to publish immutable snapshots;
+  /// MaintainAll uses it to commit atomically.
+  SvcEngine(const SvcEngine& other);
+  SvcEngine& operator=(const SvcEngine& other);
   SvcEngine(SvcEngine&&) = default;
   SvcEngine& operator=(SvcEngine&&) = default;
 
@@ -134,6 +136,32 @@ class SvcEngine {
       const std::string& name, const CleanOptions& opts,
       PushdownReport* report = nullptr) const;
 
+  /// The cleaned-sample cache (§3.2's "clean once, query many" serving
+  /// discipline): Query/QueryGrouped memoize the corresponding samples per
+  /// (view, ratio, family) and revalidate against the engine version, so
+  /// repeated queries between mutations pay only the estimator, and the
+  /// first query after an ingest advances the cached sample incrementally
+  /// when AdvanceCleanedSamples' gates allow. Answers are bit-identical
+  /// with the cache on or off (enforced by tests/test_differential.cc).
+  void set_sample_cache_enabled(bool enabled) {
+    sample_cache_enabled_ = enabled;
+  }
+  bool sample_cache_enabled() const { return sample_cache_enabled_; }
+
+  /// Per-view serving counters (hits/misses/cleans). Counters accumulate
+  /// across forks — a SharedEngine's published snapshots carry them
+  /// forward — and reset only with a fresh engine.
+  std::map<std::string, ViewCacheStats> CacheStats() const {
+    return sample_cache_->StatsSnapshot();
+  }
+
+  /// The memoized corresponding samples for a query against `name`,
+  /// populated (or advanced, or revalidated) through the cache. This is
+  /// the serving hot path behind Query/QueryGrouped; it is safe to call
+  /// from any number of threads on a const engine (snapshot readers).
+  Result<std::shared_ptr<const CorrespondingSamples>> CleanSampleCached(
+      const std::string& name, const CleanOptions& opts) const;
+
   /// Answers an aggregate query on the named view with a bounded
   /// approximation reflecting the pending deltas (Problem 2).
   Result<SvcAnswer> Query(const std::string& name, const AggregateQuery& q,
@@ -153,17 +181,23 @@ class SvcEngine {
 
  private:
   /// Shared prologue of Query / QueryGrouped: draws the corresponding
-  /// samples for `name` and resolves the estimator mode (running the
-  /// §5.2.2 break-even rule when `opts.auto_mode` is set).
-  Result<CorrespondingSamples> PrepareSvcQuery(const std::string& name,
-                                               const AggregateQuery& q,
-                                               const SvcQueryOptions& opts,
-                                               EstimatorMode* mode_used) const;
+  /// samples for `name` (through the cache) and resolves the estimator
+  /// mode (running the §5.2.2 break-even rule when `opts.auto_mode` is
+  /// set).
+  Result<std::shared_ptr<const CorrespondingSamples>> PrepareSvcQuery(
+      const std::string& name, const AggregateQuery& q,
+      const SvcQueryOptions& opts, EstimatorMode* mode_used) const;
 
   Database db_;
   std::map<std::string, MaterializedView> views_;
   DeltaSet pending_;
   ExecOptions exec_options_;
+  /// Behind shared_ptr so the engine stays movable (the cache holds
+  /// mutexes); forks never share the pointee — the fork constructor makes
+  /// a fresh cache and copies the entries (see SampleCache::CopyFrom).
+  std::shared_ptr<SampleCache> sample_cache_ =
+      std::make_shared<SampleCache>();
+  bool sample_cache_enabled_ = true;
 };
 
 }  // namespace svc

@@ -13,7 +13,14 @@ Status Database::CreateTable(const std::string& name, Table table) {
 }
 
 void Database::PutTable(const std::string& name, Table table) {
+  // make_shared<Table> (not <const Table>): the stored object must not be
+  // const-constructed, or GetMutableTable's const_cast would be UB.
   tables_[name] = std::make_shared<Table>(std::move(table));
+}
+
+void Database::PutTableShared(const std::string& name,
+                              std::shared_ptr<const Table> table) {
+  tables_[name] = std::move(table);
 }
 
 namespace {
@@ -22,7 +29,7 @@ namespace {
 /// ("__ins_*" / "__del_*") are elided from the listing.
 std::string NoSuchTable(
     const std::string& name,
-    const std::map<std::string, std::shared_ptr<Table>>& tables) {
+    const std::map<std::string, std::shared_ptr<const Table>>& tables) {
   std::string msg = "no such table: " + name;
   std::string known;
   for (const auto& [k, v] : tables) {
@@ -44,7 +51,13 @@ Result<const Table*> Database::GetTable(const std::string& name) const {
   if (it == tables_.end()) {
     return Status::NotFound(NoSuchTable(name, tables_));
   }
-  return static_cast<const Table*>(it->second.get());
+  return it->second.get();
+}
+
+std::shared_ptr<const Table> Database::GetTableShared(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second;
 }
 
 Result<Table*> Database::GetMutableTable(const std::string& name) {
@@ -54,8 +67,8 @@ Result<Table*> Database::GetMutableTable(const std::string& name) {
   }
   if (it->second.use_count() > 1) {
     // Copy-on-write: this table is shared with a snapshot copy of the
-    // catalog; clone before handing out mutable access so the snapshot
-    // keeps reading the old version.
+    // catalog (or a cache holding its handle); clone before handing out
+    // mutable access so the sharer keeps reading the old version.
     it->second = std::make_shared<Table>(*it->second);
   } else {
     // use_count() alone is not enough to mutate in place (the reason
@@ -66,7 +79,9 @@ Result<Table*> Database::GetMutableTable(const std::string& name) {
     // (after observing 1) supplies it.
     std::atomic_thread_fence(std::memory_order_acquire);
   }
-  return it->second.get();
+  // Sole owner: the object was never const-constructed, so shedding the
+  // const qualifier of the catalog's read-only handle is well-defined.
+  return const_cast<Table*>(it->second.get());
 }
 
 Status Database::DropTable(const std::string& name) {

@@ -37,8 +37,22 @@ class Database {
   /// Registers or replaces.
   void PutTable(const std::string& name, Table table);
 
+  /// Registers or replaces `name` with a table whose storage stays shared
+  /// with the caller (no row copies). Used by DeltaSet to register sealed
+  /// delta chunks; the caller must not mutate the table while it is
+  /// registered (GetMutableTable would clone it anyway — the caller's
+  /// reference keeps it shared).
+  void PutTableShared(const std::string& name,
+                      std::shared_ptr<const Table> table);
+
   /// Looks up a table; NotFound if absent.
   Result<const Table*> GetTable(const std::string& name) const;
+
+  /// The shared handle registered under `name` (null if absent). The
+  /// pointer identity doubles as a cheap version key: any mutation through
+  /// GetMutableTable or PutTable installs a different object, so caches can
+  /// validate an entry by comparing handles.
+  std::shared_ptr<const Table> GetTableShared(const std::string& name) const;
 
   /// Mutable lookup; NotFound if absent. If the table's storage is shared
   /// with a snapshot copy of this Database, it is cloned first (the
@@ -57,7 +71,11 @@ class Database {
   std::vector<std::string> TableNames() const;
 
  private:
-  std::map<std::string, std::shared_ptr<Table>> tables_;
+  // Held as shared_ptr<const Table>: every handle handed to snapshots or
+  // caches is read-only; GetMutableTable casts away const only when this
+  // catalog holds the sole reference (tables are never const-constructed,
+  // so the cast is well-defined).
+  std::map<std::string, std::shared_ptr<const Table>> tables_;
 };
 
 }  // namespace svc

@@ -1,6 +1,7 @@
 #ifndef SVC_SAMPLE_CLEANER_H_
 #define SVC_SAMPLE_CLEANER_H_
 
+#include <memory>
 #include <string>
 
 #include "common/hash.h"
@@ -89,6 +90,38 @@ Result<Table> StaleViewRowsByKeys(const MaterializedView& view,
                                   const Database& db,
                                   std::shared_ptr<const KeySet> keys,
                                   ExecOptions exec = {});
+
+/// Incremental sample maintenance: advances `base` — corresponding samples
+/// cleaned when the pending queue stood at `mark` — to the full current
+/// `deltas` by cleaning only the rows that arrived after `mark`, instead of
+/// re-running the whole cleaning pipeline.
+///
+/// The advanced samples are **bit-identical** (row values and row order) to
+/// what CleanViewSample would produce cold, which the serving cache depends
+/// on: estimates drawn from an advanced sample match the cold path to the
+/// last bit. That guarantee is only provable for a restricted shape, so the
+/// advance is gated and returns null (OK status) whenever any of these
+/// fails — the caller must then fall back to a full re-clean:
+///
+///   * `opts` matches the ratio/family `base` was drawn with,
+///   * the view is an aggregate view whose pre-aggregation subtree is
+///     σ/Π/inner-⋈ over single scans (no self-joins of the hot relation),
+///   * the pending queue is insert-only for the view's base relations, and
+///     exactly one of them gained rows since `mark`,
+///   * `mark` still describes a prefix of the queue (it predates no
+///     maintenance commit).
+///
+/// Under those conditions new groups enter the change table strictly after
+/// all previously queued groups and no group ever leaves, so splicing the
+/// recomputed rows of the affected sampled keys (via the key-set cleaning
+/// plan over the full queue) into `base` reproduces the cold output
+/// exactly. When no newly arrived row lands in the sample, `base` itself is
+/// returned unchanged.
+Result<std::shared_ptr<const CorrespondingSamples>> AdvanceCleanedSamples(
+    const MaterializedView& view,
+    std::shared_ptr<const CorrespondingSamples> base,
+    const DeltaWatermark& mark, const DeltaSet& deltas, const Database& db,
+    const CleanOptions& opts);
 
 }  // namespace svc
 

@@ -78,8 +78,10 @@ class Parser {
         stmt.kind = Statement::Kind::kShowTables;
       } else if (Accept("VIEWS")) {
         stmt.kind = Statement::Kind::kShowViews;
+      } else if (Accept("STATS")) {
+        stmt.kind = Statement::Kind::kShowStats;
       } else {
-        return Err("expected TABLES or VIEWS after SHOW");
+        return Err("expected TABLES, VIEWS, or STATS after SHOW");
       }
     } else {
       return Err(

@@ -79,7 +79,7 @@ struct ColumnDef {
 ///   INSERT INTO <table> VALUES (...), ...
 ///   DELETE FROM <table> [WHERE <pred>]
 ///   REFRESH VIEW <name> | REFRESH ALL
-///   SHOW TABLES | SHOW VIEWS
+///   SHOW TABLES | SHOW VIEWS | SHOW STATS
 struct Statement {
   enum class Kind {
     kSelect,
@@ -90,6 +90,7 @@ struct Statement {
     kRefresh,
     kShowTables,
     kShowViews,
+    kShowStats,
   };
   Kind kind = Kind::kSelect;
   /// kSelect: the query; kCreateView: the view definition.

@@ -93,6 +93,8 @@ Result<SqlResult> SqlSession::Execute(const Statement& stmt) {
       return ExecShowTables(reader());
     case Statement::Kind::kShowViews:
       return ExecShowViews(reader());
+    case Statement::Kind::kShowStats:
+      return ExecShowStats(reader());
     case Statement::Kind::kCreateTable:
       return ExecWrite(
           [&](SvcEngine* e) { return ExecCreateTable(stmt, e); });
@@ -559,6 +561,45 @@ Result<SqlResult> SqlSession::ExecShowViews(const SvcEngine& eng) {
   return result;
 }
 
+Result<SqlResult> SqlSession::ExecShowStats(const SvcEngine& eng) {
+  // One row per view: serving-cache counters (cumulative across commits),
+  // the pending delta rows touching the view's base relations, and the
+  // engine's delta version (the pending queue's mutation counter — the
+  // epoch-like key cache entries validate against).
+  Schema schema;
+  schema.AddColumn({"", "view", ValueType::kString});
+  schema.AddColumn({"", "cache_hits", ValueType::kInt});
+  schema.AddColumn({"", "cache_misses", ValueType::kInt});
+  schema.AddColumn({"", "full_cleans", ValueType::kInt});
+  schema.AddColumn({"", "incr_advances", ValueType::kInt});
+  schema.AddColumn({"", "pending_rows", ValueType::kInt});
+  schema.AddColumn({"", "delta_version", ValueType::kInt});
+  Table out(std::move(schema));
+  const std::map<std::string, ViewCacheStats> stats = eng.CacheStats();
+  const auto as_int = [](uint64_t v) {
+    return Value::Int(static_cast<int64_t>(v));
+  };
+  for (const auto& name : eng.ViewNames()) {
+    SVC_ASSIGN_OR_RETURN(const MaterializedView* view, eng.GetView(name));
+    size_t pending_rows = 0;
+    for (const auto& rel : view->base_relations()) {
+      pending_rows += eng.pending().InsertRows(rel);
+      pending_rows += eng.pending().DeleteRows(rel);
+    }
+    auto it = stats.find(name);
+    const ViewCacheStats s = it == stats.end() ? ViewCacheStats{} : it->second;
+    out.AppendUnchecked({Value::String(name), as_int(s.hits),
+                         as_int(s.misses), as_int(s.full_cleans),
+                         as_int(s.incremental_advances), as_int(pending_rows),
+                         as_int(eng.pending().version())});
+  }
+  SqlResult result;
+  result.kind = SqlResultKind::kRows;
+  result.message = std::to_string(out.NumRows()) + " view(s)";
+  result.rows = std::move(out);
+  return result;
+}
+
 SqlSession::PendingKeys* SqlSession::PendingKeysFor(
     const std::string& relation, PendingKeys* scratch) {
   // Shared mode: other sessions mutate the pending queue between this
@@ -574,17 +615,22 @@ void SqlSession::SyncPendingKeys(const SvcEngine& eng,
                                  const std::string& relation,
                                  const std::vector<size_t>& pk_indices,
                                  PendingKeys* cache) {
-  auto sync = [&](const Table* t, size_t* rows, std::set<std::string>* keys) {
-    const size_t n = t == nullptr ? 0 : t->NumRows();
+  auto sync = [&](size_t n, auto for_each, size_t* rows,
+                  std::set<std::string>* keys) {
     if (*rows == n) return;
     keys->clear();
-    for (size_t i = 0; i < n; ++i) {
-      keys->insert(EncodeRowKey(t->row(i), pk_indices));
-    }
+    for_each([&](const Row& r) {
+      keys->insert(EncodeRowKey(r, pk_indices));
+    });
     *rows = n;
   };
-  sync(eng.pending().inserts(relation), &cache->insert_rows, &cache->inserts);
-  sync(eng.pending().deletes(relation), &cache->delete_rows, &cache->deletes);
+  const DeltaSet& pending = eng.pending();
+  sync(pending.InsertRows(relation),
+       [&](auto fn) { pending.ForEachInsert(relation, fn); },
+       &cache->insert_rows, &cache->inserts);
+  sync(pending.DeleteRows(relation),
+       [&](auto fn) { pending.ForEachDelete(relation, fn); },
+       &cache->delete_rows, &cache->deletes);
 }
 
 Result<const Table*> SqlSession::ResolveBaseTable(const SvcEngine& eng,

@@ -133,6 +133,7 @@ class SqlSession {
   Result<SqlResult> ExecRefresh(const Statement& stmt, SvcEngine* eng);
   Result<SqlResult> ExecShowTables(const SvcEngine& eng);
   Result<SqlResult> ExecShowViews(const SvcEngine& eng);
+  Result<SqlResult> ExecShowStats(const SvcEngine& eng);
 
   /// Runs a write statement. Private mode: directly on the owned engine.
   /// Shared mode: inside one SharedEngine::Commit, so the statement's

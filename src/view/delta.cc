@@ -12,37 +12,74 @@ std::string DeltaDeleteName(const std::string& relation) {
   return "__del_" + relation;
 }
 
-Result<Table*> DeltaSet::DeltaTableFor(const Database& db,
-                                       const std::string& relation,
-                                       std::map<std::string, Table>* side) {
-  auto it = side->find(relation);
-  if (it == side->end()) {
+std::string DeltaChunkName(const std::string& base, size_t chunk) {
+  return base + "@" + std::to_string(chunk);
+}
+
+size_t DeltaSet::Side::rows() const {
+  size_t n = tail.NumRows();
+  for (const auto& c : chunks) n += c->NumRows();
+  return n;
+}
+
+void DeltaSet::SealInto(const Side& from, Side* to) {
+  to->chunks = from.chunks;
+  if (!from.tail.empty()) {
+    // Non-const construction: the catalog's GetMutableTable may clone-free
+    // const_cast this object if it ever becomes the sole owner.
+    to->chunks.push_back(std::make_shared<Table>(from.tail));
+  }
+  to->tail = Table(from.tail.schema());
+}
+
+DeltaSet::DeltaSet(const DeltaSet& other) : version_(other.version_) {
+  for (const auto& [rel, side] : other.inserts_) {
+    SealInto(side, &inserts_[rel]);
+  }
+  for (const auto& [rel, side] : other.deletes_) {
+    SealInto(side, &deletes_[rel]);
+  }
+}
+
+DeltaSet& DeltaSet::operator=(const DeltaSet& other) {
+  if (this != &other) *this = DeltaSet(other);
+  return *this;
+}
+
+Result<DeltaSet::Side*> DeltaSet::SideFor(const Database& db,
+                                          const std::string& relation,
+                                          std::map<std::string, Side>* sides) {
+  auto it = sides->find(relation);
+  if (it == sides->end()) {
     SVC_ASSIGN_OR_RETURN(const Table* base, db.GetTable(relation));
-    Table t(base->schema());
-    it = side->emplace(relation, std::move(t)).first;
+    Side s;
+    s.tail = Table(base->schema());
+    it = sides->emplace(relation, std::move(s)).first;
   }
   return &it->second;
 }
 
 Status DeltaSet::AddInsert(const Database& db, const std::string& relation,
                            Row row) {
-  SVC_ASSIGN_OR_RETURN(Table * t, DeltaTableFor(db, relation, &inserts_));
-  if (row.size() != t->schema().NumColumns()) {
+  SVC_ASSIGN_OR_RETURN(Side * s, SideFor(db, relation, &inserts_));
+  if (row.size() != s->tail.schema().NumColumns()) {
     return Status::InvalidArgument("delta insert arity mismatch for " +
                                    relation);
   }
-  t->AppendUnchecked(std::move(row));
+  s->tail.AppendUnchecked(std::move(row));
+  ++version_;
   return Status::OK();
 }
 
 Status DeltaSet::AddDelete(const Database& db, const std::string& relation,
                            Row row) {
-  SVC_ASSIGN_OR_RETURN(Table * t, DeltaTableFor(db, relation, &deletes_));
-  if (row.size() != t->schema().NumColumns()) {
+  SVC_ASSIGN_OR_RETURN(Side * s, SideFor(db, relation, &deletes_));
+  if (row.size() != s->tail.schema().NumColumns()) {
     return Status::InvalidArgument("delta delete arity mismatch for " +
                                    relation);
   }
-  t->AppendUnchecked(std::move(row));
+  s->tail.AppendUnchecked(std::move(row));
+  ++version_;
   return Status::OK();
 }
 
@@ -53,117 +90,215 @@ Status DeltaSet::AddUpdate(const Database& db, const std::string& relation,
 }
 
 Status DeltaSet::Merge(DeltaSet&& other) {
-  for (auto& [rel, t] : other.inserts_) {
-    auto it = inserts_.find(rel);
-    if (it == inserts_.end()) {
-      inserts_.emplace(rel, std::move(t));
-    } else {
-      for (auto& r : t.rows()) it->second.AppendUnchecked(r);
+  // Appends other's logical row sequence to this set's tails: the merged
+  // queue reads identically to having Add'ed each row here directly, so
+  // results never depend on how a batch was staged.
+  auto merge_sides = [](std::map<std::string, Side>&& from,
+                        std::map<std::string, Side>* into) {
+    for (auto& [rel, side] : from) {
+      auto it = into->find(rel);
+      if (it == into->end()) {
+        into->emplace(rel, std::move(side));
+      } else {
+        side.ForEachRow(
+            [&](const Row& r) { it->second.tail.AppendUnchecked(r); });
+      }
     }
-  }
-  for (auto& [rel, t] : other.deletes_) {
-    auto it = deletes_.find(rel);
-    if (it == deletes_.end()) {
-      deletes_.emplace(rel, std::move(t));
-    } else {
-      for (auto& r : t.rows()) it->second.AppendUnchecked(r);
-    }
-  }
-  other.inserts_.clear();
-  other.deletes_.clear();
+    from.clear();
+  };
+  merge_sides(std::move(other.inserts_), &inserts_);
+  merge_sides(std::move(other.deletes_), &deletes_);
+  ++version_;
   return Status::OK();
 }
 
 bool DeltaSet::empty() const {
-  for (const auto& [k, t] : inserts_) {
-    if (!t.empty()) return false;
+  for (const auto& [k, s] : inserts_) {
+    if (!s.empty_rows()) return false;
   }
-  for (const auto& [k, t] : deletes_) {
-    if (!t.empty()) return false;
+  for (const auto& [k, s] : deletes_) {
+    if (!s.empty_rows()) return false;
   }
   return true;
 }
 
 bool DeltaSet::Touches(const std::string& relation) const {
-  auto i = inserts_.find(relation);
-  if (i != inserts_.end() && !i->second.empty()) return true;
-  auto d = deletes_.find(relation);
-  return d != deletes_.end() && !d->second.empty();
+  return InsertRows(relation) > 0 || DeleteRows(relation) > 0;
 }
 
 bool DeltaSet::HasDeletes(const std::string& relation) const {
-  auto d = deletes_.find(relation);
-  return d != deletes_.end() && !d->second.empty();
+  return DeleteRows(relation) > 0;
+}
+
+size_t DeltaSet::InsertRows(const std::string& relation) const {
+  auto it = inserts_.find(relation);
+  return it == inserts_.end() ? 0 : it->second.rows();
+}
+
+size_t DeltaSet::DeleteRows(const std::string& relation) const {
+  auto it = deletes_.find(relation);
+  return it == deletes_.end() ? 0 : it->second.rows();
 }
 
 size_t DeltaSet::TotalInserts() const {
   size_t n = 0;
-  for (const auto& [k, t] : inserts_) n += t.NumRows();
+  for (const auto& [k, s] : inserts_) n += s.rows();
   return n;
 }
 
 size_t DeltaSet::TotalDeletes() const {
   size_t n = 0;
-  for (const auto& [k, t] : deletes_) n += t.NumRows();
+  for (const auto& [k, s] : deletes_) n += s.rows();
   return n;
 }
 
 std::vector<std::string> DeltaSet::TouchedRelations() const {
   std::set<std::string> out;
-  for (const auto& [k, t] : inserts_) {
-    if (!t.empty()) out.insert(k);
+  for (const auto& [k, s] : inserts_) {
+    if (!s.empty_rows()) out.insert(k);
   }
-  for (const auto& [k, t] : deletes_) {
-    if (!t.empty()) out.insert(k);
+  for (const auto& [k, s] : deletes_) {
+    if (!s.empty_rows()) out.insert(k);
   }
   return {out.begin(), out.end()};
 }
 
-const Table* DeltaSet::inserts(const std::string& relation) const {
-  auto it = inserts_.find(relation);
-  return it == inserts_.end() ? nullptr : &it->second;
+DeltaWatermark DeltaSet::Watermark() const {
+  DeltaWatermark mark;
+  for (const auto& [rel, s] : inserts_) mark.insert_rows[rel] = s.rows();
+  for (const auto& [rel, s] : deletes_) mark.delete_rows[rel] = s.rows();
+  return mark;
 }
 
-const Table* DeltaSet::deletes(const std::string& relation) const {
-  auto it = deletes_.find(relation);
-  return it == deletes_.end() ? nullptr : &it->second;
+Result<DeltaSet> DeltaSet::SliceSince(const DeltaWatermark& mark) const {
+  DeltaSet out;
+  auto slice = [&](const std::map<std::string, Side>& sides,
+                   const std::map<std::string, size_t>& marks,
+                   std::map<std::string, Side>* out_sides) -> Status {
+    // A watermark entry for a relation this set no longer tracks means the
+    // queue was emptied after the mark was taken.
+    for (const auto& [rel, n] : marks) {
+      if (n > 0 && sides.find(rel) == sides.end()) {
+        return Status::InvalidArgument(
+            "delta watermark references relation '" + rel +
+            "' with no pending rows; it predates a maintenance commit");
+      }
+    }
+    for (const auto& [rel, side] : sides) {
+      auto mit = marks.find(rel);
+      const size_t skip = mit == marks.end() ? 0 : mit->second;
+      const size_t total = side.rows();
+      if (skip > total) {
+        return Status::InvalidArgument(
+            "delta watermark is ahead of the queue (" + std::to_string(skip) +
+            " > " + std::to_string(total) + " rows); it predates a "
+            "maintenance commit");
+      }
+      if (skip == total) continue;
+      Side& dst = (*out_sides)[rel];
+      dst.tail = Table(side.tail.schema());
+      // Skip whole sealed chunks by row count so the slice costs
+      // O(new rows + #chunks), not O(all queued rows).
+      size_t remaining = skip;
+      auto copy_from = [&](const Table& t) {
+        if (remaining >= t.NumRows()) {
+          remaining -= t.NumRows();
+          return;
+        }
+        for (size_t i = remaining; i < t.NumRows(); ++i) {
+          dst.tail.AppendUnchecked(t.row(i));
+        }
+        remaining = 0;
+      };
+      for (const auto& chunk : side.chunks) copy_from(*chunk);
+      copy_from(side.tail);
+    }
+    return Status::OK();
+  };
+  SVC_RETURN_IF_ERROR(slice(inserts_, mark.insert_rows, &out.inserts_));
+  SVC_RETURN_IF_ERROR(slice(deletes_, mark.delete_rows, &out.deletes_));
+  out.version_ = 1;
+  return out;
+}
+
+std::vector<std::string> DeltaSet::TableNamesFor(
+    const std::map<std::string, Side>& sides, const std::string& relation,
+    const std::string& base) {
+  std::vector<std::string> names;
+  auto it = sides.find(relation);
+  if (it == sides.end()) return names;
+  const Side& s = it->second;
+  for (size_t k = 0; k < s.chunks.size(); ++k) {
+    if (!s.chunks[k]->empty()) names.push_back(DeltaChunkName(base, k));
+  }
+  if (!s.tail.empty()) names.push_back(base);
+  return names;
+}
+
+std::vector<std::string> DeltaSet::InsertTableNames(
+    const std::string& relation) const {
+  return TableNamesFor(inserts_, relation, DeltaInsertName(relation));
+}
+
+std::vector<std::string> DeltaSet::DeleteTableNames(
+    const std::string& relation) const {
+  return TableNamesFor(deletes_, relation, DeltaDeleteName(relation));
 }
 
 Status DeltaSet::Register(Database* db) const {
-  for (const auto& [rel, t] : inserts_) {
-    db->PutTable(DeltaInsertName(rel), t);
-  }
-  for (const auto& [rel, t] : deletes_) {
-    db->PutTable(DeltaDeleteName(rel), t);
-  }
+  // Sealed chunks register by shared pointer — no row copies, and a chunk
+  // is immutable for as long as any DeltaSet or catalog references it.
+  // The tail registers by value under the canonical name (it keeps
+  // mutating here); an empty tail still registers so a pre-seal copy of
+  // the tail left in a forked catalog can never be scanned twice.
+  auto reg = [&](const std::map<std::string, Side>& sides,
+                 auto name_of) {
+    for (const auto& [rel, s] : sides) {
+      const std::string base = name_of(rel);
+      for (size_t k = 0; k < s.chunks.size(); ++k) {
+        db->PutTableShared(DeltaChunkName(base, k), s.chunks[k]);
+      }
+      db->PutTable(base, s.tail);
+    }
+  };
+  reg(inserts_, DeltaInsertName);
+  reg(deletes_, DeltaDeleteName);
   return Status::OK();
 }
 
 Status DeltaSet::ApplyToBase(Database* db) {
   // Deletes first so an update (delete + insert of the same key) lands as a
   // replacement rather than a duplicate-key failure.
-  for (const auto& [rel, t] : deletes_) {
+  for (const auto& [rel, s] : deletes_) {
     SVC_ASSIGN_OR_RETURN(Table * base, db->GetMutableTable(rel));
-    for (const auto& r : t.rows()) {
-      SVC_RETURN_IF_ERROR(base->DeleteByKeyOf(r).status());
-    }
+    Status st = Status::OK();
+    s.ForEachRow([&](const Row& r) {
+      if (st.ok()) st = base->DeleteByKeyOf(r).status();
+    });
+    SVC_RETURN_IF_ERROR(st);
   }
-  for (const auto& [rel, t] : inserts_) {
+  for (const auto& [rel, s] : inserts_) {
     SVC_ASSIGN_OR_RETURN(Table * base, db->GetMutableTable(rel));
-    for (const auto& r : t.rows()) {
-      SVC_RETURN_IF_ERROR(base->Insert(r));
+    Status st = Status::OK();
+    s.ForEachRow([&](const Row& r) {
+      if (st.ok()) st = base->Insert(r);
+    });
+    SVC_RETURN_IF_ERROR(st);
+  }
+  auto drop = [&](const std::map<std::string, Side>& sides, auto name_of) {
+    for (const auto& [rel, s] : sides) {
+      const std::string base = name_of(rel);
+      for (size_t k = 0; k < s.chunks.size(); ++k) {
+        (void)db->DropTable(DeltaChunkName(base, k));
+      }
+      (void)db->DropTable(base);
     }
-  }
-  for (const auto& [rel, t] : inserts_) {
-    (void)t;
-    (void)db->DropTable(DeltaInsertName(rel));
-  }
-  for (const auto& [rel, t] : deletes_) {
-    (void)t;
-    (void)db->DropTable(DeltaDeleteName(rel));
-  }
+  };
+  drop(inserts_, DeltaInsertName);
+  drop(deletes_, DeltaDeleteName);
   inserts_.clear();
   deletes_.clear();
+  ++version_;
   return Status::OK();
 }
 

@@ -1,8 +1,11 @@
 #ifndef SVC_VIEW_DELTA_H_
 #define SVC_VIEW_DELTA_H_
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -12,19 +15,50 @@
 namespace svc {
 
 /// The catalog name under which a base relation's pending insertions are
-/// registered ("__ins_<relation>").
+/// registered ("__ins_<relation>"). Chunked queues register sealed chunks
+/// under DeltaChunkName(base, k) next to this name.
 std::string DeltaInsertName(const std::string& relation);
 /// The catalog name for pending deletions ("__del_<relation>").
 std::string DeltaDeleteName(const std::string& relation);
+/// The catalog name of sealed chunk `k` of a delta side ("<base>@<k>").
+std::string DeltaChunkName(const std::string& base, size_t chunk);
+
+/// A row-count snapshot of a DeltaSet (per relation and side), used by the
+/// sample cache to identify which rows arrived after a sample was cleaned.
+/// Counts are totals, so a watermark stays meaningful across engine forks
+/// (which reshape chunks but never reorder or drop pending rows).
+struct DeltaWatermark {
+  std::map<std::string, size_t> insert_rows;
+  std::map<std::string, size_t> delete_rows;
+};
 
 /// The paper's delta relations ∂D = {ΔR_1..ΔR_k} ∪ {∇R_1..∇R_k}: for
 /// each base relation a set of inserted records and a set of deleted records
 /// (an update is modeled as a deletion followed by an insertion). The
 /// Database keeps the *pre-update* state until ApplyToBase commits the
 /// deltas; maintenance expressions reference both through the catalog.
+///
+/// Storage is copy-on-write: each relation/side holds a list of sealed,
+/// immutable chunks behind shared_ptr plus one owned, mutable tail that
+/// appends land in. Copying a DeltaSet shares every sealed chunk and seals
+/// the source's tail into a new chunk of the copy, so a copy costs
+/// O(#chunks + rows since the last copy) instead of O(all queued rows) —
+/// this is what makes a SharedEngine ingest commit flat in queue depth.
+/// The logical row sequence (chunks in order, then the tail) is identical
+/// however the queue is chunked; maintenance and cleaning plans scan the
+/// chunks as a union, producing bit-identical results at any chunking.
 class DeltaSet {
  public:
   DeltaSet() = default;
+
+  /// Shares all sealed chunks with `other` and seals other's tail rows
+  /// (O(#chunks + tail rows)). The copy's registered catalog names differ
+  /// from the source's — re-Register into the copied catalog before
+  /// building plans against it (SvcEngine's fork constructor does).
+  DeltaSet(const DeltaSet& other);
+  DeltaSet& operator=(const DeltaSet& other);
+  DeltaSet(DeltaSet&&) = default;
+  DeltaSet& operator=(DeltaSet&&) = default;
 
   /// Queues `row` for insertion into `relation` (schema from `db`).
   Status AddInsert(const Database& db, const std::string& relation, Row row);
@@ -36,7 +70,8 @@ class DeltaSet {
   Status AddUpdate(const Database& db, const std::string& relation,
                    Row old_row, Row new_row);
 
-  /// Moves all of `other`'s pending rows into this set.
+  /// Moves all of `other`'s pending rows into this set (appended to the
+  /// tails in other's logical order).
   Status Merge(DeltaSet&& other);
 
   /// True iff no relation has pending changes — i.e. no view is stale.
@@ -48,23 +83,56 @@ class DeltaSet {
   /// True iff `relation` has pending deletes.
   bool HasDeletes(const std::string& relation) const;
 
-  /// Number of pending insert rows across all relations.
+  /// Number of pending insert rows for `relation` / across all relations.
+  size_t InsertRows(const std::string& relation) const;
   size_t TotalInserts() const;
-  /// Number of pending delete rows across all relations.
+  /// Number of pending delete rows for `relation` / across all relations.
+  size_t DeleteRows(const std::string& relation) const;
   size_t TotalDeletes() const;
 
   /// Relations with pending changes.
   std::vector<std::string> TouchedRelations() const;
 
-  /// Pending insert rows for `relation` (empty table if none).
-  const Table* inserts(const std::string& relation) const;
-  /// Pending delete rows for `relation` (empty table if none).
-  const Table* deletes(const std::string& relation) const;
+  /// Monotonic mutation counter: bumped by every Add/Merge/ApplyToBase.
+  /// Within one engine it uniquely identifies the pending-queue contents,
+  /// which is what the cleaned-sample cache keys on. (Two independent
+  /// forks can reach the same number with different contents — which is
+  /// why forks never share one cache object.)
+  uint64_t version() const { return version_; }
 
-  /// Registers every delta table into `db` under DeltaInsertName /
-  /// DeltaDeleteName so maintenance expressions can scan them. Relations
-  /// without pending changes get empty delta tables only if `all_relations`
-  /// lists them.
+  /// Current per-relation row counts, for later SliceSince calls.
+  DeltaWatermark Watermark() const;
+
+  /// The rows that arrived after `mark`, as a standalone tail-only
+  /// DeltaSet (rows copied; cost O(new rows + #chunks)). Fails with
+  /// InvalidArgument when `mark` does not describe a prefix of this set
+  /// (e.g. it was taken before a maintenance commit emptied the queue).
+  Result<DeltaSet> SliceSince(const DeltaWatermark& mark) const;
+
+  /// Visits every pending insert/delete row of `relation` in queue order.
+  template <typename Fn>
+  void ForEachInsert(const std::string& relation, Fn fn) const {
+    auto it = inserts_.find(relation);
+    if (it != inserts_.end()) it->second.ForEachRow(fn);
+  }
+  template <typename Fn>
+  void ForEachDelete(const std::string& relation, Fn fn) const {
+    auto it = deletes_.find(relation);
+    if (it != deletes_.end()) it->second.ForEachRow(fn);
+  }
+
+  /// The registered catalog names holding `relation`'s pending inserts /
+  /// deletes, in queue order (sealed chunks, then the tail). Empty chunks
+  /// are elided; an untouched side yields an empty list. Maintenance and
+  /// cleaning plans scan the union of these tables; Register must have
+  /// synced the catalog first.
+  std::vector<std::string> InsertTableNames(const std::string& relation) const;
+  std::vector<std::string> DeleteTableNames(const std::string& relation) const;
+
+  /// Syncs every delta table into `db`'s catalog: sealed chunks are
+  /// registered by shared pointer (no row copies), the tails by value.
+  /// Stale names from a previous shape of the queue (e.g. the pre-seal
+  /// tail after a copy) are dropped.
   Status Register(Database* db) const;
 
   /// Commits the deltas into the base relations of `db` (deletes first,
@@ -73,11 +141,34 @@ class DeltaSet {
   Status ApplyToBase(Database* db);
 
  private:
-  Result<Table*> DeltaTableFor(const Database& db, const std::string& relation,
-                               std::map<std::string, Table>* side);
+  /// One relation's pending rows on one side: sealed immutable chunks
+  /// (shared across DeltaSet copies — never mutated once sealed) plus the
+  /// owned tail that appends go to.
+  struct Side {
+    std::vector<std::shared_ptr<const Table>> chunks;
+    Table tail;
 
-  std::map<std::string, Table> inserts_;
-  std::map<std::string, Table> deletes_;
+    size_t rows() const;
+    bool empty_rows() const { return rows() == 0; }
+    template <typename Fn>
+    void ForEachRow(Fn fn) const {
+      for (const auto& c : chunks) {
+        for (const Row& r : c->rows()) fn(r);
+      }
+      for (const Row& r : tail.rows()) fn(r);
+    }
+  };
+
+  static void SealInto(const Side& from, Side* to);
+  Result<Side*> SideFor(const Database& db, const std::string& relation,
+                        std::map<std::string, Side>* sides);
+  static std::vector<std::string> TableNamesFor(
+      const std::map<std::string, Side>& sides, const std::string& relation,
+      const std::string& base);
+
+  std::map<std::string, Side> inserts_;
+  std::map<std::string, Side> deletes_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace svc

@@ -68,14 +68,16 @@ PlanPtr RewriteToNewState(const PlanNode& plan, const DeltaSet& deltas) {
     const std::string& rel = plan.table_name();
     if (!deltas.Touches(rel)) return plan.Clone();
     PlanPtr cur = PlanNode::Scan(rel, plan.alias());
-    if (deltas.HasDeletes(rel)) {
-      cur = PlanNode::Difference(
-          std::move(cur), PlanNode::Scan(DeltaDeleteName(rel), plan.alias()));
+    // The pending queue may be chunked (CoW DeltaSet); chaining one
+    // set-difference / union per chunk reads the same row sequence as a
+    // single consolidated table, so the output is chunking-independent.
+    for (const std::string& name : deltas.DeleteTableNames(rel)) {
+      cur = PlanNode::Difference(std::move(cur),
+                                 PlanNode::Scan(name, plan.alias()));
     }
-    const Table* ins = deltas.inserts(rel);
-    if (ins != nullptr && !ins->empty()) {
-      cur = PlanNode::Union(
-          std::move(cur), PlanNode::Scan(DeltaInsertName(rel), plan.alias()));
+    for (const std::string& name : deltas.InsertTableNames(rel)) {
+      cur = PlanNode::Union(std::move(cur),
+                            PlanNode::Scan(name, plan.alias()));
     }
     return cur;
   }
@@ -101,15 +103,19 @@ Result<PlanPtr> DeriveDeltaStream(const PlanNode& subtree,
         return PlanNode::Project(PlanNode::Scan(table, subtree.alias()),
                                  std::move(items));
       };
+      // One signed projection per delta chunk, each with its own lineage
+      // site so rows from different chunks stay distinct under the set
+      // semantics of the unions above this stream.
       PlanPtr stream;
-      const Table* ins = deltas.inserts(rel);
-      if (ins != nullptr && !ins->empty()) {
-        stream = delta_side(DeltaInsertName(rel), 1);
+      auto append = [&](PlanPtr next) {
+        stream = stream ? PlanNode::Union(std::move(stream), std::move(next))
+                        : std::move(next);
+      };
+      for (const std::string& name : deltas.InsertTableNames(rel)) {
+        append(delta_side(name, 1));
       }
-      if (deltas.HasDeletes(rel)) {
-        PlanPtr del = delta_side(DeltaDeleteName(rel), -1);
-        stream = stream ? PlanNode::Union(std::move(stream), std::move(del))
-                        : std::move(del);
+      for (const std::string& name : deltas.DeleteTableNames(rel)) {
+        append(delta_side(name, -1));
       }
       return stream;
     }

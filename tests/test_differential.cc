@@ -1,10 +1,14 @@
-// Randomized differential harness (ISSUE 4): generate random schemas,
-// committed loads, delta batches, and SVC queries; run them through the
-// SQL serving path on a *shared* snapshot-isolated engine and through the
-// direct C++ Query/QueryGrouped API on a *private* engine, and assert the
-// answers are bit-identical — per value, CI bound, estimator mode, and
-// sample count — at num_threads ∈ {1, 4} and across snapshot epochs
-// (before and after the maintenance commit).
+// Randomized differential harness (ISSUE 4, extended by ISSUE 5): generate
+// random schemas, committed loads, delta batches, and SVC queries; run them
+// through the SQL serving path on a *shared* snapshot-isolated engine,
+// through the direct C++ Query/QueryGrouped API on a *private* engine, and
+// through a third private engine with the cleaned-sample cache disabled,
+// and assert the answers are bit-identical — per value, CI bound,
+// estimator mode, and sample count — at num_threads ∈ {1, 4} and across
+// snapshot epochs (before and after the maintenance commit). The first two
+// engines serve from the cache (the shared one advancing it across ingest
+// commits), so every assertion doubles as a cache-on vs cache-off identity
+// check on the ingest→query→refresh loop.
 //
 // Every trial is deterministic from its seed; a failure's SCOPED_TRACE
 // prints `seed=N round=R query="..."`, so a repro is
@@ -181,7 +185,8 @@ void ExpectEstimateRowEq(const Row& row, size_t first_col,
 struct EnginePair {
   std::shared_ptr<SharedEngine> shared;
   std::unique_ptr<SqlSession> sql;     // session over `shared`
-  std::unique_ptr<SvcEngine> direct;   // private engine
+  std::unique_ptr<SvcEngine> direct;   // private engine (cache on)
+  std::unique_ptr<SvcEngine> nocache;  // private engine, cache disabled
   int64_t next_id = 0;
 };
 
@@ -200,6 +205,10 @@ EnginePair BuildPair(const Workload& w) {
   p.direct = std::make_unique<SvcEngine>(std::move(db));
   PlanPtr def = SqlToPlan(w.view_sql, *p.direct->db()).value();
   EXPECT_TRUE(p.direct->CreateView("V", std::move(def)).ok());
+  // The cache-off control: an exact fork that always runs the full
+  // cleaning pipeline. Any divergence from `direct` is a cache bug.
+  p.nocache = std::make_unique<SvcEngine>(*p.direct);
+  p.nocache->set_sample_cache_enabled(false);
 
   // SQL path: the identical state scripted as statements on a SharedEngine
   // (INSERT queues deltas; REFRESH ALL commits the initial load so the
@@ -244,6 +253,7 @@ void ApplyRandomDeltas(Rng* rng, const Workload& w, EnginePair* p,
     if (i > 0) ins += ", ";
     ins += "(" + std::to_string(r[0].AsInt()) + ", " +
            std::to_string(r[1].AsInt()) + ", " + Lit17(r[2].AsDouble()) + ")";
+    SVC_ASSERT_OK(p->nocache->InsertRecord("F", r));
     SVC_ASSERT_OK(p->direct->InsertRecord("F", std::move(r)));
   }
   MustRun(p->sql.get(), ins);
@@ -256,6 +266,7 @@ void ApplyRandomDeltas(Rng* rng, const Workload& w, EnginePair* p,
     MustRun(p->sql.get(),
             "DELETE FROM F WHERE id = " + std::to_string(it->first));
     SVC_ASSERT_OK(p->direct->DeleteRecord("F", it->second));
+    SVC_ASSERT_OK(p->nocache->DeleteRecord("F", it->second));
     committed->erase(it);
   }
 }
@@ -279,11 +290,34 @@ void CheckQuery(const RandomQuery& q, EnginePair* p, int num_threads) {
     ASSERT_EQ(got.rows.NumRows(), 1u);
     EXPECT_EQ(got.mode_used, want.mode_used);
     ExpectEstimateRowEq(got.rows.row(0), 0, want.estimate, want.mode_used);
+    // Cache-off control: the full cleaning pipeline, bit-for-bit.
+    SVC_ASSERT_OK_AND_ASSIGN(SvcAnswer cold,
+                             p->nocache->Query("V", q.direct, opts));
+    EXPECT_EQ(cold.mode_used, want.mode_used);
+    EXPECT_EQ(cold.estimate.value, want.estimate.value);
+    EXPECT_EQ(cold.estimate.ci_low, want.estimate.ci_low);
+    EXPECT_EQ(cold.estimate.ci_high, want.estimate.ci_high);
+    EXPECT_EQ(cold.estimate.sample_rows, want.estimate.sample_rows);
     return;
   }
   SVC_ASSERT_OK_AND_ASSIGN(
       SvcGroupedAnswer want,
       p->direct->QueryGrouped("V", {"g"}, q.direct, opts));
+  SVC_ASSERT_OK_AND_ASSIGN(
+      SvcGroupedAnswer cold,
+      p->nocache->QueryGrouped("V", {"g"}, q.direct, opts));
+  EXPECT_EQ(cold.mode_used, want.mode_used);
+  ASSERT_EQ(cold.result.group_keys.size(), want.result.group_keys.size());
+  for (size_t k = 0; k < want.result.group_keys.size(); ++k) {
+    EXPECT_TRUE(cold.result.group_keys[k][0] == want.result.group_keys[k][0]);
+    EXPECT_EQ(cold.result.estimates[k].value, want.result.estimates[k].value);
+    EXPECT_EQ(cold.result.estimates[k].ci_low,
+              want.result.estimates[k].ci_low);
+    EXPECT_EQ(cold.result.estimates[k].ci_high,
+              want.result.estimates[k].ci_high);
+    EXPECT_EQ(cold.result.estimates[k].sample_rows,
+              want.result.estimates[k].sample_rows);
+  }
   ASSERT_EQ(got.rows.NumRows(), want.result.group_keys.size());
   // The SQL result is sorted by group key; match each row to its group.
   for (size_t i = 0; i < got.rows.NumRows(); ++i) {
@@ -326,6 +360,7 @@ TEST(DifferentialTest, SqlOnSharedEngineMatchesDirectPrivateEngine) {
       // must stay bit-identical against the fresh state too.
       MustRun(pair.sql.get(), "REFRESH ALL");
       SVC_ASSERT_OK(pair.direct->MaintainAll());
+      SVC_ASSERT_OK(pair.nocache->MaintainAll());
       EXPECT_EQ(pair.shared->epoch(), stale_epoch + 1);
       for (int i = 0; i < 2; ++i) {
         RandomQuery q = GenerateQuery(&rng);

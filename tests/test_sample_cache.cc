@@ -1,0 +1,302 @@
+// Tests for the cleaned-sample cache (core/sample_cache.h) and incremental
+// sample maintenance (AdvanceCleanedSamples): the serving hot path must be
+// *bit-identical* to the cold cleaning pipeline — same sample rows in the
+// same order — across ingest rounds, view shapes, and thread counts, with
+// the cache's counters proving which path (hit / incremental advance /
+// full re-clean) actually served each query. A SharedEngine test races
+// concurrent snapshot readers on one cache entry: exactly one cleaning run
+// may happen (the TSan job exercises the locking).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/shared_engine.h"
+#include "core/svc.h"
+#include "sql/planner.h"
+#include "tests/test_util.h"
+
+namespace svc {
+namespace {
+
+using testing_util::MakeLogVideoDb;
+
+Schema FactSchema() {
+  return Schema({{"", "id", ValueType::kInt},
+                 {"", "g", ValueType::kInt},
+                 {"", "v", ValueType::kDouble}});
+}
+
+/// An engine over fact table F (and dimension D), with one view `V`
+/// defined by `view_sql`.
+SvcEngine MakeFactEngine(const std::string& view_sql, uint64_t seed,
+                         int64_t rows = 80) {
+  Database db;
+  Table fact(FactSchema());
+  EXPECT_TRUE(fact.SetPrimaryKey({"id"}).ok());
+  Rng rng(seed);
+  for (int64_t id = 0; id < rows; ++id) {
+    EXPECT_TRUE(fact.Insert({Value::Int(id),
+                             Value::Int(rng.UniformInt(1, 5)),
+                             Value::Double(rng.UniformInt(0, 1000) / 16.0)})
+                    .ok());
+  }
+  EXPECT_TRUE(db.CreateTable("F", std::move(fact)).ok());
+  Table dim(Schema({{"", "g", ValueType::kInt},
+                    {"", "label", ValueType::kInt}}));
+  EXPECT_TRUE(dim.SetPrimaryKey({"g"}).ok());
+  for (int64_t g = 1; g <= 5; ++g) {
+    EXPECT_TRUE(dim.Insert({Value::Int(g), Value::Int(100 + g)}).ok());
+  }
+  EXPECT_TRUE(db.CreateTable("D", std::move(dim)).ok());
+  SvcEngine engine(std::move(db));
+  PlanPtr def = SqlToPlan(view_sql, *engine.db()).value();
+  EXPECT_TRUE(engine.CreateView("V", std::move(def)).ok());
+  return engine;
+}
+
+void IngestRandomInserts(SvcEngine* engine, Rng* rng, int64_t* next_id,
+                         int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    SVC_ASSERT_OK(engine->InsertRecord(
+        "F", {Value::Int((*next_id)++), Value::Int(rng->UniformInt(1, 5)),
+              Value::Double(rng->UniformInt(0, 1000) / 16.0)}));
+  }
+}
+
+/// Asserts two tables are bit-identical: same schema width, same rows in
+/// the same order, values compared exactly.
+void ExpectTablesIdentical(const Table& got, const Table& want) {
+  ASSERT_EQ(got.schema().NumColumns(), want.schema().NumColumns());
+  ASSERT_EQ(got.NumRows(), want.NumRows());
+  for (size_t i = 0; i < got.NumRows(); ++i) {
+    const Row& a = got.row(i);
+    const Row& b = want.row(i);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t c = 0; c < a.size(); ++c) {
+      EXPECT_TRUE(a[c] == b[c])
+          << "row " << i << " col " << c << ": " << a[c].ToString()
+          << " vs " << b[c].ToString();
+    }
+  }
+}
+
+uint64_t TotalAdvances(const SvcEngine& engine) {
+  uint64_t n = 0;
+  for (const auto& [view, s] : engine.CacheStats()) {
+    n += s.incremental_advances;
+  }
+  return n;
+}
+
+const char* const kViews[] = {
+    // Single-table aggregate (the paper's V11 shape).
+    "SELECT g, COUNT(1) AS c, SUM(v) AS sv FROM F GROUP BY g",
+    // Aggregate over a selection (σ below γ).
+    "SELECT g, SUM(v) AS sv FROM F WHERE v > 20.0 GROUP BY g",
+    // Aggregate over a fact-dimension join (V12 shape).
+    "SELECT F.g, COUNT(1) AS c, SUM(F.v) AS sv "
+    "FROM F, D WHERE F.g = D.g GROUP BY F.g",
+    // avg() exercises the hidden sum/cnt merge columns.
+    "SELECT g, AVG(v) AS av FROM F GROUP BY g",
+};
+
+// The cached sample after each ingest round must equal a cold re-clean of
+// the same engine state bit-for-bit (values and row order), and the
+// incremental path must actually serve some of those rounds (insert-only
+// single-relation ingest is its supported shape).
+TEST(SampleCacheTest, AdvancedSamplesBitIdenticalToColdClean) {
+  for (const char* view_sql : kViews) {
+    for (uint64_t seed : {7u, 19u, 101u}) {
+      SCOPED_TRACE(std::string("view=\"") + view_sql +
+                   "\" seed=" + std::to_string(seed));
+      SvcEngine engine = MakeFactEngine(view_sql, seed);
+      Rng rng(seed ^ 0xadce11);
+      int64_t next_id = 1000000;
+      for (int round = 0; round < 4; ++round) {
+        SCOPED_TRACE("round=" + std::to_string(round));
+        IngestRandomInserts(&engine, &rng, &next_id,
+                            rng.UniformInt(1, 15));
+        for (double ratio : {0.3, 0.7}) {
+          CleanOptions opts{ratio, HashFamily::kFnv1a};
+          SVC_ASSERT_OK_AND_ASSIGN(
+              std::shared_ptr<const CorrespondingSamples> cached,
+              engine.CleanSampleCached("V", opts));
+          SVC_ASSERT_OK_AND_ASSIGN(CorrespondingSamples cold,
+                                   engine.CleanSample("V", opts));
+          ExpectTablesIdentical(cached->fresh, cold.fresh);
+          ExpectTablesIdentical(cached->stale, cold.stale);
+        }
+      }
+      // Rounds 1..3 must have been served by the incremental path (round
+      // 0 populates the entries with a full clean).
+      EXPECT_GE(TotalAdvances(engine), 3u)
+          << "the advance gates rejected a supported shape";
+
+      // After maintenance the view table changes: entries must rebuild,
+      // and the next ingest round must advance again.
+      SVC_ASSERT_OK(engine.MaintainAll());
+      IngestRandomInserts(&engine, &rng, &next_id, 5);
+      CleanOptions opts{0.3, HashFamily::kFnv1a};
+      SVC_ASSERT_OK_AND_ASSIGN(
+          std::shared_ptr<const CorrespondingSamples> cached,
+          engine.CleanSampleCached("V", opts));
+      SVC_ASSERT_OK_AND_ASSIGN(CorrespondingSamples cold,
+                               engine.CleanSample("V", opts));
+      ExpectTablesIdentical(cached->fresh, cold.fresh);
+    }
+  }
+}
+
+// Deletes are outside the advance gates: the cache must fall back to a
+// full re-clean and still match the cold pipeline exactly.
+TEST(SampleCacheTest, DeletesFallBackToFullClean) {
+  SvcEngine engine = MakeFactEngine(kViews[0], 5);
+  Rng rng(5);
+  int64_t next_id = 1000000;
+  IngestRandomInserts(&engine, &rng, &next_id, 10);
+  CleanOptions opts{0.5, HashFamily::kFnv1a};
+  SVC_ASSERT_OK(engine.CleanSampleCached("V", opts).status());
+  const uint64_t cleans_before = engine.CacheStats().at("V").full_cleans;
+
+  SVC_ASSERT_OK_AND_ASSIGN(const Table* fact, engine.db()->GetTable("F"));
+  SVC_ASSERT_OK(engine.DeleteRecord("F", fact->row(3)));
+  SVC_ASSERT_OK_AND_ASSIGN(
+      std::shared_ptr<const CorrespondingSamples> cached,
+      engine.CleanSampleCached("V", opts));
+  EXPECT_EQ(engine.CacheStats().at("V").full_cleans, cleans_before + 1);
+  SVC_ASSERT_OK_AND_ASSIGN(CorrespondingSamples cold,
+                           engine.CleanSample("V", opts));
+  ExpectTablesIdentical(cached->fresh, cold.fresh);
+}
+
+// An unchanged engine serves repeated queries from the same cached object.
+TEST(SampleCacheTest, RepeatedQueriesHitOneEntry) {
+  SvcEngine engine = MakeFactEngine(kViews[0], 9);
+  Rng rng(9);
+  int64_t next_id = 1000000;
+  IngestRandomInserts(&engine, &rng, &next_id, 12);
+  CleanOptions opts{0.5, HashFamily::kFnv1a};
+  SVC_ASSERT_OK_AND_ASSIGN(
+      std::shared_ptr<const CorrespondingSamples> first,
+      engine.CleanSampleCached("V", opts));
+  SVC_ASSERT_OK_AND_ASSIGN(
+      std::shared_ptr<const CorrespondingSamples> second,
+      engine.CleanSampleCached("V", opts));
+  EXPECT_EQ(first.get(), second.get()) << "second query re-cleaned";
+  const ViewCacheStats stats = engine.CacheStats().at("V");
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+
+  // Query/QueryGrouped answers are identical with the cache off.
+  AggregateQuery q = AggregateQuery::Sum(Expr::Col("sv"));
+  SvcQueryOptions qopts;
+  qopts.ratio = 0.5;
+  SVC_ASSERT_OK_AND_ASSIGN(SvcAnswer warm, engine.Query("V", q, qopts));
+  engine.set_sample_cache_enabled(false);
+  SVC_ASSERT_OK_AND_ASSIGN(SvcAnswer cold, engine.Query("V", q, qopts));
+  EXPECT_EQ(warm.estimate.value, cold.estimate.value);
+  EXPECT_EQ(warm.estimate.ci_low, cold.estimate.ci_low);
+  EXPECT_EQ(warm.estimate.ci_high, cold.estimate.ci_high);
+  EXPECT_EQ(warm.estimate.sample_rows, cold.estimate.sample_rows);
+}
+
+// Deltas to relations a view does not read must not invalidate its entry:
+// the advance recognizes the no-op and reuses the samples object.
+TEST(SampleCacheTest, ForeignRelationDeltasReuseEntry) {
+  SvcEngine engine(MakeLogVideoDb());
+  PlanPtr def = SqlToPlan(
+      "SELECT videoId, COUNT(1) AS c FROM Log GROUP BY videoId",
+      *engine.db()).value();
+  SVC_ASSERT_OK(engine.CreateView("V", std::move(def)));
+  SVC_ASSERT_OK(engine.InsertRecord(
+      "Log", {Value::Int(500), Value::Int(1)}));
+  CleanOptions opts{0.8, HashFamily::kFnv1a};
+  SVC_ASSERT_OK_AND_ASSIGN(
+      std::shared_ptr<const CorrespondingSamples> first,
+      engine.CleanSampleCached("V", opts));
+  // Video is not read by V; ingesting into it bumps the delta version.
+  SVC_ASSERT_OK(engine.InsertRecord(
+      "Video", {Value::Int(50), Value::Int(101), Value::Double(1.0)}));
+  SVC_ASSERT_OK_AND_ASSIGN(
+      std::shared_ptr<const CorrespondingSamples> second,
+      engine.CleanSampleCached("V", opts));
+  EXPECT_EQ(first.get(), second.get())
+      << "foreign-relation delta forced a re-clean";
+  EXPECT_EQ(engine.CacheStats().at("V").incremental_advances, 1u);
+}
+
+// An engine fork (the SharedEngine commit path) carries the cache entries:
+// after an insert-only ingest on the fork, its first query advances the
+// carried sample instead of re-cleaning from scratch.
+TEST(SampleCacheTest, ForkCarriesEntriesAndAdvances) {
+  SvcEngine engine = MakeFactEngine(kViews[0], 21);
+  Rng rng(21);
+  int64_t next_id = 1000000;
+  IngestRandomInserts(&engine, &rng, &next_id, 8);
+  CleanOptions opts{0.5, HashFamily::kFnv1a};
+  SVC_ASSERT_OK(engine.CleanSampleCached("V", opts).status());
+
+  SvcEngine fork(engine);
+  IngestRandomInserts(&fork, &rng, &next_id, 6);
+  SVC_ASSERT_OK_AND_ASSIGN(
+      std::shared_ptr<const CorrespondingSamples> cached,
+      fork.CleanSampleCached("V", opts));
+  EXPECT_EQ(fork.CacheStats().at("V").incremental_advances, 1u);
+  EXPECT_EQ(fork.CacheStats().at("V").full_cleans, 1u);  // carried counter
+  SVC_ASSERT_OK_AND_ASSIGN(CorrespondingSamples cold,
+                           fork.CleanSample("V", opts));
+  ExpectTablesIdentical(cached->fresh, cold.fresh);
+  // The parent's cache is untouched by the fork's activity.
+  EXPECT_EQ(engine.CacheStats().at("V").incremental_advances, 0u);
+}
+
+// Concurrent readers of one published snapshot racing on the same cache
+// key: exactly one cleaning run happens, every reader gets the same
+// answer. This is the test the TSan job leans on.
+TEST(SampleCacheTest, ConcurrentSnapshotReadersPopulateOnce) {
+  SvcEngine engine = MakeFactEngine(kViews[0], 33, /*rows=*/400);
+  Rng rng(33);
+  int64_t next_id = 1000000;
+  IngestRandomInserts(&engine, &rng, &next_id, 40);
+  auto shared = std::make_shared<SharedEngine>(std::move(engine));
+
+  constexpr int kReaders = 8;
+  AggregateQuery q = AggregateQuery::Sum(Expr::Col("sv"));
+  SvcQueryOptions qopts;
+  qopts.ratio = 0.4;
+  std::vector<SvcAnswer> answers(kReaders);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  SnapshotPtr snap = shared->Snapshot();
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      auto r = snap->engine.Query("V", q, qopts);
+      if (!r.ok()) {
+        ++failures;
+        return;
+      }
+      answers[t] = std::move(r).value();
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(failures.load(), 0);
+  const ViewCacheStats stats = snap->engine.CacheStats().at("V");
+  EXPECT_EQ(stats.misses, 1u) << "readers raced into multiple cleaning runs";
+  EXPECT_EQ(stats.hits, static_cast<uint64_t>(kReaders - 1));
+  for (int t = 1; t < kReaders; ++t) {
+    EXPECT_EQ(answers[t].estimate.value, answers[0].estimate.value);
+    EXPECT_EQ(answers[t].estimate.ci_low, answers[0].estimate.ci_low);
+    EXPECT_EQ(answers[t].estimate.ci_high, answers[0].estimate.ci_high);
+    EXPECT_EQ(answers[t].estimate.sample_rows,
+              answers[0].estimate.sample_rows);
+  }
+}
+
+}  // namespace
+}  // namespace svc

@@ -404,7 +404,7 @@ TEST_F(SessionTest, SyntaxErrorsCarryContext) {
             std::string::npos);
 
   Status show = Fail("SHOW everything");
-  EXPECT_NE(show.message().find("expected TABLES or VIEWS"),
+  EXPECT_NE(show.message().find("expected TABLES, VIEWS, or STATS"),
             std::string::npos);
 }
 
