@@ -22,10 +22,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <functional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -33,6 +35,7 @@
 #include "core/shared_engine.h"
 #include "core/svc.h"
 #include "relational/executor.h"
+#include "storage/durable_engine.h"
 
 namespace svc {
 namespace {
@@ -580,6 +583,69 @@ int main(int argc, char** argv) {
     }
   }
 
+  // -- Durable commit latency per WAL fsync policy ---------------------------
+  // One-row logged commits through a DurableEngine in a scratch directory.
+  // The spread between off / every=N / always is the price of the
+  // durability guarantee (documented in docs/PERF.md); there is no gate
+  // because the absolute numbers are storage-hardware-bound.
+  constexpr int kWalCommits = 64;
+  std::vector<std::pair<std::string, double>> wal_commit_us;
+  {
+    std::printf("-- durable commit latency (WAL fsync policy) --\n");
+    for (const char* spec : {"off", "every=8", "always"}) {
+      char tmpl[] = "/tmp/svc_wal_bench_XXXXXX";
+      if (mkdtemp(tmpl) == nullptr) {
+        std::fprintf(stderr, "[micro_ops] mkdtemp failed\n");
+        return 2;
+      }
+      const std::string dir = tmpl;
+      {
+        DurableOptions dopts;
+        dopts.data_dir = dir;
+        dopts.wal = ParseFsyncSpec(spec).value();
+        auto opened = DurableEngine::Open(dopts);
+        if (!opened.ok()) {
+          std::fprintf(stderr, "[micro_ops] %s\n",
+                       opened.status().ToString().c_str());
+          return 2;
+        }
+        std::shared_ptr<DurableEngine> engine = std::move(opened).value();
+        Table t(Schema({{"", "id", ValueType::kInt},
+                        {"", "val", ValueType::kDouble}}));
+        (void)t.SetPrimaryKey({"id"});
+        int64_t next_id = 0;
+        auto commit = [&] {
+          return engine->InsertRecord(
+              "wal_fact", {Value::Int(next_id++), Value::Double(1.0)});
+        };
+        // Table creation (and the first append's file growth) stays out of
+        // the timed loop.
+        if (auto st = engine->CreateTable("wal_fact", std::move(t));
+            !st.ok()) {
+          std::fprintf(stderr, "[micro_ops] %s\n", st.ToString().c_str());
+          return 2;
+        }
+        if (auto st = commit(); !st.ok()) {
+          std::fprintf(stderr, "[micro_ops] %s\n", st.ToString().c_str());
+          return 2;
+        }
+        Stopwatch sw;
+        for (int i = 0; i < kWalCommits; ++i) {
+          if (auto st = commit(); !st.ok()) {
+            std::fprintf(stderr, "[micro_ops] %s\n", st.ToString().c_str());
+            return 2;
+          }
+        }
+        const double us = sw.ElapsedMillis() * 1e3 / kWalCommits;
+        wal_commit_us.push_back({spec, us});
+        std::printf("fsync=%-8s commit %8.2f us   (%d commits)\n", spec, us,
+                    kWalCommits);
+      }
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+    }
+  }
+
   // JSON report.
   const BenchResult* gate = nullptr;
   for (const auto& r : results) {
@@ -651,6 +717,14 @@ int main(int argc, char** argv) {
                 cache_bench.speedup() >= min_cache_speedup)
                    ? "true"
                    : "false");
+  std::fprintf(f, "  \"wal_commit\": {\n    \"commits\": %d,\n", kWalCommits);
+  std::fprintf(f, "    \"policies\": [\n");
+  for (size_t i = 0; i < wal_commit_us.size(); ++i) {
+    std::fprintf(f, "      {\"fsync\": \"%s\", \"commit_us\": %.2f}%s\n",
+                 wal_commit_us[i].first.c_str(), wal_commit_us[i].second,
+                 i + 1 < wal_commit_us.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  },\n");
   std::fprintf(f,
                "  \"gate\": {\"name\": \"join_aggregate\", \"min_speedup\": "
                "%.2f, \"speedup\": %.2f, \"pass\": %s}\n}\n",

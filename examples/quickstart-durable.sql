@@ -1,0 +1,38 @@
+-- Durable quickstart: the SVC lifecycle on a --data-dir engine. Every
+-- write is WAL-logged before it publishes; CHECKPOINT persists a snapshot
+-- and truncates the log behind it (docs/ARCHITECTURE.md, "Durability &
+-- recovery"). Run with:
+--   ./build/svc_shell --data-dir /tmp/svc-data --echo \
+--     --file examples/quickstart-durable.sql
+-- Recovery details print on stderr, so this stdout transcript is
+-- reproducible (the golden test wipes its data dir first).
+
+CREATE TABLE Video (videoId INT, ownerId INT, duration DOUBLE,
+                    PRIMARY KEY (videoId));
+CREATE TABLE Log (sessionId INT, videoId INT, PRIMARY KEY (sessionId));
+INSERT INTO Video VALUES (1, 101, 1.5), (2, 102, 0.8), (3, 100, 2.5);
+INSERT INTO Log VALUES (0, 1), (1, 1), (2, 2), (3, 3), (4, 3), (5, 3);
+REFRESH ALL;
+
+CREATE MATERIALIZED VIEW visitView AS
+  SELECT Log.videoId, COUNT(1) AS visitCount
+  FROM Log, Video WHERE Log.videoId = Video.videoId
+  GROUP BY Log.videoId;
+
+-- Stream new visits: the view goes stale; the deltas are in the WAL.
+INSERT INTO Log VALUES (100, 2), (101, 2), (102, 1), (103, 3);
+
+-- SVC corrects the stale answer (reads are never logged).
+SELECT SUM(visitCount) FROM visitView WITH SVC(ratio=0.5, mode=corr);
+
+-- Durability counters: every write so far sits in the current WAL segment.
+SHOW STATS;
+
+-- CHECKPOINT writes the snapshot atomically and rotates to an empty WAL.
+CHECKPOINT;
+SHOW STATS;
+
+-- Maintenance commits the deltas (logged like any other write).
+REFRESH VIEW visitView;
+SELECT videoId, visitCount FROM visitView;
+SHOW STATS;

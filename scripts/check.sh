@@ -4,11 +4,15 @@
 # >= MIN_SPEEDUP on the join+aggregate pipeline vs. the string-keyed
 # baseline; see docs/PERF.md).
 #
-# Usage: scripts/check.sh [--fast] [--tsan]
+# Usage: scripts/check.sh [--fast] [--tsan] [--recovery]
 #   --fast  skip the sanitizer build (Release tests + bench gate only)
 #   --tsan  ThreadSanitizer mode ONLY: Debug+TSan build + full test suite
 #           (the shared-engine concurrency tests are the point); skips the
 #           Release/ASan builds and the bench gate. Used by the CI tsan job.
+#   --recovery  durability mode ONLY: the storage/WAL/recovery test suite
+#           (serde, WAL framing, kill-and-recover differential matrix) in
+#           both Release and Debug+ASan/UBSan builds, plus a durable
+#           svc_shell crash-and-restart smoke. Used by the CI recovery job.
 #
 # Environment knobs:
 #   MIN_SPEEDUP           baseline-vs-current gate floor (default 3.0;
@@ -30,10 +34,12 @@ MIN_CACHE_SPEEDUP="${MIN_CACHE_SPEEDUP:-5.0}"
 BENCH_THREADS="${BENCH_THREADS:-8}"
 FAST=0
 TSAN=0
+RECOVERY=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     --tsan) TSAN=1 ;;
+    --recovery) RECOVERY=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -54,6 +60,39 @@ if [[ "$TSAN" -eq 1 ]]; then
   ./build-tsan/fig14_sql_sessions --rows 2000 --sessions 2 --iters 2 \
     --batch 40 --shared
   echo "All TSan checks passed."
+  exit 0
+fi
+
+if [[ "$RECOVERY" -eq 1 ]]; then
+  echo "== Release build (${JOBS} jobs) =="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j"$JOBS"
+
+  echo "== Durability tests (Release) =="
+  ctest --test-dir build --output-on-failure --no-tests=error -j"$JOBS" \
+    -R 'test_(serde|wal|recovery)'
+
+  echo "== Debug + ASan/UBSan build =="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DSVC_SANITIZE=ON
+  cmake --build build-asan -j"$JOBS"
+
+  echo "== Durability tests (ASan/UBSan; fork-based crash matrix) =="
+  ctest --test-dir build-asan --output-on-failure --no-tests=error \
+    -j"$JOBS" -R 'test_(serde|wal|recovery)'
+
+  echo "== Durable shell crash-and-restart smoke (SVC_FAULT) =="
+  SMOKE_DIR="$(mktemp -d)"
+  trap 'rm -rf "$SMOKE_DIR"' EXIT
+  rc=0
+  SVC_FAULT=wal.append.post:4 ./build/svc_shell --data-dir "$SMOKE_DIR" \
+    --file examples/quickstart.sql >/dev/null 2>&1 || rc=$?
+  if [[ "$rc" -ne 87 ]]; then
+    echo "expected injected-crash exit 87 from svc_shell, got $rc" >&2
+    exit 1
+  fi
+  ./build/svc_shell --data-dir "$SMOKE_DIR" -c "SHOW TABLES; SHOW STATS;" \
+    > /dev/null
+  echo "All recovery checks passed."
   exit 0
 fi
 

@@ -2,11 +2,18 @@
 # the output matches ${GOLDEN} exactly. Invoked by ctest (see
 # CMakeLists.txt) and mirrored by the CI docs job so documented example
 # transcripts cannot rot. SHELL_FLAGS optionally injects extra flags (e.g.
-# --shared runs the transcript on the snapshot-isolated engine).
+# --shared runs the transcript on the snapshot-isolated engine). DATA_DIR,
+# when set, is wiped and passed as --data-dir so the transcript runs on a
+# fresh durable engine (recovery chatter goes to stderr, not the diff).
 if(NOT DEFINED SHELL_FLAGS)
   set(SHELL_FLAGS "")
 endif()
 separate_arguments(SHELL_FLAGS)
+if(DEFINED DATA_DIR)
+  file(REMOVE_RECURSE ${DATA_DIR})
+  file(MAKE_DIRECTORY ${DATA_DIR})
+  list(APPEND SHELL_FLAGS --data-dir ${DATA_DIR})
+endif()
 execute_process(
   COMMAND ${SHELL} ${SHELL_FLAGS} --echo --file ${SCRIPT}
   OUTPUT_VARIABLE actual

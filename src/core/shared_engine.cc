@@ -5,8 +5,9 @@ namespace svc {
 SharedEngine::SharedEngine(Database db)
     : SharedEngine(SvcEngine(std::move(db))) {}
 
-SharedEngine::SharedEngine(SvcEngine engine)
-    : head_(std::make_shared<const EngineSnapshot>(std::move(engine))) {}
+SharedEngine::SharedEngine(SvcEngine engine, uint64_t start_epoch)
+    : head_(std::make_shared<const EngineSnapshot>(start_epoch,
+                                                   std::move(engine))) {}
 
 SnapshotPtr SharedEngine::Snapshot() const {
   std::lock_guard<std::mutex> lock(head_mu_);
@@ -14,12 +15,21 @@ SnapshotPtr SharedEngine::Snapshot() const {
 }
 
 Status SharedEngine::Commit(const std::function<Status(SvcEngine*)>& fn) {
+  return Commit(fn, nullptr);
+}
+
+Status SharedEngine::Commit(
+    const std::function<Status(SvcEngine*)>& fn,
+    const std::function<Status(uint64_t next_epoch)>& pre_publish) {
   std::lock_guard<std::mutex> writer(writer_mu_);
   // Fork the head. Readers keep their snapshots; the fork shares all table
   // storage copy-on-write, so only what `fn` touches is copied.
   SnapshotPtr head = Snapshot();
   auto next = std::make_shared<EngineSnapshot>(head->epoch + 1, head->engine);
   SVC_RETURN_IF_ERROR(fn(&next->engine));
+  // Write-ahead point: the record for `next` must be durable before any
+  // reader can observe the new epoch.
+  if (pre_publish != nullptr) SVC_RETURN_IF_ERROR(pre_publish(next->epoch));
   std::lock_guard<std::mutex> lock(head_mu_);
   head_ = std::move(next);
   return Status::OK();

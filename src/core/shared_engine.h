@@ -51,8 +51,12 @@ class SharedEngine {
  public:
   /// Starts at epoch 0 over the given base relations.
   explicit SharedEngine(Database db);
-  /// Starts at epoch 0 from a fully built engine (views, pending deltas).
-  explicit SharedEngine(SvcEngine engine);
+  /// Starts from a fully built engine (views, pending deltas) at
+  /// `start_epoch` — 0 for a fresh engine, or the recovered head epoch
+  /// when a DurableEngine rebuilds state from checkpoint + WAL (epoch
+  /// numbering must continue where the crashed process stopped, because
+  /// WAL records are keyed by the epoch they published).
+  explicit SharedEngine(SvcEngine engine, uint64_t start_epoch = 0);
 
   SharedEngine(const SharedEngine&) = delete;
   SharedEngine& operator=(const SharedEngine&) = delete;
@@ -70,6 +74,17 @@ class SharedEngine {
   /// error is returned. `fn` must not retain the SvcEngine* beyond the
   /// call.
   Status Commit(const std::function<Status(SvcEngine*)>& fn);
+
+  /// Commit with a durability hook: after `fn` succeeds on the fork but
+  /// *before* the fork is published, `pre_publish` runs (still under the
+  /// writer lock) with the epoch the fork is about to become. The durable
+  /// engine appends the WAL record there — write-ahead ordering: a commit
+  /// is published only once its log record is on disk, so a crash can lose
+  /// an unpublished record (harmless: it was never observable) but never
+  /// publish an unlogged epoch. If `pre_publish` fails, nothing is
+  /// published and the error is returned.
+  Status Commit(const std::function<Status(SvcEngine*)>& fn,
+                const std::function<Status(uint64_t next_epoch)>& pre_publish);
 
   // ---- Convenience writers (each is one Commit) ---------------------------
   Status CreateTable(const std::string& name, Table table);

@@ -73,6 +73,8 @@ class Parser {
       SVC_RETURN_IF_ERROR(ParseDelete(&stmt));
     } else if (Accept("REFRESH")) {
       SVC_RETURN_IF_ERROR(ParseRefresh(&stmt));
+    } else if (Accept("CHECKPOINT")) {
+      stmt.kind = Statement::Kind::kCheckpoint;
     } else if (Accept("SHOW")) {
       if (Accept("TABLES")) {
         stmt.kind = Statement::Kind::kShowTables;
@@ -86,7 +88,7 @@ class Parser {
     } else {
       return Err(
           "expected a statement (SELECT, CREATE TABLE, CREATE MATERIALIZED "
-          "VIEW, INSERT INTO, DELETE FROM, REFRESH, SHOW)");
+          "VIEW, INSERT INTO, DELETE FROM, REFRESH, CHECKPOINT, SHOW)");
     }
     if (!AtEnd()) return Err("unexpected trailing tokens");
     return stmt;

@@ -79,6 +79,7 @@ struct ColumnDef {
 ///   INSERT INTO <table> VALUES (...), ...
 ///   DELETE FROM <table> [WHERE <pred>]
 ///   REFRESH VIEW <name> | REFRESH ALL
+///   CHECKPOINT
 ///   SHOW TABLES | SHOW VIEWS | SHOW STATS
 struct Statement {
   enum class Kind {
@@ -88,6 +89,7 @@ struct Statement {
     kInsert,
     kDelete,
     kRefresh,
+    kCheckpoint,
     kShowTables,
     kShowViews,
     kShowStats,

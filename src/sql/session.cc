@@ -7,6 +7,7 @@
 
 #include "relational/executor.h"
 #include "sql/planner.h"
+#include "storage/ops.h"
 
 namespace svc {
 
@@ -96,29 +97,53 @@ Result<SqlResult> SqlSession::Execute(const Statement& stmt) {
     case Statement::Kind::kShowStats:
       return ExecShowStats(reader());
     case Statement::Kind::kCreateTable:
-      return ExecWrite(
-          [&](SvcEngine* e) { return ExecCreateTable(stmt, e); });
+      return ExecWrite([&](SvcEngine* e, std::string* wal) {
+        return ExecCreateTable(stmt, e, wal);
+      });
     case Statement::Kind::kCreateView:
-      return ExecWrite([&](SvcEngine* e) { return ExecCreateView(stmt, e); });
+      return ExecWrite([&](SvcEngine* e, std::string* wal) {
+        return ExecCreateView(stmt, e, wal);
+      });
     case Statement::Kind::kInsert:
-      return ExecWrite([&](SvcEngine* e) { return ExecInsert(stmt, e); });
+      return ExecWrite([&](SvcEngine* e, std::string* wal) {
+        return ExecInsert(stmt, e, wal);
+      });
     case Statement::Kind::kDelete:
-      return ExecWrite([&](SvcEngine* e) { return ExecDelete(stmt, e); });
+      return ExecWrite([&](SvcEngine* e, std::string* wal) {
+        return ExecDelete(stmt, e, wal);
+      });
     case Statement::Kind::kRefresh:
-      return ExecWrite([&](SvcEngine* e) { return ExecRefresh(stmt, e); });
+      return ExecWrite([&](SvcEngine* e, std::string* wal) {
+        return ExecRefresh(stmt, e, wal);
+      });
+    case Statement::Kind::kCheckpoint:
+      return ExecCheckpoint();
   }
   return Status::Internal("unhandled statement kind");
 }
 
 Result<SqlResult> SqlSession::ExecWrite(
-    const std::function<Result<SqlResult>(SvcEngine*)>& fn) {
-  if (shared_ == nullptr) return fn(own_.get());
+    const std::function<Result<SqlResult>(SvcEngine*, std::string*)>& fn) {
+  if (durable_ != nullptr) {
+    // One statement = one logged commit: the handler's payload (the
+    // DurableOp it performed) hits the WAL before the commit publishes.
+    std::optional<SqlResult> out;
+    SVC_RETURN_IF_ERROR(durable_->CommitLogged(
+        [&](SvcEngine* e, std::string* payload) -> Status {
+          auto r = fn(e, payload);
+          if (!r.ok()) return r.status();
+          out = std::move(r).value();
+          return Status::OK();
+        }));
+    return std::move(*out);
+  }
+  if (shared_ == nullptr) return fn(own_.get(), nullptr);
   // One statement = one commit: validation and mutation run on the fork
   // under the writer lock, so concurrent sessions cannot race a conflicting
   // write in between, and an error publishes nothing.
   std::optional<SqlResult> out;
   SVC_RETURN_IF_ERROR(shared_->Commit([&](SvcEngine* e) -> Status {
-    auto r = fn(e);
+    auto r = fn(e, nullptr);
     if (!r.ok()) return r.status();
     out = std::move(r).value();
     return Status::OK();
@@ -288,7 +313,8 @@ Result<SqlResult> SqlSession::ExecSvcSelect(const Statement& stmt,
 }
 
 Result<SqlResult> SqlSession::ExecCreateTable(const Statement& stmt,
-                                              SvcEngine* eng) {
+                                              SvcEngine* eng,
+                                              std::string* wal) {
   if (eng->db()->HasTable(stmt.target)) {
     return Status::AlreadyExists("table or view already exists: " +
                                  stmt.target);
@@ -309,6 +335,10 @@ Result<SqlResult> SqlSession::ExecCreateTable(const Statement& stmt,
   }
   Table table(std::move(schema));
   SVC_RETURN_IF_ERROR(table.SetPrimaryKey(stmt.primary_key));
+  if (wal != nullptr) {
+    SVC_RETURN_IF_ERROR(
+        EncodeDurableOp(DurableOp::CreateTableOp(stmt.target, table), wal));
+  }
   SVC_RETURN_IF_ERROR(eng->db()->CreateTable(stmt.target, std::move(table)));
   SqlResult result;
   result.message = "created table " + stmt.target + " (" +
@@ -317,7 +347,8 @@ Result<SqlResult> SqlSession::ExecCreateTable(const Statement& stmt,
 }
 
 Result<SqlResult> SqlSession::ExecCreateView(const Statement& stmt,
-                                             SvcEngine* eng) {
+                                             SvcEngine* eng,
+                                             std::string* wal) {
   if (eng->HasView(stmt.target)) {
     return Status::AlreadyExists("view already exists: " + stmt.target);
   }
@@ -326,6 +357,11 @@ Result<SqlResult> SqlSession::ExecCreateView(const Statement& stmt,
                                  "' already exists; views need a fresh name");
   }
   SVC_ASSIGN_OR_RETURN(PlanPtr def, PlanSelect(*stmt.select, *eng->db()));
+  if (wal != nullptr) {
+    SVC_RETURN_IF_ERROR(EncodeDurableOp(
+        DurableOp::CreateViewOp(stmt.target, def->Clone(), stmt.sampling_key),
+        wal));
+  }
   SVC_RETURN_IF_ERROR(
       eng->CreateView(stmt.target, std::move(def), stmt.sampling_key));
   SVC_ASSIGN_OR_RETURN(const Table* stored, eng->db()->GetTable(stmt.target));
@@ -336,7 +372,7 @@ Result<SqlResult> SqlSession::ExecCreateView(const Statement& stmt,
 }
 
 Result<SqlResult> SqlSession::ExecInsert(const Statement& stmt,
-                                         SvcEngine* eng) {
+                                         SvcEngine* eng, std::string* wal) {
   SVC_ASSIGN_OR_RETURN(const Table* table,
                        ResolveBaseTable(*eng, stmt.target, "INSERT INTO"));
   const Schema& schema = table->schema();
@@ -423,6 +459,11 @@ Result<SqlResult> SqlSession::ExecInsert(const Statement& stmt,
       batch_keys.push_back(std::move(key));
     }
   }
+  if (wal != nullptr) {
+    // The *coerced* rows are what replay must re-queue.
+    SVC_RETURN_IF_ERROR(
+        EncodeDurableOp(DurableOp::InsertOp(stmt.target, rows), wal));
+  }
   for (auto& row : rows) {
     SVC_RETURN_IF_ERROR(eng->InsertRecord(stmt.target, std::move(row)));
   }
@@ -439,7 +480,7 @@ Result<SqlResult> SqlSession::ExecInsert(const Statement& stmt,
 }
 
 Result<SqlResult> SqlSession::ExecDelete(const Statement& stmt,
-                                         SvcEngine* eng) {
+                                         SvcEngine* eng, std::string* wal) {
   SVC_ASSIGN_OR_RETURN(const Table* table,
                        ResolveBaseTable(*eng, stmt.target, "DELETE FROM"));
   ExprPtr pred;
@@ -473,6 +514,13 @@ Result<SqlResult> SqlSession::ExecDelete(const Statement& stmt,
     }
     doomed = std::move(fresh);
   }
+  if (wal != nullptr) {
+    // The rows the WHERE selected (post-dedup) are what replay re-queues —
+    // replaying the predicate against a different committed state would
+    // diverge.
+    SVC_RETURN_IF_ERROR(
+        EncodeDurableOp(DurableOp::DeleteOp(stmt.target, doomed), wal));
+  }
   for (auto& row : doomed) {
     SVC_RETURN_IF_ERROR(eng->DeleteRecord(stmt.target, std::move(row)));
   }
@@ -487,7 +535,7 @@ Result<SqlResult> SqlSession::ExecDelete(const Statement& stmt,
 }
 
 Result<SqlResult> SqlSession::ExecRefresh(const Statement& stmt,
-                                          SvcEngine* eng) {
+                                          SvcEngine* eng, std::string* wal) {
   const size_t inserts = eng->pending().TotalInserts();
   const size_t deletes = eng->pending().TotalDeletes();
   if (!stmt.refresh_all) {
@@ -502,12 +550,26 @@ Result<SqlResult> SqlSession::ExecRefresh(const Statement& stmt,
   // error, so the in-place body skips a redundant second fork.
   SVC_RETURN_IF_ERROR(shared_ != nullptr ? eng->MaintainAllInPlace()
                                          : eng->MaintainAll());
+  if (wal != nullptr) {
+    SVC_RETURN_IF_ERROR(EncodeDurableOp(DurableOp::RefreshOp(), wal));
+  }
   pending_keys_.clear();  // the commit emptied the pending queue
   const size_t n_views = eng->ViewNames().size();
   SqlResult result;
   result.message = "refreshed " + std::to_string(n_views) +
                    " view(s); committed " + std::to_string(inserts) +
                    " insert(s) and " + std::to_string(deletes) + " delete(s)";
+  return result;
+}
+
+Result<SqlResult> SqlSession::ExecCheckpoint() {
+  SqlResult result;
+  if (durable_ == nullptr) {
+    result.message = "no durable storage attached; CHECKPOINT skipped";
+    return result;
+  }
+  SVC_ASSIGN_OR_RETURN(uint64_t epoch, durable_->Checkpoint());
+  result.message = "checkpoint at epoch " + std::to_string(epoch);
   return result;
 }
 
@@ -574,6 +636,14 @@ Result<SqlResult> SqlSession::ExecShowStats(const SvcEngine& eng) {
   schema.AddColumn({"", "incr_advances", ValueType::kInt});
   schema.AddColumn({"", "pending_rows", ValueType::kInt});
   schema.AddColumn({"", "delta_version", ValueType::kInt});
+  // Durable sessions also report the engine-wide durability counters
+  // (repeated on every row — SHOW STATS is a per-view relation).
+  if (durable_ != nullptr) {
+    schema.AddColumn({"", "wal_records", ValueType::kInt});
+    schema.AddColumn({"", "wal_bytes", ValueType::kInt});
+    schema.AddColumn({"", "last_checkpoint_epoch", ValueType::kInt});
+    schema.AddColumn({"", "recovered_epoch", ValueType::kInt});
+  }
   Table out(std::move(schema));
   const std::map<std::string, ViewCacheStats> stats = eng.CacheStats();
   const auto as_int = [](uint64_t v) {
@@ -588,10 +658,18 @@ Result<SqlResult> SqlSession::ExecShowStats(const SvcEngine& eng) {
     }
     auto it = stats.find(name);
     const ViewCacheStats s = it == stats.end() ? ViewCacheStats{} : it->second;
-    out.AppendUnchecked({Value::String(name), as_int(s.hits),
-                         as_int(s.misses), as_int(s.full_cleans),
-                         as_int(s.incremental_advances), as_int(pending_rows),
-                         as_int(eng.pending().version())});
+    Row row = {Value::String(name),          as_int(s.hits),
+               as_int(s.misses),             as_int(s.full_cleans),
+               as_int(s.incremental_advances), as_int(pending_rows),
+               as_int(eng.pending().version())};
+    if (durable_ != nullptr) {
+      const DurabilityStats ds = durable_->stats();
+      row.push_back(as_int(ds.wal_records));
+      row.push_back(as_int(ds.wal_bytes));
+      row.push_back(as_int(ds.last_checkpoint_epoch));
+      row.push_back(as_int(ds.recovered_epoch));
+    }
+    out.AppendUnchecked(std::move(row));
   }
   SqlResult result;
   result.kind = SqlResultKind::kRows;

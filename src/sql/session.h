@@ -13,6 +13,7 @@
 #include "core/shared_engine.h"
 #include "core/svc.h"
 #include "sql/parser.h"
+#include "storage/durable_engine.h"
 
 namespace svc {
 
@@ -93,6 +94,13 @@ class SqlSession {
   /// A session over a shared engine (snapshot-isolated; see class comment).
   explicit SqlSession(std::shared_ptr<SharedEngine> shared)
       : shared_(std::move(shared)) {}
+  /// A session over a durable engine: shared-mode semantics, plus every
+  /// write statement is one logged commit (the handler encodes the
+  /// DurableOp it performed; DurableEngine WAL-appends it before the
+  /// commit publishes), CHECKPOINT is live, and SHOW STATS reports the
+  /// durability counters.
+  explicit SqlSession(std::shared_ptr<DurableEngine> durable)
+      : shared_(durable->shared()), durable_(std::move(durable)) {}
 
   /// True iff this session addresses a SharedEngine.
   bool is_shared() const { return shared_ != nullptr; }
@@ -111,6 +119,9 @@ class SqlSession {
   /// The shared engine (null in private mode).
   const std::shared_ptr<SharedEngine>& shared() const { return shared_; }
 
+  /// The durable engine (null unless constructed from one).
+  const std::shared_ptr<DurableEngine>& durable() const { return durable_; }
+
   /// Session-wide SVC defaults; `WITH SVC(...)` keys override per query.
   SvcQueryOptions& default_svc_options() { return svc_defaults_; }
   const SvcQueryOptions& default_svc_options() const { return svc_defaults_; }
@@ -124,13 +135,21 @@ class SqlSession {
  private:
   // Reads take the engine (a snapshot in shared mode) by const reference;
   // writes run on the engine fork handed to them by ExecWrite.
+  // Write handlers additionally encode the DurableOp they performed into
+  // `*wal` when it is non-null (durable mode; null otherwise).
   Result<SqlResult> ExecSelect(const Statement& stmt, const SvcEngine& eng);
   Result<SqlResult> ExecSvcSelect(const Statement& stmt, const SvcEngine& eng);
-  Result<SqlResult> ExecCreateTable(const Statement& stmt, SvcEngine* eng);
-  Result<SqlResult> ExecCreateView(const Statement& stmt, SvcEngine* eng);
-  Result<SqlResult> ExecInsert(const Statement& stmt, SvcEngine* eng);
-  Result<SqlResult> ExecDelete(const Statement& stmt, SvcEngine* eng);
-  Result<SqlResult> ExecRefresh(const Statement& stmt, SvcEngine* eng);
+  Result<SqlResult> ExecCreateTable(const Statement& stmt, SvcEngine* eng,
+                                    std::string* wal);
+  Result<SqlResult> ExecCreateView(const Statement& stmt, SvcEngine* eng,
+                                   std::string* wal);
+  Result<SqlResult> ExecInsert(const Statement& stmt, SvcEngine* eng,
+                               std::string* wal);
+  Result<SqlResult> ExecDelete(const Statement& stmt, SvcEngine* eng,
+                               std::string* wal);
+  Result<SqlResult> ExecRefresh(const Statement& stmt, SvcEngine* eng,
+                                std::string* wal);
+  Result<SqlResult> ExecCheckpoint();
   Result<SqlResult> ExecShowTables(const SvcEngine& eng);
   Result<SqlResult> ExecShowViews(const SvcEngine& eng);
   Result<SqlResult> ExecShowStats(const SvcEngine& eng);
@@ -138,9 +157,11 @@ class SqlSession {
   /// Runs a write statement. Private mode: directly on the owned engine.
   /// Shared mode: inside one SharedEngine::Commit, so the statement's
   /// validation + mutation are atomic and serialized against other writers,
-  /// and an error publishes nothing.
+  /// and an error publishes nothing. Durable mode: inside one
+  /// DurableEngine::CommitLogged — same atomicity, plus the handler's
+  /// payload is WAL-appended before the commit publishes.
   Result<SqlResult> ExecWrite(
-      const std::function<Result<SqlResult>(SvcEngine*)>& fn);
+      const std::function<Result<SqlResult>(SvcEngine*, std::string*)>& fn);
 
   /// Rejects targets that are views or internal delta tables; returns the
   /// base table.
@@ -176,7 +197,8 @@ class SqlSession {
                               PendingKeys* cache);
 
   std::unique_ptr<SvcEngine> own_;       ///< private mode only
-  std::shared_ptr<SharedEngine> shared_; ///< shared mode only
+  std::shared_ptr<SharedEngine> shared_; ///< shared / durable mode
+  std::shared_ptr<DurableEngine> durable_;  ///< durable mode only
   SvcQueryOptions svc_defaults_;
   std::map<std::string, PendingKeys> pending_keys_;
 };

@@ -1,0 +1,273 @@
+#include "storage/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "storage/fault.h"
+#include "storage/serde.h"
+
+namespace svc {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'V', 'C', 'K'};
+constexpr uint32_t kVersion = 1;
+constexpr char kTempName[] = "ckpt.tmp";
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+Status WriteAll(int fd, const char* data, size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Errno("checkpoint write");
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+/// fsync on the directory so the rename itself is durable.
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("open dir " + dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Errno("fsync dir " + dir);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EncodeEngineState(const SvcEngine& engine, uint64_t epoch,
+                         std::string* out) {
+  out->append(kMagic, sizeof(kMagic));
+  PutU32(out, kVersion);
+  PutU64(out, epoch);
+
+  // Base tables: everything in the catalog that is neither a registered
+  // delta table ("__"-prefixed, including "@<k>" chunks) nor a view's
+  // stored table (those are encoded with their view below).
+  std::vector<std::string> base_names;
+  for (const std::string& name : engine.db().TableNames()) {
+    if (name.rfind("__", 0) == 0) continue;
+    if (engine.HasView(name)) continue;
+    base_names.push_back(name);
+  }
+  PutU32(out, static_cast<uint32_t>(base_names.size()));
+  for (const std::string& name : base_names) {
+    PutStr(out, name);
+    EncodeTable(**engine.db().GetTable(name), out);
+  }
+
+  // Views: definition plan + sampling key + the stored table verbatim.
+  const std::vector<std::string> view_names = engine.ViewNames();
+  PutU32(out, static_cast<uint32_t>(view_names.size()));
+  for (const std::string& name : view_names) {
+    SVC_ASSIGN_OR_RETURN(const MaterializedView* view, engine.GetView(name));
+    PutStr(out, name);
+    SVC_RETURN_IF_ERROR(EncodePlan(*view->definition(), out));
+    PutU32(out, static_cast<uint32_t>(view->sampling_key().size()));
+    for (const std::string& k : view->sampling_key()) PutStr(out, k);
+    EncodeTable(**engine.db().GetTable(name), out);
+  }
+
+  EncodeDeltaSet(engine.pending(), out);
+  return Status::OK();
+}
+
+Result<EngineState> DecodeEngineState(std::string_view bytes) {
+  ByteReader r(bytes);
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad checkpoint magic");
+  }
+  ByteReader body(bytes.substr(sizeof(kMagic)));
+  SVC_ASSIGN_OR_RETURN(uint32_t version, body.U32());
+  if (version != kVersion) {
+    return Status::NotSupported("checkpoint format version " +
+                                std::to_string(version) + " (expected " +
+                                std::to_string(kVersion) + ")");
+  }
+  SVC_ASSIGN_OR_RETURN(uint64_t epoch, body.U64());
+
+  Database db;
+  SVC_ASSIGN_OR_RETURN(uint32_t n_base, body.U32());
+  for (uint32_t i = 0; i < n_base; ++i) {
+    SVC_ASSIGN_OR_RETURN(std::string name, body.Str());
+    SVC_ASSIGN_OR_RETURN(Table table, DecodeTable(&body));
+    SVC_RETURN_IF_ERROR(db.CreateTable(name, std::move(table)));
+  }
+
+  EngineState state{SvcEngine(std::move(db))};
+  state.epoch = epoch;
+
+  SVC_ASSIGN_OR_RETURN(uint32_t n_views, body.U32());
+  for (uint32_t i = 0; i < n_views; ++i) {
+    SVC_ASSIGN_OR_RETURN(std::string name, body.Str());
+    SVC_ASSIGN_OR_RETURN(PlanPtr def, DecodePlan(&body));
+    SVC_ASSIGN_OR_RETURN(uint32_t n_key, body.U32());
+    std::vector<std::string> sampling_key;
+    sampling_key.reserve(n_key);
+    for (uint32_t k = 0; k < n_key; ++k) {
+      SVC_ASSIGN_OR_RETURN(std::string s, body.Str());
+      sampling_key.push_back(std::move(s));
+    }
+    SVC_ASSIGN_OR_RETURN(Table stored, DecodeTable(&body));
+    // CreateView rebuilds the view metadata (stored schema, derived pk,
+    // maintenance plan) deterministically from the definition, then the
+    // materialized result is replaced with the checkpointed table — the
+    // incrementally-maintained bytes, not a recomputation (double
+    // aggregates maintained incrementally are not bitwise equal to a
+    // recompute, and recovery must be bit-exact).
+    SVC_RETURN_IF_ERROR(
+        state.engine.CreateView(name, std::move(def), std::move(sampling_key)));
+    state.engine.db()->PutTable(name, std::move(stored));
+  }
+
+  SVC_ASSIGN_OR_RETURN(DeltaSet pending,
+                       DecodeDeltaSet(&body, *state.engine.db()));
+  if (!pending.empty()) {
+    SVC_RETURN_IF_ERROR(state.engine.IngestDeltas(std::move(pending)));
+  }
+  if (!body.AtEnd()) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(body.remaining()) +
+        " trailing byte(s)");
+  }
+  return state;
+}
+
+std::string CheckpointFileName(uint64_t epoch) {
+  return "checkpoint-" + std::to_string(epoch) + ".ckpt";
+}
+
+std::string WalFileName(uint64_t epoch) {
+  return "wal-" + std::to_string(epoch) + ".log";
+}
+
+Status WriteCheckpointFile(const std::string& dir, uint64_t epoch,
+                           const std::string& state_bytes) {
+  FaultInjector& fault = FaultInjector::Global();
+  const std::string tmp_path = dir + "/" + kTempName;
+  const std::string final_path = dir + "/" + CheckpointFileName(epoch);
+
+  // One CRC-framed record, same frame format as the WAL.
+  std::string frame;
+  frame.reserve(8 + state_bytes.size());
+  PutU32(&frame, static_cast<uint32_t>(state_bytes.size()));
+  PutU32(&frame, Crc32(state_bytes));
+  frame += state_bytes;
+
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open " + tmp_path);
+  if (fault.ShouldTrigger("ckpt.tear")) {
+    // Crash mid-checkpoint: half the frame reaches the temp file. The
+    // real checkpoint name never appears, so recovery falls back to the
+    // previous checkpoint + WAL.
+    (void)WriteAll(fd, frame.data(), frame.size() / 2);
+    (void)::fsync(fd);
+    fault.CrashNow("ckpt.tear");
+  }
+  Status write_st = WriteAll(fd, frame.data(), frame.size());
+  if (write_st.ok() && ::fsync(fd) != 0) write_st = Errno("fsync " + tmp_path);
+  ::close(fd);
+  if (!write_st.ok()) {
+    (void)::unlink(tmp_path.c_str());
+    return write_st;
+  }
+
+  fault.MaybeCrash("ckpt.pre_rename");
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return Errno("rename " + tmp_path + " -> " + final_path);
+  }
+  SVC_RETURN_IF_ERROR(SyncDir(dir));
+  fault.MaybeCrash("ckpt.post_rename");
+  return Status::OK();
+}
+
+Result<std::string> ReadCheckpointFile(const std::string& dir,
+                                       uint64_t epoch) {
+  const std::string path = dir + "/" + CheckpointFileName(epoch);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string data = buf.str();
+  if (data.size() < 8) {
+    return Status::InvalidArgument("checkpoint " + path + " is truncated (" +
+                                   std::to_string(data.size()) + " bytes)");
+  }
+  ByteReader header(std::string_view(data).substr(0, 8));
+  const uint32_t len = header.U32().value();
+  const uint32_t crc = header.U32().value();
+  if (data.size() - 8 != len) {
+    return Status::InvalidArgument(
+        "checkpoint " + path + " length mismatch: frame promises " +
+        std::to_string(len) + " byte(s), file holds " +
+        std::to_string(data.size() - 8));
+  }
+  const std::string_view payload = std::string_view(data).substr(8);
+  const uint32_t actual = Crc32(payload);
+  if (actual != crc) {
+    return Status::InvalidArgument(
+        "checkpoint " + path + " CRC mismatch (stored " + std::to_string(crc) +
+        ", computed " + std::to_string(actual) + ")");
+  }
+  return std::string(payload);
+}
+
+std::vector<uint64_t> ListCheckpointEpochs(const std::string& dir) {
+  std::vector<uint64_t> epochs;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("checkpoint-", 0) != 0) continue;
+    const size_t dot = name.rfind(".ckpt");
+    if (dot == std::string::npos || dot <= 11) continue;
+    const std::string digits = name.substr(11, dot - 11);
+    char* end = nullptr;
+    const uint64_t epoch = std::strtoull(digits.c_str(), &end, 10);
+    if (end != digits.c_str() && *end == '\0') epochs.push_back(epoch);
+  }
+  std::sort(epochs.rbegin(), epochs.rend());
+  return epochs;
+}
+
+void RemoveStaleDurableFiles(const std::string& dir, uint64_t keep) {
+  std::error_code ec;
+  std::filesystem::remove(dir + "/" + kTempName, ec);
+  for (uint64_t epoch : ListCheckpointEpochs(dir)) {
+    if (epoch >= keep) continue;
+    std::filesystem::remove(dir + "/" + CheckpointFileName(epoch), ec);
+    std::filesystem::remove(dir + "/" + WalFileName(epoch), ec);
+  }
+  // A WAL can outlive its checkpoint (e.g. a crash after the checkpoint
+  // rename but before rotation): sweep orphaned logs too.
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) != 0) continue;
+    const size_t dot = name.rfind(".log");
+    if (dot == std::string::npos || dot <= 4) continue;
+    const std::string digits = name.substr(4, dot - 4);
+    char* end = nullptr;
+    const uint64_t epoch = std::strtoull(digits.c_str(), &end, 10);
+    if (end != digits.c_str() && *end == '\0' && epoch < keep) {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+}
+
+}  // namespace svc

@@ -1,0 +1,61 @@
+#ifndef SVC_STORAGE_CHECKPOINT_H_
+#define SVC_STORAGE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/svc.h"
+
+namespace svc {
+
+/// A decoded checkpoint: the engine state published at `epoch`.
+struct EngineState {
+  uint64_t epoch = 0;
+  SvcEngine engine;
+
+  explicit EngineState(SvcEngine e) : engine(std::move(e)) {}
+};
+
+/// Serializes one immutable engine snapshot: base tables (bit-exact rows,
+/// primary keys), views (definition plan + sampling key + the *stored*
+/// table — persisted verbatim rather than re-materialized at recovery,
+/// because incrementally-maintained double aggregates are not bitwise
+/// reproducible by recomputation), and the pending delta queue. The
+/// cleaned-sample cache is deliberately not persisted: it is a cache,
+/// rebuilt cold, and answers are bit-identical with it cold or warm.
+Status EncodeEngineState(const SvcEngine& engine, uint64_t epoch,
+                         std::string* out);
+Result<EngineState> DecodeEngineState(std::string_view bytes);
+
+/// File names inside a data directory: "checkpoint-<epoch>.ckpt" paired
+/// with "wal-<epoch>.log" holding the records for epochs > <epoch>.
+std::string CheckpointFileName(uint64_t epoch);
+std::string WalFileName(uint64_t epoch);
+
+/// Writes `state_bytes` as `dir`/checkpoint-<epoch>.ckpt using the
+/// standard atomic dance: write to a temp file, fsync it, rename into
+/// place, fsync the directory. A crash at any point (fault sites
+/// "ckpt.tear", "ckpt.pre_rename", "ckpt.post_rename") leaves either the
+/// old checkpoint set or the new file fully in place — never a
+/// half-written checkpoint under the real name.
+Status WriteCheckpointFile(const std::string& dir, uint64_t epoch,
+                           const std::string& state_bytes);
+
+/// Reads and CRC-validates `dir`/checkpoint-<epoch>.ckpt.
+Result<std::string> ReadCheckpointFile(const std::string& dir, uint64_t epoch);
+
+/// Epochs of every checkpoint file present in `dir`, descending (newest
+/// first).
+std::vector<uint64_t> ListCheckpointEpochs(const std::string& dir);
+
+/// Deletes checkpoint/WAL files whose base epoch is older than `keep`
+/// (after a successful checkpoint or recovery, earlier files are fully
+/// superseded). Also removes a leftover checkpoint temp file.
+void RemoveStaleDurableFiles(const std::string& dir, uint64_t keep);
+
+}  // namespace svc
+
+#endif  // SVC_STORAGE_CHECKPOINT_H_

@@ -1,0 +1,83 @@
+#include "storage/fault.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace svc {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = [] {
+    auto* inj = new FaultInjector();
+    const char* spec = std::getenv("SVC_FAULT");
+    if (spec != nullptr && spec[0] != '\0') {
+      Status st = inj->ArmFromSpec(spec);
+      if (!st.ok()) {
+        std::fprintf(stderr, "warning: ignoring SVC_FAULT: %s\n",
+                     st.ToString().c_str());
+      }
+    }
+    return inj;
+  }();
+  return *instance;
+}
+
+void FaultInjector::Arm(const std::string& site, uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  site_ = site;
+  nth_ = nth == 0 ? 1 : nth;
+  hits_.clear();
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  site_.clear();
+  nth_ = 0;
+  hits_.clear();
+}
+
+Status FaultInjector::ArmFromSpec(const std::string& spec) {
+  std::string site = spec;
+  uint64_t nth = 1;
+  const size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    site = spec.substr(0, colon);
+    const std::string count = spec.substr(colon + 1);
+    char* end = nullptr;
+    nth = std::strtoull(count.c_str(), &end, 10);
+    if (end == count.c_str() || *end != '\0' || nth == 0) {
+      return Status::InvalidArgument("bad fault spec '" + spec +
+                                     "'; expected site or site:nth");
+    }
+  }
+  if (site.empty()) {
+    return Status::InvalidArgument("empty fault site in spec '" + spec + "'");
+  }
+  Arm(site, nth);
+  return Status::OK();
+}
+
+bool FaultInjector::armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !site_.empty();
+}
+
+bool FaultInjector::ShouldTrigger(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (site_.empty() || site_ != site) return false;
+  return ++hits_[site_] == nth_;
+}
+
+void FaultInjector::MaybeCrash(const char* site) {
+  if (ShouldTrigger(site)) CrashNow(site);
+}
+
+void FaultInjector::CrashNow(const char* site) {
+  std::fprintf(stderr, "[fault] injected crash at %s\n", site);
+  // _exit: no destructor runs, no stream flushes — the process dies as
+  // abruptly as a power cut, leaving only the bytes already written.
+  _exit(kCrashExitCode);
+}
+
+}  // namespace svc

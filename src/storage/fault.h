@@ -1,0 +1,76 @@
+#ifndef SVC_STORAGE_FAULT_H_
+#define SVC_STORAGE_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace svc {
+
+/// Deterministic crash-fault injection for the durability layer. Code on
+/// the durable write path declares named *crash sites* (e.g.
+/// "wal.append.torn", "ckpt.pre_rename") by calling MaybeCrash /
+/// ShouldTrigger at the exact instruction where a real power loss would be
+/// most damaging. A test (or the SVC_FAULT environment variable) arms one
+/// site for its Nth hit; when the armed hit occurs the process dies via
+/// _exit — no destructors, no stream flushes, no atexit handlers — so
+/// whatever bytes reached the file system are exactly what recovery sees.
+///
+/// Disarmed (the default, and the only state in production use), every
+/// hook is a counter bump behind one mutex on the serialized write path —
+/// no crash can ever trigger.
+///
+/// The kill-and-recover harness (tests/test_recovery.cc) forks a child,
+/// arms the injector there, replays a seeded workload until the crash,
+/// then recovers the directory in the parent and diffs answers bit-for-bit
+/// against a never-crashed replica.
+class FaultInjector {
+ public:
+  /// The singleton; parses SVC_FAULT ("site" or "site:nth") once on first
+  /// access.
+  static FaultInjector& Global();
+
+  /// Arms `site` to crash on its `nth` hit (1-based). Replaces any
+  /// previous arming and resets hit counters.
+  void Arm(const std::string& site, uint64_t nth = 1);
+
+  /// Disarms and resets hit counters.
+  void Disarm();
+
+  /// Parses "site" or "site:nth" and arms it.
+  Status ArmFromSpec(const std::string& spec);
+
+  bool armed() const;
+
+  /// Records a hit of `site`; returns true iff this hit is the armed one.
+  /// Callers that return true must inflict their site-specific partial
+  /// damage (e.g. write half a frame) and then call CrashNow.
+  bool ShouldTrigger(const char* site);
+
+  /// ShouldTrigger + CrashNow in one step, for sites with no partial
+  /// damage to write.
+  void MaybeCrash(const char* site);
+
+  /// Immediate process death (_exit, skipping all cleanup), with a one-line
+  /// note on stderr naming the site.
+  [[noreturn]] void CrashNow(const char* site);
+
+  /// Exit code of an injected crash, distinct from ordinary failures so
+  /// harnesses can assert the crash actually fired.
+  static constexpr int kCrashExitCode = 87;
+
+ private:
+  FaultInjector() = default;
+
+  mutable std::mutex mu_;
+  std::string site_;
+  uint64_t nth_ = 0;
+  std::map<std::string, uint64_t> hits_;
+};
+
+}  // namespace svc
+
+#endif  // SVC_STORAGE_FAULT_H_

@@ -1,0 +1,98 @@
+#ifndef SVC_STORAGE_WAL_H_
+#define SVC_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace svc {
+
+/// When a WAL append reaches the disk platter.
+enum class FsyncPolicy {
+  kAlways,  ///< fsync after every record (full durability)
+  kEveryN,  ///< fsync every `interval` records (bounded-loss batching)
+  kOff,     ///< never fsync; the OS flushes on its own schedule
+};
+
+struct WalOptions {
+  FsyncPolicy policy = FsyncPolicy::kAlways;
+  /// For kEveryN: fsync after every `interval`-th record.
+  size_t interval = 8;
+};
+
+/// Parses "always", "off", or "every=N" (N >= 1).
+Result<WalOptions> ParseFsyncSpec(const std::string& spec);
+
+/// Appender over one log file. Frame format (docs/ARCHITECTURE.md
+/// "Durability & recovery"):
+///
+///   [u32 payload_len][u32 crc32(payload)][payload bytes]
+///
+/// both integers little-endian. Appends go through an unbuffered file
+/// descriptor (no stdio layer), so when the fault injector kills the
+/// process mid-append the on-disk prefix is exactly the bytes the write
+/// call covered — which is what makes the torn-tail recovery path testable
+/// with real file states. Crash sites: "wal.append.pre" (before any byte),
+/// "wal.append.torn" (half the frame written), "wal.append.post" (frame
+/// durable, caller has not yet published).
+class WalWriter {
+ public:
+  /// Opens `path` for appending (created if absent).
+  static Result<WalWriter> Open(const std::string& path, WalOptions opts);
+
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter();
+
+  /// Appends one CRC-framed record and applies the fsync policy.
+  Status Append(std::string_view payload);
+
+  /// Forces an fsync regardless of policy.
+  Status Sync();
+
+  /// Records / file bytes appended through this writer.
+  uint64_t records() const { return records_; }
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  WalWriter(int fd, WalOptions opts) : fd_(fd), opts_(opts) {}
+
+  int fd_ = -1;
+  WalOptions opts_;
+  uint64_t records_ = 0;
+  uint64_t bytes_ = 0;
+  size_t unsynced_ = 0;
+};
+
+/// What ReplayWal found in the log.
+struct WalReplayInfo {
+  uint64_t records = 0;      ///< complete, CRC-valid records replayed
+  uint64_t valid_bytes = 0;  ///< file offset just past the last good frame
+  bool torn_tail = false;    ///< a trailing partial frame was dropped
+  std::string warning;       ///< human-readable tear note ("" if clean)
+};
+
+/// Replays every complete record of `path` through `fn` in order. A
+/// missing file is an empty log. A trailing *incomplete* frame — fewer
+/// bytes than the header or the header's payload length promises, i.e. a
+/// torn final append — is graceful degradation: replay stops at the last
+/// complete frame, `info` describes the tear, and the Status is OK. A
+/// *complete* frame whose CRC mismatches is corruption, not a tear, and
+/// fails with a diagnostic naming the byte offset. `fn`'s own error aborts
+/// the replay.
+Status ReplayWal(const std::string& path,
+                 const std::function<Status(std::string_view)>& fn,
+                 WalReplayInfo* info);
+
+/// Truncates `path` to `size` bytes (used to drop a torn tail for good, so
+/// the next append starts on a frame boundary).
+Status TruncateFile(const std::string& path, uint64_t size);
+
+}  // namespace svc
+
+#endif  // SVC_STORAGE_WAL_H_

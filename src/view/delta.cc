@@ -1,5 +1,7 @@
 #include "view/delta.h"
 
+#include <algorithm>
+#include <cstddef>
 #include <set>
 
 namespace svc {
@@ -30,6 +32,41 @@ void DeltaSet::SealInto(const Side& from, Side* to) {
     to->chunks.push_back(std::make_shared<Table>(from.tail));
   }
   to->tail = Table(from.tail.schema());
+  CompactChunks(&to->chunks);
+}
+
+void DeltaSet::CompactChunks(
+    std::vector<std::shared_ptr<const Table>>* chunks) {
+  size_t rows = 0;
+  for (const auto& c : *chunks) rows += c->NumRows();
+  if (rows == 0) return;
+  size_t log2_rows = 0;
+  for (size_t n = rows; n > 1; n >>= 1) ++log2_rows;
+  const size_t cap = std::max<size_t>(4, 2 * (log2_rows + 1));
+  if (chunks->size() <= cap) return;
+  // Compact to half the cap (hysteresis: per-commit forks then grow the
+  // list back instead of re-merging every time). Merging the adjacent
+  // pair with the fewest combined rows keeps big, settled chunks from
+  // being recopied while small per-commit chunks coalesce.
+  const size_t target = std::max<size_t>(2, cap / 2);
+  while (chunks->size() > target) {
+    size_t best = 0;
+    size_t best_rows = static_cast<size_t>(-1);
+    for (size_t i = 0; i + 1 < chunks->size(); ++i) {
+      const size_t n = (*chunks)[i]->NumRows() + (*chunks)[i + 1]->NumRows();
+      if (n < best_rows) {
+        best_rows = n;
+        best = i;
+      }
+    }
+    auto merged = std::make_shared<Table>((*chunks)[best]->schema());
+    for (const Row& r : (*chunks)[best]->rows()) merged->AppendUnchecked(r);
+    for (const Row& r : (*chunks)[best + 1]->rows()) {
+      merged->AppendUnchecked(r);
+    }
+    (*chunks)[best] = std::move(merged);
+    chunks->erase(chunks->begin() + static_cast<ptrdiff_t>(best) + 1);
+  }
 }
 
 DeltaSet::DeltaSet(const DeltaSet& other) : version_(other.version_) {
@@ -258,6 +295,13 @@ Status DeltaSet::Register(Database* db) const {
       for (size_t k = 0; k < s.chunks.size(); ++k) {
         db->PutTableShared(DeltaChunkName(base, k), s.chunks[k]);
       }
+      // Compaction can shrink the chunk count between forks; drop the
+      // trailing names a wider previous registration left behind so the
+      // catalog doesn't pin (or double-expose) retired chunks.
+      for (size_t k = s.chunks.size(); db->HasTable(DeltaChunkName(base, k));
+           ++k) {
+        (void)db->DropTable(DeltaChunkName(base, k));
+      }
       db->PutTable(base, s.tail);
     }
   };
@@ -288,7 +332,12 @@ Status DeltaSet::ApplyToBase(Database* db) {
   auto drop = [&](const std::map<std::string, Side>& sides, auto name_of) {
     for (const auto& [rel, s] : sides) {
       const std::string base = name_of(rel);
-      for (size_t k = 0; k < s.chunks.size(); ++k) {
+      size_t k = 0;
+      for (; k < s.chunks.size(); ++k) {
+        (void)db->DropTable(DeltaChunkName(base, k));
+      }
+      // Also sweep stale names beyond the (possibly compacted) chunk count.
+      for (; db->HasTable(DeltaChunkName(base, k)); ++k) {
         (void)db->DropTable(DeltaChunkName(base, k));
       }
       (void)db->DropTable(base);

@@ -160,6 +160,17 @@ class DeltaSet {
   };
 
   static void SealInto(const Side& from, Side* to);
+  /// Geometric compaction: when the sealed-chunk count exceeds
+  /// 2 × log2(rows), adjacent chunks are merged (smallest pair first,
+  /// preserving queue order) down to half that cap. Long maintenance
+  /// periods with per-commit forking (a SharedEngine ingesting thousands
+  /// of single-row commits between REFRESHes) would otherwise accumulate
+  /// one chunk per commit — O(commits) catalog names per view plan and
+  /// O(chunks) pointer copies per fork. Merging only above the log bound
+  /// keeps per-row copy work amortized O(log rows) while the logical row
+  /// sequence — and therefore every answer — is unchanged (results are
+  /// chunking-independent by construction).
+  static void CompactChunks(std::vector<std::shared_ptr<const Table>>* chunks);
   Result<Side*> SideFor(const Database& db, const std::string& relation,
                         std::map<std::string, Side>* sides);
   static std::vector<std::string> TableNamesFor(

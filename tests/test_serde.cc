@@ -1,0 +1,204 @@
+// Exact-binary serde (storage/serde.h): values round-trip with their exact
+// type tag and IEEE bit pattern (NaN payloads, -0.0, non-representable
+// decimals), tables with schema + primary key, plans/exprs structurally,
+// and truncated or tampered buffers fail with a Status instead of UB.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "sql/planner.h"
+#include "storage/serde.h"
+#include "tests/test_util.h"
+
+namespace svc {
+namespace {
+
+using testing_util::MakeLogVideoDb;
+
+uint64_t BitsOf(double d) {
+  uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+TEST(SerdeTest, PrimitivesRoundTrip) {
+  std::string buf;
+  PutU8(&buf, 0xab);
+  PutU32(&buf, 0xdeadbeef);
+  PutU64(&buf, 0x0123456789abcdefULL);
+  PutI64(&buf, -42);
+  PutF64(&buf, 0.1);
+  PutStr(&buf, "hello");
+  ByteReader r(buf);
+  EXPECT_EQ(r.U8().value(), 0xab);
+  EXPECT_EQ(r.U32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64().value(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.I64().value(), -42);
+  EXPECT_EQ(BitsOf(r.F64().value()), BitsOf(0.1));
+  EXPECT_EQ(r.Str().value(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, ReaderFailsGracefullyOnTruncation) {
+  std::string buf;
+  PutU64(&buf, 7);
+  // Every proper prefix must yield a clean error from some getter, never a
+  // read past the end.
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    ByteReader r(std::string_view(buf).substr(0, cut));
+    auto got = r.U64();
+    ASSERT_FALSE(got.ok()) << "cut=" << cut;
+    EXPECT_NE(got.status().ToString().find("truncated"), std::string::npos);
+  }
+  // A length-prefixed string whose payload is cut short also fails.
+  std::string s;
+  PutStr(&s, "abcdef");
+  ByteReader r(std::string_view(s).substr(0, s.size() - 2));
+  EXPECT_FALSE(r.Str().ok());
+}
+
+TEST(SerdeTest, ValueRoundTripIsBitExact) {
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const Value values[] = {
+      Value::Null(),         Value::Int(-5),
+      Value::Int(3),         Value::Double(0.1),
+      Value::Double(-0.0),   Value::Double(kNan),
+      Value::Double(3.0),  // integral double must NOT collapse to Int(3)
+      Value::String(""),     Value::String("a\0b"),
+  };
+  for (const Value& v : values) {
+    std::string buf;
+    EncodeValue(v, &buf);
+    ByteReader r(buf);
+    Value got = DecodeValue(&r).value();
+    ASSERT_EQ(got.type(), v.type()) << v.ToString();
+    if (v.type() == ValueType::kDouble) {
+      EXPECT_EQ(BitsOf(got.AsDouble()), BitsOf(v.AsDouble())) << v.ToString();
+    } else if (v.type() == ValueType::kInt) {
+      EXPECT_EQ(got.AsInt(), v.AsInt());
+    } else if (v.type() == ValueType::kString) {
+      EXPECT_EQ(got.AsString(), v.AsString());
+    }
+    EXPECT_TRUE(r.AtEnd());
+  }
+  // The exactness this codec exists for: Value::EncodeTo collapses
+  // Double(3.0) and Int(3) into one canonical form; this codec must not.
+  std::string d3, i3;
+  EncodeValue(Value::Double(3.0), &d3);
+  EncodeValue(Value::Int(3), &i3);
+  EXPECT_NE(d3, i3);
+}
+
+TEST(SerdeTest, BadValueTagFailsDecode) {
+  std::string buf;
+  PutU8(&buf, 0x7f);
+  ByteReader r(buf);
+  EXPECT_FALSE(DecodeValue(&r).ok());
+}
+
+TEST(SerdeTest, TableRoundTripPreservesSchemaKeyAndRows) {
+  Database db = MakeLogVideoDb();
+  const Table& video = **db.GetTable("Video");
+  std::string buf;
+  EncodeTable(video, &buf);
+  ByteReader r(buf);
+  Table got = DecodeTable(&r).value();
+  EXPECT_TRUE(r.AtEnd());
+  ASSERT_EQ(got.NumRows(), video.NumRows());
+  ASSERT_TRUE(got.HasPrimaryKey());
+  EXPECT_EQ(got.pk_indices(), video.pk_indices());
+  ASSERT_EQ(got.schema().NumColumns(), video.schema().NumColumns());
+  for (size_t c = 0; c < video.schema().NumColumns(); ++c) {
+    EXPECT_EQ(got.schema().column(c).name, video.schema().column(c).name);
+    EXPECT_EQ(got.schema().column(c).type, video.schema().column(c).type);
+  }
+  for (size_t i = 0; i < video.NumRows(); ++i) {
+    for (size_t c = 0; c < video.schema().NumColumns(); ++c) {
+      EXPECT_TRUE(got.row(i)[c] == video.row(i)[c]);
+    }
+  }
+}
+
+TEST(SerdeTest, TableDecodeRejectsDuplicateKeys) {
+  Table t(Schema({{"", "k", ValueType::kInt}}));
+  ASSERT_TRUE(t.SetPrimaryKey({"k"}).ok());
+  t.AppendUnchecked({Value::Int(1)});
+  t.AppendUnchecked({Value::Int(1)});  // bypasses the index on purpose
+  std::string buf;
+  EncodeTable(t, &buf);
+  ByteReader r(buf);
+  EXPECT_FALSE(DecodeTable(&r).ok());
+}
+
+TEST(SerdeTest, ExprRoundTripViaToString) {
+  const char* exprs[] = {
+      "a + b * 2",
+      "NOT (x > 1 AND y <= 0.5) OR name = 'joe'",
+      "abs(duration - 1.5)",
+      "videoId IS NULL",
+  };
+  for (const char* s : exprs) {
+    ExprPtr e = ParseScalarExpr(s).value();
+    std::string buf;
+    EncodeExpr(*e, &buf);
+    ByteReader r(buf);
+    ExprPtr got = DecodeExpr(&r).value();
+    EXPECT_TRUE(r.AtEnd());
+    EXPECT_EQ(got->ToString(), e->ToString()) << s;
+  }
+}
+
+TEST(SerdeTest, PlanRoundTripViaToString) {
+  Database db = MakeLogVideoDb();
+  const char* queries[] = {
+      "SELECT videoId FROM Video WHERE duration > 1.0",
+      "SELECT Log.videoId, COUNT(1) AS visitCount FROM Log, Video "
+      "WHERE Log.videoId = Video.videoId GROUP BY Log.videoId",
+      "SELECT sessionId FROM Log UNION SELECT videoId FROM Video",
+  };
+  for (const char* q : queries) {
+    PlanPtr plan = SqlToPlan(q, db).value();
+    std::string buf;
+    ASSERT_TRUE(EncodePlan(*plan, &buf).ok()) << q;
+    ByteReader r(buf);
+    PlanPtr got = DecodePlan(&r).value();
+    EXPECT_TRUE(r.AtEnd());
+    EXPECT_EQ(got->ToString(), plan->ToString()) << q;
+  }
+}
+
+TEST(SerdeTest, DeltaSetRoundTripPreservesQueueOrder) {
+  Database db = MakeLogVideoDb();
+  DeltaSet deltas;
+  ASSERT_TRUE(
+      deltas.AddInsert(db, "Log", {Value::Int(100), Value::Int(4)}).ok());
+  ASSERT_TRUE(
+      deltas.AddInsert(db, "Log", {Value::Int(101), Value::Int(1)}).ok());
+  ASSERT_TRUE(
+      deltas.AddDelete(db, "Log", {Value::Int(0), Value::Int(1)}).ok());
+  std::string buf;
+  EncodeDeltaSet(deltas, &buf);
+  ByteReader r(buf);
+  DeltaSet got = DecodeDeltaSet(&r, db).value();
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(got.InsertRows("Log"), 2u);
+  EXPECT_EQ(got.DeleteRows("Log"), 1u);
+  std::vector<int64_t> order;
+  got.ForEachInsert("Log", [&](const Row& row) {
+    order.push_back(row[0].AsInt());
+  });
+  EXPECT_EQ(order, (std::vector<int64_t>{100, 101}));
+}
+
+TEST(SerdeTest, Crc32MatchesKnownVector) {
+  // The standard check value for CRC-32/ISO-HDLC.
+  EXPECT_EQ(Crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+}  // namespace
+}  // namespace svc

@@ -143,6 +143,58 @@ TEST(SharedEngineTest, FailedRefreshLeavesEngineUntouched) {
             base_rows_before);
 }
 
+// ---- Geometric chunk compaction (DeltaSet::CompactChunks) -----------------
+
+TEST(SharedEngineTest, ThousandCommitMaintenancePeriodStaysCompact) {
+  // One insert per commit for a thousand commits between REFRESHes: the
+  // CoW queue seals one chunk per fork, so without compaction the pending
+  // queue would hold ~1000 chunks (and catalog names). The geometric
+  // policy bounds it at 2*log2(rows) (+1 pre-compaction, +1 tail).
+  auto shared = MakeSharedEngine();
+  for (int64_t i = 0; i < 1000; ++i) {
+    SVC_ASSERT_OK(shared->InsertRecord(
+        "Log", {Value::Int(1000 + i), Value::Int(i % 5 + 1)}));
+  }
+  SnapshotPtr snap = shared->Snapshot();
+  EXPECT_EQ(snap->engine.pending().InsertRows("Log"), 1000u);
+  const size_t kBound = 2 * 10 + 2;  // cap for 1000 rows, +1 growth slack
+  EXPECT_LE(snap->engine.pending().InsertTableNames("Log").size(), kBound);
+  // The catalog must not accumulate stale chunk names from wider,
+  // pre-compaction registrations (Register drops trailing leftovers).
+  size_t chunk_names = 0;
+  for (const auto& name : snap->engine.db().TableNames()) {
+    if (name.rfind("__ins_Log@", 0) == 0) ++chunk_names;
+  }
+  EXPECT_LE(chunk_names, kBound);
+
+  // Chunking-independence: a private engine that queued the same rows
+  // without any forking (one big tail) answers bit-identically.
+  SvcEngine flat(MakeLogVideoDb());
+  SVC_ASSERT_OK(flat.CreateView(
+      "visitView", SqlToPlan(kVisitViewSql, *flat.db()).value()));
+  for (int64_t i = 0; i < 1000; ++i) {
+    SVC_ASSERT_OK(flat.InsertRecord(
+        "Log", {Value::Int(1000 + i), Value::Int(i % 5 + 1)}));
+  }
+  AggregateQuery q = AggregateQuery::Sum(Expr::Col("visitCount"));
+  SvcQueryOptions opts;
+  opts.ratio = 0.5;
+  SvcAnswer chunked = snap->engine.Query("visitView", q, opts).value();
+  SvcAnswer tail_only = flat.Query("visitView", q, opts).value();
+  EXPECT_EQ(chunked.estimate.value, tail_only.estimate.value);
+  EXPECT_EQ(chunked.estimate.ci_low, tail_only.estimate.ci_low);
+  EXPECT_EQ(chunked.estimate.ci_high, tail_only.estimate.ci_high);
+  EXPECT_EQ(chunked.estimate.sample_rows, tail_only.estimate.sample_rows);
+
+  // REFRESH commits the full logical sequence regardless of chunking.
+  SVC_ASSERT_OK(shared->Refresh());
+  EXPECT_EQ(
+      shared->Snapshot()->engine.db().GetTable("Log").value()->NumRows(),
+      1010u);
+  SVC_ASSERT_OK(flat.MaintainAll());
+  EXPECT_EQ(StaleSum(shared->Snapshot()->engine), StaleSum(flat));
+}
+
 TEST(SharedEngineTest, FailedSharedRefreshKeepsHeadAndPendingIntact) {
   auto shared = MakeSharedEngine();
   SVC_ASSERT_OK(shared->Commit([](SvcEngine* e) {

@@ -14,6 +14,10 @@
 //   svc_shell --shared             run on a snapshot-isolated SharedEngine
 //                                  (statement semantics are identical; this
 //                                  exercises the multi-session engine mode)
+//   svc_shell --data-dir <dir>     durable mode: recover <dir> at startup,
+//                                  WAL every write, checkpoint on clean exit
+//   svc_shell --fsync <p>          WAL fsync policy: always | off | every=N
+//   svc_shell --checkpoint-every N auto-checkpoint after N logged commits
 
 #include <unistd.h>
 
@@ -27,6 +31,7 @@
 
 #include "core/shared_engine.h"
 #include "shell/shell.h"
+#include "storage/durable_engine.h"
 
 namespace {
 
@@ -34,6 +39,8 @@ int Usage(const char* argv0, int rc) {
   std::fprintf(rc == 0 ? stdout : stderr,
                "usage: %s [--file <script.sql>] [-c <sql>] [--echo] "
                "[--keep-going] [--shared]\n"
+               "          [--data-dir <dir>] [--fsync always|off|every=N] "
+               "[--checkpoint-every <n>]\n"
                "  no arguments: interactive shell (statements end with ';')\n",
                argv0);
   return rc;
@@ -47,19 +54,26 @@ int main(int argc, char** argv) {
   bool has_file = false;
   bool has_inline = false;
   bool shared = false;
+  svc::DurableOptions durable_opts;
   svc::ShellOptions opts;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strcmp(arg, "--file") == 0 || std::strcmp(arg, "-c") == 0) {
+    auto value_of = [&](const char** out) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: %s requires a value\n", arg);
-        return Usage(argv[0], 2);
+        return false;
       }
+      *out = argv[++i];
+      return true;
+    };
+    if (std::strcmp(arg, "--file") == 0 || std::strcmp(arg, "-c") == 0) {
+      const char* v = nullptr;
+      if (!value_of(&v)) return Usage(argv[0], 2);
       if (arg[1] == 'c') {
-        inline_sql = argv[++i];
+        inline_sql = v;
         has_inline = true;
       } else {
-        file = argv[++i];
+        file = v;
         has_file = true;
       }
     } else if (std::strcmp(arg, "--echo") == 0) {
@@ -68,6 +82,29 @@ int main(int argc, char** argv) {
       opts.keep_going = true;
     } else if (std::strcmp(arg, "--shared") == 0) {
       shared = true;
+    } else if (std::strcmp(arg, "--data-dir") == 0) {
+      const char* v = nullptr;
+      if (!value_of(&v)) return Usage(argv[0], 2);
+      durable_opts.data_dir = v;
+    } else if (std::strcmp(arg, "--fsync") == 0) {
+      const char* v = nullptr;
+      if (!value_of(&v)) return Usage(argv[0], 2);
+      auto parsed = svc::ParseFsyncSpec(v);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     parsed.status().ToString().c_str());
+        return Usage(argv[0], 2);
+      }
+      durable_opts.wal = *parsed;
+    } else if (std::strcmp(arg, "--checkpoint-every") == 0) {
+      const char* v = nullptr;
+      if (!value_of(&v)) return Usage(argv[0], 2);
+      char* end = nullptr;
+      durable_opts.checkpoint_every = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr, "error: --checkpoint-every expects a count\n");
+        return Usage(argv[0], 2);
+      }
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       return Usage(argv[0], 0);
     } else {
@@ -87,15 +124,66 @@ int main(int argc, char** argv) {
                  has_file ? "--file" : "-c");
     return Usage(argv[0], 2);
   }
+  const bool durable = !durable_opts.data_dir.empty();
+  if ((durable_opts.wal.policy != svc::FsyncPolicy::kAlways ||
+       durable_opts.checkpoint_every != 0) &&
+      !durable) {
+    std::fprintf(stderr,
+                 "error: --fsync / --checkpoint-every require --data-dir\n");
+    return Usage(argv[0], 2);
+  }
+
+  // Durable mode: recover (or initialize) the data directory, then run the
+  // session on the recovered engine. Recovery details go to stderr so
+  // transcripts (stdout) stay reproducible.
+  std::shared_ptr<svc::DurableEngine> durable_engine;
+  if (durable) {
+    svc::RecoveryReport report;
+    auto opened = svc::DurableEngine::Open(durable_opts, &report);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error: cannot open %s: %s\n",
+                   durable_opts.data_dir.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    durable_engine = std::move(opened).value();
+    if (!report.warning.empty()) {
+      std::fprintf(stderr, "warning: %s\n", report.warning.c_str());
+    }
+    std::fprintf(stderr,
+                 "recovered %s at epoch %llu (checkpoint %llu + %llu WAL "
+                 "record(s))\n",
+                 durable_opts.data_dir.c_str(),
+                 static_cast<unsigned long long>(report.recovered_epoch),
+                 static_cast<unsigned long long>(report.checkpoint_epoch),
+                 static_cast<unsigned long long>(report.wal_records_replayed));
+  }
 
   // --shared runs the identical statement stream on a SharedEngine: this
   // single session is the degenerate case of many concurrent sessions, so
   // transcripts (e.g. the quickstart golden) must match private mode.
+  // --data-dir implies shared-mode semantics on the recovered engine.
   svc::SqlSession session =
-      shared ? svc::SqlSession(
-                   std::make_shared<svc::SharedEngine>(svc::Database()))
-             : svc::SqlSession();
+      durable ? svc::SqlSession(durable_engine)
+      : shared ? svc::SqlSession(
+                     std::make_shared<svc::SharedEngine>(svc::Database()))
+               : svc::SqlSession();
   svc::Shell shell(&session, &std::cout, opts);
+
+  // On a clean exit, checkpoint so the next startup replays nothing. A
+  // checkpoint failure is a real error (the WAL still has everything, but
+  // the exit code must say durability degraded).
+  auto finish = [&](int rc) {
+    if (durable_engine != nullptr && rc == 0) {
+      auto ckpt = durable_engine->Checkpoint();
+      if (!ckpt.ok()) {
+        std::fprintf(stderr, "error: final checkpoint failed: %s\n",
+                     ckpt.status().ToString().c_str());
+        return 1;
+      }
+    }
+    return rc;
+  };
 
   if (has_file) {
     std::ifstream in(file);
@@ -105,10 +193,10 @@ int main(int argc, char** argv) {
     }
     std::ostringstream script;
     script << in.rdbuf();
-    return shell.RunScript(script.str()).ok() ? 0 : 1;
+    return finish(shell.RunScript(script.str()).ok() ? 0 : 1);
   }
   if (has_inline) {
-    return shell.RunScript(inline_sql).ok() ? 0 : 1;
+    return finish(shell.RunScript(inline_sql).ok() ? 0 : 1);
   }
   // REPL: prompts only when stdin is a terminal, so piped input produces
   // clean output.
@@ -117,5 +205,5 @@ int main(int argc, char** argv) {
     std::cout << "svc_shell — SQL over Stale View Cleaning. Statements end "
                  "with ';'. Ctrl-D exits.\n";
   }
-  return shell.RunInteractive(std::cin, std::cout, tty).ok() ? 0 : 1;
+  return finish(shell.RunInteractive(std::cin, std::cout, tty).ok() ? 0 : 1);
 }
