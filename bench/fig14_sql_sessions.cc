@@ -18,12 +18,25 @@
 // writer idle — the gap is the copy-on-write commit cost the readers
 // *indirectly* pay (cache pressure), not blocking.
 //
+// --net serves the same engine through an in-process svc_served
+// (SvcServer) on a loopback socket and drives it with N closed-loop
+// SvcClient threads: the full network path — framing, CRC, serde encode /
+// decode, session pool — measured as throughput and tail latency, with
+// text Query vs prepared Execute as separate rows (the prepared delta is
+// the parse + plan cost the AST cache removes; the server's
+// statements_parsed counter proves Executes never touch the parser).
+//
 // Flags: --rows N (base log rows, default 20000)
 //        --sessions N (concurrent sessions, default 4)
 //        --iters N (ingest+query rounds per session, default 15)
 //        --batch N (delta rows per round, default 100)
 //        --shared (also run the shared-engine reader/refresher mode)
+//        --net (also run the network closed-loop mode)
+//        --net-queries N (requests per client in --net, default 400)
+//        --merge-json PATH (append a "fig14_net" object into an existing
+//                           BENCH json artifact)
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +50,8 @@
 #include "common/random.h"
 #include "common/table_printer.h"
 #include "core/shared_engine.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "sql/planner.h"
 #include "sql/session.h"
 
@@ -250,6 +265,143 @@ SharedRunStats RunSharedWorkload(const WorkloadParams& p, int readers,
   return stats;
 }
 
+// ---- --net: closed-loop clients over a loopback SvcServer -------------------
+
+struct NetRunStats {
+  double wall = 0;            ///< wall seconds for all clients
+  size_t requests = 0;        ///< total requests answered
+  uint64_t parses = 0;        ///< server statements_parsed delta
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+};
+
+double PercentileMs(std::vector<double>* lat_s, double q) {
+  if (lat_s->empty()) return 0;
+  const size_t idx = std::min(
+      lat_s->size() - 1,
+      static_cast<size_t>(q * static_cast<double>(lat_s->size())));
+  std::nth_element(lat_s->begin(),
+                   lat_s->begin() + static_cast<ptrdiff_t>(idx),
+                   lat_s->end());
+  return (*lat_s)[idx] * 1e3;
+}
+
+/// `clients` closed-loop connections each issuing `queries` point lookups
+/// against the served view — as text Query frames (parse + plan per
+/// request) or as one Prepare + `queries` Execute frames (AST cached
+/// server-side, `?` re-bound per request).
+NetRunStats RunNetWorkload(SvcServer* server, int clients, int queries,
+                           bool prepared) {
+  const uint64_t parses_before = server->stats().statements_parsed;
+  std::vector<std::vector<double>> latencies(clients);
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientOptions copts;
+      copts.port = server->port();
+      copts.client_name = "fig14_net";
+      auto client = bench::CheckedValue(SvcClient::Connect(copts),
+                                        "connect (net)");
+      std::vector<double>& lat = latencies[c];
+      lat.reserve(queries);
+      SvcClient::Prepared stmt;
+      if (prepared) {
+        stmt = bench::CheckedValue(
+            client->Prepare("SELECT videoId, visitCount FROM visitView "
+                            "WHERE visitCount > ?"),
+            "prepare (net)");
+      }
+      Rng rng(static_cast<uint64_t>(c) + 1);
+      for (int q = 0; q < queries; ++q) {
+        const int64_t threshold = static_cast<int64_t>(rng.Next() % 200);
+        Stopwatch sw;
+        if (prepared) {
+          bench::CheckOk(
+              client->ExecutePrepared(stmt, {Value::Int(threshold)}).status(),
+              "execute (net)");
+        } else {
+          bench::CheckOk(
+              client
+                  ->Execute("SELECT videoId, visitCount FROM visitView "
+                            "WHERE visitCount > " +
+                            std::to_string(threshold))
+                  .status(),
+              "query (net)");
+        }
+        lat.push_back(sw.ElapsedSeconds());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  NetRunStats stats;
+  stats.wall = wall.ElapsedSeconds();
+  std::vector<double> all;
+  for (auto& lat : latencies) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  stats.requests = all.size();
+  stats.parses = server->stats().statements_parsed - parses_before;
+  stats.p50_ms = PercentileMs(&all, 0.50);
+  stats.p95_ms = PercentileMs(&all, 0.95);
+  stats.p99_ms = PercentileMs(&all, 0.99);
+  return stats;
+}
+
+/// Appends `"fig14_net": {...}` into an existing `{...}` JSON artifact
+/// (BENCH_executor.json) so the network numbers ride the same file the
+/// executor gate writes.
+void MergeNetJson(const std::string& path, int clients, int queries,
+                  const NetRunStats& text, const NetRunStats& prepared) {
+  FILE* in = std::fopen(path.c_str(), "r");
+  if (in == nullptr) {
+    std::fprintf(stderr, "[bench] --merge-json: cannot read %s\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) content.append(buf, n);
+  std::fclose(in);
+  // Drop everything after the final closing brace, then reopen the object.
+  const size_t close = content.find_last_of('}');
+  if (close == std::string::npos) {
+    std::fprintf(stderr, "[bench] --merge-json: %s is not a JSON object\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  content.resize(close);
+  // Re-merging after a previous run replaces the old fig14_net object.
+  const size_t old = content.find(",\n  \"fig14_net\":");
+  if (old != std::string::npos) content.resize(old);
+  auto mode_json = [](const NetRunStats& s) {
+    char out[256];
+    std::snprintf(out, sizeof(out),
+                  "{\"throughput_rps\": %.1f, \"p50_ms\": %.3f, "
+                  "\"p95_ms\": %.3f, \"p99_ms\": %.3f, \"parses\": %llu}",
+                  static_cast<double>(s.requests) / s.wall, s.p50_ms,
+                  s.p95_ms, s.p99_ms,
+                  static_cast<unsigned long long>(s.parses));
+    return std::string(out);
+  };
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "[bench] --merge-json: cannot write %s\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(out,
+               "%s,\n  \"fig14_net\": {\n"
+               "    \"clients\": %d, \"queries_per_client\": %d,\n"
+               "    \"text\": %s,\n"
+               "    \"prepared\": %s\n  }\n}\n",
+               content.c_str(), clients, queries, mode_json(text).c_str(),
+               mode_json(prepared).c_str());
+  std::fclose(out);
+  std::printf("merged fig14_net into %s\n", path.c_str());
+}
+
 /// Runs `n` concurrent copies of `fn` and returns wall seconds.
 template <typename Fn>
 double TimeConcurrent(int n, Fn fn) {
@@ -268,6 +420,9 @@ double TimeConcurrent(int n, Fn fn) {
 int main(int argc, char** argv) {
   WorkloadParams p;
   bool run_shared = false;
+  bool run_net = false;
+  int net_queries = 400;
+  std::string merge_json;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* what) -> long {
       if (i + 1 >= argc) {
@@ -286,6 +441,16 @@ int main(int argc, char** argv) {
       p.batch = static_cast<int>(next("--batch"));
     } else if (std::strcmp(argv[i], "--shared") == 0) {
       run_shared = true;
+    } else if (std::strcmp(argv[i], "--net") == 0) {
+      run_net = true;
+    } else if (std::strcmp(argv[i], "--net-queries") == 0) {
+      net_queries = static_cast<int>(next("--net-queries"));
+    } else if (std::strcmp(argv[i], "--merge-json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --merge-json\n");
+        return 2;
+      }
+      merge_json = argv[++i];
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -378,6 +543,65 @@ int main(int argc, char** argv) {
         "asserted by tests/test_concurrent_engine.cc).\ncache=on shares one "
         "cleaning run per (snapshot, ratio) across all readers;\ncache=off "
         "re-cleans per query (the pre-cache behavior).\n");
+  }
+
+  if (run_net) {
+    std::printf(
+        "\n-- Network serving (svc_served in-process, loopback): %d "
+        "closed-loop client(s) x %d request(s) --\n",
+        p.sessions, net_queries);
+    auto shared = std::make_shared<SharedEngine>(BuildBaseDb(p.rows, 1));
+    {
+      SqlSession admin(EngineHandle::Shared(shared));
+      bench::CheckOk(
+          admin
+              .Execute(std::string("CREATE MATERIALIZED VIEW visitView AS ") +
+                       kViewSql)
+              .status(),
+          "create view (net)");
+    }
+    ServerOptions sopts;
+    sopts.workers = p.sessions;
+    sopts.max_inflight = static_cast<uint32_t>(p.sessions) * 4;
+    SvcServer server(sopts, shared);
+    bench::CheckOk(server.Start(), "server start (net)");
+
+    // Warm-up, then measure text Query frames vs prepared Execute frames.
+    (void)RunNetWorkload(&server, 1, std::max(net_queries / 10, 10), false);
+    const NetRunStats text =
+        RunNetWorkload(&server, p.sessions, net_queries, false);
+    const NetRunStats prep =
+        RunNetWorkload(&server, p.sessions, net_queries, true);
+    server.Stop();
+
+    TablePrinter nt({"mode", "clients", "requests", "wall_s", "req_per_s",
+                     "p50_ms", "p95_ms", "p99_ms", "parses"});
+    auto add = [&](const char* mode, const NetRunStats& s) {
+      nt.AddRow({mode, std::to_string(p.sessions),
+                 std::to_string(s.requests), TablePrinter::Num(s.wall, 3),
+                 TablePrinter::Num(static_cast<double>(s.requests) / s.wall,
+                                   1),
+                 TablePrinter::Num(s.p50_ms, 3), TablePrinter::Num(s.p95_ms, 3),
+                 TablePrinter::Num(s.p99_ms, 3), std::to_string(s.parses)});
+    };
+    add("text", text);
+    add("prepared", prep);
+    nt.Print();
+    std::printf(
+        "\nClosed loop: every client waits for its response before sending "
+        "the next\nrequest, so req_per_s counts whole wire round-trips "
+        "(frame + CRC + serde both\nways). prepared parses once per client "
+        "connection (%d parse(s) here) and\nre-binds ? per Execute — the "
+        "text-vs-prepared gap is the per-request parse +\nplan cost. "
+        "Single-core container caveat: clients, IO thread, and workers\n"
+        "share one core (docs/PERF.md \"Measured scaling\").\n",
+        p.sessions);
+    if (!merge_json.empty()) {
+      MergeNetJson(merge_json, p.sessions, net_queries, text, prep);
+    }
+  } else if (!merge_json.empty()) {
+    std::fprintf(stderr, "--merge-json requires --net\n");
+    return 2;
   }
   return 0;
 }

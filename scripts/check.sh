@@ -4,11 +4,15 @@
 # >= MIN_SPEEDUP on the join+aggregate pipeline vs. the string-keyed
 # baseline; see docs/PERF.md).
 #
-# Usage: scripts/check.sh [--fast] [--tsan] [--recovery]
+# Usage: scripts/check.sh [--fast] [--tsan] [--recovery] [--server]
 #   --fast  skip the sanitizer build (Release tests + bench gate only)
 #   --tsan  ThreadSanitizer mode ONLY: Debug+TSan build + full test suite
 #           (the shared-engine concurrency tests are the point); skips the
 #           Release/ASan builds and the bench gate. Used by the CI tsan job.
+#   --server  network-server mode ONLY: protocol + server test suites, a
+#           svc_served round-trip smoke (svc_shell --connect must reproduce
+#           the quickstart golden bit-identically over the wire), and a
+#           fig14 --net serving smoke. Used by the CI server job.
 #   --recovery  durability mode ONLY: the storage/WAL/recovery test suite
 #           (serde, WAL framing, kill-and-recover differential matrix) in
 #           both Release and Debug+ASan/UBSan builds, plus a durable
@@ -35,11 +39,13 @@ BENCH_THREADS="${BENCH_THREADS:-8}"
 FAST=0
 TSAN=0
 RECOVERY=0
+SERVER=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     --tsan) TSAN=1 ;;
     --recovery) RECOVERY=1 ;;
+    --server) SERVER=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -60,6 +66,45 @@ if [[ "$TSAN" -eq 1 ]]; then
   ./build-tsan/fig14_sql_sessions --rows 2000 --sessions 2 --iters 2 \
     --batch 40 --shared
   echo "All TSan checks passed."
+  exit 0
+fi
+
+if [[ "$SERVER" -eq 1 ]]; then
+  echo "== Release build (${JOBS} jobs) =="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j"$JOBS"
+
+  echo "== Protocol + server tests (Release) =="
+  ctest --test-dir build --output-on-failure --no-tests=error -j"$JOBS" \
+    -R 'test_(protocol|server)'
+
+  echo "== svc_served wire round-trip smoke (quickstart golden) =="
+  SMOKE_DIR="$(mktemp -d)"
+  ./build/svc_served --host 127.0.0.1 --port 0 \
+    --port-file "$SMOKE_DIR/port" 2> "$SMOKE_DIR/served.log" &
+  SERVER_PID=$!
+  trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
+  for _ in $(seq 1 100); do
+    [[ -s "$SMOKE_DIR/port" ]] && break
+    sleep 0.1
+  done
+  if [[ ! -s "$SMOKE_DIR/port" ]]; then
+    echo "svc_served never wrote its port file:" >&2
+    cat "$SMOKE_DIR/served.log" >&2
+    exit 1
+  fi
+  PORT="$(cat "$SMOKE_DIR/port")"
+  ./build/svc_shell --connect "127.0.0.1:$PORT" --echo \
+    --file examples/quickstart.sql > "$SMOKE_DIR/out.txt"
+  diff -u examples/quickstart.golden "$SMOKE_DIR/out.txt"
+  echo "quickstart golden reproduced bit-identically over the wire"
+  kill "$SERVER_PID"
+  wait "$SERVER_PID" 2>/dev/null || true
+
+  echo "== Network serving smoke (fig14 --net) =="
+  ./build/fig14_sql_sessions --rows 2000 --sessions 2 --iters 2 --batch 40 \
+    --net --net-queries 50
+  echo "All server checks passed."
   exit 0
 fi
 

@@ -21,6 +21,14 @@ enum class StatusCode {
   kNotSupported,
   kOutOfRange,
   kInternal,
+  // Serving-layer codes: these carry enough class information for a client
+  // (or the wire protocol's Error frame) to react without parsing message
+  // strings.
+  kParseError,          // SQL lexer/parser rejection
+  kUnknownRelation,     // table or view name does not resolve
+  kConstraintViolation, // duplicate or NULL primary key
+  kOverloaded,          // admission control rejected the request
+  kProtocol,            // malformed wire frame / handshake violation
 };
 
 /// A Status encodes either success (ok) or an error code plus a
@@ -60,6 +68,26 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  /// Returns a ParseError (SQL text rejected by the lexer/parser).
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  /// Returns an UnknownRelation error (no such table or view).
+  static Status UnknownRelation(std::string msg) {
+    return Status(StatusCode::kUnknownRelation, std::move(msg));
+  }
+  /// Returns a ConstraintViolation (duplicate / NULL primary key).
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  /// Returns an Overloaded error (admission control shed the request).
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  /// Returns a Protocol error (malformed wire frame or handshake).
+  static Status Protocol(std::string msg) {
+    return Status(StatusCode::kProtocol, std::move(msg));
+  }
 
   /// True iff the status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -80,6 +108,13 @@ class Status {
       case StatusCode::kNotSupported: name = "NotSupported"; break;
       case StatusCode::kOutOfRange: name = "OutOfRange"; break;
       case StatusCode::kInternal: name = "Internal"; break;
+      case StatusCode::kParseError: name = "ParseError"; break;
+      case StatusCode::kUnknownRelation: name = "UnknownRelation"; break;
+      case StatusCode::kConstraintViolation:
+        name = "ConstraintViolation";
+        break;
+      case StatusCode::kOverloaded: name = "Overloaded"; break;
+      case StatusCode::kProtocol: name = "Protocol"; break;
     }
     return std::string(name) + ": " + msg_;
   }

@@ -50,7 +50,7 @@ Result<const MaterializedView*> SvcEngine::GetView(
       for (const auto& [k, v] : views_) msg += " " + k;
       msg += ")";
     }
-    return Status::NotFound(std::move(msg));
+    return Status::UnknownRelation(std::move(msg));
   }
   return &it->second;
 }

@@ -49,7 +49,7 @@ std::string NoSuchTable(
 Result<const Table*> Database::GetTable(const std::string& name) const {
   auto it = tables_.find(name);
   if (it == tables_.end()) {
-    return Status::NotFound(NoSuchTable(name, tables_));
+    return Status::UnknownRelation(NoSuchTable(name, tables_));
   }
   return it->second.get();
 }
@@ -63,7 +63,7 @@ std::shared_ptr<const Table> Database::GetTableShared(
 Result<Table*> Database::GetMutableTable(const std::string& name) {
   auto it = tables_.find(name);
   if (it == tables_.end()) {
-    return Status::NotFound(NoSuchTable(name, tables_));
+    return Status::UnknownRelation(NoSuchTable(name, tables_));
   }
   if (it->second.use_count() > 1) {
     // Copy-on-write: this table is shared with a snapshot copy of the
@@ -86,7 +86,7 @@ Result<Table*> Database::GetMutableTable(const std::string& name) {
 
 Status Database::DropTable(const std::string& name) {
   if (!tables_.erase(name)) {
-    return Status::NotFound("no such table: " + name);
+    return Status::UnknownRelation("no such table: " + name);
   }
   return Status::OK();
 }

@@ -84,6 +84,13 @@ ExprPtr Expr::Func(std::string name, std::vector<ExprPtr> args) {
   return e;
 }
 
+ExprPtr Expr::Param(size_t index) {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = ExprKind::kParam;
+  e->param_index_ = index;
+  return e;
+}
+
 ExprPtr Expr::CoalesceZero(ExprPtr e) {
   return Func("coalesce", {std::move(e), LitInt(0)});
 }
@@ -100,6 +107,7 @@ ExprPtr Expr::Clone() const {
   e->literal_ = literal_;
   e->uop_ = uop_;
   e->bop_ = bop_;
+  e->param_index_ = param_index_;
   e->children_.reserve(children_.size());
   for (const auto& c : children_) e->children_.push_back(c->Clone());
   return e;
@@ -116,6 +124,10 @@ Status Expr::Bind(const Schema& schema) {
     case ExprKind::kLiteral:
       result_type_ = literal_.type();
       break;
+    case ExprKind::kParam:
+      return Status::InvalidArgument(
+          "unbound parameter ?" + std::to_string(param_index_ + 1) +
+          " (prepared statements must be executed with bound values)");
     case ExprKind::kUnary:
       switch (uop_) {
         case UnaryOp::kNot:
@@ -204,6 +216,8 @@ Value Expr::Eval(const Row& row) const {
       return row[column_index_];
     case ExprKind::kLiteral:
       return literal_;
+    case ExprKind::kParam:
+      return Value::Null();  // unreachable: Bind rejects unbound params
     case ExprKind::kUnary: {
       const Value v = children_[0]->Eval(row);
       switch (uop_) {
@@ -360,6 +374,8 @@ std::string Expr::ToString() const {
       return literal_.type() == ValueType::kString
                  ? "'" + literal_.ToString() + "'"
                  : literal_.ToString();
+    case ExprKind::kParam:
+      return "?";
     case ExprKind::kUnary:
       switch (uop_) {
         case UnaryOp::kNot: return "NOT (" + children_[0]->ToString() + ")";

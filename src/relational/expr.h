@@ -17,7 +17,7 @@ class Expr;
 /// structural rewrite so sharing is safe.
 using ExprPtr = std::shared_ptr<Expr>;
 
-enum class ExprKind { kColumn, kLiteral, kUnary, kBinary, kFunc };
+enum class ExprKind { kColumn, kLiteral, kUnary, kBinary, kFunc, kParam };
 
 enum class UnaryOp { kNot, kNeg, kIsNull, kIsNotNull };
 
@@ -52,6 +52,10 @@ class Expr {
   static ExprPtr Binary(BinaryOp op, ExprPtr l, ExprPtr r);
   /// Function call; see class comment for the supported library.
   static ExprPtr Func(std::string name, std::vector<ExprPtr> args);
+  /// `?` parameter placeholder number `index` (0-based, in statement text
+  /// order). Placeholders only appear in prepared statements; they must be
+  /// substituted with literals (BindStatementParams) before Bind/Eval.
+  static ExprPtr Param(size_t index);
 
   // Convenience combinators.
   static ExprPtr Add(ExprPtr l, ExprPtr r) {
@@ -105,6 +109,8 @@ class Expr {
   const std::string& func_name() const { return name_; }
   UnaryOp unary_op() const { return uop_; }
   BinaryOp binary_op() const { return bop_; }
+  /// For kParam: the 0-based placeholder index.
+  size_t param_index() const { return param_index_; }
   const std::vector<ExprPtr>& children() const { return children_; }
 
   /// Collects every column reference text in the tree into `out`.
@@ -142,6 +148,8 @@ class Expr {
   UnaryOp uop_ = UnaryOp::kNot;
   BinaryOp bop_ = BinaryOp::kAdd;
   std::vector<ExprPtr> children_;
+
+  size_t param_index_ = 0;  // kParam
 
   // Bind state.
   size_t column_index_ = 0;

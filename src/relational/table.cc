@@ -51,7 +51,7 @@ Status Table::Insert(Row row) {
     auto [slot, inserted] = pk_index_.Emplace(key.bytes, key.hash,
                                               rows_.size());
     if (!inserted) {
-      return Status::AlreadyExists("duplicate primary key");
+      return Status::ConstraintViolation("duplicate primary key");
     }
   }
   rows_.push_back(std::move(row));

@@ -1,0 +1,187 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "storage/serde.h"
+
+namespace svc {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SvcClient>> SvcClient::Connect(
+    const ClientOptions& opts) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts.port);
+  if (inet_pton(AF_INET, opts.host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad server address: " + opts.host);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status s =
+        Errno("connect " + opts.host + ":" + std::to_string(opts.port));
+    close(fd);
+    return s;
+  }
+  auto client = std::unique_ptr<SvcClient>(new SvcClient());
+  client->fd_ = fd;
+
+  Frame hello;
+  hello.tag = FrameTag::kHello;
+  HelloRequest req;
+  req.client_name = opts.client_name;
+  EncodeHelloRequest(req, &hello.body);
+  SVC_ASSIGN_OR_RETURN(Frame reply, client->RoundTrip(hello));
+  if (reply.tag == FrameTag::kError) return DecodeErrorBody(reply.body);
+  if (reply.tag != FrameTag::kHelloOk) {
+    return Status::Protocol("expected HelloOk, got frame tag " +
+                            std::to_string(static_cast<int>(reply.tag)));
+  }
+  SVC_ASSIGN_OR_RETURN(HelloReply ok, DecodeHelloReply(reply.body));
+  if (ok.version < kProtocolVersionMin || ok.version > kProtocolVersionMax) {
+    return Status::Protocol("server negotiated unsupported version " +
+                            std::to_string(ok.version));
+  }
+  client->version_ = ok.version;
+  return client;
+}
+
+SvcClient::~SvcClient() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Status SvcClient::SendFrame(const Frame& frame) {
+  std::string wire;
+  EncodeFrame(frame, &wire);
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n =
+        send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Result<Frame> SvcClient::ReadFrame() {
+  char buf[65536];
+  while (true) {
+    SVC_ASSIGN_OR_RETURN(std::optional<Frame> frame,
+                         TryDecodeFrame(&inbuf_, kDefaultMaxFrameBytes));
+    if (frame.has_value()) return std::move(*frame);
+    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      inbuf_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) return Status::Protocol("server closed the connection");
+    return Errno("recv");
+  }
+}
+
+Result<Frame> SvcClient::RoundTrip(const Frame& frame) {
+  Frame request = frame;
+  if (request.request_id == 0) request.request_id = next_request_id_++;
+  SVC_RETURN_IF_ERROR(SendFrame(request));
+  while (true) {
+    SVC_ASSIGN_OR_RETURN(Frame reply, ReadFrame());
+    // Transport-level errors (bad CRC on *our* frames) come back with
+    // request id 0; everything else must match what we asked.
+    if (reply.request_id == request.request_id || reply.request_id == 0) {
+      return reply;
+    }
+    // A stale response from an abandoned pipelined request: skip it.
+  }
+}
+
+Result<SqlResult> SvcClient::AsResult(const Frame& frame) {
+  if (frame.tag == FrameTag::kError) return DecodeErrorBody(frame.body);
+  return DecodeSqlResultBody(frame.tag, frame.body);
+}
+
+Result<SqlResult> SvcClient::Execute(const std::string& sql) {
+  Frame frame;
+  frame.tag = FrameTag::kQuery;
+  PutStr(&frame.body, sql);
+  SVC_ASSIGN_OR_RETURN(Frame reply, RoundTrip(frame));
+  return AsResult(reply);
+}
+
+Result<SvcClient::Prepared> SvcClient::Prepare(const std::string& sql) {
+  Frame frame;
+  frame.tag = FrameTag::kPrepare;
+  PutStr(&frame.body, sql);
+  SVC_ASSIGN_OR_RETURN(Frame reply, RoundTrip(frame));
+  if (reply.tag == FrameTag::kError) return DecodeErrorBody(reply.body);
+  if (reply.tag != FrameTag::kPrepared) {
+    return Status::Protocol("expected Prepared, got frame tag " +
+                            std::to_string(static_cast<int>(reply.tag)));
+  }
+  SVC_ASSIGN_OR_RETURN(PreparedReply prepared, DecodePreparedBody(reply.body));
+  Prepared out;
+  out.id = prepared.stmt_id;
+  out.num_params = prepared.num_params;
+  return out;
+}
+
+Result<SqlResult> SvcClient::ExecutePrepared(const Prepared& stmt,
+                                             const std::vector<Value>& params) {
+  Frame frame;
+  frame.tag = FrameTag::kExecute;
+  EncodeExecuteBody(stmt.id, params, &frame.body);
+  SVC_ASSIGN_OR_RETURN(Frame reply, RoundTrip(frame));
+  return AsResult(reply);
+}
+
+Status SvcClient::ClosePrepared(const Prepared& stmt) {
+  Frame frame;
+  frame.tag = FrameTag::kClose;
+  PutU64(&frame.body, stmt.id);
+  SVC_ASSIGN_OR_RETURN(Frame reply, RoundTrip(frame));
+  if (reply.tag == FrameTag::kError) return DecodeErrorBody(reply.body);
+  return Status::OK();
+}
+
+Result<std::map<std::string, uint64_t>> SvcClient::ServerStats() {
+  Frame frame;
+  frame.tag = FrameTag::kStatsReq;
+  SVC_ASSIGN_OR_RETURN(Frame reply, RoundTrip(frame));
+  if (reply.tag == FrameTag::kError) return DecodeErrorBody(reply.body);
+  if (reply.tag != FrameTag::kStats) {
+    return Status::Protocol("expected Stats, got frame tag " +
+                            std::to_string(static_cast<int>(reply.tag)));
+  }
+  return DecodeStatsBody(reply.body);
+}
+
+Status SvcClient::Shutdown() {
+  Frame frame;
+  frame.tag = FrameTag::kClose;
+  PutU64(&frame.body, 0);
+  SVC_ASSIGN_OR_RETURN(Frame reply, RoundTrip(frame));
+  if (reply.tag == FrameTag::kError) return DecodeErrorBody(reply.body);
+  return Status::OK();
+}
+
+}  // namespace svc

@@ -1,0 +1,91 @@
+#ifndef SVC_SERVER_CLIENT_H_
+#define SVC_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "server/protocol.h"
+#include "sql/session.h"
+
+namespace svc {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Reported to the server in the Hello frame.
+  std::string client_name = "svc_client";
+};
+
+/// A blocking client for the svc wire protocol (server/protocol.h). It
+/// implements SqlExecutor, so anything that drives a SqlSession — the
+/// Shell above all — can run over a socket instead, and because result
+/// tables travel through the bit-exact storage/serde codec, a remote
+/// transcript is byte-identical to a local one.
+///
+/// Not thread-safe: one SvcClient per thread (connections are cheap; the
+/// server multiplexes). Requests are synchronous — each call sends one
+/// frame and waits for the response with the matching request id.
+class SvcClient : public SqlExecutor {
+ public:
+  /// Connects and performs the Hello version handshake.
+  static Result<std::unique_ptr<SvcClient>> Connect(const ClientOptions& opts);
+
+  ~SvcClient() override;
+  SvcClient(const SvcClient&) = delete;
+  SvcClient& operator=(const SvcClient&) = delete;
+
+  /// Executes one SQL statement on the server (Query frame).
+  Result<SqlResult> Execute(const std::string& sql) override;
+
+  /// A server-side prepared statement handle.
+  struct Prepared {
+    uint64_t id = 0;
+    uint32_t num_params = 0;
+  };
+
+  /// Parses `sql` once on the server; the returned handle executes with
+  /// per-call `?` parameter values and never re-parses.
+  Result<Prepared> Prepare(const std::string& sql);
+
+  /// Executes a prepared statement with `params` bound in text order.
+  Result<SqlResult> ExecutePrepared(const Prepared& stmt,
+                                    const std::vector<Value>& params);
+
+  /// Frees a server-side prepared statement.
+  Status ClosePrepared(const Prepared& stmt);
+
+  /// The server's monotonic counters (Stats frame).
+  Result<std::map<std::string, uint64_t>> ServerStats();
+
+  /// Asks the server to close this connection (Close frame, id 0).
+  Status Shutdown();
+
+  /// Protocol version negotiated at Connect.
+  uint32_t negotiated_version() const { return version_; }
+
+  /// Sends a raw frame and returns the raw response — the protocol tests'
+  /// hook for malformed and pipelined traffic.
+  Result<Frame> RoundTrip(const Frame& frame);
+
+ private:
+  SvcClient() = default;
+
+  Status SendFrame(const Frame& frame);
+  Result<Frame> ReadFrame();
+  /// Decodes a response frame into a SqlResult (Error frames become the
+  /// transported Status).
+  static Result<SqlResult> AsResult(const Frame& frame);
+
+  int fd_ = -1;
+  uint32_t version_ = 0;
+  uint32_t next_request_id_ = 1;
+  std::string inbuf_;
+};
+
+}  // namespace svc
+
+#endif  // SVC_SERVER_CLIENT_H_

@@ -1,0 +1,242 @@
+#include "server/protocol.h"
+
+#include <cstring>
+#include <utility>
+
+#include "storage/serde.h"
+
+namespace svc {
+
+namespace {
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;  // little-endian hosts only, like storage/serde.cc
+}
+
+}  // namespace
+
+void EncodeFrame(const Frame& frame, std::string* out) {
+  std::string payload;
+  PutU8(&payload, static_cast<uint8_t>(frame.tag));
+  PutU32(&payload, frame.request_id);
+  payload += frame.body;
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, Crc32(payload));
+  *out += payload;
+}
+
+Result<std::optional<Frame>> TryDecodeFrame(std::string* buf,
+                                            uint32_t max_frame_bytes) {
+  if (buf->size() < kFrameHeaderBytes) return std::optional<Frame>();
+  const uint32_t len = ReadU32(buf->data());
+  // An oversized or impossibly short length means the stream is not at a
+  // frame boundary (or the peer is hostile): framing is lost for good.
+  if (len > max_frame_bytes) {
+    return Status::Protocol("frame of " + std::to_string(len) +
+                            " bytes exceeds the " +
+                            std::to_string(max_frame_bytes) + "-byte limit");
+  }
+  if (len < kPayloadHeaderBytes) {
+    return Status::Protocol("frame payload of " + std::to_string(len) +
+                            " bytes is shorter than the tag + request id");
+  }
+  if (buf->size() < kFrameHeaderBytes + len) return std::optional<Frame>();
+  const uint32_t want_crc = ReadU32(buf->data() + 4);
+  const std::string_view payload(buf->data() + kFrameHeaderBytes, len);
+  if (Crc32(payload) != want_crc) {
+    return Status::Protocol("frame CRC mismatch");
+  }
+  Frame frame;
+  frame.tag = static_cast<FrameTag>(static_cast<uint8_t>(payload[0]));
+  frame.request_id = ReadU32(payload.data() + 1);
+  frame.body.assign(payload.data() + kPayloadHeaderBytes,
+                    len - kPayloadHeaderBytes);
+  buf->erase(0, kFrameHeaderBytes + len);
+  return std::optional<Frame>(std::move(frame));
+}
+
+uint8_t WireCodeOf(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 1;
+    case StatusCode::kNotFound: return 2;
+    case StatusCode::kAlreadyExists: return 3;
+    case StatusCode::kNotSupported: return 4;
+    case StatusCode::kOutOfRange: return 5;
+    case StatusCode::kInternal: return 6;
+    case StatusCode::kParseError: return 7;
+    case StatusCode::kUnknownRelation: return 8;
+    case StatusCode::kConstraintViolation: return 9;
+    case StatusCode::kOverloaded: return 10;
+    case StatusCode::kProtocol: return 11;
+  }
+  return 6;  // unreachable; decode as kInternal
+}
+
+StatusCode StatusCodeFromWire(uint8_t wire) {
+  switch (wire) {
+    case 0: return StatusCode::kOk;
+    case 1: return StatusCode::kInvalidArgument;
+    case 2: return StatusCode::kNotFound;
+    case 3: return StatusCode::kAlreadyExists;
+    case 4: return StatusCode::kNotSupported;
+    case 5: return StatusCode::kOutOfRange;
+    case 6: return StatusCode::kInternal;
+    case 7: return StatusCode::kParseError;
+    case 8: return StatusCode::kUnknownRelation;
+    case 9: return StatusCode::kConstraintViolation;
+    case 10: return StatusCode::kOverloaded;
+    case 11: return StatusCode::kProtocol;
+    default:
+      // A newer peer's code this build does not know: keep the message,
+      // degrade the class.
+      return StatusCode::kInternal;
+  }
+}
+
+void EncodeHelloRequest(const HelloRequest& hello, std::string* out) {
+  PutU32(out, hello.max_version);
+  PutStr(out, hello.client_name);
+}
+
+Result<HelloRequest> DecodeHelloRequest(const std::string& body) {
+  ByteReader r(body);
+  HelloRequest hello;
+  SVC_ASSIGN_OR_RETURN(hello.max_version, r.U32());
+  SVC_ASSIGN_OR_RETURN(hello.client_name, r.Str());
+  return hello;
+}
+
+void EncodeHelloReply(const HelloReply& hello, std::string* out) {
+  PutU32(out, hello.version);
+  PutStr(out, hello.server_name);
+}
+
+Result<HelloReply> DecodeHelloReply(const std::string& body) {
+  ByteReader r(body);
+  HelloReply hello;
+  SVC_ASSIGN_OR_RETURN(hello.version, r.U32());
+  SVC_ASSIGN_OR_RETURN(hello.server_name, r.Str());
+  return hello;
+}
+
+void EncodeErrorBody(const Status& status, std::string* out) {
+  PutU8(out, WireCodeOf(status.code()));
+  PutStr(out, status.message());
+}
+
+Status DecodeErrorBody(const std::string& body) {
+  ByteReader r(body);
+  const Result<uint8_t> wire = r.U8();
+  if (!wire.ok()) return Status::Protocol("malformed Error body");
+  Result<std::string> msg = r.Str();
+  if (!msg.ok()) return Status::Protocol("malformed Error body");
+  const StatusCode code = StatusCodeFromWire(*wire);
+  if (code == StatusCode::kOk) {
+    return Status::Protocol("Error frame carried an OK status");
+  }
+  return Status(code, std::move(*msg));
+}
+
+FrameTag EncodeSqlResultBody(const SqlResult& result, std::string* out) {
+  PutStr(out, result.message);
+  switch (result.kind) {
+    case SqlResultKind::kOk:
+      return FrameTag::kOk;
+    case SqlResultKind::kRows:
+      EncodeTable(result.rows, out);
+      return FrameTag::kResultSet;
+    case SqlResultKind::kEstimate:
+      PutU8(out, result.mode_used == EstimatorMode::kAqp ? 0 : 1);
+      EncodeTable(result.rows, out);
+      return FrameTag::kEstimate;
+  }
+  return FrameTag::kOk;  // unreachable
+}
+
+Result<SqlResult> DecodeSqlResultBody(FrameTag tag, const std::string& body) {
+  ByteReader r(body);
+  SqlResult result;
+  SVC_ASSIGN_OR_RETURN(result.message, r.Str());
+  switch (tag) {
+    case FrameTag::kOk:
+      result.kind = SqlResultKind::kOk;
+      return result;
+    case FrameTag::kResultSet: {
+      result.kind = SqlResultKind::kRows;
+      SVC_ASSIGN_OR_RETURN(result.rows, DecodeTable(&r));
+      return result;
+    }
+    case FrameTag::kEstimate: {
+      result.kind = SqlResultKind::kEstimate;
+      SVC_ASSIGN_OR_RETURN(uint8_t mode, r.U8());
+      result.mode_used = mode == 0 ? EstimatorMode::kAqp : EstimatorMode::kCorr;
+      SVC_ASSIGN_OR_RETURN(result.rows, DecodeTable(&r));
+      return result;
+    }
+    default:
+      return Status::Protocol("frame tag " +
+                              std::to_string(static_cast<int>(tag)) +
+                              " does not carry a SqlResult");
+  }
+}
+
+void EncodeExecuteBody(uint64_t stmt_id, const std::vector<Value>& params,
+                       std::string* out) {
+  PutU64(out, stmt_id);
+  PutU32(out, static_cast<uint32_t>(params.size()));
+  for (const Value& v : params) EncodeValue(v, out);
+}
+
+Result<ExecuteRequest> DecodeExecuteBody(const std::string& body) {
+  ByteReader r(body);
+  ExecuteRequest req;
+  SVC_ASSIGN_OR_RETURN(req.stmt_id, r.U64());
+  SVC_ASSIGN_OR_RETURN(uint32_t n, r.U32());
+  req.params.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    SVC_ASSIGN_OR_RETURN(Value v, DecodeValue(&r));
+    req.params.push_back(std::move(v));
+  }
+  return req;
+}
+
+void EncodePreparedBody(uint64_t stmt_id, uint32_t num_params,
+                        std::string* out) {
+  PutU64(out, stmt_id);
+  PutU32(out, num_params);
+}
+
+Result<PreparedReply> DecodePreparedBody(const std::string& body) {
+  ByteReader r(body);
+  PreparedReply reply;
+  SVC_ASSIGN_OR_RETURN(reply.stmt_id, r.U64());
+  SVC_ASSIGN_OR_RETURN(reply.num_params, r.U32());
+  return reply;
+}
+
+void EncodeStatsBody(const std::map<std::string, uint64_t>& stats,
+                     std::string* out) {
+  PutU32(out, static_cast<uint32_t>(stats.size()));
+  for (const auto& [name, value] : stats) {
+    PutStr(out, name);
+    PutU64(out, value);
+  }
+}
+
+Result<std::map<std::string, uint64_t>> DecodeStatsBody(
+    const std::string& body) {
+  ByteReader r(body);
+  SVC_ASSIGN_OR_RETURN(uint32_t n, r.U32());
+  std::map<std::string, uint64_t> stats;
+  for (uint32_t i = 0; i < n; ++i) {
+    SVC_ASSIGN_OR_RETURN(std::string name, r.Str());
+    SVC_ASSIGN_OR_RETURN(uint64_t value, r.U64());
+    stats[std::move(name)] = value;
+  }
+  return stats;
+}
+
+}  // namespace svc

@@ -1,0 +1,151 @@
+#ifndef SVC_SERVER_PROTOCOL_H_
+#define SVC_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/session.h"
+
+namespace svc {
+
+/// The svc wire protocol (see docs/PROTOCOL.md for the normative grammar).
+///
+/// Every message is one frame, reusing the WAL's framing convention
+/// (storage/wal.h) so torn and corrupt input is detected the same way:
+///
+///   [u32 len][u32 crc32(payload)][payload]        (little-endian)
+///   payload = [u8 tag][u32 request_id][body]
+///
+/// `len` counts payload bytes only. `request_id` is chosen by the client
+/// and echoed verbatim in the response, so clients may pipeline many
+/// requests on one connection and match answers by id. Body fields use the
+/// storage/serde primitives (PutU32/PutStr/EncodeTable/...), which makes
+/// transmitted tables bit-exact: a remote shell renders the same transcript
+/// as a local one.
+///
+/// Versioning: the client opens with Hello carrying the highest protocol
+/// version it speaks; the server replies with the negotiated version
+/// min(client, server) or an Error frame if there is no overlap. Frames
+/// with unknown tags inside a negotiated session produce an Error response
+/// (not a disconnect), so minor additions stay backward compatible.
+
+/// Protocol versions this build can speak.
+inline constexpr uint32_t kProtocolVersionMin = 1;
+inline constexpr uint32_t kProtocolVersionMax = 1;
+
+/// Frames larger than this are rejected (and the connection dropped, since
+/// framing can no longer be trusted).
+inline constexpr uint32_t kDefaultMaxFrameBytes = 16u * 1024u * 1024u;
+
+/// Frame header bytes on the wire: len + crc.
+inline constexpr size_t kFrameHeaderBytes = 8;
+/// Payload overhead: tag + request id.
+inline constexpr size_t kPayloadHeaderBytes = 5;
+
+enum class FrameTag : uint8_t {
+  // Client -> server.
+  kHello = 0x01,    ///< u32 max_version, str client_name
+  kQuery = 0x02,    ///< str sql (one statement)
+  kPrepare = 0x03,  ///< str sql (one statement, `?` placeholders allowed)
+  kExecute = 0x05,  ///< u64 stmt_id, u32 n, n x Value
+  kClose = 0x06,    ///< u64 stmt_id (0 = close the connection)
+  kStatsReq = 0x0B, ///< empty body; server counters
+  // Server -> client.
+  kHelloOk = 0x81,    ///< u32 version, str server_name
+  kPrepared = 0x84,   ///< u64 stmt_id, u32 num_params
+  kOk = 0x87,         ///< str message (DDL / DML summary)
+  kResultSet = 0x88,  ///< str message, Table
+  kEstimate = 0x89,   ///< str message, u8 mode, Table
+  kError = 0x8A,      ///< u8 wire code, str message
+  kStats = 0x8B,      ///< u32 n, n x (str name, u64 value)
+};
+
+/// One decoded frame: tag + request id + raw body bytes.
+struct Frame {
+  FrameTag tag = FrameTag::kError;
+  uint32_t request_id = 0;
+  std::string body;
+};
+
+// ---- Framing ---------------------------------------------------------------
+
+/// Appends the full wire encoding of `frame` to `out`.
+void EncodeFrame(const Frame& frame, std::string* out);
+
+/// Attempts to extract one frame from the front of `buf`. Returns:
+///   * a Frame (consumed from `buf`) when one is complete,
+///   * nullopt when more bytes are needed,
+///   * Protocol error when the stream is unrecoverable (oversized frame or
+///     CRC mismatch) — the connection must be dropped.
+Result<std::optional<Frame>> TryDecodeFrame(std::string* buf,
+                                            uint32_t max_frame_bytes);
+
+// ---- Status <-> wire error codes -------------------------------------------
+
+/// Stable one-byte wire encodings of StatusCode (do not renumber; new codes
+/// get new numbers). Unknown incoming codes decode as kInternal.
+uint8_t WireCodeOf(StatusCode code);
+StatusCode StatusCodeFromWire(uint8_t wire);
+
+// ---- Body codecs -----------------------------------------------------------
+
+struct HelloRequest {
+  uint32_t max_version = kProtocolVersionMax;
+  std::string client_name;
+};
+
+struct HelloReply {
+  uint32_t version = 0;
+  std::string server_name;
+};
+
+void EncodeHelloRequest(const HelloRequest& hello, std::string* out);
+Result<HelloRequest> DecodeHelloRequest(const std::string& body);
+
+void EncodeHelloReply(const HelloReply& hello, std::string* out);
+Result<HelloReply> DecodeHelloReply(const std::string& body);
+
+/// kError body: the transported Status (code + message).
+void EncodeErrorBody(const Status& status, std::string* out);
+/// The Status transported by an Error body. A malformed body, or one
+/// carrying an OK code (an Error frame never means success), decodes to a
+/// Protocol error instead.
+Status DecodeErrorBody(const std::string& body);
+
+/// Picks the response tag for `result` (kOk / kResultSet / kEstimate) and
+/// encodes the matching body.
+FrameTag EncodeSqlResultBody(const SqlResult& result, std::string* out);
+Result<SqlResult> DecodeSqlResultBody(FrameTag tag, const std::string& body);
+
+/// kExecute body: statement id + bound parameter values.
+void EncodeExecuteBody(uint64_t stmt_id, const std::vector<Value>& params,
+                       std::string* out);
+struct ExecuteRequest {
+  uint64_t stmt_id = 0;
+  std::vector<Value> params;
+};
+Result<ExecuteRequest> DecodeExecuteBody(const std::string& body);
+
+/// kPrepared body: statement id + placeholder count.
+void EncodePreparedBody(uint64_t stmt_id, uint32_t num_params,
+                        std::string* out);
+struct PreparedReply {
+  uint64_t stmt_id = 0;
+  uint32_t num_params = 0;
+};
+Result<PreparedReply> DecodePreparedBody(const std::string& body);
+
+/// kStats body: named server counters (order-insensitive; clients must
+/// ignore names they do not know — new counters are a compatible change).
+void EncodeStatsBody(const std::map<std::string, uint64_t>& stats,
+                     std::string* out);
+Result<std::map<std::string, uint64_t>> DecodeStatsBody(
+    const std::string& body);
+
+}  // namespace svc
+
+#endif  // SVC_SERVER_PROTOCOL_H_

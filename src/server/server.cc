@@ -1,0 +1,470 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "sql/params.h"
+#include "sql/parser.h"
+#include "storage/serde.h"
+
+namespace svc {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+/// Blocking send of the whole buffer (the fd is non-blocking, so spin on
+/// EAGAIN with a short poll). Returns false when the peer is gone.
+bool SendAll(int fd, const char* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      struct pollfd pfd = {fd, POLLOUT, 0};
+      (void)poll(&pfd, 1, 1000);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SvcServer::SvcServer(ServerOptions opts, std::shared_ptr<SharedEngine> engine)
+    : opts_(std::move(opts)), shared_(std::move(engine)) {}
+
+SvcServer::SvcServer(ServerOptions opts, std::shared_ptr<DurableEngine> durable)
+    : opts_(std::move(opts)),
+      shared_(durable->shared()),
+      durable_(std::move(durable)) {}
+
+SvcServer::~SvcServer() { Stop(); }
+
+EngineHandle SvcServer::MakeHandle() const {
+  return durable_ != nullptr ? EngineHandle::Durable(durable_)
+                             : EngineHandle::Shared(shared_);
+}
+
+Status SvcServer::Start() {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address: " + opts_.host);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return Errno("bind " + opts_.host + ":" + std::to_string(opts_.port));
+  }
+  if (listen(listen_fd_, 128) < 0) return Errno("listen");
+  SVC_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
+
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len) < 0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  if (pipe(wake_pipe_) < 0) return Errno("pipe");
+  SVC_RETURN_IF_ERROR(SetNonBlocking(wake_pipe_[0]));
+  SVC_RETURN_IF_ERROR(SetNonBlocking(wake_pipe_[1]));
+
+  started_ = true;
+  stopping_.store(false);
+  io_thread_ = std::thread([this] { IoLoop(); });
+  const int n_workers = opts_.workers < 1 ? 1 : opts_.workers;
+  worker_threads_.reserve(n_workers);
+  for (int i = 0; i < n_workers; ++i) {
+    worker_threads_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void SvcServer::Stop() {
+  if (!started_) return;
+  stopping_.store(true);
+  WakeIo();
+  work_cv_.notify_all();
+  if (io_thread_.joinable()) io_thread_.join();
+  for (std::thread& t : worker_threads_) {
+    work_cv_.notify_all();
+    if (t.joinable()) t.join();
+  }
+  worker_threads_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [fd, conn] : conns_) close(conn->fd);
+    conns_.clear();
+    ready_.clear();
+  }
+  if (listen_fd_ >= 0) close(listen_fd_);
+  listen_fd_ = -1;
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) close(fd);
+    fd = -1;
+  }
+  started_ = false;
+}
+
+void SvcServer::WakeIo() {
+  if (wake_pipe_[1] >= 0) {
+    const char b = 1;
+    ssize_t ignored = write(wake_pipe_[1], &b, 1);
+    (void)ignored;
+  }
+}
+
+ServerStats SvcServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::map<std::string, uint64_t> SvcServer::StatsMap() const {
+  const ServerStats s = stats();
+  return {
+      {"connections_accepted", s.connections_accepted},
+      {"requests", s.requests},
+      {"statements_parsed", s.statements_parsed},
+      {"prepared_executes", s.prepared_executes},
+      {"overload_rejections", s.overload_rejections},
+      {"protocol_errors", s.protocol_errors},
+  };
+}
+
+Frame SvcServer::ErrorFrame(uint32_t request_id, const Status& status) const {
+  Frame frame;
+  frame.tag = FrameTag::kError;
+  frame.request_id = request_id;
+  EncodeErrorBody(status, &frame.body);
+  return frame;
+}
+
+void SvcServer::WriteFrame(Conn* conn, const Frame& frame) {
+  std::string wire;
+  EncodeFrame(frame, &wire);
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  // A failed write means the peer hung up; the read side will see it and
+  // reap the connection, so the result is deliberately ignored here.
+  (void)SendAll(conn->fd, wire.data(), wire.size());
+}
+
+void SvcServer::IoLoop() {
+  std::vector<struct pollfd> pfds;
+  std::vector<ConnPtr> polled;
+  while (!stopping_.load()) {
+    pfds.clear();
+    polled.clear();
+    pfds.push_back({wake_pipe_[0], POLLIN, 0});
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [fd, conn] : conns_) {
+        if (conn->closing) continue;
+        pfds.push_back({fd, POLLIN, 0});
+        polled.push_back(conn);
+      }
+    }
+    if (poll(pfds.data(), pfds.size(), 200) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (stopping_.load()) break;
+    if (pfds[0].revents & POLLIN) {
+      char buf[64];
+      while (read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (pfds[1].revents & POLLIN) {
+      while (true) {
+        const int fd = accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        if (!SetNonBlocking(fd).ok()) {
+          close(fd);
+          continue;
+        }
+        auto conn = std::make_shared<Conn>();
+        conn->fd = fd;
+        conn->session = std::make_unique<SqlSession>(MakeHandle());
+        std::lock_guard<std::mutex> lock(mu_);
+        conns_[fd] = std::move(conn);
+        ++stats_.connections_accepted;
+      }
+    }
+    for (size_t i = 2; i < pfds.size(); ++i) {
+      if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+        DrainReadable(polled[i - 2]);
+      }
+    }
+    // Reap connections that are closing and fully drained.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      Conn& c = *it->second;
+      if (c.closing && !c.busy && c.pending.empty()) {
+        close(c.fd);
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void SvcServer::DrainReadable(const ConnPtr& conn) {
+  char buf[65536];
+  bool peer_closed = false;
+  while (true) {
+    const ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->inbuf.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    peer_closed = true;  // orderly shutdown or hard error
+    break;
+  }
+  while (true) {
+    auto decoded = TryDecodeFrame(&conn->inbuf, opts_.max_frame_bytes);
+    if (!decoded.ok()) {
+      // Framing is unrecoverable: report once, stop reading, close after
+      // in-flight work drains. Queued-but-unstarted requests are dropped —
+      // their responses could not be trusted to be complete either.
+      WriteFrame(conn.get(), ErrorFrame(0, decoded.status()));
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.protocol_errors;
+      inflight_ -= static_cast<uint32_t>(conn->pending.size());
+      conn->pending.clear();
+      conn->closing = true;
+      return;
+    }
+    if (!decoded->has_value()) break;
+    Frame frame = std::move(**decoded);
+    bool overloaded = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (inflight_ >= opts_.max_inflight) {
+        ++stats_.overload_rejections;
+        overloaded = true;
+      } else {
+        ++inflight_;
+        ++stats_.requests;
+        conn->pending.push_back(std::move(frame));
+        if (!conn->busy) {
+          conn->busy = true;
+          ready_.push_back(conn);
+          work_cv_.notify_one();
+        }
+      }
+    }
+    if (overloaded) {
+      WriteFrame(conn.get(),
+                 ErrorFrame(frame.request_id,
+                            Status::Overloaded(
+                                "server at max in-flight requests (" +
+                                std::to_string(opts_.max_inflight) +
+                                "); retry later")));
+    }
+  }
+  if (peer_closed) {
+    std::lock_guard<std::mutex> lock(mu_);
+    conn->closing = true;
+  }
+}
+
+void SvcServer::WorkerLoop() {
+  while (true) {
+    ConnPtr conn;
+    Frame request;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return stopping_.load() || !ready_.empty(); });
+      if (stopping_.load()) return;
+      conn = std::move(ready_.front());
+      ready_.pop_front();
+      request = std::move(conn->pending.front());
+      conn->pending.pop_front();
+    }
+    Frame response = HandleRequest(conn.get(), request);
+    // Release the in-flight slot BEFORE the response hits the wire: a
+    // client that pipelines its next request the instant it reads this
+    // reply must find the slot free, not race the decrement and get a
+    // spurious Overloaded.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --inflight_;
+    }
+    WriteFrame(conn.get(), response);
+    // Schedule this connection's next pending request (per-connection
+    // serial execution preserves response order for pipelined clients —
+    // `busy` stays set until after our write above).
+    bool poke_io = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!conn->pending.empty() && !stopping_.load()) {
+        ready_.push_back(conn);
+        work_cv_.notify_one();
+      } else {
+        conn->busy = false;
+        if (conn->closing) poke_io = true;
+      }
+    }
+    if (poke_io) WakeIo();  // let the IO thread reap it
+  }
+}
+
+Frame SvcServer::HandleRequest(Conn* conn, const Frame& request) {
+  const uint32_t id = request.request_id;
+  auto fail = [&](const Status& status) { return ErrorFrame(id, status); };
+  auto count = [&](uint64_t ServerStats::* field) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++(stats_.*field);
+  };
+
+  if (!conn->hello_done && request.tag != FrameTag::kHello) {
+    count(&ServerStats::protocol_errors);
+    return fail(Status::Protocol("expected a Hello frame first"));
+  }
+  switch (request.tag) {
+    case FrameTag::kHello: {
+      auto hello = DecodeHelloRequest(request.body);
+      if (!hello.ok()) return fail(hello.status());
+      if (hello->max_version < kProtocolVersionMin) {
+        count(&ServerStats::protocol_errors);
+        return fail(Status::Protocol(
+            "no common protocol version (client <= " +
+            std::to_string(hello->max_version) + ", server >= " +
+            std::to_string(kProtocolVersionMin) + ")"));
+      }
+      conn->negotiated_version =
+          std::min(hello->max_version, kProtocolVersionMax);
+      conn->hello_done = true;
+      Frame reply;
+      reply.tag = FrameTag::kHelloOk;
+      reply.request_id = id;
+      HelloReply body;
+      body.version = static_cast<uint32_t>(conn->negotiated_version);
+      body.server_name = opts_.server_name;
+      EncodeHelloReply(body, &reply.body);
+      return reply;
+    }
+    case FrameTag::kQuery: {
+      ByteReader r(request.body);
+      auto sql = r.Str();
+      if (!sql.ok()) return fail(sql.status());
+      count(&ServerStats::statements_parsed);
+      auto stmt = ParseStatement(*sql);
+      if (!stmt.ok()) return fail(stmt.status());
+      if (stmt->num_params > 0) {
+        return fail(Status::InvalidArgument(
+            "query has ? placeholders; use Prepare/Execute"));
+      }
+      auto result = conn->session->Execute(*stmt);
+      if (!result.ok()) return fail(result.status());
+      Frame reply;
+      reply.request_id = id;
+      reply.tag = EncodeSqlResultBody(*result, &reply.body);
+      return reply;
+    }
+    case FrameTag::kPrepare: {
+      ByteReader r(request.body);
+      auto sql = r.Str();
+      if (!sql.ok()) return fail(sql.status());
+      count(&ServerStats::statements_parsed);
+      auto stmt = ParseStatement(*sql);
+      if (!stmt.ok()) return fail(stmt.status());
+      const uint64_t stmt_id = conn->next_stmt_id++;
+      const uint32_t num_params = stmt->num_params;
+      conn->prepared.emplace(stmt_id, std::move(*stmt));
+      Frame reply;
+      reply.tag = FrameTag::kPrepared;
+      reply.request_id = id;
+      EncodePreparedBody(stmt_id, num_params, &reply.body);
+      return reply;
+    }
+    case FrameTag::kExecute: {
+      auto req = DecodeExecuteBody(request.body);
+      if (!req.ok()) return fail(req.status());
+      auto it = conn->prepared.find(req->stmt_id);
+      if (it == conn->prepared.end()) {
+        return fail(Status::NotFound("no prepared statement #" +
+                                     std::to_string(req->stmt_id)));
+      }
+      auto bound = BindStatementParams(it->second, req->params);
+      if (!bound.ok()) return fail(bound.status());
+      count(&ServerStats::prepared_executes);
+      auto result = conn->session->Execute(*bound);
+      if (!result.ok()) return fail(result.status());
+      Frame reply;
+      reply.request_id = id;
+      reply.tag = EncodeSqlResultBody(*result, &reply.body);
+      return reply;
+    }
+    case FrameTag::kClose: {
+      ByteReader r(request.body);
+      auto stmt_id = r.U64();
+      if (!stmt_id.ok()) return fail(stmt_id.status());
+      Frame reply;
+      reply.tag = FrameTag::kOk;
+      reply.request_id = id;
+      if (*stmt_id == 0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        conn->closing = true;
+        PutStr(&reply.body, "goodbye");
+        return reply;
+      }
+      if (conn->prepared.erase(*stmt_id) == 0) {
+        return fail(Status::NotFound("no prepared statement #" +
+                                     std::to_string(*stmt_id)));
+      }
+      PutStr(&reply.body, "statement closed");
+      return reply;
+    }
+    case FrameTag::kStatsReq: {
+      Frame reply;
+      reply.tag = FrameTag::kStats;
+      reply.request_id = id;
+      EncodeStatsBody(StatsMap(), &reply.body);
+      return reply;
+    }
+    default:
+      count(&ServerStats::protocol_errors);
+      return fail(Status::Protocol(
+          "unknown frame tag " +
+          std::to_string(static_cast<int>(request.tag))));
+  }
+}
+
+}  // namespace svc

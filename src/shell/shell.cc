@@ -20,8 +20,8 @@ std::string Trim(const std::string& s) {
 
 }  // namespace
 
-Shell::Shell(SqlSession* session, std::ostream* out, ShellOptions opts)
-    : session_(session), out_(out), opts_(opts) {}
+Shell::Shell(SqlExecutor* executor, std::ostream* out, ShellOptions opts)
+    : executor_(executor), out_(out), opts_(opts) {}
 
 Status Shell::RunScript(const std::string& script) {
   Status failed = Status::OK();
@@ -38,7 +38,7 @@ Status Shell::RunScript(const std::string& script) {
 Status Shell::RunStatement(const std::string& sql) {
   if (opts_.echo) *out_ << "svc> " << Trim(sql) << "\n";
   ++statements_run_;
-  Result<SqlResult> result = session_->Execute(sql);
+  Result<SqlResult> result = executor_->Execute(sql);
   if (!result.ok()) {
     *out_ << "error: " << result.status().ToString() << "\n";
     return result.status();

@@ -19,14 +19,17 @@ struct ShellOptions {
 };
 
 /// The statement-at-a-time driver behind the `svc_shell` binary: splits
-/// scripts into statements, executes them on a SqlSession, and renders
-/// results (row sets and estimate tables via TablePrinter, DDL/DML as
-/// one-line messages). Kept as a library so tests can run scripts in
-/// process and diff the exact printed output.
+/// scripts into statements, executes them on any SqlExecutor (an
+/// in-process SqlSession or a SvcClient over a socket — transcripts are
+/// bit-identical either way), and renders results (row sets and estimate
+/// tables via TablePrinter, DDL/DML as one-line messages). Kept as a
+/// library so tests can run scripts in process and diff the exact printed
+/// output. All rendering happens here, on the client side of the
+/// SqlExecutor interface — the session/server layer returns data only.
 class Shell {
  public:
-  /// `session` and `out` must outlive the shell.
-  Shell(SqlSession* session, std::ostream* out, ShellOptions opts = {});
+  /// `executor` and `out` must outlive the shell.
+  Shell(SqlExecutor* executor, std::ostream* out, ShellOptions opts = {});
 
   /// Executes every ';'-terminated statement in `script`. Returns the
   /// first error (after printing it); with `keep_going` the last error.
@@ -49,7 +52,7 @@ class Shell {
  private:
   void PrintResult(const SqlResult& result);
 
-  SqlSession* session_;
+  SqlExecutor* executor_;
   std::ostream* out_;
   ShellOptions opts_;
   size_t statements_run_ = 0;

@@ -111,7 +111,7 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
         ++i;
       }
       if (!closed) {
-        return Status::InvalidArgument(
+        return Status::ParseError(
             "unterminated string literal at offset " + std::to_string(start));
       }
       out.push_back({TokenType::kString, std::move(text), start});
@@ -127,15 +127,15 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
         continue;
       }
     }
-    static const std::string kSingles = "(),*+-/%=<>.;";
+    static const std::string kSingles = "(),*+-/%=<>.;?";
     if (kSingles.find(c) != std::string::npos) {
       out.push_back({TokenType::kSymbol, std::string(1, c), start});
       ++i;
       continue;
     }
-    return Status::InvalidArgument("unexpected character '" +
-                                   std::string(1, c) + "' at offset " +
-                                   std::to_string(i));
+    return Status::ParseError("unexpected character '" +
+                              std::string(1, c) + "' at offset " +
+                              std::to_string(i));
   }
   out.push_back({TokenType::kEnd, "", n});
   return out;

@@ -1,0 +1,126 @@
+#include "sql/params.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace svc {
+
+namespace {
+
+// Rebuilds an expression tree through the public factories, replacing
+// kParam nodes with literals from `params` (null `params` = plain clone,
+// placeholders preserved).
+ExprPtr SubstExpr(const Expr& e, const std::vector<Value>* params) {
+  switch (e.kind()) {
+    case ExprKind::kColumn:
+      return Expr::Col(e.column_ref());
+    case ExprKind::kLiteral:
+      return Expr::Lit(e.literal());
+    case ExprKind::kParam:
+      if (params == nullptr) return Expr::Param(e.param_index());
+      return Expr::Lit((*params)[e.param_index()]);
+    case ExprKind::kUnary:
+      return Expr::Unary(e.unary_op(), SubstExpr(*e.children()[0], params));
+    case ExprKind::kBinary:
+      return Expr::Binary(e.binary_op(), SubstExpr(*e.children()[0], params),
+                          SubstExpr(*e.children()[1], params));
+    case ExprKind::kFunc: {
+      std::vector<ExprPtr> args;
+      args.reserve(e.children().size());
+      for (const ExprPtr& c : e.children()) {
+        args.push_back(SubstExpr(*c, params));
+      }
+      return Expr::Func(e.func_name(), std::move(args));
+    }
+  }
+  return nullptr;  // unreachable: the switch is total
+}
+
+ExprPtr SubstExprPtr(const ExprPtr& e, const std::vector<Value>* params) {
+  return e == nullptr ? nullptr : SubstExpr(*e, params);
+}
+
+std::unique_ptr<SelectStmt> CloneSelect(const SelectStmt& s,
+                                        const std::vector<Value>* params) {
+  auto out = std::make_unique<SelectStmt>();
+  out->items.reserve(s.items.size());
+  for (const SelectItem& item : s.items) {
+    SelectItem copy;
+    copy.is_star = item.is_star;
+    copy.is_agg = item.is_agg;
+    copy.agg = item.agg;
+    copy.agg_input = SubstExprPtr(item.agg_input, params);
+    copy.scalar = SubstExprPtr(item.scalar, params);
+    copy.alias = item.alias;
+    out->items.push_back(std::move(copy));
+  }
+  auto clone_ref = [&](const TableRef& ref) {
+    TableRef copy;
+    copy.table = ref.table;
+    if (ref.subquery != nullptr) {
+      copy.subquery = CloneSelect(*ref.subquery, params);
+    }
+    copy.alias = ref.alias;
+    return copy;
+  };
+  out->from.reserve(s.from.size());
+  for (const TableRef& ref : s.from) out->from.push_back(clone_ref(ref));
+  out->joins.reserve(s.joins.size());
+  for (const JoinClause& join : s.joins) {
+    JoinClause copy;
+    copy.type = join.type;
+    copy.table = clone_ref(join.table);
+    copy.on = SubstExprPtr(join.on, params);
+    out->joins.push_back(std::move(copy));
+  }
+  out->where = SubstExprPtr(s.where, params);
+  out->group_by = s.group_by;
+  out->having = SubstExprPtr(s.having, params);
+  if (s.set_next != nullptr) out->set_next = CloneSelect(*s.set_next, params);
+  out->set_op = s.set_op;
+  return out;
+}
+
+Statement CloneStatementImpl(const Statement& stmt,
+                             const std::vector<Value>* params) {
+  Statement out;
+  out.kind = stmt.kind;
+  if (stmt.select != nullptr) out.select = CloneSelect(*stmt.select, params);
+  out.svc = stmt.svc;
+  out.target = stmt.target;
+  out.columns = stmt.columns;
+  out.primary_key = stmt.primary_key;
+  out.sampling_key = stmt.sampling_key;
+  out.values = stmt.values;
+  out.where = SubstExprPtr(stmt.where, params);
+  out.refresh_all = stmt.refresh_all;
+  if (params == nullptr) {
+    out.num_params = stmt.num_params;
+    out.value_params = stmt.value_params;
+  } else {
+    // VALUES placeholders: patch the NULL slots the parser left behind.
+    for (const Statement::ValueParamSlot& slot : stmt.value_params) {
+      out.values[slot.row][slot.col] = (*params)[slot.param];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Statement CloneStatement(const Statement& stmt) {
+  return CloneStatementImpl(stmt, nullptr);
+}
+
+Result<Statement> BindStatementParams(const Statement& stmt,
+                                      const std::vector<Value>& params) {
+  if (params.size() != stmt.num_params) {
+    return Status::InvalidArgument(
+        "statement has " + std::to_string(stmt.num_params) +
+        " parameter(s), got " + std::to_string(params.size()) + " value(s)");
+  }
+  return CloneStatementImpl(stmt, &params);
+}
+
+}  // namespace svc

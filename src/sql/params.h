@@ -1,0 +1,26 @@
+#ifndef SVC_SQL_PARAMS_H_
+#define SVC_SQL_PARAMS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "sql/parser.h"
+
+namespace svc {
+
+/// Deep copy of a parsed statement (expressions and subqueries included).
+/// The copy is independent: rebinding or rewriting it never touches the
+/// original, so a server can cache one parsed Statement per prepared
+/// statement and clone per execution.
+Statement CloneStatement(const Statement& stmt);
+
+/// Substitutes the statement's `?` placeholders with `params` (one value
+/// per placeholder, in text order) and returns the bound deep copy; the
+/// result has num_params == 0 and executes like a literal statement.
+/// Fails with InvalidArgument when params.size() != stmt.num_params.
+Result<Statement> BindStatementParams(const Statement& stmt,
+                                      const std::vector<Value>& params);
+
+}  // namespace svc
+
+#endif  // SVC_SQL_PARAMS_H_

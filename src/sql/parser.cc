@@ -91,6 +91,7 @@ class Parser {
           "VIEW, INSERT INTO, DELETE FROM, REFRESH, CHECKPOINT, SHOW)");
     }
     if (!AtEnd()) return Err("unexpected trailing tokens");
+    stmt.num_params = num_params_;
     return stmt;
   }
 
@@ -131,7 +132,7 @@ class Parser {
   }
   Status Expect(const char* kw) {
     if (!Accept(kw)) {
-      return Status::InvalidArgument(std::string("expected ") + kw +
+      return Status::ParseError(std::string("expected ") + kw +
                                      " near offset " +
                                      std::to_string(Peek().offset));
     }
@@ -139,15 +140,15 @@ class Parser {
   }
   Status ExpectSymbol(const char* sym) {
     if (!AcceptSymbol(sym)) {
-      return Status::InvalidArgument(std::string("expected '") + sym +
+      return Status::ParseError(std::string("expected '") + sym +
                                      "' near offset " +
                                      std::to_string(Peek().offset));
     }
     return Status::OK();
   }
   Status Err(const std::string& msg) const {
-    return Status::InvalidArgument(msg + " near offset " +
-                                   std::to_string(Peek().offset));
+    return Status::ParseError(msg + " near offset " +
+                              std::to_string(Peek().offset));
   }
 
   /// std::stoll with overflow mapped to a parse error (an out-of-range
@@ -249,6 +250,18 @@ class Parser {
       SVC_RETURN_IF_ERROR(ExpectSymbol("("));
       Row row;
       do {
+        if (Peek().IsSymbol("?")) {
+          // Placeholder: remember the slot, insert NULL until EXECUTE
+          // substitutes the bound value.
+          Advance();
+          Statement::ValueParamSlot slot;
+          slot.row = static_cast<uint32_t>(stmt->values.size());
+          slot.col = static_cast<uint32_t>(row.size());
+          slot.param = num_params_++;
+          stmt->value_params.push_back(slot);
+          row.push_back(Value::Null());
+          continue;
+        }
         SVC_ASSIGN_OR_RETURN(Value v, ParseLiteral());
         row.push_back(std::move(v));
       } while (AcceptSymbol(","));
@@ -621,6 +634,10 @@ class Parser {
 
   Result<ExprPtr> ParsePrimary() {
     const Token& t = Peek();
+    if (t.IsSymbol("?")) {
+      Advance();
+      return Expr::Param(num_params_++);
+    }
     if (t.type == TokenType::kNumber) {
       Advance();
       if (t.text.find('.') != std::string::npos) {
@@ -675,6 +692,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  uint32_t num_params_ = 0;  // `?` placeholders seen, in text order
 };
 
 }  // namespace
@@ -685,7 +703,7 @@ Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& sql) {
   SVC_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt,
                        parser.ParseStatement());
   if (!parser.AtEnd()) {
-    return Status::InvalidArgument(
+    return Status::ParseError(
         "unexpected trailing tokens after SELECT (WITH SVC(...) queries go "
         "through SqlSession::Execute, not ParseSelect)");
   }

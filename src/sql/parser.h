@@ -1,6 +1,7 @@
 #ifndef SVC_SQL_PARSER_H_
 #define SVC_SQL_PARSER_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -105,6 +106,19 @@ struct Statement {
   std::vector<Row> values;               ///< kInsert literal rows
   ExprPtr where;                         ///< kDelete (null = every row)
   bool refresh_all = false;              ///< kRefresh: REFRESH ALL
+
+  /// One `?` placeholder inside an INSERT VALUES row: `values[row][col]`
+  /// holds NULL until EXECUTE substitutes parameter `param`.
+  struct ValueParamSlot {
+    uint32_t row = 0;
+    uint32_t col = 0;
+    uint32_t param = 0;  ///< 0-based parameter index
+  };
+  /// Number of `?` placeholders in the statement, numbered left to right
+  /// in text order. A statement with num_params > 0 can only run after
+  /// BindStatementParams (sql/params.h) substitutes literals.
+  uint32_t num_params = 0;
+  std::vector<ValueParamSlot> value_params;  ///< kInsert placeholders
 };
 
 /// Parses one SELECT statement (errors carry the offending token offset).

@@ -77,13 +77,21 @@ Result<SqlResult> SqlSession::Execute(const std::string& sql) {
 }
 
 Result<SqlResult> SqlSession::Execute(const Statement& stmt) {
+  if (stmt.num_params > 0) {
+    // Without this check an INSERT would silently write the parser's NULL
+    // placeholder values; expression params would only fail later at Bind.
+    return Status::InvalidArgument(
+        "statement has " + std::to_string(stmt.num_params) +
+        " unbound parameter(s); bind values first (prepared-statement "
+        "EXECUTE, or BindStatementParams)");
+  }
   // Reads run against one consistent version: the owned engine in private
   // mode, the current published snapshot in shared mode (held alive for
   // the duration of the statement; concurrent commits don't affect it).
   SnapshotPtr snap;
   auto reader = [&]() -> const SvcEngine& {
-    if (shared_ == nullptr) return *own_;
-    snap = shared_->Snapshot();
+    if (!handle_.is_shared()) return *handle_.private_engine();
+    snap = handle_.shared()->Snapshot();
     return snap->engine;
   };
   switch (stmt.kind) {
@@ -124,11 +132,11 @@ Result<SqlResult> SqlSession::Execute(const Statement& stmt) {
 
 Result<SqlResult> SqlSession::ExecWrite(
     const std::function<Result<SqlResult>(SvcEngine*, std::string*)>& fn) {
-  if (durable_ != nullptr) {
+  if (handle_.is_durable()) {
     // One statement = one logged commit: the handler's payload (the
     // DurableOp it performed) hits the WAL before the commit publishes.
     std::optional<SqlResult> out;
-    SVC_RETURN_IF_ERROR(durable_->CommitLogged(
+    SVC_RETURN_IF_ERROR(handle_.durable()->CommitLogged(
         [&](SvcEngine* e, std::string* payload) -> Status {
           auto r = fn(e, payload);
           if (!r.ok()) return r.status();
@@ -137,12 +145,12 @@ Result<SqlResult> SqlSession::ExecWrite(
         }));
     return std::move(*out);
   }
-  if (shared_ == nullptr) return fn(own_.get(), nullptr);
+  if (!handle_.is_shared()) return fn(handle_.private_engine(), nullptr);
   // One statement = one commit: validation and mutation run on the fork
   // under the writer lock, so concurrent sessions cannot race a conflicting
   // write in between, and an error publishes nothing.
   std::optional<SqlResult> out;
-  SVC_RETURN_IF_ERROR(shared_->Commit([&](SvcEngine* e) -> Status {
+  SVC_RETURN_IF_ERROR(handle_.shared()->Commit([&](SvcEngine* e) -> Status {
     auto r = fn(e, nullptr);
     if (!r.ok()) return r.status();
     out = std::move(r).value();
@@ -432,7 +440,7 @@ Result<SqlResult> SqlSession::ExecInsert(const Statement& stmt,
     for (size_t r = 0; r < rows.size(); ++r) {
       for (size_t i : pk) {
         if (rows[r][i].is_null()) {
-          return Status::InvalidArgument(
+          return Status::ConstraintViolation(
               "INSERT INTO " + stmt.target + " row " + std::to_string(r + 1) +
               " has NULL in primary-key column '" + schema.column(i).name +
               "'");
@@ -451,7 +459,7 @@ Result<SqlResult> SqlSession::ExecInsert(const Statement& stmt,
             "delete + insert)";
       }
       if (!where.empty()) {
-        return Status::AlreadyExists(
+        return Status::ConstraintViolation(
             "INSERT INTO " + stmt.target + " row " + std::to_string(r + 1) +
             " duplicates the primary key (" + describe_key(rows[r]) +
             ") of " + where);
@@ -548,7 +556,7 @@ Result<SqlResult> SqlSession::ExecRefresh(const Statement& stmt,
   // error propagates here without touching session state. In shared mode
   // `eng` is already a disposable fork that ExecWrite's Commit discards on
   // error, so the in-place body skips a redundant second fork.
-  SVC_RETURN_IF_ERROR(shared_ != nullptr ? eng->MaintainAllInPlace()
+  SVC_RETURN_IF_ERROR(handle_.is_shared() ? eng->MaintainAllInPlace()
                                          : eng->MaintainAll());
   if (wal != nullptr) {
     SVC_RETURN_IF_ERROR(EncodeDurableOp(DurableOp::RefreshOp(), wal));
@@ -564,11 +572,11 @@ Result<SqlResult> SqlSession::ExecRefresh(const Statement& stmt,
 
 Result<SqlResult> SqlSession::ExecCheckpoint() {
   SqlResult result;
-  if (durable_ == nullptr) {
+  if (!handle_.is_durable()) {
     result.message = "no durable storage attached; CHECKPOINT skipped";
     return result;
   }
-  SVC_ASSIGN_OR_RETURN(uint64_t epoch, durable_->Checkpoint());
+  SVC_ASSIGN_OR_RETURN(uint64_t epoch, handle_.durable()->Checkpoint());
   result.message = "checkpoint at epoch " + std::to_string(epoch);
   return result;
 }
@@ -638,7 +646,7 @@ Result<SqlResult> SqlSession::ExecShowStats(const SvcEngine& eng) {
   schema.AddColumn({"", "delta_version", ValueType::kInt});
   // Durable sessions also report the engine-wide durability counters
   // (repeated on every row — SHOW STATS is a per-view relation).
-  if (durable_ != nullptr) {
+  if (handle_.is_durable()) {
     schema.AddColumn({"", "wal_records", ValueType::kInt});
     schema.AddColumn({"", "wal_bytes", ValueType::kInt});
     schema.AddColumn({"", "last_checkpoint_epoch", ValueType::kInt});
@@ -662,8 +670,8 @@ Result<SqlResult> SqlSession::ExecShowStats(const SvcEngine& eng) {
                as_int(s.misses),             as_int(s.full_cleans),
                as_int(s.incremental_advances), as_int(pending_rows),
                as_int(eng.pending().version())};
-    if (durable_ != nullptr) {
-      const DurabilityStats ds = durable_->stats();
+    if (handle_.is_durable()) {
+      const DurabilityStats ds = handle_.durable()->stats();
       row.push_back(as_int(ds.wal_records));
       row.push_back(as_int(ds.wal_bytes));
       row.push_back(as_int(ds.last_checkpoint_epoch));
@@ -685,7 +693,7 @@ SqlSession::PendingKeys* SqlSession::PendingKeysFor(
   // "same counts, different keys" (e.g. a REFRESH followed by the same
   // number of new inserts). Rebuild from the fork every statement — the
   // statement runs under the writer lock, so the fork is authoritative.
-  if (shared_ != nullptr) return scratch;
+  if (handle_.is_shared()) return scratch;
   return &pending_keys_[relation];
 }
 

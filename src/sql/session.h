@@ -33,6 +33,79 @@ struct SqlResult {
   EstimatorMode mode_used = EstimatorMode::kCorr;
 };
 
+/// Anything that can execute SQL text and return a SqlResult: an in-process
+/// SqlSession, or a SvcClient talking to a remote svc_served. Results cross
+/// this interface as data (rows + a one-line summary); all rendering
+/// (TablePrinter) happens in the shell/client layer, so a server never pays
+/// for string formatting.
+class SqlExecutor {
+ public:
+  virtual ~SqlExecutor() = default;
+  /// Parses and executes one statement.
+  virtual Result<SqlResult> Execute(const std::string& sql) = 0;
+};
+
+/// Names the engine a session (or server) runs on — exactly one of:
+///
+///   * **Private**: the handle owns a SvcEngine (shared-nothing; one
+///     engine per session).
+///   * **Shared**: the handle addresses a SharedEngine; many sessions run
+///     concurrently with snapshot isolation.
+///   * **Durable**: shared-mode semantics over a DurableEngine (each write
+///     is one WAL-logged commit).
+///
+/// Collapses what used to be five SqlSession constructors into one value,
+/// so callers (svc_shell, svc_served, tests) build the handle once and
+/// never branch on engine mode again. Move-only, like the engine ownership
+/// it carries.
+class EngineHandle {
+ public:
+  /// A fresh private engine over an empty catalog.
+  static EngineHandle Private() { return Private(Database()); }
+  /// A private engine over pre-loaded base relations.
+  static EngineHandle Private(Database db) {
+    return Private(SvcEngine(std::move(db)));
+  }
+  /// A private engine adopting existing engine state — e.g. a copy of a
+  /// SharedEngine snapshot's engine, for deterministic offline replay.
+  static EngineHandle Private(SvcEngine engine) {
+    EngineHandle h;
+    h.own_ = std::make_unique<SvcEngine>(std::move(engine));
+    return h;
+  }
+  /// A handle onto a shared (snapshot-isolated) engine.
+  static EngineHandle Shared(std::shared_ptr<SharedEngine> shared) {
+    EngineHandle h;
+    h.shared_ = std::move(shared);
+    return h;
+  }
+  /// A handle onto a durable engine: shared-mode semantics plus the WAL.
+  static EngineHandle Durable(std::shared_ptr<DurableEngine> durable) {
+    EngineHandle h;
+    h.shared_ = durable->shared();
+    h.durable_ = std::move(durable);
+    return h;
+  }
+
+  /// True iff the handle addresses a SharedEngine (durable included).
+  bool is_shared() const { return shared_ != nullptr; }
+  /// True iff the handle addresses a DurableEngine.
+  bool is_durable() const { return durable_ != nullptr; }
+  /// The owned engine (null unless private mode).
+  SvcEngine* private_engine() const { return own_.get(); }
+  /// The shared engine (null in private mode).
+  const std::shared_ptr<SharedEngine>& shared() const { return shared_; }
+  /// The durable engine (null unless durable mode).
+  const std::shared_ptr<DurableEngine>& durable() const { return durable_; }
+
+ private:
+  EngineHandle() = default;  // factories fill exactly one mode
+
+  std::unique_ptr<SvcEngine> own_;
+  std::shared_ptr<SharedEngine> shared_;
+  std::shared_ptr<DurableEngine> durable_;
+};
+
 /// A SQL-driven session over one SvcEngine: the full SVC lifecycle —
 /// define base relations, materialize views, ingest deltas, answer
 /// bounded-error aggregate queries on stale views, commit maintenance —
@@ -80,56 +153,68 @@ struct SqlResult {
 ///   * REFRESH VIEW <v> validates that <v> exists, then runs MaintainAll —
 ///     pending deltas are engine-global, so maintenance is a single commit
 ///     point that freshens every view.
-class SqlSession {
+class SqlSession : public SqlExecutor {
  public:
-  /// A private session over an empty catalog (populate with CREATE TABLE).
-  SqlSession() : own_(std::make_unique<SvcEngine>(Database())) {}
-  /// A private session over pre-loaded base relations.
+  /// The one real constructor: a session over whichever engine the handle
+  /// names. Durable handles get shared-mode semantics, plus every write
+  /// statement is one logged commit (the handler encodes the DurableOp it
+  /// performed; DurableEngine WAL-appends it before the commit publishes),
+  /// CHECKPOINT is live, and SHOW STATS reports the durability counters.
+  explicit SqlSession(EngineHandle engine) : handle_(std::move(engine)) {}
+
+  // Forwarding constructors, kept for source compatibility. Deprecated:
+  // new code should construct an EngineHandle and use the constructor
+  // above.
+  /// \deprecated Use SqlSession(EngineHandle::Private()).
+  SqlSession() : SqlSession(EngineHandle::Private()) {}
+  /// \deprecated Use SqlSession(EngineHandle::Private(db)).
   explicit SqlSession(Database db)
-      : own_(std::make_unique<SvcEngine>(std::move(db))) {}
-  /// A private session over an existing engine state — e.g. a copy of a
-  /// SharedEngine snapshot's engine, for deterministic offline replay.
+      : SqlSession(EngineHandle::Private(std::move(db))) {}
+  /// \deprecated Use SqlSession(EngineHandle::Private(engine)).
   explicit SqlSession(SvcEngine engine)
-      : own_(std::make_unique<SvcEngine>(std::move(engine))) {}
-  /// A session over a shared engine (snapshot-isolated; see class comment).
+      : SqlSession(EngineHandle::Private(std::move(engine))) {}
+  /// \deprecated Use SqlSession(EngineHandle::Shared(shared)).
   explicit SqlSession(std::shared_ptr<SharedEngine> shared)
-      : shared_(std::move(shared)) {}
-  /// A session over a durable engine: shared-mode semantics, plus every
-  /// write statement is one logged commit (the handler encodes the
-  /// DurableOp it performed; DurableEngine WAL-appends it before the
-  /// commit publishes), CHECKPOINT is live, and SHOW STATS reports the
-  /// durability counters.
+      : SqlSession(EngineHandle::Shared(std::move(shared))) {}
+  /// \deprecated Use SqlSession(EngineHandle::Durable(durable)).
   explicit SqlSession(std::shared_ptr<DurableEngine> durable)
-      : shared_(durable->shared()), durable_(std::move(durable)) {}
+      : SqlSession(EngineHandle::Durable(std::move(durable))) {}
 
   /// True iff this session addresses a SharedEngine.
-  bool is_shared() const { return shared_ != nullptr; }
+  bool is_shared() const { return handle_.is_shared(); }
 
   /// The owned engine. REQUIRES: !is_shared() (a shared session has no
   /// private engine; use shared() / snapshots instead).
   SvcEngine& engine() {
-    assert(own_ != nullptr && "engine() requires !is_shared()");
-    return *own_;
+    assert(handle_.private_engine() != nullptr &&
+           "engine() requires !is_shared()");
+    return *handle_.private_engine();
   }
   const SvcEngine& engine() const {
-    assert(own_ != nullptr && "engine() requires !is_shared()");
-    return *own_;
+    assert(handle_.private_engine() != nullptr &&
+           "engine() requires !is_shared()");
+    return *handle_.private_engine();
   }
 
   /// The shared engine (null in private mode).
-  const std::shared_ptr<SharedEngine>& shared() const { return shared_; }
+  const std::shared_ptr<SharedEngine>& shared() const {
+    return handle_.shared();
+  }
 
   /// The durable engine (null unless constructed from one).
-  const std::shared_ptr<DurableEngine>& durable() const { return durable_; }
+  const std::shared_ptr<DurableEngine>& durable() const {
+    return handle_.durable();
+  }
 
   /// Session-wide SVC defaults; `WITH SVC(...)` keys override per query.
   SvcQueryOptions& default_svc_options() { return svc_defaults_; }
   const SvcQueryOptions& default_svc_options() const { return svc_defaults_; }
 
   /// Parses and executes one statement.
-  Result<SqlResult> Execute(const std::string& sql);
+  Result<SqlResult> Execute(const std::string& sql) override;
 
-  /// Executes an already-parsed statement.
+  /// Executes an already-parsed statement. Statements with unbound `?`
+  /// placeholders are rejected (bind them first: sql/params.h).
   Result<SqlResult> Execute(const Statement& stmt);
 
  private:
@@ -196,9 +281,7 @@ class SqlSession {
                               const std::vector<size_t>& pk_indices,
                               PendingKeys* cache);
 
-  std::unique_ptr<SvcEngine> own_;       ///< private mode only
-  std::shared_ptr<SharedEngine> shared_; ///< shared / durable mode
-  std::shared_ptr<DurableEngine> durable_;  ///< durable mode only
+  EngineHandle handle_;
   SvcQueryOptions svc_defaults_;
   std::map<std::string, PendingKeys> pending_keys_;
 };

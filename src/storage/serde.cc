@@ -256,6 +256,13 @@ void EncodeExpr(const Expr& e, std::string* out) {
       PutU32(out, static_cast<uint32_t>(e.children().size()));
       for (const ExprPtr& c : e.children()) EncodeExpr(*c, out);
       break;
+    case ExprKind::kParam:
+      // Parameter placeholders never reach durable state: sessions refuse
+      // to execute statements with unbound params, so encoding one is a
+      // logic error upstream. Encode the index anyway to keep the codec
+      // total (DecodeExpr rejects the tag).
+      PutU64(out, e.param_index());
+      break;
   }
 }
 
@@ -301,6 +308,9 @@ Result<ExprPtr> DecodeExpr(ByteReader* r) {
       }
       return Expr::Func(std::move(name), std::move(args));
     }
+    case ExprKind::kParam:
+      return Status::InvalidArgument(
+          "parameter placeholder in durable expression");
   }
   return Status::InvalidArgument("bad expr kind tag " + std::to_string(tag));
 }

@@ -35,7 +35,7 @@ TEST_F(ExecutorTest, ScanAppliesAlias) {
 TEST_F(ExecutorTest, ScanMissingTableFails) {
   auto r = ExecutePlan(*PlanNode::Scan("NoSuch"), db_);
   EXPECT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().code(), StatusCode::kUnknownRelation);
 }
 
 TEST_F(ExecutorTest, SelectFilters) {

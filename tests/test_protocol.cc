@@ -1,0 +1,280 @@
+// Wire-protocol codec tests (server/protocol.h): framing against torn,
+// corrupt, and hostile input, plus round-trips for every body codec and the
+// exhaustive Status <-> wire-code mapping. Socket-level behavior (unknown
+// tags answered with Error frames, overload, Hello ordering) lives in
+// tests/test_server.cc.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+#include "storage/serde.h"
+#include "tests/test_util.h"
+
+namespace svc {
+namespace {
+
+using testing_util::EncodedRows;
+
+Frame MakeFrame(FrameTag tag, uint32_t request_id, std::string body) {
+  Frame f;
+  f.tag = tag;
+  f.request_id = request_id;
+  f.body = std::move(body);
+  return f;
+}
+
+TEST(ProtocolFraming, RoundTripsTagRequestIdAndBody) {
+  std::string wire;
+  EncodeFrame(MakeFrame(FrameTag::kQuery, 42, "SELECT 1"), &wire);
+  SVC_ASSERT_OK_AND_ASSIGN(std::optional<Frame> got,
+                           TryDecodeFrame(&wire, kDefaultMaxFrameBytes));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->tag, FrameTag::kQuery);
+  EXPECT_EQ(got->request_id, 42u);
+  EXPECT_EQ(got->body, "SELECT 1");
+  EXPECT_TRUE(wire.empty()) << "frame bytes must be consumed";
+}
+
+TEST(ProtocolFraming, TruncatedPrefixesAreIncompleteNotErrors) {
+  std::string full;
+  EncodeFrame(MakeFrame(FrameTag::kQuery, 7, "SELECT a FROM t"), &full);
+  // Every strict prefix — mid-header, mid-payload — decodes to "need more
+  // bytes" and leaves the buffer untouched.
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    std::string buf = full.substr(0, cut);
+    auto r = TryDecodeFrame(&buf, kDefaultMaxFrameBytes);
+    SVC_ASSERT_OK(r.status());
+    EXPECT_FALSE(r->has_value()) << "prefix of " << cut << " bytes";
+    EXPECT_EQ(buf.size(), cut);
+  }
+}
+
+TEST(ProtocolFraming, OversizedFrameIsAProtocolError) {
+  std::string wire;
+  EncodeFrame(MakeFrame(FrameTag::kQuery, 1, std::string(1024, 'x')), &wire);
+  // A tiny limit turns the declared length itself into the attack: the
+  // decoder must refuse before buffering the body.
+  auto r = TryDecodeFrame(&wire, /*max_frame_bytes=*/64);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kProtocol);
+}
+
+TEST(ProtocolFraming, CrcMismatchIsAProtocolError) {
+  std::string wire;
+  EncodeFrame(MakeFrame(FrameTag::kQuery, 9, "SELECT 1"), &wire);
+  wire[kFrameHeaderBytes + 3] ^= 0x01;  // flip one payload bit
+  auto r = TryDecodeFrame(&wire, kDefaultMaxFrameBytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kProtocol);
+}
+
+TEST(ProtocolFraming, UndersizedPayloadIsAProtocolError) {
+  // A frame whose payload is shorter than tag + request id cannot carry a
+  // message; hand-build one with a correct CRC so only the length is bad.
+  const std::string payload = "\x02";  // tag only, no request id
+  std::string wire;
+  PutU32(&wire, static_cast<uint32_t>(payload.size()));
+  PutU32(&wire, Crc32(payload));
+  wire += payload;
+  auto r = TryDecodeFrame(&wire, kDefaultMaxFrameBytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kProtocol);
+}
+
+TEST(ProtocolFraming, PipelinedFramesDecodeInOrder) {
+  std::string wire;
+  EncodeFrame(MakeFrame(FrameTag::kQuery, 1, "first"), &wire);
+  EncodeFrame(MakeFrame(FrameTag::kQuery, 2, "second"), &wire);
+  SVC_ASSERT_OK_AND_ASSIGN(std::optional<Frame> a,
+                           TryDecodeFrame(&wire, kDefaultMaxFrameBytes));
+  SVC_ASSERT_OK_AND_ASSIGN(std::optional<Frame> b,
+                           TryDecodeFrame(&wire, kDefaultMaxFrameBytes));
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->request_id, 1u);
+  EXPECT_EQ(a->body, "first");
+  EXPECT_EQ(b->request_id, 2u);
+  EXPECT_EQ(b->body, "second");
+  EXPECT_TRUE(wire.empty());
+}
+
+// ---- Status <-> wire codes --------------------------------------------------
+
+TEST(ProtocolCodes, EveryStatusCodeRoundTrips) {
+  const StatusCode all[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kAlreadyExists,
+      StatusCode::kNotSupported, StatusCode::kOutOfRange,
+      StatusCode::kInternal,     StatusCode::kParseError,
+      StatusCode::kUnknownRelation, StatusCode::kConstraintViolation,
+      StatusCode::kOverloaded,   StatusCode::kProtocol,
+  };
+  for (StatusCode code : all) {
+    EXPECT_EQ(StatusCodeFromWire(WireCodeOf(code)), code);
+  }
+}
+
+TEST(ProtocolCodes, WireNumbersArePinned) {
+  // docs/PROTOCOL.md's table; renumbering breaks deployed clients.
+  EXPECT_EQ(WireCodeOf(StatusCode::kOk), 0);
+  EXPECT_EQ(WireCodeOf(StatusCode::kInvalidArgument), 1);
+  EXPECT_EQ(WireCodeOf(StatusCode::kNotFound), 2);
+  EXPECT_EQ(WireCodeOf(StatusCode::kAlreadyExists), 3);
+  EXPECT_EQ(WireCodeOf(StatusCode::kNotSupported), 4);
+  EXPECT_EQ(WireCodeOf(StatusCode::kOutOfRange), 5);
+  EXPECT_EQ(WireCodeOf(StatusCode::kInternal), 6);
+  EXPECT_EQ(WireCodeOf(StatusCode::kParseError), 7);
+  EXPECT_EQ(WireCodeOf(StatusCode::kUnknownRelation), 8);
+  EXPECT_EQ(WireCodeOf(StatusCode::kConstraintViolation), 9);
+  EXPECT_EQ(WireCodeOf(StatusCode::kOverloaded), 10);
+  EXPECT_EQ(WireCodeOf(StatusCode::kProtocol), 11);
+}
+
+TEST(ProtocolCodes, UnknownWireCodeDecodesAsInternal) {
+  EXPECT_EQ(StatusCodeFromWire(0xEE), StatusCode::kInternal);
+}
+
+// ---- Body codecs ------------------------------------------------------------
+
+TEST(ProtocolBodies, HelloRoundTrips) {
+  HelloRequest req;
+  req.max_version = 3;
+  req.client_name = "test-client";
+  std::string body;
+  EncodeHelloRequest(req, &body);
+  SVC_ASSERT_OK_AND_ASSIGN(HelloRequest got, DecodeHelloRequest(body));
+  EXPECT_EQ(got.max_version, 3u);
+  EXPECT_EQ(got.client_name, "test-client");
+
+  HelloReply reply;
+  reply.version = 1;
+  reply.server_name = "svc_served";
+  body.clear();
+  EncodeHelloReply(reply, &body);
+  SVC_ASSERT_OK_AND_ASSIGN(HelloReply rgot, DecodeHelloReply(body));
+  EXPECT_EQ(rgot.version, 1u);
+  EXPECT_EQ(rgot.server_name, "svc_served");
+}
+
+TEST(ProtocolBodies, ErrorBodyCarriesCodeAndMessage) {
+  std::string body;
+  EncodeErrorBody(Status::UnknownRelation("no such view: v"), &body);
+  const Status got = DecodeErrorBody(body);
+  EXPECT_EQ(got.code(), StatusCode::kUnknownRelation);
+  EXPECT_EQ(got.message(), "no such view: v");
+}
+
+TEST(ProtocolBodies, MalformedErrorBodyDegradesToProtocol) {
+  EXPECT_EQ(DecodeErrorBody("").code(), StatusCode::kProtocol);
+  EXPECT_EQ(DecodeErrorBody("\x01").code(), StatusCode::kProtocol);
+}
+
+TEST(ProtocolBodies, OkCodedErrorBodyDegradesToProtocol) {
+  // An Error frame claiming success would trip Result's invariant on the
+  // client; the decoder refuses it instead.
+  std::string body;
+  PutU8(&body, 0);  // wire code kOk
+  PutStr(&body, "not actually an error");
+  EXPECT_EQ(DecodeErrorBody(body).code(), StatusCode::kProtocol);
+}
+
+TEST(ProtocolBodies, OkResultRoundTrips) {
+  SqlResult result;
+  result.kind = SqlResultKind::kOk;
+  result.message = "created table t";
+  std::string body;
+  const FrameTag tag = EncodeSqlResultBody(result, &body);
+  EXPECT_EQ(tag, FrameTag::kOk);
+  SVC_ASSERT_OK_AND_ASSIGN(SqlResult got, DecodeSqlResultBody(tag, body));
+  EXPECT_EQ(got.kind, SqlResultKind::kOk);
+  EXPECT_EQ(got.message, "created table t");
+}
+
+TEST(ProtocolBodies, RowsResultRoundTripsBitExact) {
+  Table t(Schema({{"", "a", ValueType::kInt}, {"", "b", ValueType::kDouble}}));
+  SVC_ASSERT_OK(t.Insert({Value::Int(1), Value::Double(1.5)}));
+  SVC_ASSERT_OK(t.Insert({Value::Int(2), Value::Double(2.5)}));
+  SqlResult result;
+  result.kind = SqlResultKind::kRows;
+  result.rows = t;
+  result.message = "2 row(s)";
+  std::string body;
+  const FrameTag tag = EncodeSqlResultBody(result, &body);
+  EXPECT_EQ(tag, FrameTag::kResultSet);
+  SVC_ASSERT_OK_AND_ASSIGN(SqlResult got, DecodeSqlResultBody(tag, body));
+  EXPECT_EQ(got.kind, SqlResultKind::kRows);
+  EXPECT_EQ(got.message, "2 row(s)");
+  EXPECT_EQ(EncodedRows(got.rows), EncodedRows(t));
+}
+
+TEST(ProtocolBodies, EstimateResultCarriesMode) {
+  Table t(Schema({{"", "estimate", ValueType::kDouble}}));
+  SVC_ASSERT_OK(t.Insert({Value::Double(3.25)}));
+  for (EstimatorMode mode : {EstimatorMode::kAqp, EstimatorMode::kCorr}) {
+    SqlResult result;
+    result.kind = SqlResultKind::kEstimate;
+    result.rows = t;
+    result.message = "estimate";
+    result.mode_used = mode;
+    std::string body;
+    const FrameTag tag = EncodeSqlResultBody(result, &body);
+    EXPECT_EQ(tag, FrameTag::kEstimate);
+    SVC_ASSERT_OK_AND_ASSIGN(SqlResult got, DecodeSqlResultBody(tag, body));
+    EXPECT_EQ(got.kind, SqlResultKind::kEstimate);
+    EXPECT_EQ(got.mode_used, mode);
+    EXPECT_EQ(EncodedRows(got.rows), EncodedRows(t));
+  }
+}
+
+TEST(ProtocolBodies, TruncatedResultBodyIsAnError) {
+  Table t(Schema({{"", "a", ValueType::kInt}}));
+  SVC_ASSERT_OK(t.Insert({Value::Int(1)}));
+  SqlResult result;
+  result.kind = SqlResultKind::kRows;
+  result.rows = t;
+  result.message = "1 row(s)";
+  std::string body;
+  const FrameTag tag = EncodeSqlResultBody(result, &body);
+  for (size_t cut = 0; cut < body.size(); ++cut) {
+    EXPECT_FALSE(DecodeSqlResultBody(tag, body.substr(0, cut)).ok())
+        << "prefix of " << cut << " bytes decoded";
+  }
+}
+
+TEST(ProtocolBodies, ExecuteBodyRoundTripsValues) {
+  const std::vector<Value> params = {Value::Int(-3), Value::Double(2.5),
+                                     Value::String("abc"), Value::Null()};
+  std::string body;
+  EncodeExecuteBody(77, params, &body);
+  SVC_ASSERT_OK_AND_ASSIGN(ExecuteRequest got, DecodeExecuteBody(body));
+  EXPECT_EQ(got.stmt_id, 77u);
+  ASSERT_EQ(got.params.size(), params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    EXPECT_TRUE(got.params[i] == params[i]) << "param " << i;
+  }
+}
+
+TEST(ProtocolBodies, PreparedBodyRoundTrips) {
+  std::string body;
+  EncodePreparedBody(5, 2, &body);
+  SVC_ASSERT_OK_AND_ASSIGN(PreparedReply got, DecodePreparedBody(body));
+  EXPECT_EQ(got.stmt_id, 5u);
+  EXPECT_EQ(got.num_params, 2u);
+}
+
+TEST(ProtocolBodies, StatsBodyRoundTrips) {
+  const std::map<std::string, uint64_t> stats = {
+      {"requests", 12}, {"statements_parsed", 7}, {"prepared_executes", 5}};
+  std::string body;
+  EncodeStatsBody(stats, &body);
+  SVC_ASSERT_OK_AND_ASSIGN(auto got, DecodeStatsBody(body));
+  EXPECT_EQ(got, stats);
+}
+
+}  // namespace
+}  // namespace svc

@@ -49,7 +49,7 @@ TEST(ShellTest, StopsOnErrorByDefault) {
       "SELECT * FROM missing; CREATE TABLE t (a INT, PRIMARY KEY (a));");
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(shell.statements_run(), 1u);  // second statement never ran
-  EXPECT_NE(out.str().find("error: NotFound"), std::string::npos);
+  EXPECT_NE(out.str().find("error: UnknownRelation"), std::string::npos);
 }
 
 TEST(ShellTest, KeepGoingRunsPastErrors) {
@@ -106,7 +106,7 @@ TEST(ShellTest, InteractiveSurvivesStatementErrorsButReportsThem) {
   // The loop continues past the error, but the error still becomes the
   // return value so piped scripts exit non-zero like --file does.
   EXPECT_FALSE(shell.RunInteractive(in, out, /*show_prompt=*/false).ok());
-  EXPECT_NE(out.str().find("error: NotFound"), std::string::npos);
+  EXPECT_NE(out.str().find("error: UnknownRelation"), std::string::npos);
   EXPECT_NE(out.str().find("created table t"), std::string::npos);
 }
 

@@ -1,0 +1,213 @@
+// svc_served — the SVC network server.
+//
+// Serves the SQL engine over a socket speaking the framed binary protocol
+// (docs/PROTOCOL.md): N client connections are multiplexed onto a worker
+// pool over one SharedEngine, so every connection sees snapshot-isolated
+// statements exactly like concurrent in-process sessions — transcripts
+// over the wire are bit-identical to `svc_shell --shared`.
+//
+// Usage:
+//   svc_served --port 7878                 serve on 127.0.0.1:7878
+//   svc_served --port 0 --port-file p.txt  ephemeral port, written to p.txt
+//   svc_served --host 0.0.0.0 ...          listen address
+//   svc_served --workers N                 statement worker threads
+//   svc_served --max-inflight N            admission-control limit
+//   svc_served --data-dir <dir>            durable engine (WAL + recovery)
+//   svc_served --fsync <p> / --checkpoint-every N   as in svc_shell
+//
+// SIGINT/SIGTERM shut down gracefully (durable mode checkpoints first).
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/shared_engine.h"
+#include "server/server.h"
+#include "storage/durable_engine.h"
+
+namespace {
+
+int g_shutdown_pipe[2] = {-1, -1};
+
+void OnSignal(int) {
+  const char b = 1;
+  ssize_t ignored = write(g_shutdown_pipe[1], &b, 1);
+  (void)ignored;
+}
+
+int Usage(const char* argv0, int rc) {
+  std::fprintf(rc == 0 ? stdout : stderr,
+               "usage: %s [--host <addr>] [--port <n>] [--port-file <path>]\n"
+               "          [--workers <n>] [--max-inflight <n>]\n"
+               "          [--data-dir <dir>] [--fsync always|off|every=N]\n"
+               "          [--checkpoint-every <n>]\n",
+               argv0);
+  return rc;
+}
+
+bool ParseCount(const char* v, uint64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoull(v, &end, 10);
+  return end != v && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  svc::ServerOptions opts;
+  opts.port = 7878;
+  std::string port_file;
+  svc::DurableOptions durable_opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value_of = [&](const char** out) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", arg);
+        return false;
+      }
+      *out = argv[++i];
+      return true;
+    };
+    const char* v = nullptr;
+    uint64_t n = 0;
+    if (std::strcmp(arg, "--host") == 0) {
+      if (!value_of(&v)) return Usage(argv[0], 2);
+      opts.host = v;
+    } else if (std::strcmp(arg, "--port") == 0) {
+      if (!value_of(&v) || !ParseCount(v, &n) || n > 65535) {
+        std::fprintf(stderr, "error: --port expects 0..65535\n");
+        return Usage(argv[0], 2);
+      }
+      opts.port = static_cast<uint16_t>(n);
+    } else if (std::strcmp(arg, "--port-file") == 0) {
+      if (!value_of(&v)) return Usage(argv[0], 2);
+      port_file = v;
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      if (!value_of(&v) || !ParseCount(v, &n) || n == 0) {
+        std::fprintf(stderr, "error: --workers expects a positive count\n");
+        return Usage(argv[0], 2);
+      }
+      opts.workers = static_cast<int>(n);
+    } else if (std::strcmp(arg, "--max-inflight") == 0) {
+      if (!value_of(&v) || !ParseCount(v, &n) || n == 0) {
+        std::fprintf(stderr,
+                     "error: --max-inflight expects a positive count\n");
+        return Usage(argv[0], 2);
+      }
+      opts.max_inflight = static_cast<uint32_t>(n);
+    } else if (std::strcmp(arg, "--data-dir") == 0) {
+      if (!value_of(&v)) return Usage(argv[0], 2);
+      durable_opts.data_dir = v;
+    } else if (std::strcmp(arg, "--fsync") == 0) {
+      if (!value_of(&v)) return Usage(argv[0], 2);
+      auto parsed = svc::ParseFsyncSpec(v);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     parsed.status().ToString().c_str());
+        return Usage(argv[0], 2);
+      }
+      durable_opts.wal = *parsed;
+    } else if (std::strcmp(arg, "--checkpoint-every") == 0) {
+      if (!value_of(&v) || !ParseCount(v, &n)) {
+        std::fprintf(stderr, "error: --checkpoint-every expects a count\n");
+        return Usage(argv[0], 2);
+      }
+      durable_opts.checkpoint_every = n;
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      return Usage(argv[0], 0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return Usage(argv[0], 2);
+    }
+  }
+
+  // Engine: durable when --data-dir is given (recover first), otherwise a
+  // fresh in-memory shared engine.
+  std::shared_ptr<svc::DurableEngine> durable_engine;
+  std::unique_ptr<svc::SvcServer> server;
+  if (!durable_opts.data_dir.empty()) {
+    svc::RecoveryReport report;
+    auto opened = svc::DurableEngine::Open(durable_opts, &report);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error: cannot open %s: %s\n",
+                   durable_opts.data_dir.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    durable_engine = std::move(opened).value();
+    if (!report.warning.empty()) {
+      std::fprintf(stderr, "warning: %s\n", report.warning.c_str());
+    }
+    std::fprintf(stderr,
+                 "recovered %s at epoch %llu (checkpoint %llu + %llu WAL "
+                 "record(s))\n",
+                 durable_opts.data_dir.c_str(),
+                 static_cast<unsigned long long>(report.recovered_epoch),
+                 static_cast<unsigned long long>(report.checkpoint_epoch),
+                 static_cast<unsigned long long>(report.wal_records_replayed));
+    server = std::make_unique<svc::SvcServer>(opts, durable_engine);
+  } else {
+    server = std::make_unique<svc::SvcServer>(
+        opts, std::make_shared<svc::SharedEngine>(svc::Database()));
+  }
+
+  if (pipe(g_shutdown_pipe) < 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = OnSignal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+
+  const svc::Status started = server->Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "svc_served listening on %s:%u (%d worker(s))\n",
+               opts.host.c_str(), server->port(), opts.workers);
+  if (!port_file.empty()) {
+    // Written atomically (tmp + rename) so a watcher never reads a
+    // half-written port number.
+    const std::string tmp = port_file + ".tmp";
+    FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", server->port());
+    std::fclose(f);
+    if (std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+      std::perror("rename port file");
+      return 1;
+    }
+  }
+
+  // Block until SIGINT/SIGTERM.
+  char b;
+  while (read(g_shutdown_pipe[0], &b, 1) < 0 && errno == EINTR) {
+  }
+  std::fprintf(stderr, "shutting down\n");
+  server->Stop();
+
+  // Durable mode: checkpoint on clean exit so the next startup replays
+  // nothing (same contract as svc_shell).
+  if (durable_engine != nullptr) {
+    auto ckpt = durable_engine->Checkpoint();
+    if (!ckpt.ok()) {
+      std::fprintf(stderr, "error: final checkpoint failed: %s\n",
+                   ckpt.status().ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -18,10 +18,14 @@
 //                                  WAL every write, checkpoint on clean exit
 //   svc_shell --fsync <p>          WAL fsync policy: always | off | every=N
 //   svc_shell --checkpoint-every N auto-checkpoint after N logged commits
+//   svc_shell --connect host:port  run the same statements against a
+//                                  remote svc_served over the wire protocol
+//                                  (transcripts are bit-identical to local)
 
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -30,6 +34,7 @@
 #include <string>
 
 #include "core/shared_engine.h"
+#include "server/client.h"
 #include "shell/shell.h"
 #include "storage/durable_engine.h"
 
@@ -41,6 +46,7 @@ int Usage(const char* argv0, int rc) {
                "[--keep-going] [--shared]\n"
                "          [--data-dir <dir>] [--fsync always|off|every=N] "
                "[--checkpoint-every <n>]\n"
+               "          [--connect <host:port>]\n"
                "  no arguments: interactive shell (statements end with ';')\n",
                argv0);
   return rc;
@@ -54,6 +60,7 @@ int main(int argc, char** argv) {
   bool has_file = false;
   bool has_inline = false;
   bool shared = false;
+  std::string connect;
   svc::DurableOptions durable_opts;
   svc::ShellOptions opts;
   for (int i = 1; i < argc; ++i) {
@@ -82,6 +89,10 @@ int main(int argc, char** argv) {
       opts.keep_going = true;
     } else if (std::strcmp(arg, "--shared") == 0) {
       shared = true;
+    } else if (std::strcmp(arg, "--connect") == 0) {
+      const char* v = nullptr;
+      if (!value_of(&v)) return Usage(argv[0], 2);
+      connect = v;
     } else if (std::strcmp(arg, "--data-dir") == 0) {
       const char* v = nullptr;
       if (!value_of(&v)) return Usage(argv[0], 2);
@@ -132,6 +143,12 @@ int main(int argc, char** argv) {
                  "error: --fsync / --checkpoint-every require --data-dir\n");
     return Usage(argv[0], 2);
   }
+  if (!connect.empty() && (shared || durable)) {
+    std::fprintf(stderr,
+                 "error: --connect is remote; --shared / --data-dir pick a "
+                 "local engine\n");
+    return Usage(argv[0], 2);
+  }
 
   // Durable mode: recover (or initialize) the data directory, then run the
   // session on the recovered engine. Recovery details go to stderr so
@@ -159,16 +176,47 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(report.wal_records_replayed));
   }
 
-  // --shared runs the identical statement stream on a SharedEngine: this
-  // single session is the degenerate case of many concurrent sessions, so
-  // transcripts (e.g. the quickstart golden) must match private mode.
-  // --data-dir implies shared-mode semantics on the recovered engine.
-  svc::SqlSession session =
-      durable ? svc::SqlSession(durable_engine)
-      : shared ? svc::SqlSession(
-                     std::make_shared<svc::SharedEngine>(svc::Database()))
-               : svc::SqlSession();
-  svc::Shell shell(&session, &std::cout, opts);
+  // The shell drives any SqlExecutor: a local SqlSession over whichever
+  // EngineHandle the flags picked, or a SvcClient speaking the wire
+  // protocol to a remote svc_served. --shared runs the identical statement
+  // stream on a SharedEngine: this single session is the degenerate case of
+  // many concurrent sessions, so transcripts (e.g. the quickstart golden)
+  // must match private mode. --data-dir implies shared-mode semantics on
+  // the recovered engine.
+  std::unique_ptr<svc::SqlExecutor> executor;
+  if (!connect.empty()) {
+    const size_t colon = connect.rfind(':');
+    char* end = nullptr;
+    const unsigned long port =
+        colon == std::string::npos
+            ? 0
+            : std::strtoul(connect.c_str() + colon + 1, &end, 10);
+    if (colon == std::string::npos || colon == 0 || end == nullptr ||
+        *end != '\0' || port == 0 || port > 65535) {
+      std::fprintf(stderr, "error: --connect expects host:port, got %s\n",
+                   connect.c_str());
+      return Usage(argv[0], 2);
+    }
+    svc::ClientOptions copts;
+    copts.host = connect.substr(0, colon);
+    copts.port = static_cast<uint16_t>(port);
+    copts.client_name = "svc_shell";
+    auto connected = svc::SvcClient::Connect(copts);
+    if (!connected.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   connected.status().ToString().c_str());
+      return 1;
+    }
+    executor = std::move(connected).value();
+  } else {
+    svc::EngineHandle handle =
+        durable ? svc::EngineHandle::Durable(durable_engine)
+        : shared ? svc::EngineHandle::Shared(
+                       std::make_shared<svc::SharedEngine>(svc::Database()))
+                 : svc::EngineHandle::Private();
+    executor = std::make_unique<svc::SqlSession>(std::move(handle));
+  }
+  svc::Shell shell(executor.get(), &std::cout, opts);
 
   // On a clean exit, checkpoint so the next startup replays nothing. A
   // checkpoint failure is a real error (the WAL still has everything, but
