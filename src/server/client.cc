@@ -69,6 +69,15 @@ SvcClient::~SvcClient() {
 Status SvcClient::SendFrame(const Frame& frame) {
   std::string wire;
   EncodeFrame(frame, &wire);
+  if (wire.size() - kFrameHeaderBytes > kDefaultMaxFrameBytes) {
+    // The server would treat an oversized frame as unrecoverable and drop
+    // the connection; fail the request locally instead.
+    return Status::OutOfRange(
+        "request frame of " +
+        std::to_string(wire.size() - kFrameHeaderBytes) +
+        " bytes exceeds the " + std::to_string(kDefaultMaxFrameBytes) +
+        "-byte frame limit");
+  }
   size_t sent = 0;
   while (sent < wire.size()) {
     const ssize_t n =

@@ -1,6 +1,5 @@
 #include "server/protocol.h"
 
-#include <cstring>
 #include <utility>
 
 #include "storage/serde.h"
@@ -9,10 +8,14 @@ namespace svc {
 
 namespace {
 
+/// Explicit little-endian, matching PutU32 (storage/serde.cc), so frame
+/// headers decode identically on any host byte order.
 uint32_t ReadU32(const char* p) {
-  uint32_t v;
-  std::memcpy(&v, p, sizeof(v));
-  return v;  // little-endian hosts only, like storage/serde.cc
+  uint32_t v = 0;
+  for (size_t i = 0; i < sizeof(v); ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
 }
 
 }  // namespace

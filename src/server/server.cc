@@ -32,19 +32,28 @@ Status SetNonBlocking(int fd) {
   return Status::OK();
 }
 
-/// Blocking send of the whole buffer (the fd is non-blocking, so spin on
-/// EAGAIN with a short poll). Returns false when the peer is gone.
-bool SendAll(int fd, const char* data, size_t len) {
+/// Blocking send of the whole buffer (the fd is non-blocking, so wait on
+/// EAGAIN with short polls). Returns false when the peer is gone, the
+/// server is stopping, or no byte could be sent for `timeout_ms` — a peer
+/// that stopped reading must not wedge the calling thread forever.
+bool SendAll(int fd, const char* data, size_t len,
+             const std::atomic<bool>& stopping, int timeout_ms) {
   size_t sent = 0;
+  int stalled_ms = 0;
   while (sent < len) {
+    if (stopping.load()) return false;
     const ssize_t n = send(fd, data + sent, len - sent, MSG_NOSIGNAL);
     if (n > 0) {
       sent += static_cast<size_t>(n);
+      stalled_ms = 0;
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (stalled_ms >= timeout_ms) return false;
       struct pollfd pfd = {fd, POLLOUT, 0};
-      (void)poll(&pfd, 1, 1000);
+      const int step = std::min(200, timeout_ms - stalled_ms);
+      (void)poll(&pfd, 1, step);
+      stalled_ms += step;
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
@@ -174,10 +183,33 @@ Frame SvcServer::ErrorFrame(uint32_t request_id, const Status& status) const {
 void SvcServer::WriteFrame(Conn* conn, const Frame& frame) {
   std::string wire;
   EncodeFrame(frame, &wire);
-  std::lock_guard<std::mutex> lock(conn->write_mu);
-  // A failed write means the peer hung up; the read side will see it and
-  // reap the connection, so the result is deliberately ignored here.
-  (void)SendAll(conn->fd, wire.data(), wire.size());
+  const size_t payload_bytes = wire.size() - kFrameHeaderBytes;
+  if (payload_bytes > opts_.max_frame_bytes) {
+    // The peer would reject this as an unrecoverable oversized frame and
+    // drop the connection with a misleading framing error; answer with a
+    // decodable error instead.
+    wire.clear();
+    EncodeFrame(
+        ErrorFrame(frame.request_id,
+                   Status::OutOfRange(
+                       "result frame of " + std::to_string(payload_bytes) +
+                       " bytes exceeds the " +
+                       std::to_string(opts_.max_frame_bytes) +
+                       "-byte frame limit; narrow the query")),
+        &wire);
+  }
+  bool sent;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    sent = SendAll(conn->fd, wire.data(), wire.size(), stopping_,
+                   opts_.send_timeout_ms);
+  }
+  if (!sent) {
+    // Peer gone (or unresponsive past the timeout): stop reading from it
+    // and let the IO thread reap the connection once it drains.
+    std::lock_guard<std::mutex> lock(mu_);
+    conn->closing = true;
+  }
 }
 
 void SvcServer::IoLoop() {
@@ -267,6 +299,15 @@ void SvcServer::DrainReadable(const ConnPtr& conn) {
       inflight_ -= static_cast<uint32_t>(conn->pending.size());
       conn->pending.clear();
       conn->closing = true;
+      // If the conn is still queued (no worker claimed it yet), dequeue it
+      // too: a worker popping it now would find the emptied pending deque.
+      // When a worker *does* hold it, it is not in ready_ — the worker owns
+      // its request's in-flight slot and clears busy when it finishes.
+      auto queued = std::find(ready_.begin(), ready_.end(), conn);
+      if (queued != ready_.end()) {
+        ready_.erase(queued);
+        conn->busy = false;
+      }
       return;
     }
     if (!decoded->has_value()) break;
@@ -314,6 +355,12 @@ void SvcServer::WorkerLoop() {
       if (stopping_.load()) return;
       conn = std::move(ready_.front());
       ready_.pop_front();
+      // Defensive: never pop an empty queue. A protocol error clears
+      // pending (and dequeues the conn, so this should be unreachable).
+      if (conn->pending.empty()) {
+        conn->busy = false;
+        continue;
+      }
       request = std::move(conn->pending.front());
       conn->pending.pop_front();
     }

@@ -30,7 +30,13 @@ struct ServerOptions {
   /// Overloaded error frame instead of queueing without bound.
   uint32_t max_inflight = 64;
   /// Frames larger than this are a protocol error (connection dropped).
+  /// Responses that would exceed it are answered with an OutOfRange error
+  /// frame instead of an undecodable oversized frame.
   uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// A response write that makes no progress for this long (the peer
+  /// stopped reading) marks the connection dead instead of wedging the
+  /// writing thread.
+  int send_timeout_ms = 5000;
   /// Reported in the Hello reply.
   std::string server_name = "svc_served";
 };

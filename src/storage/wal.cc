@@ -8,6 +8,7 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "storage/fault.h"
 #include "storage/serde.h"
@@ -73,7 +74,8 @@ WalWriter::WalWriter(WalWriter&& other) noexcept
       opts_(other.opts_),
       records_(other.records_),
       bytes_(other.bytes_),
-      unsynced_(other.unsynced_) {
+      unsynced_(other.unsynced_),
+      poison_(std::move(other.poison_)) {
   other.fd_ = -1;
 }
 
@@ -85,6 +87,7 @@ WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
     records_ = other.records_;
     bytes_ = other.bytes_;
     unsynced_ = other.unsynced_;
+    poison_ = std::move(other.poison_);
     other.fd_ = -1;
   }
   return *this;
@@ -95,6 +98,11 @@ WalWriter::~WalWriter() {
 }
 
 Status WalWriter::Append(std::string_view payload) {
+  if (!poison_.empty()) {
+    return Status::Internal(
+        "wal writer disabled after an unrecoverable append failure (" +
+        poison_ + "); refusing further commits");
+  }
   FaultInjector& fault = FaultInjector::Global();
   fault.MaybeCrash("wal.append.pre");
 
@@ -114,14 +122,31 @@ Status WalWriter::Append(std::string_view payload) {
     fault.CrashNow("wal.append.torn");
   }
 
-  SVC_RETURN_IF_ERROR(WriteAll(fd_, frame.data(), frame.size()));
+  // Where this append begins: on failure the file is rolled back here so
+  // the record of a commit reported as failed cannot be replayed by the
+  // next recovery (the caller was told it did not happen).
+  const off_t start = ::lseek(fd_, 0, SEEK_END);
+  Status status = WriteAll(fd_, frame.data(), frame.size());
+  if (status.ok()) {
+    ++unsynced_;
+    const bool sync_now =
+        opts_.policy == FsyncPolicy::kAlways ||
+        (opts_.policy == FsyncPolicy::kEveryN && unsynced_ >= opts_.interval);
+    if (sync_now) status = Sync();
+  }
+  if (!status.ok()) {
+    // Some or all of the frame may be durable even though the caller will
+    // see a failed commit. Roll back to the pre-append offset (and make
+    // the rollback itself durable); if that fails too, poison the writer.
+    if (start >= 0 && ::ftruncate(fd_, start) == 0 && ::fsync(fd_) == 0) {
+      unsynced_ = 0;
+    } else {
+      poison_ = status.ToString();
+    }
+    return status;
+  }
   ++records_;
   bytes_ += frame.size();
-  ++unsynced_;
-  const bool sync_now =
-      opts_.policy == FsyncPolicy::kAlways ||
-      (opts_.policy == FsyncPolicy::kEveryN && unsynced_ >= opts_.interval);
-  if (sync_now) SVC_RETURN_IF_ERROR(Sync());
 
   fault.MaybeCrash("wal.append.post");
   return Status::OK();

@@ -49,7 +49,11 @@ class WalWriter {
   WalWriter& operator=(const WalWriter&) = delete;
   ~WalWriter();
 
-  /// Appends one CRC-framed record and applies the fsync policy.
+  /// Appends one CRC-framed record and applies the fsync policy. On a
+  /// failed write or fsync the file is rolled back to its pre-append
+  /// length, so a commit reported as failed can never resurface at
+  /// recovery; if even the rollback fails, the writer poisons itself and
+  /// refuses all further appends (no commits beats resurrected ones).
   Status Append(std::string_view payload);
 
   /// Forces an fsync regardless of policy.
@@ -67,6 +71,10 @@ class WalWriter {
   uint64_t records_ = 0;
   uint64_t bytes_ = 0;
   size_t unsynced_ = 0;
+  /// Non-empty after a failed append could not be rolled back: the log may
+  /// hold a record whose commit was reported failed, so appending more
+  /// would let recovery resurrect it. Every later Append fails with this.
+  std::string poison_;
 };
 
 /// What ReplayWal found in the log.

@@ -434,6 +434,76 @@ TEST(ServerTest, OversizedFrameGetsErrorFrameThenDisconnect) {
   EXPECT_TRUE(raw.ServerClosed());
 }
 
+TEST(ServerTest, ValidThenCorruptFrameInOneBurstDoesNotWedgeTheServer) {
+  ServerOptions opts;
+  opts.max_inflight = 2;
+  auto server = StartServer(opts);
+  // One TCP burst: a well-formed query immediately followed by a corrupt
+  // frame. The IO thread usually decodes both in a single read pass — the
+  // query is queued for a worker, then the protocol error must dequeue it
+  // again without unbalancing the in-flight counter or leaving a worker
+  // to pop the emptied request queue.
+  for (int round = 0; round < 8; ++round) {
+    RawConn raw(server->port());
+    ASSERT_NO_FATAL_FAILURE(raw.Hello());
+    Frame query;
+    query.tag = FrameTag::kQuery;
+    query.request_id = 2;
+    PutStr(&query.body, "SELECT a FROM t;");
+    std::string burst;
+    EncodeFrame(query, &burst);
+    query.request_id = 3;
+    std::string corrupt;
+    EncodeFrame(query, &corrupt);
+    corrupt[corrupt.size() - 1] ^= 0x40;
+    burst += corrupt;
+    raw.SendBytes(burst);
+    EXPECT_TRUE(raw.ServerClosed());
+  }
+  EXPECT_GE(server->stats().protocol_errors, 8u);
+  // The in-flight counter must still be balanced: an underflow would pin
+  // inflight >= max_inflight and reject every future request as
+  // Overloaded.
+  auto client = ConnectTo(*server);
+  ASSERT_NE(client, nullptr);
+  for (int i = 0; i < 4; ++i) {
+    SVC_ASSERT_OK(client
+                      ->Execute("CREATE TABLE t" + std::to_string(i) +
+                                " (a INT, PRIMARY KEY (a));")
+                      .status());
+  }
+}
+
+TEST(ServerTest, OversizedResultBecomesDecodableOutOfRangeError) {
+  ServerOptions opts;
+  opts.max_frame_bytes = 1024;
+  auto server = StartServer(opts);
+  auto client = ConnectTo(*server);
+  ASSERT_NE(client, nullptr);
+  SVC_ASSERT_OK(
+      client->Execute("CREATE TABLE t (a INT, s STRING, PRIMARY KEY (a));")
+          .status());
+  const std::string filler(64, 'x');
+  for (int i = 0; i < 32; ++i) {
+    SVC_ASSERT_OK(client
+                      ->Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                                ", '" + filler + "');")
+                      .status());
+  }
+  SVC_ASSERT_OK(client->Execute("REFRESH ALL;").status());
+  // The full table is ~2 KiB encoded — beyond any frame this server may
+  // send. The answer must be a decodable OutOfRange error, not an
+  // oversized frame the client rejects as an unrecoverable framing
+  // failure.
+  auto big = client->Execute("SELECT a, s FROM t;");
+  ASSERT_FALSE(big.ok());
+  EXPECT_EQ(big.status().code(), StatusCode::kOutOfRange);
+  // The connection (and its framing) survives: a narrower query answers.
+  SVC_ASSERT_OK_AND_ASSIGN(SqlResult one,
+                           client->Execute("SELECT s FROM t WHERE a = 0;"));
+  EXPECT_EQ(one.rows.NumRows(), 1u);
+}
+
 TEST(ServerTest, TruncatedFrameThenDisconnectDoesNotWedgeTheServer) {
   auto server = StartServer();
   {

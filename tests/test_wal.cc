@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/resource.h>
+
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -227,6 +230,46 @@ TEST_F(WalTest, ReplayCallbackErrorAborts) {
       &info);
   EXPECT_FALSE(st.ok());
   EXPECT_EQ(calls, 1u);
+}
+
+TEST_F(WalTest, FailedAppendRollsBackSoReplayCannotResurrectIt) {
+  WalWriter w = WalWriter::Open(path_, WalOptions{}).value();
+  SVC_ASSERT_OK(w.Append("first"));
+  const uint64_t committed_bytes = std::filesystem::file_size(path_);
+
+  // Force a real mid-frame write failure: cap the process file size so the
+  // next append stops after 3 bytes with EFBIG (SIGXFSZ must be ignored or
+  // the kernel kills the process instead of failing the write).
+  struct rlimit old_limit;
+  ASSERT_EQ(getrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  auto old_handler = std::signal(SIGXFSZ, SIG_IGN);
+  struct rlimit tight = old_limit;
+  tight.rlim_cur = committed_bytes + 3;
+  ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &tight), 0);
+  const Status failed = w.Append("reported-failed commit");
+  ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  std::signal(SIGXFSZ, old_handler);
+  EXPECT_FALSE(failed.ok());
+
+  // The partial frame was rolled back: the file is byte-identical to the
+  // committed prefix, so recovery has nothing to resurrect (the caller was
+  // told the commit failed) and the next append starts on a frame
+  // boundary.
+  EXPECT_EQ(std::filesystem::file_size(path_), committed_bytes);
+  WalReplayInfo info;
+  Status st;
+  std::vector<std::string> got = ReplayAll(path_, &info, &st);
+  SVC_ASSERT_OK(st);
+  EXPECT_FALSE(info.torn_tail);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "first");
+
+  // A successful rollback does not poison the writer.
+  SVC_ASSERT_OK(w.Append("second"));
+  got = ReplayAll(path_, &info, &st);
+  SVC_ASSERT_OK(st);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[1], "second");
 }
 
 }  // namespace
