@@ -33,6 +33,7 @@
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "core/shared_engine.h"
+#include "core/sharded_engine.h"
 #include "core/svc.h"
 #include "relational/executor.h"
 #include "storage/durable_engine.h"
@@ -583,6 +584,116 @@ int main(int argc, char** argv) {
     }
   }
 
+  // -- Sharded scatter-gather query: unsharded vs 4-way fan-out ---------------
+  // The same cold SVC query (sample caches off, so every run pays the full
+  // cleaning pipeline) served by one engine vs a 4-shard ShardedEngine:
+  // the query scatters to per-shard snapshots on the pool, per-shard
+  // samples are merged in canonical order, and the stock estimator runs
+  // once at the coordinator. The answer is bit-identical to the unsharded
+  // engine's (cross-checked below); the block is report-only because the
+  // fan-out win is bounded by the physical core count (docs/PERF.md).
+  struct ShardedBench {
+    int shards = 0;
+    double unsharded_ms = 0;
+    double sharded_ms = 0;
+    size_t sample_rows = 0;
+    double speedup() const { return unsharded_ms / sharded_ms; }
+  } sharded_bench;
+  {
+    const int64_t sh_rows = std::min<int64_t>(rows, 20000);
+    constexpr int kShards = 4;
+    sharded_bench.shards = kShards;
+    // SPJ view keyed by the fact PK (id): one view row per base row, so
+    // ratio x rows sample sizes, and the view's natural order is already
+    // the canonical encoded-key order the gather path produces.
+    auto view_def = [] {
+      return PlanNode::Select(PlanNode::Scan("fact"),
+                              Expr::Gt(Expr::Col("val"), Expr::LitDouble(-1)));
+    };
+    // One delta workload, applied identically to both engines.
+    Rng rng(23);
+    const int64_t dims = std::max<int64_t>(sh_rows / 16, 1);
+    std::vector<Row> deltas;
+    for (int64_t i = 0; i < sh_rows / 20; ++i) {
+      deltas.push_back({Value::Int(sh_rows + i),
+                        Value::Int(rng.UniformInt(0, dims - 1)),
+                        Value::Double(rng.Uniform(0, 100))});
+    }
+    Database base = MakeDb(sh_rows);
+
+    SvcEngine flat{Database(base)};
+    flat.set_sample_cache_enabled(false);
+    if (auto st = flat.CreateView("factView", view_def()); !st.ok()) {
+      std::fprintf(stderr, "[micro_ops] %s\n", st.ToString().c_str());
+      return 2;
+    }
+    for (const Row& r : deltas) {
+      if (auto st = flat.InsertRecord("fact", r); !st.ok()) {
+        std::fprintf(stderr, "[micro_ops] %s\n", st.ToString().c_str());
+        return 2;
+      }
+    }
+
+    ShardedEngine sharded(Database(), kShards);
+    sharded.set_sample_cache_enabled(false);
+    if (auto st = sharded.CreateTable("fact", **base.GetTable("fact"));
+        !st.ok()) {
+      std::fprintf(stderr, "[micro_ops] %s\n", st.ToString().c_str());
+      return 2;
+    }
+    if (auto st = sharded.CreateView("factView", view_def()); !st.ok()) {
+      std::fprintf(stderr, "[micro_ops] %s\n", st.ToString().c_str());
+      return 2;
+    }
+    if (auto st = sharded.InsertRows("fact", deltas); !st.ok()) {
+      std::fprintf(stderr, "[micro_ops] %s\n", st.ToString().c_str());
+      return 2;
+    }
+
+    AggregateQuery q = AggregateQuery::Sum(Expr::Col("val"));
+    SvcQueryOptions qopts;
+    qopts.ratio = 0.1;
+    const auto snap = sharded.Snapshot();
+    auto query_flat = [&]() -> Result<SvcAnswer> {
+      return flat.Query("factView", q, qopts);
+    };
+    auto query_sharded = [&]() -> Result<SvcAnswer> {
+      return sharded.Query(*snap, "factView", q, qopts);
+    };
+    auto rows_of = [](const Result<SvcAnswer>& r) -> size_t {
+      if (!r.ok()) {
+        std::fprintf(stderr, "[micro_ops] sharded_query failed: %s\n",
+                     r.status().ToString().c_str());
+        std::exit(2);
+      }
+      return r->estimate.sample_rows;
+    };
+    size_t flat_rows = 0, sharded_rows = 0;
+    sharded_bench.unsharded_ms =
+        TimeMs(reps, [&] { return rows_of(query_flat()); }, &flat_rows);
+    sharded_bench.sharded_ms =
+        TimeMs(reps, [&] { return rows_of(query_sharded()); }, &sharded_rows);
+    sharded_bench.sample_rows = sharded_rows;
+    const double flat_val = query_flat()->estimate.value;
+    const double sharded_val = query_sharded()->estimate.value;
+    if (flat_rows != sharded_rows ||
+        std::memcmp(&flat_val, &sharded_val, sizeof flat_val) != 0) {
+      std::fprintf(stderr,
+                   "[micro_ops] sharded_query: answers diverged "
+                   "(unsharded %.17g on %zu sample rows, sharded %.17g on "
+                   "%zu)\n",
+                   flat_val, flat_rows, sharded_val, sharded_rows);
+      return 2;
+    }
+    std::printf("-- sharded scatter-gather query (%d shards, cold clean) --\n",
+                kShards);
+    std::printf("%-16s unsharded %8.3f ms   sharded %8.3f ms   "
+                "speedup %5.2fx   (%zu sample rows)\n",
+                "sharded_query", sharded_bench.unsharded_ms,
+                sharded_bench.sharded_ms, sharded_bench.speedup(),
+                sharded_bench.sample_rows);
+  }
+
   // -- Durable commit latency per WAL fsync policy ---------------------------
   // One-row logged commits through a DurableEngine in a scratch directory.
   // The spread between off / every=N / always is the price of the
@@ -717,6 +828,16 @@ int main(int argc, char** argv) {
                 cache_bench.speedup() >= min_cache_speedup)
                    ? "true"
                    : "false");
+  std::fprintf(f, "  \"sharded_query\": {\n");
+  std::fprintf(f,
+               "    \"shards\": %d, \"unsharded_ms\": %.3f, "
+               "\"sharded_ms\": %.3f, \"speedup\": %.2f,\n",
+               sharded_bench.shards, sharded_bench.unsharded_ms,
+               sharded_bench.sharded_ms, sharded_bench.speedup());
+  std::fprintf(f,
+               "    \"sample_rows\": %zu, \"answer_bit_identical\": true\n"
+               "  },\n",
+               sharded_bench.sample_rows);
   std::fprintf(f, "  \"wal_commit\": {\n    \"commits\": %d,\n", kWalCommits);
   std::fprintf(f, "    \"policies\": [\n");
   for (size_t i = 0; i < wal_commit_us.size(); ++i) {

@@ -1,0 +1,70 @@
+-- Sharded quickstart: the same SVC lifecycle on a scatter-gather
+-- ShardedEngine. Base tables and delta queues are hash-partitioned by
+-- each view's sampling key; queries fan out to per-shard snapshots and
+-- the merged samples feed the stock estimators at the coordinator, so
+-- every answer below is bit-identical to the unsharded transcript
+-- (docs/ARCHITECTURE.md, "Sharded serving"). Run with:
+--   ./build/svc_shell --shards 4 --echo --file examples/quickstart-sharded.sql
+-- The golden is pinned at --shards=4: answers are shard-count-invariant,
+-- but SHOW STATS sums per-shard counters, so the stats lines are not.
+
+CREATE TABLE Video (videoId INT, ownerId INT, duration DOUBLE,
+                    PRIMARY KEY (videoId));
+CREATE TABLE Log (sessionId INT, videoId INT, PRIMARY KEY (sessionId));
+
+-- Initial load. INSERT routes each delta to the shard that owns its
+-- sampling key; REFRESH ALL commits all shards (independently, in
+-- parallel) and publishes one atomic cut.
+INSERT INTO Video VALUES
+  (1, 101, 1.5), (2, 102, 0.8), (3, 100, 2.5), (4, 101, 1.1),
+  (5, 102, 3.0), (6, 100, 0.4), (7, 101, 2.2), (8, 102, 1.7);
+INSERT INTO Log VALUES
+  (0, 1), (1, 1), (2, 1), (3, 1), (4, 1), (5, 1),
+  (6, 2), (7, 2), (8, 2), (9, 2),
+  (10, 3), (11, 3), (12, 3), (13, 3), (14, 3), (15, 3), (16, 3),
+  (17, 4), (18, 4),
+  (19, 5), (20, 5), (21, 5), (22, 5), (23, 5),
+  (24, 6),
+  (25, 7), (26, 7), (27, 7),
+  (28, 8), (29, 8);
+REFRESH ALL;
+SHOW TABLES;
+
+-- The running-example view. Its sampling key (videoId) reaches both base
+-- relations through the join, so Log and Video are hash-partitioned and
+-- every shard maintains its slice of the view.
+CREATE MATERIALIZED VIEW visitView AS
+  SELECT Log.videoId, COUNT(1) AS visitCount
+  FROM Log, Video WHERE Log.videoId = Video.videoId
+  GROUP BY Log.videoId;
+SELECT videoId, visitCount FROM visitView WHERE visitCount > 4;
+
+-- New visits stream in: each row goes to its owning shard's delta queue.
+INSERT INTO Log VALUES
+  (100, 2), (101, 2), (102, 2), (103, 2), (104, 2),
+  (105, 4), (106, 4), (107, 4), (108, 4),
+  (109, 6), (110, 6), (111, 6),
+  (112, 1), (113, 3);
+SHOW VIEWS;
+
+-- The stale answer misses every new visit...
+SELECT COUNT(1) FROM visitView WHERE visitCount > 4;
+
+-- ...SVC scatters the query, gathers per-shard samples, and corrects at
+-- the coordinator — same estimate, CI, and sample as unsharded.
+SELECT COUNT(1) FROM visitView WHERE visitCount > 4
+  WITH SVC(ratio=0.5, mode=corr);
+SELECT SUM(visitCount) FROM visitView WITH SVC(ratio=0.5, mode=aqp);
+
+-- Per-group estimates, letting the §5.2.2 break-even rule pick the
+-- estimator.
+SELECT videoId, SUM(visitCount) AS visits FROM visitView
+  GROUP BY videoId WITH SVC(ratio=0.5, mode=auto);
+
+-- Serving statistics, summed across the 4 shards.
+SHOW STATS;
+
+-- Maintenance commits every shard's queue; the view is exact again.
+REFRESH VIEW visitView;
+SELECT videoId, visitCount FROM visitView WHERE visitCount > 4;
+SHOW STATS;

@@ -5,6 +5,7 @@
 # baseline; see docs/PERF.md).
 #
 # Usage: scripts/check.sh [--fast] [--tsan] [--recovery] [--server]
+#                         [--shards]
 #   --fast  skip the sanitizer build (Release tests + bench gate only)
 #   --tsan  ThreadSanitizer mode ONLY: Debug+TSan build + full test suite
 #           (the shared-engine concurrency tests are the point); skips the
@@ -17,6 +18,11 @@
 #           (serde, WAL framing, kill-and-recover differential matrix) in
 #           both Release and Debug+ASan/UBSan builds, plus a durable
 #           svc_shell crash-and-restart smoke. Used by the CI recovery job.
+#   --shards  sharded scatter-gather mode ONLY: the shard suites (sharded
+#           engine, estimator merge, differential shard matrix, sharded
+#           coverage), the sharded quickstart golden (svc_shell --shards 4),
+#           and a shard-count-invariance smoke (the transcript's answers
+#           must agree at 1, 2, and 8 shards). Used by the CI shards job.
 #
 # Environment knobs:
 #   MIN_SPEEDUP           baseline-vs-current gate floor (default 3.0;
@@ -40,12 +46,14 @@ FAST=0
 TSAN=0
 RECOVERY=0
 SERVER=0
+SHARDS=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     --tsan) TSAN=1 ;;
     --recovery) RECOVERY=1 ;;
     --server) SERVER=1 ;;
+    --shards) SHARDS=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -105,6 +113,39 @@ if [[ "$SERVER" -eq 1 ]]; then
   ./build/fig14_sql_sessions --rows 2000 --sessions 2 --iters 2 --batch 40 \
     --net --net-queries 50
   echo "All server checks passed."
+  exit 0
+fi
+
+if [[ "$SHARDS" -eq 1 ]]; then
+  echo "== Release build (${JOBS} jobs) =="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j"$JOBS"
+
+  echo "== Sharded scatter-gather suites (Release) =="
+  ctest --test-dir build --output-on-failure --no-tests=error -j"$JOBS" \
+    -R 'test_(sharded_engine|estimator_merge|differential|coverage)|svc_shell_quickstart_sharded'
+
+  echo "== Sharded quickstart golden (svc_shell --shards 4) =="
+  SMOKE_DIR="$(mktemp -d)"
+  trap 'rm -rf "$SMOKE_DIR"' EXIT
+  ./build/svc_shell --shards 4 --echo --file examples/quickstart-sharded.sql \
+    > "$SMOKE_DIR/out-4.txt"
+  diff -u examples/quickstart-sharded.golden "$SMOKE_DIR/out-4.txt"
+
+  echo "== Shard-count invariance smoke (answers at 1, 2, 8 shards) =="
+  # Every answer line ("-- ..." estimate summaries and row counts) must be
+  # identical at any shard count; only the SHOW STATS counter rows may
+  # differ (they sum per-shard counters, which is why the golden above is
+  # pinned at 4 shards).
+  for n in 1 2 8; do
+    ./build/svc_shell --shards "$n" --file examples/quickstart-sharded.sql \
+      | grep '^--' > "$SMOKE_DIR/answers-$n.txt"
+  done
+  diff -u "$SMOKE_DIR/answers-1.txt" "$SMOKE_DIR/answers-2.txt"
+  diff -u "$SMOKE_DIR/answers-1.txt" "$SMOKE_DIR/answers-8.txt"
+  echo "answers are shard-count invariant"
+
+  echo "All sharded checks passed."
   exit 0
 fi
 

@@ -1,0 +1,123 @@
+#include "core/estimator_merge.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "relational/value.h"
+
+namespace svc {
+
+namespace {
+
+/// A reference to one row of one part.
+struct RowRef {
+  size_t part = 0;
+  size_t row = 0;
+};
+
+/// Stable-sorts every row of `tables` by the *values* at `key_indices`
+/// (Value's total order) and rebuilds them into one table carrying `pk`
+/// (empty pk = keyless append). Value order — not encoded-key bytes — is
+/// the canonical order because it coincides with the natural row order of
+/// an unsharded view whose rows were produced in increasing key order, so
+/// merged answers stay bit-identical to the unsharded engine's (byte order
+/// of the little-endian int encoding diverges from numeric order at 256).
+/// Rows with equal keys keep their per-part order (each sampling key is
+/// owned by exactly one shard, so this preserves within-key locality).
+Result<Table> SortedUnion(const std::vector<const Table*>& tables,
+                          const std::vector<size_t>& key_indices,
+                          const std::vector<std::string>& pk) {
+  std::vector<RowRef> refs;
+  size_t total = 0;
+  for (const Table* t : tables) total += t->NumRows();
+  refs.reserve(total);
+  for (size_t p = 0; p < tables.size(); ++p) {
+    const Table* t = tables[p];
+    for (size_t i = 0; i < t->NumRows(); ++i) {
+      refs.push_back({p, i});
+    }
+  }
+  auto key_less = [&](const RowRef& a, const RowRef& b) {
+    const Row& ra = tables[a.part]->row(a.row);
+    const Row& rb = tables[b.part]->row(b.row);
+    for (size_t i : key_indices) {
+      if (ra[i] < rb[i]) return true;
+      if (rb[i] < ra[i]) return false;
+    }
+    return false;
+  };
+  std::stable_sort(refs.begin(), refs.end(), key_less);
+  Table out(tables[0]->schema());
+  if (!pk.empty()) SVC_RETURN_IF_ERROR(out.SetPrimaryKey(pk));
+  for (const RowRef& r : refs) {
+    if (pk.empty()) {
+      out.AppendUnchecked(tables[r.part]->row(r.row));
+    } else {
+      SVC_RETURN_IF_ERROR(out.Insert(tables[r.part]->row(r.row)));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<CorrespondingSamples> MergeCorrespondingSamples(
+    const std::vector<std::shared_ptr<const CorrespondingSamples>>& parts) {
+  if (parts.empty()) {
+    return Status::InvalidArgument("no shard samples to merge");
+  }
+  const CorrespondingSamples& first = *parts[0];
+  for (const auto& p : parts) {
+    if (p == nullptr) {
+      return Status::InvalidArgument("null shard sample in merge");
+    }
+    if (p->ratio != first.ratio || p->family != first.family ||
+        p->key_columns != first.key_columns) {
+      return Status::InvalidArgument(
+          "shard samples disagree on sampling parameters; they must come "
+          "from one fan-out");
+    }
+  }
+  CorrespondingSamples merged;
+  merged.ratio = first.ratio;
+  merged.family = first.family;
+  merged.key_columns = first.key_columns;
+  auto merge_side = [&](auto side_of) -> Result<Table> {
+    std::vector<const Table*> tables;
+    tables.reserve(parts.size());
+    for (const auto& p : parts) tables.push_back(side_of(*p));
+    SVC_ASSIGN_OR_RETURN(std::vector<size_t> key_indices,
+                         tables[0]->schema().ResolveAll(first.key_columns));
+    return SortedUnion(tables, key_indices, tables[0]->PrimaryKeyNames());
+  };
+  SVC_ASSIGN_OR_RETURN(
+      merged.stale,
+      merge_side([](const CorrespondingSamples& s) { return &s.stale; }));
+  SVC_ASSIGN_OR_RETURN(
+      merged.fresh,
+      merge_side([](const CorrespondingSamples& s) { return &s.fresh; }));
+  return merged;
+}
+
+Result<Table> MergeShardTables(
+    const std::vector<std::shared_ptr<const Table>>& parts) {
+  if (parts.empty()) {
+    return Status::InvalidArgument("no shard tables to merge");
+  }
+  std::vector<const Table*> tables;
+  tables.reserve(parts.size());
+  for (const auto& p : parts) {
+    if (p == nullptr) return Status::InvalidArgument("null shard table");
+    tables.push_back(p.get());
+  }
+  std::vector<size_t> key_indices = tables[0]->pk_indices();
+  if (key_indices.empty()) {
+    key_indices.resize(tables[0]->schema().NumColumns());
+    for (size_t i = 0; i < key_indices.size(); ++i) key_indices[i] = i;
+  }
+  return SortedUnion(tables, key_indices, tables[0]->PrimaryKeyNames());
+}
+
+}  // namespace svc

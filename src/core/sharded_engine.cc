@@ -1,0 +1,483 @@
+#include "core/sharded_engine.h"
+
+#include <utility>
+
+#include "common/flat_map.h"
+#include "common/thread_pool.h"
+#include "core/estimator_merge.h"
+#include "relational/algebra.h"
+#include "relational/value.h"
+#include "sample/pushdown.h"
+#include "view/view.h"
+
+namespace svc {
+
+namespace {
+
+/// Number of scan nodes per base relation in `plan`. Placement needs the
+/// count (not just the set): a relation is partitionable only when *every*
+/// one of its scans received the pushed-down sampling filter.
+void CountScans(const PlanNode& plan, std::map<std::string, int>* counts) {
+  if (plan.kind() == PlanKind::kScan) {
+    ++(*counts)[plan.table_name()];
+    return;
+  }
+  for (const auto& child : plan.children()) CountScans(*child, counts);
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(Database db, int num_shards) {
+  const int n = num_shards < 1 ? 1 : num_shards;
+  shards_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<SharedEngine>(Database(db)));
+  }
+  auto meta = std::make_shared<ShardMeta>();
+  for (const std::string& name : db.TableNames()) {
+    meta->routing[name] = ShardRouting{};
+  }
+  auto head = std::make_shared<ShardedSnapshot>();
+  head->meta = std::move(meta);
+  head->shards.reserve(shards_.size());
+  for (auto& shard : shards_) head->shards.push_back(shard->Snapshot());
+  head_ = std::move(head);
+}
+
+ShardedSnapshotPtr ShardedEngine::Snapshot() const {
+  std::lock_guard<std::mutex> lock(head_mu_);
+  return head_;
+}
+
+void ShardedEngine::PublishLocked(std::shared_ptr<const ShardMeta> meta) {
+  auto next = std::make_shared<ShardedSnapshot>();
+  next->meta = std::move(meta);
+  next->shards.reserve(shards_.size());
+  for (auto& shard : shards_) next->shards.push_back(shard->Snapshot());
+  std::lock_guard<std::mutex> lock(head_mu_);
+  next->version = head_->version + 1;
+  head_ = std::move(next);
+}
+
+size_t ShardedEngine::OwnerShard(const std::string& key_bytes) const {
+  return static_cast<size_t>(KeyHash(key_bytes) % shards_.size());
+}
+
+Status ShardedEngine::CreateTable(const std::string& name, Table table) {
+  std::lock_guard<std::recursive_mutex> stmt(stmt_mu_);
+  auto meta = std::make_shared<ShardMeta>(*Snapshot()->meta);
+  for (auto& shard : shards_) {
+    SVC_RETURN_IF_ERROR(shard->CreateTable(name, Table(table)));
+  }
+  meta->routing[name] = ShardRouting{};
+  PublishLocked(std::move(meta));
+  return Status::OK();
+}
+
+Result<ShardedEngine::ViewPlacement> ShardedEngine::DerivePlacement(
+    const std::string& name, const PlanPtr& definition,
+    const std::vector<std::string>& key, const ShardedSnapshot& snap) const {
+  // Probe against a throwaway copy of shard 0's catalog: validates the
+  // definition and yields the stored schema, sampling key, and augmented
+  // plan. The probe's materialized contents (built on shard 0's partial
+  // data) are discarded — only the plan analysis is kept.
+  Database probe = snap.shards[0]->engine.db();
+  SVC_ASSIGN_OR_RETURN(MaterializedView view,
+                       MaterializedView::Create(name, definition, &probe, key));
+
+  std::map<std::string, int> scan_counts;
+  CountScans(*view.augmented_plan(), &scan_counts);
+
+  // Run the Theorem-1 rewriter with a recording factory: wherever the
+  // sampling key would land as a scan-level filter, record (relation,
+  // resolved key columns) and leave the plan unchanged. The rewriter also
+  // hands blocked (non-scan) stop sites to the factory — those are not
+  // routing sites and are skipped; report.blocked counts them.
+  std::map<std::string, std::vector<std::vector<size_t>>> sites;
+  bool record_failed = false;
+  FilterFactory factory =
+      [&](PlanPtr child, const std::vector<std::string>& attrs) -> PlanPtr {
+    if (child != nullptr && child->kind() == PlanKind::kScan) {
+      Result<Schema> schema = ComputeSchema(*child, probe);
+      if (!schema.ok()) {
+        record_failed = true;
+        return child;
+      }
+      Result<std::vector<size_t>> idx = schema->ResolveAll(attrs);
+      if (!idx.ok()) {
+        record_failed = true;
+        return child;
+      }
+      sites[child->table_name()].push_back(std::move(idx).value());
+    }
+    return child;
+  };
+  PushdownReport report;
+  Result<PlanPtr> pushed = PushDownFilter(*view.augmented_plan(),
+                                          view.sampling_key(), factory, probe,
+                                          &report);
+
+  ViewPlacement placement;
+  bool partitionable = pushed.ok() && !record_failed && report.blocked == 0;
+  if (partitionable) {
+    for (const auto& [rel, count] : scan_counts) {
+      auto sit = sites.find(rel);
+      if (sit == sites.end()) {
+        // The key never reaches this relation (e.g. the unfiltered side
+        // of a one-sided join push): every shard needs all of it.
+        placement.need_replicated.insert(rel);
+        continue;
+      }
+      const std::vector<std::vector<size_t>>& cols_list = sit->second;
+      bool consistent = static_cast<int>(cols_list.size()) == count;
+      for (size_t i = 1; consistent && i < cols_list.size(); ++i) {
+        consistent = cols_list[i] == cols_list[0];
+      }
+      if (!consistent) {
+        // Filtered and unfiltered scans of the same relation (or two
+        // different key mappings): it cannot be both partitioned and
+        // whole. The view falls back to replicated-class.
+        partitionable = false;
+        break;
+      }
+      placement.partition_by[rel] = cols_list[0];
+    }
+  }
+  if (!partitionable || placement.partition_by.empty()) {
+    placement = ViewPlacement{};
+    for (const std::string& rel : view.base_relations()) {
+      placement.need_replicated.insert(rel);
+    }
+    return placement;
+  }
+  placement.partitioned_class = true;
+  return placement;
+}
+
+Status ShardedEngine::CreateView(const std::string& name, PlanPtr definition,
+                                 std::vector<std::string> sampling_key) {
+  std::lock_guard<std::recursive_mutex> stmt(stmt_mu_);
+  ShardedSnapshotPtr snap = Snapshot();
+  SVC_ASSIGN_OR_RETURN(
+      ViewPlacement placement,
+      DerivePlacement(name, definition, sampling_key, *snap));
+
+  const ShardMeta& cur = *snap->meta;
+  auto meta = std::make_shared<ShardMeta>(cur);
+  std::map<std::string, std::vector<size_t>> to_repartition;
+  if (placement.partitioned_class) {
+    for (const auto& [rel, cols] : placement.partition_by) {
+      auto rit = cur.routing.find(rel);
+      const bool already =
+          rit != cur.routing.end() && rit->second.partitioned();
+      if (already) {
+        if (rit->second.columns != cols) {
+          return Status::NotSupported(
+              "view '" + name + "' would hash-partition relation '" + rel +
+              "' by a different key than its current partitioning; create "
+              "views sharing a relation with a compatible sampling key");
+        }
+        continue;
+      }
+      auto pit = cur.replicated_pins.find(rel);
+      if (pit != cur.replicated_pins.end() && !pit->second.empty()) {
+        return Status::NotSupported(
+            "view '" + name + "' needs relation '" + rel +
+            "' hash-partitioned, but view '" + *pit->second.begin() +
+            "' requires it replicated on every shard");
+      }
+      to_repartition[rel] = cols;
+    }
+  }
+  for (const std::string& rel : placement.need_replicated) {
+    if (cur.IsPartitionedRelation(rel)) {
+      return Status::NotSupported(
+          "view '" + name + "' needs relation '" + rel +
+          "' replicated on every shard, but it is hash-partitioned by an "
+          "existing view's sampling key");
+    }
+    meta->replicated_pins[rel].insert(name);
+  }
+  for (const auto& [rel, cols] : to_repartition) {
+    meta->routing[rel] = ShardRouting{cols};
+  }
+  meta->view_partitioned[name] = placement.partitioned_class;
+
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    SVC_RETURN_IF_ERROR(shards_[s]->Commit([&](SvcEngine* e) -> Status {
+      for (const auto& entry : to_repartition) {
+        const std::string& rel = entry.first;
+        const std::vector<size_t>& cols = entry.second;
+        SVC_RETURN_IF_ERROR(
+            e->RepartitionRelation(rel, [this, &cols, s](const Row& r) {
+              return OwnerShard(EncodeRowKey(r, cols)) == s;
+            }));
+      }
+      return e->CreateView(name, definition, sampling_key);
+    }));
+  }
+  PublishLocked(std::move(meta));
+  return Status::OK();
+}
+
+Status ShardedEngine::InsertRows(const std::string& relation,
+                                 std::vector<Row> rows) {
+  std::lock_guard<std::recursive_mutex> stmt(stmt_mu_);
+  ShardedSnapshotPtr snap = Snapshot();
+  const size_t n = shards_.size();
+  auto rit = snap->meta->routing.find(relation);
+  const bool partitioned =
+      rit != snap->meta->routing.end() && rit->second.partitioned();
+  std::vector<std::vector<Row>> groups(n);
+  if (partitioned) {
+    for (Row& r : rows) {
+      const size_t owner = OwnerShard(EncodeRowKey(r, rit->second.columns));
+      groups[owner].push_back(std::move(r));
+    }
+  }
+  for (size_t s = 0; s < n; ++s) {
+    const std::vector<Row>& batch = partitioned ? groups[s] : rows;
+    if (batch.empty()) continue;
+    SVC_RETURN_IF_ERROR(shards_[s]->Commit([&](SvcEngine* e) -> Status {
+      for (const Row& r : batch) {
+        SVC_RETURN_IF_ERROR(e->InsertRecord(relation, r));
+      }
+      return Status::OK();
+    }));
+  }
+  PublishLocked(snap->meta);
+  return Status::OK();
+}
+
+Status ShardedEngine::InsertRecord(const std::string& relation, Row row) {
+  std::vector<Row> rows;
+  rows.push_back(std::move(row));
+  return InsertRows(relation, std::move(rows));
+}
+
+Status ShardedEngine::DeleteRows(const std::string& relation,
+                                 std::vector<Row> rows) {
+  std::lock_guard<std::recursive_mutex> stmt(stmt_mu_);
+  ShardedSnapshotPtr snap = Snapshot();
+  const size_t n = shards_.size();
+  auto rit = snap->meta->routing.find(relation);
+  const bool partitioned =
+      rit != snap->meta->routing.end() && rit->second.partitioned();
+  std::vector<std::vector<Row>> groups(n);
+  if (partitioned) {
+    for (Row& r : rows) {
+      const size_t owner = OwnerShard(EncodeRowKey(r, rit->second.columns));
+      groups[owner].push_back(std::move(r));
+    }
+  }
+  for (size_t s = 0; s < n; ++s) {
+    const std::vector<Row>& batch = partitioned ? groups[s] : rows;
+    if (batch.empty()) continue;
+    SVC_RETURN_IF_ERROR(shards_[s]->Commit([&](SvcEngine* e) -> Status {
+      for (const Row& r : batch) {
+        SVC_RETURN_IF_ERROR(e->DeleteRecord(relation, r));
+      }
+      return Status::OK();
+    }));
+  }
+  PublishLocked(snap->meta);
+  return Status::OK();
+}
+
+Status ShardedEngine::Refresh(size_t* committed_inserts,
+                              size_t* committed_deletes) {
+  std::lock_guard<std::recursive_mutex> stmt(stmt_mu_);
+  ShardedSnapshotPtr snap = Snapshot();
+  size_t ins = 0;
+  size_t del = 0;
+  PendingCounts(*snap, &ins, &del);
+  // Each shard maintains and commits independently, in parallel: a slow
+  // shard never serializes behind the others, and readers keep the old
+  // cut until every shard has landed.
+  const size_t n = shards_.size();
+  std::vector<Status> statuses(n);
+  ParallelFor(static_cast<int>(n), n,
+              [&](size_t s) { statuses[s] = shards_[s]->Refresh(); });
+  for (const Status& st : statuses) SVC_RETURN_IF_ERROR(st);
+  PublishLocked(snap->meta);
+  if (committed_inserts != nullptr) *committed_inserts = ins;
+  if (committed_deletes != nullptr) *committed_deletes = del;
+  return Status::OK();
+}
+
+void ShardedEngine::PendingCounts(const ShardedSnapshot& snap, size_t* inserts,
+                                  size_t* deletes) const {
+  *inserts = 0;
+  *deletes = 0;
+  for (size_t s = 0; s < snap.shards.size(); ++s) {
+    const DeltaSet& pending = snap.shards[s]->engine.pending();
+    for (const std::string& rel : pending.TouchedRelations()) {
+      // Replicated relations queue a copy of every delta on every shard;
+      // count the logical rows once (shard 0's copy).
+      if (!snap.meta->IsPartitionedRelation(rel) && s != 0) continue;
+      *inserts += pending.InsertRows(rel);
+      *deletes += pending.DeleteRows(rel);
+    }
+  }
+}
+
+size_t ShardedEngine::PendingRowsFor(const ShardedSnapshot& snap,
+                                     const std::string& relation) const {
+  if (snap.meta->IsPartitionedRelation(relation)) {
+    size_t total = 0;
+    for (const auto& shard : snap.shards) {
+      const DeltaSet& p = shard->engine.pending();
+      total += p.InsertRows(relation) + p.DeleteRows(relation);
+    }
+    return total;
+  }
+  const DeltaSet& p = snap.shards[0]->engine.pending();
+  return p.InsertRows(relation) + p.DeleteRows(relation);
+}
+
+void ShardedEngine::set_sample_cache_enabled(bool enabled) {
+  std::lock_guard<std::recursive_mutex> stmt(stmt_mu_);
+  for (auto& shard : shards_) {
+    (void)shard->Commit([&](SvcEngine* e) -> Status {
+      e->set_sample_cache_enabled(enabled);
+      return Status::OK();
+    });
+  }
+  PublishLocked(Snapshot()->meta);
+}
+
+Status ShardedEngine::WithStatementLock(const std::function<Status()>& fn) {
+  std::lock_guard<std::recursive_mutex> stmt(stmt_mu_);
+  return fn();
+}
+
+Result<std::shared_ptr<const CorrespondingSamples>>
+ShardedEngine::FanOutSamples(const ShardedSnapshot& snap,
+                             const std::string& view, const AggregateQuery& q,
+                             const SvcQueryOptions& opts,
+                             EstimatorMode* mode_used) const {
+  const size_t n = snap.shards.size();
+  CleanOptions clean(opts.ratio, opts.family, opts.exec);
+  std::vector<std::shared_ptr<const CorrespondingSamples>> parts(n);
+  std::vector<Status> statuses(n);
+  ParallelFor(static_cast<int>(n), n, [&](size_t s) {
+    Result<std::shared_ptr<const CorrespondingSamples>> r =
+        snap.shards[s]->engine.CleanSampleCached(view, clean);
+    if (r.ok()) {
+      parts[s] = std::move(r).value();
+    } else {
+      statuses[s] = r.status();
+    }
+  });
+  for (const Status& st : statuses) SVC_RETURN_IF_ERROR(st);
+  SVC_ASSIGN_OR_RETURN(CorrespondingSamples merged,
+                       MergeCorrespondingSamples(parts));
+  auto shared = std::make_shared<const CorrespondingSamples>(std::move(merged));
+  *mode_used = opts.mode;
+  if (opts.auto_mode) {
+    SVC_ASSIGN_OR_RETURN(PolicyDecision d, ChooseEstimator(*shared, q));
+    *mode_used = d.mode;
+  }
+  return std::shared_ptr<const CorrespondingSamples>(shared);
+}
+
+Result<SvcAnswer> ShardedEngine::Query(const ShardedSnapshot& snap,
+                                       const std::string& view,
+                                       const AggregateQuery& q,
+                                       const SvcQueryOptions& opts) const {
+  if (!snap.meta->IsPartitionedView(view)) {
+    // Replicated-class (or unknown — shard 0 renders the standard error):
+    // every shard holds the identical full view, so shard 0's answer is
+    // the answer, bitwise, at any shard count.
+    return snap.shards[0]->engine.Query(view, q, opts);
+  }
+  SvcAnswer answer;
+  SVC_ASSIGN_OR_RETURN(std::shared_ptr<const CorrespondingSamples> samples,
+                       FanOutSamples(snap, view, q, opts, &answer.mode_used));
+  if (answer.mode_used == EstimatorMode::kAqp) {
+    SVC_ASSIGN_OR_RETURN(answer.estimate,
+                         SvcAqpEstimate(*samples, q, opts.estimator));
+  } else {
+    SVC_ASSIGN_OR_RETURN(std::shared_ptr<const Table> stale,
+                         GatherTable(snap, view));
+    SVC_ASSIGN_OR_RETURN(answer.estimate,
+                         SvcCorrEstimate(*stale, *samples, q, opts.estimator));
+  }
+  return answer;
+}
+
+Result<SvcGroupedAnswer> ShardedEngine::QueryGrouped(
+    const ShardedSnapshot& snap, const std::string& view,
+    const std::vector<std::string>& group_columns, const AggregateQuery& q,
+    const SvcQueryOptions& opts) const {
+  if (!snap.meta->IsPartitionedView(view)) {
+    return snap.shards[0]->engine.QueryGrouped(view, group_columns, q, opts);
+  }
+  SvcGroupedAnswer answer;
+  SVC_ASSIGN_OR_RETURN(std::shared_ptr<const CorrespondingSamples> samples,
+                       FanOutSamples(snap, view, q, opts, &answer.mode_used));
+  if (answer.mode_used == EstimatorMode::kAqp) {
+    SVC_ASSIGN_OR_RETURN(
+        answer.result,
+        SvcAqpEstimateGrouped(*samples, group_columns, q, opts.estimator));
+  } else {
+    SVC_ASSIGN_OR_RETURN(std::shared_ptr<const Table> stale,
+                         GatherTable(snap, view));
+    SVC_ASSIGN_OR_RETURN(
+        answer.result, SvcCorrEstimateGrouped(*stale, *samples, group_columns,
+                                              q, opts.estimator));
+  }
+  return answer;
+}
+
+Result<std::shared_ptr<const Table>> ShardedEngine::GatherTable(
+    const ShardedSnapshot& snap, const std::string& name) const {
+  std::shared_ptr<const Table> first =
+      snap.shards[0]->engine.db().GetTableShared(name);
+  if (first == nullptr) {
+    return Status::UnknownRelation("no such table: " + name);
+  }
+  const bool merge = snap.meta->IsPartitionedRelation(name) ||
+                     snap.meta->IsPartitionedView(name);
+  if (!merge) return first;
+  std::vector<std::shared_ptr<const Table>> parts;
+  parts.reserve(snap.shards.size());
+  parts.push_back(std::move(first));
+  for (size_t s = 1; s < snap.shards.size(); ++s) {
+    std::shared_ptr<const Table> part =
+        snap.shards[s]->engine.db().GetTableShared(name);
+    if (part == nullptr) {
+      return Status::Internal("shard " + std::to_string(s) +
+                              " is missing partitioned table " + name);
+    }
+    parts.push_back(std::move(part));
+  }
+  {
+    std::lock_guard<std::mutex> lock(gather_mu_);
+    auto it = gather_cache_.find(name);
+    if (it != gather_cache_.end() && it->second.parts == parts) {
+      return it->second.merged;
+    }
+  }
+  SVC_ASSIGN_OR_RETURN(Table merged, MergeShardTables(parts));
+  std::shared_ptr<const Table> shared =
+      std::make_shared<Table>(std::move(merged));
+  std::lock_guard<std::mutex> lock(gather_mu_);
+  gather_cache_[name] = GatherEntry{std::move(parts), shared};
+  return shared;
+}
+
+Result<Database> ShardedEngine::GatherDatabase(
+    const ShardedSnapshot& snap, const std::vector<std::string>& names) const {
+  Database out;
+  std::set<std::string> seen;
+  for (const std::string& name : names) {
+    if (!seen.insert(name).second) continue;
+    SVC_ASSIGN_OR_RETURN(std::shared_ptr<const Table> t,
+                         GatherTable(snap, name));
+    out.PutTableShared(name, std::move(t));
+  }
+  return out;
+}
+
+}  // namespace svc

@@ -1,0 +1,236 @@
+#ifndef SVC_CORE_SHARDED_ENGINE_H_
+#define SVC_CORE_SHARDED_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/shared_engine.h"
+#include "core/svc.h"
+
+namespace svc {
+
+/// How the sharded engine places one base relation.
+struct ShardRouting {
+  /// Column positions (in the relation's schema) the placement hashes on.
+  /// Empty = the relation is replicated (full copy on every shard).
+  std::vector<size_t> columns;
+  bool partitioned() const { return !columns.empty(); }
+};
+
+/// The placement catalog published with every sharded snapshot: which
+/// relations are hash-partitioned (and by what), which views fan out, and
+/// which views pin a relation to stay replicated. Immutable once
+/// published; DDL builds a new one.
+struct ShardMeta {
+  /// Base relation -> placement. Every known relation has an entry.
+  std::map<std::string, ShardRouting> routing;
+  /// Relation -> views that require it replicated. A pinned relation can
+  /// never be re-partitioned (the views' per-shard state would break).
+  std::map<std::string, std::set<std::string>> replicated_pins;
+  /// View -> true when the view is partitioned-class (its per-shard
+  /// contents partition the global view; queries fan out and merge).
+  /// False = replicated-class (every shard holds the identical full view;
+  /// reads are served from shard 0).
+  std::map<std::string, bool> view_partitioned;
+
+  bool IsPartitionedRelation(const std::string& relation) const {
+    auto it = routing.find(relation);
+    return it != routing.end() && it->second.partitioned();
+  }
+  bool IsPartitionedView(const std::string& view) const {
+    auto it = view_partitioned.find(view);
+    return it != view_partitioned.end() && it->second;
+  }
+};
+
+/// One consistent cross-shard cut: per-shard engine snapshots taken
+/// together with the placement catalog that describes them. Readers hold
+/// the pointer and query freely; a concurrent statement publishes a whole
+/// new cut, so a reader never sees shard A after a statement and shard B
+/// before it.
+struct ShardedSnapshot {
+  /// Monotonic statement counter: +1 per published statement.
+  uint64_t version = 0;
+  /// One snapshot per shard, in shard-index order.
+  std::vector<SnapshotPtr> shards;
+  std::shared_ptr<const ShardMeta> meta;
+};
+
+using ShardedSnapshotPtr = std::shared_ptr<const ShardedSnapshot>;
+
+/// N `SharedEngine` shards behind one engine facade: base tables and their
+/// pending `DeltaSet` queues are hash-partitioned by each view's sampling
+/// key (`KeyHash` over the encoded key bytes — the same FNV-1a/splitmix64
+/// hash the executor's `KeyBuffer` uses), so a sampling key's rows — and
+/// therefore its η-sample membership — live on exactly one shard. SVC
+/// queries fan out to the per-shard snapshots on the shared `ThreadPool`,
+/// clean each shard's sample locally (each shard has its own
+/// `SampleCache`), and merge the per-shard corresponding samples in a
+/// canonical order (core/estimator_merge.h) before running the stock
+/// estimators once at the coordinator — which is what makes every answer
+/// bit-identical at every shard count.
+///
+/// Placement is derived, not declared: relations start replicated; CREATE
+/// VIEW pushes the view's sampling key down its plan (the same Theorem-1
+/// rewriter η uses) and partitions exactly the relations the key reaches
+/// as a scan-level filter, re-routing their queued deltas. Relations the
+/// key cannot reach (e.g. the unfiltered side of a one-sided join push)
+/// stay replicated and are pinned. Views whose key pushes nowhere fall
+/// back to replicated-class: every shard materializes the identical full
+/// view and reads come from shard 0. Conflicting demands (one view needs
+/// R partitioned, another needs it replicated — or partitioned by a
+/// different key) fail CREATE VIEW with NotSupported naming the conflict.
+///
+/// Concurrency: statements (writes + DDL) are serialized by one statement
+/// mutex and commit per shard through each shard's `SharedEngine`;
+/// `Refresh` commits the shards' maintenance in parallel — one shard's
+/// maintenance never stalls another shard's commit, and readers are never
+/// stalled at all: they read the last published cut until the whole
+/// statement lands, then the new cut is swapped in atomically (O(shards)
+/// pointer copies).
+class ShardedEngine {
+ public:
+  /// Starts with every relation of `db` replicated across `num_shards`
+  /// shards (clamped to >= 1).
+  ShardedEngine(Database db, int num_shards);
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// The current published cut. Cheap; safe from any thread.
+  ShardedSnapshotPtr Snapshot() const;
+  uint64_t version() const { return Snapshot()->version; }
+
+  // ---- Statements (serialized; each publishes one new cut) ----------------
+  /// Broadcasts the table to every shard (relations start replicated).
+  Status CreateTable(const std::string& name, Table table);
+
+  /// Derives the view's placement (see class comment), re-partitions any
+  /// newly partitioned relations, and creates the view on every shard.
+  Status CreateView(const std::string& name, PlanPtr definition,
+                    std::vector<std::string> sampling_key = {});
+
+  /// Queues inserts, routed to the owning shard (replicated relations
+  /// broadcast to every shard). One commit per involved shard; the cut is
+  /// published once all land. Rows must already be validated (the SQL
+  /// layer checks keys against a snapshot first) — a per-shard failure
+  /// aborts with the remaining shards unchanged.
+  Status InsertRows(const std::string& relation, std::vector<Row> rows);
+  Status InsertRecord(const std::string& relation, Row row);
+
+  /// Queues deletes of the given full rows (routed like InsertRows).
+  Status DeleteRows(const std::string& relation, std::vector<Row> rows);
+
+  /// Maintenance: every shard runs MaintainAll on its own fork, committed
+  /// per shard in parallel. `committed_inserts`/`committed_deletes`
+  /// (optional) receive the logical row counts that were committed
+  /// (replicated relations count once, not once per shard).
+  Status Refresh(size_t* committed_inserts = nullptr,
+                 size_t* committed_deletes = nullptr);
+
+  // ---- Reads (against one snapshot cut) -----------------------------------
+  /// SVC estimate on the named view. Partitioned-class views fan out,
+  /// merge samples, and estimate at the coordinator; replicated-class
+  /// views answer from shard 0 (identical state everywhere).
+  Result<SvcAnswer> Query(const ShardedSnapshot& snap, const std::string& view,
+                          const AggregateQuery& q,
+                          const SvcQueryOptions& opts = {}) const;
+
+  /// Per-group variant of Query.
+  Result<SvcGroupedAnswer> QueryGrouped(
+      const ShardedSnapshot& snap, const std::string& view,
+      const std::vector<std::string>& group_columns, const AggregateQuery& q,
+      const SvcQueryOptions& opts = {}) const;
+
+  /// The full logical contents of table `name` under `snap`: partitioned
+  /// relations/views merge their shard parts in canonical order
+  /// (memoized per shard-part identity, so repeated gathers between
+  /// maintenance commits are free); everything else is shard 0's table.
+  Result<std::shared_ptr<const Table>> GatherTable(
+      const ShardedSnapshot& snap, const std::string& name) const;
+
+  /// A scratch catalog holding GatherTable(name) for every `name`, against
+  /// which coordinator-side plans (plain SELECT) execute.
+  Result<Database> GatherDatabase(const ShardedSnapshot& snap,
+                                  const std::vector<std::string>& names) const;
+
+  /// Logical pending-delta row counts under `snap` (replicated relations
+  /// count shard 0 only; partitioned relations sum their shards).
+  void PendingCounts(const ShardedSnapshot& snap, size_t* inserts,
+                     size_t* deletes) const;
+
+  /// Logical pending rows for one relation under `snap`.
+  size_t PendingRowsFor(const ShardedSnapshot& snap,
+                        const std::string& relation) const;
+
+  /// Enables/disables every shard's sample cache (new statements fork from
+  /// the current heads, so this takes effect at the next commit; call it
+  /// before serving).
+  void set_sample_cache_enabled(bool enabled);
+
+  /// Runs `fn` with the statement lock held, so validation done inside
+  /// `fn` against `Snapshot()` cannot race another session's write landing
+  /// in between (the SQL layer checks INSERT keys against a snapshot and
+  /// then commits — that read-validate-write must be one critical
+  /// section). `fn` may call any statement method on this engine (the
+  /// lock is recursive); reads never take this lock.
+  Status WithStatementLock(const std::function<Status()>& fn);
+
+ private:
+  /// Re-reads every shard's head and publishes them as one cut with
+  /// `meta`. Caller holds stmt_mu_.
+  void PublishLocked(std::shared_ptr<const ShardMeta> meta);
+
+  /// The shard owning the encoded routing-key bytes.
+  size_t OwnerShard(const std::string& key_bytes) const;
+
+  /// Derives the placement a new view demands: which relations it needs
+  /// partitioned (and by which columns) and which it needs replicated.
+  struct ViewPlacement {
+    bool partitioned_class = false;
+    std::map<std::string, std::vector<size_t>> partition_by;
+    std::set<std::string> need_replicated;
+  };
+  Result<ViewPlacement> DerivePlacement(const std::string& name,
+                                        const PlanPtr& definition,
+                                        const std::vector<std::string>& key,
+                                        const ShardedSnapshot& snap) const;
+
+  /// Merged per-shard samples for a partitioned view (fan-out + canonical
+  /// merge), plus the resolved estimator mode.
+  Result<std::shared_ptr<const CorrespondingSamples>> FanOutSamples(
+      const ShardedSnapshot& snap, const std::string& view,
+      const AggregateQuery& q, const SvcQueryOptions& opts,
+      EstimatorMode* mode_used) const;
+
+  std::vector<std::unique_ptr<SharedEngine>> shards_;
+
+  /// Serializes statements (writes + DDL). Recursive so WithStatementLock
+  /// callers can invoke statement methods while holding it.
+  std::recursive_mutex stmt_mu_;
+  /// Guards head_ loads/stores.
+  mutable std::mutex head_mu_;
+  ShardedSnapshotPtr head_;
+
+  /// Memoized cross-shard table merges, validated by part identity.
+  struct GatherEntry {
+    std::vector<std::shared_ptr<const Table>> parts;
+    std::shared_ptr<const Table> merged;
+  };
+  mutable std::mutex gather_mu_;
+  mutable std::map<std::string, GatherEntry> gather_cache_;
+};
+
+}  // namespace svc
+
+#endif  // SVC_CORE_SHARDED_ENGINE_H_

@@ -84,6 +84,19 @@ Status SvcEngine::IngestDeltas(DeltaSet&& deltas) {
   return pending_.Register(&db_);
 }
 
+Status SvcEngine::RepartitionRelation(
+    const std::string& relation, const std::function<bool(const Row&)>& keep) {
+  SVC_ASSIGN_OR_RETURN(const Table* base, db_.GetTable(relation));
+  Table owned(base->schema());
+  SVC_RETURN_IF_ERROR(owned.SetPrimaryKey(base->PrimaryKeyNames()));
+  for (const Row& r : base->rows()) {
+    if (keep(r)) SVC_RETURN_IF_ERROR(owned.Insert(r));
+  }
+  db_.PutTable(relation, std::move(owned));
+  pending_.RetainRows(relation, keep);
+  return pending_.Register(&db_);
+}
+
 Status SvcEngine::MaintainAll() {
   // Maintain a forked copy and swap it in only on success: a failure
   // anywhere (a maintenance plan, its execution, or the base-table commit)

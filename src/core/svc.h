@@ -1,6 +1,8 @@
 #ifndef SVC_CORE_SVC_H_
 #define SVC_CORE_SVC_H_
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -110,6 +112,19 @@ class SvcEngine {
   /// Deltas accumulated since the last MaintainAll.
   const DeltaSet& pending() const { return pending_; }
   bool IsStale() const { return !pending_.empty(); }
+
+  /// Overwrites the pending queue's mutation counter. Only for checkpoint
+  /// restore (storage/serde re-pairs the decoded queue with its persisted
+  /// counter); never call this on a live engine.
+  void RestorePendingVersion(uint64_t v) { pending_.RestoreVersion(v); }
+
+  /// Rebuilds base relation `relation` — and its pending delta queues —
+  /// keeping only rows for which `keep` returns true, preserving row
+  /// order. Used by ShardedEngine when a relation becomes hash-partitioned:
+  /// each shard drops the rows it does not own. Must run before any view
+  /// reads the relation (existing view contents are not rewritten).
+  Status RepartitionRelation(const std::string& relation,
+                             const std::function<bool(const Row&)>& keep);
 
   // ---- Maintenance ---------------------------------------------------------
   /// Full (incremental where possible) maintenance of every view, then

@@ -72,9 +72,13 @@ SvcServer::SvcServer(ServerOptions opts, std::shared_ptr<DurableEngine> durable)
       shared_(durable->shared()),
       durable_(std::move(durable)) {}
 
+SvcServer::SvcServer(ServerOptions opts, std::shared_ptr<ShardedEngine> sharded)
+    : opts_(std::move(opts)), sharded_(std::move(sharded)) {}
+
 SvcServer::~SvcServer() { Stop(); }
 
 EngineHandle SvcServer::MakeHandle() const {
+  if (sharded_ != nullptr) return EngineHandle::Sharded(sharded_);
   return durable_ != nullptr ? EngineHandle::Durable(durable_)
                              : EngineHandle::Shared(shared_);
 }

@@ -78,6 +78,9 @@ class SvcServer {
   /// Serves a durable engine: statements run with durable-session
   /// semantics (every write WAL-logged before publishing).
   SvcServer(ServerOptions opts, std::shared_ptr<DurableEngine> durable);
+  /// Serves a sharded engine: statements run with sharded-session
+  /// semantics (scatter-gather reads, shard-routed writes).
+  SvcServer(ServerOptions opts, std::shared_ptr<ShardedEngine> sharded);
   /// Stops and joins all threads.
   ~SvcServer();
 
@@ -139,6 +142,7 @@ class SvcServer {
   ServerOptions opts_;
   std::shared_ptr<SharedEngine> shared_;
   std::shared_ptr<DurableEngine> durable_;
+  std::shared_ptr<ShardedEngine> sharded_;
 
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};

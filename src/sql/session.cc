@@ -69,6 +69,28 @@ std::string FormatEstimateMessage(const AggregateQuery& q,
   return out;
 }
 
+/// Validates CREATE TABLE's column list and PRIMARY KEY clause and builds
+/// the (empty) table; shared by the unsharded and sharded paths.
+Result<Table> BuildTableForCreate(const Statement& stmt) {
+  if (stmt.primary_key.empty()) {
+    return Status::InvalidArgument(
+        "CREATE TABLE " + stmt.target +
+        " requires a PRIMARY KEY (...) clause: the maintenance model "
+        "identifies records by key (paper §3.1)");
+  }
+  Schema schema;
+  for (const auto& col : stmt.columns) {
+    if (schema.Contains(col.name)) {
+      return Status::InvalidArgument("duplicate column '" + col.name +
+                                     "' in CREATE TABLE " + stmt.target);
+    }
+    schema.AddColumn({"", col.name, col.type});
+  }
+  Table table(std::move(schema));
+  SVC_RETURN_IF_ERROR(table.SetPrimaryKey(stmt.primary_key));
+  return table;
+}
+
 }  // namespace
 
 Result<SqlResult> SqlSession::Execute(const std::string& sql) {
@@ -85,6 +107,7 @@ Result<SqlResult> SqlSession::Execute(const Statement& stmt) {
         " unbound parameter(s); bind values first (prepared-statement "
         "EXECUTE, or BindStatementParams)");
   }
+  if (handle_.is_sharded()) return ExecuteSharded(stmt);
   // Reads run against one consistent version: the owned engine in private
   // mode, the current published snapshot in shared mode (held alive for
   // the duration of the statement; concurrent commits don't affect it).
@@ -173,6 +196,24 @@ Result<SqlResult> SqlSession::ExecSelect(const Statement& stmt,
 
 Result<SqlResult> SqlSession::ExecSvcSelect(const Statement& stmt,
                                             const SvcEngine& eng) {
+  return ExecSvcSelectImpl(
+      stmt, eng,
+      [&](const std::string& view, const AggregateQuery& q,
+          const SvcQueryOptions& opts) { return eng.Query(view, q, opts); },
+      [&](const std::string& view, const std::vector<std::string>& groups,
+          const AggregateQuery& q, const SvcQueryOptions& opts) {
+        return eng.QueryGrouped(view, groups, q, opts);
+      });
+}
+
+Result<SqlResult> SqlSession::ExecSvcSelectImpl(
+    const Statement& stmt, const SvcEngine& eng,
+    const std::function<Result<SvcAnswer>(
+        const std::string&, const AggregateQuery&, const SvcQueryOptions&)>&
+        run_query,
+    const std::function<Result<SvcGroupedAnswer>(
+        const std::string&, const std::vector<std::string>&,
+        const AggregateQuery&, const SvcQueryOptions&)>& run_grouped) {
   const SelectStmt& sel = *stmt.select;
   if (sel.set_next) {
     return Status::NotSupported(
@@ -267,7 +308,7 @@ Result<SqlResult> SqlSession::ExecSvcSelect(const Statement& stmt,
   result.kind = SqlResultKind::kEstimate;
 
   if (sel.group_by.empty()) {
-    SVC_ASSIGN_OR_RETURN(SvcAnswer answer, eng.Query(view_name, q, opts));
+    SVC_ASSIGN_OR_RETURN(SvcAnswer answer, run_query(view_name, q, opts));
     Schema schema;
     AppendEstimateColumns(value_alias, &schema);
     Table out(std::move(schema));
@@ -292,7 +333,7 @@ Result<SqlResult> SqlSession::ExecSvcSelect(const Statement& stmt,
   AppendEstimateColumns(value_alias, &schema);
 
   SVC_ASSIGN_OR_RETURN(SvcGroupedAnswer answer,
-                       eng.QueryGrouped(view_name, sel.group_by, q, opts));
+                       run_grouped(view_name, sel.group_by, q, opts));
   // Sort groups by key for stable, scannable output (estimates are
   // unchanged; the engine's group order is first-encounter).
   std::vector<size_t> order(answer.result.group_keys.size());
@@ -327,22 +368,7 @@ Result<SqlResult> SqlSession::ExecCreateTable(const Statement& stmt,
     return Status::AlreadyExists("table or view already exists: " +
                                  stmt.target);
   }
-  if (stmt.primary_key.empty()) {
-    return Status::InvalidArgument(
-        "CREATE TABLE " + stmt.target +
-        " requires a PRIMARY KEY (...) clause: the maintenance model "
-        "identifies records by key (paper §3.1)");
-  }
-  Schema schema;
-  for (const auto& col : stmt.columns) {
-    if (schema.Contains(col.name)) {
-      return Status::InvalidArgument("duplicate column '" + col.name +
-                                     "' in CREATE TABLE " + stmt.target);
-    }
-    schema.AddColumn({"", col.name, col.type});
-  }
-  Table table(std::move(schema));
-  SVC_RETURN_IF_ERROR(table.SetPrimaryKey(stmt.primary_key));
+  SVC_ASSIGN_OR_RETURN(Table table, BuildTableForCreate(stmt));
   if (wal != nullptr) {
     SVC_RETURN_IF_ERROR(
         EncodeDurableOp(DurableOp::CreateTableOp(stmt.target, table), wal));
@@ -383,89 +409,18 @@ Result<SqlResult> SqlSession::ExecInsert(const Statement& stmt,
                                          SvcEngine* eng, std::string* wal) {
   SVC_ASSIGN_OR_RETURN(const Table* table,
                        ResolveBaseTable(*eng, stmt.target, "INSERT INTO"));
-  const Schema& schema = table->schema();
   // Validate and coerce every row before ingesting any (the statement
   // either queues completely or not at all).
   std::vector<Row> rows = stmt.values;
-  for (size_t r = 0; r < rows.size(); ++r) {
-    if (rows[r].size() != schema.NumColumns()) {
-      std::string cols;
-      for (const auto& c : schema.columns()) {
-        cols += (cols.empty() ? "" : ", ") + c.name;
-      }
-      return Status::InvalidArgument(
-          "INSERT INTO " + stmt.target + " expects " +
-          std::to_string(schema.NumColumns()) + " values (" + cols +
-          "); row " + std::to_string(r + 1) + " has " +
-          std::to_string(rows[r].size()));
-    }
-    for (size_t c = 0; c < rows[r].size(); ++c) {
-      Value& v = rows[r][c];
-      const Column& col = schema.column(c);
-      if (v.is_null()) continue;
-      if (col.type == ValueType::kDouble && v.type() == ValueType::kInt) {
-        v = Value::Double(static_cast<double>(v.AsInt()));  // widen
-        continue;
-      }
-      if (v.type() != col.type) {
-        return Status::InvalidArgument(
-            "INSERT INTO " + stmt.target + " column '" + col.name +
-            "' expects " + ValueTypeName(col.type) + "; row " +
-            std::to_string(r + 1) + " has " + v.ToString() + " (" +
-            ValueTypeName(v.type()) + ")");
-      }
-    }
-  }
-  // Primary-key validation: a conflicting delta would poison the pending
-  // queue (every later REFRESH fails on the duplicate), so reject NULL
-  // keys, duplicates within the statement, keys already queued for
-  // insertion, and keys of committed rows not queued for deletion.
+  SVC_RETURN_IF_ERROR(CoerceInsertRows(stmt, table->schema(), &rows));
   std::vector<std::string> batch_keys;
   PendingKeys scratch;
   PendingKeys* cache = nullptr;
   if (table->HasPrimaryKey()) {
-    const std::vector<size_t>& pk = table->pk_indices();
-    auto describe_key = [&](const Row& row) {
-      std::string out;
-      for (size_t i : pk) {
-        if (!out.empty()) out += ", ";
-        out += schema.column(i).name + "=" + row[i].ToString();
-      }
-      return out;
-    };
     cache = PendingKeysFor(stmt.target, &scratch);
-    SyncPendingKeys(*eng, stmt.target, pk, cache);
-    std::set<std::string> batch;
-    batch_keys.reserve(rows.size());
-    for (size_t r = 0; r < rows.size(); ++r) {
-      for (size_t i : pk) {
-        if (rows[r][i].is_null()) {
-          return Status::ConstraintViolation(
-              "INSERT INTO " + stmt.target + " row " + std::to_string(r + 1) +
-              " has NULL in primary-key column '" + schema.column(i).name +
-              "'");
-        }
-      }
-      std::string key = EncodeRowKey(rows[r], pk);
-      std::string where;
-      if (!batch.insert(key).second) {
-        where = "this statement";
-      } else if (cache->inserts.count(key)) {
-        where = "the pending deltas";
-      } else if (table->FindByEncodedKey(key).ok() &&
-                 !cache->deletes.count(key)) {
-        where =
-            "a committed row (DELETE it first; an update is "
-            "delete + insert)";
-      }
-      if (!where.empty()) {
-        return Status::ConstraintViolation(
-            "INSERT INTO " + stmt.target + " row " + std::to_string(r + 1) +
-            " duplicates the primary key (" + describe_key(rows[r]) +
-            ") of " + where);
-      }
-      batch_keys.push_back(std::move(key));
-    }
+    SyncPendingKeys(*eng, stmt.target, table->pk_indices(), cache);
+    SVC_RETURN_IF_ERROR(
+        CheckInsertKeys(stmt, *table, rows, *cache, &batch_keys));
   }
   if (wal != nullptr) {
     // The *coerced* rows are what replay must re-queue.
@@ -719,6 +674,93 @@ void SqlSession::SyncPendingKeys(const SvcEngine& eng,
        &cache->delete_rows, &cache->deletes);
 }
 
+Status SqlSession::CoerceInsertRows(const Statement& stmt,
+                                    const Schema& schema,
+                                    std::vector<Row>* rows) {
+  for (size_t r = 0; r < rows->size(); ++r) {
+    Row& row = (*rows)[r];
+    if (row.size() != schema.NumColumns()) {
+      std::string cols;
+      for (const auto& c : schema.columns()) {
+        cols += (cols.empty() ? "" : ", ") + c.name;
+      }
+      return Status::InvalidArgument(
+          "INSERT INTO " + stmt.target + " expects " +
+          std::to_string(schema.NumColumns()) + " values (" + cols +
+          "); row " + std::to_string(r + 1) + " has " +
+          std::to_string(row.size()));
+    }
+    for (size_t c = 0; c < row.size(); ++c) {
+      Value& v = row[c];
+      const Column& col = schema.column(c);
+      if (v.is_null()) continue;
+      if (col.type == ValueType::kDouble && v.type() == ValueType::kInt) {
+        v = Value::Double(static_cast<double>(v.AsInt()));  // widen
+        continue;
+      }
+      if (v.type() != col.type) {
+        return Status::InvalidArgument(
+            "INSERT INTO " + stmt.target + " column '" + col.name +
+            "' expects " + ValueTypeName(col.type) + "; row " +
+            std::to_string(r + 1) + " has " + v.ToString() + " (" +
+            ValueTypeName(v.type()) + ")");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status SqlSession::CheckInsertKeys(const Statement& stmt, const Table& table,
+                                   const std::vector<Row>& rows,
+                                   const PendingKeys& pending,
+                                   std::vector<std::string>* batch_keys) {
+  // Primary-key validation: a conflicting delta would poison the pending
+  // queue (every later REFRESH fails on the duplicate), so reject NULL
+  // keys, duplicates within the statement, keys already queued for
+  // insertion, and keys of committed rows not queued for deletion.
+  const Schema& schema = table.schema();
+  const std::vector<size_t>& pk = table.pk_indices();
+  auto describe_key = [&](const Row& row) {
+    std::string out;
+    for (size_t i : pk) {
+      if (!out.empty()) out += ", ";
+      out += schema.column(i).name + "=" + row[i].ToString();
+    }
+    return out;
+  };
+  std::set<std::string> batch;
+  batch_keys->reserve(rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t i : pk) {
+      if (rows[r][i].is_null()) {
+        return Status::ConstraintViolation(
+            "INSERT INTO " + stmt.target + " row " + std::to_string(r + 1) +
+            " has NULL in primary-key column '" + schema.column(i).name + "'");
+      }
+    }
+    std::string key = EncodeRowKey(rows[r], pk);
+    std::string where;
+    if (!batch.insert(key).second) {
+      where = "this statement";
+    } else if (pending.inserts.count(key)) {
+      where = "the pending deltas";
+    } else if (table.FindByEncodedKey(key).ok() &&
+               !pending.deletes.count(key)) {
+      where =
+          "a committed row (DELETE it first; an update is "
+          "delete + insert)";
+    }
+    if (!where.empty()) {
+      return Status::ConstraintViolation(
+          "INSERT INTO " + stmt.target + " row " + std::to_string(r + 1) +
+          " duplicates the primary key (" + describe_key(rows[r]) + ") of " +
+          where);
+    }
+    batch_keys->push_back(std::move(key));
+  }
+  return Status::OK();
+}
+
 Result<const Table*> SqlSession::ResolveBaseTable(const SvcEngine& eng,
                                                   const std::string& name,
                                                   const char* verb) const {
@@ -733,6 +775,377 @@ Result<const Table*> SqlSession::ResolveBaseTable(const SvcEngine& eng,
                                    "' is an internal delta relation");
   }
   return eng.db().GetTable(name);
+}
+
+// ---- Sharded mode -----------------------------------------------------------
+
+Result<SqlResult> SqlSession::ExecuteSharded(const Statement& stmt) {
+  // Reads run against one published cut, held alive for the statement;
+  // writes validate and commit under the engine's statement lock (the
+  // sharded analog of running inside SharedEngine::Commit).
+  ShardedSnapshotPtr snap;
+  auto reader = [&]() -> const ShardedSnapshot& {
+    snap = handle_.sharded()->Snapshot();
+    return *snap;
+  };
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect: {
+      const ShardedSnapshot& cut = reader();
+      if (!stmt.svc.present) return ExecSelectSharded(stmt, cut);
+      const ShardedEngine& eng = *handle_.sharded();
+      return ExecSvcSelectImpl(
+          stmt, cut.shards[0]->engine,
+          [&](const std::string& view, const AggregateQuery& q,
+              const SvcQueryOptions& opts) {
+            return eng.Query(cut, view, q, opts);
+          },
+          [&](const std::string& view, const std::vector<std::string>& groups,
+              const AggregateQuery& q, const SvcQueryOptions& opts) {
+            return eng.QueryGrouped(cut, view, groups, q, opts);
+          });
+    }
+    case Statement::Kind::kShowTables:
+      return ExecShowTablesSharded(reader());
+    case Statement::Kind::kShowViews:
+      return ExecShowViewsSharded(reader());
+    case Statement::Kind::kShowStats:
+      return ExecShowStatsSharded(reader());
+    case Statement::Kind::kCreateTable:
+      return ExecCreateTableSharded(stmt);
+    case Statement::Kind::kCreateView:
+      return ExecCreateViewSharded(stmt);
+    case Statement::Kind::kInsert:
+      return ExecInsertSharded(stmt);
+    case Statement::Kind::kDelete:
+      return ExecDeleteSharded(stmt);
+    case Statement::Kind::kRefresh:
+      return ExecRefreshSharded(stmt);
+    case Statement::Kind::kCheckpoint:
+      return ExecCheckpoint();  // sharded engines are not durable
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<SqlResult> SqlSession::ExecSelectSharded(const Statement& stmt,
+                                                const ShardedSnapshot& snap) {
+  const ShardedEngine& eng = *handle_.sharded();
+  // Plan and execute against the gathered logical catalog: partitioned
+  // relations and views are reassembled in canonical order (memoized per
+  // shard-part identity, so repeated SELECTs between maintenance commits
+  // reuse the merge; replicated tables are shard 0's, zero-copy).
+  const SvcEngine& shard0 = snap.shards[0]->engine;
+  std::vector<std::string> names;
+  for (const auto& name : shard0.db().TableNames()) {
+    if (name.rfind("__", 0) == 0) continue;  // internal delta tables
+    names.push_back(name);
+  }
+  SVC_ASSIGN_OR_RETURN(Database gathered, eng.GatherDatabase(snap, names));
+  SVC_ASSIGN_OR_RETURN(PlanPtr plan, PlanSelect(*stmt.select, gathered));
+  SVC_ASSIGN_OR_RETURN(Table out,
+                       ExecutePlan(*plan, gathered, shard0.exec_options()));
+  SqlResult result;
+  result.kind = SqlResultKind::kRows;
+  result.message = std::to_string(out.NumRows()) + " row(s)";
+  result.rows = std::move(out);
+  return result;
+}
+
+Result<SqlResult> SqlSession::ExecCreateTableSharded(const Statement& stmt) {
+  ShardedEngine& eng = *handle_.sharded();
+  std::optional<SqlResult> out;
+  SVC_RETURN_IF_ERROR(eng.WithStatementLock([&]() -> Status {
+    ShardedSnapshotPtr snap = eng.Snapshot();
+    if (snap->shards[0]->engine.db().HasTable(stmt.target)) {
+      return Status::AlreadyExists("table or view already exists: " +
+                                   stmt.target);
+    }
+    auto table = BuildTableForCreate(stmt);
+    if (!table.ok()) return table.status();
+    SVC_RETURN_IF_ERROR(eng.CreateTable(stmt.target, std::move(table).value()));
+    SqlResult result;
+    result.message = "created table " + stmt.target + " (" +
+                     std::to_string(stmt.columns.size()) + " columns)";
+    out = std::move(result);
+    return Status::OK();
+  }));
+  return std::move(*out);
+}
+
+Result<SqlResult> SqlSession::ExecCreateViewSharded(const Statement& stmt) {
+  ShardedEngine& eng = *handle_.sharded();
+  std::optional<SqlResult> out;
+  SVC_RETURN_IF_ERROR(eng.WithStatementLock([&]() -> Status {
+    ShardedSnapshotPtr snap = eng.Snapshot();
+    const SvcEngine& shard0 = snap->shards[0]->engine;
+    if (shard0.HasView(stmt.target)) {
+      return Status::AlreadyExists("view already exists: " + stmt.target);
+    }
+    if (shard0.db().HasTable(stmt.target)) {
+      return Status::AlreadyExists("a table named '" + stmt.target +
+                                   "' already exists; views need a fresh "
+                                   "name");
+    }
+    // Plan against shard 0's catalog: schemas are identical on every shard
+    // (only row placement differs), and planning never reads rows.
+    SVC_ASSIGN_OR_RETURN(PlanPtr def, PlanSelect(*stmt.select, shard0.db()));
+    SVC_RETURN_IF_ERROR(
+        eng.CreateView(stmt.target, std::move(def), stmt.sampling_key));
+    // Report the logical row count from the freshly published cut.
+    ShardedSnapshotPtr next = eng.Snapshot();
+    SVC_ASSIGN_OR_RETURN(std::shared_ptr<const Table> stored,
+                         eng.GatherTable(*next, stmt.target));
+    SqlResult result;
+    result.message = "materialized view " + stmt.target + " (" +
+                     std::to_string(stored->NumRows()) + " rows)";
+    out = std::move(result);
+    return Status::OK();
+  }));
+  return std::move(*out);
+}
+
+Result<SqlResult> SqlSession::ExecInsertSharded(const Statement& stmt) {
+  ShardedEngine& eng = *handle_.sharded();
+  std::optional<SqlResult> out;
+  SVC_RETURN_IF_ERROR(eng.WithStatementLock([&]() -> Status {
+    ShardedSnapshotPtr snap = eng.Snapshot();
+    const SvcEngine& shard0 = snap->shards[0]->engine;
+    SVC_RETURN_IF_ERROR(
+        ResolveBaseTable(shard0, stmt.target, "INSERT INTO").status());
+    // Key checks run against the *gathered* logical table: a conflicting
+    // committed row may live on any shard.
+    SVC_ASSIGN_OR_RETURN(std::shared_ptr<const Table> table,
+                         eng.GatherTable(*snap, stmt.target));
+    std::vector<Row> rows = stmt.values;
+    SVC_RETURN_IF_ERROR(CoerceInsertRows(stmt, table->schema(), &rows));
+    if (table->HasPrimaryKey()) {
+      PendingKeys pending;
+      SyncPendingKeysSharded(*snap, stmt.target, table->pk_indices(),
+                             &pending);
+      std::vector<std::string> batch_keys;
+      SVC_RETURN_IF_ERROR(
+          CheckInsertKeys(stmt, *table, rows, pending, &batch_keys));
+    }
+    SVC_RETURN_IF_ERROR(eng.InsertRows(stmt.target, std::move(rows)));
+    SqlResult result;
+    result.message = "queued " + std::to_string(stmt.values.size()) +
+                     " insert(s) into " + stmt.target +
+                     "; REFRESH commits them";
+    out = std::move(result);
+    return Status::OK();
+  }));
+  return std::move(*out);
+}
+
+Result<SqlResult> SqlSession::ExecDeleteSharded(const Statement& stmt) {
+  ShardedEngine& eng = *handle_.sharded();
+  std::optional<SqlResult> out;
+  SVC_RETURN_IF_ERROR(eng.WithStatementLock([&]() -> Status {
+    ShardedSnapshotPtr snap = eng.Snapshot();
+    const SvcEngine& shard0 = snap->shards[0]->engine;
+    SVC_RETURN_IF_ERROR(
+        ResolveBaseTable(shard0, stmt.target, "DELETE FROM").status());
+    SVC_ASSIGN_OR_RETURN(std::shared_ptr<const Table> table,
+                         eng.GatherTable(*snap, stmt.target));
+    ExprPtr pred;
+    if (stmt.where) {
+      pred = stmt.where->Clone();
+      SVC_RETURN_IF_ERROR(pred->Bind(table->schema()));
+    }
+    // WHERE selects from the gathered committed rows (canonical order, so
+    // the queued delta order is shard-count-invariant); matches are routed
+    // to their owning shards as delete deltas.
+    std::vector<Row> doomed;
+    for (const auto& row : table->rows()) {
+      if (!pred || pred->Eval(row).IsTrue()) doomed.push_back(row);
+    }
+    if (table->HasPrimaryKey()) {
+      // DELETE is idempotent: skip rows already queued for deletion.
+      PendingKeys pending;
+      SyncPendingKeysSharded(*snap, stmt.target, table->pk_indices(),
+                             &pending);
+      std::vector<Row> fresh;
+      fresh.reserve(doomed.size());
+      for (auto& row : doomed) {
+        if (pending.deletes.count(EncodeRowKey(row, table->pk_indices()))) {
+          continue;
+        }
+        fresh.push_back(std::move(row));
+      }
+      doomed = std::move(fresh);
+    }
+    const size_t n_doomed = doomed.size();
+    SVC_RETURN_IF_ERROR(eng.DeleteRows(stmt.target, std::move(doomed)));
+    SqlResult result;
+    result.message = "queued " + std::to_string(n_doomed) + " delete(s) from " +
+                     stmt.target + "; REFRESH commits them";
+    out = std::move(result);
+    return Status::OK();
+  }));
+  return std::move(*out);
+}
+
+Result<SqlResult> SqlSession::ExecRefreshSharded(const Statement& stmt) {
+  ShardedEngine& eng = *handle_.sharded();
+  std::optional<SqlResult> out;
+  SVC_RETURN_IF_ERROR(eng.WithStatementLock([&]() -> Status {
+    ShardedSnapshotPtr snap = eng.Snapshot();
+    const SvcEngine& shard0 = snap->shards[0]->engine;
+    if (!stmt.refresh_all) {
+      SVC_RETURN_IF_ERROR(shard0.GetView(stmt.target).status());
+    }
+    size_t inserts = 0;
+    size_t deletes = 0;
+    SVC_RETURN_IF_ERROR(eng.Refresh(&inserts, &deletes));
+    const size_t n_views = shard0.ViewNames().size();
+    SqlResult result;
+    result.message = "refreshed " + std::to_string(n_views) +
+                     " view(s); committed " + std::to_string(inserts) +
+                     " insert(s) and " + std::to_string(deletes) +
+                     " delete(s)";
+    out = std::move(result);
+    return Status::OK();
+  }));
+  return std::move(*out);
+}
+
+Result<SqlResult> SqlSession::ExecShowTablesSharded(
+    const ShardedSnapshot& snap) {
+  const SvcEngine& shard0 = snap.shards[0]->engine;
+  Schema schema;
+  schema.AddColumn({"", "name", ValueType::kString});
+  schema.AddColumn({"", "rows", ValueType::kInt});
+  schema.AddColumn({"", "kind", ValueType::kString});
+  Table out(std::move(schema));
+  for (const auto& name : shard0.db().TableNames()) {
+    if (name.rfind("__", 0) == 0) continue;  // internal delta tables
+    // Partitioned relations/views report their logical row count (the sum
+    // of the shard parts); replicated ones hold it whole on shard 0.
+    const bool partitioned = snap.meta->IsPartitionedRelation(name) ||
+                             snap.meta->IsPartitionedView(name);
+    size_t rows = 0;
+    for (size_t s = 0; s < snap.shards.size(); ++s) {
+      SVC_ASSIGN_OR_RETURN(const Table* t,
+                           snap.shards[s]->engine.db().GetTable(name));
+      rows += t->NumRows();
+      if (!partitioned) break;
+    }
+    out.AppendUnchecked({Value::String(name),
+                         Value::Int(static_cast<int64_t>(rows)),
+                         Value::String(shard0.HasView(name) ? "view" : "base")});
+  }
+  SqlResult result;
+  result.kind = SqlResultKind::kRows;
+  result.message = std::to_string(out.NumRows()) + " table(s)";
+  result.rows = std::move(out);
+  return result;
+}
+
+Result<SqlResult> SqlSession::ExecShowViewsSharded(const ShardedSnapshot& snap) {
+  const SvcEngine& shard0 = snap.shards[0]->engine;
+  Schema schema;
+  schema.AddColumn({"", "name", ValueType::kString});
+  schema.AddColumn({"", "rows", ValueType::kInt});
+  schema.AddColumn({"", "class", ValueType::kString});
+  schema.AddColumn({"", "stale", ValueType::kString});
+  Table out(std::move(schema));
+  for (const auto& name : shard0.ViewNames()) {
+    SVC_ASSIGN_OR_RETURN(const MaterializedView* view, shard0.GetView(name));
+    const bool partitioned = snap.meta->IsPartitionedView(name);
+    size_t rows = 0;
+    for (size_t s = 0; s < snap.shards.size(); ++s) {
+      SVC_ASSIGN_OR_RETURN(const Table* t,
+                           snap.shards[s]->engine.db().GetTable(name));
+      rows += t->NumRows();
+      if (!partitioned) break;
+    }
+    const char* cls = "recompute";
+    if (view->view_class() == ViewClass::kSpj) cls = "spj";
+    if (view->view_class() == ViewClass::kAggregate) cls = "aggregate";
+    // A partitioned relation's deltas live only on the owning shard: a
+    // view is stale when *any* shard has pending rows for its bases.
+    bool stale = false;
+    for (const auto& rel : view->base_relations()) {
+      for (const auto& shard : snap.shards) {
+        stale = stale || shard->engine.pending().Touches(rel);
+      }
+    }
+    out.AppendUnchecked({Value::String(name),
+                         Value::Int(static_cast<int64_t>(rows)),
+                         Value::String(cls),
+                         Value::String(stale ? "yes" : "no")});
+  }
+  SqlResult result;
+  result.kind = SqlResultKind::kRows;
+  result.message = std::to_string(out.NumRows()) + " view(s)";
+  result.rows = std::move(out);
+  return result;
+}
+
+Result<SqlResult> SqlSession::ExecShowStatsSharded(const ShardedSnapshot& snap) {
+  const ShardedEngine& eng = *handle_.sharded();
+  const SvcEngine& shard0 = snap.shards[0]->engine;
+  Schema schema;
+  schema.AddColumn({"", "view", ValueType::kString});
+  schema.AddColumn({"", "cache_hits", ValueType::kInt});
+  schema.AddColumn({"", "cache_misses", ValueType::kInt});
+  schema.AddColumn({"", "full_cleans", ValueType::kInt});
+  schema.AddColumn({"", "incr_advances", ValueType::kInt});
+  schema.AddColumn({"", "pending_rows", ValueType::kInt});
+  schema.AddColumn({"", "delta_version", ValueType::kInt});
+  Table out(std::move(schema));
+  // Cache counters sum across the shards' serving caches; the delta
+  // version sums the per-shard pending-queue counters (monotonic, like
+  // the single-engine counter it generalizes).
+  std::map<std::string, ViewCacheStats> stats;
+  uint64_t delta_version = 0;
+  for (const auto& shard : snap.shards) {
+    for (const auto& [name, s] : shard->engine.CacheStats()) {
+      ViewCacheStats& agg = stats[name];
+      agg.hits += s.hits;
+      agg.misses += s.misses;
+      agg.full_cleans += s.full_cleans;
+      agg.incremental_advances += s.incremental_advances;
+    }
+    delta_version += shard->engine.pending().version();
+  }
+  const auto as_int = [](uint64_t v) {
+    return Value::Int(static_cast<int64_t>(v));
+  };
+  for (const auto& name : shard0.ViewNames()) {
+    SVC_ASSIGN_OR_RETURN(const MaterializedView* view, shard0.GetView(name));
+    size_t pending_rows = 0;
+    for (const auto& rel : view->base_relations()) {
+      pending_rows += eng.PendingRowsFor(snap, rel);
+    }
+    auto it = stats.find(name);
+    const ViewCacheStats s = it == stats.end() ? ViewCacheStats{} : it->second;
+    out.AppendUnchecked({Value::String(name), as_int(s.hits),
+                         as_int(s.misses), as_int(s.full_cleans),
+                         as_int(s.incremental_advances), as_int(pending_rows),
+                         as_int(delta_version)});
+  }
+  SqlResult result;
+  result.kind = SqlResultKind::kRows;
+  result.message = std::to_string(out.NumRows()) + " view(s)";
+  result.rows = std::move(out);
+  return result;
+}
+
+void SqlSession::SyncPendingKeysSharded(const ShardedSnapshot& snap,
+                                        const std::string& relation,
+                                        const std::vector<size_t>& pk_indices,
+                                        PendingKeys* cache) {
+  for (const auto& shard : snap.shards) {
+    const DeltaSet& pending = shard->engine.pending();
+    pending.ForEachInsert(relation, [&](const Row& r) {
+      cache->inserts.insert(EncodeRowKey(r, pk_indices));
+    });
+    pending.ForEachDelete(relation, [&](const Row& r) {
+      cache->deletes.insert(EncodeRowKey(r, pk_indices));
+    });
+  }
+  cache->insert_rows = cache->inserts.size();
+  cache->delete_rows = cache->deletes.size();
 }
 
 }  // namespace svc

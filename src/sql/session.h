@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/sharded_engine.h"
 #include "core/shared_engine.h"
 #include "core/svc.h"
 #include "sql/parser.h"
@@ -53,6 +54,8 @@ class SqlExecutor {
 ///     concurrently with snapshot isolation.
 ///   * **Durable**: shared-mode semantics over a DurableEngine (each write
 ///     is one WAL-logged commit).
+///   * **Sharded**: the handle addresses a ShardedEngine; statements run
+///     against hash-partitioned shards, reads against one published cut.
 ///
 /// Collapses what used to be five SqlSession constructors into one value,
 /// so callers (svc_shell, svc_served, tests) build the handle once and
@@ -86,17 +89,27 @@ class EngineHandle {
     h.durable_ = std::move(durable);
     return h;
   }
+  /// A handle onto a sharded engine (scatter-gather serving).
+  static EngineHandle Sharded(std::shared_ptr<ShardedEngine> sharded) {
+    EngineHandle h;
+    h.sharded_ = std::move(sharded);
+    return h;
+  }
 
   /// True iff the handle addresses a SharedEngine (durable included).
   bool is_shared() const { return shared_ != nullptr; }
   /// True iff the handle addresses a DurableEngine.
   bool is_durable() const { return durable_ != nullptr; }
+  /// True iff the handle addresses a ShardedEngine.
+  bool is_sharded() const { return sharded_ != nullptr; }
   /// The owned engine (null unless private mode).
   SvcEngine* private_engine() const { return own_.get(); }
   /// The shared engine (null in private mode).
   const std::shared_ptr<SharedEngine>& shared() const { return shared_; }
   /// The durable engine (null unless durable mode).
   const std::shared_ptr<DurableEngine>& durable() const { return durable_; }
+  /// The sharded engine (null unless sharded mode).
+  const std::shared_ptr<ShardedEngine>& sharded() const { return sharded_; }
 
  private:
   EngineHandle() = default;  // factories fill exactly one mode
@@ -104,6 +117,7 @@ class EngineHandle {
   std::unique_ptr<SvcEngine> own_;
   std::shared_ptr<SharedEngine> shared_;
   std::shared_ptr<DurableEngine> durable_;
+  std::shared_ptr<ShardedEngine> sharded_;
 };
 
 /// A SQL-driven session over one SvcEngine: the full SVC lifecycle —
@@ -206,6 +220,11 @@ class SqlSession : public SqlExecutor {
     return handle_.durable();
   }
 
+  /// The sharded engine (null unless constructed from one).
+  const std::shared_ptr<ShardedEngine>& sharded() const {
+    return handle_.sharded();
+  }
+
   /// Session-wide SVC defaults; `WITH SVC(...)` keys override per query.
   SvcQueryOptions& default_svc_options() { return svc_defaults_; }
   const SvcQueryOptions& default_svc_options() const { return svc_defaults_; }
@@ -224,6 +243,36 @@ class SqlSession : public SqlExecutor {
   // `*wal` when it is non-null (durable mode; null otherwise).
   Result<SqlResult> ExecSelect(const Statement& stmt, const SvcEngine& eng);
   Result<SqlResult> ExecSvcSelect(const Statement& stmt, const SvcEngine& eng);
+
+  /// The mode-independent body of ExecSvcSelect: validates and lowers the
+  /// statement against `catalog` (any engine holding the view metadata —
+  /// shard 0's in sharded mode, since catalogs are identical on every
+  /// shard), runs the query through the injected callables, and renders
+  /// the result. Sharing this body is what keeps sharded answers
+  /// message-for-message identical with the other modes.
+  Result<SqlResult> ExecSvcSelectImpl(
+      const Statement& stmt, const SvcEngine& catalog,
+      const std::function<Result<SvcAnswer>(
+          const std::string&, const AggregateQuery&, const SvcQueryOptions&)>&
+          run_query,
+      const std::function<Result<SvcGroupedAnswer>(
+          const std::string&, const std::vector<std::string>&,
+          const AggregateQuery&, const SvcQueryOptions&)>& run_grouped);
+
+  /// Sharded-mode statement dispatch (Execute branches here when the
+  /// handle is sharded): reads run against one published cut; writes
+  /// validate and commit under the engine's statement lock.
+  Result<SqlResult> ExecuteSharded(const Statement& stmt);
+  Result<SqlResult> ExecSelectSharded(const Statement& stmt,
+                                      const ShardedSnapshot& snap);
+  Result<SqlResult> ExecInsertSharded(const Statement& stmt);
+  Result<SqlResult> ExecDeleteSharded(const Statement& stmt);
+  Result<SqlResult> ExecCreateTableSharded(const Statement& stmt);
+  Result<SqlResult> ExecCreateViewSharded(const Statement& stmt);
+  Result<SqlResult> ExecRefreshSharded(const Statement& stmt);
+  Result<SqlResult> ExecShowTablesSharded(const ShardedSnapshot& snap);
+  Result<SqlResult> ExecShowViewsSharded(const ShardedSnapshot& snap);
+  Result<SqlResult> ExecShowStatsSharded(const ShardedSnapshot& snap);
   Result<SqlResult> ExecCreateTable(const Statement& stmt, SvcEngine* eng,
                                     std::string* wal);
   Result<SqlResult> ExecCreateView(const Statement& stmt, SvcEngine* eng,
@@ -280,6 +329,30 @@ class SqlSession : public SqlExecutor {
   static void SyncPendingKeys(const SvcEngine& eng, const std::string& relation,
                               const std::vector<size_t>& pk_indices,
                               PendingKeys* cache);
+
+  /// Aggregated pending-delta keys for one relation across every shard of
+  /// `snap` (set semantics collapse a replicated relation's per-shard
+  /// copies back to the logical rows). Always rebuilds: sharded sessions
+  /// share the engine, so the drift check cannot be trusted.
+  static void SyncPendingKeysSharded(const ShardedSnapshot& snap,
+                                     const std::string& relation,
+                                     const std::vector<size_t>& pk_indices,
+                                     PendingKeys* cache);
+
+  /// INSERT row validation shared with the sharded path: checks arity and
+  /// value types against `schema`, widening INT literals into DOUBLE
+  /// columns in place.
+  static Status CoerceInsertRows(const Statement& stmt, const Schema& schema,
+                                 std::vector<Row>* rows);
+
+  /// ExecInsert's primary-key screening, shared with the sharded path:
+  /// rejects NULL key columns, duplicates within the statement, keys
+  /// already queued for insertion, and committed keys (of `table`) not
+  /// queued for deletion. Appends each row's encoded key to `batch_keys`.
+  static Status CheckInsertKeys(const Statement& stmt, const Table& table,
+                                const std::vector<Row>& rows,
+                                const PendingKeys& pending,
+                                std::vector<std::string>* batch_keys);
 
   EngineHandle handle_;
   SvcQueryOptions svc_defaults_;

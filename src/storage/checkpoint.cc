@@ -19,7 +19,10 @@ namespace svc {
 namespace {
 
 constexpr char kMagic[4] = {'S', 'V', 'C', 'K'};
-constexpr uint32_t kVersion = 1;
+// v2 appends the pending DeltaSet's mutation counter (SHOW STATS's
+// delta_version) to the delta section; v1 checkpoints are rejected with a
+// clean NotSupported instead of misreading the stream.
+constexpr uint32_t kVersion = 2;
 constexpr char kTempName[] = "ckpt.tmp";
 
 Status Errno(const std::string& what) {
@@ -139,9 +142,15 @@ Result<EngineState> DecodeEngineState(std::string_view bytes) {
 
   SVC_ASSIGN_OR_RETURN(DeltaSet pending,
                        DecodeDeltaSet(&body, *state.engine.db()));
+  // Re-pair the engine with the persisted mutation counter *after*
+  // ingesting (ingestion bumps the live counter) — and even when the queue
+  // is empty: the counter outlives REFRESH, so a freshly-maintained
+  // engine's version is nonzero with nothing pending.
+  const uint64_t delta_version = pending.version();
   if (!pending.empty()) {
     SVC_RETURN_IF_ERROR(state.engine.IngestDeltas(std::move(pending)));
   }
+  state.engine.RestorePendingVersion(delta_version);
   if (!body.AtEnd()) {
     return Status::InvalidArgument(
         "checkpoint has " + std::to_string(body.remaining()) +

@@ -530,6 +530,10 @@ void EncodeDeltaSet(const DeltaSet& deltas, std::string* out) {
               [&](const std::string& rel, auto fn) {
                 deltas.ForEachDelete(rel, fn);
               });
+  // The mutation counter survives the round trip: SHOW STATS reports it,
+  // and the sample cache validates entries against it, so a recovered
+  // engine must not restart it from zero.
+  PutU64(out, deltas.version());
 }
 
 Result<DeltaSet> DecodeDeltaSet(ByteReader* r, const Database& db) {
@@ -552,6 +556,8 @@ Result<DeltaSet> DecodeDeltaSet(ByteReader* r, const Database& db) {
   SVC_RETURN_IF_ERROR(decode_side([&](const std::string& rel, Row row) {
     return out.AddDelete(db, rel, std::move(row));
   }));
+  SVC_ASSIGN_OR_RETURN(uint64_t version, r->U64());
+  out.RestoreVersion(version);
   return out;
 }
 

@@ -200,6 +200,23 @@ std::vector<std::string> DeltaSet::TouchedRelations() const {
   return {out.begin(), out.end()};
 }
 
+void DeltaSet::RetainRows(const std::string& relation,
+                          const std::function<bool(const Row&)>& keep) {
+  auto retain = [&](std::map<std::string, Side>* sides) {
+    auto it = sides->find(relation);
+    if (it == sides->end()) return;
+    Side rebuilt;
+    rebuilt.tail = Table(it->second.tail.schema());
+    it->second.ForEachRow([&](const Row& r) {
+      if (keep(r)) rebuilt.tail.AppendUnchecked(r);
+    });
+    it->second = std::move(rebuilt);
+  };
+  retain(&inserts_);
+  retain(&deletes_);
+  ++version_;
+}
+
 DeltaWatermark DeltaSet::Watermark() const {
   DeltaWatermark mark;
   for (const auto& [rel, s] : inserts_) mark.insert_rows[rel] = s.rows();

@@ -2,6 +2,7 @@
 #define SVC_VIEW_DELTA_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -99,6 +100,19 @@ class DeltaSet {
   /// forks can reach the same number with different contents — which is
   /// why forks never share one cache object.)
   uint64_t version() const { return version_; }
+
+  /// Overwrites the mutation counter. Only for checkpoint restore, where
+  /// the decoded queue contents and the persisted counter must re-pair —
+  /// never call this on a live engine (it would alias cache keys).
+  void RestoreVersion(uint64_t v) { version_ = v; }
+
+  /// Rebuilds `relation`'s pending queues keeping only rows for which
+  /// `keep` returns true, preserving queue order (both sides collapse to a
+  /// fresh zero-chunk tail). Used when a base relation is re-partitioned:
+  /// the shard drops queued rows it no longer owns. Bumps version(); a
+  /// later Register drops the retired chunk names from the catalog.
+  void RetainRows(const std::string& relation,
+                  const std::function<bool(const Row&)>& keep);
 
   /// Current per-relation row counts, for later SliceSince calls.
   DeltaWatermark Watermark() const;

@@ -17,10 +17,12 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
+#include "core/sharded_engine.h"
 #include "core/svc.h"
 #include "sql/planner.h"
 #include "tests/test_util.h"
@@ -32,66 +34,94 @@ constexpr int kTrials = 200;
 constexpr double kNominal = 0.95;
 constexpr double kFloor = 0.90;  // ~3.2 binomial sd below nominal
 
-/// One trial's engine: F(id, g, v) with randomized rows, an SPJ view over
-/// it (one view row per base row, so samples are sized by ratio × rows),
-/// and a randomized stale delta batch (inserts + deletes).
-SvcEngine BuildTrialEngine(uint64_t seed) {
+constexpr char kTrialViewSql[] = "SELECT id, g, v FROM F WHERE v >= 0";
+
+/// One trial's randomized workload, shared by the unsharded and sharded
+/// runs so the sharded engine is measured on the same data distribution
+/// (and each sharded trial's truth comes from an unsharded replica).
+struct TrialData {
+  std::vector<Row> committed;  // initial F rows, in insertion order
+  std::vector<Row> inserts;    // stale delta inserts
+  std::vector<Row> deletes;    // stale delta deletes (deduped full rows)
+};
+
+TrialData GenerateTrial(uint64_t seed) {
   Rng rng(seed);
-  Database db;
-  Table fact(Schema({{"", "id", ValueType::kInt},
-                     {"", "g", ValueType::kInt},
-                     {"", "v", ValueType::kDouble}}));
-  EXPECT_TRUE(fact.SetPrimaryKey({"id"}).ok());
+  TrialData data;
   const int64_t n = 260;
   for (int64_t id = 0; id < n; ++id) {
     // Skewed-ish positive values: a mix of a uniform body and occasional
     // large values, so the CI actually has work to do.
     double v = rng.Uniform(0.0, 10.0);
     if (rng.UniformInt(0, 9) == 0) v += rng.Uniform(20.0, 60.0);
-    EXPECT_TRUE(
-        fact.Insert({Value::Int(id), Value::Int(rng.UniformInt(1, 8)),
-                     Value::Double(v)})
-            .ok());
+    data.committed.push_back({Value::Int(id), Value::Int(rng.UniformInt(1, 8)),
+                              Value::Double(v)});
   }
-  EXPECT_TRUE(db.CreateTable("F", std::move(fact)).ok());
-  SvcEngine engine(std::move(db));
-  PlanPtr def =
-      SqlToPlan("SELECT id, g, v FROM F WHERE v >= 0", *engine.db()).value();
-  EXPECT_TRUE(engine.CreateView("V", std::move(def)).ok());
-
   // Stale deltas: 30–70 inserts with fresh ids, 10–30 deletes.
   int64_t next_id = n;
   const int64_t n_ins = rng.UniformInt(30, 70);
   for (int64_t i = 0; i < n_ins; ++i) {
     double v = rng.Uniform(0.0, 10.0);
     if (rng.UniformInt(0, 9) == 0) v += rng.Uniform(20.0, 60.0);
-    EXPECT_TRUE(engine
-                    .InsertRecord("F", {Value::Int(next_id++),
-                                        Value::Int(rng.UniformInt(1, 8)),
-                                        Value::Double(v)})
-                    .ok());
+    data.inserts.push_back({Value::Int(next_id++),
+                            Value::Int(rng.UniformInt(1, 8)),
+                            Value::Double(v)});
   }
   const int64_t n_del = rng.UniformInt(10, 30);
-  const Table* base = engine.db()->GetTable("F").value();
-  std::vector<Row> doomed;
-  for (int64_t i = 0; i < n_del; ++i) {
-    const int64_t id = rng.UniformInt(0, n - 1);
-    auto found = base->FindByEncodedKey(
-        EncodeRowKey({Value::Int(id)}, std::vector<size_t>{0}));
-    if (!found.ok()) continue;
-    doomed.push_back(base->row(*found));
-  }
   // Deduplicate: a row queued for deletion twice would corrupt the change
   // table (same rule the SQL session enforces).
-  std::vector<std::string> seen;
-  for (const Row& r : doomed) {
-    std::string key = r[0].ToString();
+  std::vector<int64_t> seen;
+  for (int64_t i = 0; i < n_del; ++i) {
+    const int64_t id = rng.UniformInt(0, n - 1);
     bool dup = false;
-    for (const std::string& s : seen) dup = dup || s == key;
+    for (int64_t s : seen) dup = dup || s == id;
     if (dup) continue;
-    seen.push_back(std::move(key));
+    seen.push_back(id);
+    data.deletes.push_back(data.committed[static_cast<size_t>(id)]);
+  }
+  return data;
+}
+
+Table CommittedFact(const TrialData& data) {
+  Table fact(Schema({{"", "id", ValueType::kInt},
+                     {"", "g", ValueType::kInt},
+                     {"", "v", ValueType::kDouble}}));
+  EXPECT_TRUE(fact.SetPrimaryKey({"id"}).ok());
+  for (const Row& r : data.committed) EXPECT_TRUE(fact.Insert(r).ok());
+  return fact;
+}
+
+/// One trial's engine: F(id, g, v) with randomized rows, an SPJ view over
+/// it (one view row per base row, so samples are sized by ratio × rows),
+/// and a randomized stale delta batch (inserts + deletes).
+SvcEngine BuildTrialEngine(const TrialData& data) {
+  Database db;
+  EXPECT_TRUE(db.CreateTable("F", CommittedFact(data)).ok());
+  SvcEngine engine(std::move(db));
+  PlanPtr def = SqlToPlan(kTrialViewSql, *engine.db()).value();
+  EXPECT_TRUE(engine.CreateView("V", std::move(def)).ok());
+  for (const Row& r : data.inserts) {
+    EXPECT_TRUE(engine.InsertRecord("F", r).ok());
+  }
+  for (const Row& r : data.deletes) {
     EXPECT_TRUE(engine.DeleteRecord("F", r).ok());
   }
+  return engine;
+}
+
+/// The same trial on a scatter-gather engine: F hash-partitioned by the
+/// view's sampling key (id), deltas routed to their owning shards.
+std::unique_ptr<ShardedEngine> BuildShardedTrialEngine(const TrialData& data,
+                                                       int shards) {
+  auto engine = std::make_unique<ShardedEngine>(Database(), shards);
+  EXPECT_TRUE(engine->CreateTable("F", CommittedFact(data)).ok());
+  PlanPtr def =
+      SqlToPlan(kTrialViewSql,
+                engine->Snapshot()->shards[0]->engine.db())
+          .value();
+  EXPECT_TRUE(engine->CreateView("V", std::move(def)).ok());
+  EXPECT_TRUE(engine->InsertRows("F", data.inserts).ok());
+  EXPECT_TRUE(engine->DeleteRows("F", data.deletes).ok());
   return engine;
 }
 
@@ -103,7 +133,9 @@ double MeasureCoverage(const AggregateQuery& q, EstimatorMode mode,
   int with_ci = 0;
   for (int t = 0; t < trials; ++t) {
     SCOPED_TRACE("trial seed=" + std::to_string(t));
-    SvcEngine engine = BuildTrialEngine(0xc0ffee00u + static_cast<uint64_t>(t));
+    const TrialData data =
+        GenerateTrial(0xc0ffee00u + static_cast<uint64_t>(t));
+    SvcEngine engine = BuildTrialEngine(data);
     auto fresh = engine.ComputeFreshView("V");
     EXPECT_TRUE(fresh.ok()) << fresh.status().ToString();
     if (!fresh.ok()) continue;
@@ -114,6 +146,44 @@ double MeasureCoverage(const AggregateQuery& q, EstimatorMode mode,
     opts.ratio = ratio;
     opts.mode = mode;
     auto ans = engine.Query("V", q, opts);
+    EXPECT_TRUE(ans.ok()) << ans.status().ToString();
+    if (!ans.ok()) continue;
+    const Estimate& est = ans->estimate;
+    EXPECT_TRUE(est.has_ci) << "estimator produced no interval";
+    if (!est.has_ci) continue;
+    ++with_ci;
+    if (est.Covers(*truth)) ++covered;
+  }
+  EXPECT_EQ(with_ci, trials);
+  return with_ci == 0 ? 0.0
+                      : static_cast<double>(covered) / with_ci;
+}
+
+/// The sharded analog: each trial's merged-sample CI is checked against
+/// the truth computed on an unsharded replica of the same workload (the
+/// sharded engine never sees the fully-maintained answer).
+double MeasureShardedCoverage(const AggregateQuery& q, EstimatorMode mode,
+                              double ratio, int trials, int shards) {
+  int covered = 0;
+  int with_ci = 0;
+  for (int t = 0; t < trials; ++t) {
+    SCOPED_TRACE("trial seed=" + std::to_string(t) +
+                 " shards=" + std::to_string(shards));
+    const TrialData data =
+        GenerateTrial(0xc0ffee00u + static_cast<uint64_t>(t));
+    SvcEngine replica = BuildTrialEngine(data);
+    auto fresh = replica.ComputeFreshView("V");
+    EXPECT_TRUE(fresh.ok()) << fresh.status().ToString();
+    if (!fresh.ok()) continue;
+    auto truth = ExactAggregate(*fresh, q);
+    EXPECT_TRUE(truth.ok()) << truth.status().ToString();
+    if (!truth.ok()) continue;
+    std::unique_ptr<ShardedEngine> engine =
+        BuildShardedTrialEngine(data, shards);
+    SvcQueryOptions opts;
+    opts.ratio = ratio;
+    opts.mode = mode;
+    auto ans = engine->Query(*engine->Snapshot(), "V", q, opts);
     EXPECT_TRUE(ans.ok()) << ans.status().ToString();
     if (!ans.ok()) continue;
     const Estimate& est = ans->estimate;
@@ -157,6 +227,32 @@ TEST(CoverageTest, MedianBootstrapIntervalCoversTruthAtNominalRate) {
   AggregateQuery q = AggregateQuery::Median(Expr::Col("v"));
   const double cov = MeasureCoverage(q, EstimatorMode::kAqp, 0.3, kTrials);
   EXPECT_GE(cov, kFloor) << "nominal " << kNominal;
+}
+
+// ---- Sharded scatter-gather (§5 guarantee survives partitioning) -----------
+//
+// The merged per-shard samples feed the same estimators, so the intervals
+// should cover at the same rate — but that only holds if partitioning by
+// sampling key really preserves the η-sampling design (a routing bug that
+// dropped or duplicated keys would show up here as under-coverage).
+
+TEST(CoverageTest, ShardedAqpSumCoversTruthAtTwoAndFourShards) {
+  AggregateQuery q = AggregateQuery::Sum(Expr::Col("v"));
+  for (int shards : {2, 4}) {
+    const double cov =
+        MeasureShardedCoverage(q, EstimatorMode::kAqp, 0.3, kTrials, shards);
+    EXPECT_GE(cov, kFloor) << "nominal " << kNominal << " shards " << shards;
+  }
+}
+
+TEST(CoverageTest, ShardedCorrSumCoversTruthAtTwoAndFourShards) {
+  // Ratio 0.6 for the same small-sample reason as the unsharded CORR test.
+  AggregateQuery q = AggregateQuery::Sum(Expr::Col("v"));
+  for (int shards : {2, 4}) {
+    const double cov =
+        MeasureShardedCoverage(q, EstimatorMode::kCorr, 0.6, kTrials, shards);
+    EXPECT_GE(cov, kFloor) << "nominal " << kNominal << " shards " << shards;
+  }
 }
 
 }  // namespace

@@ -18,12 +18,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
+#include "core/sharded_engine.h"
 #include "core/shared_engine.h"
 #include "core/svc.h"
 #include "sql/planner.h"
@@ -161,6 +163,37 @@ SqlResult MustRun(SqlSession* session, const std::string& sql) {
   return std::move(r).value();
 }
 
+uint64_t BitsOf(double d) {
+  uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+/// Asserts two SQL results carry the same rows bit-for-bit (doubles by
+/// IEEE bit pattern — the shard-invariance contract is bitwise, not
+/// approximate).
+void ExpectResultsBitIdentical(const SqlResult& got, const SqlResult& want) {
+  EXPECT_EQ(got.kind, want.kind);
+  EXPECT_EQ(got.mode_used, want.mode_used);
+  ASSERT_EQ(got.rows.schema().NumColumns(), want.rows.schema().NumColumns());
+  ASSERT_EQ(got.rows.NumRows(), want.rows.NumRows());
+  for (size_t i = 0; i < want.rows.NumRows(); ++i) {
+    for (size_t c = 0; c < want.rows.schema().NumColumns(); ++c) {
+      const Value& g = got.rows.row(i)[c];
+      const Value& w = want.rows.row(i)[c];
+      ASSERT_EQ(g.type(), w.type()) << "row " << i << " col " << c;
+      if (w.type() == ValueType::kDouble) {
+        EXPECT_EQ(BitsOf(g.AsDouble()), BitsOf(w.AsDouble()))
+            << "row " << i << " col " << c << ": " << g.ToString() << " vs "
+            << w.ToString();
+      } else {
+        EXPECT_TRUE(g == w) << "row " << i << " col " << c << ": "
+                            << g.ToString() << " vs " << w.ToString();
+      }
+    }
+  }
+}
+
 /// Asserts one estimate row (value, ci_low, ci_high, mode, sample_rows)
 /// from the SQL result equals the direct Estimate bit-for-bit.
 void ExpectEstimateRowEq(const Row& row, size_t first_col,
@@ -179,16 +212,31 @@ void ExpectEstimateRowEq(const Row& row, size_t first_col,
             static_cast<int64_t>(e.sample_rows));
 }
 
-/// The differential pair under test: the same logical engine state reached
-/// through (a) SQL statements on a SharedEngine and (b) direct C++ calls
-/// on a private SvcEngine.
+/// Shard counts the fourth engine config runs at. Every SQL statement is
+/// mirrored into one sharded session per count; every query must come back
+/// bit-identical to the unsharded shared session at each of them.
+constexpr int kShardCounts[] = {1, 2, 4};
+
+/// The differential set under test: the same logical engine state reached
+/// through (a) SQL statements on a SharedEngine, (b) direct C++ calls on a
+/// private SvcEngine, (c) a cache-off private engine, and (d) scatter-
+/// gather ShardedEngine sessions at every count in kShardCounts.
 struct EnginePair {
   std::shared_ptr<SharedEngine> shared;
   std::unique_ptr<SqlSession> sql;     // session over `shared`
   std::unique_ptr<SvcEngine> direct;   // private engine (cache on)
   std::unique_ptr<SvcEngine> nocache;  // private engine, cache disabled
+  std::vector<std::unique_ptr<SqlSession>> sharded;  // one per kShardCounts
   int64_t next_id = 0;
 };
+
+/// Runs one statement on the shared session and every sharded session,
+/// returning the shared session's result.
+SqlResult RunOnAllSql(EnginePair* p, const std::string& sql) {
+  SqlResult r = MustRun(p->sql.get(), sql);
+  for (auto& session : p->sharded) MustRun(session.get(), sql);
+  return r;
+}
 
 EnginePair BuildPair(const Workload& w) {
   EnginePair p;
@@ -215,10 +263,13 @@ EnginePair BuildPair(const Workload& w) {
   // view materializes over the same committed rows, in the same order).
   p.shared = std::make_shared<SharedEngine>(Database());
   p.sql = std::make_unique<SqlSession>(p.shared);
-  MustRun(p.sql.get(),
-          "CREATE TABLE F (id INT, g INT, v DOUBLE, PRIMARY KEY (id))");
-  MustRun(p.sql.get(),
-          "CREATE TABLE D (g INT, label INT, PRIMARY KEY (g))");
+  for (int shards : kShardCounts) {
+    p.sharded.push_back(std::make_unique<SqlSession>(EngineHandle::Sharded(
+        std::make_shared<ShardedEngine>(Database(), shards))));
+  }
+  RunOnAllSql(&p,
+              "CREATE TABLE F (id INT, g INT, v DOUBLE, PRIMARY KEY (id))");
+  RunOnAllSql(&p, "CREATE TABLE D (g INT, label INT, PRIMARY KEY (g))");
   std::string ins = "INSERT INTO F VALUES ";
   for (size_t i = 0; i < w.fact_rows.size(); ++i) {
     const Row& r = w.fact_rows[i];
@@ -226,16 +277,15 @@ EnginePair BuildPair(const Workload& w) {
     ins += "(" + std::to_string(r[0].AsInt()) + ", " +
            std::to_string(r[1].AsInt()) + ", " + Lit17(r[2].AsDouble()) + ")";
   }
-  MustRun(p.sql.get(), ins);
+  RunOnAllSql(&p, ins);
   std::string dins = "INSERT INTO D VALUES ";
   for (int g = 1; g <= w.groups; ++g) {
     if (g > 1) dins += ", ";
     dins += "(" + std::to_string(g) + ", " + std::to_string(100 + g) + ")";
   }
-  MustRun(p.sql.get(), dins);
-  MustRun(p.sql.get(), "REFRESH ALL");
-  MustRun(p.sql.get(),
-          "CREATE MATERIALIZED VIEW V AS " + w.view_sql);
+  RunOnAllSql(&p, dins);
+  RunOnAllSql(&p, "REFRESH ALL");
+  RunOnAllSql(&p, "CREATE MATERIALIZED VIEW V AS " + w.view_sql);
   p.next_id = static_cast<int64_t>(w.fact_rows.size());
   return p;
 }
@@ -256,15 +306,14 @@ void ApplyRandomDeltas(Rng* rng, const Workload& w, EnginePair* p,
     SVC_ASSERT_OK(p->nocache->InsertRecord("F", r));
     SVC_ASSERT_OK(p->direct->InsertRecord("F", std::move(r)));
   }
-  MustRun(p->sql.get(), ins);
+  RunOnAllSql(p, ins);
 
   const int64_t n_del = rng->UniformInt(0, 5);
   for (int64_t i = 0; i < n_del && !committed->empty(); ++i) {
     auto it = committed->begin();
     std::advance(it, static_cast<size_t>(rng->UniformInt(
                          0, static_cast<int64_t>(committed->size()) - 1)));
-    MustRun(p->sql.get(),
-            "DELETE FROM F WHERE id = " + std::to_string(it->first));
+    RunOnAllSql(p, "DELETE FROM F WHERE id = " + std::to_string(it->first));
     SVC_ASSERT_OK(p->direct->DeleteRecord("F", it->second));
     SVC_ASSERT_OK(p->nocache->DeleteRecord("F", it->second));
     committed->erase(it);
@@ -284,6 +333,14 @@ void CheckQuery(const RandomQuery& q, EnginePair* p, int num_threads) {
 
   SqlResult got = MustRun(p->sql.get(), q.sql);
   if (got.kind != SqlResultKind::kEstimate) return;  // MustRun already failed
+  // The fourth config: the same query on the scatter-gather sessions must
+  // reproduce the unsharded answer bit-for-bit at every shard count.
+  for (size_t si = 0; si < p->sharded.size(); ++si) {
+    SCOPED_TRACE("shards=" + std::to_string(kShardCounts[si]));
+    p->sharded[si]->default_svc_options() = opts;
+    SqlResult sharded_got = MustRun(p->sharded[si].get(), q.sql);
+    ExpectResultsBitIdentical(sharded_got, got);
+  }
   if (!q.grouped) {
     SVC_ASSERT_OK_AND_ASSIGN(SvcAnswer want, p->direct->Query("V", q.direct,
                                                               opts));
@@ -356,9 +413,9 @@ TEST(DifferentialTest, SqlOnSharedEngineMatchesDirectPrivateEngine) {
       EXPECT_EQ(pair.shared->epoch(), stale_epoch)
           << "reads must not publish new engine versions";
 
-      // Maintenance commit on both paths: a new snapshot epoch. Queries
+      // Maintenance commit on every path: a new snapshot epoch. Queries
       // must stay bit-identical against the fresh state too.
-      MustRun(pair.sql.get(), "REFRESH ALL");
+      RunOnAllSql(&pair, "REFRESH ALL");
       SVC_ASSERT_OK(pair.direct->MaintainAll());
       SVC_ASSERT_OK(pair.nocache->MaintainAll());
       EXPECT_EQ(pair.shared->epoch(), stale_epoch + 1);

@@ -1,0 +1,368 @@
+// Scatter-gather sample merging (core/estimator_merge.h): the property the
+// sharded engine's bit-identity rests on. Per-shard corresponding samples —
+// partitioned by sampling-key hash, so every key's rows live on exactly one
+// shard — merge into one canonically-ordered sample that is bitwise
+// identical at every shard count, and the stock estimators run over the
+// merged sample produce bit-identical estimates to the unsharded engine
+// running over the same rows.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "core/estimator.h"
+#include "core/estimator_merge.h"
+#include "relational/algebra.h"
+#include "sample/cleaner.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace svc {
+namespace {
+
+using testing_util::EncodedRows;
+
+uint64_t BitsOf(double d) {
+  uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+/// Asserts two tables are bitwise identical: same schema width, same row
+/// count, same values in the same order (doubles compared by bit pattern
+/// via the exact row encoding).
+void ExpectTablesBitIdentical(const Table& a, const Table& b) {
+  ASSERT_EQ(a.schema().NumColumns(), b.schema().NumColumns());
+  ASSERT_EQ(a.NumRows(), b.NumRows());
+  std::vector<size_t> all(a.schema().NumColumns());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  for (size_t i = 0; i < a.NumRows(); ++i) {
+    EXPECT_EQ(EncodeRowKey(a.row(i), all), EncodeRowKey(b.row(i), all))
+        << "row " << i;
+  }
+}
+
+void ExpectEstimatesBitIdentical(const Estimate& a, const Estimate& b) {
+  EXPECT_EQ(BitsOf(a.value), BitsOf(b.value));
+  EXPECT_EQ(BitsOf(a.ci_low), BitsOf(b.ci_low));
+  EXPECT_EQ(BitsOf(a.ci_high), BitsOf(b.ci_high));
+  EXPECT_EQ(a.has_ci, b.has_ci);
+  EXPECT_EQ(a.sample_rows, b.sample_rows);
+}
+
+constexpr double kRatio = 0.25;
+
+Schema SampleSchema() {
+  return Schema({{"", "sessionId", ValueType::kInt},
+                 {"", "videoId", ValueType::kInt},
+                 {"", "duration", ValueType::kDouble}});
+}
+
+/// A deterministic corresponding-sample pair over ~10 sampling keys
+/// (videoId), several rows per key, with the fresh side differing from the
+/// stale side the way cleaning does: some rows corrected, some gone, some
+/// new. Dyadic durations make sum/avg exactly representable where the
+/// exact-merge test needs it.
+CorrespondingSamples MakeSample(int num_rows) {
+  CorrespondingSamples s{Table(SampleSchema()), Table(SampleSchema()), kRatio,
+                         HashFamily::kFnv1a, std::vector<std::string>{
+                             "videoId"}};
+  EXPECT_TRUE(s.stale.SetPrimaryKey({"sessionId"}).ok());
+  EXPECT_TRUE(s.fresh.SetPrimaryKey({"sessionId"}).ok());
+  for (int i = 0; i < num_rows; ++i) {
+    const int64_t video = i % 10;
+    const double dur = 0.25 * static_cast<double>(1 + i % 7);
+    EXPECT_TRUE(s.stale
+                    .Insert({Value::Int(i), Value::Int(video),
+                             Value::Double(dur)})
+                    .ok());
+    if (i % 5 == 3) continue;  // superfluous row: absent from fresh
+    const double fresh_dur = i % 3 == 0 ? dur + 0.5 : dur;  // corrected
+    EXPECT_TRUE(s.fresh
+                    .Insert({Value::Int(i), Value::Int(video),
+                             Value::Double(fresh_dur)})
+                    .ok());
+  }
+  // Missing rows entering at the fresh side only.
+  for (int i = num_rows; i < num_rows + 4; ++i) {
+    EXPECT_TRUE(s.fresh
+                    .Insert({Value::Int(i), Value::Int(i % 10),
+                             Value::Double(1.5)})
+                    .ok());
+  }
+  return s;
+}
+
+/// Partitions one corresponding-sample pair into `n` shard-local pairs by
+/// sampling-key hash — the sharded engine's routing rule — preserving each
+/// shard's local row order (= the global order filtered to its keys).
+std::vector<std::shared_ptr<const CorrespondingSamples>> PartitionByKey(
+    const CorrespondingSamples& whole, size_t n) {
+  std::vector<std::shared_ptr<CorrespondingSamples>> parts;
+  for (size_t i = 0; i < n; ++i) {
+    auto p = std::make_shared<CorrespondingSamples>();
+    p->stale = Table(whole.stale.schema());
+    p->fresh = Table(whole.fresh.schema());
+    EXPECT_TRUE(p->stale.SetPrimaryKey(whole.stale.PrimaryKeyNames()).ok());
+    EXPECT_TRUE(p->fresh.SetPrimaryKey(whole.fresh.PrimaryKeyNames()).ok());
+    p->ratio = whole.ratio;
+    p->family = whole.family;
+    p->key_columns = whole.key_columns;
+    parts.push_back(std::move(p));
+  }
+  const std::vector<size_t> key_idx =
+      whole.stale.schema().ResolveAll(whole.key_columns).value();
+  auto route = [&](const Table& side, auto append) {
+    for (const Row& r : side.rows()) {
+      append(*parts[KeyHash(EncodeRowKey(r, key_idx)) % n], r);
+    }
+  };
+  route(whole.stale, [](CorrespondingSamples& p, const Row& r) {
+    EXPECT_TRUE(p.stale.Insert(r).ok());
+  });
+  route(whole.fresh, [](CorrespondingSamples& p, const Row& r) {
+    EXPECT_TRUE(p.fresh.Insert(r).ok());
+  });
+  std::vector<std::shared_ptr<const CorrespondingSamples>> out(parts.begin(),
+                                                               parts.end());
+  return out;
+}
+
+TEST(EstimatorMergeTest, MergeIsShardCountInvariant) {
+  const CorrespondingSamples whole = MakeSample(40);
+  SVC_ASSERT_OK_AND_ASSIGN(
+      CorrespondingSamples canonical,
+      MergeCorrespondingSamples(
+          {std::make_shared<const CorrespondingSamples>(whole)}));
+  EXPECT_EQ(canonical.stale.NumRows(), whole.stale.NumRows());
+  EXPECT_EQ(canonical.fresh.NumRows(), whole.fresh.NumRows());
+  for (size_t n : {2u, 3u, 4u, 7u}) {
+    SVC_ASSERT_OK_AND_ASSIGN(
+        CorrespondingSamples merged,
+        MergeCorrespondingSamples(PartitionByKey(whole, n)));
+    SCOPED_TRACE("shards=" + std::to_string(n));
+    ExpectTablesBitIdentical(merged.stale, canonical.stale);
+    ExpectTablesBitIdentical(merged.fresh, canonical.fresh);
+    EXPECT_EQ(merged.ratio, canonical.ratio);
+    EXPECT_EQ(merged.family, canonical.family);
+    EXPECT_EQ(merged.key_columns, canonical.key_columns);
+  }
+}
+
+TEST(EstimatorMergeTest, MergedEstimatesMatchUnshardedOnSameRows) {
+  const CorrespondingSamples whole = MakeSample(40);
+  SVC_ASSERT_OK_AND_ASSIGN(
+      CorrespondingSamples canonical,
+      MergeCorrespondingSamples(
+          {std::make_shared<const CorrespondingSamples>(whole)}));
+  SVC_ASSERT_OK_AND_ASSIGN(
+      CorrespondingSamples merged,
+      MergeCorrespondingSamples(PartitionByKey(whole, 4)));
+
+  // The full stale view for SVC+CORR: a superset of the stale sample.
+  Table stale_view = Table(SampleSchema());
+  ASSERT_TRUE(stale_view.SetPrimaryKey({"sessionId"}).ok());
+  for (const Row& r : whole.stale.rows()) {
+    ASSERT_TRUE(stale_view.Insert(r).ok());
+  }
+  for (int i = 1000; i < 1030; ++i) {
+    ASSERT_TRUE(stale_view
+                    .Insert({Value::Int(i), Value::Int(i % 10),
+                             Value::Double(0.5 * (i % 4))})
+                    .ok());
+  }
+
+  const AggregateQuery queries[] = {
+      AggregateQuery::Count(),
+      AggregateQuery::Sum(ParseScalarExpr("duration").value()),
+      AggregateQuery::Avg(ParseScalarExpr("duration").value()),
+      AggregateQuery::Median(ParseScalarExpr("duration").value()),
+      AggregateQuery::Sum(ParseScalarExpr("duration").value(),
+                          ParseScalarExpr("videoId < 5").value()),
+  };
+  for (const AggregateQuery& q : queries) {
+    SCOPED_TRACE(q.ToString());
+    SVC_ASSERT_OK_AND_ASSIGN(Estimate aqp_one, SvcAqpEstimate(canonical, q));
+    SVC_ASSERT_OK_AND_ASSIGN(Estimate aqp_n, SvcAqpEstimate(merged, q));
+    ExpectEstimatesBitIdentical(aqp_n, aqp_one);
+    SVC_ASSERT_OK_AND_ASSIGN(Estimate corr_one,
+                             SvcCorrEstimate(stale_view, canonical, q));
+    SVC_ASSERT_OK_AND_ASSIGN(Estimate corr_n,
+                             SvcCorrEstimate(stale_view, merged, q));
+    ExpectEstimatesBitIdentical(corr_n, corr_one);
+  }
+
+  // Grouped: same groups in the same order, estimates bit-identical.
+  const AggregateQuery avg =
+      AggregateQuery::Avg(ParseScalarExpr("duration").value());
+  SVC_ASSERT_OK_AND_ASSIGN(
+      GroupedResult g_one,
+      SvcAqpEstimateGrouped(canonical, {"videoId"}, avg));
+  SVC_ASSERT_OK_AND_ASSIGN(GroupedResult g_n,
+                           SvcAqpEstimateGrouped(merged, {"videoId"}, avg));
+  ASSERT_EQ(g_n.group_keys.size(), g_one.group_keys.size());
+  for (size_t i = 0; i < g_one.group_keys.size(); ++i) {
+    EXPECT_TRUE(g_n.group_keys[i][0] == g_one.group_keys[i][0]);
+    ExpectEstimatesBitIdentical(g_n.estimates[i], g_one.estimates[i]);
+  }
+}
+
+TEST(EstimatorMergeTest, ExactSumCountAvgOnDyadicData) {
+  // On dyadic values the scaled sum s·Σ is exact, so the merged estimate
+  // must equal the hand-computed unsharded value — not just match bitwise.
+  const CorrespondingSamples whole = MakeSample(40);
+  double fresh_sum = 0.0;
+  for (const Row& r : whole.fresh.rows()) fresh_sum += r[2].AsDouble();
+  SVC_ASSERT_OK_AND_ASSIGN(
+      CorrespondingSamples merged,
+      MergeCorrespondingSamples(PartitionByKey(whole, 4)));
+  const AggregateQuery sum =
+      AggregateQuery::Sum(ParseScalarExpr("duration").value());
+  SVC_ASSERT_OK_AND_ASSIGN(Estimate est, SvcAqpEstimate(merged, sum));
+  EXPECT_EQ(BitsOf(est.value), BitsOf(fresh_sum / kRatio));
+  SVC_ASSERT_OK_AND_ASSIGN(Estimate cnt,
+                           SvcAqpEstimate(merged, AggregateQuery::Count()));
+  EXPECT_EQ(BitsOf(cnt.value),
+            BitsOf(static_cast<double>(whole.fresh.NumRows()) / kRatio));
+  EXPECT_EQ(cnt.sample_rows, whole.fresh.NumRows());
+}
+
+TEST(EstimatorMergeTest, EmptyShardsDoNotPerturbTheMerge) {
+  // Keys can hash to a strict subset of the shards; the empty shards'
+  // empty samples must be identity elements of the merge.
+  const CorrespondingSamples whole = MakeSample(24);
+  auto parts = PartitionByKey(whole, 2);
+  auto empty = std::make_shared<CorrespondingSamples>();
+  empty->stale = Table(SampleSchema());
+  empty->fresh = Table(SampleSchema());
+  EXPECT_TRUE(empty->stale.SetPrimaryKey({"sessionId"}).ok());
+  EXPECT_TRUE(empty->fresh.SetPrimaryKey({"sessionId"}).ok());
+  empty->ratio = whole.ratio;
+  empty->family = whole.family;
+  empty->key_columns = whole.key_columns;
+  auto padded = parts;
+  padded.insert(padded.begin(), empty);
+  padded.push_back(empty);
+  SVC_ASSERT_OK_AND_ASSIGN(CorrespondingSamples without,
+                           MergeCorrespondingSamples(parts));
+  SVC_ASSERT_OK_AND_ASSIGN(CorrespondingSamples with,
+                           MergeCorrespondingSamples(padded));
+  ExpectTablesBitIdentical(with.stale, without.stale);
+  ExpectTablesBitIdentical(with.fresh, without.fresh);
+
+  // All shards empty: a valid zero-row sample, not an error.
+  SVC_ASSERT_OK_AND_ASSIGN(CorrespondingSamples none,
+                           MergeCorrespondingSamples({empty, empty}));
+  EXPECT_EQ(none.stale.NumRows(), 0u);
+  EXPECT_EQ(none.fresh.NumRows(), 0u);
+}
+
+TEST(EstimatorMergeTest, SingleKeyShardPreservesWithinKeyOrder) {
+  // All rows carry one sampling key, so exactly one shard owns everything
+  // and the stable sort has nothing to reorder: the merged sample must be
+  // the owning shard's rows verbatim, in their local (= global) order.
+  CorrespondingSamples s{Table(SampleSchema()), Table(SampleSchema()), kRatio,
+                         HashFamily::kFnv1a,
+                         std::vector<std::string>{"videoId"}};
+  ASSERT_TRUE(s.stale.SetPrimaryKey({"sessionId"}).ok());
+  ASSERT_TRUE(s.fresh.SetPrimaryKey({"sessionId"}).ok());
+  // Deliberately non-monotone sessionIds: a sort by primary key would
+  // reorder them, a stable sort by the (constant) sampling key must not.
+  for (int64_t id : {5, 2, 9, 1, 7}) {
+    ASSERT_TRUE(s.stale
+                    .Insert({Value::Int(id), Value::Int(42),
+                             Value::Double(0.5)})
+                    .ok());
+    ASSERT_TRUE(s.fresh
+                    .Insert({Value::Int(id), Value::Int(42),
+                             Value::Double(1.0)})
+                    .ok());
+  }
+  for (size_t n : {1u, 2u, 4u}) {
+    SVC_ASSERT_OK_AND_ASSIGN(CorrespondingSamples merged,
+                             MergeCorrespondingSamples(PartitionByKey(s, n)));
+    SCOPED_TRACE("shards=" + std::to_string(n));
+    ExpectTablesBitIdentical(merged.stale, s.stale);
+    ExpectTablesBitIdentical(merged.fresh, s.fresh);
+  }
+}
+
+TEST(EstimatorMergeTest, MergeRejectsBadInputs) {
+  EXPECT_FALSE(MergeCorrespondingSamples({}).ok());
+  const CorrespondingSamples whole = MakeSample(12);
+  auto parts = PartitionByKey(whole, 2);
+  auto bad = std::make_shared<CorrespondingSamples>(whole);
+  bad->ratio = kRatio / 2;  // a different fan-out's sample
+  auto mixed = parts;
+  mixed.push_back(bad);
+  const auto st = MergeCorrespondingSamples(mixed);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.status().ToString().find("disagree"), std::string::npos);
+  auto with_null = parts;
+  with_null.push_back(nullptr);
+  EXPECT_FALSE(MergeCorrespondingSamples(with_null).ok());
+}
+
+TEST(EstimatorMergeTest, MergeShardTablesCanonicalizesByPrimaryKey) {
+  // Partitioned base relations reassemble into pk value order at every
+  // shard count.
+  Table t(SampleSchema());
+  ASSERT_TRUE(t.SetPrimaryKey({"sessionId"}).ok());
+  for (int64_t id : {9, 3, 7, 1, 5, 0, 8}) {
+    ASSERT_TRUE(
+        t.Insert({Value::Int(id), Value::Int(id % 3), Value::Double(0.25)})
+            .ok());
+  }
+  auto split = [&](size_t n) {
+    std::vector<std::shared_ptr<const Table>> parts;
+    std::vector<Table> building;
+    for (size_t i = 0; i < n; ++i) {
+      Table p(t.schema());
+      EXPECT_TRUE(p.SetPrimaryKey({"sessionId"}).ok());
+      building.push_back(std::move(p));
+    }
+    for (size_t i = 0; i < t.NumRows(); ++i) {
+      EXPECT_TRUE(building[KeyHash(t.EncodedKey(i)) % n].Insert(t.row(i)).ok());
+    }
+    for (Table& p : building) {
+      parts.push_back(std::make_shared<const Table>(std::move(p)));
+    }
+    return parts;
+  };
+  SVC_ASSERT_OK_AND_ASSIGN(Table one, MergeShardTables(split(1)));
+  ASSERT_EQ(one.NumRows(), t.NumRows());
+  ASSERT_TRUE(one.HasPrimaryKey());
+  for (size_t i = 1; i < one.NumRows(); ++i) {
+    EXPECT_LT(one.EncodedKey(i - 1), one.EncodedKey(i));
+  }
+  EXPECT_EQ(EncodedRows(one), EncodedRows(t));
+  for (size_t n : {2u, 4u}) {
+    SVC_ASSERT_OK_AND_ASSIGN(Table merged, MergeShardTables(split(n)));
+    SCOPED_TRACE("shards=" + std::to_string(n));
+    ExpectTablesBitIdentical(merged, one);
+  }
+
+  // Keyless tables (e.g. a view with no derivable pk) canonicalize by
+  // all-column values; duplicate rows are interchangeable and all survive.
+  Table keyless(Schema({{"", "v", ValueType::kInt}}));
+  for (int64_t v : {3, 1, 3, 2}) keyless.AppendUnchecked({Value::Int(v)});
+  Table half_a(keyless.schema()), half_b(keyless.schema());
+  half_a.AppendUnchecked({Value::Int(3)});
+  half_a.AppendUnchecked({Value::Int(2)});
+  half_b.AppendUnchecked({Value::Int(1)});
+  half_b.AppendUnchecked({Value::Int(3)});
+  SVC_ASSERT_OK_AND_ASSIGN(
+      Table merged_keyless,
+      MergeShardTables({std::make_shared<const Table>(std::move(half_a)),
+                        std::make_shared<const Table>(std::move(half_b))}));
+  ASSERT_EQ(merged_keyless.NumRows(), 4u);
+  EXPECT_EQ(EncodedRows(merged_keyless), EncodedRows(keyless));
+  EXPECT_FALSE(MergeShardTables({}).ok());
+}
+
+}  // namespace
+}  // namespace svc

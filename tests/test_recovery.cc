@@ -346,6 +346,57 @@ TEST_F(RecoveryTest, SqlSessionDurableStatsAndCheckpointStatement) {
   EXPECT_EQ(plain_stats.rows.schema().NumColumns(), 7u);
 }
 
+TEST_F(RecoveryTest, DeltaVersionSurvivesCheckpointAndReplay) {
+  // The pending queue's mutation counter (SHOW STATS's delta_version) must
+  // re-pair with the recovered state: restarting it from zero would alias
+  // sample-cache keys across the restart and visibly reset the counter.
+  int64_t before = 0;
+  {
+    DurableOptions o;
+    o.data_dir = dir_;
+    SVC_ASSERT_OK_AND_ASSIGN(auto eng, DurableEngine::Open(o));
+    SqlSession session(eng);
+    SVC_ASSERT_OK(session
+                      .Execute("CREATE TABLE T (a INT, b INT, "
+                               "PRIMARY KEY (a));")
+                      .status());
+    SVC_ASSERT_OK(
+        session.Execute("INSERT INTO T VALUES (1, 10), (2, 20);").status());
+    SVC_ASSERT_OK(session.Execute("REFRESH ALL;").status());
+    SVC_ASSERT_OK(
+        session.Execute("CREATE MATERIALIZED VIEW V AS SELECT a, b FROM T;")
+            .status());
+    SVC_ASSERT_OK(session.Execute("INSERT INTO T VALUES (3, 30);").status());
+    SVC_ASSERT_OK_AND_ASSIGN(SqlResult stats, session.Execute("SHOW STATS;"));
+    ASSERT_EQ(stats.rows.NumRows(), 1u);
+    before = stats.rows.row(0)[6].AsInt();
+    EXPECT_GT(before, 0);
+    SVC_ASSERT_OK(session.Execute("CHECKPOINT;").status());
+  }
+  {
+    // Reopen from the checkpoint alone: the counter is the persisted one,
+    // not a recount of the re-ingested pending rows.
+    DurableOptions o;
+    o.data_dir = dir_;
+    SVC_ASSERT_OK_AND_ASSIGN(auto eng, DurableEngine::Open(o));
+    SqlSession session(eng);
+    SVC_ASSERT_OK_AND_ASSIGN(SqlResult stats, session.Execute("SHOW STATS;"));
+    EXPECT_EQ(stats.rows.row(0)[6].AsInt(), before);
+    // Queue another logged commit so the next open replays a WAL tail.
+    SVC_ASSERT_OK(session.Execute("INSERT INTO T VALUES (4, 40);").status());
+  }
+  {
+    // Checkpoint + WAL replay: the counter continues from the persisted
+    // value instead of restarting.
+    DurableOptions o;
+    o.data_dir = dir_;
+    SVC_ASSERT_OK_AND_ASSIGN(auto eng, DurableEngine::Open(o));
+    SqlSession session(eng);
+    SVC_ASSERT_OK_AND_ASSIGN(SqlResult stats, session.Execute("SHOW STATS;"));
+    EXPECT_GT(stats.rows.row(0)[6].AsInt(), before);
+  }
+}
+
 // ---- The kill-and-recover differential matrix ------------------------------
 //
 // For every crash site and seed: fork a child that arms the injector and

@@ -13,6 +13,7 @@
 //   svc_served --workers N                 statement worker threads
 //   svc_served --max-inflight N            admission-control limit
 //   svc_served --data-dir <dir>            durable engine (WAL + recovery)
+//   svc_served --shards <n>                sharded engine (scatter-gather)
 //   svc_served --fsync <p> / --checkpoint-every N   as in svc_shell
 //
 // SIGINT/SIGTERM shut down gracefully (durable mode checkpoints first).
@@ -27,6 +28,7 @@
 #include <memory>
 #include <string>
 
+#include "core/sharded_engine.h"
 #include "core/shared_engine.h"
 #include "server/server.h"
 #include "storage/durable_engine.h"
@@ -45,8 +47,9 @@ int Usage(const char* argv0, int rc) {
   std::fprintf(rc == 0 ? stdout : stderr,
                "usage: %s [--host <addr>] [--port <n>] [--port-file <path>]\n"
                "          [--workers <n>] [--max-inflight <n>]\n"
-               "          [--data-dir <dir>] [--fsync always|off|every=N]\n"
-               "          [--checkpoint-every <n>]\n",
+               "          [--data-dir <dir>] [--shards <n>]\n"
+               "          [--fsync always|off|every=N] "
+               "[--checkpoint-every <n>]\n",
                argv0);
   return rc;
 }
@@ -63,6 +66,7 @@ int main(int argc, char** argv) {
   svc::ServerOptions opts;
   opts.port = 7878;
   std::string port_file;
+  int num_shards = 0;  // 0 = not sharded
   svc::DurableOptions durable_opts;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -104,6 +108,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--data-dir") == 0) {
       if (!value_of(&v)) return Usage(argv[0], 2);
       durable_opts.data_dir = v;
+    } else if (std::strcmp(arg, "--shards") == 0) {
+      if (!value_of(&v) || !ParseCount(v, &n) || n == 0 || n > 64) {
+        std::fprintf(stderr, "error: --shards expects a count in 1..64\n");
+        return Usage(argv[0], 2);
+      }
+      num_shards = static_cast<int>(n);
     } else if (std::strcmp(arg, "--fsync") == 0) {
       if (!value_of(&v)) return Usage(argv[0], 2);
       auto parsed = svc::ParseFsyncSpec(v);
@@ -127,11 +137,22 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Engine: durable when --data-dir is given (recover first), otherwise a
-  // fresh in-memory shared engine.
+  if (num_shards > 0 && !durable_opts.data_dir.empty()) {
+    std::fprintf(stderr,
+                 "error: --shards is in-memory scatter-gather; it does not "
+                 "combine with --data-dir\n");
+    return Usage(argv[0], 2);
+  }
+
+  // Engine: durable when --data-dir is given (recover first), sharded when
+  // --shards is given, otherwise a fresh in-memory shared engine.
   std::shared_ptr<svc::DurableEngine> durable_engine;
   std::unique_ptr<svc::SvcServer> server;
-  if (!durable_opts.data_dir.empty()) {
+  if (num_shards > 0) {
+    server = std::make_unique<svc::SvcServer>(
+        opts,
+        std::make_shared<svc::ShardedEngine>(svc::Database(), num_shards));
+  } else if (!durable_opts.data_dir.empty()) {
     svc::RecoveryReport report;
     auto opened = svc::DurableEngine::Open(durable_opts, &report);
     if (!opened.ok()) {

@@ -14,6 +14,9 @@
 //   svc_shell --shared             run on a snapshot-isolated SharedEngine
 //                                  (statement semantics are identical; this
 //                                  exercises the multi-session engine mode)
+//   svc_shell --shards <n>         run on a ShardedEngine with n shards
+//                                  (scatter-gather serving; answers are
+//                                  bit-identical at every shard count)
 //   svc_shell --data-dir <dir>     durable mode: recover <dir> at startup,
 //                                  WAL every write, checkpoint on clean exit
 //   svc_shell --fsync <p>          WAL fsync policy: always | off | every=N
@@ -33,6 +36,7 @@
 #include <sstream>
 #include <string>
 
+#include "core/sharded_engine.h"
 #include "core/shared_engine.h"
 #include "server/client.h"
 #include "shell/shell.h"
@@ -43,7 +47,7 @@ namespace {
 int Usage(const char* argv0, int rc) {
   std::fprintf(rc == 0 ? stdout : stderr,
                "usage: %s [--file <script.sql>] [-c <sql>] [--echo] "
-               "[--keep-going] [--shared]\n"
+               "[--keep-going] [--shared] [--shards <n>]\n"
                "          [--data-dir <dir>] [--fsync always|off|every=N] "
                "[--checkpoint-every <n>]\n"
                "          [--connect <host:port>]\n"
@@ -60,6 +64,7 @@ int main(int argc, char** argv) {
   bool has_file = false;
   bool has_inline = false;
   bool shared = false;
+  int num_shards = 0;  // 0 = not sharded
   std::string connect;
   svc::DurableOptions durable_opts;
   svc::ShellOptions opts;
@@ -89,6 +94,16 @@ int main(int argc, char** argv) {
       opts.keep_going = true;
     } else if (std::strcmp(arg, "--shared") == 0) {
       shared = true;
+    } else if (std::strcmp(arg, "--shards") == 0) {
+      const char* v = nullptr;
+      if (!value_of(&v)) return Usage(argv[0], 2);
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || n == 0 || n > 64) {
+        std::fprintf(stderr, "error: --shards expects a count in 1..64\n");
+        return Usage(argv[0], 2);
+      }
+      num_shards = static_cast<int>(n);
     } else if (std::strcmp(arg, "--connect") == 0) {
       const char* v = nullptr;
       if (!value_of(&v)) return Usage(argv[0], 2);
@@ -143,10 +158,16 @@ int main(int argc, char** argv) {
                  "error: --fsync / --checkpoint-every require --data-dir\n");
     return Usage(argv[0], 2);
   }
-  if (!connect.empty() && (shared || durable)) {
+  if (!connect.empty() && (shared || durable || num_shards > 0)) {
     std::fprintf(stderr,
-                 "error: --connect is remote; --shared / --data-dir pick a "
-                 "local engine\n");
+                 "error: --connect is remote; --shared / --shards / "
+                 "--data-dir pick a local engine\n");
+    return Usage(argv[0], 2);
+  }
+  if (num_shards > 0 && (shared || durable)) {
+    std::fprintf(stderr,
+                 "error: --shards is its own engine mode; it does not "
+                 "combine with --shared or --data-dir\n");
     return Usage(argv[0], 2);
   }
 
@@ -211,6 +232,9 @@ int main(int argc, char** argv) {
   } else {
     svc::EngineHandle handle =
         durable ? svc::EngineHandle::Durable(durable_engine)
+        : num_shards > 0
+            ? svc::EngineHandle::Sharded(std::make_shared<svc::ShardedEngine>(
+                  svc::Database(), num_shards))
         : shared ? svc::EngineHandle::Shared(
                        std::make_shared<svc::SharedEngine>(svc::Database()))
                  : svc::EngineHandle::Private();
