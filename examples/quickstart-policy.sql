@@ -1,0 +1,57 @@
+-- Maintenance-policy quickstart: the cost-based scheduler's SQL surface.
+-- A view's maintenance score adds three normalized terms — staleness
+-- (pending delta rows vs view size), error (the probe estimate's relative
+-- CI half-width vs the budget), and SLA (time since the last refresh) —
+-- and a score >= 1 marks the view for a refresh commit; anything stale
+-- below that is warmed through the serving cache instead
+-- (docs/ARCHITECTURE.md, "Maintenance policy"). SHOW MAINTENANCE scores
+-- the current state at elapsed time zero, so this transcript is
+-- deterministic. Run with:
+--   ./build/svc_shell --echo --file examples/quickstart-policy.sql
+
+CREATE TABLE Video (videoId INT, ownerId INT, duration DOUBLE,
+                    PRIMARY KEY (videoId));
+CREATE TABLE Log (sessionId INT, videoId INT, PRIMARY KEY (sessionId));
+INSERT INTO Video VALUES
+  (1, 101, 1.5), (2, 102, 0.8), (3, 100, 2.5), (4, 101, 1.1),
+  (5, 102, 3.0), (6, 100, 0.4), (7, 101, 2.2), (8, 102, 1.7);
+INSERT INTO Log VALUES
+  (0, 1), (1, 1), (2, 1), (3, 1), (4, 1), (5, 1),
+  (6, 2), (7, 2), (8, 2), (9, 2),
+  (10, 3), (11, 3), (12, 3), (13, 3), (14, 3), (15, 3), (16, 3),
+  (17, 4), (18, 4),
+  (19, 5), (20, 5), (21, 5), (22, 5), (23, 5),
+  (24, 6),
+  (25, 7), (26, 7), (27, 7),
+  (28, 8), (29, 8);
+REFRESH ALL;
+CREATE MATERIALIZED VIEW visitView AS
+  SELECT Log.videoId, COUNT(1) AS visitCount
+  FROM Log, Video WHERE Log.videoId = Video.videoId
+  GROUP BY Log.videoId;
+
+-- Fresh view: nothing pending, every term zero, nothing to do. The
+-- default policy is mode=off — the background scheduler idles until a
+-- SET MAINTENANCE POLICY statement arms it.
+SHOW MAINTENANCE;
+
+-- New visits queue up against the view...
+INSERT INTO Log VALUES
+  (100, 2), (101, 2), (102, 2), (103, 2), (104, 2),
+  (105, 4), (106, 4), (107, 4), (108, 4),
+  (109, 6), (110, 6), (111, 6),
+  (112, 1), (113, 3);
+
+-- ...and arming the policy makes the scheduler's decision visible: 14
+-- pending rows against an 8-row view put the staleness term at 14/22 —
+-- stale enough to warm (the probe that prices the error term also seeds
+-- the serving cache), not yet worth a refresh commit. The SLA term, zero
+-- here, is what pushes a long-stale view over the threshold.
+SET MAINTENANCE POLICY (mode=auto, budget=0.1, sla_ms=1000);
+SHOW MAINTENANCE;
+
+-- The refresh commit clears the queue; the score falls back to zero.
+REFRESH ALL;
+SHOW MAINTENANCE;
+SET MAINTENANCE POLICY (mode=off);
+SHOW MAINTENANCE;

@@ -4,9 +4,11 @@
 -- the merged samples feed the stock estimators at the coordinator, so
 -- every answer below is bit-identical to the unsharded transcript
 -- (docs/ARCHITECTURE.md, "Sharded serving"). Run with:
---   ./build/svc_shell --shards 4 --echo --file examples/quickstart-sharded.sql
--- The golden is pinned at --shards=4: answers are shard-count-invariant,
--- but SHOW STATS sums per-shard counters, so the stats lines are not.
+--   ./build/svc_shell --shards N --echo --file examples/quickstart-sharded.sql
+-- The transcript is shard-count-invariant, SHOW STATS included: counters
+-- and the delta version are logical, per-statement quantities (one
+-- scatter-gather query is one hit/miss/clean), so the golden reproduces
+-- at any --shards N.
 
 CREATE TABLE Video (videoId INT, ownerId INT, duration DOUBLE,
                     PRIMARY KEY (videoId));
@@ -61,7 +63,7 @@ SELECT SUM(visitCount) FROM visitView WITH SVC(ratio=0.5, mode=aqp);
 SELECT videoId, SUM(visitCount) AS visits FROM visitView
   GROUP BY videoId WITH SVC(ratio=0.5, mode=auto);
 
--- Serving statistics, summed across the 4 shards.
+-- Serving statistics: logical counts, identical at every shard count.
 SHOW STATS;
 
 -- Maintenance commits every shard's queue; the view is exact again.

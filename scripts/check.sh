@@ -5,7 +5,7 @@
 # baseline; see docs/PERF.md).
 #
 # Usage: scripts/check.sh [--fast] [--tsan] [--recovery] [--server]
-#                         [--shards]
+#                         [--shards] [--policy]
 #   --fast  skip the sanitizer build (Release tests + bench gate only)
 #   --tsan  ThreadSanitizer mode ONLY: Debug+TSan build + full test suite
 #           (the shared-engine concurrency tests are the point); skips the
@@ -20,9 +20,17 @@
 #           svc_shell crash-and-restart smoke. Used by the CI recovery job.
 #   --shards  sharded scatter-gather mode ONLY: the shard suites (sharded
 #           engine, estimator merge, differential shard matrix, sharded
-#           coverage), the sharded quickstart golden (svc_shell --shards 4),
-#           and a shard-count-invariance smoke (the transcript's answers
-#           must agree at 1, 2, and 8 shards). Used by the CI shards job.
+#           coverage, sharded stats invariance), the sharded quickstart
+#           golden (enforced at --shards 2 AND 4 — SHOW STATS counters are
+#           logical, so the whole transcript is shard-count-invariant),
+#           and a full-transcript invariance smoke at 1, 2, and 8 shards.
+#           Used by the CI shards job.
+#   --policy  maintenance-policy mode ONLY: the policy suites (cost model,
+#           scheduler differential, sharded stats), the policy quickstart
+#           golden on the private AND sharded engines, and the
+#           fig17 error-vs-refreshes Pareto gate (a policy point must
+#           reach a fixed-interval baseline's accuracy with strictly
+#           fewer refresh commits). Used by the CI policy job.
 #
 # Environment knobs:
 #   MIN_SPEEDUP           baseline-vs-current gate floor (default 3.0;
@@ -47,6 +55,7 @@ TSAN=0
 RECOVERY=0
 SERVER=0
 SHARDS=0
+POLICY=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
@@ -54,6 +63,7 @@ for arg in "$@"; do
     --recovery) RECOVERY=1 ;;
     --server) SERVER=1 ;;
     --shards) SHARDS=1 ;;
+    --policy) POLICY=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -123,29 +133,39 @@ if [[ "$SHARDS" -eq 1 ]]; then
 
   echo "== Sharded scatter-gather suites (Release) =="
   ctest --test-dir build --output-on-failure --no-tests=error -j"$JOBS" \
-    -R 'test_(sharded_engine|estimator_merge|differential|coverage)|svc_shell_quickstart_sharded'
+    -R 'test_(sharded_engine|sharded_stats|estimator_merge|differential|coverage)|svc_shell_quickstart_sharded'
 
-  echo "== Sharded quickstart golden (svc_shell --shards 4) =="
+  echo "== Shard-count invariance smoke (full transcript at 1, 2, 8 shards) =="
+  # The whole transcript — answers AND SHOW STATS, whose counters are
+  # logical per-statement quantities rather than per-shard sums — must be
+  # byte-identical to the committed golden at any shard count. (ctest
+  # above already enforces 2 and 4.)
   SMOKE_DIR="$(mktemp -d)"
   trap 'rm -rf "$SMOKE_DIR"' EXIT
-  ./build/svc_shell --shards 4 --echo --file examples/quickstart-sharded.sql \
-    > "$SMOKE_DIR/out-4.txt"
-  diff -u examples/quickstart-sharded.golden "$SMOKE_DIR/out-4.txt"
-
-  echo "== Shard-count invariance smoke (answers at 1, 2, 8 shards) =="
-  # Every answer line ("-- ..." estimate summaries and row counts) must be
-  # identical at any shard count; only the SHOW STATS counter rows may
-  # differ (they sum per-shard counters, which is why the golden above is
-  # pinned at 4 shards).
   for n in 1 2 8; do
-    ./build/svc_shell --shards "$n" --file examples/quickstart-sharded.sql \
-      | grep '^--' > "$SMOKE_DIR/answers-$n.txt"
+    ./build/svc_shell --shards "$n" --echo \
+      --file examples/quickstart-sharded.sql > "$SMOKE_DIR/out-$n.txt"
+    diff -u examples/quickstart-sharded.golden "$SMOKE_DIR/out-$n.txt"
   done
-  diff -u "$SMOKE_DIR/answers-1.txt" "$SMOKE_DIR/answers-2.txt"
-  diff -u "$SMOKE_DIR/answers-1.txt" "$SMOKE_DIR/answers-8.txt"
-  echo "answers are shard-count invariant"
+  echo "transcript is shard-count invariant"
 
   echo "All sharded checks passed."
+  exit 0
+fi
+
+if [[ "$POLICY" -eq 1 ]]; then
+  echo "== Release build (${JOBS} jobs) =="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j"$JOBS"
+
+  echo "== Maintenance-policy suites (Release) =="
+  ctest --test-dir build --output-on-failure --no-tests=error -j"$JOBS" \
+    -R 'test_(maintenance_policy|sharded_stats|recovery)|svc_shell_quickstart_policy'
+
+  echo "== Policy Pareto gate (fig17: beat a fixed-interval baseline) =="
+  ./build/fig17_policy_pareto --check
+
+  echo "All policy checks passed."
   exit 0
 fi
 

@@ -1,0 +1,105 @@
+#include "core/maintenance_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/svc.h"
+
+namespace svc {
+
+const char* MaintenanceModeName(MaintenancePolicyConfig::Mode mode) {
+  return mode == MaintenancePolicyConfig::Mode::kAuto ? "auto" : "off";
+}
+
+std::string DescribeMaintenancePolicy(const MaintenancePolicyConfig& cfg) {
+  char num[40];
+  std::string out = std::string("mode=") + MaintenanceModeName(cfg.mode);
+  std::snprintf(num, sizeof(num), "%.6g", cfg.budget);
+  out += std::string(" budget=") + num;
+  out += " sla_ms=" + std::to_string(cfg.sla_ms);
+  return out;
+}
+
+const char* MaintenanceActionName(MaintenanceAction action) {
+  switch (action) {
+    case MaintenanceAction::kNone:
+      return "none";
+    case MaintenanceAction::kWarm:
+      return "warm";
+    case MaintenanceAction::kRefresh:
+      return "refresh";
+  }
+  return "none";
+}
+
+ViewMaintenanceScore ScoreOneView(std::string view, uint64_t pending_rows,
+                                  uint64_t view_rows, const Estimate* probe,
+                                  const MaintenancePolicyConfig& cfg,
+                                  uint64_t elapsed_ms) {
+  ViewMaintenanceScore s;
+  s.view = std::move(view);
+  s.pending_rows = pending_rows;
+  // A fresh view needs nothing, however long ago the last refresh was: the
+  // SLA bounds *staleness age*, and a view with no pending deltas is not
+  // stale.
+  if (pending_rows == 0) return s;
+  const double pending = static_cast<double>(pending_rows);
+  const double rows = static_cast<double>(std::max<uint64_t>(1, view_rows));
+  s.staleness = pending / (pending + rows);
+  if (probe != nullptr && probe->has_ci && cfg.budget > 0.0) {
+    const double denom = std::max(1.0, std::abs(probe->value));
+    const double rel_half_width = probe->HalfWidth() / denom;
+    s.error = rel_half_width / cfg.budget;
+  }
+  if (cfg.sla_ms > 0) {
+    s.sla = static_cast<double>(elapsed_ms) / static_cast<double>(cfg.sla_ms);
+  }
+  s.score = s.staleness + s.error + s.sla;
+  s.action =
+      s.score >= 1.0 ? MaintenanceAction::kRefresh : MaintenanceAction::kWarm;
+  return s;
+}
+
+Result<std::vector<ViewMaintenanceScore>> ScoreViews(
+    const SvcEngine& engine, const MaintenancePolicyConfig& cfg,
+    uint64_t elapsed_ms) {
+  std::vector<ViewMaintenanceScore> out;
+  for (const std::string& name : engine.ViewNames()) {
+    SVC_ASSIGN_OR_RETURN(const MaterializedView* view, engine.GetView(name));
+    uint64_t pending_rows = 0;
+    for (const std::string& rel : view->base_relations()) {
+      pending_rows += engine.pending().InsertRows(rel);
+      pending_rows += engine.pending().DeleteRows(rel);
+    }
+    if (pending_rows == 0) {
+      out.push_back(ScoreOneView(name, 0, 0, nullptr, cfg, elapsed_ms));
+      continue;
+    }
+    SVC_ASSIGN_OR_RETURN(const Table* stored, engine.db().GetTable(name));
+    // The probe: an auto-mode COUNT(*) estimate at the policy's ratio. It
+    // runs through CleanSampleCached, so the sample the next real query
+    // needs is cleaned (or incrementally advanced) right here — scoring IS
+    // the re-clean/advance arm of the policy. A probe failure (estimator
+    // shapes the moment estimates cannot handle) degrades to
+    // staleness + SLA scoring.
+    SvcQueryOptions opts;
+    opts.ratio = cfg.ratio;
+    opts.auto_mode = true;
+    Result<SvcAnswer> probe = engine.Query(name, AggregateQuery::Count(), opts);
+    const Estimate* est = probe.ok() ? &probe.value().estimate : nullptr;
+    out.push_back(
+        ScoreOneView(name, pending_rows, stored->NumRows(), est, cfg,
+                     elapsed_ms));
+  }
+  return out;
+}
+
+bool AnyRefresh(const std::vector<ViewMaintenanceScore>& scores) {
+  for (const ViewMaintenanceScore& s : scores) {
+    if (s.action == MaintenanceAction::kRefresh) return true;
+  }
+  return false;
+}
+
+}  // namespace svc

@@ -1,0 +1,101 @@
+#ifndef SVC_CORE_MAINTENANCE_POLICY_H_
+#define SVC_CORE_MAINTENANCE_POLICY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/estimator.h"
+
+namespace svc {
+
+class SvcEngine;
+
+/// The maintenance policy attached to an engine (SET MAINTENANCE POLICY).
+/// Part of the engine state proper — forks copy it, checkpoints persist it,
+/// and the DurableOp log replays it — so a recovered engine resumes the
+/// same policy the crashed process ran.
+struct MaintenancePolicyConfig {
+  enum class Mode : uint8_t {
+    kOff = 0,   ///< scheduler idles; REFRESH timing is manual
+    kAuto = 1,  ///< scheduler scores views each tick and refreshes on demand
+  };
+  Mode mode = Mode::kOff;
+  /// Target relative CI half-width: a view whose probe estimate carries a
+  /// half-width above `budget * |value|` is past its error budget.
+  double budget = 0.1;
+  /// Freshness SLA: staleness older than this forces maintenance even when
+  /// the error budget still holds.
+  uint64_t sla_ms = 5000;
+  /// Scheduler cadence (how often the background thread re-scores).
+  uint64_t tick_ms = 50;
+  /// Sampling ratio of the scoring probe (which doubles as deterministic
+  /// cache warming — see ScoreViews).
+  double ratio = 0.1;
+
+  bool operator==(const MaintenancePolicyConfig& o) const {
+    return mode == o.mode && budget == o.budget && sla_ms == o.sla_ms &&
+           tick_ms == o.tick_ms && ratio == o.ratio;
+  }
+  bool operator!=(const MaintenancePolicyConfig& o) const {
+    return !(*this == o);
+  }
+};
+
+const char* MaintenanceModeName(MaintenancePolicyConfig::Mode mode);
+
+/// "mode=auto budget=0.05 sla_ms=1000" — the SQL layer's one-line summary.
+std::string DescribeMaintenancePolicy(const MaintenancePolicyConfig& cfg);
+
+/// What the policy decided for one view this tick.
+enum class MaintenanceAction : uint8_t {
+  kNone = 0,     ///< fresh: nothing pending, nothing to do
+  kWarm = 1,     ///< stale but within budget: the scoring probe already
+                 ///< re-cleaned (or advanced) the cached sample
+  kRefresh = 2,  ///< over budget: run the full maintenance commit
+};
+
+const char* MaintenanceActionName(MaintenanceAction action);
+
+/// One view's score. Deterministic given (engine state, cfg, elapsed_ms):
+/// every term is computed from snapshot state and the engine's
+/// bit-deterministic estimates, so the same inputs score identically at any
+/// thread or shard count.
+struct ViewMaintenanceScore {
+  std::string view;
+  uint64_t pending_rows = 0;  ///< pending delta rows over the view's bases
+  double staleness = 0.0;     ///< pending / (pending + view rows)
+  double error = 0.0;         ///< probe relative CI half-width / budget
+  double sla = 0.0;           ///< elapsed_ms / sla_ms
+  double score = 0.0;         ///< staleness + error + sla
+  MaintenanceAction action = MaintenanceAction::kNone;
+};
+
+/// The scoring formula shared by the unsharded and sharded schedulers.
+/// `probe` is the engine's auto-mode COUNT(*) estimate on the stale view
+/// (null when the probe failed — the PolicyDecision-style moment estimates
+/// behind auto mode need sum/count shapes; exotic views degrade to
+/// staleness + SLA scoring instead of killing the scheduler).
+ViewMaintenanceScore ScoreOneView(std::string view, uint64_t pending_rows,
+                                  uint64_t view_rows, const Estimate* probe,
+                                  const MaintenancePolicyConfig& cfg,
+                                  uint64_t elapsed_ms);
+
+/// Scores every view of `engine` under `cfg`, `elapsed_ms` after the last
+/// policy refresh. The error term runs a COUNT(*) probe with
+/// `opts.ratio = cfg.ratio, auto_mode = true` through the engine's cached
+/// cleaning path, so scoring a stale view *is* the re-clean/advance step:
+/// the serving cache is warm afterward, and the scheduler's kWarm action
+/// costs nothing extra. Pure read — never mutates engine state beyond the
+/// cache.
+Result<std::vector<ViewMaintenanceScore>> ScoreViews(
+    const SvcEngine& engine, const MaintenancePolicyConfig& cfg,
+    uint64_t elapsed_ms);
+
+/// True iff any view scored past the refresh threshold.
+bool AnyRefresh(const std::vector<ViewMaintenanceScore>& scores);
+
+}  // namespace svc
+
+#endif  // SVC_CORE_MAINTENANCE_POLICY_H_

@@ -1,5 +1,6 @@
 #include "core/sharded_engine.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/flat_map.h"
@@ -43,6 +44,8 @@ ShardedEngine::ShardedEngine(Database db, int num_shards) {
   for (auto& shard : shards_) head->shards.push_back(shard->Snapshot());
   head_ = std::move(head);
 }
+
+ShardedEngine::~ShardedEngine() { StopMaintenance(); }
 
 ShardedSnapshotPtr ShardedEngine::Snapshot() const {
   std::lock_guard<std::mutex> lock(head_mu_);
@@ -351,6 +354,113 @@ Status ShardedEngine::WithStatementLock(const std::function<Status()>& fn) {
   return fn();
 }
 
+Status ShardedEngine::SetMaintenancePolicy(const MaintenancePolicyConfig& cfg) {
+  std::lock_guard<std::recursive_mutex> stmt(stmt_mu_);
+  for (auto& shard : shards_) {
+    SVC_RETURN_IF_ERROR(shard->SetMaintenancePolicy(cfg));
+  }
+  PublishLocked(Snapshot()->meta);
+  return Status::OK();
+}
+
+void ShardedEngine::StartMaintenance() {
+  std::lock_guard<std::mutex> lock(maint_mu_);
+  if (maint_thread_.joinable()) return;  // already running
+  maint_stop_ = false;
+  maint_thread_ = std::thread([this] { MaintenanceLoop(); });
+}
+
+void ShardedEngine::StopMaintenance() {
+  std::thread t;
+  {
+    std::lock_guard<std::mutex> lock(maint_mu_);
+    if (!maint_thread_.joinable()) return;
+    maint_stop_ = true;
+    t = std::move(maint_thread_);
+  }
+  maint_cv_.notify_all();
+  t.join();
+}
+
+Result<bool> ShardedEngine::MaintenanceTick(uint64_t elapsed_ms) {
+  ShardedSnapshotPtr snap = Snapshot();
+  const MaintenancePolicyConfig cfg =
+      snap->shards[0]->engine.maintenance_policy();
+  if (cfg.mode == MaintenancePolicyConfig::Mode::kOff) return false;
+  maint_ticks_.fetch_add(1, std::memory_order_relaxed);
+  SVC_ASSIGN_OR_RETURN(std::vector<ViewMaintenanceScore> scores,
+                       ScoreViews(*snap, cfg, elapsed_ms));
+  uint64_t warms = 0;
+  for (const ViewMaintenanceScore& s : scores) {
+    if (s.action == MaintenanceAction::kWarm) ++warms;
+  }
+  if (warms > 0) maint_warms_.fetch_add(warms, std::memory_order_relaxed);
+  if (!AnyRefresh(scores)) return false;
+  SVC_RETURN_IF_ERROR(Refresh());
+  maint_refreshes_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ShardedEngine::MaintenanceLoop() {
+  auto last_refresh = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(maint_mu_);
+  while (!maint_stop_) {
+    const MaintenancePolicyConfig cfg = maintenance_policy();
+    const uint64_t wait_ms = cfg.tick_ms > 0 ? cfg.tick_ms : 50;
+    maint_cv_.wait_for(lock, std::chrono::milliseconds(wait_ms),
+                       [&] { return maint_stop_; });
+    if (maint_stop_) break;
+    lock.unlock();
+    const auto now = std::chrono::steady_clock::now();
+    const uint64_t elapsed_ms = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(now -
+                                                              last_refresh)
+            .count());
+    Result<bool> refreshed = MaintenanceTick(elapsed_ms);
+    if (refreshed.ok() && refreshed.value()) last_refresh = now;
+    lock.lock();
+  }
+}
+
+MaintenanceStats ShardedEngine::maintenance_stats() const {
+  MaintenanceStats s;
+  s.ticks = maint_ticks_.load(std::memory_order_relaxed);
+  s.warms = maint_warms_.load(std::memory_order_relaxed);
+  s.refreshes = maint_refreshes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Result<std::vector<ViewMaintenanceScore>> ShardedEngine::ScoreViews(
+    const ShardedSnapshot& snap, const MaintenancePolicyConfig& cfg,
+    uint64_t elapsed_ms) const {
+  std::vector<ViewMaintenanceScore> out;
+  for (const std::string& name : snap.shards[0]->engine.ViewNames()) {
+    SVC_ASSIGN_OR_RETURN(const MaterializedView* view,
+                         snap.shards[0]->engine.GetView(name));
+    uint64_t pending_rows = 0;
+    for (const std::string& rel : view->base_relations()) {
+      pending_rows += PendingRowsFor(snap, rel);
+    }
+    if (pending_rows == 0) {
+      out.push_back(ScoreOneView(name, 0, 0, nullptr, cfg, elapsed_ms));
+      continue;
+    }
+    SVC_ASSIGN_OR_RETURN(std::shared_ptr<const Table> stored,
+                         GatherTable(snap, name));
+    // Coordinator-merged probe: same shape as the single-engine probe, and
+    // bit-identical at any shard count, so the resulting scores (and
+    // therefore the policy's refresh choices) are shard-count-invariant.
+    SvcQueryOptions opts;
+    opts.ratio = cfg.ratio;
+    opts.auto_mode = true;
+    Result<SvcAnswer> probe = Query(snap, name, AggregateQuery::Count(), opts);
+    const Estimate* est = probe.ok() ? &probe.value().estimate : nullptr;
+    out.push_back(ScoreOneView(name, pending_rows, stored->NumRows(), est, cfg,
+                               elapsed_ms));
+  }
+  return out;
+}
+
 Result<std::shared_ptr<const CorrespondingSamples>>
 ShardedEngine::FanOutSamples(const ShardedSnapshot& snap,
                              const std::string& view, const AggregateQuery& q,
@@ -360,9 +470,10 @@ ShardedEngine::FanOutSamples(const ShardedSnapshot& snap,
   CleanOptions clean(opts.ratio, opts.family, opts.exec);
   std::vector<std::shared_ptr<const CorrespondingSamples>> parts(n);
   std::vector<Status> statuses(n);
+  std::vector<CacheOutcome> outcomes(n, CacheOutcome::kFullClean);
   ParallelFor(static_cast<int>(n), n, [&](size_t s) {
     Result<std::shared_ptr<const CorrespondingSamples>> r =
-        snap.shards[s]->engine.CleanSampleCached(view, clean);
+        snap.shards[s]->engine.CleanSampleCached(view, clean, &outcomes[s]);
     if (r.ok()) {
       parts[s] = std::move(r).value();
     } else {
@@ -370,6 +481,7 @@ ShardedEngine::FanOutSamples(const ShardedSnapshot& snap,
     }
   });
   for (const Status& st : statuses) SVC_RETURN_IF_ERROR(st);
+  RecordFanOutOutcome(view, outcomes);
   SVC_ASSIGN_OR_RETURN(CorrespondingSamples merged,
                        MergeCorrespondingSamples(parts));
   auto shared = std::make_shared<const CorrespondingSamples>(std::move(merged));
@@ -465,6 +577,45 @@ Result<std::shared_ptr<const Table>> ShardedEngine::GatherTable(
   std::lock_guard<std::mutex> lock(gather_mu_);
   gather_cache_[name] = GatherEntry{std::move(parts), shared};
   return shared;
+}
+
+void ShardedEngine::RecordFanOutOutcome(
+    const std::string& view, const std::vector<CacheOutcome>& outcomes) const {
+  CacheOutcome logical = CacheOutcome::kHit;
+  for (CacheOutcome o : outcomes) {
+    if (o == CacheOutcome::kFullClean) {
+      logical = CacheOutcome::kFullClean;
+      break;
+    }
+    if (o == CacheOutcome::kAdvance) logical = CacheOutcome::kAdvance;
+  }
+  std::lock_guard<std::mutex> lock(fanout_stats_mu_);
+  ViewCacheStats& s = fanout_stats_[view];
+  switch (logical) {
+    case CacheOutcome::kHit:
+      ++s.hits;
+      break;
+    case CacheOutcome::kAdvance:
+      ++s.misses;
+      ++s.incremental_advances;
+      break;
+    case CacheOutcome::kFullClean:
+      ++s.misses;
+      ++s.full_cleans;
+      break;
+  }
+}
+
+std::map<std::string, ViewCacheStats> ShardedEngine::CoordinatorCacheStats(
+    const ShardedSnapshot& snap) const {
+  // Replicated-class views are served entirely by shard 0, so shard 0's
+  // counters already are the logical numbers; partitioned-class views are
+  // counted at the coordinator (one event per fan-out).
+  std::map<std::string, ViewCacheStats> out =
+      snap.shards[0]->engine.CacheStats();
+  std::lock_guard<std::mutex> lock(fanout_stats_mu_);
+  for (const auto& [view, stats] : fanout_stats_) out[view] = stats;
+  return out;
 }
 
 Result<Database> ShardedEngine::GatherDatabase(

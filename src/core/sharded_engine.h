@@ -1,6 +1,8 @@
 #ifndef SVC_CORE_SHARDED_ENGINE_H_
 #define SVC_CORE_SHARDED_ENGINE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -9,6 +11,7 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -105,6 +108,9 @@ class ShardedEngine {
   ShardedEngine(const ShardedEngine&) = delete;
   ShardedEngine& operator=(const ShardedEngine&) = delete;
 
+  /// Joins the maintenance thread (StopMaintenance) before shards die.
+  ~ShardedEngine();
+
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
   /// The current published cut. Cheap; safe from any thread.
@@ -178,6 +184,46 @@ class ShardedEngine {
   /// before serving).
   void set_sample_cache_enabled(bool enabled);
 
+  // ---- Maintenance policy (docs/ARCHITECTURE.md "Maintenance policy") -----
+  /// Publishes `cfg` on every shard as one statement (every shard's policy
+  /// is always identical — the scheduler reads shard 0's).
+  Status SetMaintenancePolicy(const MaintenancePolicyConfig& cfg);
+  MaintenancePolicyConfig maintenance_policy() const {
+    return Snapshot()->shards[0]->engine.maintenance_policy();
+  }
+
+  /// Starts/stops the coordinator's scheduler thread — one thread for the
+  /// whole engine, fanning each policy refresh out per shard through
+  /// Refresh(). Same contract as SharedEngine's pair: idempotent, and after
+  /// StopMaintenance returns no policy refresh is in flight.
+  void StartMaintenance();
+  void StopMaintenance();
+
+  /// One deterministic scheduler evaluation against the current cut:
+  /// scores with logical pending counts and coordinator-merged probes (so
+  /// scores are bit-identical at any shard count) and runs one parallel
+  /// Refresh when any view crosses the threshold. Returns true iff it
+  /// refreshed; no-op (false) under mode=off.
+  Result<bool> MaintenanceTick(uint64_t elapsed_ms);
+
+  MaintenanceStats maintenance_stats() const;
+
+  /// Coordinator-side view scores under `snap` (SHOW MAINTENANCE and the
+  /// tick): pending rows are logical (PendingRowsFor), view rows come from
+  /// the gathered table, and the error probe is a coordinator-merged
+  /// auto-mode COUNT(*) — all shard-count-invariant.
+  Result<std::vector<ViewMaintenanceScore>> ScoreViews(
+      const ShardedSnapshot& snap, const MaintenancePolicyConfig& cfg,
+      uint64_t elapsed_ms) const;
+
+  /// Logical per-view serving counters: partitioned-class views count one
+  /// event per coordinator query (a fan-out is one logical serving event,
+  /// however many shards it touched); replicated-class views read shard
+  /// 0's counters (their queries only ever touch shard 0's cache). The
+  /// numbers are shard-count-invariant.
+  std::map<std::string, ViewCacheStats> CoordinatorCacheStats(
+      const ShardedSnapshot& snap) const;
+
   /// Runs `fn` with the statement lock held, so validation done inside
   /// `fn` against `Snapshot()` cannot race another session's write landing
   /// in between (the SQL layer checks INSERT keys against a snapshot and
@@ -187,6 +233,14 @@ class ShardedEngine {
   Status WithStatementLock(const std::function<Status()>& fn);
 
  private:
+  void MaintenanceLoop();
+
+  /// Folds per-shard cache outcomes into one logical serving event for
+  /// `view` (any full clean dominates, else any advance, else a hit) and
+  /// records it in fanout_stats_.
+  void RecordFanOutOutcome(const std::string& view,
+                           const std::vector<CacheOutcome>& outcomes) const;
+
   /// Re-reads every shard's head and publishes them as one cut with
   /// `meta`. Caller holds stmt_mu_.
   void PublishLocked(std::shared_ptr<const ShardMeta> meta);
@@ -229,6 +283,20 @@ class ShardedEngine {
   };
   mutable std::mutex gather_mu_;
   mutable std::map<std::string, GatherEntry> gather_cache_;
+
+  /// Logical serving counters for partitioned-class views (one event per
+  /// coordinator fan-out; see CoordinatorCacheStats).
+  mutable std::mutex fanout_stats_mu_;
+  mutable std::map<std::string, ViewCacheStats> fanout_stats_;
+
+  /// Coordinator maintenance-scheduler state (mirrors SharedEngine's).
+  std::mutex maint_mu_;
+  std::condition_variable maint_cv_;
+  std::thread maint_thread_;
+  bool maint_stop_ = false;
+  std::atomic<uint64_t> maint_ticks_{0};
+  std::atomic<uint64_t> maint_warms_{0};
+  std::atomic<uint64_t> maint_refreshes_{0};
 };
 
 }  // namespace svc

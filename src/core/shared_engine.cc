@@ -1,5 +1,7 @@
 #include "core/shared_engine.h"
 
+#include <chrono>
+
 namespace svc {
 
 SharedEngine::SharedEngine(Database db)
@@ -8,6 +10,8 @@ SharedEngine::SharedEngine(Database db)
 SharedEngine::SharedEngine(SvcEngine engine, uint64_t start_epoch)
     : head_(std::make_shared<const EngineSnapshot>(start_epoch,
                                                    std::move(engine))) {}
+
+SharedEngine::~SharedEngine() { StopMaintenance(); }
 
 SnapshotPtr SharedEngine::Snapshot() const {
   std::lock_guard<std::mutex> lock(head_mu_);
@@ -71,6 +75,88 @@ Status SharedEngine::Refresh() {
   // discard-on-error, so MaintainAll's own fork-and-swap would only copy
   // the engine a second time.
   return Commit([](SvcEngine* e) { return e->MaintainAllInPlace(); });
+}
+
+Status SharedEngine::SetMaintenancePolicy(const MaintenancePolicyConfig& cfg) {
+  return Commit([&](SvcEngine* e) {
+    e->set_maintenance_policy(cfg);
+    return Status::OK();
+  });
+}
+
+void SharedEngine::StartMaintenance(std::function<Status()> refresh_fn) {
+  std::lock_guard<std::mutex> lock(maint_mu_);
+  if (maint_thread_.joinable()) return;  // already running
+  if (refresh_fn) maint_refresh_ = std::move(refresh_fn);
+  maint_stop_ = false;
+  maint_thread_ = std::thread([this] { MaintenanceLoop(); });
+}
+
+void SharedEngine::StopMaintenance() {
+  std::thread t;
+  {
+    std::lock_guard<std::mutex> lock(maint_mu_);
+    if (!maint_thread_.joinable()) return;
+    maint_stop_ = true;
+    // Move the handle out so a second StopMaintenance (e.g. an explicit
+    // quiesce followed by the destructor) is a clean no-op.
+    t = std::move(maint_thread_);
+  }
+  maint_cv_.notify_all();
+  t.join();
+}
+
+Result<bool> SharedEngine::MaintenanceTick(uint64_t elapsed_ms) {
+  SnapshotPtr head = Snapshot();
+  const MaintenancePolicyConfig cfg = head->engine.maintenance_policy();
+  if (cfg.mode == MaintenancePolicyConfig::Mode::kOff) return false;
+  maint_ticks_.fetch_add(1, std::memory_order_relaxed);
+  SVC_ASSIGN_OR_RETURN(std::vector<ViewMaintenanceScore> scores,
+                       ScoreViews(head->engine, cfg, elapsed_ms));
+  uint64_t warms = 0;
+  for (const ViewMaintenanceScore& s : scores) {
+    if (s.action == MaintenanceAction::kWarm) ++warms;
+  }
+  if (warms > 0) maint_warms_.fetch_add(warms, std::memory_order_relaxed);
+  if (!AnyRefresh(scores)) return false;
+  // One maintenance commit freshens every view (pending deltas are
+  // engine-global), so views sharing base relations batch naturally.
+  SVC_RETURN_IF_ERROR(maint_refresh_ ? maint_refresh_() : Refresh());
+  maint_refreshes_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void SharedEngine::MaintenanceLoop() {
+  auto last_refresh = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(maint_mu_);
+  while (!maint_stop_) {
+    const MaintenancePolicyConfig cfg = maintenance_policy();
+    const uint64_t wait_ms = cfg.tick_ms > 0 ? cfg.tick_ms : 50;
+    maint_cv_.wait_for(lock, std::chrono::milliseconds(wait_ms),
+                       [&] { return maint_stop_; });
+    if (maint_stop_) break;
+    lock.unlock();
+    const auto now = std::chrono::steady_clock::now();
+    const uint64_t elapsed_ms = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(now -
+                                                              last_refresh)
+            .count());
+    // The scheduler must outlive transient failures (e.g. a refresh racing
+    // a conflicting DDL): a failed tick is dropped, the next one re-scores
+    // fresh state. Determinism is unaffected — the tick only chooses *when*
+    // the deterministic maintenance commit runs.
+    Result<bool> refreshed = MaintenanceTick(elapsed_ms);
+    if (refreshed.ok() && refreshed.value()) last_refresh = now;
+    lock.lock();
+  }
+}
+
+MaintenanceStats SharedEngine::maintenance_stats() const {
+  MaintenanceStats s;
+  s.ticks = maint_ticks_.load(std::memory_order_relaxed);
+  s.warms = maint_warms_.load(std::memory_order_relaxed);
+  s.refreshes = maint_refreshes_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace svc

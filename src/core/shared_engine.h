@@ -1,15 +1,19 @@
 #ifndef SVC_CORE_SHARED_ENGINE_H_
 #define SVC_CORE_SHARED_ENGINE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "core/maintenance_policy.h"
 #include "core/svc.h"
 
 namespace svc {
@@ -28,6 +32,13 @@ struct EngineSnapshot {
 };
 
 using SnapshotPtr = std::shared_ptr<const EngineSnapshot>;
+
+/// Background maintenance-scheduler counters (SHOW MAINTENANCE / tests).
+struct MaintenanceStats {
+  uint64_t ticks = 0;      ///< scheduler evaluations under mode=auto
+  uint64_t warms = 0;      ///< stale views scored-and-warmed, not refreshed
+  uint64_t refreshes = 0;  ///< policy-triggered maintenance commits
+};
 
 /// A multi-session engine: one SvcEngine's worth of state shared by many
 /// concurrent SqlSessions (or direct callers) with snapshot isolation.
@@ -60,6 +71,9 @@ class SharedEngine {
 
   SharedEngine(const SharedEngine&) = delete;
   SharedEngine& operator=(const SharedEngine&) = delete;
+
+  /// Joins the maintenance thread (StopMaintenance) before members die.
+  ~SharedEngine();
 
   /// The current head version. Cheap (one mutex-guarded shared_ptr copy);
   /// safe to call from any thread at any time.
@@ -99,12 +113,58 @@ class SharedEngine {
   /// pending deltas; new snapshots see the fresh view and an empty queue.
   Status Refresh();
 
+  // ---- Maintenance policy (docs/ARCHITECTURE.md "Maintenance policy") -----
+  /// Publishes `cfg` as the engine's policy (one commit; snapshots carry
+  /// it, so the scheduler reads the policy the same way readers read data).
+  Status SetMaintenancePolicy(const MaintenancePolicyConfig& cfg);
+  /// The head snapshot's policy.
+  MaintenancePolicyConfig maintenance_policy() const {
+    return Snapshot()->engine.maintenance_policy();
+  }
+
+  /// Starts the background scheduler thread (idempotent — a running thread
+  /// is left alone). Each tick it reads the head policy; under mode=off it
+  /// just sleeps, under mode=auto it runs MaintenanceTick. `refresh_fn`,
+  /// when set, replaces this->Refresh() as the maintenance commit — the
+  /// durable engine passes its WAL-logged Refresh so policy refreshes
+  /// survive recovery. Only honored when the thread is not yet running.
+  void StartMaintenance(std::function<Status()> refresh_fn = nullptr);
+
+  /// Stops and joins the scheduler thread. Idempotent; safe when never
+  /// started. After it returns no policy refresh can be in flight — tools
+  /// call this before their clean-exit checkpoint.
+  void StopMaintenance();
+
+  /// One deterministic scheduler evaluation, callable without the thread
+  /// (tests drive the policy tick-by-tick): scores the head snapshot's
+  /// views `elapsed_ms` after the last policy refresh, warms stale views
+  /// (scoring runs the probe through the serving cache), and runs one
+  /// maintenance commit when any view crosses the threshold. Returns true
+  /// iff it refreshed. No-op (false) under mode=off.
+  Result<bool> MaintenanceTick(uint64_t elapsed_ms);
+
+  MaintenanceStats maintenance_stats() const;
+
  private:
+  void MaintenanceLoop();
+
   /// Serializes writers (fork → mutate → publish).
   std::mutex writer_mu_;
   /// Guards loads/stores of head_ (readers and the publish step).
   mutable std::mutex head_mu_;
   SnapshotPtr head_;
+
+  /// Maintenance scheduler state. maint_mu_ guards the thread handle and
+  /// stop flag; the counters are atomics so MaintenanceTick (which runs
+  /// commits — no lock held) can bump them from any thread.
+  std::mutex maint_mu_;
+  std::condition_variable maint_cv_;
+  std::thread maint_thread_;
+  bool maint_stop_ = false;
+  std::function<Status()> maint_refresh_;
+  std::atomic<uint64_t> maint_ticks_{0};
+  std::atomic<uint64_t> maint_warms_{0};
+  std::atomic<uint64_t> maint_refreshes_{0};
 };
 
 }  // namespace svc

@@ -9,6 +9,7 @@ SvcEngine::SvcEngine(const SvcEngine& other)
       views_(other.views_),
       pending_(other.pending_),
       exec_options_(other.exec_options_),
+      maintenance_policy_(other.maintenance_policy_),
       sample_cache_enabled_(other.sample_cache_enabled_) {
   // The pending-queue copy sealed other's tails into fresh chunks; sync the
   // forked catalog so maintenance/cleaning plans built on this engine can
@@ -140,9 +141,10 @@ Result<CorrespondingSamples> SvcEngine::CleanSample(
 }
 
 Result<std::shared_ptr<const CorrespondingSamples>>
-SvcEngine::CleanSampleCached(const std::string& name,
-                             const CleanOptions& opts) const {
+SvcEngine::CleanSampleCached(const std::string& name, const CleanOptions& opts,
+                             CacheOutcome* outcome) const {
   SVC_ASSIGN_OR_RETURN(const MaterializedView* view, GetView(name));
+  if (outcome != nullptr) *outcome = CacheOutcome::kFullClean;
   if (!sample_cache_enabled_) {
     SVC_ASSIGN_OR_RETURN(CorrespondingSamples cold,
                          CleanViewSample(*view, pending_, db_, opts));
@@ -159,6 +161,7 @@ SvcEngine::CleanSampleCached(const std::string& name,
       entry.samples != nullptr && entry.view_table == current;
   if (same_view && entry.delta_version == pending_.version()) {
     sample_cache_->RecordHit(name);
+    if (outcome != nullptr) *outcome = CacheOutcome::kHit;
     return entry.samples;
   }
   std::shared_ptr<const CorrespondingSamples> samples;
@@ -171,6 +174,7 @@ SvcEngine::CleanSampleCached(const std::string& name,
   }
   if (samples != nullptr) {
     sample_cache_->RecordAdvance(name);
+    if (outcome != nullptr) *outcome = CacheOutcome::kAdvance;
   } else {
     SVC_ASSIGN_OR_RETURN(CorrespondingSamples cold,
                          CleanViewSample(*view, pending_, db_, opts));

@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "core/estimator.h"
+#include "core/maintenance_policy.h"
 #include "core/policy.h"
 #include "core/sample_cache.h"
 #include "relational/database.h"
@@ -50,6 +51,12 @@ struct SvcGroupedAnswer {
   GroupedResult result;
   EstimatorMode mode_used = EstimatorMode::kCorr;
 };
+
+/// How CleanSampleCached satisfied one request. ShardedEngine's fan-out
+/// collapses its shards' outcomes into one logical serving event per query
+/// (any full clean dominates, else any advance, else a pure hit), so SHOW
+/// STATS counters stay shard-count-invariant.
+enum class CacheOutcome : uint8_t { kHit, kAdvance, kFullClean };
 
 /// The top-level facade implementing the paper's workflow (§3.2):
 ///
@@ -174,8 +181,22 @@ class SvcEngine {
   /// populated (or advanced, or revalidated) through the cache. This is
   /// the serving hot path behind Query/QueryGrouped; it is safe to call
   /// from any number of threads on a const engine (snapshot readers).
+  /// `outcome`, when non-null, reports how the request was satisfied (a
+  /// cache-disabled engine always reports kFullClean).
   Result<std::shared_ptr<const CorrespondingSamples>> CleanSampleCached(
-      const std::string& name, const CleanOptions& opts) const;
+      const std::string& name, const CleanOptions& opts,
+      CacheOutcome* outcome = nullptr) const;
+
+  /// The engine's maintenance policy (SET MAINTENANCE POLICY). Engine
+  /// state: forks copy it and checkpoints persist it. The engine itself
+  /// never acts on it — SharedEngine/ShardedEngine own the scheduler
+  /// thread that reads it (core/maintenance_policy.h).
+  void set_maintenance_policy(const MaintenancePolicyConfig& cfg) {
+    maintenance_policy_ = cfg;
+  }
+  const MaintenancePolicyConfig& maintenance_policy() const {
+    return maintenance_policy_;
+  }
 
   /// Answers an aggregate query on the named view with a bounded
   /// approximation reflecting the pending deltas (Problem 2).
@@ -207,6 +228,7 @@ class SvcEngine {
   std::map<std::string, MaterializedView> views_;
   DeltaSet pending_;
   ExecOptions exec_options_;
+  MaintenancePolicyConfig maintenance_policy_;
   /// Behind shared_ptr so the engine stays movable (the cache holds
   /// mutexes); forks never share the pointee — the fork constructor makes
   /// a fresh cache and copies the entries (see SampleCache::CopyFrom).

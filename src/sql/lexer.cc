@@ -19,7 +19,7 @@ const std::set<std::string>& Keywords() {
       // DDL / DML / SVC serving-layer statements.
       "CREATE", "TABLE", "MATERIALIZED", "VIEW", "INSERT", "INTO", "VALUES",
       "DELETE", "REFRESH", "ALL", "WITH", "SVC", "SHOW", "TABLES", "VIEWS",
-      "STATS", "CHECKPOINT",
+      "STATS", "CHECKPOINT", "SET", "MAINTENANCE", "POLICY",
       "PRIMARY", "KEY", "SAMPLING",
       // Column types for CREATE TABLE.
       "INT", "INTEGER", "DOUBLE", "FLOAT", "REAL", "STRING", "TEXT",

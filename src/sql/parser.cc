@@ -75,6 +75,10 @@ class Parser {
       SVC_RETURN_IF_ERROR(ParseRefresh(&stmt));
     } else if (Accept("CHECKPOINT")) {
       stmt.kind = Statement::Kind::kCheckpoint;
+    } else if (Accept("SET")) {
+      SVC_RETURN_IF_ERROR(Expect("MAINTENANCE"));
+      SVC_RETURN_IF_ERROR(Expect("POLICY"));
+      SVC_RETURN_IF_ERROR(ParseSetPolicy(&stmt));
     } else if (Accept("SHOW")) {
       if (Accept("TABLES")) {
         stmt.kind = Statement::Kind::kShowTables;
@@ -82,13 +86,16 @@ class Parser {
         stmt.kind = Statement::Kind::kShowViews;
       } else if (Accept("STATS")) {
         stmt.kind = Statement::Kind::kShowStats;
+      } else if (Accept("MAINTENANCE")) {
+        stmt.kind = Statement::Kind::kShowMaintenance;
       } else {
-        return Err("expected TABLES, VIEWS, or STATS after SHOW");
+        return Err("expected TABLES, VIEWS, STATS, or MAINTENANCE after SHOW");
       }
     } else {
       return Err(
           "expected a statement (SELECT, CREATE TABLE, CREATE MATERIALIZED "
-          "VIEW, INSERT INTO, DELETE FROM, REFRESH, CHECKPOINT, SHOW)");
+          "VIEW, INSERT INTO, DELETE FROM, REFRESH, CHECKPOINT, SET "
+          "MAINTENANCE POLICY, SHOW)");
     }
     if (!AtEnd()) return Err("unexpected trailing tokens");
     stmt.num_params = num_params_;
@@ -318,6 +325,70 @@ class Parser {
     if (Accept("FALSE")) return Value::Bool(false);
     return Err(
         "expected a literal value (number, 'string', NULL, TRUE, or FALSE)");
+  }
+
+  /// `SET MAINTENANCE POLICY (mode=off|auto, budget=..., sla_ms=...,
+  /// tick_ms=..., ratio=...)` — keys in any order, each at most meaningful
+  /// once; unspecified keys take the MaintenancePolicyConfig defaults.
+  Status ParseSetPolicy(Statement* stmt) {
+    stmt->kind = Statement::Kind::kSetPolicy;
+    stmt->policy = MaintenancePolicyConfig{};
+    SVC_RETURN_IF_ERROR(ExpectSymbol("("));
+    if (AcceptSymbol(")")) return Status::OK();
+    do {
+      SVC_ASSIGN_OR_RETURN(std::string key,
+                           ExpectIdent("a maintenance policy option name"));
+      key = Lower(key);
+      SVC_RETURN_IF_ERROR(ExpectSymbol("="));
+      if (key == "mode") {
+        if (Peek().type != TokenType::kIdentifier &&
+            Peek().type != TokenType::kString) {
+          return Err("maintenance mode must be off or auto");
+        }
+        const std::string mode = Lower(Advance().text);
+        if (mode == "off") {
+          stmt->policy.mode = MaintenancePolicyConfig::Mode::kOff;
+        } else if (mode == "auto") {
+          stmt->policy.mode = MaintenancePolicyConfig::Mode::kAuto;
+        } else {
+          return Err("maintenance mode must be off or auto; got '" + mode +
+                     "'");
+        }
+      } else if (key == "budget") {
+        SVC_ASSIGN_OR_RETURN(double v, ParseNumberArg("budget"));
+        if (!(v > 0.0)) {
+          return Err("maintenance budget must be > 0; got " +
+                     std::to_string(v));
+        }
+        stmt->policy.budget = v;
+      } else if (key == "sla_ms") {
+        SVC_ASSIGN_OR_RETURN(double v, ParseNumberArg("sla_ms"));
+        if (!(v >= 0.0)) {
+          return Err("maintenance sla_ms must be >= 0; got " +
+                     std::to_string(v));
+        }
+        stmt->policy.sla_ms = static_cast<uint64_t>(v);
+      } else if (key == "tick_ms") {
+        SVC_ASSIGN_OR_RETURN(double v, ParseNumberArg("tick_ms"));
+        if (!(v > 0.0)) {
+          return Err("maintenance tick_ms must be > 0; got " +
+                     std::to_string(v));
+        }
+        stmt->policy.tick_ms = static_cast<uint64_t>(v);
+      } else if (key == "ratio") {
+        SVC_ASSIGN_OR_RETURN(double v, ParseNumberArg("ratio"));
+        if (!(v > 0.0 && v <= 1.0)) {
+          return Err("maintenance ratio must be in (0, 1]; got " +
+                     std::to_string(v));
+        }
+        stmt->policy.ratio = v;
+      } else {
+        return Err("unknown maintenance policy option '" + key +
+                   "'; supported options are mode, budget, sla_ms, tick_ms, "
+                   "ratio");
+      }
+    } while (AcceptSymbol(","));
+    return ExpectSymbol(")");
   }
 
   /// `WITH SVC(ratio=..., mode=aqp|corr|auto, confidence=...)`.

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/maintenance_policy.h"
 #include "core/policy.h"
 #include "relational/algebra.h"
 #include "relational/expr.h"
@@ -81,7 +82,8 @@ struct ColumnDef {
 ///   DELETE FROM <table> [WHERE <pred>]
 ///   REFRESH VIEW <name> | REFRESH ALL
 ///   CHECKPOINT
-///   SHOW TABLES | SHOW VIEWS | SHOW STATS
+///   SET MAINTENANCE POLICY (mode=off|auto, budget=..., sla_ms=..., ...)
+///   SHOW TABLES | SHOW VIEWS | SHOW STATS | SHOW MAINTENANCE
 struct Statement {
   enum class Kind {
     kSelect,
@@ -91,9 +93,11 @@ struct Statement {
     kDelete,
     kRefresh,
     kCheckpoint,
+    kSetPolicy,
     kShowTables,
     kShowViews,
     kShowStats,
+    kShowMaintenance,
   };
   Kind kind = Kind::kSelect;
   /// kSelect: the query; kCreateView: the view definition.
@@ -106,6 +110,11 @@ struct Statement {
   std::vector<Row> values;               ///< kInsert literal rows
   ExprPtr where;                         ///< kDelete (null = every row)
   bool refresh_all = false;              ///< kRefresh: REFRESH ALL
+  /// kSetPolicy: the full config to publish. Parsing starts from the
+  /// defaults, so unspecified keys mean "the default", not "keep current"
+  /// (the statement is a complete, self-describing engine state — which is
+  /// what lets it replay verbatim from the WAL).
+  MaintenancePolicyConfig policy;
 
   /// One `?` placeholder inside an INSERT VALUES row: `values[row][col]`
   /// holds NULL until EXECUTE substitutes parameter `param`.

@@ -91,6 +91,34 @@ Result<Table> BuildTableForCreate(const Statement& stmt) {
   return table;
 }
 
+/// Renders SHOW MAINTENANCE: the active policy line as the message plus one
+/// score row per view. Scores come from ScoreViews at elapsed_ms=0, so every
+/// column is a pure function of engine state — the output is golden-safe.
+SqlResult RenderMaintenance(const MaintenancePolicyConfig& cfg,
+                            const std::vector<ViewMaintenanceScore>& scores) {
+  Schema schema;
+  schema.AddColumn({"", "view", ValueType::kString});
+  schema.AddColumn({"", "pending_rows", ValueType::kInt});
+  schema.AddColumn({"", "staleness", ValueType::kDouble});
+  schema.AddColumn({"", "error", ValueType::kDouble});
+  schema.AddColumn({"", "sla", ValueType::kDouble});
+  schema.AddColumn({"", "score", ValueType::kDouble});
+  schema.AddColumn({"", "action", ValueType::kString});
+  Table out(std::move(schema));
+  for (const auto& s : scores) {
+    out.AppendUnchecked({Value::String(s.view),
+                         Value::Int(static_cast<int64_t>(s.pending_rows)),
+                         Value::Double(s.staleness), Value::Double(s.error),
+                         Value::Double(s.sla), Value::Double(s.score),
+                         Value::String(MaintenanceActionName(s.action))});
+  }
+  SqlResult result;
+  result.kind = SqlResultKind::kRows;
+  result.message = DescribeMaintenancePolicy(cfg);
+  result.rows = std::move(out);
+  return result;
+}
+
 }  // namespace
 
 Result<SqlResult> SqlSession::Execute(const std::string& sql) {
@@ -127,6 +155,8 @@ Result<SqlResult> SqlSession::Execute(const Statement& stmt) {
       return ExecShowViews(reader());
     case Statement::Kind::kShowStats:
       return ExecShowStats(reader());
+    case Statement::Kind::kShowMaintenance:
+      return ExecShowMaintenance(reader());
     case Statement::Kind::kCreateTable:
       return ExecWrite([&](SvcEngine* e, std::string* wal) {
         return ExecCreateTable(stmt, e, wal);
@@ -146,6 +176,10 @@ Result<SqlResult> SqlSession::Execute(const Statement& stmt) {
     case Statement::Kind::kRefresh:
       return ExecWrite([&](SvcEngine* e, std::string* wal) {
         return ExecRefresh(stmt, e, wal);
+      });
+    case Statement::Kind::kSetPolicy:
+      return ExecWrite([&](SvcEngine* e, std::string* wal) {
+        return ExecSetPolicy(stmt, e, wal);
       });
     case Statement::Kind::kCheckpoint:
       return ExecCheckpoint();
@@ -525,6 +559,19 @@ Result<SqlResult> SqlSession::ExecRefresh(const Statement& stmt,
   return result;
 }
 
+Result<SqlResult> SqlSession::ExecSetPolicy(const Statement& stmt,
+                                            SvcEngine* eng, std::string* wal) {
+  if (wal != nullptr) {
+    SVC_RETURN_IF_ERROR(
+        EncodeDurableOp(DurableOp::SetPolicyOp(stmt.policy), wal));
+  }
+  eng->set_maintenance_policy(stmt.policy);
+  SqlResult result;
+  result.message =
+      "maintenance policy set: " + DescribeMaintenancePolicy(stmt.policy);
+  return result;
+}
+
 Result<SqlResult> SqlSession::ExecCheckpoint() {
   SqlResult result;
   if (!handle_.is_durable()) {
@@ -639,6 +686,13 @@ Result<SqlResult> SqlSession::ExecShowStats(const SvcEngine& eng) {
   result.message = std::to_string(out.NumRows()) + " view(s)";
   result.rows = std::move(out);
   return result;
+}
+
+Result<SqlResult> SqlSession::ExecShowMaintenance(const SvcEngine& eng) {
+  const MaintenancePolicyConfig cfg = eng.maintenance_policy();
+  SVC_ASSIGN_OR_RETURN(std::vector<ViewMaintenanceScore> scores,
+                       ScoreViews(eng, cfg, /*elapsed_ms=*/0));
+  return RenderMaintenance(cfg, scores);
 }
 
 SqlSession::PendingKeys* SqlSession::PendingKeysFor(
@@ -810,6 +864,8 @@ Result<SqlResult> SqlSession::ExecuteSharded(const Statement& stmt) {
       return ExecShowViewsSharded(reader());
     case Statement::Kind::kShowStats:
       return ExecShowStatsSharded(reader());
+    case Statement::Kind::kShowMaintenance:
+      return ExecShowMaintenanceSharded(reader());
     case Statement::Kind::kCreateTable:
       return ExecCreateTableSharded(stmt);
     case Statement::Kind::kCreateView:
@@ -820,6 +876,8 @@ Result<SqlResult> SqlSession::ExecuteSharded(const Statement& stmt) {
       return ExecDeleteSharded(stmt);
     case Statement::Kind::kRefresh:
       return ExecRefreshSharded(stmt);
+    case Statement::Kind::kSetPolicy:
+      return ExecSetPolicySharded(stmt);
     case Statement::Kind::kCheckpoint:
       return ExecCheckpoint();  // sharded engines are not durable
   }
@@ -1008,6 +1066,20 @@ Result<SqlResult> SqlSession::ExecRefreshSharded(const Statement& stmt) {
   return std::move(*out);
 }
 
+Result<SqlResult> SqlSession::ExecSetPolicySharded(const Statement& stmt) {
+  ShardedEngine& eng = *handle_.sharded();
+  std::optional<SqlResult> out;
+  SVC_RETURN_IF_ERROR(eng.WithStatementLock([&]() -> Status {
+    SVC_RETURN_IF_ERROR(eng.SetMaintenancePolicy(stmt.policy));
+    SqlResult result;
+    result.message =
+        "maintenance policy set: " + DescribeMaintenancePolicy(stmt.policy);
+    out = std::move(result);
+    return Status::OK();
+  }));
+  return std::move(*out);
+}
+
 Result<SqlResult> SqlSession::ExecShowTablesSharded(
     const ShardedSnapshot& snap) {
   const SvcEngine& shard0 = snap.shards[0]->engine;
@@ -1093,21 +1165,13 @@ Result<SqlResult> SqlSession::ExecShowStatsSharded(const ShardedSnapshot& snap) 
   schema.AddColumn({"", "pending_rows", ValueType::kInt});
   schema.AddColumn({"", "delta_version", ValueType::kInt});
   Table out(std::move(schema));
-  // Cache counters sum across the shards' serving caches; the delta
-  // version sums the per-shard pending-queue counters (monotonic, like
-  // the single-engine counter it generalizes).
-  std::map<std::string, ViewCacheStats> stats;
-  uint64_t delta_version = 0;
-  for (const auto& shard : snap.shards) {
-    for (const auto& [name, s] : shard->engine.CacheStats()) {
-      ViewCacheStats& agg = stats[name];
-      agg.hits += s.hits;
-      agg.misses += s.misses;
-      agg.full_cleans += s.full_cleans;
-      agg.incremental_advances += s.incremental_advances;
-    }
-    delta_version += shard->engine.pending().version();
-  }
+  // Counters are logical (one scatter-gather query = one hit/miss/clean,
+  // not one per shard) and the delta version is the coordinator's publish
+  // counter — both match what a single-shard engine reports for the same
+  // statement history, so the relation is shard-count-invariant.
+  const std::map<std::string, ViewCacheStats> stats =
+      eng.CoordinatorCacheStats(snap);
+  const uint64_t delta_version = snap.version;
   const auto as_int = [](uint64_t v) {
     return Value::Int(static_cast<int64_t>(v));
   };
@@ -1129,6 +1193,15 @@ Result<SqlResult> SqlSession::ExecShowStatsSharded(const ShardedSnapshot& snap) 
   result.message = std::to_string(out.NumRows()) + " view(s)";
   result.rows = std::move(out);
   return result;
+}
+
+Result<SqlResult> SqlSession::ExecShowMaintenanceSharded(
+    const ShardedSnapshot& snap) {
+  const ShardedEngine& eng = *handle_.sharded();
+  const MaintenancePolicyConfig cfg = snap.shards[0]->engine.maintenance_policy();
+  SVC_ASSIGN_OR_RETURN(std::vector<ViewMaintenanceScore> scores,
+                       eng.ScoreViews(snap, cfg, /*elapsed_ms=*/0));
+  return RenderMaintenance(cfg, scores);
 }
 
 void SqlSession::SyncPendingKeysSharded(const ShardedSnapshot& snap,

@@ -270,9 +270,11 @@ class SqlSession : public SqlExecutor {
   Result<SqlResult> ExecCreateTableSharded(const Statement& stmt);
   Result<SqlResult> ExecCreateViewSharded(const Statement& stmt);
   Result<SqlResult> ExecRefreshSharded(const Statement& stmt);
+  Result<SqlResult> ExecSetPolicySharded(const Statement& stmt);
   Result<SqlResult> ExecShowTablesSharded(const ShardedSnapshot& snap);
   Result<SqlResult> ExecShowViewsSharded(const ShardedSnapshot& snap);
   Result<SqlResult> ExecShowStatsSharded(const ShardedSnapshot& snap);
+  Result<SqlResult> ExecShowMaintenanceSharded(const ShardedSnapshot& snap);
   Result<SqlResult> ExecCreateTable(const Statement& stmt, SvcEngine* eng,
                                     std::string* wal);
   Result<SqlResult> ExecCreateView(const Statement& stmt, SvcEngine* eng,
@@ -283,10 +285,15 @@ class SqlSession : public SqlExecutor {
                                std::string* wal);
   Result<SqlResult> ExecRefresh(const Statement& stmt, SvcEngine* eng,
                                 std::string* wal);
+  Result<SqlResult> ExecSetPolicy(const Statement& stmt, SvcEngine* eng,
+                                  std::string* wal);
   Result<SqlResult> ExecCheckpoint();
   Result<SqlResult> ExecShowTables(const SvcEngine& eng);
   Result<SqlResult> ExecShowViews(const SvcEngine& eng);
   Result<SqlResult> ExecShowStats(const SvcEngine& eng);
+  /// SHOW MAINTENANCE: the policy line plus a deterministic per-view score
+  /// table (scored at elapsed_ms=0, so no wall-clock leaks into output).
+  Result<SqlResult> ExecShowMaintenance(const SvcEngine& eng);
 
   /// Runs a write statement. Private mode: directly on the owned engine.
   /// Shared mode: inside one SharedEngine::Commit, so the statement's

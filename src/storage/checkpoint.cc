@@ -9,9 +9,11 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "storage/fault.h"
+#include "storage/ops.h"
 #include "storage/serde.h"
 
 namespace svc {
@@ -19,11 +21,37 @@ namespace svc {
 namespace {
 
 constexpr char kMagic[4] = {'S', 'V', 'C', 'K'};
-// v2 appends the pending DeltaSet's mutation counter (SHOW STATS's
-// delta_version) to the delta section; v1 checkpoints are rejected with a
-// clean NotSupported instead of misreading the stream.
-constexpr uint32_t kVersion = 2;
+// v2 appended the pending DeltaSet's mutation counter (SHOW STATS's
+// delta_version) to the delta section; v3 appends the maintenance-policy
+// section (SET MAINTENANCE POLICY is engine state and must survive a
+// checkpointed recovery). Older versions are rejected with a clean
+// NotSupported instead of misreading the stream.
+constexpr uint32_t kVersion = 3;
 constexpr char kTempName[] = "ckpt.tmp";
+
+/// Appends `name`'s table encoding, reusing `cache`'s bytes when the
+/// shared_ptr identity matches (the bytes are a pure function of the table
+/// contents, and the identity pins the contents).
+void EncodeTableCached(const std::string& name,
+                       std::shared_ptr<const Table> table, std::string* out,
+                       TableEncodeCache* cache) {
+  if (cache == nullptr) {
+    EncodeTable(*table, out);
+    return;
+  }
+  auto it = cache->entries.find(name);
+  if (it != cache->entries.end() && it->second.table == table) {
+    out->append(it->second.bytes);
+    ++cache->tables_reused;
+    return;
+  }
+  std::string bytes;
+  EncodeTable(*table, &bytes);
+  out->append(bytes);
+  cache->entries[name] = TableEncodeCache::Entry{std::move(table),
+                                                 std::move(bytes)};
+  ++cache->tables_encoded;
+}
 
 Status Errno(const std::string& what) {
   return Status::Internal(what + ": " + std::strerror(errno));
@@ -55,7 +83,11 @@ Status SyncDir(const std::string& dir) {
 }  // namespace
 
 Status EncodeEngineState(const SvcEngine& engine, uint64_t epoch,
-                         std::string* out) {
+                         std::string* out, TableEncodeCache* cache) {
+  if (cache != nullptr) {
+    cache->tables_encoded = 0;
+    cache->tables_reused = 0;
+  }
   out->append(kMagic, sizeof(kMagic));
   PutU32(out, kVersion);
   PutU64(out, epoch);
@@ -72,7 +104,7 @@ Status EncodeEngineState(const SvcEngine& engine, uint64_t epoch,
   PutU32(out, static_cast<uint32_t>(base_names.size()));
   for (const std::string& name : base_names) {
     PutStr(out, name);
-    EncodeTable(**engine.db().GetTable(name), out);
+    EncodeTableCached(name, engine.db().GetTableShared(name), out, cache);
   }
 
   // Views: definition plan + sampling key + the stored table verbatim.
@@ -84,10 +116,23 @@ Status EncodeEngineState(const SvcEngine& engine, uint64_t epoch,
     SVC_RETURN_IF_ERROR(EncodePlan(*view->definition(), out));
     PutU32(out, static_cast<uint32_t>(view->sampling_key().size()));
     for (const std::string& k : view->sampling_key()) PutStr(out, k);
-    EncodeTable(**engine.db().GetTable(name), out);
+    EncodeTableCached(name, engine.db().GetTableShared(name), out, cache);
+  }
+
+  if (cache != nullptr) {
+    // Drop entries for tables that left the catalog (or were renamed): a
+    // dropped table's entry would otherwise pin its storage forever.
+    for (auto it = cache->entries.begin(); it != cache->entries.end();) {
+      const bool live = std::find(base_names.begin(), base_names.end(),
+                                  it->first) != base_names.end() ||
+                        std::find(view_names.begin(), view_names.end(),
+                                  it->first) != view_names.end();
+      it = live ? std::next(it) : cache->entries.erase(it);
+    }
   }
 
   EncodeDeltaSet(engine.pending(), out);
+  EncodeMaintenancePolicy(engine.maintenance_policy(), out);
   return Status::OK();
 }
 
@@ -151,6 +196,9 @@ Result<EngineState> DecodeEngineState(std::string_view bytes) {
     SVC_RETURN_IF_ERROR(state.engine.IngestDeltas(std::move(pending)));
   }
   state.engine.RestorePendingVersion(delta_version);
+  SVC_ASSIGN_OR_RETURN(MaintenancePolicyConfig policy,
+                       DecodeMaintenancePolicy(&body));
+  state.engine.set_maintenance_policy(policy);
   if (!body.AtEnd()) {
     return Status::InvalidArgument(
         "checkpoint has " + std::to_string(body.remaining()) +

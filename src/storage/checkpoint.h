@@ -2,6 +2,8 @@
 #define SVC_STORAGE_CHECKPOINT_H_
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -19,15 +21,39 @@ struct EngineState {
   explicit EngineState(SvcEngine e) : engine(std::move(e)) {}
 };
 
+/// Memo of per-table checkpoint encodings keyed by the table's shared_ptr
+/// identity. The engine's tables are copy-on-write: a commit that never
+/// touched a table republishes the *same* Table object, so its checkpoint
+/// bytes — a pure function of the table contents — are reusable verbatim.
+/// DurableEngine keeps one cache across checkpoints, making each
+/// checkpoint's encoding cost proportional to what actually changed since
+/// the previous one. The counters feed DurabilityStats (and the
+/// incremental-checkpoint tests).
+struct TableEncodeCache {
+  struct Entry {
+    std::shared_ptr<const Table> table;  ///< identity the bytes were built for
+    std::string bytes;
+  };
+  std::map<std::string, Entry> entries;
+  uint64_t tables_encoded = 0;  ///< tables serialized from scratch (this pass)
+  uint64_t tables_reused = 0;   ///< tables appended from the cache (this pass)
+};
+
 /// Serializes one immutable engine snapshot: base tables (bit-exact rows,
 /// primary keys), views (definition plan + sampling key + the *stored*
 /// table — persisted verbatim rather than re-materialized at recovery,
 /// because incrementally-maintained double aggregates are not bitwise
-/// reproducible by recomputation), and the pending delta queue. The
-/// cleaned-sample cache is deliberately not persisted: it is a cache,
-/// rebuilt cold, and answers are bit-identical with it cold or warm.
+/// reproducible by recomputation), the pending delta queue, and the
+/// maintenance policy. The cleaned-sample cache is deliberately not
+/// persisted: it is a cache, rebuilt cold, and answers are bit-identical
+/// with it cold or warm.
+///
+/// `cache`, when non-null, skips re-serializing tables whose shared_ptr
+/// identity is unchanged since the cached entry was built (resetting the
+/// pass counters and evicting entries for tables that no longer exist).
+/// The output bytes are identical with or without the cache.
 Status EncodeEngineState(const SvcEngine& engine, uint64_t epoch,
-                         std::string* out);
+                         std::string* out, TableEncodeCache* cache = nullptr);
 Result<EngineState> DecodeEngineState(std::string_view bytes);
 
 /// File names inside a data directory: "checkpoint-<epoch>.ckpt" paired

@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "storage/fault.h"
 #include "storage/serde.h"
 
 namespace svc {
@@ -43,6 +44,12 @@ DurableEngine::DurableEngine(DurableOptions opts,
     : opts_(std::move(opts)),
       shared_(std::move(shared)),
       wal_(std::move(wal)) {}
+
+DurableEngine::~DurableEngine() {
+  // The scheduler's refresh callback captures `this`; SharedEngine's own
+  // destructor would join too late (after our members are gone).
+  shared_->StopMaintenance();
+}
 
 Result<std::shared_ptr<DurableEngine>> DurableEngine::Open(
     const DurableOptions& opts, RecoveryReport* report) {
@@ -178,6 +185,21 @@ Status DurableEngine::Refresh() {
   return Apply(DurableOp::RefreshOp());
 }
 
+Status DurableEngine::SetMaintenancePolicy(const MaintenancePolicyConfig& cfg) {
+  return Apply(DurableOp::SetPolicyOp(cfg));
+}
+
+void DurableEngine::StartMaintenance() {
+  shared_->StartMaintenance([this] {
+    // Fault-injector crash site: dies before the refresh's WAL record is
+    // appended, so recovery lands on the pre-refresh state — the
+    // kill-and-recover harness drives this to prove a policy refresh is
+    // never half-durable.
+    FaultInjector::Global().MaybeCrash("maint.refresh");
+    return Refresh();
+  });
+}
+
 Result<uint64_t> DurableEngine::Checkpoint() {
   std::lock_guard<std::mutex> lock(mu_);
   SVC_RETURN_IF_ERROR(CheckpointLocked());
@@ -190,8 +212,11 @@ Status DurableEngine::CheckpointLocked() {
   // concurrent readers are completely unaffected.
   SnapshotPtr snap = shared_->Snapshot();
   std::string state;
-  SVC_RETURN_IF_ERROR(EncodeEngineState(snap->engine, snap->epoch, &state));
+  SVC_RETURN_IF_ERROR(
+      EncodeEngineState(snap->engine, snap->epoch, &state, &ckpt_cache_));
   SVC_RETURN_IF_ERROR(WriteCheckpointFile(opts_.data_dir, snap->epoch, state));
+  stats_.checkpoint_tables_encoded = ckpt_cache_.tables_encoded;
+  stats_.checkpoint_tables_reused = ckpt_cache_.tables_reused;
 
   // Rotate: start a fresh (empty) WAL named for the new base epoch, then
   // drop everything the checkpoint supersedes. mu_ is held, so no logged

@@ -43,6 +43,12 @@ struct DurabilityStats {
   uint64_t wal_bytes = 0;    ///< file bytes in the current WAL segment
   uint64_t last_checkpoint_epoch = 0;
   uint64_t recovered_epoch = 0;  ///< head epoch recovered at Open
+  /// Incremental-checkpoint counters for the *last* checkpoint written:
+  /// tables serialized from scratch vs appended verbatim from the encode
+  /// cache (unchanged shared_ptr identity). Test/observability only — not
+  /// SHOW STATS columns.
+  uint64_t checkpoint_tables_encoded = 0;
+  uint64_t checkpoint_tables_reused = 0;
 };
 
 /// A SharedEngine with a write-ahead log and checkpoints underneath
@@ -72,6 +78,10 @@ class DurableEngine {
   DurableEngine(const DurableEngine&) = delete;
   DurableEngine& operator=(const DurableEngine&) = delete;
 
+  /// Quiesces the maintenance thread: its refresh callback captures
+  /// `this`, so it must be joined before any member dies.
+  ~DurableEngine();
+
   /// The underlying shared engine (snapshot reads, epoch).
   const std::shared_ptr<SharedEngine>& shared() const { return shared_; }
   uint64_t epoch() const { return shared_->epoch(); }
@@ -99,6 +109,17 @@ class DurableEngine {
   /// it. Returns the checkpointed epoch.
   Result<uint64_t> Checkpoint();
 
+  /// SET MAINTENANCE POLICY as a logged commit (kSetPolicy): the policy is
+  /// engine state, so it replays from the WAL and persists in checkpoints.
+  Status SetMaintenancePolicy(const MaintenancePolicyConfig& cfg);
+
+  /// Starts the shared engine's scheduler with a WAL-logged refresh (plus
+  /// the "maint.refresh" fault site), so every policy-triggered
+  /// maintenance commit is recoverable like an explicit REFRESH.
+  void StartMaintenance();
+  /// Joins the scheduler thread; call before the clean-exit checkpoint.
+  void StopMaintenance() { shared_->StopMaintenance(); }
+
   DurabilityStats stats() const;
 
  private:
@@ -117,6 +138,10 @@ class DurableEngine {
   WalWriter wal_;
   DurabilityStats stats_;
   uint64_t commits_since_checkpoint_ = 0;
+  /// Per-table encode memo reused across checkpoints (under mu_): a table
+  /// whose shared_ptr identity is unchanged since the last checkpoint is
+  /// appended verbatim instead of re-serialized.
+  TableEncodeCache ckpt_cache_;
 };
 
 }  // namespace svc

@@ -62,6 +62,37 @@ DurableOp DurableOp::RefreshOp() {
   return op;
 }
 
+DurableOp DurableOp::SetPolicyOp(const MaintenancePolicyConfig& cfg) {
+  DurableOp op;
+  op.kind = Kind::kSetPolicy;
+  op.policy = cfg;
+  return op;
+}
+
+void EncodeMaintenancePolicy(const MaintenancePolicyConfig& cfg,
+                             std::string* out) {
+  PutU8(out, static_cast<uint8_t>(cfg.mode));
+  PutF64(out, cfg.budget);
+  PutU64(out, cfg.sla_ms);
+  PutU64(out, cfg.tick_ms);
+  PutF64(out, cfg.ratio);
+}
+
+Result<MaintenancePolicyConfig> DecodeMaintenancePolicy(ByteReader* r) {
+  MaintenancePolicyConfig cfg;
+  SVC_ASSIGN_OR_RETURN(uint8_t mode, r->U8());
+  if (mode > static_cast<uint8_t>(MaintenancePolicyConfig::Mode::kAuto)) {
+    return Status::InvalidArgument("bad maintenance mode tag " +
+                                   std::to_string(mode));
+  }
+  cfg.mode = static_cast<MaintenancePolicyConfig::Mode>(mode);
+  SVC_ASSIGN_OR_RETURN(cfg.budget, r->F64());
+  SVC_ASSIGN_OR_RETURN(cfg.sla_ms, r->U64());
+  SVC_ASSIGN_OR_RETURN(cfg.tick_ms, r->U64());
+  SVC_ASSIGN_OR_RETURN(cfg.ratio, r->F64());
+  return cfg;
+}
+
 namespace {
 
 void EncodeRowBatch(const std::vector<Row>& rows, std::string* out) {
@@ -128,6 +159,9 @@ Status EncodeDurableOp(const DurableOp& op, std::string* out) {
       return Status::OK();
     case DurableOp::Kind::kRefresh:
       return Status::OK();
+    case DurableOp::Kind::kSetPolicy:
+      EncodeMaintenancePolicy(op.policy, out);
+      return Status::OK();
   }
   return Status::Internal("unhandled durable op kind");
 }
@@ -170,6 +204,11 @@ Result<DurableOp> DecodeDurableOp(ByteReader* r) {
     case DurableOp::Kind::kRefresh:
       op.kind = DurableOp::Kind::kRefresh;
       return op;
+    case DurableOp::Kind::kSetPolicy: {
+      op.kind = DurableOp::Kind::kSetPolicy;
+      SVC_ASSIGN_OR_RETURN(op.policy, DecodeMaintenancePolicy(r));
+      return op;
+    }
   }
   return Status::InvalidArgument("bad durable op tag " + std::to_string(tag));
 }
@@ -210,6 +249,9 @@ Status ApplyDurableOp(const DurableOp& op, SvcEngine* engine) {
       // engine, discarded wholesale on error) provides the transactional
       // discard, so the in-place body avoids a second engine copy.
       return engine->MaintainAllInPlace();
+    case DurableOp::Kind::kSetPolicy:
+      engine->set_maintenance_policy(op.policy);
+      return Status::OK();
   }
   return Status::Internal("unhandled durable op kind");
 }

@@ -26,6 +26,7 @@ struct DurableOp {
     kDelete = 4,       ///< queue delete deltas for one relation
     kIngest = 5,       ///< queue a multi-relation delta batch
     kRefresh = 6,      ///< REFRESH: maintenance commit marker
+    kSetPolicy = 7,    ///< SET MAINTENANCE POLICY (engine-state config)
   };
 
   Kind kind = Kind::kRefresh;
@@ -37,6 +38,7 @@ struct DurableOp {
   /// kIngest: per-relation row batches in queue order.
   std::vector<std::pair<std::string, std::vector<Row>>> ingest_inserts;
   std::vector<std::pair<std::string, std::vector<Row>>> ingest_deletes;
+  MaintenancePolicyConfig policy;  ///< kSetPolicy
 
   static DurableOp CreateTableOp(std::string name, const Table& table);
   static DurableOp CreateViewOp(std::string name, PlanPtr definition,
@@ -46,7 +48,14 @@ struct DurableOp {
   /// Captures `deltas`'s logical row sequence (rows copied).
   static DurableOp IngestOp(const DeltaSet& deltas);
   static DurableOp RefreshOp();
+  static DurableOp SetPolicyOp(const MaintenancePolicyConfig& cfg);
 };
+
+/// Fixed 5-field policy codec shared by the kSetPolicy op and the
+/// checkpoint's policy section (storage/checkpoint.cc).
+void EncodeMaintenancePolicy(const MaintenancePolicyConfig& cfg,
+                             std::string* out);
+Result<MaintenancePolicyConfig> DecodeMaintenancePolicy(ByteReader* r);
 
 /// Fails only for a kCreateView definition that cannot be serialized (see
 /// EncodePlan).

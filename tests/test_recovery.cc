@@ -397,6 +397,107 @@ TEST_F(RecoveryTest, DeltaVersionSurvivesCheckpointAndReplay) {
   }
 }
 
+TEST_F(RecoveryTest, MaintenancePolicyReplaysFromWalAndCheckpoint) {
+  MaintenancePolicyConfig cfg;
+  cfg.mode = MaintenancePolicyConfig::Mode::kAuto;
+  cfg.budget = 0.02;
+  cfg.sla_ms = 250;
+  cfg.tick_ms = 10;
+  cfg.ratio = 0.2;
+  {
+    DurableOptions o;
+    o.data_dir = dir_;
+    SVC_ASSERT_OK_AND_ASSIGN(auto eng, DurableEngine::Open(o));
+    SqlSession session(eng);
+    SVC_ASSERT_OK(
+        session.Execute("CREATE TABLE T (a INT, PRIMARY KEY (a));").status());
+    SVC_ASSERT_OK(session
+                      .Execute("SET MAINTENANCE POLICY (mode=auto, "
+                               "budget=0.02, sla_ms=250, tick_ms=10, "
+                               "ratio=0.2);")
+                      .status());
+  }
+  {
+    // No checkpoint was taken: the policy came back from the WAL alone.
+    DurableOptions o;
+    o.data_dir = dir_;
+    RecoveryReport report;
+    SVC_ASSERT_OK_AND_ASSIGN(auto eng, DurableEngine::Open(o, &report));
+    EXPECT_EQ(report.wal_records_replayed, 2u);
+    EXPECT_TRUE(eng->shared()->maintenance_policy() == cfg);
+    SVC_ASSERT_OK(eng->Checkpoint().status());
+  }
+  {
+    // And from the checkpoint alone (its WAL is empty after rotation).
+    DurableOptions o;
+    o.data_dir = dir_;
+    RecoveryReport report;
+    SVC_ASSERT_OK_AND_ASSIGN(auto eng, DurableEngine::Open(o, &report));
+    EXPECT_EQ(report.wal_records_replayed, 0u);
+    EXPECT_TRUE(eng->shared()->maintenance_policy() == cfg);
+  }
+}
+
+TEST_F(RecoveryTest, IncrementalCheckpointSkipsUnchangedTables) {
+  DurableOptions o;
+  o.data_dir = dir_;
+  SVC_ASSERT_OK_AND_ASSIGN(auto eng, DurableEngine::Open(o));
+  SqlSession session(eng);
+  SVC_ASSERT_OK(
+      session.Execute("CREATE TABLE T (a INT, b INT, PRIMARY KEY (a));")
+          .status());
+  SVC_ASSERT_OK(
+      session.Execute("CREATE TABLE U (a INT, PRIMARY KEY (a));").status());
+  SVC_ASSERT_OK(
+      session.Execute("INSERT INTO T VALUES (1, 10), (2, 20);").status());
+  SVC_ASSERT_OK(session.Execute("REFRESH ALL;").status());
+  SVC_ASSERT_OK(
+      session.Execute("CREATE MATERIALIZED VIEW V AS SELECT a, b FROM T;")
+          .status());
+
+  // First checkpoint: everything is new — three tables serialized, none
+  // reused.
+  SVC_ASSERT_OK(eng->Checkpoint().status());
+  EXPECT_EQ(eng->stats().checkpoint_tables_encoded, 3u);
+  EXPECT_EQ(eng->stats().checkpoint_tables_reused, 0u);
+
+  // Unchanged state: re-checkpointing re-serializes nothing (copy-on-write
+  // identity pins every table's contents).
+  SVC_ASSERT_OK(eng->Checkpoint().status());
+  EXPECT_EQ(eng->stats().checkpoint_tables_encoded, 0u);
+  EXPECT_EQ(eng->stats().checkpoint_tables_reused, 3u);
+
+  // A refresh that commits rows into T rebuilds T and V but not U.
+  SVC_ASSERT_OK(session.Execute("INSERT INTO T VALUES (3, 30);").status());
+  SVC_ASSERT_OK(session.Execute("REFRESH ALL;").status());
+  SVC_ASSERT_OK(eng->Checkpoint().status());
+  EXPECT_EQ(eng->stats().checkpoint_tables_encoded, 2u);
+  EXPECT_EQ(eng->stats().checkpoint_tables_reused, 1u);
+
+  // The cache is a pure serialization shortcut: cached and uncached
+  // encodings of the same snapshot are byte-identical, and the recovered
+  // engine is bit-identical to the live one.
+  const SvcEngine& live = eng->shared()->Snapshot()->engine;
+  const uint64_t epoch = eng->epoch();
+  std::string uncached;
+  SVC_ASSERT_OK(EncodeEngineState(live, epoch, &uncached));
+  TableEncodeCache warm;
+  std::string cold_pass, warmed;
+  SVC_ASSERT_OK(EncodeEngineState(live, epoch, &cold_pass, &warm));
+  SVC_ASSERT_OK(EncodeEngineState(live, epoch, &warmed, &warm));
+  EXPECT_TRUE(cold_pass == uncached);
+  EXPECT_TRUE(warmed == uncached);
+  EXPECT_EQ(warm.tables_reused, 3u);
+
+  DurableOptions o2;
+  o2.data_dir = dir_;
+  SVC_ASSERT_OK_AND_ASSIGN(auto reopened, DurableEngine::Open(o2));
+  std::string recovered;
+  SVC_ASSERT_OK(EncodeEngineState(reopened->shared()->Snapshot()->engine,
+                                  epoch, &recovered));
+  EXPECT_TRUE(recovered == uncached);
+}
+
 // ---- The kill-and-recover differential matrix ------------------------------
 //
 // For every crash site and seed: fork a child that arms the injector and

@@ -404,7 +404,7 @@ TEST_F(SessionTest, SyntaxErrorsCarryContext) {
             std::string::npos);
 
   Status show = Fail("SHOW everything");
-  EXPECT_NE(show.message().find("expected TABLES, VIEWS, or STATS"),
+  EXPECT_NE(show.message().find("expected TABLES, VIEWS, STATS, or MAINTENANCE"),
             std::string::npos);
 }
 

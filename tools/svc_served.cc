@@ -147,11 +147,13 @@ int main(int argc, char** argv) {
   // Engine: durable when --data-dir is given (recover first), sharded when
   // --shards is given, otherwise a fresh in-memory shared engine.
   std::shared_ptr<svc::DurableEngine> durable_engine;
+  std::shared_ptr<svc::ShardedEngine> sharded_engine;
+  std::shared_ptr<svc::SharedEngine> shared_engine;
   std::unique_ptr<svc::SvcServer> server;
   if (num_shards > 0) {
-    server = std::make_unique<svc::SvcServer>(
-        opts,
-        std::make_shared<svc::ShardedEngine>(svc::Database(), num_shards));
+    sharded_engine =
+        std::make_shared<svc::ShardedEngine>(svc::Database(), num_shards);
+    server = std::make_unique<svc::SvcServer>(opts, sharded_engine);
   } else if (!durable_opts.data_dir.empty()) {
     svc::RecoveryReport report;
     auto opened = svc::DurableEngine::Open(durable_opts, &report);
@@ -174,9 +176,15 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(report.wal_records_replayed));
     server = std::make_unique<svc::SvcServer>(opts, durable_engine);
   } else {
-    server = std::make_unique<svc::SvcServer>(
-        opts, std::make_shared<svc::SharedEngine>(svc::Database()));
+    shared_engine = std::make_shared<svc::SharedEngine>(svc::Database());
+    server = std::make_unique<svc::SvcServer>(opts, shared_engine);
   }
+
+  // The maintenance scheduler starts with the server but idles until a
+  // client arms it with SET MAINTENANCE POLICY (mode=auto, ...).
+  if (durable_engine != nullptr) durable_engine->StartMaintenance();
+  if (sharded_engine != nullptr) sharded_engine->StartMaintenance();
+  if (shared_engine != nullptr) shared_engine->StartMaintenance();
 
   if (pipe(g_shutdown_pipe) < 0) {
     std::perror("pipe");
@@ -219,6 +227,13 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "shutting down\n");
   server->Stop();
+
+  // Quiesce the maintenance scheduler before the clean-exit checkpoint: a
+  // background refresh landing after the checkpoint would leave trailing
+  // WAL records, defeating the replay-nothing contract below.
+  if (durable_engine != nullptr) durable_engine->StopMaintenance();
+  if (sharded_engine != nullptr) sharded_engine->StopMaintenance();
+  if (shared_engine != nullptr) shared_engine->StopMaintenance();
 
   // Durable mode: checkpoint on clean exit so the next startup replays
   // nothing (same contract as svc_shell).

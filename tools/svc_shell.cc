@@ -205,6 +205,8 @@ int main(int argc, char** argv) {
   // must match private mode. --data-dir implies shared-mode semantics on
   // the recovered engine.
   std::unique_ptr<svc::SqlExecutor> executor;
+  std::shared_ptr<svc::ShardedEngine> sharded_engine;
+  std::shared_ptr<svc::SharedEngine> shared_engine;
   if (!connect.empty()) {
     const size_t colon = connect.rfind(':');
     char* end = nullptr;
@@ -230,15 +232,24 @@ int main(int argc, char** argv) {
     }
     executor = std::move(connected).value();
   } else {
-    svc::EngineHandle handle =
-        durable ? svc::EngineHandle::Durable(durable_engine)
-        : num_shards > 0
-            ? svc::EngineHandle::Sharded(std::make_shared<svc::ShardedEngine>(
-                  svc::Database(), num_shards))
-        : shared ? svc::EngineHandle::Shared(
-                       std::make_shared<svc::SharedEngine>(svc::Database()))
-                 : svc::EngineHandle::Private();
+    svc::EngineHandle handle = svc::EngineHandle::Private();
+    if (durable) {
+      handle = svc::EngineHandle::Durable(durable_engine);
+    } else if (num_shards > 0) {
+      sharded_engine =
+          std::make_shared<svc::ShardedEngine>(svc::Database(), num_shards);
+      handle = svc::EngineHandle::Sharded(sharded_engine);
+    } else if (shared) {
+      shared_engine = std::make_shared<svc::SharedEngine>(svc::Database());
+      handle = svc::EngineHandle::Shared(shared_engine);
+    }
     executor = std::make_unique<svc::SqlSession>(std::move(handle));
+    // The scheduler thread starts now but idles (mode=off is the default)
+    // until a SET MAINTENANCE POLICY (mode=auto, ...) statement arms it —
+    // so transcripts without that statement stay byte-identical.
+    if (durable_engine != nullptr) durable_engine->StartMaintenance();
+    if (sharded_engine != nullptr) sharded_engine->StartMaintenance();
+    if (shared_engine != nullptr) shared_engine->StartMaintenance();
   }
   svc::Shell shell(executor.get(), &std::cout, opts);
 
@@ -246,6 +257,12 @@ int main(int argc, char** argv) {
   // checkpoint failure is a real error (the WAL still has everything, but
   // the exit code must say durability degraded).
   auto finish = [&](int rc) {
+    // Quiesce the maintenance scheduler first: a background refresh after
+    // the final checkpoint would leave trailing WAL records (and the
+    // fault-injector's maint.refresh site must not fire mid-exit).
+    if (durable_engine != nullptr) durable_engine->StopMaintenance();
+    if (sharded_engine != nullptr) sharded_engine->StopMaintenance();
+    if (shared_engine != nullptr) shared_engine->StopMaintenance();
     if (durable_engine != nullptr && rc == 0) {
       auto ckpt = durable_engine->Checkpoint();
       if (!ckpt.ok()) {
