@@ -33,11 +33,19 @@
 //        --shared (also run the shared-engine reader/refresher mode)
 //        --net (also run the network closed-loop mode)
 //        --net-queries N (requests per client in --net, default 400)
-//        --merge-json PATH (append a "fig14_net" object into an existing
+//        --net-chaos (with --net: also run the fault-injected leg — a
+//                     degrade-enabled server, retrying clients, and a
+//                     dropped response re-armed throughout the run; the
+//                     retry/reconnect/replay/degrade counters prove the
+//                     robustness machinery ran, and every request still
+//                     has to succeed)
+//        --merge-json PATH (append "fig14_net" — and with --net-chaos,
+//                           "fig14_chaos" — objects into an existing
 //                           BENCH json artifact)
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,6 +60,7 @@
 #include "core/shared_engine.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "storage/fault.h"
 #include "sql/planner.h"
 #include "sql/session.h"
 
@@ -348,6 +357,159 @@ NetRunStats RunNetWorkload(SvcServer* server, int clients, int queries,
   return stats;
 }
 
+// ---- --net-chaos: the same loop under injected faults + degradation --------
+
+struct ChaosRunStats {
+  double wall = 0;
+  size_t requests = 0;      ///< responses the clients accepted (all of them)
+  uint64_t retries = 0;     ///< client re-sends after retryable failures
+  uint64_t reconnects = 0;  ///< transport re-establishments after Connect
+  uint64_t faults = 0;      ///< server net_faults_injected delta
+  uint64_t replays = 0;     ///< server idem_replays delta (dedup hits)
+  uint64_t degraded = 0;    ///< server degraded_admissions delta
+  uint64_t shed = 0;        ///< server overload_rejections delta
+};
+
+/// The closed loop again, but hostile: the server runs in --degrade mode
+/// with max_inflight=1 (so concurrent SVC queries are admitted degraded and
+/// everything else is shed-and-retried), the clients retry with idempotency
+/// tokens, and a chaos thread keeps one conn.drop_response armed for the
+/// whole run. Every request must still come back successfully — the
+/// counters quantify how much robustness machinery that took.
+ChaosRunStats RunChaosNetWorkload(SvcServer* server, int clients,
+                                  int queries) {
+  const ServerStats before = server->stats();
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> client_retries{0}, client_reconnects{0};
+
+  // Re-arm a dropped response every ~15 answered frames. ShouldTrigger
+  // fires exactly once per Arm, so the thread watches the server's fault
+  // counter and re-arms after each fire.
+  std::thread chaos([&] {
+    uint64_t fired = before.net_faults_injected;
+    FaultInjector::Net().Arm("conn.drop_response", 15);
+    while (!done.load(std::memory_order_acquire)) {
+      const uint64_t now = server->stats().net_faults_injected;
+      if (now > fired) {
+        fired = now;
+        FaultInjector::Net().Arm("conn.drop_response", 15);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    FaultInjector::Net().Disarm();
+  });
+
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  std::atomic<size_t> answered{0};
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientOptions copts;
+      copts.port = server->port();
+      copts.client_name = "fig14_chaos";
+      copts.max_retries = 16;
+      copts.recv_timeout_ms = 2000;
+      copts.backoff_initial_ms = 2;
+      copts.backoff_max_ms = 20;
+      copts.backoff_seed = static_cast<uint64_t>(c) + 1;
+      auto client = bench::CheckedValue(SvcClient::Connect(copts),
+                                        "connect (chaos)");
+      Rng rng(static_cast<uint64_t>(c) + 1);
+      for (int q = 0; q < queries; ++q) {
+        // Mostly SVC estimates (degradable past max_inflight); every 8th a
+        // plain lookup, which degrade mode sheds under pressure and the
+        // client must retry through.
+        if (q % 8 == 7) {
+          const int64_t threshold = static_cast<int64_t>(rng.Next() % 200);
+          bench::CheckOk(
+              client
+                  ->Execute("SELECT videoId, visitCount FROM visitView "
+                            "WHERE visitCount > " +
+                            std::to_string(threshold))
+                  .status(),
+              "lookup (chaos)");
+        } else {
+          bench::CheckOk(client
+                             ->Execute("SELECT SUM(visitCount) FROM visitView "
+                                       "WITH SVC(ratio=0.5, mode=corr)")
+                             .status(),
+                         "estimate (chaos)");
+        }
+        answered.fetch_add(1, std::memory_order_relaxed);
+      }
+      client_retries.fetch_add(client->retries(), std::memory_order_relaxed);
+      client_reconnects.fetch_add(client->reconnects(),
+                                  std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : threads) t.join();
+  ChaosRunStats stats;
+  stats.wall = wall.ElapsedSeconds();
+  done.store(true, std::memory_order_release);
+  chaos.join();
+  const ServerStats after = server->stats();
+  stats.requests = answered.load();
+  stats.retries = client_retries.load();
+  stats.reconnects = client_reconnects.load();
+  stats.faults = after.net_faults_injected - before.net_faults_injected;
+  stats.replays = after.idem_replays - before.idem_replays;
+  stats.degraded = after.degraded_admissions - before.degraded_admissions;
+  stats.shed = after.overload_rejections - before.overload_rejections;
+  return stats;
+}
+
+/// Appends `"fig14_chaos": {...}` next to fig14_net in the BENCH artifact:
+/// the robustness counters ride the same file as the throughput numbers.
+void MergeChaosJson(const std::string& path, int clients, int queries,
+                    const ChaosRunStats& s) {
+  FILE* in = std::fopen(path.c_str(), "r");
+  if (in == nullptr) {
+    std::fprintf(stderr, "[bench] --merge-json: cannot read %s\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) content.append(buf, n);
+  std::fclose(in);
+  const size_t close = content.find_last_of('}');
+  if (close == std::string::npos) {
+    std::fprintf(stderr, "[bench] --merge-json: %s is not a JSON object\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  content.resize(close);
+  const size_t old = content.find(",\n  \"fig14_chaos\":");
+  if (old != std::string::npos) content.resize(old);
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "[bench] --merge-json: cannot write %s\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(
+      out,
+      "%s,\n  \"fig14_chaos\": {\n"
+      "    \"clients\": %d, \"queries_per_client\": %d,\n"
+      "    \"requests_ok\": %zu, \"throughput_rps\": %.1f,\n"
+      "    \"client_retries\": %llu, \"client_reconnects\": %llu,\n"
+      "    \"net_faults_injected\": %llu, \"idem_replays\": %llu,\n"
+      "    \"degraded_admissions\": %llu, \"overload_rejections\": %llu\n"
+      "  }\n}\n",
+      content.c_str(), clients, queries, s.requests,
+      static_cast<double>(s.requests) / s.wall,
+      static_cast<unsigned long long>(s.retries),
+      static_cast<unsigned long long>(s.reconnects),
+      static_cast<unsigned long long>(s.faults),
+      static_cast<unsigned long long>(s.replays),
+      static_cast<unsigned long long>(s.degraded),
+      static_cast<unsigned long long>(s.shed));
+  std::fclose(out);
+  std::printf("merged fig14_chaos into %s\n", path.c_str());
+}
+
 /// Appends `"fig14_net": {...}` into an existing `{...}` JSON artifact
 /// (BENCH_executor.json) so the network numbers ride the same file the
 /// executor gate writes.
@@ -421,6 +583,7 @@ int main(int argc, char** argv) {
   WorkloadParams p;
   bool run_shared = false;
   bool run_net = false;
+  bool run_chaos = false;
   int net_queries = 400;
   std::string merge_json;
   for (int i = 1; i < argc; ++i) {
@@ -445,6 +608,8 @@ int main(int argc, char** argv) {
       run_net = true;
     } else if (std::strcmp(argv[i], "--net-queries") == 0) {
       net_queries = static_cast<int>(next("--net-queries"));
+    } else if (std::strcmp(argv[i], "--net-chaos") == 0) {
+      run_chaos = true;
     } else if (std::strcmp(argv[i], "--merge-json") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "missing value for --merge-json\n");
@@ -599,8 +764,49 @@ int main(int argc, char** argv) {
     if (!merge_json.empty()) {
       MergeNetJson(merge_json, p.sessions, net_queries, text, prep);
     }
+
+    if (run_chaos) {
+      std::printf(
+          "\n-- Chaos serving (degrade mode, dropped responses re-armed, "
+          "retrying clients) --\n");
+      ServerOptions chaos_opts;
+      chaos_opts.workers = p.sessions;
+      chaos_opts.max_inflight = 1;  // force degraded admission under load
+      chaos_opts.degrade = true;
+      chaos_opts.degrade_max_inflight = static_cast<uint32_t>(p.sessions) * 4;
+      chaos_opts.degrade_ratio_scale = 0.5;
+      SvcServer chaos_server(chaos_opts, shared);
+      bench::CheckOk(chaos_server.Start(), "server start (chaos)");
+      const ChaosRunStats cs =
+          RunChaosNetWorkload(&chaos_server, p.sessions, net_queries);
+      chaos_server.Stop();
+
+      TablePrinter ct({"requests_ok", "wall_s", "req_per_s", "retries",
+                       "reconnects", "faults", "replays", "degraded",
+                       "shed"});
+      ct.AddRow({std::to_string(cs.requests), TablePrinter::Num(cs.wall, 3),
+                 TablePrinter::Num(
+                     static_cast<double>(cs.requests) / cs.wall, 1),
+                 std::to_string(cs.retries), std::to_string(cs.reconnects),
+                 std::to_string(cs.faults), std::to_string(cs.replays),
+                 std::to_string(cs.degraded), std::to_string(cs.shed)});
+      ct.Print();
+      std::printf(
+          "\nEvery request succeeded despite the injected faults: dropped "
+          "responses force\nreconnect + idempotent re-send (replays = dedup "
+          "hits that prevented double\nexecution), and past max_inflight=1 "
+          "the degrade admission path answers SVC\nestimates at half the "
+          "sampling ratio (degraded) while shedding exact queries\nfor the "
+          "client to retry (shed).\n");
+      if (!merge_json.empty()) {
+        MergeChaosJson(merge_json, p.sessions, net_queries, cs);
+      }
+    }
   } else if (!merge_json.empty()) {
     std::fprintf(stderr, "--merge-json requires --net\n");
+    return 2;
+  } else if (run_chaos) {
+    std::fprintf(stderr, "--net-chaos requires --net\n");
     return 2;
   }
   return 0;

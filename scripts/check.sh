@@ -5,7 +5,7 @@
 # baseline; see docs/PERF.md).
 #
 # Usage: scripts/check.sh [--fast] [--tsan] [--recovery] [--server]
-#                         [--shards] [--policy]
+#                         [--shards] [--policy] [--chaos]
 #   --fast  skip the sanitizer build (Release tests + bench gate only)
 #   --tsan  ThreadSanitizer mode ONLY: Debug+TSan build + full test suite
 #           (the shared-engine concurrency tests are the point); skips the
@@ -31,6 +31,18 @@
 #           fig17 error-vs-refreshes Pareto gate (a policy point must
 #           reach a fixed-interval baseline's accuracy with strictly
 #           fewer refresh commits). Used by the CI policy job.
+#   --chaos  fault-injection mode ONLY, everything under ASan/UBSan: the
+#           chaos + protocol + server suites (tests/test_chaos.cc is the
+#           in-process matrix — every SVC_NET_FAULT site x fault position
+#           x {text, prepared}, plus deadline, degrade, idempotent-retry,
+#           and crash-mid-response coverage), then a process-level
+#           differential: for each net-fault site x {in-memory,
+#           --data-dir}, a retrying svc_shell --connect must complete the
+#           quickstart workload with a transcript bit-identical to a
+#           fault-free run over the same server mode, and the server log
+#           must prove the fault fired. Finishes with the fig14
+#           --net-chaos counter merge into BENCH_executor.json. Used by
+#           the CI chaos job.
 #
 # Environment knobs:
 #   MIN_SPEEDUP           baseline-vs-current gate floor (default 3.0;
@@ -56,6 +68,7 @@ RECOVERY=0
 SERVER=0
 SHARDS=0
 POLICY=0
+CHAOS=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
@@ -64,6 +77,7 @@ for arg in "$@"; do
     --server) SERVER=1 ;;
     --shards) SHARDS=1 ;;
     --policy) POLICY=1 ;;
+    --chaos) CHAOS=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -166,6 +180,98 @@ if [[ "$POLICY" -eq 1 ]]; then
   ./build/fig17_policy_pareto --check
 
   echo "All policy checks passed."
+  exit 0
+fi
+
+if [[ "$CHAOS" -eq 1 ]]; then
+  echo "== Debug + ASan/UBSan build (${JOBS} jobs) =="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DSVC_SANITIZE=ON
+  cmake --build build-asan -j"$JOBS"
+
+  echo "== Chaos + protocol + server suites (ASan) =="
+  # test_chaos is the in-process matrix: every net-fault site x position x
+  # {text Query, prepared Execute}, deadline expiry, degraded admission,
+  # durable idempotent retry, and the fork-based crash-mid-response
+  # differential.
+  ctest --test-dir build-asan --output-on-failure --no-tests=error \
+    -j"$JOBS" -R 'test_(chaos|protocol|server)'
+
+  echo "== Process-level net-fault differential (site x engine mode) =="
+  # The env-armed path end to end: SVC_NET_FAULT damages one mid-workload
+  # response inside a real svc_served process, and a retrying svc_shell
+  # must still produce a transcript bit-identical to a fault-free run over
+  # the same server mode. (nth=7: the Hello response is hit 1, so the
+  # damage lands on statement 6 of the quickstart.)
+  SMOKE_DIR="$(mktemp -d)"
+  SERVER_PID=""
+  trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
+  start_served() {  # start_served <log> <fault-spec|""> [svc_served args...]
+    local log="$1" fault="$2"; shift 2
+    rm -f "$SMOKE_DIR/port"
+    # An empty SVC_NET_FAULT is ignored by the injector, so the baseline
+    # runs take the same code path with nothing armed.
+    SVC_NET_FAULT="$fault" ./build-asan/svc_served --host 127.0.0.1 \
+      --port 0 --port-file "$SMOKE_DIR/port" "$@" 2> "$log" &
+    SERVER_PID=$!
+    for _ in $(seq 1 100); do
+      [[ -s "$SMOKE_DIR/port" ]] && return 0
+      sleep 0.1
+    done
+    echo "svc_served never wrote its port file:" >&2
+    cat "$log" >&2
+    return 1
+  }
+  stop_served() {
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=""
+  }
+  run_quickstart() {  # run_quickstart <out>
+    ./build-asan/svc_shell --connect "127.0.0.1:$(cat "$SMOKE_DIR/port")" \
+      --retry 8 --recv-timeout-ms 1000 --echo \
+      --file examples/quickstart.sql > "$1"
+  }
+  for engine in mem durable; do
+    engine_args=()
+    if [[ "$engine" == durable ]]; then
+      engine_args=(--data-dir "$SMOKE_DIR/base-$engine")
+    fi
+    start_served "$SMOKE_DIR/served-base-$engine.log" "" "${engine_args[@]}"
+    run_quickstart "$SMOKE_DIR/baseline-$engine.txt"
+    stop_served
+    for site in conn.stall conn.close_mid_frame conn.drop_response \
+                send.short_write; do
+      engine_args=()
+      if [[ "$engine" == durable ]]; then
+        engine_args=(--data-dir "$SMOKE_DIR/data-$engine-$site")
+      fi
+      LOG="$SMOKE_DIR/served-$engine-$site.log"
+      start_served "$LOG" "$site:7" "${engine_args[@]}"
+      run_quickstart "$SMOKE_DIR/out-$engine-$site.txt"
+      stop_served
+      diff -u "$SMOKE_DIR/baseline-$engine.txt" \
+        "$SMOKE_DIR/out-$engine-$site.txt"
+      if ! grep -q "\[net-fault\] injected $site" "$LOG"; then
+        echo "expected $site to fire in the $engine run; server log:" >&2
+        cat "$LOG" >&2
+        exit 1
+      fi
+      echo "  $engine x $site: transcript identical, fault fired"
+    done
+  done
+
+  echo "== Chaos serving counters (fig14 --net-chaos) =="
+  # Merged next to the throughput numbers so the robustness counters ride
+  # the same BENCH artifact CI already uploads.
+  if [[ ! -f BENCH_executor.json ]]; then
+    printf '{\n  "source": "scripts/check.sh --chaos"\n}\n' \
+      > BENCH_executor.json
+  fi
+  ./build-asan/fig14_sql_sessions --rows 3000 --sessions 3 --iters 2 \
+    --batch 40 --net --net-queries 80 --net-chaos \
+    --merge-json BENCH_executor.json
+  grep -o '"fig14_chaos": {' BENCH_executor.json > /dev/null
+  echo "All chaos checks passed."
   exit 0
 fi
 

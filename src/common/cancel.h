@@ -1,0 +1,83 @@
+#ifndef SVC_COMMON_CANCEL_H_
+#define SVC_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "common/status.h"
+
+namespace svc {
+
+/// Cooperative cancellation for long-running query work. The serving layer
+/// creates one token per request (from the wire deadline_ms field), threads
+/// it through ExecOptions, and the executor's chunk loops poll it between
+/// chunks — so a query past its deadline stops within one chunk's worth of
+/// work instead of running to completion against a client that already
+/// gave up.
+///
+/// Polling is cheap by design: an `expired_` flag check (one relaxed atomic
+/// load) short-circuits, and the steady_clock read only happens while the
+/// deadline has not yet fired. Once observed expired, the flag latches, so
+/// every subsequent check across threads is the single load.
+///
+/// Cancellation is strictly advisory and read-only: a write statement
+/// checks the token *before* it mutates anything and never mid-commit, so a
+/// deadline can delay a write's rejection but never tear one.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  // Copyable despite the atomic flag (tokens are passed by value into
+  // request handlers; the latch state travels with the copy).
+  CancelToken(const CancelToken& o)
+      : has_deadline_(o.has_deadline_),
+        deadline_(o.deadline_),
+        expired_(o.expired_.load(std::memory_order_relaxed)) {}
+  CancelToken& operator=(const CancelToken& o) {
+    has_deadline_ = o.has_deadline_;
+    deadline_ = o.deadline_;
+    expired_.store(o.expired_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// A token that expires `deadline_ms` from now (0 = never).
+  static CancelToken After(uint64_t deadline_ms) {
+    CancelToken t;
+    if (deadline_ms > 0) {
+      t.has_deadline_ = true;
+      t.deadline_ = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(deadline_ms);
+    }
+    return t;
+  }
+
+  /// Expires the token immediately (test hook / explicit cancellation).
+  void Cancel() { expired_.store(true, std::memory_order_relaxed); }
+
+  /// True once the deadline passed (or Cancel was called). Latches.
+  bool Expired() const {
+    if (expired_.load(std::memory_order_relaxed)) return true;
+    if (!has_deadline_) return false;
+    if (std::chrono::steady_clock::now() < deadline_) return false;
+    expired_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// OK while live; DeadlineExceeded once expired. `what` names the work
+  /// being cancelled for the error message.
+  Status Check(const char* what) const {
+    if (!Expired()) return Status::OK();
+    return Status::DeadlineExceeded(std::string("deadline exceeded during ") +
+                                    what);
+  }
+
+ private:
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  mutable std::atomic<bool> expired_{false};
+};
+
+}  // namespace svc
+
+#endif  // SVC_COMMON_CANCEL_H_

@@ -29,6 +29,9 @@ enum class StatusCode {
   kConstraintViolation, // duplicate or NULL primary key
   kOverloaded,          // admission control rejected the request
   kProtocol,            // malformed wire frame / handshake violation
+  kUnavailable,         // transport failure (peer gone / timed out); the
+                        // request may not have reached the server
+  kDeadlineExceeded,    // the request's deadline elapsed before completion
 };
 
 /// A Status encodes either success (ok) or an error code plus a
@@ -88,6 +91,15 @@ class Status {
   static Status Protocol(std::string msg) {
     return Status(StatusCode::kProtocol, std::move(msg));
   }
+  /// Returns an Unavailable error (transport failure; the request may not
+  /// have reached the server and is safe to retry when idempotent).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// Returns a DeadlineExceeded error (the request's deadline elapsed).
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   /// True iff the status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -115,6 +127,8 @@ class Status {
         break;
       case StatusCode::kOverloaded: name = "Overloaded"; break;
       case StatusCode::kProtocol: name = "Protocol"; break;
+      case StatusCode::kUnavailable: name = "Unavailable"; break;
+      case StatusCode::kDeadlineExceeded: name = "DeadlineExceeded"; break;
     }
     return std::string(name) + ": " + msg_;
   }

@@ -18,7 +18,43 @@ std::string DescribeMaintenancePolicy(const MaintenancePolicyConfig& cfg) {
   std::snprintf(num, sizeof(num), "%.6g", cfg.budget);
   out += std::string(" budget=") + num;
   out += " sla_ms=" + std::to_string(cfg.sla_ms);
+  // Overrides appear only when present, keeping the no-override description
+  // (and every golden transcript recorded before they existed) unchanged.
+  if (!cfg.overrides.empty()) {
+    out += " overrides:";
+    for (const auto& [view, ov] : cfg.overrides) {
+      out += " " + view + "(";
+      std::string sep;
+      if (ov.budget) {
+        std::snprintf(num, sizeof(num), "%.6g", *ov.budget);
+        out += "budget=" + std::string(num);
+        sep = " ";
+      }
+      if (ov.sla_ms) {
+        out += sep + "sla_ms=" + std::to_string(*ov.sla_ms);
+        sep = " ";
+      }
+      if (ov.ratio) {
+        std::snprintf(num, sizeof(num), "%.6g", *ov.ratio);
+        out += sep + "ratio=" + std::string(num);
+      }
+      out += ")";
+    }
+  }
   return out;
+}
+
+MaintenancePolicyConfig EffectiveFor(const MaintenancePolicyConfig& cfg,
+                                     const std::string& view) {
+  MaintenancePolicyConfig eff = cfg;
+  eff.overrides.clear();
+  auto it = cfg.overrides.find(view);
+  if (it != cfg.overrides.end()) {
+    if (it->second.budget) eff.budget = *it->second.budget;
+    if (it->second.sla_ms) eff.sla_ms = *it->second.sla_ms;
+    if (it->second.ratio) eff.ratio = *it->second.ratio;
+  }
+  return eff;
 }
 
 const char* MaintenanceActionName(MaintenanceAction action) {
@@ -66,6 +102,9 @@ Result<std::vector<ViewMaintenanceScore>> ScoreViews(
     uint64_t elapsed_ms) {
   std::vector<ViewMaintenanceScore> out;
   for (const std::string& name : engine.ViewNames()) {
+    // Per-view budget/SLA/ratio overrides apply here, at scoring time:
+    // the scheduler itself stays one thread on one global tick.
+    const MaintenancePolicyConfig eff = EffectiveFor(cfg, name);
     SVC_ASSIGN_OR_RETURN(const MaterializedView* view, engine.GetView(name));
     uint64_t pending_rows = 0;
     for (const std::string& rel : view->base_relations()) {
@@ -73,7 +112,7 @@ Result<std::vector<ViewMaintenanceScore>> ScoreViews(
       pending_rows += engine.pending().DeleteRows(rel);
     }
     if (pending_rows == 0) {
-      out.push_back(ScoreOneView(name, 0, 0, nullptr, cfg, elapsed_ms));
+      out.push_back(ScoreOneView(name, 0, 0, nullptr, eff, elapsed_ms));
       continue;
     }
     SVC_ASSIGN_OR_RETURN(const Table* stored, engine.db().GetTable(name));
@@ -84,12 +123,12 @@ Result<std::vector<ViewMaintenanceScore>> ScoreViews(
     // shapes the moment estimates cannot handle) degrades to
     // staleness + SLA scoring.
     SvcQueryOptions opts;
-    opts.ratio = cfg.ratio;
+    opts.ratio = eff.ratio;
     opts.auto_mode = true;
     Result<SvcAnswer> probe = engine.Query(name, AggregateQuery::Count(), opts);
     const Estimate* est = probe.ok() ? &probe.value().estimate : nullptr;
     out.push_back(
-        ScoreOneView(name, pending_rows, stored->NumRows(), est, cfg,
+        ScoreOneView(name, pending_rows, stored->NumRows(), est, eff,
                      elapsed_ms));
   }
   return out;

@@ -2,6 +2,8 @@
 #define SVC_CORE_MAINTENANCE_POLICY_H_
 
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,22 @@
 namespace svc {
 
 class SvcEngine;
+
+/// Per-view knobs overriding the global policy (SET MAINTENANCE POLICY ON
+/// <view> (...)). Only the error budget, freshness SLA, and probe ratio can
+/// differ per view — mode and tick cadence belong to the one scheduler
+/// thread and stay global. An unset field falls through to the global value.
+struct ViewPolicyOverride {
+  std::optional<double> budget;
+  std::optional<uint64_t> sla_ms;
+  std::optional<double> ratio;
+
+  bool empty() const { return !budget && !sla_ms && !ratio; }
+  bool operator==(const ViewPolicyOverride& o) const {
+    return budget == o.budget && sla_ms == o.sla_ms && ratio == o.ratio;
+  }
+  bool operator!=(const ViewPolicyOverride& o) const { return !(*this == o); }
+};
 
 /// The maintenance policy attached to an engine (SET MAINTENANCE POLICY).
 /// Part of the engine state proper — forks copy it, checkpoints persist it,
@@ -33,10 +51,15 @@ struct MaintenancePolicyConfig {
   /// Sampling ratio of the scoring probe (which doubles as deterministic
   /// cache warming — see ScoreViews).
   double ratio = 0.1;
+  /// Per-view overrides of budget/sla_ms/ratio, keyed by view name. Views
+  /// not listed (and unset fields of listed views) use the global values
+  /// above. Empty overrides are never stored: clearing a view removes its
+  /// entry.
+  std::map<std::string, ViewPolicyOverride> overrides;
 
   bool operator==(const MaintenancePolicyConfig& o) const {
     return mode == o.mode && budget == o.budget && sla_ms == o.sla_ms &&
-           tick_ms == o.tick_ms && ratio == o.ratio;
+           tick_ms == o.tick_ms && ratio == o.ratio && overrides == o.overrides;
   }
   bool operator!=(const MaintenancePolicyConfig& o) const {
     return !(*this == o);
@@ -46,7 +69,15 @@ struct MaintenancePolicyConfig {
 const char* MaintenanceModeName(MaintenancePolicyConfig::Mode mode);
 
 /// "mode=auto budget=0.05 sla_ms=1000" — the SQL layer's one-line summary.
+/// Views with overrides are appended as " overrides: v(budget=...)" only
+/// when any exist, so configs without them describe exactly as before.
 std::string DescribeMaintenancePolicy(const MaintenancePolicyConfig& cfg);
+
+/// The config `view` actually runs under: the global fields with that
+/// view's override (if any) folded in. The result carries no overrides of
+/// its own.
+MaintenancePolicyConfig EffectiveFor(const MaintenancePolicyConfig& cfg,
+                                     const std::string& view);
 
 /// What the policy decided for one view this tick.
 enum class MaintenanceAction : uint8_t {

@@ -435,6 +435,9 @@ Result<std::vector<ViewMaintenanceScore>> ShardedEngine::ScoreViews(
     uint64_t elapsed_ms) const {
   std::vector<ViewMaintenanceScore> out;
   for (const std::string& name : snap.shards[0]->engine.ViewNames()) {
+    // Same per-view override fold as the unsharded ScoreViews — overrides
+    // are part of the replicated policy, so scores stay shard-invariant.
+    const MaintenancePolicyConfig eff = EffectiveFor(cfg, name);
     SVC_ASSIGN_OR_RETURN(const MaterializedView* view,
                          snap.shards[0]->engine.GetView(name));
     uint64_t pending_rows = 0;
@@ -442,7 +445,7 @@ Result<std::vector<ViewMaintenanceScore>> ShardedEngine::ScoreViews(
       pending_rows += PendingRowsFor(snap, rel);
     }
     if (pending_rows == 0) {
-      out.push_back(ScoreOneView(name, 0, 0, nullptr, cfg, elapsed_ms));
+      out.push_back(ScoreOneView(name, 0, 0, nullptr, eff, elapsed_ms));
       continue;
     }
     SVC_ASSIGN_OR_RETURN(std::shared_ptr<const Table> stored,
@@ -451,11 +454,11 @@ Result<std::vector<ViewMaintenanceScore>> ShardedEngine::ScoreViews(
     // bit-identical at any shard count, so the resulting scores (and
     // therefore the policy's refresh choices) are shard-count-invariant.
     SvcQueryOptions opts;
-    opts.ratio = cfg.ratio;
+    opts.ratio = eff.ratio;
     opts.auto_mode = true;
     Result<SvcAnswer> probe = Query(snap, name, AggregateQuery::Count(), opts);
     const Estimate* est = probe.ok() ? &probe.value().estimate : nullptr;
-    out.push_back(ScoreOneView(name, pending_rows, stored->NumRows(), est, cfg,
+    out.push_back(ScoreOneView(name, pending_rows, stored->NumRows(), est, eff,
                                elapsed_ms));
   }
   return out;

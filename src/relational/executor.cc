@@ -576,6 +576,11 @@ Result<Table> Executor::Execute(const PlanNode& plan) {
 }
 
 Result<ExecTable> Executor::Exec(const PlanNode& plan) {
+  // Cooperative cancellation checkpoint: one relaxed atomic load per
+  // operator keeps a deadlined query from starting the next pipeline stage.
+  if (opts_.cancel != nullptr) {
+    SVC_RETURN_IF_ERROR(opts_.cancel->Check("plan execution"));
+  }
   switch (plan.kind()) {
     case PlanKind::kScan: return ExecScan(plan);
     case PlanKind::kSelect: return ExecSelect(plan);
@@ -620,6 +625,10 @@ Result<ExecTable> Executor::ExecSelect(const PlanNode& plan) {
     std::vector<std::vector<Row>> parts(chunks);
     std::vector<Status> errs(chunks);
     ParallelFor(opts_.num_threads, chunks, [&](size_t c) {
+      if (opts_.cancel != nullptr) {
+        errs[c] = opts_.cancel->Check("filter chunk");
+        if (!errs[c].ok()) return;
+      }
       ExprPtr pred = plan.predicate()->Clone();
       errs[c] = pred->Bind(in.schema());
       if (!errs[c].ok()) return;
@@ -675,6 +684,10 @@ Result<ExecTable> Executor::ExecProject(const PlanNode& plan) {
     std::vector<std::vector<Row>> parts(chunks);
     std::vector<Status> errs(chunks);
     ParallelFor(opts_.num_threads, chunks, [&](size_t c) {
+      if (opts_.cancel != nullptr) {
+        errs[c] = opts_.cancel->Check("project chunk");
+        if (!errs[c].ok()) return;
+      }
       // Pass-through column items are read by position and never
       // evaluated, so only computed expressions need a per-chunk clone.
       std::vector<ExprPtr> cexprs(exprs.size());
@@ -744,6 +757,10 @@ Result<ExecTable> Executor::ExecJoin(const PlanNode& plan) {
       std::vector<std::vector<Row>> parts(chunks);
       std::vector<Status> errs(chunks);
       ParallelFor(opts_.num_threads, chunks, [&](size_t c) {
+        if (opts_.cancel != nullptr) {
+          errs[c] = opts_.cancel->Check("join probe chunk");
+          if (!errs[c].ok()) return;
+        }
         ExprPtr res;
         if (plan.join_residual()) {
           res = plan.join_residual()->Clone();

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "relational/algebra.h"
 #include "relational/database.h"
@@ -19,6 +20,12 @@ struct ExecOptions {
   /// on the input size (common/thread_pool.h), so partial results merge in
   /// the same order no matter how many threads ran them.
   int num_threads = 1;
+  /// Cooperative cancellation (request deadlines): when set, every operator
+  /// polls it on entry and the chunked loops poll it per chunk, failing
+  /// with DeadlineExceeded instead of finishing work nobody is waiting
+  /// for. Null (the default) costs nothing. Borrowed — the caller keeps
+  /// the token alive for the duration of the plan.
+  const CancelToken* cancel = nullptr;
 };
 
 /// An intermediate operator result: a schema plus rows that are either

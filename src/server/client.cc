@@ -2,11 +2,17 @@
 
 #include <arpa/inet.h>
 #include <errno.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "storage/serde.h"
@@ -15,16 +21,17 @@ namespace svc {
 
 namespace {
 
-Status Errno(const std::string& what) {
-  return Status::Internal(what + ": " + std::strerror(errno));
+/// Transport failures are kUnavailable: the request said nothing about the
+/// statement, so an idempotent re-send is safe (IsRetryableStatus).
+Status NetErrno(const std::string& what) {
+  return Status::Unavailable(what + ": " + std::strerror(errno));
 }
 
-}  // namespace
-
-Result<std::unique_ptr<SvcClient>> SvcClient::Connect(
-    const ClientOptions& opts) {
+/// Connects with a bounded timeout (non-blocking connect + poll), then
+/// restores blocking mode — the send/recv paths bound themselves.
+Result<int> DialTimeout(const ClientOptions& opts) {
   const int fd = socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return Errno("socket");
+  if (fd < 0) return NetErrno("socket");
   sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
   addr.sin_family = AF_INET;
@@ -33,37 +40,104 @@ Result<std::unique_ptr<SvcClient>> SvcClient::Connect(
     close(fd);
     return Status::InvalidArgument("bad server address: " + opts.host);
   }
-  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const Status s =
-        Errno("connect " + opts.host + ":" + std::to_string(opts.port));
+  const std::string peer = opts.host + ":" + std::to_string(opts.port);
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (opts.connect_timeout_ms > 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno == EINPROGRESS) {
+    struct pollfd pfd = {fd, POLLOUT, 0};
+    rc = poll(&pfd, 1, opts.connect_timeout_ms);
+    if (rc <= 0) {
+      close(fd);
+      return Status::Unavailable("connect " + peer + " timed out after " +
+                                 std::to_string(opts.connect_timeout_ms) +
+                                 " ms");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      close(fd);
+      errno = err;
+      return NetErrno("connect " + peer);
+    }
+  } else if (rc < 0) {
+    const Status s = NetErrno("connect " + peer);
     close(fd);
     return s;
   }
+  if (opts.connect_timeout_ms > 0) fcntl(fd, F_SETFL, flags);
+  return fd;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SvcClient>> SvcClient::Connect(
+    const ClientOptions& opts) {
   auto client = std::unique_ptr<SvcClient>(new SvcClient());
-  client->fd_ = fd;
+  client->opts_ = opts;
+  client->rng_ = Rng(opts.backoff_seed);
+  // The idempotency token must name this client uniquely within the
+  // server's journal: across processes (pid) and across the clients inside
+  // one (a process-wide counter).
+  static std::atomic<uint64_t> instance{0};
+  client->idem_token_ = opts.client_name + "#" +
+                        std::to_string(static_cast<uint64_t>(getpid())) + "." +
+                        std::to_string(instance.fetch_add(1));
+  SVC_RETURN_IF_ERROR(client->EnsureConnected());
+  return client;
+}
+
+SvcClient::~SvcClient() { Drop(); }
+
+void SvcClient::Drop() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+  inbuf_.clear();
+}
+
+Status SvcClient::EnsureConnected() {
+  if (fd_ >= 0) return Status::OK();
+  SVC_ASSIGN_OR_RETURN(int fd, DialTimeout(opts_));
+  fd_ = fd;
+  inbuf_.clear();
 
   Frame hello;
   hello.tag = FrameTag::kHello;
   HelloRequest req;
-  req.client_name = opts.client_name;
+  req.client_name = opts_.client_name;
   EncodeHelloRequest(req, &hello.body);
-  SVC_ASSIGN_OR_RETURN(Frame reply, client->RoundTrip(hello));
-  if (reply.tag == FrameTag::kError) return DecodeErrorBody(reply.body);
-  if (reply.tag != FrameTag::kHelloOk) {
+  hello.request_id = next_request_id_++;
+  Status sent = SendFrame(hello);
+  Result<Frame> reply = sent.ok() ? ReadFrame() : Result<Frame>(sent);
+  if (!reply.ok()) {
+    Drop();
+    return reply.status();
+  }
+  if (reply->tag == FrameTag::kError) {
+    const Status s = DecodeErrorBody(reply->body);
+    Drop();
+    return s;
+  }
+  if (reply->tag != FrameTag::kHelloOk) {
+    Drop();
     return Status::Protocol("expected HelloOk, got frame tag " +
-                            std::to_string(static_cast<int>(reply.tag)));
+                            std::to_string(static_cast<int>(reply->tag)));
   }
-  SVC_ASSIGN_OR_RETURN(HelloReply ok, DecodeHelloReply(reply.body));
-  if (ok.version < kProtocolVersionMin || ok.version > kProtocolVersionMax) {
+  Result<HelloReply> ok = DecodeHelloReply(reply->body);
+  if (!ok.ok()) {
+    Drop();
+    return ok.status();
+  }
+  if (ok->version < kProtocolVersionMin || ok->version > kProtocolVersionMax) {
+    Drop();
     return Status::Protocol("server negotiated unsupported version " +
-                            std::to_string(ok.version));
+                            std::to_string(ok->version));
   }
-  client->version_ = ok.version;
-  return client;
-}
-
-SvcClient::~SvcClient() {
-  if (fd_ >= 0) close(fd_);
+  version_ = ok->version;
+  ++generation_;
+  if (generation_ > 1) ++reconnects_;
+  return Status::OK();
 }
 
 Status SvcClient::SendFrame(const Frame& frame) {
@@ -87,41 +161,123 @@ Status SvcClient::SendFrame(const Frame& frame) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
-    return Errno("send");
+    return NetErrno("send");
   }
   return Status::OK();
 }
 
 Result<Frame> SvcClient::ReadFrame() {
+  using Clock = std::chrono::steady_clock;
+  const bool bounded = opts_.recv_timeout_ms > 0;
+  const Clock::time_point give_up =
+      Clock::now() + std::chrono::milliseconds(opts_.recv_timeout_ms);
   char buf[65536];
   while (true) {
     SVC_ASSIGN_OR_RETURN(std::optional<Frame> frame,
                          TryDecodeFrame(&inbuf_, kDefaultMaxFrameBytes));
     if (frame.has_value()) return std::move(*frame);
+    if (bounded) {
+      // Bounded wait: a stalled peer (dead air, half a frame) fails the
+      // request with kUnavailable instead of wedging the caller forever.
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(give_up - Clock::now()).count();
+      if (remaining <= 0) {
+        return Status::Unavailable(
+            "no response within " + std::to_string(opts_.recv_timeout_ms) +
+            " ms (server stalled or response lost)");
+      }
+      struct pollfd pfd = {fd_, POLLIN, 0};
+      const int rc = poll(&pfd, 1, static_cast<int>(remaining));
+      if (rc < 0 && errno != EINTR) return NetErrno("poll");
+      if (rc <= 0) continue;  // timeout slice or EINTR: re-check the budget
+    }
     const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
     if (n > 0) {
       inbuf_.append(buf, static_cast<size_t>(n));
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
-    if (n == 0) return Status::Protocol("server closed the connection");
-    return Errno("recv");
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+    if (n == 0) return Status::Unavailable("server closed the connection");
+    return NetErrno("recv");
   }
 }
 
 Result<Frame> SvcClient::RoundTrip(const Frame& frame) {
+  SVC_RETURN_IF_ERROR(EnsureConnected());
   Frame request = frame;
   if (request.request_id == 0) request.request_id = next_request_id_++;
-  SVC_RETURN_IF_ERROR(SendFrame(request));
+  Status sent = SendFrame(request);
+  if (!sent.ok()) {
+    Drop();
+    return sent;
+  }
   while (true) {
-    SVC_ASSIGN_OR_RETURN(Frame reply, ReadFrame());
+    Result<Frame> reply = ReadFrame();
+    if (!reply.ok()) {
+      Drop();
+      return reply;
+    }
     // Transport-level errors (bad CRC on *our* frames) come back with
     // request id 0; everything else must match what we asked.
-    if (reply.request_id == request.request_id || reply.request_id == 0) {
+    if (reply->request_id == request.request_id || reply->request_id == 0) {
       return reply;
     }
     // A stale response from an abandoned pipelined request: skip it.
   }
+}
+
+void SvcClient::SleepBackoff(int attempt) {
+  int64_t base = opts_.backoff_initial_ms;
+  for (int i = 1; i < attempt && base < opts_.backoff_max_ms; ++i) base *= 2;
+  base = std::max<int64_t>(1, std::min<int64_t>(base, opts_.backoff_max_ms));
+  // Uniform jitter in [base/2, base] keeps synchronized retry storms from
+  // re-colliding while staying deterministic per backoff_seed.
+  const int64_t sleep_ms = rng_.UniformInt(base - base / 2, base);
+  std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+}
+
+Result<Frame> SvcClient::CallWithRetry(
+    const std::function<Result<Frame>()>& make_frame, bool idempotent) {
+  int attempt = 0;
+  while (true) {
+    Status failure = EnsureConnected();
+    if (failure.ok()) {
+      Result<Frame> made = make_frame();
+      if (!made.ok()) {
+        // e.g. a re-prepare failing with a SQL error: not retryable.
+        failure = made.status();
+      } else {
+        Result<Frame> reply = RoundTrip(*made);
+        if (!reply.ok()) {
+          failure = reply.status();  // transport; RoundTrip already dropped
+        } else if (reply->tag == FrameTag::kError) {
+          const Status decoded = DecodeErrorBody(reply->body);
+          if (!IsRetryableStatus(decoded.code())) return reply;
+          failure = decoded;  // e.g. Overloaded: connection is fine, retry
+        } else {
+          return reply;
+        }
+      }
+    }
+    if (!idempotent || !IsRetryableStatus(failure.code()) ||
+        attempt >= opts_.max_retries) {
+      return failure;
+    }
+    ++attempt;
+    ++retries_;
+    SleepBackoff(attempt);
+  }
+}
+
+RequestMeta SvcClient::NextMeta() {
+  RequestMeta meta;
+  meta.deadline_ms = opts_.deadline_ms;
+  if (opts_.max_retries > 0) {
+    meta.idem_token = idem_token_;
+    meta.idem_seq = ++idem_seq_;
+  }
+  return meta;
 }
 
 Result<SqlResult> SvcClient::AsResult(const Frame& frame) {
@@ -130,14 +286,23 @@ Result<SqlResult> SvcClient::AsResult(const Frame& frame) {
 }
 
 Result<SqlResult> SvcClient::Execute(const std::string& sql) {
-  Frame frame;
-  frame.tag = FrameTag::kQuery;
-  PutStr(&frame.body, sql);
-  SVC_ASSIGN_OR_RETURN(Frame reply, RoundTrip(frame));
+  SVC_RETURN_IF_ERROR(EnsureConnected());  // fixes version_ for the meta
+  // The meta is fixed once: every retry re-sends the same (token, seq), so
+  // the server's journal recognizes it as the same logical request.
+  const RequestMeta meta = NextMeta();
+  const bool idempotent = version_ >= 2 && !meta.idem_token.empty();
+  auto make = [&]() -> Result<Frame> {
+    Frame frame;
+    frame.tag = FrameTag::kQuery;
+    PutStr(&frame.body, sql);
+    if (version_ >= 2) AppendRequestMeta(meta, &frame.body);
+    return frame;
+  };
+  SVC_ASSIGN_OR_RETURN(Frame reply, CallWithRetry(make, idempotent));
   return AsResult(reply);
 }
 
-Result<SvcClient::Prepared> SvcClient::Prepare(const std::string& sql) {
+Result<PreparedReply> SvcClient::PrepareOnServer(const std::string& sql) {
   Frame frame;
   frame.tag = FrameTag::kPrepare;
   PutStr(&frame.body, sql);
@@ -147,26 +312,77 @@ Result<SvcClient::Prepared> SvcClient::Prepare(const std::string& sql) {
     return Status::Protocol("expected Prepared, got frame tag " +
                             std::to_string(static_cast<int>(reply.tag)));
   }
+  return DecodePreparedBody(reply.body);
+}
+
+Result<SvcClient::Prepared> SvcClient::Prepare(const std::string& sql) {
+  // Preparing mutates no engine state, so a transport retry is always
+  // safe (worst case the server holds an orphan statement it will drop
+  // with the connection).
+  auto make = [&]() -> Result<Frame> {
+    Frame frame;
+    frame.tag = FrameTag::kPrepare;
+    PutStr(&frame.body, sql);
+    return frame;
+  };
+  SVC_ASSIGN_OR_RETURN(Frame reply,
+                       CallWithRetry(make, opts_.max_retries > 0));
+  if (reply.tag == FrameTag::kError) return DecodeErrorBody(reply.body);
+  if (reply.tag != FrameTag::kPrepared) {
+    return Status::Protocol("expected Prepared, got frame tag " +
+                            std::to_string(static_cast<int>(reply.tag)));
+  }
   SVC_ASSIGN_OR_RETURN(PreparedReply prepared, DecodePreparedBody(reply.body));
   Prepared out;
-  out.id = prepared.stmt_id;
+  out.id = next_client_stmt_id_++;
   out.num_params = prepared.num_params;
+  prepared_[out.id] =
+      PreparedEntry{sql, prepared.stmt_id, generation_};
   return out;
 }
 
 Result<SqlResult> SvcClient::ExecutePrepared(const Prepared& stmt,
                                              const std::vector<Value>& params) {
-  Frame frame;
-  frame.tag = FrameTag::kExecute;
-  EncodeExecuteBody(stmt.id, params, &frame.body);
-  SVC_ASSIGN_OR_RETURN(Frame reply, RoundTrip(frame));
+  if (prepared_.find(stmt.id) == prepared_.end()) {
+    return Status::NotFound("no prepared statement #" +
+                            std::to_string(stmt.id));
+  }
+  SVC_RETURN_IF_ERROR(EnsureConnected());
+  const RequestMeta meta = NextMeta();
+  const bool idempotent = version_ >= 2 && !meta.idem_token.empty();
+  auto make = [&]() -> Result<Frame> {
+    PreparedEntry& entry = prepared_[stmt.id];
+    if (entry.generation != generation_) {
+      // The server lost its statement cache with the old connection:
+      // re-prepare from the retained SQL before re-sending.
+      SVC_ASSIGN_OR_RETURN(PreparedReply srv, PrepareOnServer(entry.sql));
+      entry.server_id = srv.stmt_id;
+      entry.generation = generation_;
+    }
+    Frame frame;
+    frame.tag = FrameTag::kExecute;
+    EncodeExecuteBody(entry.server_id, params, &frame.body);
+    if (version_ >= 2) AppendRequestMeta(meta, &frame.body);
+    return frame;
+  };
+  SVC_ASSIGN_OR_RETURN(Frame reply, CallWithRetry(make, idempotent));
   return AsResult(reply);
 }
 
 Status SvcClient::ClosePrepared(const Prepared& stmt) {
+  auto it = prepared_.find(stmt.id);
+  if (it == prepared_.end()) {
+    return Status::NotFound("no prepared statement #" +
+                            std::to_string(stmt.id));
+  }
+  const uint64_t server_id = it->second.server_id;
+  const bool live = it->second.generation == generation_ && fd_ >= 0;
+  prepared_.erase(it);
+  // After a reconnect the server already dropped it with the connection.
+  if (!live) return Status::OK();
   Frame frame;
   frame.tag = FrameTag::kClose;
-  PutU64(&frame.body, stmt.id);
+  PutU64(&frame.body, server_id);
   SVC_ASSIGN_OR_RETURN(Frame reply, RoundTrip(frame));
   if (reply.tag == FrameTag::kError) return DecodeErrorBody(reply.body);
   return Status::OK();

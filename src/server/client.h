@@ -2,11 +2,13 @@
 #define SVC_SERVER_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/random.h"
 #include "common/status.h"
 #include "server/protocol.h"
 #include "sql/session.h"
@@ -18,6 +20,31 @@ struct ClientOptions {
   uint16_t port = 0;
   /// Reported to the server in the Hello frame.
   std::string client_name = "svc_client";
+  /// A connect not completing within this window fails with kUnavailable
+  /// (0 = the OS default, which can be minutes).
+  int connect_timeout_ms = 5000;
+  /// A response not arriving within this window fails the request with
+  /// kUnavailable and drops the connection, instead of blocking the caller
+  /// forever on a stalled peer (0 = wait forever).
+  int recv_timeout_ms = 10000;
+  /// Automatic retry: on a *retryable* failure (transport death, recv
+  /// timeout, server overload — see IsRetryableStatus) the client redials
+  /// with exponential backoff and re-sends the request, at most this many
+  /// times after the first attempt (0 = fail fast). Statements are only
+  /// retried against a v2 server, where the per-request idempotency
+  /// (token, seq) guarantees a retried write commits exactly once and a
+  /// retried read replays the same bytes.
+  int max_retries = 0;
+  /// Exponential backoff between retries: attempt k sleeps a uniformly
+  /// jittered duration in [b/2, b] where b = min(initial << (k-1), max).
+  int backoff_initial_ms = 10;
+  int backoff_max_ms = 500;
+  /// Seed for the jitter stream — deterministic, so a test's retry
+  /// schedule is reproducible.
+  uint64_t backoff_seed = 1;
+  /// Server-side deadline attached to every statement (v2 only; 0 = none):
+  /// the server answers kDeadlineExceeded instead of finishing late.
+  uint32_t deadline_ms = 0;
 };
 
 /// A blocking client for the svc wire protocol (server/protocol.h). It
@@ -25,6 +52,15 @@ struct ClientOptions {
 /// Shell above all — can run over a socket instead, and because result
 /// tables travel through the bit-exact storage/serde codec, a remote
 /// transcript is byte-identical to a local one.
+///
+/// Robustness: every receive is bounded by `recv_timeout_ms`, transport
+/// failures surface as kUnavailable (never a hang), and with
+/// `max_retries > 0` the client transparently reconnects (exponential
+/// backoff + deterministic jitter) and re-sends the failed request under
+/// the same idempotency (token, seq) — the server's dedup journal makes
+/// the retry exact-once even when the original response was lost in
+/// flight. Prepared statements survive a reconnect: the client keeps the
+/// SQL text and lazily re-prepares on the new connection.
 ///
 /// Not thread-safe: one SvcClient per thread (connections are cheap; the
 /// server multiplexes). Requests are synchronous — each call sends one
@@ -41,7 +77,8 @@ class SvcClient : public SqlExecutor {
   /// Executes one SQL statement on the server (Query frame).
   Result<SqlResult> Execute(const std::string& sql) override;
 
-  /// A server-side prepared statement handle.
+  /// A prepared statement handle. The id is *client-side*: it stays valid
+  /// across reconnects (the client re-prepares under the covers).
   struct Prepared {
     uint64_t id = 0;
     uint32_t num_params = 0;
@@ -55,7 +92,7 @@ class SvcClient : public SqlExecutor {
   Result<SqlResult> ExecutePrepared(const Prepared& stmt,
                                     const std::vector<Value>& params);
 
-  /// Frees a server-side prepared statement.
+  /// Frees a prepared statement (client registry + server side).
   Status ClosePrepared(const Prepared& stmt);
 
   /// The server's monotonic counters (Stats frame).
@@ -64,15 +101,52 @@ class SvcClient : public SqlExecutor {
   /// Asks the server to close this connection (Close frame, id 0).
   Status Shutdown();
 
-  /// Protocol version negotiated at Connect.
+  /// Protocol version negotiated at Connect (or the latest reconnect).
   uint32_t negotiated_version() const { return version_; }
 
+  /// Number of times a request was re-sent after a retryable failure.
+  uint64_t retries() const { return retries_; }
+  /// Number of times the transport was re-established after Connect.
+  uint64_t reconnects() const { return reconnects_; }
+
   /// Sends a raw frame and returns the raw response — the protocol tests'
-  /// hook for malformed and pipelined traffic.
+  /// hook for malformed and pipelined traffic. Single attempt: transport
+  /// failures surface directly (the connection is dropped and will be
+  /// redialed by the next request).
   Result<Frame> RoundTrip(const Frame& frame);
 
  private:
+  struct PreparedEntry {
+    std::string sql;
+    uint64_t server_id = 0;
+    uint64_t generation = 0;  ///< connection generation it was prepared on
+  };
+
   SvcClient() = default;
+
+  /// Dials + Hello-handshakes if the connection is down. No-op when up.
+  Status EnsureConnected();
+  /// Closes the socket (next request redials) and discards buffered bytes.
+  void Drop();
+  /// Sleeps the jittered exponential backoff for retry attempt `attempt`
+  /// (1-based).
+  void SleepBackoff(int attempt);
+
+  /// The retry loop: per attempt, ensures the connection is up, builds the
+  /// frame via `make_frame` (re-run each attempt so it can re-prepare on a
+  /// fresh connection), and round-trips it. Retries only retryable
+  /// failures, only when `idempotent`, at most opts_.max_retries times.
+  Result<Frame> CallWithRetry(const std::function<Result<Frame>()>& make_frame,
+                              bool idempotent);
+
+  /// Fills a RequestMeta for the next statement: the session deadline and,
+  /// when retries are enabled, this client's token with a fresh sequence
+  /// number. Only meaningful against a v2 server.
+  RequestMeta NextMeta();
+
+  /// Single-attempt server Prepare (used by Prepare and by the lazy
+  /// re-prepare after a reconnect).
+  Result<PreparedReply> PrepareOnServer(const std::string& sql);
 
   Status SendFrame(const Frame& frame);
   Result<Frame> ReadFrame();
@@ -80,10 +154,21 @@ class SvcClient : public SqlExecutor {
   /// transported Status).
   static Result<SqlResult> AsResult(const Frame& frame);
 
+  ClientOptions opts_;
   int fd_ = -1;
   uint32_t version_ = 0;
   uint32_t next_request_id_ = 1;
   std::string inbuf_;
+
+  Rng rng_;  ///< backoff jitter (seeded from opts_.backoff_seed)
+  std::string idem_token_;
+  uint64_t idem_seq_ = 0;
+  uint64_t generation_ = 0;  ///< bumped per successful (re)connect
+  uint64_t retries_ = 0;
+  uint64_t reconnects_ = 0;
+
+  std::map<uint64_t, PreparedEntry> prepared_;
+  uint64_t next_client_stmt_id_ = 1;
 };
 
 }  // namespace svc

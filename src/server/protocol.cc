@@ -74,6 +74,8 @@ uint8_t WireCodeOf(StatusCode code) {
     case StatusCode::kConstraintViolation: return 9;
     case StatusCode::kOverloaded: return 10;
     case StatusCode::kProtocol: return 11;
+    case StatusCode::kUnavailable: return 12;
+    case StatusCode::kDeadlineExceeded: return 13;
   }
   return 6;  // unreachable; decode as kInternal
 }
@@ -92,11 +94,20 @@ StatusCode StatusCodeFromWire(uint8_t wire) {
     case 9: return StatusCode::kConstraintViolation;
     case 10: return StatusCode::kOverloaded;
     case 11: return StatusCode::kProtocol;
+    case 12: return StatusCode::kUnavailable;
+    case 13: return StatusCode::kDeadlineExceeded;
     default:
       // A newer peer's code this build does not know: keep the message,
       // degrade the class.
       return StatusCode::kInternal;
   }
+}
+
+bool IsRetryableStatus(StatusCode code) {
+  // kUnavailable: the transport died — the request may never have reached
+  // the server, and if it did, idempotency dedup makes the re-send safe.
+  // kOverloaded: admission control shed the request before any execution.
+  return code == StatusCode::kUnavailable || code == StatusCode::kOverloaded;
 }
 
 void EncodeHelloRequest(const HelloRequest& hello, std::string* out) {
@@ -123,6 +134,22 @@ Result<HelloReply> DecodeHelloReply(const std::string& body) {
   SVC_ASSIGN_OR_RETURN(hello.version, r.U32());
   SVC_ASSIGN_OR_RETURN(hello.server_name, r.Str());
   return hello;
+}
+
+void AppendRequestMeta(const RequestMeta& meta, std::string* out) {
+  if (meta.empty()) return;
+  PutU32(out, meta.deadline_ms);
+  PutStr(out, meta.idem_token);
+  PutU64(out, meta.idem_seq);
+}
+
+Result<RequestMeta> DecodeRequestMetaTail(ByteReader* r) {
+  RequestMeta meta;
+  if (r->AtEnd()) return meta;  // v1 body (or empty meta): defaults
+  SVC_ASSIGN_OR_RETURN(meta.deadline_ms, r->U32());
+  SVC_ASSIGN_OR_RETURN(meta.idem_token, r->Str());
+  SVC_ASSIGN_OR_RETURN(meta.idem_seq, r->U64());
+  return meta;
 }
 
 void EncodeErrorBody(const Status& status, std::string* out) {
@@ -154,6 +181,9 @@ FrameTag EncodeSqlResultBody(const SqlResult& result, std::string* out) {
     case SqlResultKind::kEstimate:
       PutU8(out, result.mode_used == EstimatorMode::kAqp ? 0 : 1);
       EncodeTable(result.rows, out);
+      // v2 trailing degraded flag. Encoded unconditionally: v1 decoders
+      // stop after the table and never see it.
+      PutU8(out, result.degraded ? 1 : 0);
       return FrameTag::kEstimate;
   }
   return FrameTag::kOk;  // unreachable
@@ -177,6 +207,10 @@ Result<SqlResult> DecodeSqlResultBody(FrameTag tag, const std::string& body) {
       SVC_ASSIGN_OR_RETURN(uint8_t mode, r.U8());
       result.mode_used = mode == 0 ? EstimatorMode::kAqp : EstimatorMode::kCorr;
       SVC_ASSIGN_OR_RETURN(result.rows, DecodeTable(&r));
+      if (!r.AtEnd()) {  // v2 trailing degraded flag (absent from v1 peers)
+        SVC_ASSIGN_OR_RETURN(uint8_t degraded, r.U8());
+        result.degraded = degraded != 0;
+      }
       return result;
     }
     default:
@@ -193,17 +227,21 @@ void EncodeExecuteBody(uint64_t stmt_id, const std::vector<Value>& params,
   for (const Value& v : params) EncodeValue(v, out);
 }
 
-Result<ExecuteRequest> DecodeExecuteBody(const std::string& body) {
-  ByteReader r(body);
+Result<ExecuteRequest> DecodeExecuteBody(ByteReader* r) {
   ExecuteRequest req;
-  SVC_ASSIGN_OR_RETURN(req.stmt_id, r.U64());
-  SVC_ASSIGN_OR_RETURN(uint32_t n, r.U32());
+  SVC_ASSIGN_OR_RETURN(req.stmt_id, r->U64());
+  SVC_ASSIGN_OR_RETURN(uint32_t n, r->U32());
   req.params.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
-    SVC_ASSIGN_OR_RETURN(Value v, DecodeValue(&r));
+    SVC_ASSIGN_OR_RETURN(Value v, DecodeValue(r));
     req.params.push_back(std::move(v));
   }
   return req;
+}
+
+Result<ExecuteRequest> DecodeExecuteBody(const std::string& body) {
+  ByteReader r(body);
+  return DecodeExecuteBody(&r);
 }
 
 void EncodePreparedBody(uint64_t stmt_id, uint32_t num_params,

@@ -32,10 +32,17 @@ namespace svc {
 /// min(client, server) or an Error frame if there is no overlap. Frames
 /// with unknown tags inside a negotiated session produce an Error response
 /// (not a disconnect), so minor additions stay backward compatible.
+///
+/// Version 2 (docs/PROTOCOL.md "Protocol v2") appends *trailing* fields to
+/// existing bodies — request metadata (deadline_ms + idempotency token) on
+/// Query/Execute, a degraded flag on Estimate — so a v1 decoder, which
+/// stops reading where v1 ended, still decodes every v2 frame, and a v2
+/// decoder treats absent trailing bytes as the v1 defaults. Nothing about
+/// the framing or the existing fields changed.
 
 /// Protocol versions this build can speak.
 inline constexpr uint32_t kProtocolVersionMin = 1;
-inline constexpr uint32_t kProtocolVersionMax = 1;
+inline constexpr uint32_t kProtocolVersionMax = 2;
 
 /// Frames larger than this are rejected (and the connection dropped, since
 /// framing can no longer be trusted).
@@ -47,11 +54,13 @@ inline constexpr size_t kFrameHeaderBytes = 8;
 inline constexpr size_t kPayloadHeaderBytes = 5;
 
 enum class FrameTag : uint8_t {
-  // Client -> server.
+  // Client -> server. v2 appends [u32 deadline_ms, str idem_token,
+  // u64 idem_seq] to Query and Execute bodies (absent = no deadline, no
+  // idempotency).
   kHello = 0x01,    ///< u32 max_version, str client_name
-  kQuery = 0x02,    ///< str sql (one statement)
+  kQuery = 0x02,    ///< str sql (one statement) [, v2 request meta]
   kPrepare = 0x03,  ///< str sql (one statement, `?` placeholders allowed)
-  kExecute = 0x05,  ///< u64 stmt_id, u32 n, n x Value
+  kExecute = 0x05,  ///< u64 stmt_id, u32 n, n x Value [, v2 request meta]
   kClose = 0x06,    ///< u64 stmt_id (0 = close the connection)
   kStatsReq = 0x0B, ///< empty body; server counters
   // Server -> client.
@@ -59,7 +68,7 @@ enum class FrameTag : uint8_t {
   kPrepared = 0x84,   ///< u64 stmt_id, u32 num_params
   kOk = 0x87,         ///< str message (DDL / DML summary)
   kResultSet = 0x88,  ///< str message, Table
-  kEstimate = 0x89,   ///< str message, u8 mode, Table
+  kEstimate = 0x89,   ///< str message, u8 mode, Table [, v2 u8 degraded]
   kError = 0x8A,      ///< u8 wire code, str message
   kStats = 0x8B,      ///< u32 n, n x (str name, u64 value)
 };
@@ -91,6 +100,14 @@ Result<std::optional<Frame>> TryDecodeFrame(std::string* buf,
 uint8_t WireCodeOf(StatusCode code);
 StatusCode StatusCodeFromWire(uint8_t wire);
 
+/// True for error classes a client may retry without changing the request:
+/// the failure says nothing about the statement itself (transport died, or
+/// admission control shed load), so re-sending an *idempotent* request is
+/// safe. Everything else — SQL errors, protocol violations,
+/// kDeadlineExceeded (the time budget is spent) — must not be retried.
+/// This is the normative table in docs/PROTOCOL.md ("Retryability").
+bool IsRetryableStatus(StatusCode code);
+
 // ---- Body codecs -----------------------------------------------------------
 
 struct HelloRequest {
@@ -108,6 +125,33 @@ Result<HelloRequest> DecodeHelloRequest(const std::string& body);
 
 void EncodeHelloReply(const HelloReply& hello, std::string* out);
 Result<HelloReply> DecodeHelloReply(const std::string& body);
+
+/// v2 request metadata, carried as trailing fields on Query and Execute
+/// bodies. All-defaults means "absent" and encodes to nothing at all, so a
+/// v2 client talking to a v1 server (negotiated version 1) simply never
+/// appends it.
+struct RequestMeta {
+  /// Server-side deadline: the request fails with kDeadlineExceeded once
+  /// this many milliseconds elapse after admission (0 = no deadline).
+  uint32_t deadline_ms = 0;
+  /// Per-session idempotency token ("" = none). Together with `idem_seq`
+  /// it names one logical request: a retry re-sends the same (token, seq),
+  /// and the server replays the recorded response instead of re-executing
+  /// — a retried write commits exactly once.
+  std::string idem_token;
+  uint64_t idem_seq = 0;
+
+  bool empty() const {
+    return deadline_ms == 0 && idem_token.empty() && idem_seq == 0;
+  }
+};
+
+/// Appends the v2 trailing request meta (no-op when meta.empty()).
+void AppendRequestMeta(const RequestMeta& meta, std::string* out);
+/// Reads trailing request meta from wherever `r` stands; absent trailing
+/// bytes (a v1 peer) decode as the all-defaults meta. Fails only on a
+/// torn trailer.
+Result<RequestMeta> DecodeRequestMetaTail(ByteReader* r);
 
 /// kError body: the transported Status (code + message).
 void EncodeErrorBody(const Status& status, std::string* out);
@@ -129,6 +173,9 @@ struct ExecuteRequest {
   std::vector<Value> params;
 };
 Result<ExecuteRequest> DecodeExecuteBody(const std::string& body);
+/// Reader form: leaves `r` standing after the v1 fields, so a caller can
+/// then pick up the v2 trailing RequestMeta with DecodeRequestMetaTail.
+Result<ExecuteRequest> DecodeExecuteBody(ByteReader* r);
 
 /// kPrepared body: statement id + placeholder count.
 void EncodePreparedBody(uint64_t stmt_id, uint32_t num_params,

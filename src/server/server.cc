@@ -9,11 +9,15 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
+#include "common/cancel.h"
 #include "sql/params.h"
 #include "sql/parser.h"
+#include "storage/fault.h"
 #include "storage/serde.h"
 
 namespace svc {
@@ -60,6 +64,21 @@ bool SendAll(int fd, const char* data, size_t len,
     return false;
   }
   return true;
+}
+
+/// A degraded admission may only run statements that *have* a cheaper
+/// correct mode: WITH SVC selects, which degrade to a reduced sampling
+/// ratio (same estimator, wider CI). Everything else is shed exactly as if
+/// admission had rejected it — a degraded answer must never be a
+/// wrong-mode answer.
+Status CheckDegradable(bool degraded, const Statement& stmt) {
+  if (!degraded ||
+      (stmt.kind == Statement::Kind::kSelect && stmt.svc.present)) {
+    return Status::OK();
+  }
+  return Status::Overloaded(
+      "server is shedding load: only WITH SVC queries are admitted in "
+      "degraded mode; retry later");
 }
 
 }  // namespace
@@ -113,6 +132,18 @@ Status SvcServer::Start() {
   if (pipe(wake_pipe_) < 0) return Errno("pipe");
   SVC_RETURN_IF_ERROR(SetNonBlocking(wake_pipe_[0]));
   SVC_RETURN_IF_ERROR(SetNonBlocking(wake_pipe_[1]));
+
+  // Seed the idempotency journal with what the durable engine recovered: a
+  // client retrying a write across a server crash must be told "already
+  // applied", not commit it twice. Recovered entries carry no cached
+  // response frame (it died with the old process).
+  if (durable_ != nullptr) {
+    std::lock_guard<std::mutex> lock(idem_mu_);
+    for (const auto& [token, seq] : durable_->IdemMarks()) {
+      IdemEntry& e = idem_journal_[token];
+      e.seq = std::max(e.seq, seq);
+    }
+  }
 
   started_ = true;
   stopping_.store(false);
@@ -173,6 +204,10 @@ std::map<std::string, uint64_t> SvcServer::StatsMap() const {
       {"prepared_executes", s.prepared_executes},
       {"overload_rejections", s.overload_rejections},
       {"protocol_errors", s.protocol_errors},
+      {"degraded_admissions", s.degraded_admissions},
+      {"idem_replays", s.idem_replays},
+      {"deadline_exceeded", s.deadline_exceeded},
+      {"net_faults_injected", s.net_faults_injected},
   };
 }
 
@@ -202,6 +237,55 @@ void SvcServer::WriteFrame(Conn* conn, const Frame& frame) {
                        "-byte frame limit; narrow the query")),
         &wire);
   }
+  // Deterministic network damage (SVC_NET_FAULT, storage/fault.h): each
+  // site mangles exactly one response the way a real network or peer
+  // failure would — the server itself keeps serving, and a retrying client
+  // must converge to the same transcript as a fault-free run.
+  FaultInjector& net = FaultInjector::Net();
+  if (net.armed()) {
+    const auto hit = [&](const char* site) {
+      if (!net.ShouldTrigger(site)) return false;
+      // One line per injected fault so harnesses (scripts/check.sh
+      // --chaos) can assert the damage actually happened.
+      std::fprintf(stderr, "[net-fault] injected %s (request %u)\n", site,
+                   frame.request_id);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.net_faults_injected;
+      return true;
+    };
+    const auto abandon = [&](size_t prefix_bytes) {
+      if (prefix_bytes > 0) {
+        std::lock_guard<std::mutex> lock(conn->write_mu);
+        SendAll(conn->fd, wire.data(), std::min(prefix_bytes, wire.size()),
+                stopping_, opts_.send_timeout_ms);
+      }
+      shutdown(conn->fd, SHUT_RDWR);
+      std::lock_guard<std::mutex> lock(mu_);
+      conn->closing = true;
+    };
+    if (hit("conn.stall")) {
+      // Swallow the response but keep the connection open: the client sees
+      // dead air and must bound its recv instead of hanging forever.
+      return;
+    }
+    if (hit("conn.drop_response")) {
+      // Close without answering: the client sees EOF mid-request.
+      abandon(0);
+      return;
+    }
+    if (hit("conn.close_mid_frame")) {
+      // Half the frame, then close: the client's framer holds a torn
+      // prefix it must discard when it reconnects.
+      abandon(wire.size() / 2);
+      return;
+    }
+    if (hit("send.short_write")) {
+      // Tear inside the 8-byte frame header — the worst possible spot.
+      abandon(3);
+      return;
+    }
+  }
+
   bool sent;
   {
     std::lock_guard<std::mutex> lock(conn->write_mu);
@@ -317,15 +401,26 @@ void SvcServer::DrainReadable(const ConnPtr& conn) {
     if (!decoded->has_value()) break;
     Frame frame = std::move(**decoded);
     bool overloaded = false;
+    // Past max_inflight, --degrade admits a further window of requests in
+    // degraded mode (WITH SVC queries only, at a reduced sampling ratio)
+    // instead of shedding them outright.
+    const uint32_t hard_cap =
+        !opts_.degrade ? opts_.max_inflight
+        : opts_.degrade_max_inflight != 0 ? opts_.degrade_max_inflight
+                                          : 4 * opts_.max_inflight;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (inflight_ >= opts_.max_inflight) {
+      const bool degraded =
+          inflight_ >= opts_.max_inflight && inflight_ < hard_cap;
+      if (inflight_ >= hard_cap) {
         ++stats_.overload_rejections;
         overloaded = true;
       } else {
+        if (degraded) ++stats_.degraded_admissions;
         ++inflight_;
         ++stats_.requests;
-        conn->pending.push_back(std::move(frame));
+        conn->pending.push_back(PendingReq{std::move(frame), degraded,
+                                           std::chrono::steady_clock::now()});
         if (!conn->busy) {
           conn->busy = true;
           ready_.push_back(conn);
@@ -338,7 +433,7 @@ void SvcServer::DrainReadable(const ConnPtr& conn) {
                  ErrorFrame(frame.request_id,
                             Status::Overloaded(
                                 "server at max in-flight requests (" +
-                                std::to_string(opts_.max_inflight) +
+                                std::to_string(hard_cap) +
                                 "); retry later")));
     }
   }
@@ -351,7 +446,7 @@ void SvcServer::DrainReadable(const ConnPtr& conn) {
 void SvcServer::WorkerLoop() {
   while (true) {
     ConnPtr conn;
-    Frame request;
+    PendingReq request;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock,
@@ -369,6 +464,11 @@ void SvcServer::WorkerLoop() {
       conn->pending.pop_front();
     }
     Frame response = HandleRequest(conn.get(), request);
+    // Crash-fault site: the request's effects (WAL append included) are
+    // fully committed, but the response never leaves the process — the
+    // classic "did my write land?" window a retrying client must resolve
+    // via its idempotency token after the server restarts.
+    FaultInjector::Global().MaybeCrash("server.pre_response");
     // Release the in-flight slot BEFORE the response hits the wire: a
     // client that pipelines its next request the instant it reads this
     // reply must find the slot free, not race the decrement and get a
@@ -396,7 +496,8 @@ void SvcServer::WorkerLoop() {
   }
 }
 
-Frame SvcServer::HandleRequest(Conn* conn, const Frame& request) {
+Frame SvcServer::HandleRequest(Conn* conn, const PendingReq& pending) {
+  const Frame& request = pending.frame;
   const uint32_t id = request.request_id;
   auto fail = [&](const Status& status) { return ErrorFrame(id, status); };
   auto count = [&](uint64_t ServerStats::* field) {
@@ -435,19 +536,19 @@ Frame SvcServer::HandleRequest(Conn* conn, const Frame& request) {
       ByteReader r(request.body);
       auto sql = r.Str();
       if (!sql.ok()) return fail(sql.status());
-      count(&ServerStats::statements_parsed);
-      auto stmt = ParseStatement(*sql);
-      if (!stmt.ok()) return fail(stmt.status());
-      if (stmt->num_params > 0) {
-        return fail(Status::InvalidArgument(
-            "query has ? placeholders; use Prepare/Execute"));
-      }
-      auto result = conn->session->Execute(*stmt);
-      if (!result.ok()) return fail(result.status());
-      Frame reply;
-      reply.request_id = id;
-      reply.tag = EncodeSqlResultBody(*result, &reply.body);
-      return reply;
+      auto meta = DecodeRequestMetaTail(&r);
+      if (!meta.ok()) return fail(meta.status());
+      return ExecuteWithMeta(conn, pending, *meta, [&]() -> Result<SqlResult> {
+        count(&ServerStats::statements_parsed);
+        auto stmt = ParseStatement(*sql);
+        if (!stmt.ok()) return stmt.status();
+        if (stmt->num_params > 0) {
+          return Status::InvalidArgument(
+              "query has ? placeholders; use Prepare/Execute");
+        }
+        SVC_RETURN_IF_ERROR(CheckDegradable(pending.degraded, *stmt));
+        return conn->session->Execute(*stmt);
+      });
     }
     case FrameTag::kPrepare: {
       ByteReader r(request.body);
@@ -466,22 +567,23 @@ Frame SvcServer::HandleRequest(Conn* conn, const Frame& request) {
       return reply;
     }
     case FrameTag::kExecute: {
-      auto req = DecodeExecuteBody(request.body);
+      ByteReader r(request.body);
+      auto req = DecodeExecuteBody(&r);
       if (!req.ok()) return fail(req.status());
-      auto it = conn->prepared.find(req->stmt_id);
-      if (it == conn->prepared.end()) {
-        return fail(Status::NotFound("no prepared statement #" +
-                                     std::to_string(req->stmt_id)));
-      }
-      auto bound = BindStatementParams(it->second, req->params);
-      if (!bound.ok()) return fail(bound.status());
-      count(&ServerStats::prepared_executes);
-      auto result = conn->session->Execute(*bound);
-      if (!result.ok()) return fail(result.status());
-      Frame reply;
-      reply.request_id = id;
-      reply.tag = EncodeSqlResultBody(*result, &reply.body);
-      return reply;
+      auto meta = DecodeRequestMetaTail(&r);
+      if (!meta.ok()) return fail(meta.status());
+      return ExecuteWithMeta(conn, pending, *meta, [&]() -> Result<SqlResult> {
+        auto it = conn->prepared.find(req->stmt_id);
+        if (it == conn->prepared.end()) {
+          return Status::NotFound("no prepared statement #" +
+                                  std::to_string(req->stmt_id));
+        }
+        auto bound = BindStatementParams(it->second, req->params);
+        if (!bound.ok()) return bound.status();
+        SVC_RETURN_IF_ERROR(CheckDegradable(pending.degraded, *bound));
+        count(&ServerStats::prepared_executes);
+        return conn->session->Execute(*bound);
+      });
     }
     case FrameTag::kClose: {
       ByteReader r(request.body);
@@ -516,6 +618,110 @@ Frame SvcServer::HandleRequest(Conn* conn, const Frame& request) {
           "unknown frame tag " +
           std::to_string(static_cast<int>(request.tag))));
   }
+}
+
+Frame SvcServer::ExecuteWithMeta(Conn* conn, const PendingReq& request,
+                                 const RequestMeta& meta,
+                                 const std::function<Result<SqlResult>()>& run) {
+  const uint32_t id = request.frame.request_id;
+  auto count = [&](uint64_t ServerStats::* field) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++(stats_.*field);
+  };
+
+  // Fault site: stretch this request's execution so a deterministic test
+  // can make a small deadline expire without real load.
+  FaultInjector& net = FaultInjector::Net();
+  if (net.armed() && net.ShouldTrigger("exec.delay")) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  // Idempotency dedup: a retried (token, seq) replays the recorded
+  // response byte-for-byte instead of re-executing — the write behind it
+  // committed exactly once, and even a retried *read* answers identically
+  // (no second execution, no counter bumps), so a client transcript is
+  // bit-identical whether or not the network misbehaved.
+  if (!meta.idem_token.empty()) {
+    std::lock_guard<std::mutex> lock(idem_mu_);
+    auto it = idem_journal_.find(meta.idem_token);
+    if (it != idem_journal_.end() && meta.idem_seq <= it->second.seq) {
+      count(&ServerStats::idem_replays);
+      if (it->second.has_frame && meta.idem_seq == it->second.seq) {
+        Frame replay;
+        replay.tag = it->second.tag;
+        replay.request_id = id;
+        replay.body = it->second.body;
+        return replay;
+      }
+      // The mark survived (WAL / idem sidecar) but its response frame died
+      // with the previous process: the effect is durably applied, so
+      // acknowledge without re-executing.
+      Frame reply;
+      reply.tag = FrameTag::kOk;
+      reply.request_id = id;
+      PutStr(&reply.body, "already applied (idempotent replay)");
+      return reply;
+    }
+  }
+
+  // Deadline: queue wait counts against it (the client's clock started at
+  // send). Expired before execution → fail immediately; otherwise thread
+  // the remaining budget through the session as a cancellation token the
+  // executor polls between chunks.
+  CancelToken token;
+  if (meta.deadline_ms != 0) {
+    const auto waited = std::chrono::steady_clock::now() - request.admitted;
+    const uint64_t waited_ms = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(waited).count());
+    if (waited_ms >= meta.deadline_ms) {
+      count(&ServerStats::deadline_exceeded);
+      return ErrorFrame(
+          id, Status::DeadlineExceeded(
+                  "deadline of " + std::to_string(meta.deadline_ms) +
+                  " ms expired after " + std::to_string(waited_ms) +
+                  " ms in the admission queue"));
+    }
+    token = CancelToken::After(meta.deadline_ms - waited_ms);
+    conn->session->set_cancel_token(&token);
+  }
+  if (request.degraded) {
+    conn->session->set_degrade_ratio_scale(opts_.degrade_ratio_scale);
+  }
+  if (!meta.idem_token.empty()) {
+    conn->session->set_idempotency(meta.idem_token, meta.idem_seq);
+  }
+
+  Result<SqlResult> result = run();
+
+  conn->session->set_cancel_token(nullptr);
+  conn->session->set_degrade_ratio_scale(1.0);
+  conn->session->set_idempotency("", 0);
+
+  Frame reply;
+  reply.request_id = id;
+  if (result.ok()) {
+    reply.tag = EncodeSqlResultBody(*result, &reply.body);
+  } else {
+    if (result.status().code() == StatusCode::kDeadlineExceeded) {
+      count(&ServerStats::deadline_exceeded);
+    }
+    reply = ErrorFrame(id, result.status());
+  }
+
+  // Journal the response under the client's token — unless it failed with
+  // a *retryable* error (e.g. Overloaded from degraded-mode shedding): the
+  // client will re-send the same (token, seq) and genuinely wants a fresh
+  // execution then, not a replay of the rejection.
+  if (!meta.idem_token.empty() &&
+      (result.ok() || !IsRetryableStatus(result.status().code()))) {
+    std::lock_guard<std::mutex> lock(idem_mu_);
+    IdemEntry& e = idem_journal_[meta.idem_token];
+    e.seq = meta.idem_seq;
+    e.has_frame = true;
+    e.tag = reply.tag;
+    e.body = reply.body;
+  }
+  return reply;
 }
 
 }  // namespace svc

@@ -2,9 +2,11 @@
 #define SVC_SERVER_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -39,6 +41,18 @@ struct ServerOptions {
   int send_timeout_ms = 5000;
   /// Reported in the Hello reply.
   std::string server_name = "svc_served";
+  /// Graceful degradation: instead of rejecting every request past
+  /// max_inflight, admit up to `degrade_max_inflight` extra requests in
+  /// *degraded* mode — WITH SVC queries run at
+  /// `ratio * degrade_ratio_scale` (same estimator, wider CI) and their
+  /// results carry the wire-visible degraded flag; any other statement in
+  /// degraded admission is still answered Overloaded (only sampling-based
+  /// reads have a cheaper correct mode to degrade to).
+  bool degrade = false;
+  /// Absolute in-flight ceiling in degrade mode (0 = 4 * max_inflight).
+  uint32_t degrade_max_inflight = 0;
+  /// Sampling-ratio multiplier for degraded WITH SVC queries, in (0, 1).
+  double degrade_ratio_scale = 0.5;
 };
 
 /// Monotonic server-wide counters (also served over the wire as the Stats
@@ -51,6 +65,10 @@ struct ServerStats {
   uint64_t prepared_executes = 0;  ///< Execute frames served from the AST cache
   uint64_t overload_rejections = 0;
   uint64_t protocol_errors = 0;
+  uint64_t degraded_admissions = 0;  ///< requests admitted past max_inflight
+  uint64_t idem_replays = 0;     ///< retried requests answered from the journal
+  uint64_t deadline_exceeded = 0;  ///< requests failed by their deadline
+  uint64_t net_faults_injected = 0;  ///< SVC_NET_FAULT damage events inflicted
 };
 
 /// The svc network server: accepts TCP connections speaking the framed
@@ -104,11 +122,20 @@ class SvcServer {
   std::map<std::string, uint64_t> StatsMap() const;
 
  private:
+  /// One admitted request: the frame plus its admission context (degraded
+  /// requests run WITH SVC at a reduced ratio; the admission timestamp
+  /// anchors the request's deadline, so queue time counts against it).
+  struct PendingReq {
+    Frame frame;
+    bool degraded = false;
+    std::chrono::steady_clock::time_point admitted;
+  };
+
   struct Conn {
     int fd = -1;
     std::string inbuf;  // IO thread only
     // Requests decoded but not yet executing; guarded by SvcServer::mu_.
-    std::deque<Frame> pending;
+    std::deque<PendingReq> pending;
     bool busy = false;      // a worker is executing; guarded by mu_
     bool closing = false;   // no more reads; reap when drained (mu_)
     bool hello_done = false;           // executing thread only
@@ -130,10 +157,17 @@ class SvcServer {
   /// protocol errors inline. Called by the IO thread.
   void DrainReadable(const ConnPtr& conn);
 
-  /// Executes one admitted request and writes its response.
-
   /// The response to `request` (everything except transport errors).
-  Frame HandleRequest(Conn* conn, const Frame& request);
+  Frame HandleRequest(Conn* conn, const PendingReq& request);
+
+  /// Executes a Query/Execute statement under the request's v2 metadata:
+  /// deadline enforcement (cooperative cancellation), idempotency dedup
+  /// (replay the journaled response for a retried (token, seq)), and
+  /// degraded-admission ratio scaling. `run` parses/binds and validates;
+  /// it is only invoked when the request must actually execute.
+  Frame ExecuteWithMeta(Conn* conn, const PendingReq& request,
+                        const RequestMeta& meta,
+                        const std::function<Result<SqlResult>()>& run);
 
   Frame ErrorFrame(uint32_t request_id, const Status& status) const;
   void WriteFrame(Conn* conn, const Frame& frame);
@@ -156,6 +190,22 @@ class SvcServer {
   std::deque<ConnPtr> ready_;          // conns whose next request may run
   uint32_t inflight_ = 0;              // admitted, not yet answered
   ServerStats stats_;
+
+  /// Idempotency dedup journal, keyed by client token. One entry per token
+  /// (clients are synchronous: only their *latest* request is ever
+  /// retried). A live entry caches the full response frame so a retry
+  /// replays it byte-identically; an entry recovered from the durable
+  /// engine's marks has no frame — a retry of it gets a synthesized "write
+  /// already applied" Ok (the write committed; the response died with the
+  /// old process).
+  struct IdemEntry {
+    uint64_t seq = 0;
+    bool has_frame = false;
+    FrameTag tag = FrameTag::kOk;
+    std::string body;
+  };
+  mutable std::mutex idem_mu_;
+  std::map<std::string, IdemEntry> idem_journal_;
 
   std::thread io_thread_;
   std::vector<std::thread> worker_threads_;

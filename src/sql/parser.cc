@@ -330,9 +330,18 @@ class Parser {
   /// `SET MAINTENANCE POLICY (mode=off|auto, budget=..., sla_ms=...,
   /// tick_ms=..., ratio=...)` — keys in any order, each at most meaningful
   /// once; unspecified keys take the MaintenancePolicyConfig defaults.
+  /// The ON-form, `SET MAINTENANCE POLICY ON <view> (budget=..., sla_ms=...,
+  /// ratio=...)`, instead records a per-view override of exactly the keys
+  /// given; mode and tick_ms stay global (one scheduler, one cadence), and
+  /// `ON <view> ()` clears the view's override.
   Status ParseSetPolicy(Statement* stmt) {
     stmt->kind = Statement::Kind::kSetPolicy;
     stmt->policy = MaintenancePolicyConfig{};
+    if (Accept("ON")) {
+      stmt->policy_on_view = true;
+      SVC_ASSIGN_OR_RETURN(stmt->target, ExpectIdent("a view name after ON"));
+      return ParseViewPolicyOverride(stmt);
+    }
     SVC_RETURN_IF_ERROR(ExpectSymbol("("));
     if (AcceptSymbol(")")) return Status::OK();
     do {
@@ -386,6 +395,48 @@ class Parser {
         return Err("unknown maintenance policy option '" + key +
                    "'; supported options are mode, budget, sla_ms, tick_ms, "
                    "ratio");
+      }
+    } while (AcceptSymbol(","));
+    return ExpectSymbol(")");
+  }
+
+  /// The parenthesized key list of the ON-form: budget/sla_ms/ratio only,
+  /// same value bounds as the global form.
+  Status ParseViewPolicyOverride(Statement* stmt) {
+    SVC_RETURN_IF_ERROR(ExpectSymbol("("));
+    if (AcceptSymbol(")")) return Status::OK();  // clears the override
+    do {
+      SVC_ASSIGN_OR_RETURN(std::string key,
+                           ExpectIdent("a maintenance policy option name"));
+      key = Lower(key);
+      SVC_RETURN_IF_ERROR(ExpectSymbol("="));
+      if (key == "budget") {
+        SVC_ASSIGN_OR_RETURN(double v, ParseNumberArg("budget"));
+        if (!(v > 0.0)) {
+          return Err("maintenance budget must be > 0; got " +
+                     std::to_string(v));
+        }
+        stmt->policy_override.budget = v;
+      } else if (key == "sla_ms") {
+        SVC_ASSIGN_OR_RETURN(double v, ParseNumberArg("sla_ms"));
+        if (!(v >= 0.0)) {
+          return Err("maintenance sla_ms must be >= 0; got " +
+                     std::to_string(v));
+        }
+        stmt->policy_override.sla_ms = static_cast<uint64_t>(v);
+      } else if (key == "ratio") {
+        SVC_ASSIGN_OR_RETURN(double v, ParseNumberArg("ratio"));
+        if (!(v > 0.0 && v <= 1.0)) {
+          return Err("maintenance ratio must be in (0, 1]; got " +
+                     std::to_string(v));
+        }
+        stmt->policy_override.ratio = v;
+      } else if (key == "mode" || key == "tick_ms") {
+        return Err("maintenance policy option '" + key +
+                   "' is global and cannot be set per view");
+      } else {
+        return Err("unknown per-view maintenance policy option '" + key +
+                   "'; supported options are budget, sla_ms, ratio");
       }
     } while (AcceptSymbol(","));
     return ExpectSymbol(")");

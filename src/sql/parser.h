@@ -115,6 +115,14 @@ struct Statement {
   /// (the statement is a complete, self-describing engine state — which is
   /// what lets it replay verbatim from the WAL).
   MaintenancePolicyConfig policy;
+  /// kSetPolicy, ON-form: `SET MAINTENANCE POLICY ON <view> (...)` sets
+  /// `policy_on_view` and fills `policy_override` with exactly the keys
+  /// given (the view's name goes in `target`). Empty parens clear the
+  /// view's override. Unlike the global form, this *merges* with the
+  /// engine's current config: the session folds the override in and logs
+  /// the full resulting config, keeping WAL replay self-describing.
+  bool policy_on_view = false;
+  ViewPolicyOverride policy_override;
 
   /// One `?` placeholder inside an INSERT VALUES row: `values[row][col]`
   /// holds NULL until EXECUTE substitutes parameter `param`.

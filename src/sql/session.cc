@@ -135,6 +135,12 @@ Result<SqlResult> SqlSession::Execute(const Statement& stmt) {
         " unbound parameter(s); bind values first (prepared-statement "
         "EXECUTE, or BindStatementParams)");
   }
+  // Deadline gate: a statement whose deadline already passed never starts.
+  // This is the *only* cancellation point for writes — once a write is
+  // admitted it runs to completion, so a deadline can never tear a commit.
+  if (cancel_ != nullptr) {
+    SVC_RETURN_IF_ERROR(cancel_->Check("statement admission"));
+  }
   if (handle_.is_sharded()) return ExecuteSharded(stmt);
   // Reads run against one consistent version: the owned engine in private
   // mode, the current published snapshot in shared mode (held alive for
@@ -199,7 +205,8 @@ Result<SqlResult> SqlSession::ExecWrite(
           if (!r.ok()) return r.status();
           out = std::move(r).value();
           return Status::OK();
-        }));
+        },
+        idem_));
     return std::move(*out);
   }
   if (!handle_.is_shared()) return fn(handle_.private_engine(), nullptr);
@@ -219,8 +226,9 @@ Result<SqlResult> SqlSession::ExecWrite(
 Result<SqlResult> SqlSession::ExecSelect(const Statement& stmt,
                                          const SvcEngine& eng) {
   SVC_ASSIGN_OR_RETURN(PlanPtr plan, PlanSelect(*stmt.select, eng.db()));
-  SVC_ASSIGN_OR_RETURN(Table out,
-                       ExecutePlan(*plan, eng.db(), eng.exec_options()));
+  ExecOptions exec = eng.exec_options();
+  exec.cancel = cancel_;
+  SVC_ASSIGN_OR_RETURN(Table out, ExecutePlan(*plan, eng.db(), exec));
   SqlResult result;
   result.kind = SqlResultKind::kRows;
   result.message = std::to_string(out.NumRows()) + " row(s)";
@@ -336,10 +344,17 @@ Result<SqlResult> SqlSession::ExecSvcSelectImpl(
     opts.auto_mode = false;
   }
   if (stmt.svc.confidence) opts.estimator.confidence = *stmt.svc.confidence;
+  opts.exec.cancel = cancel_;
+  // Degraded admission (server --degrade past the inflight cap): same
+  // estimator, smaller sample. The answer stays correct-with-CI — the CI
+  // is just wider — and the result is flagged so clients can tell.
+  const bool degraded = degrade_scale_ < 1.0;
+  if (degraded) opts.ratio *= degrade_scale_;
 
   const std::string value_alias = AggAlias(*agg_item);
   SqlResult result;
   result.kind = SqlResultKind::kEstimate;
+  result.degraded = degraded;
 
   if (sel.group_by.empty()) {
     SVC_ASSIGN_OR_RETURN(SvcAnswer answer, run_query(view_name, q, opts));
@@ -559,16 +574,44 @@ Result<SqlResult> SqlSession::ExecRefresh(const Statement& stmt,
   return result;
 }
 
+/// The config a SET MAINTENANCE POLICY statement publishes, given the
+/// engine's current one. Global form: the statement's config (a complete
+/// state), carrying over the existing per-view overrides — they are
+/// orthogonal knobs set by separate statements. ON-form: the current
+/// config with `target`'s override replaced by exactly the statement's
+/// keys (empty parens clear it). Either way the result is the FULL config,
+/// so the WAL record stays self-describing and replays verbatim.
+static Result<MaintenancePolicyConfig> ResolvePolicyStatement(
+    const Statement& stmt, const SvcEngine& eng) {
+  MaintenancePolicyConfig cfg;
+  if (!stmt.policy_on_view) {
+    cfg = stmt.policy;
+    cfg.overrides = eng.maintenance_policy().overrides;
+    return cfg;
+  }
+  if (!eng.HasView(stmt.target)) {
+    return Status::NotFound("SET MAINTENANCE POLICY ON " + stmt.target +
+                            ": no such materialized view");
+  }
+  cfg = eng.maintenance_policy();
+  if (stmt.policy_override.empty()) {
+    cfg.overrides.erase(stmt.target);
+  } else {
+    cfg.overrides[stmt.target] = stmt.policy_override;
+  }
+  return cfg;
+}
+
 Result<SqlResult> SqlSession::ExecSetPolicy(const Statement& stmt,
                                             SvcEngine* eng, std::string* wal) {
+  SVC_ASSIGN_OR_RETURN(MaintenancePolicyConfig cfg,
+                       ResolvePolicyStatement(stmt, *eng));
   if (wal != nullptr) {
-    SVC_RETURN_IF_ERROR(
-        EncodeDurableOp(DurableOp::SetPolicyOp(stmt.policy), wal));
+    SVC_RETURN_IF_ERROR(EncodeDurableOp(DurableOp::SetPolicyOp(cfg), wal));
   }
-  eng->set_maintenance_policy(stmt.policy);
+  eng->set_maintenance_policy(cfg);
   SqlResult result;
-  result.message =
-      "maintenance policy set: " + DescribeMaintenancePolicy(stmt.policy);
+  result.message = "maintenance policy set: " + DescribeMaintenancePolicy(cfg);
   return result;
 }
 
@@ -1070,10 +1113,16 @@ Result<SqlResult> SqlSession::ExecSetPolicySharded(const Statement& stmt) {
   ShardedEngine& eng = *handle_.sharded();
   std::optional<SqlResult> out;
   SVC_RETURN_IF_ERROR(eng.WithStatementLock([&]() -> Status {
-    SVC_RETURN_IF_ERROR(eng.SetMaintenancePolicy(stmt.policy));
+    // Catalogs (and the policy) are identical on every shard; resolve the
+    // ON-form merge against shard 0 under the statement lock.
+    ShardedSnapshotPtr snap = eng.Snapshot();
+    SVC_ASSIGN_OR_RETURN(
+        MaintenancePolicyConfig cfg,
+        ResolvePolicyStatement(stmt, snap->shards[0]->engine));
+    SVC_RETURN_IF_ERROR(eng.SetMaintenancePolicy(cfg));
     SqlResult result;
     result.message =
-        "maintenance policy set: " + DescribeMaintenancePolicy(stmt.policy);
+        "maintenance policy set: " + DescribeMaintenancePolicy(cfg);
     out = std::move(result);
     return Status::OK();
   }));

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "core/sharded_engine.h"
 #include "core/shared_engine.h"
@@ -32,6 +33,11 @@ struct SqlResult {
   std::string message;  ///< one-line human-readable summary (always set)
   /// For kEstimate: which estimator answered (matters with mode=auto).
   EstimatorMode mode_used = EstimatorMode::kCorr;
+  /// For kEstimate: the answer was produced under degraded admission (a
+  /// reduced sampling ratio — same estimator mode, wider CI). Set by the
+  /// server's --degrade path and carried over the wire (protocol v2), so
+  /// clients can tell a shed-load answer from a normal one.
+  bool degraded = false;
 };
 
 /// Anything that can execute SQL text and return a SqlResult: an in-process
@@ -229,6 +235,28 @@ class SqlSession : public SqlExecutor {
   SvcQueryOptions& default_svc_options() { return svc_defaults_; }
   const SvcQueryOptions& default_svc_options() const { return svc_defaults_; }
 
+  // ---- Per-request controls (set by the serving layer around Execute) ----
+
+  /// Cooperative cancellation for the next Execute calls. Borrowed: `cancel`
+  /// must outlive every Execute issued while set; null disables. Reads poll
+  /// it per executor chunk; writes check it only *before* mutating, so a
+  /// deadline never tears a commit — an admitted write either runs to
+  /// completion or never starts.
+  void set_cancel_token(const CancelToken* cancel) { cancel_ = cancel; }
+
+  /// Degraded-admission mode: scales the sampling ratio of WITH SVC
+  /// queries by `scale` in (0, 1] and flags their results `degraded`.
+  /// 1.0 (the default) means normal admission — no scaling, no flag.
+  void set_degrade_ratio_scale(double scale) { degrade_scale_ = scale; }
+
+  /// Idempotency mark for the next write statement: durable sessions append
+  /// (token, seq) to the statement's WAL record, so recovery can rebuild
+  /// the server's dedup journal and a retried-then-crashed write still
+  /// commits exactly once. Cleared with token = "".
+  void set_idempotency(std::string token, uint64_t seq) {
+    idem_ = DurableEngine::IdemMark{std::move(token), seq};
+  }
+
   /// Parses and executes one statement.
   Result<SqlResult> Execute(const std::string& sql) override;
 
@@ -364,6 +392,9 @@ class SqlSession : public SqlExecutor {
   EngineHandle handle_;
   SvcQueryOptions svc_defaults_;
   std::map<std::string, PendingKeys> pending_keys_;
+  const CancelToken* cancel_ = nullptr;
+  double degrade_scale_ = 1.0;
+  DurableEngine::IdemMark idem_;
 };
 
 }  // namespace svc

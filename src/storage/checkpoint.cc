@@ -24,10 +24,13 @@ constexpr char kMagic[4] = {'S', 'V', 'C', 'K'};
 // v2 appended the pending DeltaSet's mutation counter (SHOW STATS's
 // delta_version) to the delta section; v3 appends the maintenance-policy
 // section (SET MAINTENANCE POLICY is engine state and must survive a
-// checkpointed recovery). Older versions are rejected with a clean
-// NotSupported instead of misreading the stream.
-constexpr uint32_t kVersion = 3;
+// checkpointed recovery); v4 widened that section with per-view policy
+// overrides. Older versions are rejected with a clean NotSupported instead
+// of misreading the stream.
+constexpr uint32_t kVersion = 4;
 constexpr char kTempName[] = "ckpt.tmp";
+constexpr char kIdemName[] = "idem.bin";
+constexpr char kIdemTempName[] = "idem.tmp";
 
 /// Appends `name`'s table encoding, reusing `cache`'s bytes when the
 /// shared_ptr identity matches (the bytes are a pure function of the table
@@ -306,6 +309,7 @@ std::vector<uint64_t> ListCheckpointEpochs(const std::string& dir) {
 void RemoveStaleDurableFiles(const std::string& dir, uint64_t keep) {
   std::error_code ec;
   std::filesystem::remove(dir + "/" + kTempName, ec);
+  std::filesystem::remove(dir + "/" + kIdemTempName, ec);
   for (uint64_t epoch : ListCheckpointEpochs(dir)) {
     if (epoch >= keep) continue;
     std::filesystem::remove(dir + "/" + CheckpointFileName(epoch), ec);
@@ -325,6 +329,77 @@ void RemoveStaleDurableFiles(const std::string& dir, uint64_t keep) {
       std::filesystem::remove(entry.path(), ec);
     }
   }
+}
+
+std::string IdemFileName() { return kIdemName; }
+
+Status WriteIdemFile(const std::string& dir,
+                     const std::map<std::string, uint64_t>& marks) {
+  std::string bytes;
+  PutU32(&bytes, static_cast<uint32_t>(marks.size()));
+  for (const auto& [token, seq] : marks) {
+    PutStr(&bytes, token);
+    PutU64(&bytes, seq);
+  }
+  std::string frame;
+  frame.reserve(8 + bytes.size());
+  PutU32(&frame, static_cast<uint32_t>(bytes.size()));
+  PutU32(&frame, Crc32(bytes));
+  frame += bytes;
+
+  const std::string tmp_path = dir + "/" + kIdemTempName;
+  const std::string final_path = dir + "/" + kIdemName;
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open " + tmp_path);
+  Status write_st = WriteAll(fd, frame.data(), frame.size());
+  if (write_st.ok() && ::fsync(fd) != 0) write_st = Errno("fsync " + tmp_path);
+  ::close(fd);
+  if (!write_st.ok()) {
+    (void)::unlink(tmp_path.c_str());
+    return write_st;
+  }
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return Errno("rename " + tmp_path + " -> " + final_path);
+  }
+  return SyncDir(dir);
+}
+
+Result<std::map<std::string, uint64_t>> ReadIdemFile(const std::string& dir) {
+  const std::string path = dir + "/" + kIdemName;
+  std::ifstream in(path, std::ios::binary);
+  std::map<std::string, uint64_t> marks;
+  if (!in) return marks;  // absent: no marks persisted yet
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string data = buf.str();
+  if (data.size() < 8) {
+    return Status::InvalidArgument("idem file " + path + " is truncated (" +
+                                   std::to_string(data.size()) + " bytes)");
+  }
+  ByteReader header(std::string_view(data).substr(0, 8));
+  const uint32_t len = header.U32().value();
+  const uint32_t crc = header.U32().value();
+  if (data.size() - 8 != len) {
+    return Status::InvalidArgument(
+        "idem file " + path + " length mismatch: frame promises " +
+        std::to_string(len) + " byte(s), file holds " +
+        std::to_string(data.size() - 8));
+  }
+  const std::string_view payload = std::string_view(data).substr(8);
+  if (Crc32(payload) != crc) {
+    return Status::InvalidArgument("idem file " + path + " CRC mismatch");
+  }
+  ByteReader r(payload);
+  SVC_ASSIGN_OR_RETURN(uint32_t n, r.U32());
+  for (uint32_t i = 0; i < n; ++i) {
+    SVC_ASSIGN_OR_RETURN(std::string token, r.Str());
+    SVC_ASSIGN_OR_RETURN(uint64_t seq, r.U64());
+    marks[std::move(token)] = seq;
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("idem file " + path + " has trailing bytes");
+  }
+  return marks;
 }
 
 }  // namespace svc

@@ -79,8 +79,19 @@ std::vector<uint64_t> ListCheckpointEpochs(const std::string& dir);
 
 /// Deletes checkpoint/WAL files whose base epoch is older than `keep`
 /// (after a successful checkpoint or recovery, earlier files are fully
-/// superseded). Also removes a leftover checkpoint temp file.
+/// superseded). Also removes leftover temp files.
 void RemoveStaleDurableFiles(const std::string& dir, uint64_t keep);
+
+/// The idempotency sidecar ("idem.bin"): the latest (token -> seq)
+/// idempotency mark per client token, persisted at checkpoint time so WAL
+/// rotation never forgets a mark a retrying client may still re-send.
+/// Written with the same atomic temp + rename + dir-fsync dance as
+/// checkpoints; ReadIdemFile returns an empty map when the file is absent
+/// (a directory from before idempotency existed).
+std::string IdemFileName();
+Status WriteIdemFile(const std::string& dir,
+                     const std::map<std::string, uint64_t>& marks);
+Result<std::map<std::string, uint64_t>> ReadIdemFile(const std::string& dir);
 
 }  // namespace svc
 

@@ -1,5 +1,6 @@
 #include "storage/durable_engine.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <optional>
 #include <utility>
@@ -11,11 +12,14 @@ namespace svc {
 
 namespace {
 
-/// Decodes and applies one WAL record (u64 epoch + DurableOp) to the
-/// recovery engine, checking the epoch chain stays dense.
+/// Decodes and applies one WAL record (u64 epoch + DurableOp [+ idem
+/// mark]) to the recovery engine, checking the epoch chain stays dense.
+/// A trailing (token, seq) idempotency mark — appended by marked commits —
+/// is collected into `idem_marks` rather than applied.
 Status ReplayRecord(std::string_view payload, uint64_t* epoch,
                     SvcEngine* engine, const std::string& path,
-                    uint64_t record_index) {
+                    uint64_t record_index,
+                    std::map<std::string, uint64_t>* idem_marks) {
   ByteReader r(payload);
   SVC_ASSIGN_OR_RETURN(uint64_t record_epoch, r.U64());
   if (record_epoch != *epoch + 1) {
@@ -26,10 +30,16 @@ Status ReplayRecord(std::string_view payload, uint64_t* epoch,
   }
   SVC_ASSIGN_OR_RETURN(DurableOp op, DecodeDurableOp(&r));
   if (!r.AtEnd()) {
-    return Status::InvalidArgument("WAL " + path + " record " +
-                                   std::to_string(record_index) + " has " +
-                                   std::to_string(r.remaining()) +
-                                   " trailing byte(s)");
+    SVC_ASSIGN_OR_RETURN(std::string token, r.Str());
+    SVC_ASSIGN_OR_RETURN(uint64_t seq, r.U64());
+    if (!r.AtEnd()) {
+      return Status::InvalidArgument("WAL " + path + " record " +
+                                     std::to_string(record_index) + " has " +
+                                     std::to_string(r.remaining()) +
+                                     " trailing byte(s)");
+    }
+    uint64_t& have = (*idem_marks)[std::move(token)];
+    have = std::max(have, seq);
   }
   SVC_RETURN_IF_ERROR(ApplyDurableOp(op, engine));
   *epoch = record_epoch;
@@ -87,6 +97,13 @@ Result<std::shared_ptr<DurableEngine>> DurableEngine::Open(
   }
   if (!state.has_value()) state.emplace(SvcEngine(Database()));
 
+  // Idempotency marks: the sidecar persisted by the last checkpoint, then
+  // the WAL's per-record marks overlaid on top.
+  Result<std::map<std::string, uint64_t>> idem_read =
+      ReadIdemFile(opts.data_dir);
+  SVC_RETURN_IF_ERROR(idem_read.status());
+  std::map<std::string, uint64_t> idem_marks = std::move(idem_read).value();
+
   // Replay the WAL paired with the chosen checkpoint (epochs E+1, E+2, ...
   // in order). A torn final record truncates; a mid-log CRC error aborts.
   uint64_t head_epoch = state->epoch;
@@ -97,7 +114,7 @@ Result<std::shared_ptr<DurableEngine>> DurableEngine::Open(
       wal_path,
       [&](std::string_view payload) {
         return ReplayRecord(payload, &head_epoch, &state->engine, wal_path,
-                            replay.records);
+                            replay.records, &idem_marks);
       },
       &replay));
   rep->wal_records_replayed = replay.records;
@@ -122,11 +139,13 @@ Result<std::shared_ptr<DurableEngine>> DurableEngine::Open(
       new DurableEngine(opts, std::move(shared), std::move(wal)));
   engine->stats_.recovered_epoch = head_epoch;
   engine->stats_.last_checkpoint_epoch = rep->checkpoint_epoch;
+  engine->idem_marks_ = std::move(idem_marks);
   return engine;
 }
 
 Status DurableEngine::CommitLogged(
-    const std::function<Status(SvcEngine*, std::string* payload)>& fn) {
+    const std::function<Status(SvcEngine*, std::string* payload)>& fn,
+    const IdemMark& idem) {
   std::lock_guard<std::mutex> lock(mu_);
   std::string payload;
   SVC_RETURN_IF_ERROR(shared_->Commit(
@@ -136,8 +155,18 @@ Status DurableEngine::CommitLogged(
         record.reserve(8 + payload.size());
         PutU64(&record, next_epoch);
         record += payload;
+        if (!idem.empty()) {
+          // Trailing mark: ReplayRecord collects it on recovery, so the
+          // dedup journal survives the same crashes the data does.
+          PutStr(&record, idem.token);
+          PutU64(&record, idem.seq);
+        }
         return wal_.Append(record);
       }));
+  if (!idem.empty()) {
+    uint64_t& have = idem_marks_[idem.token];
+    have = std::max(have, idem.seq);
+  }
   stats_.wal_records = wal_.records();
   stats_.wal_bytes = wal_.bytes();
   ++commits_since_checkpoint_;
@@ -207,6 +236,13 @@ Result<uint64_t> DurableEngine::Checkpoint() {
 }
 
 Status DurableEngine::CheckpointLocked() {
+  // Persist the idempotency marks *first*: rotation is about to discard
+  // the WAL records carrying them, and a crash between the sidecar write
+  // and the checkpoint rename only leaves a superset of marks (harmless —
+  // dedup is conservative).
+  if (!idem_marks_.empty()) {
+    SVC_RETURN_IF_ERROR(WriteIdemFile(opts_.data_dir, idem_marks_));
+  }
   // The snapshot is immutable and shared copy-on-write — serializing it is
   // a traversal of the live structure, not a stop-the-world copy, and
   // concurrent readers are completely unaffected.
@@ -240,6 +276,11 @@ Status DurableEngine::CheckpointLocked() {
 DurabilityStats DurableEngine::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+std::map<std::string, uint64_t> DurableEngine::IdemMarks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return idem_marks_;
 }
 
 }  // namespace svc

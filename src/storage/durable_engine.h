@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -86,12 +87,36 @@ class DurableEngine {
   const std::shared_ptr<SharedEngine>& shared() const { return shared_; }
   uint64_t epoch() const { return shared_->epoch(); }
 
+  /// A client idempotency mark riding one logged commit: (token, seq)
+  /// names one logical client request (server/server.cc assigns them from
+  /// the wire's v2 request meta). Non-empty marks are appended to the
+  /// commit's WAL record and survive checkpoints via the idem sidecar
+  /// file, so a server recovering a data_dir still recognizes a write a
+  /// client retried across the crash — it commits exactly once.
+  struct IdemMark {
+    std::string token;
+    uint64_t seq;
+    // Explicit constructors (not default member initializers): the mark is
+    // a default argument of CommitLogged below, and a defaulted member
+    // initializer may not be used before the enclosing class is complete.
+    IdemMark() : seq(0) {}
+    IdemMark(std::string t, uint64_t s) : token(std::move(t)), seq(s) {}
+    bool empty() const { return token.empty(); }
+  };
+
   /// Runs one logged commit: `fn` mutates the fork and, on success, fills
   /// `*payload` with the encoded DurableOp describing the mutation. The
-  /// record (epoch + payload) is appended to the WAL before the fork
-  /// publishes. Serialized against other logged commits and checkpoints.
+  /// record (epoch + payload [+ idem mark]) is appended to the WAL before
+  /// the fork publishes. Serialized against other logged commits and
+  /// checkpoints.
   Status CommitLogged(
-      const std::function<Status(SvcEngine*, std::string* payload)>& fn);
+      const std::function<Status(SvcEngine*, std::string* payload)>& fn,
+      const IdemMark& idem = IdemMark());
+
+  /// The latest idempotency mark per token: what recovery found (idem
+  /// sidecar + WAL records) plus every mark logged since. The serving
+  /// layer seeds its dedup journal from this at startup.
+  std::map<std::string, uint64_t> IdemMarks() const;
 
   /// Logs and applies `op` as one commit (the non-SQL write path).
   Status Apply(const DurableOp& op);
@@ -138,6 +163,10 @@ class DurableEngine {
   WalWriter wal_;
   DurabilityStats stats_;
   uint64_t commits_since_checkpoint_ = 0;
+  /// Latest idempotency mark per token (under mu_): recovered at Open,
+  /// extended by marked commits, persisted to the idem sidecar *before*
+  /// each checkpoint rotates the WAL the marks were logged in.
+  std::map<std::string, uint64_t> idem_marks_;
   /// Per-table encode memo reused across checkpoints (under mu_): a table
   /// whose shared_ptr identity is unchanged since the last checkpoint is
   /// appended verbatim instead of re-serialized.

@@ -7,19 +7,26 @@
 
 namespace svc {
 
-FaultInjector& FaultInjector::Global() {
-  static FaultInjector* instance = [] {
-    auto* inj = new FaultInjector();
-    const char* spec = std::getenv("SVC_FAULT");
-    if (spec != nullptr && spec[0] != '\0') {
-      Status st = inj->ArmFromSpec(spec);
-      if (!st.ok()) {
-        std::fprintf(stderr, "warning: ignoring SVC_FAULT: %s\n",
-                     st.ToString().c_str());
-      }
+FaultInjector* FaultInjector::FromEnv(const char* env) {
+  auto* inj = new FaultInjector();
+  const char* spec = std::getenv(env);
+  if (spec != nullptr && spec[0] != '\0') {
+    Status st = inj->ArmFromSpec(spec);
+    if (!st.ok()) {
+      std::fprintf(stderr, "warning: ignoring %s: %s\n", env,
+                   st.ToString().c_str());
     }
-    return inj;
-  }();
+  }
+  return inj;
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = FromEnv("SVC_FAULT");
+  return *instance;
+}
+
+FaultInjector& FaultInjector::Net() {
+  static FaultInjector* instance = FromEnv("SVC_NET_FAULT");
   return *instance;
 }
 

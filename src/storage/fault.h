@@ -33,6 +33,18 @@ class FaultInjector {
   /// access.
   static FaultInjector& Global();
 
+  /// A second, independent instance for *network* faults, parsing
+  /// SVC_NET_FAULT the same way. Its sites live in the serving layer
+  /// (server/server.cc: "conn.stall", "conn.close_mid_frame",
+  /// "conn.drop_response", "send.short_write", "exec.delay") and — unlike
+  /// Global()'s crash sites — never kill the process: the triggered code
+  /// path inflicts connection-level damage (drops/garbles one response)
+  /// and the server keeps serving, which is exactly what a retrying
+  /// client must survive. Keeping the streams separate lets one process
+  /// arm a crash site and a network site simultaneously without the hit
+  /// counters interfering.
+  static FaultInjector& Net();
+
   /// Arms `site` to crash on its `nth` hit (1-based). Replaces any
   /// previous arming and resets hit counters.
   void Arm(const std::string& site, uint64_t nth = 1);
@@ -64,6 +76,10 @@ class FaultInjector {
 
  private:
   FaultInjector() = default;
+
+  /// Heap-allocates an injector armed from the given environment variable
+  /// (leaked intentionally: singletons outlive _exit-style teardown).
+  static FaultInjector* FromEnv(const char* env);
 
   mutable std::mutex mu_;
   std::string site_;

@@ -76,6 +76,21 @@ void EncodeMaintenancePolicy(const MaintenancePolicyConfig& cfg,
   PutU64(out, cfg.sla_ms);
   PutU64(out, cfg.tick_ms);
   PutF64(out, cfg.ratio);
+  // Per-view overrides: a count, then (view, presence-bitmapped fields).
+  // Always encoded — unlike the wire protocol, these bytes live inside
+  // concatenated WAL records, so "trailing optional" would be ambiguous.
+  PutU32(out, static_cast<uint32_t>(cfg.overrides.size()));
+  for (const auto& [view, ov] : cfg.overrides) {
+    PutStr(out, view);
+    uint8_t bits = 0;
+    if (ov.budget) bits |= 1;
+    if (ov.sla_ms) bits |= 2;
+    if (ov.ratio) bits |= 4;
+    PutU8(out, bits);
+    if (ov.budget) PutF64(out, *ov.budget);
+    if (ov.sla_ms) PutU64(out, *ov.sla_ms);
+    if (ov.ratio) PutF64(out, *ov.ratio);
+  }
 }
 
 Result<MaintenancePolicyConfig> DecodeMaintenancePolicy(ByteReader* r) {
@@ -90,6 +105,29 @@ Result<MaintenancePolicyConfig> DecodeMaintenancePolicy(ByteReader* r) {
   SVC_ASSIGN_OR_RETURN(cfg.sla_ms, r->U64());
   SVC_ASSIGN_OR_RETURN(cfg.tick_ms, r->U64());
   SVC_ASSIGN_OR_RETURN(cfg.ratio, r->F64());
+  SVC_ASSIGN_OR_RETURN(uint32_t n_overrides, r->U32());
+  for (uint32_t i = 0; i < n_overrides; ++i) {
+    SVC_ASSIGN_OR_RETURN(std::string view, r->Str());
+    SVC_ASSIGN_OR_RETURN(uint8_t bits, r->U8());
+    if (bits & ~uint8_t{7}) {
+      return Status::InvalidArgument("bad policy override bitmap " +
+                                     std::to_string(bits));
+    }
+    ViewPolicyOverride ov;
+    if (bits & 1) {
+      SVC_ASSIGN_OR_RETURN(double v, r->F64());
+      ov.budget = v;
+    }
+    if (bits & 2) {
+      SVC_ASSIGN_OR_RETURN(uint64_t v, r->U64());
+      ov.sla_ms = v;
+    }
+    if (bits & 4) {
+      SVC_ASSIGN_OR_RETURN(double v, r->F64());
+      ov.ratio = v;
+    }
+    cfg.overrides[std::move(view)] = ov;
+  }
   return cfg;
 }
 

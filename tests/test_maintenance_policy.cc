@@ -20,6 +20,9 @@
 #include <vector>
 
 #include "core/maintenance_policy.h"
+#include "sql/parser.h"
+#include "storage/ops.h"
+#include "storage/serde.h"
 #include "core/sharded_engine.h"
 #include "core/shared_engine.h"
 #include "core/svc.h"
@@ -396,6 +399,194 @@ TEST(MaintenancePolicyTest, PolicyRefreshCrashRecoversPreRefreshState) {
   EXPECT_EQ(recovered.maintenance_policy().sla_ms, 1u);
   EXPECT_EQ(recovered.pending().InsertRows("F"), 2u);  // batch still queued
   std::filesystem::remove_all(dir);
+}
+
+// ---- Per-view overrides ----------------------------------------------------
+
+TEST(ViewPolicyOverrideTest, ParserOnFormAndRejections) {
+  SVC_ASSERT_OK_AND_ASSIGN(
+      Statement stmt,
+      ParseStatement("SET MAINTENANCE POLICY ON V (budget=0.02, ratio=0.3)"));
+  EXPECT_EQ(stmt.kind, Statement::Kind::kSetPolicy);
+  EXPECT_TRUE(stmt.policy_on_view);
+  EXPECT_EQ(stmt.target, "V");
+  ASSERT_TRUE(stmt.policy_override.budget.has_value());
+  EXPECT_DOUBLE_EQ(*stmt.policy_override.budget, 0.02);
+  EXPECT_FALSE(stmt.policy_override.sla_ms.has_value());
+  ASSERT_TRUE(stmt.policy_override.ratio.has_value());
+  EXPECT_DOUBLE_EQ(*stmt.policy_override.ratio, 0.3);
+
+  // The empty key list is the documented "clear this view's override".
+  SVC_ASSERT_OK_AND_ASSIGN(Statement clear,
+                           ParseStatement("SET MAINTENANCE POLICY ON V ()"));
+  EXPECT_TRUE(clear.policy_on_view);
+  EXPECT_TRUE(clear.policy_override.empty());
+
+  // mode and tick_ms belong to the one scheduler thread: global only.
+  EXPECT_FALSE(ParseStatement("SET MAINTENANCE POLICY ON V (mode=auto)").ok());
+  EXPECT_FALSE(ParseStatement("SET MAINTENANCE POLICY ON V (tick_ms=5)").ok());
+  EXPECT_FALSE(ParseStatement("SET MAINTENANCE POLICY ON V (bogus=1)").ok());
+  EXPECT_FALSE(ParseStatement("SET MAINTENANCE POLICY ON V (ratio=1.5)").ok());
+}
+
+TEST(ViewPolicyOverrideTest, EffectiveForFoldsOverrideFields) {
+  MaintenancePolicyConfig cfg;
+  cfg.mode = MaintenancePolicyConfig::Mode::kAuto;
+  cfg.budget = 0.1;
+  cfg.sla_ms = 5000;
+  cfg.ratio = 0.1;
+  cfg.overrides["V"].budget = 0.02;
+  cfg.overrides["V"].sla_ms = 250;
+  cfg.overrides["W"].ratio = 0.5;
+
+  const MaintenancePolicyConfig v = EffectiveFor(cfg, "V");
+  EXPECT_EQ(v.mode, cfg.mode);
+  EXPECT_DOUBLE_EQ(v.budget, 0.02);
+  EXPECT_EQ(v.sla_ms, 250u);
+  EXPECT_DOUBLE_EQ(v.ratio, 0.1);  // unset field falls through to global
+  EXPECT_TRUE(v.overrides.empty());
+
+  const MaintenancePolicyConfig w = EffectiveFor(cfg, "W");
+  EXPECT_DOUBLE_EQ(w.budget, 0.1);
+  EXPECT_EQ(w.sla_ms, 5000u);
+  EXPECT_DOUBLE_EQ(w.ratio, 0.5);
+
+  // A view with no override runs the globals verbatim.
+  EXPECT_DOUBLE_EQ(EffectiveFor(cfg, "other").budget, 0.1);
+  EXPECT_TRUE(EffectiveFor(cfg, "other").overrides.empty());
+}
+
+TEST(ViewPolicyOverrideTest, DescribeAppendsOverridesOnlyWhenPresent) {
+  MaintenancePolicyConfig cfg;
+  cfg.mode = MaintenancePolicyConfig::Mode::kAuto;
+  cfg.budget = 0.05;
+  cfg.sla_ms = 1000;
+  EXPECT_EQ(DescribeMaintenancePolicy(cfg),
+            "mode=auto budget=0.05 sla_ms=1000");
+  cfg.overrides["V"].budget = 0.02;
+  cfg.overrides["V"].sla_ms = 250;
+  EXPECT_EQ(DescribeMaintenancePolicy(cfg),
+            "mode=auto budget=0.05 sla_ms=1000 overrides: "
+            "V(budget=0.02 sla_ms=250)");
+}
+
+TEST(ViewPolicyOverrideTest, PolicyCodecRoundTripsOverrides) {
+  MaintenancePolicyConfig cfg;
+  cfg.mode = MaintenancePolicyConfig::Mode::kAuto;
+  cfg.budget = 0.07;
+  cfg.sla_ms = 123;
+  cfg.tick_ms = 9;
+  cfg.ratio = 0.4;
+  cfg.overrides["a"].budget = 0.01;
+  cfg.overrides["b"].sla_ms = 42;
+  cfg.overrides["b"].ratio = 0.9;
+  std::string bytes;
+  EncodeMaintenancePolicy(cfg, &bytes);
+  ByteReader r(bytes);
+  SVC_ASSERT_OK_AND_ASSIGN(MaintenancePolicyConfig back,
+                           DecodeMaintenancePolicy(&r));
+  EXPECT_TRUE(back == cfg);
+
+  // And the pre-override shape still round-trips unchanged.
+  const MaintenancePolicyConfig plain;
+  bytes.clear();
+  EncodeMaintenancePolicy(plain, &bytes);
+  ByteReader r2(bytes);
+  SVC_ASSERT_OK_AND_ASSIGN(MaintenancePolicyConfig back2,
+                           DecodeMaintenancePolicy(&r2));
+  EXPECT_TRUE(back2 == plain);
+}
+
+TEST(ViewPolicyOverrideTest, OnFormSqlEndToEnd) {
+  SqlSession session(EngineHandle::Private());
+  MustRun(&session, "CREATE TABLE F (id INT, g INT, PRIMARY KEY (id))");
+  MustRun(&session, "INSERT INTO F VALUES (1, 1), (2, 2)");
+  MustRun(&session, "REFRESH ALL");
+  MustRun(&session,
+          "CREATE MATERIALIZED VIEW V AS SELECT g, COUNT(1) AS c FROM F "
+          "GROUP BY g");
+
+  auto missing =
+      session.Execute("SET MAINTENANCE POLICY ON nosuch (budget=0.05)");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  MustRun(&session, "SET MAINTENANCE POLICY ON V (budget=0.02, sla_ms=250)");
+  SqlResult shown = MustRun(&session, "SHOW MAINTENANCE");
+  EXPECT_NE(shown.message.find("overrides: V(budget=0.02 sla_ms=250)"),
+            std::string::npos)
+      << shown.message;
+
+  // Re-SETting the globals keeps the per-view override...
+  MustRun(&session, "SET MAINTENANCE POLICY (mode=auto, budget=0.2)");
+  shown = MustRun(&session, "SHOW MAINTENANCE");
+  EXPECT_NE(shown.message.find("overrides: V("), std::string::npos)
+      << shown.message;
+
+  // ...and the empty ON-form clears exactly that view's entry.
+  MustRun(&session, "SET MAINTENANCE POLICY ON V ()");
+  shown = MustRun(&session, "SHOW MAINTENANCE");
+  EXPECT_EQ(shown.message.find("overrides"), std::string::npos)
+      << shown.message;
+}
+
+TEST(ViewPolicyOverrideTest, OverrideSurvivesDurableRecovery) {
+  const std::string dir = ::testing::TempDir() + "/svc_policy_override";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  {
+    DurableOptions o;
+    o.data_dir = dir;
+    SVC_ASSERT_OK_AND_ASSIGN(auto eng, DurableEngine::Open(o));
+    SqlSession session(eng);
+    MustRun(&session, "CREATE TABLE F (id INT, g INT, PRIMARY KEY (id))");
+    MustRun(&session, "INSERT INTO F VALUES (1, 1), (2, 2)");
+    MustRun(&session, "REFRESH ALL");
+    MustRun(&session,
+            "CREATE MATERIALIZED VIEW V AS SELECT g, COUNT(1) AS c FROM F "
+            "GROUP BY g");
+    MustRun(&session, "SET MAINTENANCE POLICY (mode=auto, budget=0.1)");
+    MustRun(&session, "SET MAINTENANCE POLICY ON V (budget=0.02, ratio=0.5)");
+  }
+  DurableOptions o;
+  o.data_dir = dir;
+  SVC_ASSERT_OK_AND_ASSIGN(auto eng, DurableEngine::Open(o));
+  const MaintenancePolicyConfig cfg =
+      eng->shared()->Snapshot()->engine.maintenance_policy();
+  EXPECT_EQ(cfg.mode, MaintenancePolicyConfig::Mode::kAuto);
+  ASSERT_EQ(cfg.overrides.count("V"), 1u);
+  ASSERT_TRUE(cfg.overrides.at("V").budget.has_value());
+  EXPECT_DOUBLE_EQ(*cfg.overrides.at("V").budget, 0.02);
+  EXPECT_FALSE(cfg.overrides.at("V").sla_ms.has_value());
+  ASSERT_TRUE(cfg.overrides.at("V").ratio.has_value());
+  EXPECT_DOUBLE_EQ(*cfg.overrides.at("V").ratio, 0.5);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ViewPolicyOverrideTest, ShardedSessionMatchesShared) {
+  const std::vector<std::string> sql = {
+      "CREATE TABLE F (id INT, g INT, PRIMARY KEY (id))",
+      "INSERT INTO F VALUES (1, 1), (2, 2), (3, 1)",
+      "REFRESH ALL",
+      "CREATE MATERIALIZED VIEW V AS SELECT g, COUNT(1) AS c FROM F "
+      "GROUP BY g",
+      "SET MAINTENANCE POLICY ON V (budget=0.02, sla_ms=250)",
+  };
+  std::string want;
+  {
+    SqlSession shared(
+        EngineHandle::Shared(std::make_shared<SharedEngine>(Database())));
+    for (const std::string& s : sql) MustRun(&shared, s);
+    want = MustRun(&shared, "SHOW MAINTENANCE").message;
+  }
+  EXPECT_NE(want.find("overrides: V("), std::string::npos) << want;
+  for (int shards : {1, 2, 4}) {
+    SqlSession session(EngineHandle::Sharded(
+        std::make_shared<ShardedEngine>(Database(), shards)));
+    for (const std::string& s : sql) MustRun(&session, s);
+    EXPECT_EQ(MustRun(&session, "SHOW MAINTENANCE").message, want)
+        << shards << " shard(s)";
+  }
 }
 
 }  // namespace

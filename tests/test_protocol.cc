@@ -113,6 +113,7 @@ TEST(ProtocolCodes, EveryStatusCodeRoundTrips) {
       StatusCode::kInternal,     StatusCode::kParseError,
       StatusCode::kUnknownRelation, StatusCode::kConstraintViolation,
       StatusCode::kOverloaded,   StatusCode::kProtocol,
+      StatusCode::kUnavailable,  StatusCode::kDeadlineExceeded,
   };
   for (StatusCode code : all) {
     EXPECT_EQ(StatusCodeFromWire(WireCodeOf(code)), code);
@@ -133,6 +134,24 @@ TEST(ProtocolCodes, WireNumbersArePinned) {
   EXPECT_EQ(WireCodeOf(StatusCode::kConstraintViolation), 9);
   EXPECT_EQ(WireCodeOf(StatusCode::kOverloaded), 10);
   EXPECT_EQ(WireCodeOf(StatusCode::kProtocol), 11);
+  EXPECT_EQ(WireCodeOf(StatusCode::kUnavailable), 12);
+  EXPECT_EQ(WireCodeOf(StatusCode::kDeadlineExceeded), 13);
+}
+
+TEST(ProtocolCodes, RetryableStatusesAreExactlyTransportAndOverload) {
+  // Retry safety: kUnavailable (transport death; idempotency dedup covers
+  // the maybe-it-landed case) and kOverloaded (shed before execution) are
+  // the only codes a client may re-send on. kDeadlineExceeded in particular
+  // must NOT be retryable — the statement may have partially run.
+  EXPECT_TRUE(IsRetryableStatus(StatusCode::kUnavailable));
+  EXPECT_TRUE(IsRetryableStatus(StatusCode::kOverloaded));
+  EXPECT_FALSE(IsRetryableStatus(StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(IsRetryableStatus(StatusCode::kOk));
+  EXPECT_FALSE(IsRetryableStatus(StatusCode::kParseError));
+  EXPECT_FALSE(IsRetryableStatus(StatusCode::kProtocol));
+  EXPECT_FALSE(IsRetryableStatus(StatusCode::kInternal));
+  EXPECT_FALSE(IsRetryableStatus(StatusCode::kNotFound));
+  EXPECT_FALSE(IsRetryableStatus(StatusCode::kConstraintViolation));
 }
 
 TEST(ProtocolCodes, UnknownWireCodeDecodesAsInternal) {
@@ -229,6 +248,88 @@ TEST(ProtocolBodies, EstimateResultCarriesMode) {
     EXPECT_EQ(got.mode_used, mode);
     EXPECT_EQ(EncodedRows(got.rows), EncodedRows(t));
   }
+}
+
+TEST(ProtocolBodies, EstimateResultCarriesDegradedFlag) {
+  Table t(Schema({{"", "estimate", ValueType::kDouble}}));
+  SVC_ASSERT_OK(t.Insert({Value::Double(3.25)}));
+  for (bool degraded : {false, true}) {
+    SqlResult result;
+    result.kind = SqlResultKind::kEstimate;
+    result.rows = t;
+    result.message = "estimate";
+    result.mode_used = EstimatorMode::kCorr;
+    result.degraded = degraded;
+    std::string body;
+    const FrameTag tag = EncodeSqlResultBody(result, &body);
+    ASSERT_EQ(tag, FrameTag::kEstimate);
+    // The flag is the unconditional final byte — a v1 decoder stops after
+    // the table and never reads it.
+    ASSERT_FALSE(body.empty());
+    EXPECT_EQ(body.back(), degraded ? '\1' : '\0');
+    SVC_ASSERT_OK_AND_ASSIGN(SqlResult got, DecodeSqlResultBody(tag, body));
+    EXPECT_EQ(got.degraded, degraded);
+  }
+}
+
+TEST(ProtocolBodies, EstimateFromV1PeerDecodesAsNotDegraded) {
+  // A v1 server's estimate body ends at the table. The decoder must accept
+  // it and default the degraded flag off.
+  Table t(Schema({{"", "estimate", ValueType::kDouble}}));
+  SVC_ASSERT_OK(t.Insert({Value::Double(3.25)}));
+  SqlResult result;
+  result.kind = SqlResultKind::kEstimate;
+  result.rows = t;
+  result.message = "estimate";
+  result.mode_used = EstimatorMode::kAqp;
+  std::string body;
+  const FrameTag tag = EncodeSqlResultBody(result, &body);
+  body.pop_back();  // strip the v2 trailing degraded byte
+  SVC_ASSERT_OK_AND_ASSIGN(SqlResult got, DecodeSqlResultBody(tag, body));
+  EXPECT_EQ(got.kind, SqlResultKind::kEstimate);
+  EXPECT_FALSE(got.degraded);
+}
+
+TEST(ProtocolBodies, RequestMetaRoundTrips) {
+  RequestMeta meta;
+  meta.deadline_ms = 250;
+  meta.idem_token = "c#1.2";
+  meta.idem_seq = 7;
+  ASSERT_FALSE(meta.empty());
+  std::string tail;
+  AppendRequestMeta(meta, &tail);
+  ByteReader r(tail);
+  SVC_ASSERT_OK_AND_ASSIGN(RequestMeta got, DecodeRequestMetaTail(&r));
+  EXPECT_EQ(got.deadline_ms, 250u);
+  EXPECT_EQ(got.idem_token, "c#1.2");
+  EXPECT_EQ(got.idem_seq, 7u);
+}
+
+TEST(ProtocolBodies, EmptyRequestMetaEncodesToNothing) {
+  // All-defaults meta appends zero bytes, so a v2 client that sets neither
+  // a deadline nor retries emits bodies byte-identical to a v1 client's.
+  RequestMeta meta;
+  ASSERT_TRUE(meta.empty());
+  std::string tail;
+  AppendRequestMeta(meta, &tail);
+  EXPECT_TRUE(tail.empty());
+  // And decoding a body with no trailing bytes (a v1 peer) yields the
+  // empty meta rather than an error.
+  ByteReader r(tail);
+  SVC_ASSERT_OK_AND_ASSIGN(RequestMeta got, DecodeRequestMetaTail(&r));
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(ProtocolBodies, TruncatedRequestMetaTailIsAnError) {
+  RequestMeta meta;
+  meta.deadline_ms = 250;
+  meta.idem_token = "c#1.2";
+  meta.idem_seq = 7;
+  std::string tail;
+  AppendRequestMeta(meta, &tail);
+  tail.resize(tail.size() - 3);  // tear the trailing u64 seq
+  ByteReader r(tail);
+  EXPECT_FALSE(DecodeRequestMetaTail(&r).ok());
 }
 
 TEST(ProtocolBodies, TruncatedResultBodyIsAnError) {

@@ -15,6 +15,15 @@
 //   svc_served --data-dir <dir>            durable engine (WAL + recovery)
 //   svc_served --shards <n>                sharded engine (scatter-gather)
 //   svc_served --fsync <p> / --checkpoint-every N   as in svc_shell
+//   svc_served --degrade                   graceful degradation: past
+//                                          --max-inflight, WITH SVC queries
+//                                          run at a reduced sampling ratio
+//                                          (flagged degraded) instead of
+//                                          being rejected
+//   svc_served --degrade-max-inflight N    degraded-mode admission ceiling
+//                                          (default 4 * --max-inflight)
+//   svc_served --degrade-scale <s>         degraded sampling-ratio
+//                                          multiplier in (0, 1), default 0.5
 //
 // SIGINT/SIGTERM shut down gracefully (durable mode checkpoints first).
 
@@ -49,7 +58,9 @@ int Usage(const char* argv0, int rc) {
                "          [--workers <n>] [--max-inflight <n>]\n"
                "          [--data-dir <dir>] [--shards <n>]\n"
                "          [--fsync always|off|every=N] "
-               "[--checkpoint-every <n>]\n",
+               "[--checkpoint-every <n>]\n"
+               "          [--degrade] [--degrade-max-inflight <n>] "
+               "[--degrade-scale <s>]\n",
                argv0);
   return rc;
 }
@@ -129,6 +140,25 @@ int main(int argc, char** argv) {
         return Usage(argv[0], 2);
       }
       durable_opts.checkpoint_every = n;
+    } else if (std::strcmp(arg, "--degrade") == 0) {
+      opts.degrade = true;
+    } else if (std::strcmp(arg, "--degrade-max-inflight") == 0) {
+      if (!value_of(&v) || !ParseCount(v, &n) || n == 0) {
+        std::fprintf(
+            stderr,
+            "error: --degrade-max-inflight expects a positive count\n");
+        return Usage(argv[0], 2);
+      }
+      opts.degrade_max_inflight = static_cast<uint32_t>(n);
+    } else if (std::strcmp(arg, "--degrade-scale") == 0) {
+      if (!value_of(&v)) return Usage(argv[0], 2);
+      char* end = nullptr;
+      const double s = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !(s > 0.0) || !(s < 1.0)) {
+        std::fprintf(stderr, "error: --degrade-scale expects s in (0, 1)\n");
+        return Usage(argv[0], 2);
+      }
+      opts.degrade_ratio_scale = s;
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       return Usage(argv[0], 0);
     } else {

@@ -24,6 +24,13 @@
 //   svc_shell --connect host:port  run the same statements against a
 //                                  remote svc_served over the wire protocol
 //                                  (transcripts are bit-identical to local)
+//   svc_shell --retry <n>          with --connect: retry retryable failures
+//                                  up to n times (reconnect + idempotent
+//                                  re-send; writes commit exactly once)
+//   svc_shell --deadline-ms <n>    with --connect: attach a server-side
+//                                  deadline of n ms to every statement
+//   svc_shell --recv-timeout-ms <n>  with --connect: bound each response
+//                                  wait (default 10000; 0 = forever)
 
 #include <unistd.h>
 
@@ -50,7 +57,8 @@ int Usage(const char* argv0, int rc) {
                "[--keep-going] [--shared] [--shards <n>]\n"
                "          [--data-dir <dir>] [--fsync always|off|every=N] "
                "[--checkpoint-every <n>]\n"
-               "          [--connect <host:port>]\n"
+               "          [--connect <host:port>] [--retry <n>] "
+               "[--deadline-ms <n>] [--recv-timeout-ms <n>]\n"
                "  no arguments: interactive shell (statements end with ';')\n",
                argv0);
   return rc;
@@ -66,6 +74,10 @@ int main(int argc, char** argv) {
   bool shared = false;
   int num_shards = 0;  // 0 = not sharded
   std::string connect;
+  int retries = 0;
+  uint32_t deadline_ms = 0;
+  int recv_timeout_ms = 10000;
+  bool has_client_flag = false;
   svc::DurableOptions durable_opts;
   svc::ShellOptions opts;
   for (int i = 1; i < argc; ++i) {
@@ -108,6 +120,25 @@ int main(int argc, char** argv) {
       const char* v = nullptr;
       if (!value_of(&v)) return Usage(argv[0], 2);
       connect = v;
+    } else if (std::strcmp(arg, "--retry") == 0 ||
+               std::strcmp(arg, "--deadline-ms") == 0 ||
+               std::strcmp(arg, "--recv-timeout-ms") == 0) {
+      const char* v = nullptr;
+      if (!value_of(&v)) return Usage(argv[0], 2);
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || n > 1000000000UL) {
+        std::fprintf(stderr, "error: %s expects a count\n", arg);
+        return Usage(argv[0], 2);
+      }
+      if (std::strcmp(arg, "--retry") == 0) {
+        retries = static_cast<int>(n);
+      } else if (std::strcmp(arg, "--deadline-ms") == 0) {
+        deadline_ms = static_cast<uint32_t>(n);
+      } else {
+        recv_timeout_ms = static_cast<int>(n);
+      }
+      has_client_flag = true;
     } else if (std::strcmp(arg, "--data-dir") == 0) {
       const char* v = nullptr;
       if (!value_of(&v)) return Usage(argv[0], 2);
@@ -162,6 +193,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "error: --connect is remote; --shared / --shards / "
                  "--data-dir pick a local engine\n");
+    return Usage(argv[0], 2);
+  }
+  if (has_client_flag && connect.empty()) {
+    std::fprintf(stderr,
+                 "error: --retry / --deadline-ms / --recv-timeout-ms "
+                 "require --connect\n");
     return Usage(argv[0], 2);
   }
   if (num_shards > 0 && (shared || durable)) {
@@ -224,6 +261,9 @@ int main(int argc, char** argv) {
     copts.host = connect.substr(0, colon);
     copts.port = static_cast<uint16_t>(port);
     copts.client_name = "svc_shell";
+    copts.max_retries = retries;
+    copts.deadline_ms = deadline_ms;
+    copts.recv_timeout_ms = recv_timeout_ms;
     auto connected = svc::SvcClient::Connect(copts);
     if (!connected.ok()) {
       std::fprintf(stderr, "error: %s\n",
